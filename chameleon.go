@@ -1,0 +1,394 @@
+// Package chameleon is a reproduction of "Chameleon: Online Clustering
+// of MPI Program Traces" (Bahmani & Mueller, IPDPS 2018) as a
+// self-contained Go library.
+//
+// The package bundles everything the paper's system needs, built from
+// scratch on the standard library:
+//
+//   - a deterministic in-process MPI runtime (goroutine ranks, MPI
+//     matching semantics, log-P tree collectives, virtual-time cost
+//     model) standing in for the paper's 108-node cluster;
+//   - a ScalaTrace V2 reproduction: RSD/PRSD intra-node loop
+//     compression, location-independent end-point encodings, rank
+//     lists, and radix-tree inter-node compression;
+//   - Chameleon itself: marker-driven phase recognition (the AT/C/L/F
+//     transition graph voted on with O(log P) collectives), signature
+//     clustering with K lead ranks, and the incrementally grown online
+//     global trace;
+//   - the ScalaTrace and ACURDION baselines, a ScalaReplay-style replay
+//     engine with cluster-aware transposition, and communication
+//     skeletons of the paper's benchmarks (NPB BT/LU/SP/CG, Sweep3D,
+//     POP, EMF).
+//
+// Quick start: trace a benchmark under Chameleon and replay its trace.
+//
+//	out, err := chameleon.RunBenchmark("LU", "D", 64, chameleon.TracerChameleon, nil)
+//	if err != nil { ... }
+//	rep, err := chameleon.Replay(out.Trace, chameleon.DefaultModel())
+//
+// Custom applications use Run with a per-rank body; insert
+// chameleon.Marker at timestep boundaries so clustering can engage:
+//
+//	out, err := chameleon.Run(chameleon.Config{P: 16, Tracer: chameleon.TracerChameleon, K: 4},
+//	    func(p *chameleon.Proc) {
+//	        w := p.World()
+//	        for step := 0; step < 100; step++ {
+//	            w.Sendrecv((p.Rank()+1)%p.Size(), 1, 1024, nil, (p.Rank()+p.Size()-1)%p.Size(), 1)
+//	            chameleon.Marker(p)
+//	        }
+//	    })
+package chameleon
+
+import (
+	"fmt"
+
+	"chameleon/internal/acurdion"
+	"chameleon/internal/apps"
+	"chameleon/internal/cluster"
+	"chameleon/internal/core"
+	"chameleon/internal/energy"
+	"chameleon/internal/mpi"
+	"chameleon/internal/replay"
+	"chameleon/internal/scalatrace"
+	"chameleon/internal/trace"
+	"chameleon/internal/tracer"
+	"chameleon/internal/vtime"
+)
+
+// Re-exported fundamental types so applications outside internal/ can
+// program against the runtime.
+type (
+	// Proc is a rank's handle inside a simulated run.
+	Proc = mpi.Proc
+	// Comm is a communicator handle.
+	Comm = mpi.Comm
+	// Duration is a span of virtual nanoseconds.
+	Duration = vtime.Duration
+	// Time is a virtual timestamp.
+	Time = vtime.Time
+	// CostModel prices the simulated machine.
+	CostModel = vtime.CostModel
+	// TraceFile is a serialized global trace.
+	TraceFile = trace.File
+	// Spec is a runnable benchmark instance.
+	Spec = apps.Spec
+	// ReplayResult summarizes a replay run.
+	ReplayResult = replay.Result
+	// EnergyReport is the DVFS energy estimate of a traced run.
+	EnergyReport = energy.Report
+	// EnergyModel holds the power parameters of the energy estimate.
+	EnergyModel = energy.Model
+)
+
+// Wildcards for point-to-point matching.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+)
+
+// ReduceOp combines reduction operands.
+type ReduceOp = mpi.ReduceOp
+
+// Built-in reduction operators.
+var (
+	OpSum = mpi.OpSum
+	OpMax = mpi.OpMax
+	OpMin = mpi.OpMin
+)
+
+// Virtual-time units.
+const (
+	Nanosecond  = vtime.Nanosecond
+	Microsecond = vtime.Microsecond
+	Millisecond = vtime.Millisecond
+	Second      = vtime.Second
+)
+
+// DefaultModel returns the calibrated virtual cost model.
+func DefaultModel() CostModel { return vtime.Default() }
+
+// Cart is a Cartesian topology view of a communicator.
+type Cart = mpi.Cart
+
+// NewCart attaches a Cartesian topology (dims, per-dimension
+// periodicity) to a communicator, as MPI_Cart_create.
+func NewCart(c *Comm, dims []int, periodic []bool) (*Cart, error) {
+	return mpi.NewCart(c, dims, periodic)
+}
+
+// Marker invokes Chameleon's clustering marker (a barrier on the
+// reserved marker communicator). Applications call it at timestep
+// boundaries; under non-clustering tracers it is an inert barrier.
+func Marker(p *Proc) { apps.Marker(p) }
+
+// Tracer selects the tracing tool interposed on a run.
+type Tracer string
+
+// Available tracers.
+const (
+	// TracerNone runs the application uninstrumented.
+	TracerNone Tracer = "none"
+	// TracerScalaTrace is the baseline: full per-rank tracing with one
+	// P-way radix-tree merge in Finalize.
+	TracerScalaTrace Tracer = "scalatrace"
+	// TracerChameleon is the paper's system: online clustering with K
+	// lead ranks and an incrementally grown online trace.
+	TracerChameleon Tracer = "chameleon"
+	// TracerACURDION clusters once, in Finalize (Table III baseline).
+	TracerACURDION Tracer = "acurdion"
+	// TracerAutoChameleon is Chameleon with automatic marker insertion:
+	// no application Marker calls needed — a recurring collective call
+	// site is discovered and used as the timestep anchor (the paper's
+	// discussion item on automating marker placement).
+	TracerAutoChameleon Tracer = "chameleon-auto"
+)
+
+// Config parameterizes a traced run.
+type Config struct {
+	// P is the rank count.
+	P int
+	// Tracer selects the tool (TracerNone by default).
+	Tracer Tracer
+	// K is the cluster budget (Chameleon/ACURDION); 0 uses 9.
+	K int
+	// Freq is Chameleon's Call_Frequency; 0 uses 1.
+	Freq int
+	// Algo names the selector: "k-farthest" (default), "k-medoid",
+	// "k-random".
+	Algo string
+	// SigFiltered selects the filtered Call-Path construction.
+	SigFiltered bool
+	// Filter enables the loop-parameter filter during merges.
+	Filter bool
+	// Model prices the simulated machine (DefaultModel if zero).
+	Model CostModel
+	// Benchmark labels the run in the trace file metadata.
+	Benchmark string
+}
+
+// Output captures everything a traced run produces.
+type Output struct {
+	// P is the rank count.
+	P int
+	// Time is the virtual makespan, including tracing overhead.
+	Time Duration
+	// Overhead is the aggregate tracing-layer time across ranks.
+	Overhead Duration
+	// OverheadBy splits Overhead by activity: "intra", "marker",
+	// "cluster", "intercomp".
+	OverheadBy map[string]Duration
+	// Trace is the resulting global trace (nil under TracerNone).
+	Trace *TraceFile
+	// StateCalls counts marker calls per transition-graph state
+	// (Chameleon only): "AT", "C", "L", "F".
+	StateCalls map[string]int
+	// Reclusterings is the paper's r (Chameleon only).
+	Reclusterings int
+	// Leads is the most recent lead-rank set (clustering tracers).
+	Leads []int
+	// CallPathClusters is the number of Call-Path groups at the last
+	// clustering (Chameleon only).
+	CallPathClusters int
+	// SpaceByState is per-rank trace bytes allocated per state
+	// (Chameleon only; indexed [rank][AT,C,L,F]).
+	SpaceByState [][4]int
+	// AllocBytes is per-rank cumulative trace allocation (ScalaTrace
+	// and ACURDION).
+	AllocBytes []int
+	// OnlineBytes is rank 0's online-trace allocation (Chameleon only).
+	OnlineBytes int
+	// Energy estimates the run's energy and the DVFS saving available
+	// from ranks whose tracing clustering disabled (the paper's future
+	// work; zero saving for non-clustering tracers).
+	Energy EnergyReport
+}
+
+func (c Config) sigMode() tracer.SigMode {
+	if c.SigFiltered {
+		return tracer.SigFiltered
+	}
+	return tracer.SigFull
+}
+
+// Run executes body on cfg.P simulated ranks under the configured
+// tracer and returns the run's outputs.
+func Run(cfg Config, body func(*Proc)) (*Output, error) {
+	if cfg.P <= 0 {
+		return nil, fmt.Errorf("chameleon: invalid rank count %d", cfg.P)
+	}
+	mcfg := mpi.Config{P: cfg.P, Model: cfg.Model}
+
+	out := &Output{P: cfg.P}
+	var finish func(res *mpi.Result)
+
+	switch cfg.Tracer {
+	case "", TracerNone:
+		finish = func(*mpi.Result) {}
+	case TracerScalaTrace:
+		col := scalatrace.NewCollector(cfg.P)
+		mcfg.Hooks = scalatrace.New(col, scalatrace.Options{SigMode: cfg.sigMode(), Filter: cfg.Filter})
+		finish = func(*mpi.Result) {
+			out.Trace = col.File(cfg.P, cfg.Benchmark, cfg.Filter)
+			out.AllocBytes = col.AllocBytes
+		}
+	case TracerChameleon:
+		col := core.NewCollector(cfg.P)
+		mcfg.Hooks = core.New(col, core.Options{
+			K:             cfg.K,
+			Algo:          cluster.ParseAlgorithm(cfg.Algo),
+			CallFrequency: cfg.Freq,
+			SigMode:       cfg.sigMode(),
+			Filter:        cfg.Filter,
+		})
+		finish = func(res *mpi.Result) {
+			model := cfg.Model
+			if (model == CostModel{}) {
+				model = DefaultModel()
+			}
+			saved := make([]vtime.Duration, cfg.P)
+			for r := 0; r < cfg.P; r++ {
+				saved[r] = energy.SavedTracingWork(model, col.ObservedPerRank[r], col.RecordedPerRank[r])
+			}
+			out.Energy = energy.Estimate(energy.Default(),
+				energy.UsageFromLedgers(res.Clocks, res.Ledgers, saved))
+			out.Trace = col.File(cfg.P, cfg.Benchmark, cfg.Filter)
+			out.StateCalls = map[string]int{}
+			for s := core.StateAT; s < core.NumStates; s++ {
+				out.StateCalls[s.String()] = col.StateCalls[s]
+			}
+			out.Reclusterings = col.Reclusterings
+			out.Leads = col.LeadRanks
+			out.CallPathClusters = col.CallPathClusters
+			out.SpaceByState = make([][4]int, cfg.P)
+			for r, row := range col.SpaceByState {
+				out.SpaceByState[r] = [4]int(row)
+			}
+			out.OnlineBytes = col.OnlineBytes
+		}
+	case TracerAutoChameleon:
+		col := core.NewCollector(cfg.P)
+		mcfg.Hooks = core.NewAuto(col, core.AutoOptions{
+			Options: core.Options{
+				K:       cfg.K,
+				Algo:    cluster.ParseAlgorithm(cfg.Algo),
+				SigMode: cfg.sigMode(),
+				Filter:  cfg.Filter,
+			},
+			Frequency: cfg.Freq,
+		})
+		finish = func(*mpi.Result) {
+			out.Trace = col.File(cfg.P, cfg.Benchmark, cfg.Filter)
+			out.StateCalls = map[string]int{}
+			for s := core.StateAT; s < core.NumStates; s++ {
+				out.StateCalls[s.String()] = col.StateCalls[s]
+			}
+			out.Reclusterings = col.Reclusterings
+			out.Leads = col.LeadRanks
+			out.CallPathClusters = col.CallPathClusters
+		}
+	case TracerACURDION:
+		col := acurdion.NewCollector(cfg.P)
+		mcfg.Hooks = acurdion.New(col, acurdion.Options{
+			K:       cfg.K,
+			Algo:    cluster.ParseAlgorithm(cfg.Algo),
+			SigMode: cfg.sigMode(),
+			Filter:  cfg.Filter,
+		})
+		finish = func(*mpi.Result) {
+			out.Trace = col.File(cfg.P, cfg.Benchmark, cfg.Filter)
+			out.AllocBytes = col.AllocBytes
+			out.Leads = col.LeadRanks
+		}
+	default:
+		return nil, fmt.Errorf("chameleon: unknown tracer %q", cfg.Tracer)
+	}
+
+	res, err := mpi.Run(mcfg, body)
+	if err != nil {
+		return nil, err
+	}
+	if out.Energy == (EnergyReport{}) && cfg.Tracer != TracerChameleon {
+		out.Energy = energy.Estimate(energy.Default(),
+			energy.UsageFromLedgers(res.Clocks, res.Ledgers, nil))
+	}
+	out.Time = res.Makespan
+	agg := res.AggregateLedger()
+	out.Overhead = agg.Overhead()
+	out.OverheadBy = map[string]Duration{
+		"intra":     agg.Spent(vtime.CatIntra),
+		"marker":    agg.Spent(vtime.CatMarker),
+		"cluster":   agg.Spent(vtime.CatCluster),
+		"intercomp": agg.Spent(vtime.CatInterComp),
+	}
+	finish(res)
+	return out, nil
+}
+
+// NewBenchmark builds the spec for one of the paper's benchmarks
+// ("BT", "LU", "SP", "CG", "POP", "S3D", "LUW", "EMF") at the given NPB
+// class ("A".."D") and rank count.
+func NewBenchmark(name, class string, p int) (Spec, error) {
+	return apps.Registry(name, apps.ParseClass(class), p)
+}
+
+// RunBenchmark traces one of the paper's benchmarks with its Table I/II
+// parameters (K, Call_Frequency, signature mode). Non-nil overrides are
+// applied on top of the spec defaults.
+func RunBenchmark(name, class string, p int, tr Tracer, override *Config) (*Output, error) {
+	spec, err := NewBenchmark(name, class, p)
+	if err != nil {
+		return nil, err
+	}
+	return RunSpec(spec, tr, override)
+}
+
+// RunSpec traces a prepared benchmark spec. Markers are inserted only
+// for the Chameleon tracer (the baselines run unmodified binaries, as in
+// the paper); the marker period defaults to the spec's Table II
+// frequency and can be overridden via override.Freq.
+func RunSpec(spec Spec, tr Tracer, override *Config) (*Output, error) {
+	cfg := Config{
+		P:           spec.P,
+		Tracer:      tr,
+		K:           spec.K,
+		Freq:        1, // engage every executed marker
+		SigFiltered: spec.SigMode == tracer.SigFiltered,
+		Filter:      spec.Filter,
+		Benchmark:   spec.Name,
+	}
+	markerFreq := spec.Freq
+	if override != nil {
+		if override.K > 0 {
+			cfg.K = override.K
+		}
+		if override.Freq > 0 {
+			markerFreq = override.Freq
+		}
+		if override.Algo != "" {
+			cfg.Algo = override.Algo
+		}
+		zero := CostModel{}
+		if override.Model != zero {
+			cfg.Model = override.Model
+		}
+	}
+	if tr == TracerAutoChameleon {
+		// Automatic marker insertion needs no in-application markers;
+		// the frequency steers the anchor firing rate instead.
+		cfg.Freq = markerFreq
+	}
+	body := spec.Make(apps.BodyOpts{Freq: markerFreq, Markers: tr == TracerChameleon})
+	return Run(cfg, body)
+}
+
+// Replay interprets a global trace on f.P simulated ranks and returns
+// the replay makespan (ScalaReplay; cluster-aware for clustered traces).
+func Replay(f *TraceFile, model CostModel) (*ReplayResult, error) {
+	return replay.Run(f, model)
+}
+
+// Accuracy is the paper's metric ACC = 1 − |t−t′|/t.
+func Accuracy(t, tPrime Duration) float64 { return replay.Accuracy(t, tPrime) }
+
+// Benchmarks lists the available benchmark names.
+func Benchmarks() []string { return apps.Names() }

@@ -1,0 +1,39 @@
+// Command chamdump pretty-prints a compressed trace file as an indented
+// PRSD listing: loops with iteration counts, events with stack
+// signatures, end-point encodings, rank lists and delta-time histograms.
+//
+// Usage:
+//
+//	chamdump lu.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chameleon/internal/trace"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print summary statistics only")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: chamdump [-stats] trace-file")
+		os.Exit(2)
+	}
+	f, err := trace.LoadAny(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chamdump: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# tracer=%s benchmark=%s P=%d clustered=%v filter=%v\n",
+		f.Tracer, f.Benchmark, f.P, f.Clustered, f.Filter)
+	fmt.Printf("# nodes=%d leaves=%d dynamic-events=%d size=%dB\n",
+		trace.NodeCount(f.Nodes), trace.LeafCount(f.Nodes),
+		trace.DynamicEvents(f.Nodes), trace.SizeBytes(f.Nodes))
+	if *stats {
+		return
+	}
+	fmt.Print(trace.Format(f.Nodes))
+}

@@ -1,0 +1,77 @@
+// Command chamexp regenerates the paper's evaluation: every table and
+// figure (Tables I-IV, Figures 4-11) measured on the simulated runtime.
+//
+// Usage:
+//
+//	chamexp [-full] [-only id] [-list]
+//
+// By default chamexp runs laptop-scale parameters (P up to 64); -full
+// runs the paper-scale parameters (P up to 1024, EMF up to 1001), which
+// takes substantially longer. -only runs a single experiment by id
+// (table1..table4, fig4..fig11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chameleon/internal/exp"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run paper-scale parameters (P up to 1024)")
+	only := flag.String("only", "", "run a single experiment id (e.g. fig4)")
+	ext := flag.Bool("ext", false, "run the beyond-the-paper extension experiments")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		for _, id := range exp.ExtensionIDs() {
+			fmt.Println(id, "(extension)")
+		}
+		return
+	}
+
+	params := exp.Quick()
+	if *full {
+		params = exp.Full()
+	}
+
+	if *only != "" {
+		run, ok := exp.Lookup(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chamexp: unknown experiment %q (use -list)\n", *only)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		table, err := run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chamexp: %s: %v\n", *only, err)
+			os.Exit(1)
+		}
+		fmt.Print(table.Render())
+		fmt.Printf("[%s completed in %v]\n", *only, time.Since(t0).Round(time.Millisecond))
+		return
+	}
+
+	ids := exp.IDs()
+	if *ext {
+		ids = exp.ExtensionIDs()
+	}
+	for _, id := range ids {
+		run, _ := exp.Lookup(id)
+		t0 := time.Now()
+		table, err := run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chamexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(table.Render())
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,77 @@
+// Command chamextrap extrapolates a compressed trace to a different rank
+// count (the ScalaExtrap companion capability): topological rank-list
+// classes re-instantiate on the target process grid, grid-dependent
+// end-point strides rescale, and (given multiple input traces)
+// computation deltas follow a fitted strong-scaling law.
+//
+// Usage:
+//
+//	chamextrap -target 1024 -o big.trace small.trace
+//	chamextrap -target 1024 -o big.trace p16.trace p64.trace p256.trace
+//
+// With multiple inputs (ascending P), the last is the structural source
+// and all contribute timing samples to the delta(P) = a + b/P fit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chameleon"
+	"chameleon/internal/extrap"
+	"chameleon/internal/trace"
+)
+
+func main() {
+	target := flag.Int("target", 0, "target rank count")
+	out := flag.String("o", "", "output trace path")
+	replayIt := flag.Bool("replay", false, "replay the extrapolated trace and report its makespan")
+	flag.Parse()
+
+	if *target <= 1 || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: chamextrap -target P [-o out.trace] [-replay] trace-file...")
+		os.Exit(2)
+	}
+
+	sources := make([]*trace.File, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		f, err := trace.LoadAny(path)
+		exitOn(err)
+		sources = append(sources, f)
+	}
+	base := sources[len(sources)-1]
+
+	result, err := extrap.Extrapolate(base, *target)
+	exitOn(err)
+	if len(sources) >= 2 {
+		exitOn(extrap.FitTiming(sources, result))
+		fmt.Printf("timing fitted from %d traces (P=", len(sources))
+		for i, s := range sources {
+			if i > 0 {
+				fmt.Print(",")
+			}
+			fmt.Print(s.P)
+		}
+		fmt.Println(")")
+	}
+	fmt.Printf("extrapolated %s trace: P=%d -> P=%d, %d nodes\n",
+		base.Benchmark, base.P, result.P, trace.NodeCount(result.Nodes))
+
+	if *out != "" {
+		exitOn(result.Save(*out))
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *replayIt {
+		res, err := chameleon.Replay(result, chameleon.DefaultModel())
+		exitOn(err)
+		fmt.Printf("replay at P=%d: %v (%d events)\n", result.P, res.Time, res.Events)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chamextrap: %v\n", err)
+		os.Exit(1)
+	}
+}

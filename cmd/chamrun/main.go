@@ -1,0 +1,71 @@
+// Command chamrun traces one of the paper's benchmarks on the simulated
+// MPI runtime and writes the resulting global trace file.
+//
+// Usage:
+//
+//	chamrun -bench LU -class D -p 64 -tracer chameleon -o lu.trace
+//
+// Tracers: none (timing only), scalatrace, chameleon, acurdion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"chameleon"
+)
+
+func main() {
+	bench := flag.String("bench", "LU", "benchmark: "+strings.Join(chameleon.Benchmarks(), ", "))
+	class := flag.String("class", "D", "NPB input class (A-D)")
+	p := flag.Int("p", 64, "number of ranks")
+	tr := flag.String("tracer", "chameleon", "tracer: none, scalatrace, chameleon, acurdion")
+	k := flag.Int("k", 0, "cluster budget K (0 = benchmark default)")
+	freq := flag.Int("freq", 0, "marker frequency in timesteps (0 = benchmark default)")
+	algo := flag.String("algo", "", "clustering algorithm: k-farthest, k-medoid, k-random")
+	out := flag.String("o", "", "trace output path (empty = don't write)")
+	useBinary := flag.Bool("binary", false, "write the trace in the compact binary format")
+	flag.Parse()
+
+	override := &chameleon.Config{K: *k, Freq: *freq, Algo: *algo}
+	res, err := chameleon.RunBenchmark(*bench, *class, *p, chameleon.Tracer(*tr), override)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chamrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark   %s class %s, P=%d, tracer=%s\n", *bench, *class, *p, *tr)
+	fmt.Printf("makespan    %v (virtual)\n", res.Time)
+	fmt.Printf("overhead    %v aggregate across ranks\n", res.Overhead)
+	keys := make([]string, 0, len(res.OverheadBy))
+	for k := range res.OverheadBy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-10s %v\n", k, res.OverheadBy[k])
+	}
+	if len(res.StateCalls) > 0 {
+		fmt.Printf("states      AT=%d C=%d L=%d F=%d (re-clusterings: %d, call-paths: %d)\n",
+			res.StateCalls["AT"], res.StateCalls["C"], res.StateCalls["L"], res.StateCalls["F"],
+			res.Reclusterings, res.CallPathClusters)
+		fmt.Printf("leads       %v\n", res.Leads)
+	}
+	if res.Trace != nil {
+		fmt.Printf("trace       %d top-level nodes\n", len(res.Trace.Nodes))
+		if *out != "" {
+			save := res.Trace.Save
+			if *useBinary {
+				save = res.Trace.SaveBinary
+			}
+			if err := save(*out); err != nil {
+				fmt.Fprintf(os.Stderr, "chamrun: save: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote       %s\n", *out)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command chamstat analyzes and compares compressed trace files:
+// summary statistics, per-rank communication volumes, the reconstructed
+// point-to-point communication matrix, and equivalence checks between
+// two traces (e.g., a Chameleon online trace vs. the ScalaTrace global
+// trace of the same run).
+//
+// Usage:
+//
+//	chamstat trace-file                 # summary
+//	chamstat -volumes trace-file        # per-rank volumes
+//	chamstat -matrix  trace-file        # communication matrix (sparse)
+//	chamstat -diff a.trace b.trace      # equivalence check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"chameleon/internal/analysis"
+	"chameleon/internal/trace"
+	"chameleon/internal/vtime"
+)
+
+func main() {
+	volumes := flag.Bool("volumes", false, "print per-rank communication volumes")
+	matrix := flag.Bool("matrix", false, "print the reconstructed communication matrix")
+	diff := flag.Bool("diff", false, "compare two traces for event equivalence")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: chamstat -diff a.trace b.trace")
+			os.Exit(2)
+		}
+		a, err := trace.LoadAny(flag.Arg(0))
+		exitOn(err)
+		b, err := trace.LoadAny(flag.Arg(1))
+		exitOn(err)
+		d := analysis.Compare(a, b)
+		if d.Equivalent() {
+			fmt.Println("traces are event-equivalent (same call sites, same per-rank dynamic counts)")
+			return
+		}
+		if len(d.MissingInB) > 0 {
+			fmt.Printf("call sites missing in %s: %d\n", flag.Arg(1), len(d.MissingInB))
+		}
+		if len(d.MissingInA) > 0 {
+			fmt.Printf("call sites missing in %s: %d\n", flag.Arg(0), len(d.MissingInA))
+		}
+		if len(d.EventDeltas) > 0 {
+			fmt.Printf("ranks with differing event counts: %d\n", len(d.EventDeltas))
+			ranks := make([]int, 0, len(d.EventDeltas))
+			for r := range d.EventDeltas {
+				ranks = append(ranks, r)
+			}
+			sort.Ints(ranks)
+			for _, r := range ranks[:min(10, len(ranks))] {
+				fmt.Printf("  rank %d: %+d events\n", r, d.EventDeltas[r])
+			}
+		}
+		os.Exit(1)
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: chamstat [-volumes|-matrix|-diff] trace-file")
+		os.Exit(2)
+	}
+	f, err := trace.LoadAny(flag.Arg(0))
+	exitOn(err)
+
+	switch {
+	case *volumes:
+		for _, v := range analysis.Volumes(f) {
+			fmt.Printf("rank %4d: sends=%d (%dB) recvs=%d collectives=%d\n",
+				v.Rank, v.SendEvents, v.SendBytes, v.RecvEvents, v.CollEvents)
+		}
+	case *matrix:
+		m := analysis.Matrix(f)
+		fmt.Printf("point-to-point messages: %d (unresolved: %d)\n", m.TotalMessages(), m.Unresolved)
+		srcs := make([]int, 0, len(m.Counts))
+		for s := range m.Counts {
+			srcs = append(srcs, s)
+		}
+		sort.Ints(srcs)
+		for _, s := range srcs {
+			dsts := make([]int, 0, len(m.Counts[s]))
+			for d := range m.Counts[s] {
+				dsts = append(dsts, d)
+			}
+			sort.Ints(dsts)
+			for _, d := range dsts {
+				fmt.Printf("  %4d -> %4d: %8d msgs %12d bytes\n", s, d, m.Counts[s][d], m.Bytes[s][d])
+			}
+		}
+	default:
+		s := analysis.Summarize(f)
+		fmt.Printf("trace %s (%s, benchmark=%s, clustered=%v)\n", flag.Arg(0), f.Tracer, f.Benchmark, f.Clustered)
+		fmt.Print(s.String())
+		cp := analysis.CriticalPath(f, int64(vtime.Default().Alpha))
+		fmt.Printf("critical-path estimate: %v\n", vtime.Duration(cp))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chamstat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package chameleon_test
+
+import (
+	"fmt"
+	"log"
+
+	"chameleon"
+)
+
+// ExampleAccuracy shows the paper's replay-accuracy metric.
+func ExampleAccuracy() {
+	t := 100 * chameleon.Millisecond // unclustered replay time
+	tp := 95 * chameleon.Millisecond // clustered replay time
+	fmt.Printf("%.2f\n", chameleon.Accuracy(t, tp))
+	// Output: 0.95
+}
+
+// ExampleRun traces a small iterative kernel under Chameleon and prints
+// the transition-graph outcome — one clustering, then the lead phase.
+func ExampleRun() {
+	out, err := chameleon.Run(chameleon.Config{
+		P:      8,
+		Tracer: chameleon.TracerChameleon,
+		K:      2,
+	}, func(p *chameleon.Proc) {
+		w := p.World()
+		next := (p.Rank() + 1) % p.Size()
+		prev := (p.Rank() + p.Size() - 1) % p.Size()
+		for step := 0; step < 50; step++ {
+			p.Compute(100 * chameleon.Microsecond)
+			w.Sendrecv(next, 1, 512, nil, prev, 1)
+			if (step+1)%5 == 0 {
+				chameleon.Marker(p)
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clusterings: %d\n", out.Reclusterings)
+	fmt.Printf("states: AT=%d C=%d L=%d F=%d\n",
+		out.StateCalls["AT"], out.StateCalls["C"], out.StateCalls["L"], out.StateCalls["F"])
+	fmt.Printf("leads: %d of %d ranks\n", len(out.Leads), out.P)
+	// Output:
+	// clusterings: 1
+	// states: AT=1 C=1 L=8 F=1
+	// leads: 2 of 8 ranks
+}
+
+// ExampleReplay round-trips a benchmark through tracing and replay; the
+// clustered trace re-issues every rank's events.
+func ExampleReplay() {
+	out, err := chameleon.RunBenchmark("CG", "A", 8, chameleon.TracerChameleon, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := chameleon.Replay(out.Trace, chameleon.DefaultModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// CG: 75 iterations x (2 sendrecv + 2 allreduce) x 8 ranks.
+	fmt.Printf("replayed events: %d\n", rep.Events)
+	// Output: replayed events: 2400
+}
+
+// ExampleNewCart drives a halo exchange from a Cartesian topology.
+func ExampleNewCart() {
+	out, err := chameleon.Run(chameleon.Config{P: 6}, func(p *chameleon.Proc) {
+		cart, err := chameleon.NewCart(p.World(), []int{2, 3}, []bool{true, true})
+		if err != nil {
+			panic(err)
+		}
+		src, dst, _, _ := cart.Shift(1, 1)
+		p.World().Sendrecv(dst, 1, 64, nil, src, 1)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out.Time > 0)
+	// Output: true
+}

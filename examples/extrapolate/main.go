@@ -1,0 +1,68 @@
+// Extrapolate: record an application at two small scales, extrapolate
+// its trace to a much larger machine, and predict the communication
+// behavior there without ever running at that size — the ScalaExtrap
+// workflow on top of Chameleon traces. Also reports the DVFS energy
+// estimate of the paper's future-work section.
+//
+//	go run ./examples/extrapolate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chameleon"
+	"chameleon/internal/extrap"
+)
+
+func main() {
+	const (
+		bench  = "BT"
+		class  = "B"
+		small  = 16
+		medium = 36
+		target = 144
+	)
+
+	// Trace the code at two affordable scales.
+	runAt := func(p int) *chameleon.Output {
+		out, err := chameleon.RunBenchmark(bench, class, p, chameleon.TracerChameleon, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+	at16 := runAt(small)
+	at36 := runAt(medium)
+	fmt.Printf("%s class %s traced at P=%d and P=%d\n", bench, class, small, medium)
+	fmt.Printf("  energy (P=%d): %s\n", medium, at36.Energy.String())
+
+	// Extrapolate structurally from the larger trace, fit timing from
+	// both.
+	predicted, err := extrap.Extrapolate(at36.Trace, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := extrap.FitTiming(
+		[]*chameleon.TraceFile{at16.Trace, at36.Trace}, predicted); err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the prediction at the target scale.
+	rep, err := chameleon.Replay(predicted, chameleon.DefaultModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  extrapolated to P=%d: replay %v, %d events\n", target, rep.Time, rep.Events)
+
+	// Validate against an actual run at the target scale.
+	actual := runAt(target)
+	actualRep, err := chameleon.Replay(actual.Trace, chameleon.DefaultModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  actual run at P=%d:   replay %v, %d events\n", target, actualRep.Time, actualRep.Events)
+	fmt.Printf("  event counts match:   %v\n", rep.Events == actualRep.Events)
+	fmt.Printf("  makespan prediction:  %.2f%% accurate\n",
+		chameleon.Accuracy(actualRep.Time, rep.Time)*100)
+}

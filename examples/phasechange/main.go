@@ -1,0 +1,99 @@
+// Phasechange: demonstrate the transition graph under program phases. A
+// multi-phase solver alternates between a halo-exchange phase and a
+// transpose-collective phase; at each boundary the Call-Path signature
+// changes, Chameleon flushes the lead traces into the online trace and
+// re-clusters for the new phase — the behavior Figure 3 of the paper
+// illustrates.
+//
+//	go run ./examples/phasechange
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chameleon"
+)
+
+const (
+	ranks          = 16
+	stepsPerPhase  = 40
+	phases         = 4
+	bytesPerPacket = 8192
+)
+
+func solver(p *chameleon.Proc) {
+	w := p.World()
+	rank := p.Rank()
+	next := (rank + 1) % p.Size()
+	prev := (rank + p.Size() - 1) % p.Size()
+
+	for phase := 0; phase < phases; phase++ {
+		for step := 0; step < stepsPerPhase; step++ {
+			p.Compute(1 * chameleon.Millisecond)
+			if phase%2 == 0 {
+				// Phase A: ring halo exchange.
+				w.Sendrecv(next, 11, bytesPerPacket, nil, prev, 11)
+				w.Sendrecv(prev, 12, bytesPerPacket, nil, next, 12)
+			} else {
+				// Phase B: transpose via all-to-all plus a reduction.
+				w.Alltoall(bytesPerPacket / p.Size())
+				w.Allreduce(8, uint64(rank), chameleon.OpSum)
+			}
+			chameleon.Marker(p)
+		}
+	}
+}
+
+func main() {
+	// Untraced reference for the accuracy metric (markers excluded —
+	// they only exist for Chameleon).
+	app, err := chameleon.Run(chameleon.Config{P: ranks}, solverNoMarkers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := chameleon.Run(chameleon.Config{
+		P:      ranks,
+		Tracer: chameleon.TracerChameleon,
+		K:      3,
+	}, solver)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("phase-change solver: %d ranks, %d phases x %d steps\n", ranks, phases, stepsPerPhase)
+	fmt.Printf("  makespan:       %v\n", out.Time)
+	fmt.Printf("  overhead:       %v\n", out.Overhead)
+	fmt.Printf("  states:         AT=%d C=%d L=%d F=%d\n",
+		out.StateCalls["AT"], out.StateCalls["C"], out.StateCalls["L"], out.StateCalls["F"])
+	fmt.Printf("  re-clusterings: %d (one per phase change, plus the first)\n", out.Reclusterings)
+
+	rep, err := chameleon.Replay(out.Trace, chameleon.DefaultModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  replay:         %v (%d events)\n", rep.Time, rep.Events)
+	fmt.Printf("  accuracy:       %.2f%% vs application\n",
+		chameleon.Accuracy(chameleon.Duration(app.Time), rep.Time)*100)
+}
+
+// solverNoMarkers is the same program without the tool-inserted markers.
+func solverNoMarkers(p *chameleon.Proc) {
+	w := p.World()
+	rank := p.Rank()
+	next := (rank + 1) % p.Size()
+	prev := (rank + p.Size() - 1) % p.Size()
+	for phase := 0; phase < phases; phase++ {
+		for step := 0; step < stepsPerPhase; step++ {
+			p.Compute(1 * chameleon.Millisecond)
+			if phase%2 == 0 {
+				w.Sendrecv(next, 11, bytesPerPacket, nil, prev, 11)
+				w.Sendrecv(prev, 12, bytesPerPacket, nil, next, 12)
+			} else {
+				w.Alltoall(bytesPerPacket / p.Size())
+				w.Allreduce(8, uint64(rank), chameleon.OpSum)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: trace one of the paper's benchmarks under Chameleon and
+// under plain ScalaTrace, compare their overheads, replay the clustered
+// trace and compute the paper's accuracy metric.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chameleon"
+)
+
+func main() {
+	const (
+		bench = "LU"
+		class = "C"
+		ranks = 32
+	)
+
+	// The uninstrumented application sets the baseline time.
+	app, err := chameleon.RunBenchmark(bench, class, ranks, chameleon.TracerNone, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ScalaTrace: every rank traces, one P-way merge in MPI_Finalize.
+	st, err := chameleon.RunBenchmark(bench, class, ranks, chameleon.TracerScalaTrace, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Chameleon: online clustering with K lead ranks.
+	ch, err := chameleon.RunBenchmark(bench, class, ranks, chameleon.TracerChameleon, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s class %s on %d simulated ranks\n", bench, class, ranks)
+	fmt.Printf("  application makespan:   %v\n", app.Time)
+	fmt.Printf("  ScalaTrace overhead:    %v\n", st.Overhead)
+	fmt.Printf("  Chameleon overhead:     %v  (%.1fx lower)\n",
+		ch.Overhead, float64(st.Overhead)/float64(ch.Overhead))
+	fmt.Printf("  transition graph:       AT=%d C=%d L=%d F=%d\n",
+		ch.StateCalls["AT"], ch.StateCalls["C"], ch.StateCalls["L"], ch.StateCalls["F"])
+	fmt.Printf("  lead ranks:             %v (of %d Call-Path classes)\n",
+		ch.Leads, ch.CallPathClusters)
+
+	// Replay both traces; clustered replay re-interprets each lead trace
+	// on every rank of its cluster.
+	stRep, err := chameleon.Replay(st.Trace, chameleon.DefaultModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	chRep, err := chameleon.Replay(ch.Trace, chameleon.DefaultModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  replay (ScalaTrace):    %v\n", stRep.Time)
+	fmt.Printf("  replay (Chameleon):     %v\n", chRep.Time)
+	fmt.Printf("  accuracy vs ScalaTrace: %.2f%%\n",
+		chameleon.Accuracy(stRep.Time, chRep.Time)*100)
+	fmt.Printf("  accuracy vs app:        %.2f%%\n",
+		chameleon.Accuracy(chameleon.Duration(app.Time), chRep.Time)*100)
+}

@@ -1,0 +1,78 @@
+package acurdion
+
+import (
+	"testing"
+
+	"chameleon/internal/cluster"
+	"chameleon/internal/mpi"
+	"chameleon/internal/trace"
+	"chameleon/internal/vtime"
+)
+
+func ring(steps int) func(*mpi.Proc) {
+	return func(p *mpi.Proc) {
+		w := p.World()
+		next := (p.Rank() + 1) % p.Size()
+		prev := (p.Rank() + p.Size() - 1) % p.Size()
+		for it := 0; it < steps; it++ {
+			p.Compute(50 * vtime.Microsecond)
+			w.Sendrecv(next, 1, 128, nil, prev, 1)
+		}
+	}
+}
+
+func TestFinalizeClustering(t *testing.T) {
+	const P = 8
+	col := NewCollector(P)
+	res, err := mpi.Run(mpi.Config{P: P, Hooks: New(col, Options{K: 3, Algo: cluster.KFarthest})}, ring(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.LeadRanks) != 3 {
+		t.Fatalf("leads = %v", col.LeadRanks)
+	}
+	if len(col.Global) == 0 {
+		t.Fatalf("no global trace")
+	}
+	// Cluster rank lists cover every rank.
+	for r := 0; r < P; r++ {
+		covered := false
+		var walk func(seq []*trace.Node)
+		walk = func(seq []*trace.Node) {
+			for _, n := range seq {
+				if n.IsLoop() {
+					walk(n.Body)
+				} else if n.Ranks.Contains(r) {
+					covered = true
+				}
+			}
+		}
+		walk(col.Global)
+		if !covered {
+			t.Fatalf("rank %d not covered", r)
+		}
+	}
+	// ACURDION pays clustering once but full tracing everywhere: every
+	// rank allocated trace space (Table IV's comparison point).
+	for r, b := range col.AllocBytes {
+		if b <= 0 {
+			t.Fatalf("rank %d allocated %d", r, b)
+		}
+	}
+	agg := res.AggregateLedger()
+	if agg.Spent(vtime.CatCluster) <= 0 || agg.Spent(vtime.CatInterComp) <= 0 {
+		t.Fatalf("cost categories empty: %v %v",
+			agg.Spent(vtime.CatCluster), agg.Spent(vtime.CatInterComp))
+	}
+}
+
+func TestFileMetadata(t *testing.T) {
+	col := NewCollector(4)
+	if _, err := mpi.Run(mpi.Config{P: 4, Hooks: New(col, Options{K: 2})}, ring(10)); err != nil {
+		t.Fatal(err)
+	}
+	f := col.File(4, "RING", false)
+	if !f.Clustered || f.Tracer != "acurdion" {
+		t.Fatalf("metadata: %+v", f)
+	}
+}

@@ -1,0 +1,301 @@
+// Package analysis inspects and compares compressed trace files: summary
+// statistics, per-rank communication volumes, a reconstructed
+// point-to-point communication matrix, and structural comparison of two
+// traces (the checks behind "Chameleon does not miss any MPI event").
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chameleon/internal/mpi"
+	"chameleon/internal/trace"
+)
+
+// Summary is the headline statistics of one trace file.
+type Summary struct {
+	P             int
+	Nodes         int
+	Leaves        int
+	DynamicEvents uint64
+	DistinctSites int
+	SizeBytes     int
+	// MaxLoopDepth is the deepest PRSD nesting.
+	MaxLoopDepth int
+	// CompressionRatio is dynamic events per stored leaf (higher =
+	// better loop compression).
+	CompressionRatio float64
+	// OpCounts tallies dynamic events per MPI operation.
+	OpCounts map[string]uint64
+}
+
+// Summarize computes the Summary of a trace file.
+func Summarize(f *trace.File) Summary {
+	s := Summary{
+		P:             f.P,
+		Nodes:         trace.NodeCount(f.Nodes),
+		Leaves:        trace.LeafCount(f.Nodes),
+		DynamicEvents: trace.DynamicEvents(f.Nodes),
+		SizeBytes:     trace.SizeBytes(f.Nodes),
+		OpCounts:      map[string]uint64{},
+	}
+	sites := map[uint64]struct{}{}
+	trace.CollectStacks(f.Nodes, sites)
+	s.DistinctSites = len(sites)
+	s.MaxLoopDepth = maxDepth(f.Nodes, 0)
+	var walk func(seq []*trace.Node, mult uint64)
+	walk = func(seq []*trace.Node, mult uint64) {
+		for _, n := range seq {
+			if n.IsLoop() {
+				walk(n.Body, mult*n.MeanIters())
+			} else {
+				s.OpCounts[n.Ev.Op.String()] += mult
+			}
+		}
+	}
+	walk(f.Nodes, 1)
+	if s.Leaves > 0 {
+		s.CompressionRatio = float64(s.DynamicEvents) / float64(s.Leaves)
+	}
+	return s
+}
+
+func maxDepth(seq []*trace.Node, depth int) int {
+	max := depth
+	for _, n := range seq {
+		if n.IsLoop() {
+			if d := maxDepth(n.Body, depth+1); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P=%d nodes=%d leaves=%d events=%d sites=%d size=%dB depth=%d ratio=%.1fx\n",
+		s.P, s.Nodes, s.Leaves, s.DynamicEvents, s.DistinctSites, s.SizeBytes,
+		s.MaxLoopDepth, s.CompressionRatio)
+	ops := make([]string, 0, len(s.OpCounts))
+	for op := range s.OpCounts {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Fprintf(&b, "  %-10s %d\n", op, s.OpCounts[op])
+	}
+	return b.String()
+}
+
+// Volume is one rank's communication totals.
+type Volume struct {
+	Rank       int
+	SendEvents uint64
+	SendBytes  uint64
+	RecvEvents uint64
+	CollEvents uint64
+}
+
+// Volumes reconstructs per-rank communication volumes from a trace.
+func Volumes(f *trace.File) []Volume {
+	out := make([]Volume, f.P)
+	for r := range out {
+		out[r].Rank = r
+	}
+	var walk func(seq []*trace.Node, mult uint64)
+	walk = func(seq []*trace.Node, mult uint64) {
+		for _, n := range seq {
+			if n.IsLoop() {
+				walk(n.Body, mult*n.MeanIters())
+				continue
+			}
+			for _, r := range n.Ranks.Ranks() {
+				if r < 0 || r >= f.P {
+					continue
+				}
+				v := &out[r]
+				switch {
+				case n.Ev.Op == mpi.OpSend || n.Ev.Op == mpi.OpIsend:
+					v.SendEvents += mult
+					v.SendBytes += mult * uint64(n.Ev.Bytes)
+				case n.Ev.Op == mpi.OpRecv || n.Ev.Op == mpi.OpIrecv:
+					v.RecvEvents += mult
+				case n.Ev.Op == mpi.OpSendrecv:
+					v.SendEvents += mult
+					v.SendBytes += mult * uint64(n.Ev.Bytes)
+					v.RecvEvents += mult
+				case n.Ev.Op.IsCollective():
+					v.CollEvents += mult
+				}
+			}
+		}
+	}
+	walk(f.Nodes, 1)
+	return out
+}
+
+// CommMatrix reconstructs the point-to-point communication matrix
+// (message counts keyed by [src][dst]) by resolving each send leaf's
+// end-point for every covered rank. Wildcard/reply encodings cannot be
+// attributed to a single peer and are tallied under Unresolved.
+type CommMatrix struct {
+	P          int
+	Counts     map[int]map[int]uint64
+	Bytes      map[int]map[int]uint64
+	Unresolved uint64
+}
+
+// Matrix reconstructs the communication matrix of a trace.
+func Matrix(f *trace.File) *CommMatrix {
+	m := &CommMatrix{P: f.P, Counts: map[int]map[int]uint64{}, Bytes: map[int]map[int]uint64{}}
+	var walk func(seq []*trace.Node, mult uint64)
+	walk = func(seq []*trace.Node, mult uint64) {
+		for _, n := range seq {
+			if n.IsLoop() {
+				walk(n.Body, mult*n.MeanIters())
+				continue
+			}
+			op := n.Ev.Op
+			if op != mpi.OpSend && op != mpi.OpIsend && op != mpi.OpSendrecv {
+				continue
+			}
+			for _, src := range n.Ranks.Ranks() {
+				dst, ok := resolve(n.Ev.Dest, src, f.P)
+				if !ok {
+					m.Unresolved += mult
+					continue
+				}
+				m.add(src, dst, mult, mult*uint64(n.Ev.Bytes))
+			}
+		}
+	}
+	walk(f.Nodes, 1)
+	return m
+}
+
+func (m *CommMatrix) add(src, dst int, count, bytes uint64) {
+	if m.Counts[src] == nil {
+		m.Counts[src] = map[int]uint64{}
+		m.Bytes[src] = map[int]uint64{}
+	}
+	m.Counts[src][dst] += count
+	m.Bytes[src][dst] += bytes
+}
+
+func resolve(e trace.Endpoint, self, p int) (int, bool) {
+	r, ok := e.Resolve(self)
+	if !ok {
+		return 0, false
+	}
+	return ((r % p) + p) % p, true
+}
+
+// TotalMessages sums the matrix.
+func (m *CommMatrix) TotalMessages() uint64 {
+	var total uint64
+	for _, row := range m.Counts {
+		for _, c := range row {
+			total += c
+		}
+	}
+	return total
+}
+
+// Diff compares two traces of the same run: call-site coverage and
+// per-rank dynamic event counts. Empty results mean the traces are
+// equivalent by these measures — the Chameleon-vs-ScalaTrace check.
+type Diff struct {
+	// MissingSites lists call sites present in A but not B (and vice
+	// versa).
+	MissingInB []uint64
+	MissingInA []uint64
+	// EventDeltas maps rank -> (eventsA - eventsB) for ranks that
+	// disagree.
+	EventDeltas map[int]int64
+}
+
+// Equivalent reports whether the diff is empty.
+func (d *Diff) Equivalent() bool {
+	return len(d.MissingInA) == 0 && len(d.MissingInB) == 0 && len(d.EventDeltas) == 0
+}
+
+// Compare diffs two trace files.
+func Compare(a, b *trace.File) *Diff {
+	d := &Diff{EventDeltas: map[int]int64{}}
+	sa, sb := map[uint64]struct{}{}, map[uint64]struct{}{}
+	trace.CollectStacks(a.Nodes, sa)
+	trace.CollectStacks(b.Nodes, sb)
+	for s := range sa {
+		if _, ok := sb[s]; !ok {
+			d.MissingInB = append(d.MissingInB, s)
+		}
+	}
+	for s := range sb {
+		if _, ok := sa[s]; !ok {
+			d.MissingInA = append(d.MissingInA, s)
+		}
+	}
+	p := a.P
+	if b.P > p {
+		p = b.P
+	}
+	for r := 0; r < p; r++ {
+		ea, eb := eventsForRank(a.Nodes, r), eventsForRank(b.Nodes, r)
+		if ea != eb {
+			d.EventDeltas[r] = int64(ea) - int64(eb)
+		}
+	}
+	sort.Slice(d.MissingInA, func(i, j int) bool { return d.MissingInA[i] < d.MissingInA[j] })
+	sort.Slice(d.MissingInB, func(i, j int) bool { return d.MissingInB[i] < d.MissingInB[j] })
+	return d
+}
+
+func eventsForRank(seq []*trace.Node, rank int) uint64 {
+	var total uint64
+	var walk func(seq []*trace.Node, mult uint64)
+	walk = func(seq []*trace.Node, mult uint64) {
+		for _, n := range seq {
+			if n.IsLoop() {
+				walk(n.Body, mult*n.MeanIters())
+			} else if n.Ranks.Contains(rank) {
+				total += mult
+			}
+		}
+	}
+	walk(seq, 1)
+	return total
+}
+
+// CriticalPath estimates the trace's serial lower bound: the maximum
+// over ranks of (compute deltas + per-event message latency), a cheap
+// replay-free makespan estimate.
+func CriticalPath(f *trace.File, alphaNs int64) int64 {
+	var worst int64
+	for r := 0; r < f.P; r++ {
+		var total int64
+		var walk func(seq []*trace.Node, mult uint64)
+		walk = func(seq []*trace.Node, mult uint64) {
+			for _, n := range seq {
+				if n.IsLoop() {
+					walk(n.Body, mult*n.MeanIters())
+					continue
+				}
+				if !n.Ranks.Contains(r) {
+					continue
+				}
+				if n.Delta != nil {
+					total += int64(mult) * n.Delta.Mean()
+				}
+				total += int64(mult) * alphaNs
+			}
+		}
+		walk(f.Nodes, 1)
+		if total > worst {
+			worst = total
+		}
+	}
+	return worst
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"testing"
+
+	"chameleon/internal/mpi"
+	"chameleon/internal/ranklist"
+	"chameleon/internal/sig"
+	"chameleon/internal/trace"
+)
+
+func mkFile(p int) *trace.File {
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	ranks := ranklist.FromRanks(all)
+	send := trace.Event{Op: mpi.OpSend, Stack: sig.Stack(sig.Mix(1)), Dest: trace.Relative(1), Tag: 1, Bytes: 100}
+	recv := trace.Event{Op: mpi.OpRecv, Stack: sig.Stack(sig.Mix(2)), Src: trace.Relative(-1), Tag: 1, Bytes: 100}
+	coll := trace.Event{Op: mpi.OpAllreduce, Stack: sig.Stack(sig.Mix(3)), Bytes: 8}
+	return &trace.File{
+		P: p,
+		Nodes: []*trace.Node{
+			trace.NewLoop(10, []*trace.Node{
+				trace.NewLeaf(send, ranks, 1000),
+				trace.NewLeaf(recv, ranks, 0),
+			}),
+			trace.NewLeaf(coll, ranks, 500),
+		},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(mkFile(4))
+	if s.P != 4 || s.Leaves != 3 || s.DistinctSites != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.DynamicEvents != 10*2+1 {
+		t.Fatalf("events = %d", s.DynamicEvents)
+	}
+	if s.MaxLoopDepth != 1 {
+		t.Fatalf("depth = %d", s.MaxLoopDepth)
+	}
+	if s.CompressionRatio != 7 {
+		t.Fatalf("ratio = %v", s.CompressionRatio)
+	}
+	if s.OpCounts["Send"] != 10 || s.OpCounts["Allreduce"] != 1 {
+		t.Fatalf("op counts: %v", s.OpCounts)
+	}
+	if s.String() == "" {
+		t.Fatalf("empty render")
+	}
+}
+
+func TestVolumes(t *testing.T) {
+	vols := Volumes(mkFile(4))
+	if len(vols) != 4 {
+		t.Fatalf("volumes = %d", len(vols))
+	}
+	for _, v := range vols {
+		if v.SendEvents != 10 || v.SendBytes != 1000 || v.RecvEvents != 10 || v.CollEvents != 1 {
+			t.Fatalf("rank %d: %+v", v.Rank, v)
+		}
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := Matrix(mkFile(4))
+	// Ring: each rank sends 10 messages to rank+1 mod 4.
+	if m.TotalMessages() != 40 {
+		t.Fatalf("total = %d", m.TotalMessages())
+	}
+	if m.Counts[0][1] != 10 || m.Counts[3][0] != 10 {
+		t.Fatalf("counts: %v", m.Counts)
+	}
+	if m.Bytes[0][1] != 1000 {
+		t.Fatalf("bytes: %v", m.Bytes)
+	}
+	if m.Unresolved != 0 {
+		t.Fatalf("unresolved = %d", m.Unresolved)
+	}
+}
+
+func TestMatrixUnresolved(t *testing.T) {
+	reply := trace.Event{Op: mpi.OpSend, Stack: 9, Dest: trace.Endpoint{Kind: trace.EPReplyToLast}, Bytes: 8}
+	f := &trace.File{P: 2, Nodes: []*trace.Node{trace.NewLeaf(reply, ranklist.SingleRank(0), 0)}}
+	m := Matrix(f)
+	if m.Unresolved != 1 || m.TotalMessages() != 0 {
+		t.Fatalf("unresolved = %d total = %d", m.Unresolved, m.TotalMessages())
+	}
+}
+
+func TestCompareEquivalent(t *testing.T) {
+	d := Compare(mkFile(4), mkFile(4))
+	if !d.Equivalent() {
+		t.Fatalf("identical traces differ: %+v", d)
+	}
+}
+
+func TestCompareFindsDifferences(t *testing.T) {
+	a, b := mkFile(4), mkFile(4)
+	// Remove the collective from b.
+	b.Nodes = b.Nodes[:1]
+	d := Compare(a, b)
+	if d.Equivalent() {
+		t.Fatalf("diff missed a dropped site")
+	}
+	if len(d.MissingInB) != 1 || len(d.MissingInA) != 0 {
+		t.Fatalf("missing: %v / %v", d.MissingInA, d.MissingInB)
+	}
+	if len(d.EventDeltas) != 4 {
+		t.Fatalf("event deltas: %v", d.EventDeltas)
+	}
+	if d.EventDeltas[0] != 1 {
+		t.Fatalf("delta = %d", d.EventDeltas[0])
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	got := CriticalPath(mkFile(4), 1000)
+	// Per rank: 10*(1000 delta + 1000 alpha) + 10*1000 alpha (recv) +
+	// (500 delta + 1000 alpha) for the collective.
+	want := int64(10*2000 + 10*1000 + 1500)
+	if got != want {
+		t.Fatalf("critical path = %d, want %d", got, want)
+	}
+}

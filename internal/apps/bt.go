@@ -1,0 +1,131 @@
+package apps
+
+import (
+	"chameleon/internal/mpi"
+	"chameleon/internal/tracer"
+	"chameleon/internal/vtime"
+)
+
+// BT reproduces the communication skeleton of NPB BT: the multipartition
+// scheme exchanges faces with logical ±1 and ±cols shifts over the full
+// rank ring, so every rank executes the identical call sequence with
+// identical (normalized) relative end-points — one Call-Path, fully
+// foldable, which is why the paper clusters BT with K=3 and sees a
+// single clustering per run. The paper runs class D for 250 timesteps
+// with Call_Frequency 25.
+func BT(class Class, p int) Spec {
+	return Spec{
+		Name:    "BT",
+		P:       p,
+		Iters:   250,
+		Freq:    25,
+		K:       3,
+		SigMode: tracer.SigFull,
+		Make: func(o BodyOpts) func(*mpi.Proc) {
+			return btBody(class, p, 250, o)
+		},
+	}
+}
+
+func btBody(class Class, p, iters int, o BodyOpts) func(*mpi.Proc) {
+	_, cols := grid2D(p)
+	compute := computeTime(8*vtime.Millisecond, class, p)
+	bytes := haloBytes(2048, class, p)
+	return func(proc *mpi.Proc) {
+		w := proc.World()
+		rank := proc.Rank()
+		shift := func(s int) int { return ((rank+s)%p + p) % p }
+		// btStages is the number of substitution stages per solve
+		// direction; each stage exchanges a distinctly-tagged block, so
+		// the intra-node trace keeps one PRSD leaf per stage — the
+		// realistic trace size (n in the tens) the paper's merge costs
+		// assume.
+		const btStages = 8
+		for it := 0; it < iters; it++ {
+			// copy_faces
+			proc.Compute(vtime.Duration(float64(compute) * jitter(rank, it, 0.02)))
+			w.Sendrecv(shift(1), 101, bytes, nil, shift(-1), 101)
+			w.Sendrecv(shift(-1), 102, bytes, nil, shift(1), 102)
+			w.Sendrecv(shift(cols), 103, bytes, nil, shift(-cols), 103)
+			w.Sendrecv(shift(-cols), 104, bytes, nil, shift(cols), 104)
+			// x_solve / y_solve: forward and backward substitution
+			// pipelines along both multipartition diagonals.
+			proc.Compute(vtime.Duration(float64(compute) * 0.5 * jitter(rank, it+iters, 0.02)))
+			for s := 0; s < btStages; s++ {
+				w.Sendrecv(shift(1), 110+s, bytes/4, nil, shift(-1), 110+s)
+			}
+			for s := 0; s < btStages; s++ {
+				w.Sendrecv(shift(-1), 120+s, bytes/4, nil, shift(1), 120+s)
+			}
+			// z_solve
+			proc.Compute(vtime.Duration(float64(compute) * 0.5 * jitter(rank, it+2*iters, 0.02)))
+			for s := 0; s < btStages; s++ {
+				w.Sendrecv(shift(cols), 130+s, bytes/4, nil, shift(-cols), 130+s)
+			}
+			for s := 0; s < btStages; s++ {
+				w.Sendrecv(shift(-cols), 140+s, bytes/4, nil, shift(cols), 140+s)
+			}
+			if markerAt(o, it) {
+				Marker(proc)
+			}
+		}
+		// Verification norm after the timestep loop.
+		w.Allreduce(8, uint64(rank), mpi.OpSum)
+	}
+}
+
+// SP reproduces NPB SP: the same multipartition face exchanges as BT
+// plus a per-timestep residual all-reduce, preceded by a setup phase
+// (grid metadata broadcast) that spans the first Call_Frequency+1
+// timesteps — producing the three All-Tracing marker calls Table II
+// reports before clustering engages. Class D runs 500 timesteps with
+// Call_Frequency 20 and K=3.
+func SP(class Class, p int) Spec {
+	return Spec{
+		Name:    "SP",
+		P:       p,
+		Iters:   500,
+		Freq:    20,
+		K:       3,
+		SigMode: tracer.SigFull,
+		Make: func(o BodyOpts) func(*mpi.Proc) {
+			return spBody(class, p, 500, 21, o)
+		},
+	}
+}
+
+func spBody(class Class, p, iters, setupLen int, o BodyOpts) func(*mpi.Proc) {
+	_, cols := grid2D(p)
+	compute := computeTime(6*vtime.Millisecond, class, p)
+	bytes := haloBytes(1536, class, p)
+	return func(proc *mpi.Proc) {
+		w := proc.World()
+		rank := proc.Rank()
+		shift := func(s int) int { return ((rank+s)%p + p) % p }
+		// SP's scalar pentadiagonal solves pipeline more, thinner stages
+		// than BT's block solves.
+		const spStages = 12
+		for it := 0; it < iters; it++ {
+			if it < setupLen {
+				// One-off setup: distribute grid metadata.
+				w.Bcast(0, 4096, nil)
+			}
+			proc.Compute(vtime.Duration(float64(compute) * jitter(rank, it, 0.02)))
+			w.Sendrecv(shift(1), 201, bytes, nil, shift(-1), 201)
+			w.Sendrecv(shift(-1), 202, bytes, nil, shift(1), 202)
+			w.Sendrecv(shift(cols), 203, bytes, nil, shift(-cols), 203)
+			w.Sendrecv(shift(-cols), 204, bytes, nil, shift(cols), 204)
+			proc.Compute(vtime.Duration(float64(compute) * 0.5 * jitter(rank, it+iters, 0.02)))
+			for s := 0; s < spStages; s++ {
+				w.Sendrecv(shift(1), 210+s, bytes/8, nil, shift(-1), 210+s)
+			}
+			for s := 0; s < spStages; s++ {
+				w.Sendrecv(shift(cols), 230+s, bytes/8, nil, shift(-cols), 230+s)
+			}
+			w.Allreduce(8, uint64(rank), mpi.OpMax)
+			if markerAt(o, it) {
+				Marker(proc)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package apps
+
+import (
+	"chameleon/internal/mpi"
+	"chameleon/internal/tracer"
+	"chameleon/internal/vtime"
+)
+
+// CG reproduces the communication skeleton of NPB CG: a conjugate
+// gradient solve whose sparse matrix-vector product exchanges partial
+// vectors with the transpose partner on a 2D process grid, bracketed by
+// the two dot-product all-reduces of each CG iteration. The paper cites
+// CG (SpMV in CSR format) as an irregular *computation* whose
+// communication stays regular — so clustering is unaffected; CG is
+// included here to exercise that claim.
+func CG(class Class, p int) Spec {
+	return Spec{
+		Name:    "CG",
+		P:       p,
+		Iters:   75,
+		Freq:    15,
+		K:       3,
+		SigMode: tracer.SigFull,
+		Make: func(o BodyOpts) func(*mpi.Proc) {
+			return cgBody(class, p, 75, o)
+		},
+	}
+}
+
+func cgBody(class Class, p, iters int, o BodyOpts) func(*mpi.Proc) {
+	compute := computeTime(7*vtime.Millisecond, class, p)
+	bytes := haloBytes(8192, class, p)
+	return func(proc *mpi.Proc) {
+		w := proc.World()
+		rank := proc.Rank()
+		shift := func(s int) int { return ((rank+s)%p + p) % p }
+		for it := 0; it < iters; it++ {
+			// SpMV: irregular CSR work (jittered compute), regular
+			// band-partitioned vector exchange with both neighbors.
+			proc.Compute(vtime.Duration(float64(compute) * jitter(rank, it, 0.08)))
+			w.Sendrecv(shift(1), 701, bytes, nil, shift(-1), 701)
+			w.Sendrecv(shift(-1), 702, bytes, nil, shift(1), 702)
+			// rho = r.r and alpha denominators.
+			w.Allreduce(8, uint64(rank), mpi.OpSum)
+			w.Allreduce(8, uint64(it), mpi.OpSum)
+			if markerAt(o, it) {
+				Marker(proc)
+			}
+		}
+	}
+}

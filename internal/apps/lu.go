@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"chameleon/internal/mpi"
+	"chameleon/internal/tracer"
+	"chameleon/internal/vtime"
+)
+
+// LU reproduces the communication skeleton of NPB LU: an SSOR solver
+// whose lower/upper sweeps pipeline wavefronts across a non-periodic 2D
+// process grid. Boundary ranks skip the exchanges their missing
+// neighbors would serve, so the grid splits into up to nine Call-Path
+// classes (interior, four edges, four corners) — hence the paper's K=9
+// for LU. Setup traffic spans the first Call_Frequency+1 timesteps,
+// yielding Table II's three All-Tracing calls. Class D runs 300
+// timesteps with Call_Frequency 20.
+func LU(class Class, p int) Spec {
+	iters := luIters(class)
+	return Spec{
+		Name:    "LU",
+		P:       p,
+		Iters:   iters,
+		Freq:    20,
+		K:       9,
+		SigMode: tracer.SigFull,
+		Make: func(o BodyOpts) func(*mpi.Proc) {
+			return luBody(p, iters, 21, 0, luStrongTimes(class, p), o)
+		},
+	}
+}
+
+// luIters gives the per-class timestep count (Figure 11 sweeps input
+// classes together with their timestep counts; class D is the paper's
+// 300-step configuration).
+func luIters(class Class) int {
+	switch class.Name {
+	case "A":
+		return 100
+	case "B":
+		return 160
+	case "C":
+		return 240
+	}
+	return 300
+}
+
+// LUWeak is LU under weak scaling (Table II row LUW): the per-rank
+// problem share is fixed, 250 timesteps, Call_Frequency 25, and the
+// weak-scaling inputs skip the setup broadcast (the run starts from a
+// restart file), so only the first marker call stays in All-Tracing.
+func LUWeak(class Class, p int) Spec {
+	return Spec{
+		Name:    "LUW",
+		P:       p,
+		Iters:   250,
+		Freq:    25,
+		K:       9,
+		SigMode: tracer.SigFull,
+		Make: func(o BodyOpts) func(*mpi.Proc) {
+			return luBody(p, 250, 0, 0, luWeakTimes(class), o)
+		},
+	}
+}
+
+// LUModified is the paper's re-clustering stressor (Figure 10): LU with
+// an extra barrier — a new Call-Path — injected every tenth timestep,
+// for the first 10*phases timesteps, forcing up to `phases` separate
+// re-clusterings.
+func LUModified(class Class, p, phases int) Spec {
+	s := LU(class, p)
+	s.Name = "LU*"
+	s.Make = func(o BodyOpts) func(*mpi.Proc) {
+		return luBody(p, 300, 21, phases, luStrongTimes(class, p), o)
+	}
+	return s
+}
+
+type luTimes struct {
+	compute vtime.Duration
+	bytes   int
+}
+
+func luStrongTimes(class Class, p int) luTimes {
+	return luTimes{
+		compute: computeTime(5*vtime.Millisecond, class, p),
+		bytes:   haloBytes(1024, class, p),
+	}
+}
+
+// luWeakTimes keeps the per-rank share constant regardless of P.
+func luWeakTimes(class Class) luTimes {
+	return luTimes{
+		compute: vtime.Duration(float64(5*vtime.Millisecond) * class.Scale),
+		bytes:   int(1024 * class.Scale),
+	}
+}
+
+func luBody(p, iters, setupLen, phases int, t luTimes, o BodyOpts) func(*mpi.Proc) {
+	rows, cols := grid2D(p)
+	return func(proc *mpi.Proc) {
+		w := proc.World()
+		rank := proc.Rank()
+		row, col := rank/cols, rank%cols
+		north, south := row > 0, row < rows-1
+		west, east := col > 0, col < cols-1
+		half := vtime.Duration(float64(t.compute) * 0.5)
+
+		for it := 0; it < iters; it++ {
+			if it < setupLen {
+				w.Bcast(0, 2048, nil)
+			}
+			if phases > 0 && it > 0 && it%10 == 0 && it <= 10*phases {
+				// Injected phase change: a previously unseen Call-Path.
+				w.Barrier()
+			}
+			// Lower-triangular sweep: wavefront flows NW -> SE, pipelined
+			// over k-plane blocks (distinct tags keep one PRSD leaf per
+			// block, as real LU's per-plane exchanges do).
+			const blocks = 8
+			for b := 0; b < blocks; b++ {
+				if north {
+					w.Recv(rank-cols, 310+b)
+				}
+				if west {
+					w.Recv(rank-1, 330+b)
+				}
+				proc.Compute(vtime.Duration(float64(half) / blocks * jitter(rank, it*blocks+b, 0.03)))
+				if south {
+					w.Send(rank+cols, 310+b, t.bytes, nil)
+				}
+				if east {
+					w.Send(rank+1, 330+b, t.bytes, nil)
+				}
+			}
+			// Upper-triangular sweep: wavefront flows SE -> NW.
+			for b := 0; b < blocks; b++ {
+				if south {
+					w.Recv(rank+cols, 350+b)
+				}
+				if east {
+					w.Recv(rank+1, 370+b)
+				}
+				proc.Compute(vtime.Duration(float64(half) / blocks * jitter(rank, (it+iters)*blocks+b, 0.03)))
+				if north {
+					w.Send(rank-cols, 350+b, t.bytes, nil)
+				}
+				if west {
+					w.Send(rank-1, 370+b, t.bytes, nil)
+				}
+			}
+			if markerAt(o, it) {
+				Marker(proc)
+			}
+		}
+		// Final l2-norm verification.
+		w.Allreduce(8, uint64(rank), mpi.OpSum)
+	}
+}

@@ -1,0 +1,114 @@
+package apps
+
+import (
+	"chameleon/internal/mpi"
+	"chameleon/internal/tracer"
+	"chameleon/internal/vtime"
+)
+
+// MG reproduces the communication skeleton of NPB MG: V-cycles over a
+// grid hierarchy whose halo exchanges reach neighbors at doubling
+// strides (rank ± 2^level over the rank ring). Every level's exchange
+// shares the call site but not the offset, so the compressed trace keeps
+// one leaf per level — a deeper, more varied PRSD than the stencil
+// codes, exercised by the same single Call-Path clustering as BT. Not
+// part of the paper's evaluation; included as an additional workload.
+func MG(class Class, p int) Spec {
+	return Spec{
+		Name:    "MG",
+		P:       p,
+		Iters:   20,
+		Freq:    4,
+		K:       3,
+		SigMode: tracer.SigFull,
+		Make: func(o BodyOpts) func(*mpi.Proc) {
+			return mgBody(class, p, 20, o)
+		},
+	}
+}
+
+func mgBody(class Class, p, iters int, o BodyOpts) func(*mpi.Proc) {
+	levels := 0
+	for 1<<uint(levels+1) < p {
+		levels++
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	compute := computeTime(9*vtime.Millisecond, class, p)
+	bytes := haloBytes(4096, class, p)
+	return func(proc *mpi.Proc) {
+		w := proc.World()
+		rank := proc.Rank()
+		shift := func(s int) int { return ((rank+s)%p + p) % p }
+		for it := 0; it < iters; it++ {
+			// Downward leg: restriction with halo exchange per level.
+			for l := 0; l < levels; l++ {
+				stride := 1 << uint(l)
+				proc.Compute(vtime.Duration(float64(compute) / float64(levels) * jitter(rank, it*levels+l, 0.03)))
+				w.Sendrecv(shift(stride), 801, bytes>>uint(l), nil, shift(-stride), 801)
+			}
+			// Coarsest-level solve: a reduction.
+			w.Allreduce(8, uint64(rank), mpi.OpSum)
+			// Upward leg: prolongation.
+			for l := levels - 1; l >= 0; l-- {
+				stride := 1 << uint(l)
+				proc.Compute(vtime.Duration(float64(compute) / float64(2*levels) * jitter(rank, it*levels+l+iters, 0.03)))
+				w.Sendrecv(shift(-stride), 802, bytes>>uint(l), nil, shift(stride), 802)
+			}
+			// Residual norm.
+			w.Allreduce(8, uint64(it), mpi.OpMax)
+			if markerAt(o, it) {
+				Marker(proc)
+			}
+		}
+	}
+}
+
+// FT reproduces the communication skeleton of NPB FT: per iteration, the
+// 3D FFT's distributed transposes — two all-to-all exchanges bracketing
+// the local FFT work — plus the periodic checksum reduction. The
+// all-to-all volume dominates, exercising the collective path of the
+// tracer. Not part of the paper's evaluation; included as an additional
+// workload.
+func FT(class Class, p int) Spec {
+	return Spec{
+		Name:    "FT",
+		P:       p,
+		Iters:   20,
+		Freq:    4,
+		K:       3,
+		SigMode: tracer.SigFull,
+		Make: func(o BodyOpts) func(*mpi.Proc) {
+			return ftBody(class, p, 20, o)
+		},
+	}
+}
+
+func ftBody(class Class, p, iters int, o BodyOpts) func(*mpi.Proc) {
+	compute := computeTime(14*vtime.Millisecond, class, p)
+	slab := haloBytes(32768, class, p)
+	return func(proc *mpi.Proc) {
+		w := proc.World()
+		rank := proc.Rank()
+		for it := 0; it < iters; it++ {
+			if it == 0 {
+				// Twiddle-factor setup.
+				w.Bcast(0, 8192, nil)
+			}
+			// FFT along the local dimensions.
+			proc.Compute(vtime.Duration(float64(compute) * jitter(rank, it, 0.02)))
+			// Transpose x<->z.
+			w.Alltoall(slab / p)
+			// FFT along the transposed dimension.
+			proc.Compute(vtime.Duration(float64(compute) * 0.5 * jitter(rank, it+iters, 0.02)))
+			// Transpose back.
+			w.Alltoall(slab / p)
+			// Checksum.
+			w.Allreduce(16, uint64(it), mpi.OpSum)
+			if markerAt(o, it) {
+				Marker(proc)
+			}
+		}
+	}
+}

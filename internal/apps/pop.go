@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"chameleon/internal/mpi"
+	"chameleon/internal/tracer"
+	"chameleon/internal/vtime"
+)
+
+// POP reproduces the communication skeleton of the Parallel Ocean
+// Program at one-degree resolution: per timestep a 2D halo exchange that
+// is periodic in longitude (uniform ring shifts) but bounded in latitude
+// (top row, bottom row and interior ranks execute different branches —
+// the three Call-Paths the paper clusters POP with, K=3), followed by
+// the barotropic solver, whose data-dependent iteration count varies
+// from timestep to timestep. The varying trip counts are exactly why POP
+// needs ScalaTrace's automatic parameter filter: with it, "the
+// communication pattern becomes regular and can be represented by 3
+// clusters". The paper traces 20 timesteps with a marker each.
+func POP(p int) Spec {
+	return Spec{
+		Name:    "POP",
+		P:       p,
+		Iters:   20,
+		Freq:    1,
+		K:       3,
+		SigMode: tracer.SigFiltered,
+		Filter:  true,
+		Make: func(o BodyOpts) func(*mpi.Proc) {
+			return popBody(p, 20, o)
+		},
+	}
+}
+
+// popSolverIters is the barotropic solver's data-dependent trip count at
+// a timestep — identical on every rank (convergence is decided by a
+// global residual), varying across timesteps.
+func popSolverIters(it int) int {
+	x := uint64(it+1) * 2654435761
+	x ^= x >> 16
+	return 20 + int(x%16)
+}
+
+func popBody(p, iters int, o BodyOpts) func(*mpi.Proc) {
+	rows, cols := grid2D(p)
+	// One-degree grid: fixed problem, strong scaling only.
+	compute := computeTime(10*vtime.Millisecond, ClassB, p)
+	bytes := haloBytes(4096, ClassB, p)
+	return func(proc *mpi.Proc) {
+		w := proc.World()
+		rank := proc.Rank()
+		row := rank / cols
+		north, south := row > 0, row < rows-1
+		shift := func(s int) int { return ((rank+s)%p + p) % p }
+
+		for it := 0; it < iters; it++ {
+			switch it {
+			case 0:
+				// Grid metadata distribution.
+				w.Bcast(0, 8192, nil)
+			case 1:
+				// Initial diagnostics gather.
+				w.Gather(0, 512, nil)
+			}
+			// Baroclinic stage: halo exchange, periodic in longitude.
+			proc.Compute(vtime.Duration(float64(compute) * jitter(rank, it, 0.04)))
+			w.Sendrecv(shift(1), 401, bytes, nil, shift(-1), 401)
+			w.Sendrecv(shift(-1), 402, bytes, nil, shift(1), 402)
+			// Bounded in latitude: boundary rows skip their missing side.
+			if south {
+				w.Send(rank+cols, 403, bytes, nil)
+			}
+			if north {
+				w.Recv(rank-cols, 403)
+				w.Send(rank-cols, 404, bytes, nil)
+			}
+			if south {
+				w.Recv(rank+cols, 404)
+			}
+			// Barotropic solver: conjugate-gradient iterations until the
+			// global residual converges — the trip count is data
+			// dependent and differs per timestep.
+			for k := 0; k < popSolverIters(it); k++ {
+				proc.Compute(vtime.Duration(float64(compute) / 20 * jitter(rank, it*100+k, 0.04)))
+				w.Allreduce(16, uint64(k), mpi.OpSum)
+			}
+			if markerAt(o, it) {
+				Marker(proc)
+			}
+		}
+	}
+}

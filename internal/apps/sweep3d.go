@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"chameleon/internal/mpi"
+	"chameleon/internal/tracer"
+	"chameleon/internal/vtime"
+)
+
+// Sweep3D reproduces the communication skeleton of the ASCI Sweep3D
+// particle-transport benchmark: a multidimensional wavefront over a
+// non-periodic 2D process grid, sweeping from each of the four grid
+// corners twice (the eight discrete-ordinate octants). Boundary ranks
+// take different branches per sweep direction, yielding up to nine
+// Call-Path classes (K=9). Sweep3D's characteristic load imbalance is
+// modeled as a deterministic per-rank computation skew; the imbalance
+// does not disturb clustering because delta times live in histograms
+// attached to repetitive signatures. The paper runs the 100x100x1000
+// problem for 10 timesteps with a marker each.
+func Sweep3D(p int) Spec {
+	return Spec{
+		Name:    "S3D",
+		P:       p,
+		Iters:   10,
+		Freq:    1,
+		K:       9,
+		SigMode: tracer.SigFull,
+		Make: func(o BodyOpts) func(*mpi.Proc) {
+			return sweepBody(p, 10, false, o)
+		},
+	}
+}
+
+// Sweep3DWeak is Sweep3D with a fixed per-rank subgrid (the paper's weak
+// scaling mode: the global mesh grows with the processor count).
+func Sweep3DWeak(p int) Spec {
+	s := Sweep3D(p)
+	s.Make = func(o BodyOpts) func(*mpi.Proc) {
+		return sweepBody(p, 10, true, o)
+	}
+	return s
+}
+
+func sweepBody(p, iters int, weak bool, o BodyOpts) func(*mpi.Proc) {
+	rows, cols := grid2D(p)
+	compute := computeTime(12*vtime.Millisecond, ClassC, p)
+	bytes := haloBytes(2048, ClassC, p)
+	if weak {
+		// Fixed per-rank share regardless of P.
+		compute = computeTime(12*vtime.Millisecond, ClassC, 256)
+		bytes = haloBytes(2048, ClassC, 256)
+	}
+	return func(proc *mpi.Proc) {
+		w := proc.World()
+		rank := proc.Rank()
+		row, col := rank/cols, rank%cols
+		north, south := row > 0, row < rows-1
+		west, east := col > 0, col < cols-1
+
+		// sweep pipelines one octant pair: receive the incoming wavefront
+		// faces, work the angle block, forward downstream. dr/dc give the
+		// sweep direction.
+		sweep := func(it, oct, dr, dc, tag int) {
+			recvN, sendS := dr > 0 && north, dr > 0 && south
+			recvS, sendN := dr < 0 && south, dr < 0 && north
+			recvW, sendE := dc > 0 && west, dc > 0 && east
+			recvE, sendW := dc < 0 && east, dc < 0 && west
+			if recvN {
+				w.Recv(rank-cols, tag)
+			}
+			if recvS {
+				w.Recv(rank+cols, tag)
+			}
+			if recvW {
+				w.Recv(rank-1, tag+1)
+			}
+			if recvE {
+				w.Recv(rank+1, tag+1)
+			}
+			// Load imbalance grows toward the far corner of the sweep.
+			skew := 1 + 0.1*float64((row*dr+col*dc+rows+cols)%7)/7
+			proc.Compute(vtime.Duration(float64(compute) / 8 * skew * jitter(rank, it*8+oct, 0.05)))
+			if sendS {
+				w.Send(rank+cols, tag, bytes, nil)
+			}
+			if sendN {
+				w.Send(rank-cols, tag, bytes, nil)
+			}
+			if sendE {
+				w.Send(rank+1, tag+1, bytes, nil)
+			}
+			if sendW {
+				w.Send(rank-1, tag+1, bytes, nil)
+			}
+		}
+
+		for it := 0; it < iters; it++ {
+			if it == 0 {
+				// One-off input distribution.
+				w.Bcast(0, 4096, nil)
+			}
+			// Eight octants: four corner origins, two angle blocks each.
+			for angle := 0; angle < 2; angle++ {
+				base := 500 + angle*8
+				sweep(it, angle*4+0, +1, +1, base)
+				sweep(it, angle*4+1, +1, -1, base+2)
+				sweep(it, angle*4+2, -1, +1, base+4)
+				sweep(it, angle*4+3, -1, -1, base+6)
+			}
+			// Flux fixup convergence check.
+			w.Allreduce(8, uint64(rank), mpi.OpMax)
+			if markerAt(o, it) {
+				Marker(proc)
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package cluster implements the signature-based clustering algorithms
+// Chameleon selects lead processes with (the paper's Algorithm 2 plus
+// the K-Farthest / K-Medoid / K-Random selectors studied in the authors'
+// prior work).
+//
+// Clustering operates on signatures, never on traces: each item is a
+// candidate cluster carrying a (Call-Path, SRC, DEST) signature triple
+// and the rank list it represents. Items are first partitioned by
+// Call-Path (every Call-Path keeps at least one representative so no MPI
+// event is lost), then within a partition the selector picks
+// K/NumCallPath representatives by SRC/DEST distance, and remaining
+// items merge into their closest selected cluster.
+package cluster
+
+import (
+	"sort"
+
+	"chameleon/internal/ranklist"
+	"chameleon/internal/sig"
+)
+
+// Item is one candidate cluster: a representative rank, the ranks it
+// stands for, and its signature triple.
+type Item struct {
+	Lead  int
+	Ranks ranklist.List
+	Sig   sig.Triple
+	// Variant records that members with *differing* SRC/DEST signatures
+	// were merged into this cluster: their end-point parameters are
+	// rank-dependent, so ScalaTrace's relative encoding is not location
+	// independent for them. The lead then pins its end-points to
+	// absolute ranks before the flush (the master/worker case), instead
+	// of letting every member transpose them.
+	Variant bool
+}
+
+// Algorithm selects which representative-selection strategy FindTopK
+// uses.
+type Algorithm int
+
+// Selection strategies.
+const (
+	// KFarthest greedily picks the item farthest from the selected set
+	// (maximal signature diversity).
+	KFarthest Algorithm = iota
+	// KMedoid runs a bounded PAM refinement that minimizes total
+	// distance from items to their representative.
+	KMedoid
+	// KRandom picks deterministically pseudo-random representatives
+	// (the baseline selector).
+	KRandom
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case KFarthest:
+		return "k-farthest"
+	case KMedoid:
+		return "k-medoid"
+	case KRandom:
+		return "k-random"
+	}
+	return "algo?"
+}
+
+// ParseAlgorithm maps a name to an Algorithm (KFarthest for unknown).
+func ParseAlgorithm(s string) Algorithm {
+	switch s {
+	case "k-medoid", "kmedoid", "medoid":
+		return KMedoid
+	case "k-random", "krandom", "random":
+		return KRandom
+	}
+	return KFarthest
+}
+
+// Result is the outcome of FindTopK: the representative items (each now
+// covering its own ranks plus every merged cluster's ranks) and the
+// amount of distance work performed (for cost accounting).
+type Result struct {
+	Top       []Item
+	Distances int
+}
+
+// FindTopK implements Algorithm 2: it selects up to k representatives
+// among items by SRC/DEST signature distance and merges every
+// non-selected item into its closest representative. Items must share a
+// Call-Path (the caller partitions first). The input order must be
+// deterministic; FindTopK sorts by lead rank to make sure.
+func FindTopK(items []Item, k int, algo Algorithm) Result {
+	var res Result
+	if len(items) == 0 || k <= 0 {
+		return res
+	}
+	its := append([]Item(nil), items...)
+	sort.Slice(its, func(i, j int) bool { return its[i].Lead < its[j].Lead })
+	if k >= len(its) {
+		res.Top = its
+		return res
+	}
+
+	var chosen []int
+	switch algo {
+	case KMedoid:
+		chosen = selectMedoid(its, k, &res.Distances)
+	case KRandom:
+		chosen = selectRandom(its, k)
+	default:
+		chosen = selectFarthest(its, k, &res.Distances)
+	}
+
+	// Assign every non-selected item to its closest representative
+	// (Algorithm 2 lines 6-9) and union the rank lists.
+	top := make([]Item, len(chosen))
+	for i, idx := range chosen {
+		top[i] = its[idx]
+	}
+	isChosen := make(map[int]bool, len(chosen))
+	for _, idx := range chosen {
+		isChosen[idx] = true
+	}
+	for i, it := range its {
+		if isChosen[i] {
+			continue
+		}
+		best, bestD := 0, ^uint64(0)
+		for j, rep := range top {
+			d := sig.Distance(it.Sig, rep.Sig)
+			res.Distances++
+			if d < bestD {
+				best, bestD = j, d
+			}
+		}
+		top[best].Ranks = top[best].Ranks.Union(it.Ranks)
+		if bestD != 0 || it.Variant {
+			top[best].Variant = true
+		}
+	}
+	res.Top = top
+	return res
+}
+
+// selectFarthest greedily grows the representative set with the item
+// maximizing its minimum distance to the set ("find farthest cluster to
+// TopK list"). The seed is the lowest-rank item for determinism.
+func selectFarthest(its []Item, k int, dist *int) []int {
+	chosen := []int{0}
+	minDist := make([]uint64, len(its))
+	for i := range its {
+		minDist[i] = sig.Distance(its[i].Sig, its[0].Sig)
+		*dist++
+	}
+	for len(chosen) < k {
+		best, bestD := -1, uint64(0)
+		for i := range its {
+			if containsInt(chosen, i) {
+				continue
+			}
+			if best == -1 || minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		chosen = append(chosen, best)
+		for i := range its {
+			d := sig.Distance(its[i].Sig, its[best].Sig)
+			*dist++
+			if d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// selectMedoid seeds with K-Farthest and refines with bounded PAM swaps.
+// Each Chameleon node clusters at most 2K+1 items, so the K³ PAM cost
+// stays constant.
+func selectMedoid(its []Item, k int, dist *int) []int {
+	chosen := selectFarthest(its, k, dist)
+	cost := func(reps []int) uint64 {
+		var total uint64
+		for i := range its {
+			best := ^uint64(0)
+			for _, r := range reps {
+				d := sig.Distance(its[i].Sig, its[r].Sig)
+				*dist++
+				if d < best {
+					best = d
+				}
+			}
+			total += best
+		}
+		return total
+	}
+	cur := cost(chosen)
+	const maxRounds = 8
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for ci := range chosen {
+			for cand := range its {
+				if containsInt(chosen, cand) {
+					continue
+				}
+				trial := append([]int(nil), chosen...)
+				trial[ci] = cand
+				if c := cost(trial); c < cur {
+					chosen, cur = trial, c
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// selectRandom picks k deterministic pseudo-random items (splitmix over
+// the item count so runs are reproducible).
+func selectRandom(its []Item, k int) []int {
+	chosen := make([]int, 0, k)
+	seen := make(map[int]bool)
+	state := uint64(0x9e3779b97f4a7c15)
+	for len(chosen) < k {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		idx := int((z ^ (z >> 31)) % uint64(len(its)))
+		if !seen[idx] {
+			seen[idx] = true
+			chosen = append(chosen, idx)
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionByCallPath groups items by Call-Path signature, returning the
+// groups keyed by signature in deterministic (sorted) order.
+func PartitionByCallPath(items []Item) (keys []uint64, groups map[uint64][]Item) {
+	groups = make(map[uint64][]Item)
+	for _, it := range items {
+		groups[it.Sig.CallPath] = append(groups[it.Sig.CallPath], it)
+	}
+	keys = make([]uint64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, groups
+}
+
+// SelectLeads runs the full per-node clustering step: partition by
+// Call-Path, give each partition a budget of K/NumCallPath (at least 1 —
+// "Chameleon does not miss any MPI event by selecting at least one
+// representative from each callpath cluster"; K grows dynamically when
+// Call-Paths exceed it), and run FindTopK per partition.
+func SelectLeads(items []Item, k int, algo Algorithm) Result {
+	keys, groups := PartitionByCallPath(items)
+	if len(keys) == 0 {
+		return Result{}
+	}
+	perPath := k / len(keys)
+	if perPath < 1 {
+		perPath = 1 // dynamic K increase
+	}
+	var res Result
+	for _, key := range keys {
+		sub := FindTopK(groups[key], perPath, algo)
+		res.Top = append(res.Top, sub.Top...)
+		res.Distances += sub.Distances
+	}
+	sort.Slice(res.Top, func(i, j int) bool { return res.Top[i].Lead < res.Top[j].Lead })
+	return res
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"chameleon/internal/mpi"
+	"chameleon/internal/vtime"
+)
+
+// DistributedSelect runs the distributed clustering of Algorithm 3's
+// "Clustering" branch over all ranks: each rank contributes one item
+// (itself), items flow up a binomial radix tree, every internal node
+// caps its working set at k with SelectLeads, the root makes the final
+// selection, and the Top-K list is broadcast to everyone.
+//
+// Communication wait time and distance-computation work are charged to
+// the given ledger category. The call is collective over the world
+// communicator; tag must be unique per invocation and identical across
+// ranks.
+func DistributedSelect(p *mpi.Proc, self Item, k int, algo Algorithm, tag int, cat vtime.Category) []Item {
+	model := p.Model()
+	world := p.World()
+	items := []Item{self}
+
+	members := make([]int, p.Size())
+	for i := range members {
+		members[i] = i
+	}
+	pos := mpi.TreePos(members, p.Rank())
+	for _, childPos := range mpi.TreeChildPositions(pos, len(members)) {
+		msg := world.RawRecv(members[childPos], tag)
+		p.Ledger.Charge(cat, model.Alpha+model.CollectivePerLevel)
+		childItems, _ := msg.Payload.([]Item)
+		items = append(items, childItems...)
+		if len(items) > k {
+			res := SelectLeads(items, k, algo)
+			items = res.Top
+			p.ChargeOverhead(cat, vtime.Duration(res.Distances)*model.ClusterPerItem)
+		}
+	}
+	if parent := mpi.TreeParentPos(pos); parent >= 0 {
+		world.RawSend(members[parent], tag, ItemsBytes(items), items)
+		p.Ledger.Charge(cat, model.Alpha)
+	} else {
+		res := SelectLeads(items, k, algo)
+		items = res.Top
+		p.ChargeOverhead(cat, vtime.Duration(res.Distances)*model.ClusterPerItem)
+	}
+
+	top := world.RawBcastObj(0, items, ItemsBytes(items)).([]Item)
+	p.Ledger.Charge(cat, model.Alpha+model.CollectivePerLevel)
+	return top
+}
+
+// ItemsBytes approximates the wire size of an item list (signatures plus
+// rank-list descriptors).
+func ItemsBytes(items []Item) int {
+	n := 0
+	for _, it := range items {
+		n += 32 + it.Ranks.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"chameleon/internal/mpi"
+)
+
+// AutoMarker addresses the paper's discussion item (2): "Finding of a
+// good location for inserting marker and choosing an appropriate
+// frequency call are open problems ... This could be automated in some
+// cases. For iterative scientific applications (most scientific codes),
+// the main loop gets executed by all processes (and marker insertion can
+// be automated)."
+//
+// The automation anchors on a recurring *collective* call site: MPI
+// requires every rank to invoke collectives on a communicator in the
+// same order, so the k-th occurrence of a given collective call site is
+// a consistent global point — exactly the "progress reporting point"
+// the paper inserts its marker at, discovered instead of hand-placed.
+// The anchor is elected after an observation window of collective
+// events: the most frequent site wins (ties break on the smaller
+// signature), which skips one-off setup broadcasts in favor of the
+// per-timestep residual reduction. Every Frequency-th subsequent anchor
+// occurrence triggers the normal marker processing (Algorithm 1/3) with
+// no application change.
+type AutoMarker struct {
+	*Chameleon
+	// ObserveFor is how many collective events the election watches.
+	ObserveFor int
+	// Frequency triggers marker processing every n-th anchor occurrence.
+	Frequency int
+
+	counts   map[uint64]int
+	observed int
+	anchor   uint64
+	fired    int
+}
+
+// AutoOptions configures the automatic marker insertion.
+type AutoOptions struct {
+	Options
+	// ObserveFor is the anchor-election observation window in collective
+	// events (default 50).
+	ObserveFor int
+	// Frequency fires the marker at every n-th anchor occurrence
+	// (default 1).
+	Frequency int
+}
+
+// NewAuto returns a hook factory for an auto-marking Chameleon: the
+// application needs no Marker calls at all.
+func NewAuto(col *Collector, opt AutoOptions) func(p *mpi.Proc) mpi.Interposer {
+	if opt.ObserveFor <= 0 {
+		opt.ObserveFor = 50
+	}
+	if opt.Frequency <= 0 {
+		opt.Frequency = 1
+	}
+	inner := New(col, opt.Options)
+	return func(p *mpi.Proc) mpi.Interposer {
+		return &AutoMarker{
+			Chameleon:  inner(p).(*Chameleon),
+			ObserveFor: opt.ObserveFor,
+			Frequency:  opt.Frequency,
+			counts:     make(map[uint64]int),
+		}
+	}
+}
+
+// Post implements mpi.Interposer: record the event as usual, then check
+// whether it completes an anchor period.
+func (a *AutoMarker) Post(ci *mpi.CallInfo) {
+	a.Chameleon.Post(ci)
+	if !ci.Op.IsCollective() || ci.Op == mpi.OpFinalize {
+		return
+	}
+	// The recorder has just encoded this event; its stack signature is
+	// the site identity (one map update per collective).
+	site := a.rec.LastStack()
+	if site == 0 {
+		return
+	}
+	if a.anchor == 0 {
+		a.counts[site]++
+		a.observed++
+		if a.observed >= a.ObserveFor {
+			a.electAnchor()
+		}
+		return
+	}
+	if site != a.anchor {
+		return
+	}
+	a.fired++
+	if a.fired%a.Frequency != 0 {
+		return
+	}
+	// The anchor collective has already synchronized the ranks; run the
+	// marker processing as if the tool-inserted barrier just completed.
+	a.onMarker()
+}
+
+// electAnchor picks the most frequent observed collective site. Every
+// rank sees the same collective order, so the election is identical
+// everywhere.
+func (a *AutoMarker) electAnchor() {
+	var best uint64
+	bestCount := -1
+	for site, count := range a.counts {
+		if count > bestCount || (count == bestCount && site < best) {
+			best, bestCount = site, count
+		}
+	}
+	a.anchor = best
+	a.counts = nil
+}

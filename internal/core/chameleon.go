@@ -1,0 +1,446 @@
+// Package core implements Chameleon, the paper's primary contribution:
+// online signature-based clustering of MPI program traces.
+//
+// Chameleon interposes on the application like ScalaTrace but treats a
+// reserved-communicator barrier as a *marker* at interim execution
+// points (timestep boundaries). At every Call_Frequency-th marker it
+// runs the paper's Algorithm 1 (the transition graph): each rank
+// compares the Call-Path signature of the window just ended against the
+// previous window and all ranks vote with an O(log P) Reduce+Bcast.
+// Repetitive behavior triggers one clustering step (Algorithm 3): ranks
+// cluster by (Call-Path, SRC, DEST) signatures over a radix tree, K lead
+// ranks are selected (Algorithm 2), lead traces — rank lists rewritten
+// to cluster rank lists — merge over a radix tree of only the K leads,
+// and rank 0 folds the result into the incrementally grown online trace.
+// Non-lead ranks then stop tracing entirely until a phase change (a
+// Call-Path mismatch) flushes the lead partials and returns everyone to
+// the all-tracing state.
+package core
+
+import (
+	"sync"
+
+	"chameleon/internal/cluster"
+	"chameleon/internal/mpi"
+	"chameleon/internal/ranklist"
+	"chameleon/internal/sig"
+	"chameleon/internal/trace"
+	"chameleon/internal/tracer"
+	"chameleon/internal/vtime"
+)
+
+// State is a transition-graph state (Figure 2).
+type State int
+
+// Transition-graph states.
+const (
+	// StateAT: all ranks tracing; no stable repetitive behavior (yet).
+	StateAT State = iota
+	// StateC: repetitive behavior confirmed; clustering ran at this
+	// marker and lead traces were flushed into the online trace.
+	StateC
+	// StateL: lead phase — only leads trace. Markers in this state are
+	// either steady (vote only) or the flush on a phase change.
+	StateL
+	// StateF: final — MPI_Finalize flushed the remaining events.
+	StateF
+	// NumStates is the number of transition-graph states.
+	NumStates
+)
+
+var stateNames = [...]string{"AT", "C", "L", "F"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "S?"
+}
+
+// Options configures Chameleon.
+type Options struct {
+	// K is the cluster budget (Table I gives the per-benchmark values).
+	K int
+	// Algo is the representative selector (K-Farthest by default).
+	Algo cluster.Algorithm
+	// CallFrequency engages Algorithm 1 only at every n-th marker
+	// (paper parameter Call_Frequency; 1 engages every marker).
+	CallFrequency int
+	// SigMode selects full or filtered Call-Path construction.
+	SigMode tracer.SigMode
+	// Filter enables the loop-parameter filter during merging (POP).
+	Filter bool
+}
+
+func (o Options) normalized() Options {
+	if o.K <= 0 {
+		o.K = 9
+	}
+	if o.CallFrequency <= 0 {
+		o.CallFrequency = 1
+	}
+	return o
+}
+
+// Collector aggregates the run's outputs across ranks.
+type Collector struct {
+	mu sync.Mutex
+	// Online is the final online (global) trace held by rank 0.
+	Online []*trace.Node
+	// StateCalls counts marker/finalize calls per resulting state
+	// (identical across ranks; written by rank 0).
+	StateCalls [NumStates]int
+	// Reclusterings counts how many times clustering ran (the paper's r).
+	Reclusterings int
+	// LeadRanks is the lead set from the most recent clustering.
+	LeadRanks []int
+	// CallPathClusters is the number of distinct Call-Path groups at the
+	// most recent clustering.
+	CallPathClusters int
+	// SpaceByState records per-rank trace bytes allocated while in each
+	// state (Table IV). Indexed [rank][state].
+	SpaceByState [][NumStates]int
+	// CallsByState mirrors StateCalls (per-state marker call counts).
+	// OnlineBytes is rank 0's online-trace allocation (monotone).
+	OnlineBytes int
+	// EventsObserved / EventsRecorded sum dynamic events across ranks.
+	EventsObserved uint64
+	EventsRecorded uint64
+	// ObservedPerRank / RecordedPerRank hold the per-rank event counts
+	// (inputs to the DVFS energy estimate: non-lead ranks observe events
+	// they no longer record).
+	ObservedPerRank []uint64
+	RecordedPerRank []uint64
+}
+
+// NewCollector sizes a collector for p ranks.
+func NewCollector(p int) *Collector {
+	return &Collector{
+		SpaceByState:    make([][NumStates]int, p),
+		ObservedPerRank: make([]uint64, p),
+		RecordedPerRank: make([]uint64, p),
+	}
+}
+
+// File packages the online trace for the replayer.
+func (c *Collector) File(p int, benchmark string, filter bool) *trace.File {
+	return &trace.File{
+		P:         p,
+		Benchmark: benchmark,
+		Tracer:    "chameleon",
+		Clustered: true,
+		Filter:    filter,
+		Nodes:     c.Online,
+	}
+}
+
+// Chameleon is the per-rank interposer.
+type Chameleon struct {
+	p   *mpi.Proc
+	rec *tracer.Recorder
+	opt Options
+	col *Collector
+
+	// Algorithm 1 state.
+	oldCallPath  uint64
+	haveOld      bool
+	reclustering bool
+	steadyLead   bool
+	curSig       sig.Triple
+
+	// Cluster state (valid while inLeadPhase).
+	inLeadPhase bool
+	isLead      bool
+	leads       []int
+	myCluster   ranklist.List // this lead's cluster rank list
+	myVariant   bool          // cluster has rank-dependent end-points
+
+	// Online trace (rank 0 only).
+	online      trace.Compressor
+	onlineAlloc int
+
+	markerCalls int
+	engaged     int
+	flushRound  int
+
+	stateCalls [NumStates]int
+	spaceState [NumStates]int
+	allocSnap  int
+
+	pre vtime.Time
+}
+
+// New returns a hook factory for mpi.Config.Hooks.
+func New(col *Collector, opt Options) func(p *mpi.Proc) mpi.Interposer {
+	opt = opt.normalized()
+	return func(p *mpi.Proc) mpi.Interposer {
+		c := &Chameleon{
+			p:            p,
+			rec:          tracer.NewRecorder(p, opt.SigMode, opt.Filter),
+			opt:          opt,
+			col:          col,
+			reclustering: true,
+		}
+		c.online.Filter = opt.Filter
+		return c
+	}
+}
+
+// Pre implements mpi.Interposer.
+func (c *Chameleon) Pre(ci *mpi.CallInfo) { c.pre = c.p.Clock.Now() }
+
+// Post implements mpi.Interposer.
+func (c *Chameleon) Post(ci *mpi.CallInfo) {
+	if ci.Op == mpi.OpBarrier && ci.Comm == mpi.CommMarker {
+		c.onMarker()
+		return
+	}
+	if ci.Op == mpi.OpFinalize {
+		return
+	}
+	c.rec.Record(ci, c.pre, 1)
+}
+
+// Recorder exposes the per-rank recorder (tests, space accounting).
+func (c *Chameleon) Recorder() *tracer.Recorder { return c.rec }
+
+// onMarker is the PMPI post-wrapper of the marker barrier: Algorithm 3's
+// entry ("Increment Marker_Call_Counter; if counter % Call_Frequency !=
+// 0 then return").
+func (c *Chameleon) onMarker() {
+	// The marker barrier itself is tool-inserted: book its tree-traversal
+	// cost (the per-rank share of the barrier's message hops) as marker
+	// overhead. The synchronization stall stays on the application clock
+	// where it belongs — it is load imbalance the barrier merely exposes.
+	model := c.p.Model()
+	hops := vtime.Duration(vtime.Log2Ceil(c.p.Size()))
+	c.p.Ledger.Charge(vtime.CatMarker, hops*(model.Alpha+model.CollectivePerLevel))
+	c.markerCalls++
+	// Marker and clustering processing time must not leak into the
+	// recorded inter-event computation deltas: exclude the whole marker
+	// span (barrier entry through processing end) from the next delta,
+	// keeping the application compute that preceded the marker.
+	defer func(start vtime.Time) {
+		c.rec.ExcludeSpan(vtime.Duration(c.p.Clock.Now() - start))
+	}(c.pre)
+	if c.markerCalls%c.opt.CallFrequency != 0 {
+		return
+	}
+	c.engaged++
+	state := c.transition()
+	c.stateCalls[state]++
+	c.accountSpace(state)
+	switch state {
+	case StateC:
+		c.runClustering()
+		c.flushLeads()
+		c.enterLeadPhase()
+	case StateL:
+		if !c.steadyLead {
+			// Phase change while leading: flush lead partials and
+			// return everyone to all-tracing.
+			c.flushLeads()
+			c.exitLeadPhase()
+		}
+	}
+	c.steadyLead = false
+}
+
+// transition implements Algorithm 1. All ranks return the same state
+// because of the Reduce+Bcast synchronization.
+func (c *Chameleon) transition() State {
+	model := c.p.Model()
+	cur := c.rec.Win.Triple()
+	c.curSig = cur
+	c.rec.Win.Reset()
+
+	if !c.haveOld {
+		// First time hitting the marker.
+		c.oldCallPath = cur.CallPath
+		c.haveOld = true
+		return StateAT
+	}
+	mismatch := uint64(0)
+	if c.oldCallPath != cur.CallPath {
+		mismatch = 1
+	}
+	// The Reduce+Bcast vote: book its per-rank share of the O(log P)
+	// message hops (the synchronization stall is already on the clock).
+	glob := c.p.MarkerComm().RawAllreduceU64(mismatch, mpi.OpSum)
+	hops := vtime.Duration(vtime.Log2Ceil(c.p.Size()))
+	c.p.Ledger.Charge(vtime.CatMarker, hops*(model.Alpha+model.CollectivePerLevel))
+	c.oldCallPath = cur.CallPath
+
+	if glob == 0 {
+		if c.reclustering {
+			c.reclustering = false
+			return StateC
+		}
+		if c.inLeadPhase {
+			// Lead phase without inter-compression: steady marker.
+			c.steadyLead = true
+			return StateL
+		}
+		return StateAT
+	}
+	if c.inLeadPhase {
+		// Lead phase with inter-compression: flush.
+		return StateL
+	}
+	c.reclustering = true
+	return StateAT
+}
+
+// runClustering performs the distributed clustering of Algorithm 3's
+// "Clustering" branch: gather signature items over the radix tree,
+// cap each node's working set at K via Algorithm 2, and broadcast the
+// final lead set.
+func (c *Chameleon) runClustering() {
+	p := c.p
+	self := cluster.Item{
+		Lead:  p.Rank(),
+		Ranks: ranklist.SingleRank(p.Rank()),
+		Sig:   c.curSig,
+	}
+	top := cluster.DistributedSelect(p, self, c.opt.K, c.opt.Algo,
+		clusterTag(c.flushRound), vtime.CatCluster)
+
+	c.leads = c.leads[:0]
+	c.isLead = false
+	c.myCluster = ranklist.List{}
+	c.myVariant = false
+	paths := make(map[uint64]struct{})
+	for _, it := range top {
+		c.leads = append(c.leads, it.Lead)
+		paths[it.Sig.CallPath] = struct{}{}
+		if it.Lead == p.Rank() {
+			c.isLead = true
+			c.myCluster = it.Ranks
+			c.myVariant = it.Variant
+		}
+	}
+
+	if p.Rank() == 0 {
+		c.col.mu.Lock()
+		c.col.Reclusterings++
+		c.col.LeadRanks = append([]int(nil), c.leads...)
+		c.col.CallPathClusters = len(paths)
+		c.col.mu.Unlock()
+	}
+}
+
+// flushLeads runs the online inter-node compression: lead partial traces
+// (rank lists rewritten to cluster rank lists) merge over a radix tree
+// of the K leads; the result folds into rank 0's online trace. Every
+// rank then deletes its partial trace.
+func (c *Chameleon) flushLeads() {
+	p := c.p
+	model := p.Model()
+	round := c.flushRound
+	c.flushRound++
+
+	mine := c.rec.TakePartial()
+	var partial []*trace.Node
+	if c.isLead || (len(c.leads) == 0 && p.Rank() == 0) {
+		if c.isLead && c.myVariant {
+			trace.ResolveEndpoints(mine, p.Rank(), p.Size())
+		}
+		if c.isLead && !c.myCluster.Empty() {
+			trace.RewriteRanks(mine, c.myCluster)
+		}
+		partial = tracer.MergeOverTree(p, c.leads, mine,
+			c.opt.Filter, tracer.MergeTag(round+1), vtime.CatInterComp)
+	}
+
+	// Route the partial global trace to rank 0 ("if root of Top K list
+	// != 0: send partial global trace to rank 0").
+	rootLead := -1
+	if len(c.leads) > 0 {
+		rootLead = c.leads[0]
+	}
+	tag := onlineTag(round)
+	switch {
+	case rootLead == p.Rank() && rootLead != 0:
+		t0 := p.Clock.Now()
+		p.World().RawSend(0, tag, trace.SizeBytes(partial), partial)
+		p.Ledger.Charge(vtime.CatInterComp, vtime.Duration(p.Clock.Now()-t0))
+		partial = nil
+	case p.Rank() == 0 && rootLead > 0:
+		t0 := p.Clock.Now()
+		msg := p.World().RawRecv(rootLead, tag)
+		p.Ledger.Charge(vtime.CatInterComp, vtime.Duration(p.Clock.Now()-t0))
+		partial, _ = msg.Payload.([]*trace.Node)
+	}
+
+	if p.Rank() == 0 && partial != nil {
+		before := c.online.SizeBytes()
+		c0 := c.online.Compares
+		for _, n := range partial {
+			c.online.AppendNode(n)
+		}
+		p.ChargeOverhead(vtime.CatInterComp,
+			vtime.Duration(c.online.Compares-c0)*model.ComparePerOp+
+				vtime.Duration(trace.SizeBytes(partial))*model.MergePerByte)
+		if after := c.online.SizeBytes(); after > before {
+			c.onlineAlloc += after - before
+		}
+	}
+	// "All nodes: delete your partial trace" — TakePartial above already
+	// detached it; restart delta-time tracking at this point.
+	c.rec.MarkEventBoundary()
+}
+
+func (c *Chameleon) enterLeadPhase() {
+	c.inLeadPhase = true
+	c.rec.Enabled = c.isLead
+	c.rec.MarkEventBoundary()
+}
+
+func (c *Chameleon) exitLeadPhase() {
+	c.inLeadPhase = false
+	c.isLead = false
+	c.reclustering = true
+	c.rec.Enabled = true
+	c.rec.MarkEventBoundary()
+}
+
+// accountSpace attributes trace bytes allocated since the previous
+// engaged marker to the state this marker produced (Table IV).
+func (c *Chameleon) accountSpace(s State) {
+	alloc := c.rec.AllocBytes + c.onlineAlloc
+	c.spaceState[s] += alloc - c.allocSnap
+	c.allocSnap = alloc
+}
+
+// Finalize implements mpi.Interposer: "at the end of the application,
+// Algorithm 3 is called with a small modification ... re-clustering must
+// be triggered but the inter-compression part remains the same."
+func (c *Chameleon) Finalize() {
+	c.curSig = c.rec.Win.Triple()
+	c.rec.Win.Reset()
+	if !c.inLeadPhase {
+		// Forced re-clustering over the trailing all-tracing window.
+		c.runClustering()
+	}
+	c.stateCalls[StateF]++
+	c.accountSpace(StateF)
+	c.flushLeads()
+
+	c.col.mu.Lock()
+	defer c.col.mu.Unlock()
+	c.col.SpaceByState[c.p.Rank()] = c.spaceState
+	c.col.EventsObserved += c.rec.Observed
+	c.col.EventsRecorded += c.rec.Events
+	c.col.ObservedPerRank[c.p.Rank()] = c.rec.Observed
+	c.col.RecordedPerRank[c.p.Rank()] = c.rec.Events
+	if c.p.Rank() == 0 {
+		c.col.StateCalls = c.stateCalls
+		c.col.OnlineBytes = c.onlineAlloc
+		c.p.ChargeOverhead(vtime.CatInterComp,
+			vtime.Duration(c.online.SizeBytes())*c.p.Model().WritePerByte)
+		c.col.Online = c.online.Seq
+	}
+}
+
+func clusterTag(round int) int { return 1<<54 | round<<3 }
+func onlineTag(round int) int  { return 1<<53 | round<<3 }

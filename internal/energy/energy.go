@@ -1,0 +1,120 @@
+// Package energy estimates the energy impact of clustered tracing — the
+// paper's stated future work: "We currently plan to leverage the idle
+// time for non representative processes at interim execution points by
+// utilizing dynamic voltage frequency scaling (DVFS). This would reduce
+// energy consumption and make clustered tracing energy efficient as
+// well."
+//
+// The model is deliberately simple and standard: each rank draws
+// PActive while doing application or tracing work and PIdle while
+// blocked; a rank whose tracing is disabled during Chameleon's lead
+// phase can additionally be dropped to a DVFS low-power state for the
+// tracing work it no longer performs. Feeding it the virtual-time
+// ledgers of a traced run yields the per-run energy of the tracing
+// layer and the saving Chameleon's P-K idle ranks enable.
+package energy
+
+import (
+	"fmt"
+
+	"chameleon/internal/vtime"
+)
+
+// Model holds the power parameters (watts) of one node.
+type Model struct {
+	// PActive is the per-rank power while executing (compute or
+	// tracing-layer work).
+	PActive float64
+	// PIdle is the per-rank power while blocked waiting.
+	PIdle float64
+	// PDVFS is the per-rank power in the lowered frequency/voltage state
+	// a non-lead rank can enter while its tracing is off.
+	PDVFS float64
+}
+
+// Default returns a model with typical HPC-node ballpark figures
+// (per-core share of a 2-way Opteron 6128 node, the paper's testbed).
+func Default() Model {
+	return Model{PActive: 12.0, PIdle: 6.0, PDVFS: 3.5}
+}
+
+// Joules converts (watts, virtual duration) to joules.
+func Joules(watts float64, d vtime.Duration) float64 {
+	return watts * d.Seconds()
+}
+
+// RankUsage summarizes one rank's run for the energy model.
+type RankUsage struct {
+	// Active is the rank's busy virtual time (application + tracing).
+	Active vtime.Duration
+	// Wall is the rank's total virtual time (makespan on its clock).
+	Wall vtime.Duration
+	// TracingSaved is tracing-layer work this rank avoided because
+	// clustering disabled its tracing (a non-lead's would-have-been
+	// intra-compression time).
+	TracingSaved vtime.Duration
+}
+
+// Report is the energy breakdown of one traced run.
+type Report struct {
+	// ActiveJ/IdleJ split the run's baseline energy.
+	ActiveJ float64
+	IdleJ   float64
+	// TotalJ = ActiveJ + IdleJ.
+	TotalJ float64
+	// DVFSSavedJ is the additional energy a DVFS policy would recover by
+	// down-clocking non-lead ranks for their avoided tracing work
+	// (PIdle -> PDVFS over the saved span).
+	DVFSSavedJ float64
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	return fmt.Sprintf("energy{active=%.1fJ idle=%.1fJ total=%.1fJ dvfsSaved=%.1fJ}",
+		r.ActiveJ, r.IdleJ, r.TotalJ, r.DVFSSavedJ)
+}
+
+// Estimate computes the energy of a run from per-rank usage.
+func Estimate(m Model, usage []RankUsage) Report {
+	var rep Report
+	for _, u := range usage {
+		idle := u.Wall - u.Active
+		if idle < 0 {
+			idle = 0
+		}
+		rep.ActiveJ += Joules(m.PActive, u.Active)
+		rep.IdleJ += Joules(m.PIdle, idle)
+		rep.DVFSSavedJ += Joules(m.PIdle-m.PDVFS, u.TracingSaved)
+	}
+	rep.TotalJ = rep.ActiveJ + rep.IdleJ
+	return rep
+}
+
+// UsageFromLedgers derives RankUsage from a run's virtual clocks and
+// ledgers. tracingSaved gives each rank's avoided tracing work (zero for
+// baseline tracers; for Chameleon, the per-event costs the disabled
+// non-lead ranks skipped).
+func UsageFromLedgers(clocks []vtime.Time, ledgers []*vtime.Ledger, tracingSaved []vtime.Duration) []RankUsage {
+	usage := make([]RankUsage, len(clocks))
+	for r := range usage {
+		var active vtime.Duration
+		for _, c := range vtime.Categories() {
+			active += ledgers[r].Spent(c)
+		}
+		usage[r] = RankUsage{Active: active, Wall: vtime.Duration(clocks[r])}
+		if tracingSaved != nil && r < len(tracingSaved) {
+			usage[r].TracingSaved = tracingSaved[r]
+		}
+	}
+	return usage
+}
+
+// SavedTracingWork estimates the tracing work a disabled rank avoided:
+// the per-event compression cost over the events it observed but did not
+// record.
+func SavedTracingWork(m vtime.CostModel, observed, recorded uint64) vtime.Duration {
+	if observed <= recorded {
+		return 0
+	}
+	return vtime.Duration(observed-recorded) * m.CompressPerEvent
+}

@@ -1,0 +1,89 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/vtime"
+)
+
+func TestJoules(t *testing.T) {
+	if got := Joules(10, 2*vtime.Second); got != 20 {
+		t.Fatalf("joules = %v", got)
+	}
+	if Joules(10, 0) != 0 {
+		t.Fatalf("zero duration")
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	m := Model{PActive: 10, PIdle: 4, PDVFS: 1}
+	usage := []RankUsage{
+		{Active: 2 * vtime.Second, Wall: 3 * vtime.Second},                                 // 1s idle
+		{Active: 1 * vtime.Second, Wall: 3 * vtime.Second, TracingSaved: 1 * vtime.Second}, // 2s idle
+	}
+	rep := Estimate(m, usage)
+	if math.Abs(rep.ActiveJ-30) > 1e-9 { // (2+1)s * 10W
+		t.Fatalf("active = %v", rep.ActiveJ)
+	}
+	if math.Abs(rep.IdleJ-12) > 1e-9 { // (1+2)s * 4W
+		t.Fatalf("idle = %v", rep.IdleJ)
+	}
+	if math.Abs(rep.TotalJ-42) > 1e-9 {
+		t.Fatalf("total = %v", rep.TotalJ)
+	}
+	if math.Abs(rep.DVFSSavedJ-3) > 1e-9 { // 1s * (4-1)W
+		t.Fatalf("dvfs = %v", rep.DVFSSavedJ)
+	}
+	if rep.String() == "" {
+		t.Fatalf("empty string")
+	}
+}
+
+func TestEstimateClampsNegativeIdle(t *testing.T) {
+	// Active time exceeding the wall clock (overlapping charges) must
+	// not produce negative idle energy.
+	m := Default()
+	rep := Estimate(m, []RankUsage{{Active: 5 * vtime.Second, Wall: 3 * vtime.Second}})
+	if rep.IdleJ != 0 {
+		t.Fatalf("idle = %v", rep.IdleJ)
+	}
+}
+
+func TestUsageFromLedgers(t *testing.T) {
+	l0, l1 := &vtime.Ledger{}, &vtime.Ledger{}
+	l0.Charge(vtime.CatApp, 2*vtime.Second)
+	l0.Charge(vtime.CatIntra, 1*vtime.Second)
+	l1.Charge(vtime.CatApp, 1*vtime.Second)
+	clocks := []vtime.Time{vtime.Time(4 * vtime.Second), vtime.Time(4 * vtime.Second)}
+	saved := []vtime.Duration{0, 500 * vtime.Millisecond}
+	usage := UsageFromLedgers(clocks, []*vtime.Ledger{l0, l1}, saved)
+	if usage[0].Active != 3*vtime.Second || usage[0].TracingSaved != 0 {
+		t.Fatalf("rank0: %+v", usage[0])
+	}
+	if usage[1].Active != 1*vtime.Second || usage[1].TracingSaved != 500*vtime.Millisecond {
+		t.Fatalf("rank1: %+v", usage[1])
+	}
+	// nil saved slice works.
+	usage = UsageFromLedgers(clocks, []*vtime.Ledger{l0, l1}, nil)
+	if usage[1].TracingSaved != 0 {
+		t.Fatalf("nil saved")
+	}
+}
+
+func TestSavedTracingWork(t *testing.T) {
+	m := vtime.Default()
+	if SavedTracingWork(m, 100, 100) != 0 || SavedTracingWork(m, 50, 100) != 0 {
+		t.Fatalf("no saving expected")
+	}
+	if got := SavedTracingWork(m, 1000, 0); got != 1000*m.CompressPerEvent {
+		t.Fatalf("saving = %v", got)
+	}
+}
+
+func TestDefaultModelSane(t *testing.T) {
+	m := Default()
+	if !(m.PActive > m.PIdle && m.PIdle > m.PDVFS && m.PDVFS > 0) {
+		t.Fatalf("power ordering: %+v", m)
+	}
+}

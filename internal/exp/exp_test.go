@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableIStatic(t *testing.T) {
+	tab, err := TableI(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != 8 {
+		t.Fatalf("shape: %+v", tab.Rows)
+	}
+	// The paper's Table I values.
+	want := []string{"K", "3", "9", "3", "3", "9", "9", "2"}
+	for i, w := range want {
+		if tab.Rows[0][i] != w {
+			t.Fatalf("col %d = %s, want %s", i, tab.Rows[0][i], w)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"note one"},
+	}
+	s := tab.Render()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "333") || !strings.Contains(s, "note one") {
+		t.Fatalf("render: %q", s)
+	}
+}
+
+func TestLookupAndIDs(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("missing driver for %s", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatalf("bogus id resolved")
+	}
+	if len(IDs()) != 12 {
+		t.Fatalf("experiments = %d, want 12 (4 tables + 8 figures)", len(IDs()))
+	}
+}
+
+func TestParams(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.TableP >= f.TableP || q.Scales[len(q.Scales)-1] >= f.Scales[len(f.Scales)-1] {
+		t.Fatalf("quick params not smaller than full")
+	}
+	if f.Scales[len(f.Scales)-1] != 1024 || f.EMFScales[len(f.EMFScales)-1] != 1001 {
+		t.Fatalf("full params not paper scale: %+v", f)
+	}
+}
+
+// TestTableIIQuickShape runs the cheapest state-count experiment at
+// reduced scale and validates the paper's shape: exactly one clustering,
+// lead state dominating.
+func TestTableIIQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several traced benchmarks")
+	}
+	tab, err := TableII(Params{Scales: []int{16}, EMFScales: []int{26}, TableP: 16, SmallP: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		c, _ := strconv.Atoi(row[4])
+		l, _ := strconv.Atoi(row[5])
+		calls, _ := strconv.Atoi(row[3])
+		if c != 1 {
+			t.Fatalf("%s: %d clusterings", row[0], c)
+		}
+		if float64(l) < 0.6*float64(calls) {
+			t.Fatalf("%s: lead state only %d of %d calls", row[0], l, calls)
+		}
+	}
+}
+
+// TestExtensionDriversSmoke runs the beyond-the-paper experiments at a
+// tiny scale.
+func TestExtensionDriversSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs traced benchmarks")
+	}
+	tiny := Params{Scales: []int{16, 36}, EMFScales: []int{26}, TableP: 16, SmallP: 16}
+	for _, id := range ExtensionIDs() {
+		run, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tab, err := run(tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		if tab.Render() == "" {
+			t.Fatalf("%s renders empty", id)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+
+	"chameleon"
+	"chameleon/internal/analysis"
+	"chameleon/internal/extrap"
+	"chameleon/internal/vtime"
+)
+
+// ExpEnergy estimates the DVFS energy saving the paper's future-work
+// section projects: non-lead ranks idle through the lead phase, so
+// down-clocking them recovers the tracing energy clustering already
+// avoided spending.
+func ExpEnergy(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "energy",
+		Title:  "Extension: DVFS energy estimate (paper future work)",
+		Header: []string{"Pgm", "P", "ST total [J]", "CH total [J]", "CH DVFS-saved [J]"},
+	}
+	for _, name := range []string{"BT", "LU"} {
+		scale := p.Scales[len(p.Scales)-1]
+		st, err := chameleon.RunBenchmark(name, "D", scale, chameleon.TracerScalaTrace, nil)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := chameleon.RunBenchmark(name, "D", scale, chameleon.TracerChameleon, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%d", scale),
+			fmt.Sprintf("%.0f", st.Energy.TotalJ),
+			fmt.Sprintf("%.0f", ch.Energy.TotalJ),
+			fmt.Sprintf("%.1f", ch.Energy.DVFSSavedJ),
+		})
+		if ch.Energy.DVFSSavedJ <= 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: no DVFS saving measured", name))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"shape: only Chameleon exposes a DVFS saving — its P-K non-lead ranks skip tracing work entirely")
+	return t, nil
+}
+
+// ExpExtrap validates trace extrapolation: a trace recorded at a small
+// scale, extrapolated to a larger one, must be event-equivalent to the
+// trace actually recorded there.
+func ExpExtrap(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "extrap",
+		Title:  "Extension: ScalaExtrap-style trace extrapolation",
+		Header: []string{"Pgm", "P src", "P dst", "events(extrap)", "events(actual)", "match"},
+	}
+	small, big := p.Scales[0], p.Scales[len(p.Scales)-1]
+	for _, name := range []string{"BT", "CG"} {
+		src, err := chameleon.RunBenchmark(name, "B", small, chameleon.TracerChameleon, nil)
+		if err != nil {
+			return nil, err
+		}
+		actual, err := chameleon.RunBenchmark(name, "B", big, chameleon.TracerChameleon, nil)
+		if err != nil {
+			return nil, err
+		}
+		predicted, err := extrap.Extrapolate(src.Trace, big)
+		if err != nil {
+			return nil, err
+		}
+		pe, err := chameleon.Replay(predicted, chameleon.DefaultModel())
+		if err != nil {
+			return nil, fmt.Errorf("%s extrapolated replay: %w", name, err)
+		}
+		ae, err := chameleon.Replay(actual.Trace, chameleon.DefaultModel())
+		if err != nil {
+			return nil, err
+		}
+		match := "yes"
+		if pe.Events != ae.Events {
+			match = fmt.Sprintf("no (%+d)", int64(pe.Events)-int64(ae.Events))
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%d", small), fmt.Sprintf("%d", big),
+			fmt.Sprintf("%d", pe.Events), fmt.Sprintf("%d", ae.Events), match,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"shape: the extrapolated trace replays the same dynamic event counts as a real run at the target scale")
+	return t, nil
+}
+
+// ExpOnlineEquivalence checks the paper's correctness property across
+// the suite: Chameleon's online trace is event-equivalent to
+// ScalaTrace's Finalize-time global trace.
+func ExpOnlineEquivalence(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "equiv",
+		Title:  "Extension: online trace vs ScalaTrace global trace equivalence",
+		Header: []string{"Pgm", "P", "sites ST", "sites CH", "per-rank events equal"},
+	}
+	scale := p.Scales[0]
+	for _, name := range []string{"BT", "LU", "SP", "CG", "MG", "FT", "S3D"} {
+		st, err := chameleon.RunBenchmark(name, "B", scale, chameleon.TracerScalaTrace, nil)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := chameleon.RunBenchmark(name, "B", scale, chameleon.TracerChameleon, nil)
+		if err != nil {
+			return nil, err
+		}
+		d := analysis.Compare(st.Trace, ch.Trace)
+		sST := analysis.Summarize(st.Trace)
+		sCH := analysis.Summarize(ch.Trace)
+		equal := "yes"
+		if len(d.EventDeltas) != 0 {
+			equal = fmt.Sprintf("no (%d ranks differ)", len(d.EventDeltas))
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%d", scale),
+			fmt.Sprintf("%d", sST.DistinctSites), fmt.Sprintf("%d", sCH.DistinctSites),
+			equal,
+		})
+	}
+	t.Notes = append(t.Notes,
+		`paper claim: "Chameleon does not miss any MPI event"`)
+	return t, nil
+}
+
+// ExpAblationK sweeps the cluster budget K for LU (the paper's prior
+// work studied this; DESIGN.md lists it as an ablation).
+func ExpAblationK(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-k",
+		Title:  "Ablation: cluster budget K (LU class D)",
+		Header: []string{"K", "leads", "call-paths", "overhead [s]", "replay ACC vs APP"},
+	}
+	scale := p.SmallP
+	app, err := chameleon.RunBenchmark("LU", "D", scale, chameleon.TracerNone, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []int{1, 3, 9, 18} {
+		ch, err := chameleon.RunBenchmark("LU", "D", scale, chameleon.TracerChameleon, &chameleon.Config{K: k})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := chameleon.Replay(ch.Trace, chameleon.DefaultModel())
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%d", len(ch.Leads)),
+			fmt.Sprintf("%d", ch.CallPathClusters),
+			secs(chOverhead(ch)),
+			pct(chameleon.Accuracy(vtime.Duration(app.Time), rep.Time)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"shape: K below the Call-Path count grows dynamically (leads >= call-paths); accuracy stays high")
+	return t, nil
+}
+
+// ExpAutoMarker compares manual marker insertion with the automatic
+// anchor detection (paper discussion item 2).
+func ExpAutoMarker(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "automarker",
+		Title:  "Extension: automatic marker insertion vs manual markers",
+		Header: []string{"Pgm", "P", "mode", "C", "L", "AT", "overhead [s]"},
+	}
+	scale := p.Scales[0]
+	for _, name := range []string{"SP", "CG"} {
+		manual, err := chameleon.RunBenchmark(name, "D", scale, chameleon.TracerChameleon, nil)
+		if err != nil {
+			return nil, err
+		}
+		auto, err := chameleon.RunBenchmark(name, "D", scale, chameleon.TracerAutoChameleon, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range []struct {
+			mode string
+			out  *chameleon.Output
+		}{{"manual", manual}, {"auto", auto}} {
+			t.Rows = append(t.Rows, []string{
+				name, fmt.Sprintf("%d", scale), row.mode,
+				fmt.Sprintf("%d", row.out.StateCalls["C"]),
+				fmt.Sprintf("%d", row.out.StateCalls["L"]),
+				fmt.Sprintf("%d", row.out.StateCalls["AT"]),
+				secs(chOverhead(row.out)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"shape: the auto-anchored run clusters once and spends most calls in the lead state, like the manual one")
+	return t, nil
+}

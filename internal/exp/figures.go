@@ -1,0 +1,301 @@
+package exp
+
+import (
+	"fmt"
+
+	"chameleon"
+	"chameleon/internal/apps"
+	"chameleon/internal/vtime"
+)
+
+// Figure4 measures strong-scaling execution overhead: the
+// non-instrumented application time against Chameleon's and ScalaTrace's
+// tracing overhead (paper Figure 4, log-scale y).
+func Figure4(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Strong scaling: overhead [secs] — APP vs Chameleon vs ScalaTrace",
+		Header: []string{"Pgm", "P", "APP", "Chameleon", "ScalaTrace", "ST/CH"},
+	}
+	type cfg struct {
+		name   string
+		scales []int
+	}
+	cfgs := []cfg{
+		{"BT", p.Scales}, {"LU", p.Scales}, {"SP", p.Scales}, {"POP", p.Scales},
+		{"EMF", p.EMFScales},
+	}
+	for _, c := range cfgs {
+		for _, scale := range c.scales {
+			app, st, ch, err := runTriple(c.name, "D", scale, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s(%d): %w", c.name, scale, err)
+			}
+			chOv, stOv := chOverhead(ch), stOverhead(st)
+			ratio := float64(stOv) / float64(chOv)
+			t.Rows = append(t.Rows, []string{
+				c.name, fmt.Sprintf("%d", scale),
+				secs(vtime.Duration(app.Time)*vtime.Duration(scale)) + " (agg)",
+				secs(chOv), secs(stOv), fmt.Sprintf("%.1fx", ratio),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: Chameleon 2-3 orders of magnitude below ScalaTrace at scale (Obs. 2),",
+		"except EMF's tiny 6-event traces, where the gap narrows and inverts at small P")
+	return t, nil
+}
+
+// Figure5 replays the strong-scaling traces and reports replay times and
+// the accuracy metric ACC = 1-|t-t'|/t (paper Figure 5; BT 97.75%, SP
+// 95.5%, LU 91%, POP 89.75%, EMF 87%).
+func Figure5(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Strong scaling: replay time [secs] and accuracy",
+		Header: []string{"Pgm", "P", "APP", "ST-replay", "CH-replay", "ACC vs ST", "ACC vs APP"},
+	}
+	type cfg struct {
+		name   string
+		scales []int
+	}
+	cfgs := []cfg{
+		{"BT", p.Scales}, {"LU", p.Scales}, {"SP", p.Scales}, {"POP", p.Scales},
+		{"EMF", p.EMFScales},
+	}
+	for _, c := range cfgs {
+		for _, scale := range c.scales {
+			app, st, ch, err := runTriple(c.name, "D", scale, nil)
+			if err != nil {
+				return nil, err
+			}
+			strep, err := chameleon.Replay(st.Trace, chameleon.DefaultModel())
+			if err != nil {
+				return nil, fmt.Errorf("%s(%d) ST replay: %w", c.name, scale, err)
+			}
+			chrep, err := chameleon.Replay(ch.Trace, chameleon.DefaultModel())
+			if err != nil {
+				return nil, fmt.Errorf("%s(%d) CH replay: %w", c.name, scale, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				c.name, fmt.Sprintf("%d", scale),
+				secs(vtime.Duration(app.Time)), secs(strep.Time), secs(chrep.Time),
+				pct(chameleon.Accuracy(strep.Time, chrep.Time)),
+				pct(chameleon.Accuracy(vtime.Duration(app.Time), chrep.Time)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: clustered replay ~87-98% accurate vs application time (Obs. 3)")
+	return t, nil
+}
+
+// Figure6 measures weak-scaling overhead for LU and Sweep3D (paper
+// Figure 6, log-scale y).
+func Figure6(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Weak scaling: overhead [secs] — APP vs Chameleon vs ScalaTrace",
+		Header: []string{"Pgm", "P", "APP", "Chameleon", "ScalaTrace", "ST/CH"},
+	}
+	for _, scale := range p.Scales {
+		for _, name := range []string{"LUW", "S3DW"} {
+			app, st, ch, err := weakTriple(name, scale)
+			if err != nil {
+				return nil, err
+			}
+			chOv, stOv := chOverhead(ch), stOverhead(st)
+			t.Rows = append(t.Rows, []string{
+				name, fmt.Sprintf("%d", scale),
+				secs(vtime.Duration(app.Time) * vtime.Duration(scale)),
+				secs(chOv), secs(stOv),
+				fmt.Sprintf("%.1fx", float64(stOv)/float64(chOv)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: Chameleon 1-3 orders of magnitude below ScalaTrace (Obs. 4)")
+	return t, nil
+}
+
+func weakSpec(name string, p int) (chameleon.Spec, error) {
+	if name == "S3DW" {
+		return apps.Sweep3DWeak(p), nil
+	}
+	return apps.Registry("LUW", apps.ClassD, p)
+}
+
+func weakTriple(name string, p int) (app, st, ch *chameleon.Output, err error) {
+	spec, err := weakSpec(name, p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if app, err = chameleon.RunSpec(spec, chameleon.TracerNone, nil); err != nil {
+		return
+	}
+	if st, err = chameleon.RunSpec(spec, chameleon.TracerScalaTrace, nil); err != nil {
+		return
+	}
+	ch, err = chameleon.RunSpec(spec, chameleon.TracerChameleon, nil)
+	return
+}
+
+// Figure7 replays the weak-scaling traces (paper Figure 7; LU 90.75%,
+// Sweep3D 98.32% accurate).
+func Figure7(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Weak scaling: replay time [secs] and accuracy",
+		Header: []string{"Pgm", "P", "APP", "ST-replay", "CH-replay", "ACC vs ST", "ACC vs APP"},
+	}
+	for _, scale := range p.Scales {
+		for _, name := range []string{"LUW", "S3DW"} {
+			app, st, ch, err := weakTriple(name, scale)
+			if err != nil {
+				return nil, err
+			}
+			strep, err := chameleon.Replay(st.Trace, chameleon.DefaultModel())
+			if err != nil {
+				return nil, err
+			}
+			chrep, err := chameleon.Replay(ch.Trace, chameleon.DefaultModel())
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				name, fmt.Sprintf("%d", scale),
+				secs(vtime.Duration(app.Time)), secs(strep.Time), secs(chrep.Time),
+				pct(chameleon.Accuracy(strep.Time, chrep.Time)),
+				pct(chameleon.Accuracy(vtime.Duration(app.Time), chrep.Time)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "paper shape: weak-scaling replay ~91-98% accurate (Obs. 5)")
+	return t, nil
+}
+
+// Figure8 charts time per clustering state for Chameleon vs ScalaTrace
+// under the maximum number of marker calls — one per timestep (paper
+// Figure 8, P=1024).
+func Figure8(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Overhead per activity, max marker calls, P=%d [secs]", p.TableP),
+		Header: []string{"Pgm", "CH-marker", "CH-cluster", "CH-intercomp", "CH-total", "ST-intercomp"},
+	}
+	for _, name := range []string{"BT", "LU", "SP", "POP", "S3D", "EMF"} {
+		scale := p.TableP
+		if name == "EMF" {
+			scale = p.EMFScales[len(p.EMFScales)-1]
+		}
+		st, err := chameleon.RunBenchmark(name, "D", scale, chameleon.TracerScalaTrace, nil)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := chameleon.RunBenchmark(name, "D", scale, chameleon.TracerChameleon, &chameleon.Config{Freq: 1})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			secs(ch.OverheadBy["marker"]),
+			secs(ch.OverheadBy["cluster"]),
+			secs(ch.OverheadBy["intercomp"]),
+			secs(chOverhead(ch)),
+			secs(stOverhead(st)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: even at max marker calls, Chameleon stays ~an order below ScalaTrace (Obs. 6)")
+	return t, nil
+}
+
+// Figure9 sweeps the number of marker calls for LU class D (paper
+// Figure 9: overhead grows with marker calls, maxing at one call per
+// timestep, still an order below ScalaTrace).
+func Figure9(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "fig9",
+		Title:  fmt.Sprintf("Chameleon overhead vs # marker calls: LU class D, P=%d", p.TableP),
+		Header: []string{"#Calls", "Chameleon [secs]", "ST [secs]"},
+	}
+	st, err := chameleon.RunBenchmark("LU", "D", p.TableP, chameleon.TracerScalaTrace, nil)
+	if err != nil {
+		return nil, err
+	}
+	stS := secs(stOverhead(st))
+	for _, freq := range []int{20, 10, 4, 2, 1} {
+		ch, err := chameleon.RunBenchmark("LU", "D", p.TableP, chameleon.TracerChameleon, &chameleon.Config{Freq: freq})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", 300/freq), secs(chOverhead(ch)), stS,
+		})
+	}
+	t.Notes = append(t.Notes, "paper shape: overhead maxes at 300 calls, still an order below ScalaTrace")
+	return t, nil
+}
+
+// Figure10 forces phase changes in a modified LU (a new barrier every
+// tenth timestep) and sweeps the number of re-clusterings (paper
+// Figure 10).
+func Figure10(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "fig10",
+		Title:  fmt.Sprintf("Re-clustering cost: modified LU class D, 300 markers, P=%d", p.TableP),
+		Header: []string{"#Phases", "#Re-clusterings", "Chameleon [secs]", "ST [secs]"},
+	}
+	st, err := chameleon.RunBenchmark("LU", "D", p.TableP, chameleon.TracerScalaTrace, nil)
+	if err != nil {
+		return nil, err
+	}
+	stS := secs(stOverhead(st))
+	for _, phases := range []int{1, 5, 10, 20, 30} {
+		spec := apps.LUModified(apps.ClassD, p.TableP, phases)
+		ch, err := chameleon.RunSpec(spec, chameleon.TracerChameleon, &chameleon.Config{Freq: 1})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", phases),
+			fmt.Sprintf("%d", ch.Reclusterings),
+			secs(chOverhead(ch)), stS,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: cost grows mildly with re-clusterings; at 30 still an order below ScalaTrace (Obs. 7)")
+	return t, nil
+}
+
+// Figure11 sweeps the input class for LU at P=SmallP (paper Figure 11:
+// overhead grows with timestep count/problem size, stays an order below
+// ScalaTrace across classes).
+func Figure11(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "fig11",
+		Title:  fmt.Sprintf("Overhead per activity vs input class: LU, P=%d [secs]", p.SmallP),
+		Header: []string{"Class", "CH-marker", "CH-cluster", "CH-intercomp", "CH-total", "ST-intercomp"},
+	}
+	for _, class := range []string{"A", "B", "C", "D"} {
+		st, err := chameleon.RunBenchmark("LU", class, p.SmallP, chameleon.TracerScalaTrace, nil)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := chameleon.RunBenchmark("LU", class, p.SmallP, chameleon.TracerChameleon, &chameleon.Config{Freq: 1})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			class,
+			secs(ch.OverheadBy["marker"]),
+			secs(ch.OverheadBy["cluster"]),
+			secs(ch.OverheadBy["intercomp"]),
+			secs(chOverhead(ch)),
+			secs(stOverhead(st)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: an order of magnitude below ScalaTrace irrespective of input size (Obs. 8)")
+	return t, nil
+}

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+
+	"chameleon"
+)
+
+// TableI reports the a-priori cluster counts per benchmark (paper
+// Table I; the values are inputs, "determined a priori").
+func TableI(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "# of Clusters for the Tested Benchmarks",
+		Header: []string{"Pgm", "BT", "LU", "SP", "POP", "S3D", "LUW", "EMF"},
+	}
+	row := []string{"K"}
+	for _, name := range []string{"BT", "LU", "SP", "POP", "S3D", "LUW"} {
+		spec, err := benchSpec(name, 16)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fmt.Sprintf("%d", spec.K))
+	}
+	spec, err := benchSpec("EMF", 26)
+	if err != nil {
+		return nil, err
+	}
+	row = append(row, fmt.Sprintf("%d", spec.K))
+	t.Rows = append(t.Rows, row)
+	return t, nil
+}
+
+// TableII runs every benchmark under Chameleon and reports the executed
+// marker calls and the transition-graph state counts (paper Table II).
+func TableII(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "# of Marker Calls, and # of times in states C, L and AT",
+		Header: []string{"Pgm (P)", "#Iters.", "#Freq.", "#Calls", "#C", "#L", "#AT"},
+	}
+	type run struct {
+		name string
+		p    int
+	}
+	runs := []run{
+		{"BT", p.TableP}, {"LU", p.TableP}, {"SP", p.TableP},
+		{"POP", p.TableP}, {"S3D", p.TableP}, {"LUW", p.TableP},
+	}
+	for _, ep := range p.EMFScales {
+		runs = append(runs, run{"EMF", ep})
+	}
+	for _, r := range runs {
+		spec, err := benchSpec(r.name, r.p)
+		if err != nil {
+			return nil, err
+		}
+		out, err := chameleon.RunBenchmark(r.name, "D", r.p, chameleon.TracerChameleon, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s(%d): %w", r.name, r.p, err)
+		}
+		calls := out.StateCalls["AT"] + out.StateCalls["C"] + out.StateCalls["L"]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s(%d)", r.name, r.p),
+			fmt.Sprintf("%d", spec.Iters),
+			fmt.Sprintf("%d", spec.Freq),
+			fmt.Sprintf("%d", calls),
+			fmt.Sprintf("%d", out.StateCalls["C"]),
+			fmt.Sprintf("%d", out.StateCalls["L"]),
+			fmt.Sprintf("%d", out.StateCalls["AT"]),
+		})
+		if out.StateCalls["C"] == 1 {
+			continue
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: %d clusterings (paper: 1)", r.name, out.StateCalls["C"]))
+	}
+	t.Notes = append(t.Notes, "paper shape: one clustering per run; Lead state >= 70% of calls")
+	return t, nil
+}
+
+// TableIII compares ACURDION with Chameleon under the maximum number of
+// marker calls (paper Table III: BT class D, markers at every timestep).
+func TableIII(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "table3",
+		Title:  "Overhead[secs]: BT Class D — ACURDION vs Chameleon (max marker calls)",
+		Header: []string{"Pgm (P)"},
+	}
+	acRow := []string{"ACURDION"}
+	chRow := []string{"Chameleon"}
+	for _, scale := range p.Scales {
+		t.Header = append(t.Header, fmt.Sprintf("%d", scale))
+		ac, err := chameleon.RunBenchmark("BT", "D", scale, chameleon.TracerACURDION, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Max marker calls: a marker at every timestep (freq 1).
+		ch, err := chameleon.RunBenchmark("BT", "D", scale, chameleon.TracerChameleon, &chameleon.Config{Freq: 1})
+		if err != nil {
+			return nil, err
+		}
+		acOv := ac.OverheadBy["cluster"] + ac.OverheadBy["intercomp"]
+		chOv := chOverhead(ch)
+		acRow = append(acRow, secs(acOv))
+		chRow = append(chRow, secs(chOv))
+		if chOv > acOv {
+			t.Notes = append(t.Notes, fmt.Sprintf("P=%d: Chameleon/ACURDION = %.1fx (paper: ~2x)",
+				scale, float64(chOv)/float64(acOv)))
+		} else {
+			t.Notes = append(t.Notes, fmt.Sprintf("P=%d: SHAPE DEVIATION — ACURDION not cheaper", scale))
+		}
+	}
+	t.Rows = append(t.Rows, acRow, chRow)
+	return t, nil
+}
+
+// TableIV reports per-state trace memory for lead and non-lead ranks
+// (paper Table IV: BT class D, P=SmallP, markers at every timestep).
+func TableIV(p Params) (*Table, error) {
+	out, err := chameleon.RunBenchmark("BT", "D", p.SmallP, chameleon.TracerChameleon, &chameleon.Config{Freq: 1})
+	if err != nil {
+		return nil, err
+	}
+	// Classify ranks.
+	isLead := make(map[int]bool, len(out.Leads))
+	for _, l := range out.Leads {
+		isLead[l] = true
+	}
+	var leadRanks []int
+	for r := 0; r < out.P; r++ {
+		if isLead[r] && r != 0 {
+			leadRanks = append(leadRanks, r)
+		}
+	}
+	states := []string{"AT", "C", "L", "F"}
+	t := &Table{
+		ID: "table4",
+		Title: fmt.Sprintf("Memory Allocation for Traces in Bytes, BT Class D P=%d (%d leads, %d non-leads)",
+			out.P, len(out.Leads), out.P-len(out.Leads)),
+		Header: []string{"State", "#Calls", "rank0*", "leads(avg)", "non-lead(avg)"},
+	}
+	var r0Tot, leadTot, nonTot int
+	for si, st := range states {
+		r0 := out.SpaceByState[0][si]
+		leadSum, nonSum, nonCount := 0, 0, 0
+		for r := 1; r < out.P; r++ {
+			if isLead[r] {
+				leadSum += out.SpaceByState[r][si]
+			} else {
+				nonSum += out.SpaceByState[r][si]
+				nonCount++
+			}
+		}
+		leadAvg := 0
+		if len(leadRanks) > 0 {
+			leadAvg = leadSum / len(leadRanks)
+		}
+		nonAvg := 0
+		if nonCount > 0 {
+			nonAvg = nonSum / nonCount
+		}
+		r0Tot += r0
+		leadTot += leadAvg
+		nonTot += nonAvg
+		t.Rows = append(t.Rows, []string{
+			st,
+			fmt.Sprintf("%d", out.StateCalls[st]),
+			fmt.Sprintf("%d", r0),
+			fmt.Sprintf("%d", leadAvg),
+			fmt.Sprintf("%d", nonAvg),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"Total", "", fmt.Sprintf("%d", r0Tot),
+		fmt.Sprintf("%d", leadTot), fmt.Sprintf("%d", nonTot)})
+	t.Notes = append(t.Notes,
+		"* rank 0 allocates space for its own trace + the global online trace")
+	// Shape checks.
+	lIdx := 2 // state L row
+	nonLeadL := out.SpaceByState[1][lIdx]
+	for r := 1; r < out.P; r++ {
+		if !isLead[r] {
+			nonLeadL = out.SpaceByState[r][lIdx]
+			break
+		}
+	}
+	if nonLeadL == 0 {
+		t.Notes = append(t.Notes, "shape ok: non-lead ranks allocate 0 bytes in state L")
+	} else {
+		t.Notes = append(t.Notes, fmt.Sprintf("SHAPE DEVIATION: non-lead L allocation = %d", nonLeadL))
+	}
+	if r0Tot > leadTot && leadTot > 0 && nonTot < leadTot {
+		t.Notes = append(t.Notes, "shape ok: rank0 > leads > non-leads")
+	}
+	return t, nil
+}

@@ -1,0 +1,107 @@
+package mpi
+
+import "fmt"
+
+// Cart is a Cartesian topology view of a communicator (the
+// MPI_Cart_create family): rank <-> coordinate translation and
+// neighbor shifts, with per-dimension periodicity.
+type Cart struct {
+	comm     *Comm
+	dims     []int
+	periodic []bool
+}
+
+// NewCart attaches a Cartesian topology to the communicator. The product
+// of dims must equal the communicator size. Row-major order (the last
+// dimension varies fastest), as in MPI.
+func NewCart(c *Comm, dims []int, periodic []bool) (*Cart, error) {
+	if len(dims) == 0 || len(dims) != len(periodic) {
+		return nil, fmt.Errorf("mpi: cart dims/periodic mismatch")
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("mpi: invalid cart dimension %d", d)
+		}
+		n *= d
+	}
+	if n != c.Size() {
+		return nil, fmt.Errorf("mpi: cart covers %d ranks, comm has %d", n, c.Size())
+	}
+	return &Cart{
+		comm:     c,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}, nil
+}
+
+// Comm returns the underlying communicator.
+func (c *Cart) Comm() *Comm { return c.comm }
+
+// Dims returns the topology extents.
+func (c *Cart) Dims() []int { return append([]int(nil), c.dims...) }
+
+// Coords translates a communicator rank to Cartesian coordinates.
+func (c *Cart) Coords(rank int) []int {
+	coords := make([]int, len(c.dims))
+	for i := len(c.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % c.dims[i]
+		rank /= c.dims[i]
+	}
+	return coords
+}
+
+// Rank translates coordinates to a communicator rank; ok is false when a
+// coordinate falls outside a non-periodic dimension (periodic ones
+// wrap).
+func (c *Cart) Rank(coords []int) (rank int, ok bool) {
+	if len(coords) != len(c.dims) {
+		return -1, false
+	}
+	rank = 0
+	for i, x := range coords {
+		d := c.dims[i]
+		if x < 0 || x >= d {
+			if !c.periodic[i] {
+				return -1, false
+			}
+			x = ((x % d) + d) % d
+		}
+		rank = rank*d + x
+	}
+	return rank, true
+}
+
+// Shift returns the source and destination ranks for a displacement
+// along one dimension (MPI_Cart_shift): src is the rank that would send
+// to this one, dst the rank this one sends to. ok is false at a
+// non-periodic boundary (MPI_PROC_NULL).
+func (c *Cart) Shift(dim, disp int) (src, dst int, srcOK, dstOK bool) {
+	self := c.Coords(c.comm.Rank())
+	up := append([]int(nil), self...)
+	up[dim] += disp
+	down := append([]int(nil), self...)
+	down[dim] -= disp
+	dst, dstOK = c.Rank(up)
+	src, srcOK = c.Rank(down)
+	return src, dst, srcOK, dstOK
+}
+
+// SubComm splits the communicator into slices that keep the given
+// dimensions (MPI_Cart_sub): ranks sharing coordinates on the dropped
+// dimensions form one sub-communicator, ordered by the kept ones.
+func (c *Cart) SubComm(keep []bool) (*Comm, error) {
+	if len(keep) != len(c.dims) {
+		return nil, fmt.Errorf("mpi: cart sub mask mismatch")
+	}
+	coords := c.Coords(c.comm.Rank())
+	color, key := 0, 0
+	for i := range c.dims {
+		if keep[i] {
+			key = key*c.dims[i] + coords[i]
+		} else {
+			color = color*c.dims[i] + coords[i]
+		}
+	}
+	return c.comm.Split(color, key), nil
+}

@@ -1,0 +1,102 @@
+package mpi
+
+import "testing"
+
+func TestCartCoordsRoundTrip(t *testing.T) {
+	run(t, 12, func(p *Proc) {
+		cart, err := NewCart(p.World(), []int{3, 4}, []bool{false, true})
+		if err != nil {
+			t.Errorf("cart: %v", err)
+			return
+		}
+		coords := cart.Coords(p.Rank())
+		back, ok := cart.Rank(coords)
+		if !ok || back != p.Rank() {
+			t.Errorf("rank %d -> %v -> %d", p.Rank(), coords, back)
+		}
+	})
+}
+
+func TestCartErrors(t *testing.T) {
+	run(t, 6, func(p *Proc) {
+		if p.Rank() != 0 {
+			return
+		}
+		if _, err := NewCart(p.World(), []int{2, 2}, []bool{false, false}); err == nil {
+			t.Errorf("size mismatch accepted")
+		}
+		if _, err := NewCart(p.World(), []int{6}, []bool{false, true}); err == nil {
+			t.Errorf("mask mismatch accepted")
+		}
+		if _, err := NewCart(p.World(), []int{-6}, []bool{false}); err == nil {
+			t.Errorf("negative dim accepted")
+		}
+	})
+}
+
+func TestCartShift(t *testing.T) {
+	run(t, 12, func(p *Proc) {
+		cart, err := NewCart(p.World(), []int{3, 4}, []bool{false, true})
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		coords := cart.Coords(p.Rank())
+		// Dimension 0 is non-periodic: the top row has no upward source.
+		src, dst, srcOK, dstOK := cart.Shift(0, 1)
+		if coords[0] == 0 && srcOK {
+			t.Errorf("rank %d: spurious src %d", p.Rank(), src)
+		}
+		if coords[0] == 2 && dstOK {
+			t.Errorf("rank %d: spurious dst %d", p.Rank(), dst)
+		}
+		if coords[0] == 1 && (!srcOK || !dstOK) {
+			t.Errorf("rank %d: interior shift missing ends", p.Rank())
+		}
+		// Dimension 1 is periodic: shifts always resolve and wrap.
+		src, dst, srcOK, dstOK = cart.Shift(1, 1)
+		if !srcOK || !dstOK {
+			t.Errorf("rank %d: periodic shift failed", p.Rank())
+		}
+		wantDst := coords[0]*4 + (coords[1]+1)%4
+		if dst != wantDst {
+			t.Errorf("rank %d: dst %d, want %d", p.Rank(), dst, wantDst)
+		}
+		_ = src
+	})
+}
+
+func TestCartHaloExchange(t *testing.T) {
+	// A full periodic halo exchange driven by the topology: every rank
+	// receives its west neighbor's rank value.
+	run(t, 12, func(p *Proc) {
+		cart, _ := NewCart(p.World(), []int{3, 4}, []bool{true, true})
+		w := p.World()
+		src, dst, _, _ := cart.Shift(1, 1)
+		msg := w.Sendrecv(dst, 5, 8, p.Rank(), src, 5)
+		if msg.Payload.(int) != src {
+			t.Errorf("rank %d: heard %v, want %d", p.Rank(), msg.Payload, src)
+		}
+	})
+}
+
+func TestCartSubComm(t *testing.T) {
+	run(t, 12, func(p *Proc) {
+		cart, _ := NewCart(p.World(), []int{3, 4}, []bool{false, false})
+		// Keep dimension 1: row communicators of size 4.
+		rows, err := cart.SubComm([]bool{false, true})
+		if err != nil || rows == nil {
+			t.Errorf("sub comm: %v", err)
+			return
+		}
+		if rows.Size() != 4 {
+			t.Errorf("row size = %d", rows.Size())
+		}
+		sum := rows.Allreduce(8, uint64(p.Rank()), OpSum)
+		row := p.Rank() / 4
+		want := uint64(4*row*4 + 6) // sum of the row's world ranks
+		if sum != want {
+			t.Errorf("rank %d: row sum %d, want %d", p.Rank(), sum, want)
+		}
+	})
+}

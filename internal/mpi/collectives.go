@@ -1,0 +1,336 @@
+package mpi
+
+// ReduceOp combines two uint64 reduction operands.
+type ReduceOp func(a, b uint64) uint64
+
+// Built-in reduction operators.
+var (
+	OpSum ReduceOp = func(a, b uint64) uint64 { return a + b }
+	OpMax ReduceOp = func(a, b uint64) uint64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b uint64) uint64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	OpBor ReduceOp = func(a, b uint64) uint64 { return a | b }
+)
+
+// collTag derives a unique internal tag for the seq-th collective on
+// communicator id, phase in [0,16). All ranks call collectives on a
+// communicator in the same order (an MPI requirement), so tags agree.
+func collTag(id CommID, seq, phase int) int {
+	return int(id)<<40 | seq<<4 | phase
+}
+
+// nextSeq advances this rank's collective sequence number for the
+// communicator.
+func (c *Comm) nextSeq() int {
+	s := c.p.collSeq[c.id]
+	c.p.collSeq[c.id] = s + 1
+	return s
+}
+
+// vrank maps a communicator rank to its position in a tree rooted at
+// root.
+func vrank(rank, root, p int) int { return (rank - root + p) % p }
+
+func unvrank(vr, root, p int) int { return (vr + root) % p }
+
+// internal returns the untraced alias of this communicator used for
+// collective internals (separate matching context, like an MPI
+// collective context id).
+func (c *Comm) internal() Comm {
+	return Comm{p: c.p, id: CommInternal, group: c.group, self: c.self}
+}
+
+// treeBcast broadcasts payload down a binomial tree rooted at root and
+// returns the (possibly received) payload on every rank.
+func (c *Comm) treeBcast(root, tag, bytes int, payload any) any {
+	p := len(c.group)
+	vr := vrank(c.self, root, p)
+	in := c.internal()
+	model := c.p.rt.model
+
+	// Canonical binomial broadcast: a non-root rank receives from
+	// vr - lowbit(vr); every rank then forwards to vr + mask for each
+	// mask below its receive mask.
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			src := unvrank(vr-mask, root, p)
+			msg := in.rawRecv(src, tag)
+			payload = msg.Payload
+			bytes = msg.Bytes
+			c.p.Clock.Advance(model.CollectivePerLevel)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < p {
+			in.rawSend(unvrank(vr+mask, root, p), tag, bytes, payload)
+		}
+		mask >>= 1
+	}
+	return payload
+}
+
+// treeReduceU64 reduces val to root over a binomial tree; the reduced
+// value is meaningful only at root.
+func (c *Comm) treeReduceU64(root, tag int, val uint64, op ReduceOp) uint64 {
+	p := len(c.group)
+	vr := vrank(c.self, root, p)
+	in := c.internal()
+	model := c.p.rt.model
+
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			dst := unvrank(vr&^mask, root, p)
+			in.rawSend(dst, tag, 8, val)
+			break
+		}
+		if vr|mask < p {
+			src := unvrank(vr|mask, root, p)
+			msg := in.rawRecv(src, tag)
+			val = op(val, msg.Payload.(uint64))
+			c.p.Clock.Advance(model.CollectivePerLevel)
+		}
+		mask <<= 1
+	}
+	return val
+}
+
+type gatherPair struct {
+	Rank int
+	Obj  any
+}
+
+// treeGather collects every rank's (rank, obj) contribution at root via a
+// binomial tree; only root's return value is meaningful (indexed by comm
+// rank).
+func (c *Comm) treeGather(root, tag, bytes int, obj any) []any {
+	p := len(c.group)
+	vr := vrank(c.self, root, p)
+	in := c.internal()
+	model := c.p.rt.model
+
+	acc := []gatherPair{{Rank: c.self, Obj: obj}}
+	accBytes := bytes
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			dst := unvrank(vr&^mask, root, p)
+			in.rawSend(dst, tag, accBytes, acc)
+			return nil
+		}
+		if vr|mask < p {
+			src := unvrank(vr|mask, root, p)
+			msg := in.rawRecv(src, tag)
+			acc = append(acc, msg.Payload.([]gatherPair)...)
+			accBytes += msg.Bytes
+			c.p.Clock.Advance(model.CollectivePerLevel)
+		}
+		mask <<= 1
+	}
+	if vr != 0 {
+		return nil
+	}
+	out := make([]any, p)
+	for _, pr := range acc {
+		out[pr.Rank] = pr.Obj
+	}
+	return out
+}
+
+// --- raw (untraced) collectives for the tracing layer ----------------------
+
+// RawBarrier synchronizes all ranks of the communicator (reduce+bcast of
+// an empty payload) without interposition.
+func (c *Comm) RawBarrier() { c.rawBarrier() }
+
+func (c *Comm) rawBarrier() {
+	seq := c.nextSeq()
+	c.treeReduceU64(0, collTag(c.id, seq, 0), 0, OpSum)
+	c.treeBcast(0, collTag(c.id, seq, 1), 0, nil)
+	// A barrier leaves every rank at (at least) the time the last rank
+	// reached it plus the tree traversal costs already charged.
+}
+
+// RawBcastU64 broadcasts v from root without interposition.
+func (c *Comm) RawBcastU64(root int, v uint64) uint64 {
+	return c.rawBcastU64(root, v)
+}
+
+func (c *Comm) rawBcastU64(root int, v uint64) uint64 {
+	seq := c.nextSeq()
+	return c.treeBcast(root, collTag(c.id, seq, 0), 8, v).(uint64)
+}
+
+// RawReduceU64 reduces v to root without interposition; only root's
+// return value is meaningful.
+func (c *Comm) RawReduceU64(root int, v uint64, op ReduceOp) uint64 {
+	seq := c.nextSeq()
+	return c.treeReduceU64(root, collTag(c.id, seq, 0), v, op)
+}
+
+// RawAllreduceU64 is Reduce followed by Bcast (the structure Algorithm 1
+// prescribes: "Sum all tempReduceVals using MPI_Reduce; MPI_Bcast ... by
+// rank root").
+func (c *Comm) RawAllreduceU64(v uint64, op ReduceOp) uint64 {
+	seq := c.nextSeq()
+	r := c.treeReduceU64(0, collTag(c.id, seq, 0), v, op)
+	return c.treeBcast(0, collTag(c.id, seq, 1), 8, r).(uint64)
+}
+
+// RawBcastObj broadcasts an opaque object of the given payload size from
+// root without interposition.
+func (c *Comm) RawBcastObj(root int, obj any, bytes int) any {
+	seq := c.nextSeq()
+	return c.treeBcast(root, collTag(c.id, seq, 0), bytes, obj)
+}
+
+// RawGatherObj gathers per-rank objects at root without interposition;
+// root receives a slice indexed by comm rank, others nil.
+func (c *Comm) RawGatherObj(root int, obj any, bytes int) []any {
+	seq := c.nextSeq()
+	return c.treeGather(root, collTag(c.id, seq, 0), bytes, obj)
+}
+
+// --- public (traced) collectives -------------------------------------------
+
+// Barrier synchronizes the communicator.
+func (c *Comm) Barrier() {
+	ci := &CallInfo{Op: OpBarrier, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: NoPeer}
+	c.p.hooks.Pre(ci)
+	c.rawBarrier()
+	c.p.hooks.Post(ci)
+}
+
+// Bcast broadcasts payload (of the given size) from root and returns it
+// on every rank.
+func (c *Comm) Bcast(root, bytes int, payload any) any {
+	ci := &CallInfo{Op: OpBcast, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: root, Bytes: bytes}
+	c.p.hooks.Pre(ci)
+	seq := c.nextSeq()
+	out := c.treeBcast(root, collTag(c.id, seq, 0), bytes, payload)
+	c.p.hooks.Post(ci)
+	return out
+}
+
+// Reduce reduces val to root with op; bytes sizes the per-rank
+// contribution for cost purposes.
+func (c *Comm) Reduce(root, bytes int, val uint64, op ReduceOp) uint64 {
+	ci := &CallInfo{Op: OpReduce, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: root, Bytes: bytes}
+	c.p.hooks.Pre(ci)
+	seq := c.nextSeq()
+	out := c.treeReduceU64(root, collTag(c.id, seq, 0), val, op)
+	c.p.hooks.Post(ci)
+	return out
+}
+
+// Allreduce reduces val across all ranks and distributes the result.
+func (c *Comm) Allreduce(bytes int, val uint64, op ReduceOp) uint64 {
+	ci := &CallInfo{Op: OpAllreduce, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: 0, Bytes: bytes}
+	c.p.hooks.Pre(ci)
+	seq := c.nextSeq()
+	r := c.treeReduceU64(0, collTag(c.id, seq, 0), val, op)
+	out := c.treeBcast(0, collTag(c.id, seq, 1), 8, r).(uint64)
+	c.p.hooks.Post(ci)
+	return out
+}
+
+// Gather collects per-rank payloads at root (slice indexed by comm rank
+// at root, nil elsewhere).
+func (c *Comm) Gather(root, bytes int, payload any) []any {
+	ci := &CallInfo{Op: OpGather, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: root, Bytes: bytes}
+	c.p.hooks.Pre(ci)
+	seq := c.nextSeq()
+	out := c.treeGather(root, collTag(c.id, seq, 0), bytes, payload)
+	c.p.hooks.Post(ci)
+	return out
+}
+
+// Allgather collects every rank's payload everywhere.
+func (c *Comm) Allgather(bytes int, payload any) []any {
+	ci := &CallInfo{Op: OpAllgather, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: 0, Bytes: bytes}
+	c.p.hooks.Pre(ci)
+	seq := c.nextSeq()
+	gathered := c.treeGather(root0, collTag(c.id, seq, 0), bytes, payload)
+	out := c.treeBcast(root0, collTag(c.id, seq, 1), bytes*len(c.group), gathered)
+	c.p.hooks.Post(ci)
+	if out == nil {
+		return nil
+	}
+	return out.([]any)
+}
+
+const root0 = 0
+
+// Scatter distributes payloads[i] from root to comm rank i; returns this
+// rank's element.
+func (c *Comm) Scatter(root, bytes int, payloads []any) any {
+	ci := &CallInfo{Op: OpScatter, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: root, Bytes: bytes}
+	c.p.hooks.Pre(ci)
+	seq := c.nextSeq()
+	tag := collTag(c.id, seq, 0)
+	in := c.internal()
+	var mine any
+	if c.self == root {
+		if payloads != nil {
+			mine = payloads[root]
+		}
+		for r := range c.group {
+			if r == root {
+				continue
+			}
+			var obj any
+			if payloads != nil {
+				obj = payloads[r]
+			}
+			in.rawSend(r, tag, bytes, obj)
+		}
+	} else {
+		mine = in.rawRecv(root, tag).Payload
+	}
+	c.p.hooks.Post(ci)
+	return mine
+}
+
+// Alltoall performs a pairwise exchange of bytes with every other rank
+// (payloads are synthetic; only the communication shape and cost matter).
+func (c *Comm) Alltoall(bytes int) {
+	ci := &CallInfo{Op: OpAlltoall, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: NoPeer, Bytes: bytes}
+	c.p.hooks.Pre(ci)
+	seq := c.nextSeq()
+	tag := collTag(c.id, seq, 0)
+	in := c.internal()
+	p := len(c.group)
+	// Pairwise exchange: in round r, exchange with self XOR r (when that
+	// peer exists), the standard power-of-two schedule generalized by
+	// skipping out-of-range peers.
+	for r := 1; r < nextPow2(p); r++ {
+		peer := c.self ^ r
+		if peer >= p {
+			continue
+		}
+		in.rawSend(peer, tag, bytes, nil)
+		in.rawRecv(peer, tag)
+	}
+	c.p.hooks.Post(ci)
+}
+
+func nextPow2(p int) int {
+	v := 1
+	for v < p {
+		v <<= 1
+	}
+	return v
+}

@@ -1,0 +1,508 @@
+// Package mpi is a deterministic, in-process simulation of the MPI
+// runtime the paper's tracing stack interposes on.
+//
+// Each MPI rank is a goroutine driving a Proc handle. Point-to-point and
+// collective operations have MPI matching semantics (communicators, tag
+// and source wildcards, non-overtaking order) and advance per-rank
+// virtual clocks according to a vtime.CostModel, so the maximum final
+// clock is the virtual makespan of the run. An Interposer receives a
+// Pre/Post callback around every public operation — the Go equivalent of
+// the PMPI profiling layer ScalaTrace and Chameleon hook into. The Raw*
+// variants perform the same communication without interposition and are
+// what the tracing layer itself uses, mirroring how PMPI tools call
+// PMPI_* internals.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"chameleon/internal/vtime"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// NoPeer marks a call with no peer rank (collectives, Wait).
+const NoPeer = -2
+
+// CommID identifies a communicator. Matching requires equal CommIDs.
+type CommID int32
+
+// Reserved communicators.
+const (
+	// CommWorld is MPI_COMM_WORLD.
+	CommWorld CommID = 0
+	// CommMarker is the communicator Chameleon reserves for its marker
+	// barrier ("a unique value [in] the communicator field").
+	CommMarker CommID = 1
+	// CommInternal carries the tracing layer's own (untraced) messages so
+	// they can never match application receives.
+	CommInternal CommID = 2
+	// commUserBase is the first CommID handed to user Dup calls.
+	commUserBase CommID = 16
+)
+
+// CallInfo describes one intercepted MPI call for the interposition
+// layer.
+type CallInfo struct {
+	Op    OpCode
+	Comm  CommID
+	Dest  int // destination rank (sends, Sendrecv) or NoPeer
+	Src   int // source rank (recvs, Sendrecv; may be AnySource) or NoPeer
+	Root  int // root rank for rooted collectives, else NoPeer
+	Tag   int
+	Bytes int // payload size of this rank's contribution
+	// MatchedSrc is filled in by Post for receives: the actual source the
+	// message was matched from (resolves AnySource).
+	MatchedSrc int
+}
+
+// Interposer is the PMPI-style hook interface. Pre runs before the
+// operation's communication; Post runs after it completes. Both run on
+// the rank's own goroutine.
+type Interposer interface {
+	Pre(ci *CallInfo)
+	Post(ci *CallInfo)
+	// Finalize is invoked collectively (all ranks) after the application
+	// body returns, mirroring the MPI_Finalize PMPI wrapper where
+	// ScalaTrace performs inter-node compression.
+	Finalize()
+}
+
+// NopInterposer ignores all hooks (running without a tracer).
+type NopInterposer struct{}
+
+// Pre implements Interposer.
+func (NopInterposer) Pre(*CallInfo) {}
+
+// Post implements Interposer.
+func (NopInterposer) Post(*CallInfo) {}
+
+// Finalize implements Interposer.
+func (NopInterposer) Finalize() {}
+
+// rankState tracks what a rank is doing, for conservative wildcard
+// matching.
+type rankState int32
+
+const (
+	stateActive     rankState = iota // executing application code
+	stateBlocked                     // blocked in a receive
+	stateFinalizing                  // past the application body: only
+	// tracing-layer (internal) traffic can follow
+	stateDone // body and finalize complete
+)
+
+// Runtime is one simulated MPI job.
+type Runtime struct {
+	p         int
+	model     vtime.CostModel
+	mailboxes []*mailbox
+	procs     []*Proc
+	nextComm  CommID
+	commMu    sync.Mutex
+
+	// states holds each rank's rankState (atomic).
+	states []atomic.Int32
+	// gmu/gcond/generation implement the global change notification
+	// conservative ANY_SOURCE matching waits on: every deposit and
+	// every rank-state transition bumps the generation.
+	gmu        sync.Mutex
+	gcond      *sync.Cond
+	generation uint64
+	// anyWaiters gates the generation bumping: when no wildcard matcher
+	// is waiting (the common case), deposits skip the global broadcast.
+	anyWaiters atomic.Int32
+	// aborted is set when any rank panics so blocked peers unwind.
+	aborted atomic.Bool
+}
+
+// errAborted is the sentinel blocked ranks panic with after a peer rank
+// failed; Run recognizes and suppresses it in favor of the root cause.
+type abortError struct{}
+
+func (abortError) Error() string { return "mpi: run aborted by peer failure" }
+
+var errAborted = abortError{}
+
+// abort marks the run failed and wakes every blocked rank.
+func (rt *Runtime) abort() {
+	rt.aborted.Store(true)
+	for _, mb := range rt.mailboxes {
+		mb.cond.Broadcast()
+	}
+	rt.bump()
+}
+
+// takeAny performs a conservative wildcard receive for rank self: it
+// repeatedly picks the earliest-arrival candidate and matches it only
+// once lbtsSafe proves no earlier message can still appear.
+func (rt *Runtime) takeAny(self int, mb *mailbox, comm CommID, tag int) message {
+	rt.anyWaiters.Add(1)
+	defer rt.anyWaiters.Add(-1)
+	for {
+		g := rt.gen()
+		mb.mu.Lock()
+		best := mb.scanAny(comm, tag)
+		var cand message
+		if best >= 0 {
+			cand = mb.msgs[best]
+		}
+		mb.mu.Unlock()
+		// The safety scan is only trusted if no deposit or rank-state
+		// transition interleaved with it (the generation is unchanged);
+		// clock advances alone only strengthen the bound, so they need
+		// no bump. On any interleaving, re-evaluate.
+		if best >= 0 && rt.lbtsSafe(self, cand.arrive) && rt.gen() == g {
+			// Re-take under the lock: only earlier candidates can have
+			// appeared meanwhile, and safety is monotone downward.
+			mb.mu.Lock()
+			i := mb.scanAny(comm, tag)
+			msg := mb.msgs[i]
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			mb.mu.Unlock()
+			return msg
+		}
+		if rt.gen() != g {
+			continue
+		}
+		if rt.aborted.Load() {
+			panic(errAborted)
+		}
+		rt.waitChange(g)
+	}
+}
+
+// bump signals a global state change to wildcard matchers.
+func (rt *Runtime) bump() {
+	rt.gmu.Lock()
+	rt.generation++
+	rt.gcond.Broadcast()
+	rt.gmu.Unlock()
+}
+
+// gen snapshots the change generation.
+func (rt *Runtime) gen() uint64 {
+	rt.gmu.Lock()
+	g := rt.generation
+	rt.gmu.Unlock()
+	return g
+}
+
+// waitChange blocks until the generation moves past old.
+func (rt *Runtime) waitChange(old uint64) {
+	rt.gmu.Lock()
+	for rt.generation == old {
+		rt.gcond.Wait()
+	}
+	rt.gmu.Unlock()
+}
+
+// setState transitions a rank's state and wakes wildcard matchers.
+func (rt *Runtime) setState(rank int, s rankState) {
+	rt.states[rank].Store(int32(s))
+	if rt.anyWaiters.Load() > 0 {
+		rt.bump()
+	}
+}
+
+// lbtsSafe reports whether a wildcard match at arrival time t on rank
+// self is conservative: no other rank can still produce a message that
+// would arrive earlier. An active rank's future sends arrive no earlier
+// than its clock plus the send latency. A blocked rank acts again only
+// at max(its clock, its earliest pending arrival) — both only grow — so
+// that maximum plus the latency bounds its future influence (this
+// includes ranks blocked inside collectives mid-run: a pending internal
+// message can be the first link of a chain that returns them to
+// application code). Finalizing and done ranks can never send
+// application messages again and are exempt. This is the
+// lower-bound-time-stamp rule of conservative parallel discrete-event
+// simulation, specialized to the one-hop unblocking chain.
+func (rt *Runtime) lbtsSafe(self int, t vtime.Time) bool {
+	alpha := vtime.Time(rt.model.Alpha)
+	for r := range rt.procs {
+		if r == self {
+			continue
+		}
+		switch rankState(rt.states[r].Load()) {
+		case stateDone, stateFinalizing:
+			// Past the application body: no further application sends.
+			continue
+		case stateActive:
+			if rt.procs[r].Clock.Now()+alpha < t {
+				return false
+			}
+		default:
+			// Blocked in a receive: only a message matching the blocked
+			// pattern can unblock the rank, no earlier than max(its
+			// clock, the matching message's arrival). No matching
+			// pending message means it waits on a future deposit from a
+			// rank already accounted for.
+			proc := rt.procs[r]
+			bound, ok := rt.mailboxes[r].minArriveMatching(
+				CommID(proc.blockedComm.Load()),
+				int(proc.blockedSrc.Load()),
+				int(proc.blockedTag.Load()),
+			)
+			if !ok {
+				continue
+			}
+			if c := proc.Clock.Now(); c > bound {
+				bound = c
+			}
+			if bound+alpha < t {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Proc is the per-rank handle passed to the application body. All of its
+// methods must be called from the rank's own goroutine.
+type Proc struct {
+	rank   int
+	rt     *Runtime
+	Clock  *vtime.Clock
+	Ledger *vtime.Ledger
+	hooks  Interposer
+	world  *Comm
+	marker *Comm
+	// blockedComm/Src/Tag record what this rank's in-progress receive is
+	// waiting for, for the conservative matcher's unblock bound. Written
+	// by the rank before it enters the blocked state.
+	blockedComm atomic.Int32
+	blockedSrc  atomic.Int64
+	blockedTag  atomic.Int64
+	// collSeq disambiguates successive collectives per communicator.
+	collSeq map[CommID]int
+}
+
+// Rank returns this process's rank in CommWorld.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the job.
+func (p *Proc) Size() int { return p.rt.p }
+
+// Model returns the runtime's cost model.
+func (p *Proc) Model() vtime.CostModel { return p.rt.model }
+
+// World returns this rank's CommWorld handle.
+func (p *Proc) World() *Comm { return p.world }
+
+// MarkerComm returns the reserved marker communicator (same group as
+// world, distinct CommID).
+func (p *Proc) MarkerComm() *Comm { return p.marker }
+
+// SetInterposer installs the PMPI-style hook chain for this rank.
+func (p *Proc) SetInterposer(h Interposer) {
+	if h == nil {
+		h = NopInterposer{}
+	}
+	p.hooks = h
+}
+
+// Interposer returns the installed hook chain.
+func (p *Proc) Interposer() Interposer { return p.hooks }
+
+// Compute advances this rank's virtual clock by d of application
+// computation. The tracing layer observes it as inter-event delta time.
+func (p *Proc) Compute(d vtime.Duration) {
+	p.Ledger.Charge(vtime.CatApp, d)
+	p.Clock.Advance(d)
+}
+
+// ChargeOverhead advances the clock by d and books it to category c;
+// used by the tracing layer to account its own work on the virtual
+// timeline.
+func (p *Proc) ChargeOverhead(c vtime.Category, d vtime.Duration) {
+	p.Ledger.Charge(c, d)
+	p.Clock.Advance(d)
+}
+
+// Comm is one rank's handle on a communicator.
+type Comm struct {
+	p     *Proc
+	id    CommID
+	group []int // world ranks in this communicator, position = comm rank
+	self  int   // this rank's position in group
+}
+
+// ID returns the communicator identity.
+func (c *Comm) ID() CommID { return c.id }
+
+// Size returns the communicator group size.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.self }
+
+// Proc returns the owning process handle.
+func (c *Comm) Proc() *Proc { return c.p }
+
+// worldRank translates a communicator rank to a world rank.
+func (c *Comm) worldRank(r int) int { return c.group[r] }
+
+// Dup creates a new communicator with the same group. It must be called
+// by all members; the CommID is derived deterministically from a shared
+// counter fetched at the same collective point.
+func (c *Comm) Dup() *Comm {
+	// Synchronize the group, then allocate one shared ID at the root and
+	// broadcast it.
+	c.rawBarrier()
+	var id CommID
+	if c.self == 0 {
+		id = c.p.rt.allocComm()
+	}
+	id = CommID(c.rawBcastU64(0, uint64(id)))
+	return &Comm{p: c.p, id: id, group: c.group, self: c.self}
+}
+
+func (rt *Runtime) allocComm() CommID {
+	rt.commMu.Lock()
+	defer rt.commMu.Unlock()
+	id := rt.nextComm
+	rt.nextComm++
+	return id
+}
+
+// Config parameterizes a simulated run.
+type Config struct {
+	// P is the number of ranks.
+	P int
+	// Model is the virtual cost model (vtime.Default() if zero).
+	Model vtime.CostModel
+	// Hooks builds the per-rank interposer; nil runs untraced.
+	Hooks func(p *Proc) Interposer
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	P        int
+	Clocks   []vtime.Time
+	Ledgers  []*vtime.Ledger
+	Makespan vtime.Duration
+}
+
+// AggregateLedger sums all per-rank ledgers (the paper reports
+// "aggregated wall-clock times across all nodes").
+func (r *Result) AggregateLedger() *vtime.Ledger {
+	var agg vtime.Ledger
+	for _, l := range r.Ledgers {
+		agg.Merge(l)
+	}
+	return &agg
+}
+
+// MaxClock returns the latest per-rank final time.
+func (r *Result) MaxClock() vtime.Time {
+	var m vtime.Time
+	for _, c := range r.Clocks {
+		m = vtime.Max(m, c)
+	}
+	return m
+}
+
+// Run executes body on cfg.P simulated ranks and blocks until all ranks
+// (and their Finalize hooks) complete.
+func Run(cfg Config, body func(p *Proc)) (*Result, error) {
+	if cfg.P <= 0 {
+		return nil, fmt.Errorf("mpi: invalid rank count %d", cfg.P)
+	}
+	zero := vtime.CostModel{}
+	if cfg.Model == zero {
+		cfg.Model = vtime.Default()
+	}
+	rt := &Runtime{
+		p:         cfg.P,
+		model:     cfg.Model,
+		mailboxes: make([]*mailbox, cfg.P),
+		procs:     make([]*Proc, cfg.P),
+		nextComm:  commUserBase,
+		states:    make([]atomic.Int32, cfg.P),
+	}
+	rt.gcond = sync.NewCond(&rt.gmu)
+	group := make([]int, cfg.P)
+	for i := range group {
+		group[i] = i
+	}
+	for r := 0; r < cfg.P; r++ {
+		rt.mailboxes[r] = newMailbox(&rt.aborted)
+		p := &Proc{
+			rank:    r,
+			rt:      rt,
+			Clock:   &vtime.Clock{},
+			Ledger:  &vtime.Ledger{},
+			hooks:   NopInterposer{},
+			collSeq: make(map[CommID]int),
+		}
+		p.world = &Comm{p: p, id: CommWorld, group: group, self: r}
+		p.marker = &Comm{p: p, id: CommMarker, group: group, self: r}
+		rt.procs[r] = p
+	}
+	if cfg.Hooks != nil {
+		for _, p := range rt.procs {
+			p.SetInterposer(cfg.Hooks(p))
+		}
+	}
+
+	var wg sync.WaitGroup
+	panics := make([]any, cfg.P)
+	for r := 0; r < cfg.P; r++ {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[p.rank] = e
+					rt.setState(p.rank, stateDone)
+					// Unblock peers waiting on this rank; they unwind
+					// with errAborted.
+					p.rt.abort()
+				}
+			}()
+			body(p)
+			// Past the body: only tracing-layer traffic follows, which
+			// the conservative wildcard matcher may disregard.
+			rt.setState(p.rank, stateFinalizing)
+			// MPI_Finalize: collective point where tracers flush.
+			ci := &CallInfo{Op: OpFinalize, Comm: CommWorld, Dest: NoPeer, Src: NoPeer, Root: 0}
+			p.hooks.Pre(ci)
+			p.world.rawBarrier()
+			p.hooks.Post(ci)
+			p.hooks.Finalize()
+			rt.setState(p.rank, stateDone)
+		}(rt.procs[r])
+	}
+	wg.Wait()
+	var firstErr error
+	for r, e := range panics {
+		if e == nil {
+			continue
+		}
+		if _, cascade := e.(abortError); cascade {
+			continue // victim of another rank's failure
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("mpi: rank %d panicked: %v", r, e)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if rt.aborted.Load() {
+		return nil, fmt.Errorf("mpi: run aborted")
+	}
+	res := &Result{P: cfg.P, Clocks: make([]vtime.Time, cfg.P), Ledgers: make([]*vtime.Ledger, cfg.P)}
+	for r, p := range rt.procs {
+		res.Clocks[r] = p.Clock.Now()
+		res.Ledgers[r] = p.Ledger
+	}
+	res.Makespan = vtime.Duration(res.MaxClock())
+	return res, nil
+}

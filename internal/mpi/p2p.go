@@ -1,0 +1,166 @@
+package mpi
+
+import (
+	"fmt"
+
+	"chameleon/internal/vtime"
+)
+
+// Message is a received point-to-point message.
+type Message struct {
+	Source  int // communicator rank of the sender
+	Tag     int
+	Bytes   int
+	Payload any
+	// Arrive is the virtual time the message became available.
+	Arrive vtime.Time
+}
+
+// --- raw (untraced) layer -------------------------------------------------
+
+// rawSend deposits a message in dest's mailbox. Eager protocol: the
+// sender is charged only its injection overhead (alpha); the transfer
+// completes at sendTime + PtoP(bytes) on the receiver side.
+func (c *Comm) rawSend(dest, tag, bytes int, payload any) {
+	if dest < 0 || dest >= len(c.group) {
+		panic(fmt.Sprintf("mpi: rank %d send to invalid rank %d (comm %d)", c.self, dest, c.id))
+	}
+	rt := c.p.rt
+	m := rt.model
+	sendAt := c.p.Clock.Advance(m.Alpha)
+	rt.mailboxes[c.worldRank(dest)].deposit(message{
+		comm:    c.id,
+		source:  c.self,
+		tag:     tag,
+		bytes:   bytes,
+		payload: payload,
+		arrive:  sendAt + vtime.Time(m.PtoP(bytes)-m.Alpha),
+	})
+	if rt.anyWaiters.Load() > 0 {
+		rt.bump()
+	}
+}
+
+// rawRecv blocks until a matching message is available and advances the
+// receiver clock to the message's arrival time. Wildcard receives match
+// conservatively (see Runtime.takeAny) so virtual-time order does not
+// depend on goroutine scheduling.
+func (c *Comm) rawRecv(source, tag int) Message {
+	if source != AnySource && (source < 0 || source >= len(c.group)) {
+		panic(fmt.Sprintf("mpi: rank %d recv from invalid rank %d (comm %d)", c.self, source, c.id))
+	}
+	rt := c.p.rt
+	self := c.worldRank(c.self)
+	c.p.blockedComm.Store(int32(c.id))
+	c.p.blockedSrc.Store(int64(source))
+	c.p.blockedTag.Store(int64(tag))
+	rt.setState(self, stateBlocked)
+	var msg message
+	if source == AnySource {
+		msg = rt.takeAny(self, rt.mailboxes[self], c.id, tag)
+	} else {
+		msg = rt.mailboxes[self].take(c.id, source, tag)
+	}
+	rt.setState(self, stateActive)
+	c.p.Clock.AdvanceTo(msg.arrive)
+	c.p.Clock.Advance(rt.model.Alpha) // receive-side software overhead
+	return Message{Source: msg.source, Tag: msg.tag, Bytes: msg.bytes, Payload: msg.payload, Arrive: msg.arrive}
+}
+
+// RawSend sends without interposition (tracing-layer internal traffic).
+// It always travels on CommInternal so it can never match application
+// receives.
+func (c *Comm) RawSend(dest, tag, bytes int, payload any) {
+	internal := Comm{p: c.p, id: CommInternal, group: c.group, self: c.self}
+	internal.rawSend(dest, tag, bytes, payload)
+}
+
+// RawRecv receives tracing-layer internal traffic.
+func (c *Comm) RawRecv(source, tag int) Message {
+	internal := Comm{p: c.p, id: CommInternal, group: c.group, self: c.self}
+	return internal.rawRecv(source, tag)
+}
+
+// --- public (traced) layer ------------------------------------------------
+
+// Send sends bytes (payload optional) to dest with tag.
+func (c *Comm) Send(dest, tag, bytes int, payload any) {
+	ci := &CallInfo{Op: OpSend, Comm: c.id, Dest: dest, Src: NoPeer, Root: NoPeer, Tag: tag, Bytes: bytes}
+	c.p.hooks.Pre(ci)
+	c.rawSend(dest, tag, bytes, payload)
+	c.p.hooks.Post(ci)
+}
+
+// Recv blocks for a message from source (or AnySource) with tag (or
+// AnyTag).
+func (c *Comm) Recv(source, tag int) Message {
+	ci := &CallInfo{Op: OpRecv, Comm: c.id, Dest: NoPeer, Src: source, Root: NoPeer, Tag: tag}
+	c.p.hooks.Pre(ci)
+	msg := c.rawRecv(source, tag)
+	ci.Bytes = msg.Bytes
+	ci.MatchedSrc = msg.Source
+	c.p.hooks.Post(ci)
+	return msg
+}
+
+// Request is a handle on a nonblocking operation.
+type Request struct {
+	comm   *Comm
+	op     OpCode
+	source int
+	tag    int
+	done   bool
+	msg    Message
+}
+
+// Isend starts a nonblocking send. The simulated runtime is eager, so
+// the send completes immediately; Wait on the returned request is a
+// no-op that exists for program-shape fidelity.
+func (c *Comm) Isend(dest, tag, bytes int, payload any) *Request {
+	ci := &CallInfo{Op: OpIsend, Comm: c.id, Dest: dest, Src: NoPeer, Root: NoPeer, Tag: tag, Bytes: bytes}
+	c.p.hooks.Pre(ci)
+	c.rawSend(dest, tag, bytes, payload)
+	c.p.hooks.Post(ci)
+	return &Request{comm: c, op: OpIsend, done: true}
+}
+
+// Irecv posts a nonblocking receive; the match happens at Wait.
+func (c *Comm) Irecv(source, tag int) *Request {
+	ci := &CallInfo{Op: OpIrecv, Comm: c.id, Dest: NoPeer, Src: source, Root: NoPeer, Tag: tag}
+	c.p.hooks.Pre(ci)
+	c.p.hooks.Post(ci)
+	return &Request{comm: c, op: OpIrecv, source: source, tag: tag}
+}
+
+// Wait completes a request, returning the received message for Irecv.
+func (c *Comm) Wait(r *Request) Message {
+	ci := &CallInfo{Op: OpWait, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: NoPeer}
+	c.p.hooks.Pre(ci)
+	if !r.done {
+		r.msg = c.rawRecv(r.source, r.tag)
+		r.done = true
+		ci.Bytes = r.msg.Bytes
+		ci.MatchedSrc = r.msg.Source
+	}
+	c.p.hooks.Post(ci)
+	return r.msg
+}
+
+// Waitall completes a set of requests.
+func (c *Comm) Waitall(rs ...*Request) {
+	for _, r := range rs {
+		c.Wait(r)
+	}
+}
+
+// Sendrecv performs a combined send and receive (the classic halo
+// exchange primitive).
+func (c *Comm) Sendrecv(dest, sendTag, sendBytes int, payload any, source, recvTag int) Message {
+	ci := &CallInfo{Op: OpSendrecv, Comm: c.id, Dest: dest, Src: source, Root: NoPeer, Tag: sendTag, Bytes: sendBytes}
+	c.p.hooks.Pre(ci)
+	c.rawSend(dest, sendTag, sendBytes, payload)
+	msg := c.rawRecv(source, recvTag)
+	ci.MatchedSrc = msg.Source
+	c.p.hooks.Post(ci)
+	return msg
+}

@@ -1,0 +1,132 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreePos(t *testing.T) {
+	members := []int{5, 9, 2, 7}
+	if TreePos(members, 9) != 1 {
+		t.Fatalf("pos of 9")
+	}
+	if TreePos(members, 4) != -1 {
+		t.Fatalf("non-member found")
+	}
+}
+
+func TestTreeParentChildSymmetry(t *testing.T) {
+	// For every tree size, every non-root position's parent must list it
+	// as a child, and the root reaches every position.
+	for n := 1; n <= 70; n++ {
+		for pos := 1; pos < n; pos++ {
+			parent := TreeParentPos(pos)
+			if parent < 0 || parent >= n {
+				t.Fatalf("n=%d pos=%d: parent %d out of range", n, pos, parent)
+			}
+			found := false
+			for _, c := range TreeChildPositions(parent, n) {
+				if c == pos {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d: parent %d does not list child %d", n, parent, pos)
+			}
+		}
+		// Reachability: BFS from root covers all positions exactly once.
+		seen := map[int]bool{0: true}
+		frontier := []int{0}
+		for len(frontier) > 0 {
+			var next []int
+			for _, f := range frontier {
+				for _, c := range TreeChildPositions(f, n) {
+					if seen[c] {
+						t.Fatalf("n=%d: position %d reached twice", n, c)
+					}
+					seen[c] = true
+					next = append(next, c)
+				}
+			}
+			frontier = next
+		}
+		if len(seen) != n {
+			t.Fatalf("n=%d: reached %d positions", n, len(seen))
+		}
+	}
+}
+
+func TestTreeParentRoot(t *testing.T) {
+	if TreeParentPos(0) != -1 {
+		t.Fatalf("root has a parent")
+	}
+}
+
+func TestTreeDepthLogarithmic(t *testing.T) {
+	f := func(x uint16) bool {
+		pos := int(x)
+		d := TreeDepth(pos)
+		// Depth equals popcount, which is at most the bit length.
+		return d >= 0 && d <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if TreeDepth(0) != 0 || TreeDepth(1) != 1 || TreeDepth(0b1011) != 3 {
+		t.Fatalf("depth wrong")
+	}
+}
+
+func TestOpCodeStrings(t *testing.T) {
+	for op := OpNone; op < numOpCodes; op++ {
+		if op.String() == "" || op.String() == "op?" {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+	if OpCode(200).String() != "op?" {
+		t.Fatalf("unknown op name")
+	}
+	if ParseOpCode("Send") != OpSend || ParseOpCode("garbage") != OpNone {
+		t.Fatalf("ParseOpCode broken")
+	}
+}
+
+func TestOpCodeClassification(t *testing.T) {
+	if !OpSend.IsPointToPoint() || OpSend.IsCollective() {
+		t.Fatalf("Send classification")
+	}
+	if !OpBarrier.IsCollective() || OpBarrier.IsPointToPoint() {
+		t.Fatalf("Barrier classification")
+	}
+	if OpWait.IsCollective() {
+		t.Fatalf("Wait classified collective")
+	}
+}
+
+func TestMailboxPending(t *testing.T) {
+	mb := newMailbox(new(atomic.Bool))
+	if mb.pending() != 0 {
+		t.Fatalf("fresh mailbox pending")
+	}
+	mb.deposit(message{comm: CommWorld, source: 1, tag: 2})
+	if mb.pending() != 1 {
+		t.Fatalf("pending after deposit")
+	}
+	mb.take(CommWorld, 1, 2)
+	if mb.pending() != 0 {
+		t.Fatalf("pending after take")
+	}
+}
+
+func TestMinArrive(t *testing.T) {
+	mb := newMailbox(new(atomic.Bool))
+	if _, ok := mb.minArrive(); ok {
+		t.Fatalf("empty mailbox has minArrive")
+	}
+	mb.deposit(message{comm: CommWorld, source: 0, tag: 1, arrive: 50})
+	mb.deposit(message{comm: CommInternal, source: 1, tag: 2, arrive: 10})
+	if m, ok := mb.minArrive(); !ok || m != 10 {
+		t.Fatalf("minArrive = %v/%v", m, ok)
+	}
+}

@@ -1,0 +1,38 @@
+package ranklist
+
+import "encoding/json"
+
+// rlJSON is the serialized form of one descriptor.
+type rlJSON struct {
+	Start int      `json:"start"`
+	Dims  [][2]int `json:"dims,omitempty"` // [iters, stride] pairs
+}
+
+// MarshalJSON implements json.Marshaler.
+func (l List) MarshalJSON() ([]byte, error) {
+	out := make([]rlJSON, len(l.rls))
+	for i, r := range l.rls {
+		out[i].Start = r.Start
+		for _, d := range r.Dims {
+			out[i].Dims = append(out[i].Dims, [2]int{d.Iters, d.Stride})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (l *List) UnmarshalJSON(data []byte) error {
+	var in []rlJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	l.rls = nil
+	for _, r := range in {
+		rl := RL{Start: r.Start}
+		for _, d := range r.Dims {
+			rl.Dims = append(rl.Dims, Dim{Iters: d[0], Stride: d[1]})
+		}
+		l.rls = append(l.rls, rl)
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+// Package ranklist implements ScalaTrace's communication-group encoding.
+//
+// A rank list is the EBNF tuple <dimension, start_rank, iteration_length,
+// stride>: it names the set of MPI ranks that share a trace entry without
+// enumerating them. One dimension covers a strided run (start, start+s,
+// ..., start+(n-1)*s); higher dimensions nest, so a 2D list describes a
+// sub-grid of a process mesh. Irregular sets that no single descriptor
+// covers are held as a union of descriptors (a List).
+package ranklist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dim is one <iterations, stride> level of a rank list descriptor.
+type Dim struct {
+	Iters  int // number of ranks along this dimension (>= 1)
+	Stride int // distance between consecutive ranks along this dimension
+}
+
+// RL is a single rank-list descriptor: a start rank plus nested
+// dimensions. The zero value is invalid; use New or FromRanks.
+type RL struct {
+	Start int
+	Dims  []Dim
+}
+
+// New builds a descriptor. Dims may be empty for a singleton rank.
+func New(start int, dims ...Dim) RL {
+	return RL{Start: start, Dims: dims}
+}
+
+// Single returns the descriptor for one rank.
+func Single(rank int) RL { return RL{Start: rank} }
+
+// Range returns a 1D descriptor covering iters ranks with the given stride.
+func Range(start, iters, stride int) RL {
+	if iters <= 1 {
+		return Single(start)
+	}
+	return RL{Start: start, Dims: []Dim{{Iters: iters, Stride: stride}}}
+}
+
+// Size returns the number of ranks the descriptor covers.
+func (r RL) Size() int {
+	n := 1
+	for _, d := range r.Dims {
+		n *= d.Iters
+	}
+	return n
+}
+
+// Ranks expands the descriptor into an explicit sorted rank slice.
+func (r RL) Ranks() []int {
+	out := []int{r.Start}
+	for _, d := range r.Dims {
+		next := make([]int, 0, len(out)*d.Iters)
+		for _, base := range out {
+			for i := 0; i < d.Iters; i++ {
+				next = append(next, base+i*d.Stride)
+			}
+		}
+		out = next
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Contains reports whether rank is a member of the descriptor.
+func (r RL) Contains(rank int) bool {
+	return contains(rank-r.Start, r.Dims)
+}
+
+func contains(offset int, dims []Dim) bool {
+	if len(dims) == 0 {
+		return offset == 0
+	}
+	d := dims[len(dims)-1]
+	rest := dims[:len(dims)-1]
+	if d.Stride == 0 {
+		return contains(offset, rest)
+	}
+	for i := 0; i < d.Iters; i++ {
+		o := offset - i*d.Stride
+		if contains(o, rest) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the descriptor in the paper's EBNF-ish notation.
+func (r RL) String() string {
+	if len(r.Dims) == 0 {
+		return fmt.Sprintf("<0,%d>", r.Start)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<%d,%d", len(r.Dims), r.Start)
+	for _, d := range r.Dims {
+		fmt.Fprintf(&b, ",%d,%d", d.Iters, d.Stride)
+	}
+	b.WriteString(">")
+	return b.String()
+}
+
+// List is a union of descriptors — the representation carried on trace
+// events. It is kept normalized (descriptors sorted by start rank).
+type List struct {
+	rls []RL
+}
+
+// FromRanks compacts an explicit rank set into a List, greedily detecting
+// strided 1D runs and then stacking equal runs into a second dimension
+// when they recur at a constant stride (the common case for sub-grids of
+// a 2D process mesh).
+func FromRanks(ranks []int) List {
+	if len(ranks) == 0 {
+		return List{}
+	}
+	rs := append([]int(nil), ranks...)
+	sort.Ints(rs)
+	rs = dedup(rs)
+
+	// Pass 1: fold into maximal 1D strided runs.
+	var runs []RL
+	i := 0
+	for i < len(rs) {
+		j := i + 1
+		if j >= len(rs) {
+			runs = append(runs, Single(rs[i]))
+			break
+		}
+		stride := rs[j] - rs[i]
+		for j+1 < len(rs) && rs[j+1]-rs[j] == stride {
+			j++
+		}
+		n := j - i + 1
+		if n >= 2 {
+			runs = append(runs, Range(rs[i], n, stride))
+			i = j + 1
+		} else {
+			runs = append(runs, Single(rs[i]))
+			i++
+		}
+	}
+
+	// Pass 2: stack identical consecutive runs recurring at a constant
+	// outer stride into a 2D descriptor.
+	var out []RL
+	i = 0
+	for i < len(runs) {
+		j := i + 1
+		base := runs[i]
+		if len(base.Dims) == 1 {
+			outer := -1
+			for j < len(runs) &&
+				len(runs[j].Dims) == 1 &&
+				runs[j].Dims[0] == base.Dims[0] {
+				s := runs[j].Start - runs[j-1].Start
+				if outer == -1 {
+					outer = s
+				}
+				if s != outer {
+					break
+				}
+				j++
+			}
+			if j-i >= 2 {
+				out = append(out, RL{
+					Start: base.Start,
+					Dims:  []Dim{base.Dims[0], {Iters: j - i, Stride: outer}},
+				})
+				i = j
+				continue
+			}
+		}
+		out = append(out, base)
+		i++
+	}
+	return List{rls: out}
+}
+
+func dedup(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FromRL wraps a single descriptor.
+func FromRL(r RL) List { return List{rls: []RL{r}} }
+
+// SingleRank returns a list covering exactly one rank.
+func SingleRank(rank int) List { return FromRL(Single(rank)) }
+
+// Empty reports whether the list covers no ranks.
+func (l List) Empty() bool { return len(l.rls) == 0 }
+
+// Descriptors returns the underlying descriptors (do not mutate).
+func (l List) Descriptors() []RL { return l.rls }
+
+// Size returns the number of ranks covered.
+func (l List) Size() int {
+	n := 0
+	for _, r := range l.rls {
+		n += r.Size()
+	}
+	return n
+}
+
+// Ranks expands the list into a sorted, deduplicated rank slice.
+func (l List) Ranks() []int {
+	var out []int
+	for _, r := range l.rls {
+		out = append(out, r.Ranks()...)
+	}
+	sort.Ints(out)
+	return dedup(out)
+}
+
+// Contains reports membership.
+func (l List) Contains(rank int) bool {
+	for _, r := range l.rls {
+		if r.Contains(rank) {
+			return true
+		}
+	}
+	return false
+}
+
+// Union merges two lists and re-compacts the result.
+func (l List) Union(o List) List {
+	if l.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return l
+	}
+	return FromRanks(append(l.Ranks(), o.Ranks()...))
+}
+
+// Equal reports whether two lists cover the same rank set.
+func (l List) Equal(o List) bool {
+	a, b := l.Ranks(), o.Ranks()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the smallest rank in the list (or -1 when empty).
+func (l List) Min() int {
+	if l.Empty() {
+		return -1
+	}
+	min := l.rls[0].Ranks()[0]
+	for _, r := range l.rls[1:] {
+		if first := r.Ranks()[0]; first < min {
+			min = first
+		}
+	}
+	return min
+}
+
+// SizeBytes approximates the in-memory footprint for the space ledger.
+func (l List) SizeBytes() int {
+	n := 24 // slice header
+	for _, r := range l.rls {
+		n += 8 + 24 + len(r.Dims)*16
+	}
+	return n
+}
+
+// String renders the union of descriptors.
+func (l List) String() string {
+	if l.Empty() {
+		return "<>"
+	}
+	parts := make([]string, len(l.rls))
+	for i, r := range l.rls {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "+")
+}

@@ -1,0 +1,205 @@
+package ranklist
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingle(t *testing.T) {
+	r := Single(7)
+	if r.Size() != 1 || !r.Contains(7) || r.Contains(6) {
+		t.Fatalf("Single(7) misbehaves: %v", r)
+	}
+	if got := r.Ranks(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Ranks = %v", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := Range(2, 4, 3) // 2, 5, 8, 11
+	want := []int{2, 5, 8, 11}
+	if !reflect.DeepEqual(r.Ranks(), want) {
+		t.Fatalf("Ranks = %v, want %v", r.Ranks(), want)
+	}
+	for _, w := range want {
+		if !r.Contains(w) {
+			t.Fatalf("missing %d", w)
+		}
+	}
+	for _, n := range []int{0, 3, 6, 12} {
+		if r.Contains(n) {
+			t.Fatalf("spurious %d", n)
+		}
+	}
+	if Range(5, 1, 3).Size() != 1 {
+		t.Fatalf("degenerate range not singleton")
+	}
+}
+
+func Test2D(t *testing.T) {
+	// A 3x2 sub-grid of a 4-wide mesh: start 1, inner iters 2 stride 1,
+	// outer iters 3 stride 4.
+	r := New(1, Dim{Iters: 2, Stride: 1}, Dim{Iters: 3, Stride: 4})
+	want := []int{1, 2, 5, 6, 9, 10}
+	if !reflect.DeepEqual(r.Ranks(), want) {
+		t.Fatalf("Ranks = %v, want %v", r.Ranks(), want)
+	}
+	if r.Size() != 6 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	for _, w := range want {
+		if !r.Contains(w) {
+			t.Fatalf("missing %d", w)
+		}
+	}
+	if r.Contains(3) || r.Contains(4) || r.Contains(13) {
+		t.Fatalf("spurious membership")
+	}
+}
+
+func TestFromRanksCompactsStride(t *testing.T) {
+	l := FromRanks([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	if len(l.Descriptors()) != 1 {
+		t.Fatalf("contiguous run not compacted: %v", l)
+	}
+	l = FromRanks([]int{0, 4, 8, 12})
+	if len(l.Descriptors()) != 1 {
+		t.Fatalf("strided run not compacted: %v", l)
+	}
+}
+
+func TestFromRanksCompacts2D(t *testing.T) {
+	// Interior of a 4x4 grid at 8 columns: rows {1,2} cols {1,2}.
+	ranks := []int{9, 10, 17, 18}
+	l := FromRanks(ranks)
+	if len(l.Descriptors()) != 1 {
+		t.Fatalf("2D block not stacked: %v", l)
+	}
+	if !reflect.DeepEqual(l.Ranks(), ranks) {
+		t.Fatalf("Ranks = %v", l.Ranks())
+	}
+}
+
+func TestFromRanksRoundTrip(t *testing.T) {
+	f := func(xs []uint8) bool {
+		in := make([]int, len(xs))
+		for i, x := range xs {
+			in[i] = int(x)
+		}
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		want = dedup(want)
+		got := FromRanks(in).Ranks()
+		if len(want) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsMatchesRanks(t *testing.T) {
+	f := func(xs []uint8, probe uint8) bool {
+		in := make([]int, len(xs))
+		member := false
+		for i, x := range xs {
+			in[i] = int(x)
+			if x == probe {
+				member = true
+			}
+		}
+		return FromRanks(in).Contains(int(probe)) == member
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := FromRanks([]int{0, 1, 2})
+	b := FromRanks([]int{2, 3, 4})
+	u := a.Union(b)
+	if !reflect.DeepEqual(u.Ranks(), []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("union = %v", u.Ranks())
+	}
+	if !a.Union(List{}).Equal(a) || !(List{}).Union(a).Equal(a) {
+		t.Fatalf("union with empty broken")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromRanks([]int{5, 1, 3})
+	b := FromRanks([]int{1, 3, 5})
+	if !a.Equal(b) {
+		t.Fatalf("order should not matter")
+	}
+	c := FromRanks([]int{1, 3})
+	if a.Equal(c) {
+		t.Fatalf("different sets equal")
+	}
+}
+
+func TestMin(t *testing.T) {
+	if (List{}).Min() != -1 {
+		t.Fatalf("empty min")
+	}
+	if FromRanks([]int{9, 4, 7}).Min() != 4 {
+		t.Fatalf("min wrong")
+	}
+}
+
+func TestEmptyAndSize(t *testing.T) {
+	var l List
+	if !l.Empty() || l.Size() != 0 || l.Contains(0) {
+		t.Fatalf("zero List misbehaves")
+	}
+	if SingleRank(3).Size() != 1 {
+		t.Fatalf("SingleRank size")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (List{}).String(); got != "<>" {
+		t.Fatalf("empty string: %q", got)
+	}
+	if got := Single(4).String(); got != "<0,4>" {
+		t.Fatalf("singleton string: %q", got)
+	}
+	l := FromRanks([]int{0, 1, 2, 3})
+	if got := l.String(); got != "<1,0,4,1>" {
+		t.Fatalf("range string: %q", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := func(xs []uint8) bool {
+		in := make([]int, len(xs))
+		for i, x := range xs {
+			in[i] = int(x)
+		}
+		l := FromRanks(in)
+		data, err := json.Marshal(l)
+		if err != nil {
+			return false
+		}
+		var back List
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.Equal(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	if FromRanks([]int{1, 2, 3}).SizeBytes() <= 0 {
+		t.Fatalf("SizeBytes not positive")
+	}
+}

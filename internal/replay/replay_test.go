@@ -1,0 +1,289 @@
+package replay
+
+import (
+	"testing"
+
+	"chameleon/internal/mpi"
+	"chameleon/internal/ranklist"
+	"chameleon/internal/sig"
+	"chameleon/internal/trace"
+	"chameleon/internal/vtime"
+)
+
+func mkEvent(op mpi.OpCode, site int) trace.Event {
+	return trace.Event{
+		Op:    op,
+		Stack: sig.Stack(sig.Mix(uint64(site))),
+		Comm:  mpi.CommWorld,
+		Tag:   site,
+		Bytes: 64,
+	}
+}
+
+func allRanks(p int) ranklist.List {
+	ranks := make([]int, p)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return ranklist.FromRanks(ranks)
+}
+
+// leafFor builds a leaf covering the given rank list with a delta.
+func leafFor(ev trace.Event, ranks ranklist.List, delta int64) *trace.Node {
+	return trace.NewLeaf(ev, ranks, delta)
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	if _, err := Run(&trace.File{P: 2}, vtime.Default()); err == nil {
+		t.Fatalf("empty trace accepted")
+	}
+}
+
+func TestReplayRingExchange(t *testing.T) {
+	// A ring sendrecv loop, all ranks covered by one leaf: replay must
+	// terminate (pairing is consistent) and re-issue P*iters events.
+	const P = 6
+	ev := mkEvent(mpi.OpSendrecv, 1)
+	ev.Dest = trace.Relative(1)
+	ev.Src = trace.Relative(-1)
+	f := &trace.File{
+		P: P,
+		Nodes: []*trace.Node{
+			trace.NewLoop(10, []*trace.Node{leafFor(ev, allRanks(P), int64(vtime.Millisecond))}),
+		},
+	}
+	res, err := Run(f, vtime.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != P*10 {
+		t.Fatalf("events = %d", res.Events)
+	}
+	// 10 iterations with 1ms compute each.
+	if res.Time < 10*vtime.Millisecond {
+		t.Fatalf("time = %v", res.Time)
+	}
+}
+
+func TestReplayRanksFiltered(t *testing.T) {
+	// Point-to-point nodes covering disjoint rank pairs: each rank
+	// replays only the nodes whose rank list contains it.
+	const P = 4
+	send01 := mkEvent(mpi.OpSend, 1)
+	send01.Dest = trace.Relative(1)
+	recv01 := mkEvent(mpi.OpRecv, 1)
+	recv01.Src = trace.Relative(-1)
+	f := &trace.File{
+		P: P,
+		Nodes: []*trace.Node{
+			leafFor(send01, ranklist.FromRanks([]int{0, 2}), 0),
+			leafFor(recv01, ranklist.FromRanks([]int{1, 3}), 0),
+		},
+	}
+	res, err := Run(f, vtime.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 4 {
+		t.Fatalf("events = %d, want 4", res.Events)
+	}
+}
+
+func TestReplayCollectives(t *testing.T) {
+	const P = 4
+	ranks := allRanks(P)
+	bcast := mkEvent(mpi.OpBcast, 1)
+	bcast.Dest = trace.Absolute(0)
+	reduce := mkEvent(mpi.OpReduce, 2)
+	reduce.Dest = trace.Absolute(2)
+	allred := mkEvent(mpi.OpAllreduce, 3)
+	gather := mkEvent(mpi.OpGather, 4)
+	gather.Dest = trace.Absolute(0)
+	allgather := mkEvent(mpi.OpAllgather, 5)
+	alltoall := mkEvent(mpi.OpAlltoall, 6)
+	barrier := mkEvent(mpi.OpBarrier, 7)
+	scatter := mkEvent(mpi.OpScatter, 8)
+	scatter.Dest = trace.Absolute(0)
+	var nodes []*trace.Node
+	for _, ev := range []trace.Event{bcast, reduce, allred, gather, allgather, alltoall, barrier, scatter} {
+		nodes = append(nodes, leafFor(ev, ranks, 1000))
+	}
+	f := &trace.File{P: P, Nodes: nodes}
+	res, err := Run(f, vtime.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != uint64(P*len(nodes)) {
+		t.Fatalf("events = %d", res.Events)
+	}
+}
+
+func TestReplayMasterWorker(t *testing.T) {
+	// Wildcard receive + reply-to-last + absolute worker endpoints: the
+	// clustered master/worker shape.
+	const P = 4
+	const rounds = 15
+	recvAny := mkEvent(mpi.OpRecv, 1)
+	recvAny.Src = trace.Endpoint{Kind: trace.EPAnySource}
+	reply := mkEvent(mpi.OpSend, 2)
+	reply.Dest = trace.Endpoint{Kind: trace.EPReplyToLast}
+	request := mkEvent(mpi.OpSend, 3)
+	request.Dest = trace.Absolute(0)
+	request.Tag = 1 // must match the master's recv tag
+	taskRecv := mkEvent(mpi.OpRecv, 4)
+	taskRecv.Src = trace.Absolute(0)
+	taskRecv.Tag = 2
+	reply.Tag = 2
+
+	workers := ranklist.FromRanks([]int{1, 2, 3})
+	f := &trace.File{
+		P:         P,
+		Clustered: true,
+		Nodes: []*trace.Node{
+			trace.NewLoop(rounds*(P-1), []*trace.Node{
+				leafFor(recvAny, ranklist.SingleRank(0), 0),
+				leafFor(reply, ranklist.SingleRank(0), 0),
+			}),
+			trace.NewLoop(rounds, []*trace.Node{
+				leafFor(request, workers, int64(vtime.Millisecond)),
+				leafFor(taskRecv, workers, 0),
+			}),
+		},
+	}
+	res, err := Run(f, vtime.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(rounds*(P-1)*2 + rounds*(P-1)*2)
+	if res.Events != want {
+		t.Fatalf("events = %d, want %d", res.Events, want)
+	}
+}
+
+func TestReplayModuloResolution(t *testing.T) {
+	// A torus shift recorded as -1 must wrap for rank 0.
+	const P = 4
+	ev := mkEvent(mpi.OpSendrecv, 1)
+	ev.Dest = trace.Relative(-1)
+	ev.Src = trace.Relative(1)
+	f := &trace.File{P: P, Nodes: []*trace.Node{leafFor(ev, allRanks(P), 0)}}
+	res, err := Run(f, vtime.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != P {
+		t.Fatalf("events = %d", res.Events)
+	}
+}
+
+func TestReplayIrecvWait(t *testing.T) {
+	const P = 2
+	send := mkEvent(mpi.OpIsend, 1)
+	send.Dest = trace.Relative(1)
+	send.Tag = 5
+	irecv := mkEvent(mpi.OpIrecv, 2)
+	irecv.Src = trace.Relative(-1)
+	irecv.Tag = 5
+	wait := mkEvent(mpi.OpWait, 3)
+	f := &trace.File{P: P, Nodes: []*trace.Node{
+		leafFor(send, ranklist.SingleRank(0), 0),
+		leafFor(irecv, ranklist.SingleRank(1), 0),
+		leafFor(wait, ranklist.SingleRank(1), 0),
+	}}
+	res, err := Run(f, vtime.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 3 {
+		t.Fatalf("events = %d", res.Events)
+	}
+}
+
+func TestReplayUsesItersMean(t *testing.T) {
+	// A filtered loop replays its histogram-mean trip count.
+	const P = 2
+	ev := mkEvent(mpi.OpAllreduce, 1)
+	loop := trace.NewLoop(10, []*trace.Node{leafFor(ev, allRanks(P), 0)})
+	other := trace.NewLoop(20, []*trace.Node{leafFor(ev, allRanks(P), 0)})
+	trace.MergeInto(loop, other, true) // iters histogram {10,20} -> mean 15
+	f := &trace.File{P: P, Filter: true, Nodes: []*trace.Node{loop}}
+	res, err := Run(f, vtime.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 15*P {
+		t.Fatalf("events = %d, want %d", res.Events, 15*P)
+	}
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	if got := Accuracy(100, 90); got != 0.9 {
+		t.Fatalf("acc = %v", got)
+	}
+	if got := Accuracy(100, 110); got != 0.9 {
+		t.Fatalf("acc = %v (overshoot)", got)
+	}
+	if got := Accuracy(100, 100); got != 1 {
+		t.Fatalf("acc = %v", got)
+	}
+	if got := Accuracy(0, 50); got != 0 {
+		t.Fatalf("acc = %v (zero ref)", got)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	const P = 5
+	ev := mkEvent(mpi.OpSendrecv, 1)
+	ev.Dest = trace.Relative(1)
+	ev.Src = trace.Relative(-1)
+	f := &trace.File{P: P, Nodes: []*trace.Node{
+		trace.NewLoop(20, []*trace.Node{leafFor(ev, allRanks(P), 5000)}),
+	}}
+	first, err := Run(f, vtime.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(f, vtime.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Time != first.Time {
+			t.Fatalf("nondeterministic replay: %v vs %v", again.Time, first.Time)
+		}
+	}
+}
+
+func TestReplayDeltaModes(t *testing.T) {
+	// A histogram with spread: min 1ms, max 9ms, mean 5ms.
+	const P = 2
+	ev := mkEvent(mpi.OpSendrecv, 1)
+	ev.Dest = trace.Relative(1)
+	ev.Src = trace.Relative(-1)
+	n := leafFor(ev, allRanks(P), int64(vtime.Millisecond))
+	n.Delta.Add(int64(9 * vtime.Millisecond))
+	f := &trace.File{P: P, Nodes: []*trace.Node{trace.NewLoop(10, []*trace.Node{n})}}
+
+	times := map[DeltaMode]vtime.Duration{}
+	for _, mode := range []DeltaMode{DeltaMin, DeltaMean, DeltaMax, DeltaSampled} {
+		res, err := RunWith(f, Options{Delta: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[mode] = res.Time
+	}
+	if !(times[DeltaMin] < times[DeltaMean] && times[DeltaMean] < times[DeltaMax]) {
+		t.Fatalf("mode ordering violated: %v", times)
+	}
+	if times[DeltaSampled] < times[DeltaMin] || times[DeltaSampled] > times[DeltaMax] {
+		t.Fatalf("sampled time out of bounds: %v", times)
+	}
+	// Sampled replay is deterministic too.
+	again, err := RunWith(f, Options{Delta: DeltaSampled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Time != times[DeltaSampled] {
+		t.Fatalf("sampled replay nondeterministic")
+	}
+}

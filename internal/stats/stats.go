@@ -1,0 +1,247 @@
+// Package stats provides the small statistical kernels the tracing stack
+// relies on: overflow-safe running averages (the paper's "estimation
+// function"), Welford mean/variance accumulators, and fixed-bucket
+// histograms used to summarize inter-event computation times.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Running keeps an overflow-safe running mean of a stream of uint64
+// samples. The paper notes that "aggregating event values and then taking
+// the average could result in an overflow, [so] we utilized an estimation
+// function"; Running is that function: it folds each sample into the mean
+// incrementally so no sum is ever materialized.
+type Running struct {
+	mean  float64
+	count uint64
+}
+
+// Add folds one sample into the running mean.
+func (r *Running) Add(v uint64) {
+	r.count++
+	r.mean += (float64(v) - r.mean) / float64(r.count)
+}
+
+// AddN folds a sample observed n times.
+func (r *Running) AddN(v uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	total := r.count + n
+	r.mean += (float64(v) - r.mean) * float64(n) / float64(total)
+	r.count = total
+}
+
+// Merge combines another running mean into this one.
+func (r *Running) Merge(o Running) {
+	if o.count == 0 {
+		return
+	}
+	total := r.count + o.count
+	r.mean += (o.mean - r.mean) * float64(o.count) / float64(total)
+	r.count = total
+}
+
+// Mean returns the current estimate. A fresh Running reports 0.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Sig returns the mean collapsed to a 64-bit signature value.
+func (r *Running) Sig() uint64 {
+	if math.IsNaN(r.mean) || r.mean < 0 {
+		return 0
+	}
+	return uint64(r.mean)
+}
+
+// Count returns how many samples have been folded in.
+func (r *Running) Count() uint64 { return r.count }
+
+// Welford accumulates mean and variance in a single pass.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge combines another accumulator into this one (Chan et al. parallel
+// variance update), so per-rank accumulators can be reduced over a tree.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// N returns the number of observations.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance (0 if fewer than 2 observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// RelStd returns the standard deviation as a fraction of the mean
+// (the paper reports "standard deviation is less than x% of the average").
+func (w *Welford) RelStd() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.Std() / math.Abs(w.mean)
+}
+
+// Histogram is a fixed-bucket log-scale histogram over non-negative
+// int64 samples (nanoseconds in practice). ScalaTrace stores inter-event
+// delta times in histograms so repetitive signatures with noisy timing
+// still compress; replay draws the mean back out.
+type Histogram struct {
+	Buckets [64]uint64
+	Min     int64
+	Max     int64
+	sum     Welford
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{Min: math.MaxInt64, Max: math.MinInt64}
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 64 - leadingZeros(uint64(v))
+	if b > 63 {
+		b = 63
+	}
+	return b
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) {
+	h.Buckets[bucketOf(v)]++
+	if v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.sum.Add(float64(v))
+}
+
+// AddN records a sample observed n times.
+func (h *Histogram) AddN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.Buckets[bucketOf(v)] += n
+	if v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	for i := uint64(0); i < n; i++ {
+		h.sum.Add(float64(v))
+	}
+}
+
+// Merge folds another histogram into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.Count() == 0 {
+		return
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	if o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.sum.Merge(o.sum)
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 { return h.sum.N() }
+
+// Mean returns the mean sample value (0 if empty).
+func (h *Histogram) Mean() int64 { return int64(h.sum.Mean()) }
+
+// Clone returns an independent copy.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	return &c
+}
+
+// SizeBytes approximates the in-memory footprint of the histogram, used
+// by the trace-space ledger (Table IV).
+func (h *Histogram) SizeBytes() int {
+	// Fixed arrays plus scalar fields; matches unsafe.Sizeof within noise
+	// but keeps the package free of unsafe.
+	return 64*8 + 8 + 8 + 24
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	if h.Count() == 0 {
+		return "hist{empty}"
+	}
+	return fmt.Sprintf("hist{n=%d min=%d mean=%d max=%d}", h.Count(), h.Min, h.Mean(), h.Max)
+}
+
+// MeanStd reports mean and standard deviation of a float64 slice; it is
+// the helper the experiment harness uses for "average of five runs".
+func MeanStd(xs []float64) (mean, std float64) {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.Mean(), w.Std()
+}
+
+// Restore rehydrates a histogram's scalar summary from serialized state
+// (variance is not persisted; see the JSON codec note).
+func (h *Histogram) Restore(min, max int64, mean float64, count uint64) {
+	h.Min, h.Max = min, max
+	h.sum = Welford{n: count, mean: mean}
+}

@@ -1,0 +1,271 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMean(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Sig() != 0 {
+		t.Fatalf("zero Running: mean=%v sig=%v", r.Mean(), r.Sig())
+	}
+	for _, v := range []uint64{10, 20, 30} {
+		r.Add(v)
+	}
+	if got := r.Mean(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("mean = %v, want 20", got)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("count = %d, want 3", r.Count())
+	}
+	if r.Sig() != 20 {
+		t.Fatalf("sig = %d, want 20", r.Sig())
+	}
+}
+
+func TestRunningNoOverflow(t *testing.T) {
+	// The estimation function must survive values whose sum overflows.
+	var r Running
+	const big = math.MaxUint64 / 2
+	for i := 0; i < 100; i++ {
+		r.Add(big)
+	}
+	if got := r.Mean(); math.Abs(got-float64(big))/float64(big) > 1e-9 {
+		t.Fatalf("mean drifted: %v", got)
+	}
+}
+
+func TestRunningAddN(t *testing.T) {
+	var a, b Running
+	for i := 0; i < 7; i++ {
+		a.Add(42)
+	}
+	b.AddN(42, 7)
+	if a.Mean() != b.Mean() || a.Count() != b.Count() {
+		t.Fatalf("AddN mismatch: %v/%d vs %v/%d", a.Mean(), a.Count(), b.Mean(), b.Count())
+	}
+	b.AddN(10, 0) // no-op
+	if b.Count() != 7 {
+		t.Fatalf("AddN(_,0) changed count")
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		var all, a, b Running
+		for _, x := range xs {
+			all.Add(uint64(x))
+			a.Add(uint64(x))
+		}
+		for _, y := range ys {
+			all.Add(uint64(y))
+			b.Add(uint64(y))
+		}
+		a.Merge(b)
+		return math.Abs(all.Mean()-a.Mean()) < 1e-6 && all.Count() == a.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if got := w.Mean(); got != 5 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	if got := w.Std(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("std = %v, want 2", got)
+	}
+	if got := w.RelStd(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("relstd = %v, want 0.4", got)
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(xs, ys []int8) bool {
+		var all, a, b Welford
+		for _, x := range xs {
+			all.Add(float64(x))
+			a.Add(float64(x))
+		}
+		for _, y := range ys {
+			all.Add(float64(y))
+			b.Add(float64(y))
+		}
+		a.Merge(b)
+		return math.Abs(all.Mean()-a.Mean()) < 1e-6 &&
+			math.Abs(all.Var()-a.Var()) < 1e-6 &&
+			all.N() == a.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(3)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatalf("merge empty changed state: n=%d mean=%v", a.N(), a.Mean())
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 3 {
+		t.Fatalf("merge into empty: n=%d mean=%v", b.N(), b.Mean())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 {
+		t.Fatalf("fresh histogram not empty")
+	}
+	h.Add(100)
+	h.Add(200)
+	h.Add(300)
+	if h.Min != 100 || h.Max != 300 {
+		t.Fatalf("min/max = %d/%d", h.Min, h.Max)
+	}
+	if h.Mean() != 200 {
+		t.Fatalf("mean = %d, want 200", h.Mean())
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 5; i++ {
+		a.Add(64)
+	}
+	b.AddN(64, 5)
+	if a.Mean() != b.Mean() || a.Count() != b.Count() || a.Buckets != b.Buckets {
+		t.Fatalf("AddN differs from repeated Add")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Add(10)
+	b.Add(1000)
+	b.Add(2000)
+	a.Merge(b)
+	if a.Count() != 3 || a.Min != 10 || a.Max != 2000 {
+		t.Fatalf("merge: n=%d min=%d max=%d", a.Count(), a.Min, a.Max)
+	}
+	if got := a.Mean(); got != (10+1000+2000)/3 {
+		t.Fatalf("merged mean = %d", got)
+	}
+	// Merging nil or empty is a no-op.
+	before := *a
+	a.Merge(nil)
+	a.Merge(NewHistogram())
+	if a.Count() != before.Count() {
+		t.Fatalf("empty merge changed count")
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5)
+	c := h.Clone()
+	c.Add(50)
+	if h.Count() != 1 || c.Count() != 2 {
+		t.Fatalf("clone not independent: %d/%d", h.Count(), c.Count())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Add(0) // non-positive lands in bucket 0
+	h.Add(-5)
+	if h.Buckets[0] != 2 {
+		t.Fatalf("bucket0 = %d", h.Buckets[0])
+	}
+	h2 := NewHistogram()
+	h2.Add(1 << 40)
+	h2.Add(math.MaxInt64)
+	if h2.Count() != 2 {
+		t.Fatalf("large values dropped")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 5, 1024, 88, 7_000_000} {
+		h.Add(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Min != h.Min || back.Max != h.Max ||
+		back.Mean() != h.Mean() || back.Buckets != h.Buckets {
+		t.Fatalf("round trip mismatch: %v vs %v", back.String(), h.String())
+	}
+}
+
+func TestHistogramJSONEmpty(t *testing.T) {
+	h := NewHistogram()
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 0 {
+		t.Fatalf("empty round trip has count %d", back.Count())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	if h.String() != "hist{empty}" {
+		t.Fatalf("empty string: %q", h.String())
+	}
+	h.Add(10)
+	if h.String() == "hist{empty}" {
+		t.Fatalf("non-empty histogram renders empty")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{1, 2, 3, 4, 5})
+	if mean != 3 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(std-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("std = %v", std)
+	}
+	mean, std = MeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Fatalf("empty MeanStd = %v/%v", mean, std)
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return bucketOf(x) <= bucketOf(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

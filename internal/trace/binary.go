@@ -1,0 +1,385 @@
+package trace
+
+// Binary trace format: a compact varint encoding of trace files, the
+// analogue of ScalaTrace's on-disk format (the JSON form is for
+// debugging and interchange). Layout:
+//
+//	magic "CHAMTRC1"
+//	varint P, flags byte (clustered, filter), strings benchmark/tracer
+//	varint node count, then nodes depth-first:
+//	  0x01 leaf:  op, stack, comm, tag, bytes, dest, src, ranklist, hist
+//	  0x02 loop:  iters, optional iters-hist, body count, body nodes
+//
+// Everything integer is unsigned/signed varint; histograms store count,
+// min, max, mean and the sparse bucket set.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"chameleon/internal/mpi"
+	"chameleon/internal/ranklist"
+	"chameleon/internal/sig"
+	"chameleon/internal/stats"
+)
+
+var binaryMagic = [8]byte{'C', 'H', 'A', 'M', 'T', 'R', 'C', '1'}
+
+const (
+	tagLeaf byte = 0x01
+	tagLoop byte = 0x02
+)
+
+type binWriter struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (b *binWriter) uvarint(v uint64) {
+	if b.err != nil {
+		return
+	}
+	n := binary.PutUvarint(b.buf[:], v)
+	_, b.err = b.w.Write(b.buf[:n])
+}
+
+func (b *binWriter) varint(v int64) {
+	if b.err != nil {
+		return
+	}
+	n := binary.PutVarint(b.buf[:], v)
+	_, b.err = b.w.Write(b.buf[:n])
+}
+
+func (b *binWriter) byte(v byte) {
+	if b.err != nil {
+		return
+	}
+	b.err = b.w.WriteByte(v)
+}
+
+func (b *binWriter) str(s string) {
+	b.uvarint(uint64(len(s)))
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.WriteString(s)
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) uvarint() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(b.r)
+	b.err = err
+	return v
+}
+
+func (b *binReader) varint() int64 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(b.r)
+	b.err = err
+	return v
+}
+
+func (b *binReader) byte() byte {
+	if b.err != nil {
+		return 0
+	}
+	v, err := b.r.ReadByte()
+	b.err = err
+	return v
+}
+
+func (b *binReader) str() string {
+	n := b.uvarint()
+	if b.err != nil || n > 1<<20 {
+		if b.err == nil {
+			b.err = fmt.Errorf("trace: string too long")
+		}
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(b.r, buf); err != nil {
+		b.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+// WriteBinary serializes the trace file in the compact binary format.
+func (f *File) WriteBinary(w io.Writer) error {
+	bw := &binWriter{w: bufio.NewWriter(w)}
+	if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	bw.uvarint(uint64(f.P))
+	var flags byte
+	if f.Clustered {
+		flags |= 1
+	}
+	if f.Filter {
+		flags |= 2
+	}
+	bw.byte(flags)
+	bw.str(f.Benchmark)
+	bw.str(f.Tracer)
+	writeSeq(bw, f.Nodes)
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.w.Flush()
+}
+
+func writeSeq(bw *binWriter, seq []*Node) {
+	bw.uvarint(uint64(len(seq)))
+	for _, n := range seq {
+		writeNode(bw, n)
+	}
+}
+
+func writeNode(bw *binWriter, n *Node) {
+	if n.IsLoop() {
+		bw.byte(tagLoop)
+		bw.uvarint(n.Iters)
+		writeHist(bw, n.ItersHist)
+		writeSeq(bw, n.Body)
+		return
+	}
+	bw.byte(tagLeaf)
+	bw.uvarint(uint64(n.Ev.Op))
+	bw.uvarint(uint64(n.Ev.Stack))
+	bw.varint(int64(n.Ev.Comm))
+	bw.varint(int64(n.Ev.Tag))
+	bw.varint(int64(n.Ev.Bytes))
+	writeEndpoint(bw, n.Ev.Dest)
+	writeEndpoint(bw, n.Ev.Src)
+	writeRanks(bw, n.Ranks)
+	writeHist(bw, n.Delta)
+}
+
+func writeEndpoint(bw *binWriter, e Endpoint) {
+	bw.byte(byte(e.Kind))
+	if e.Kind == EPRelative || e.Kind == EPAbsolute {
+		bw.varint(int64(e.Off))
+	}
+}
+
+func writeRanks(bw *binWriter, l ranklist.List) {
+	rls := l.Descriptors()
+	bw.uvarint(uint64(len(rls)))
+	for _, r := range rls {
+		bw.varint(int64(r.Start))
+		bw.uvarint(uint64(len(r.Dims)))
+		for _, d := range r.Dims {
+			bw.varint(int64(d.Iters))
+			bw.varint(int64(d.Stride))
+		}
+	}
+}
+
+func writeHist(bw *binWriter, h *stats.Histogram) {
+	if h == nil || h.Count() == 0 {
+		bw.uvarint(0)
+		return
+	}
+	bw.uvarint(h.Count())
+	bw.varint(h.Min)
+	bw.varint(h.Max)
+	bw.uvarint(math.Float64bits(float64(h.Mean())))
+	nonzero := 0
+	for _, c := range h.Buckets {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	bw.uvarint(uint64(nonzero))
+	for i, c := range h.Buckets {
+		if c > 0 {
+			bw.uvarint(uint64(i))
+			bw.uvarint(c)
+		}
+	}
+}
+
+// ReadBinary deserializes a binary trace file.
+func ReadBinary(r io.Reader) (*File, error) {
+	br := &binReader{r: bufio.NewReader(r)}
+	var magic [8]byte
+	if _, err := io.ReadFull(br.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: not a binary trace file")
+	}
+	f := &File{}
+	f.P = int(br.uvarint())
+	flags := br.byte()
+	f.Clustered = flags&1 != 0
+	f.Filter = flags&2 != 0
+	f.Benchmark = br.str()
+	f.Tracer = br.str()
+	f.Nodes = readSeq(br, 0)
+	if br.err != nil {
+		return nil, fmt.Errorf("trace: decode binary: %w", br.err)
+	}
+	if f.P <= 0 {
+		return nil, fmt.Errorf("trace: invalid rank count %d", f.P)
+	}
+	return f, nil
+}
+
+const maxBinaryDepth = 64
+
+func readSeq(br *binReader, depth int) []*Node {
+	if depth > maxBinaryDepth {
+		br.err = fmt.Errorf("trace: nesting too deep")
+		return nil
+	}
+	n := br.uvarint()
+	if br.err != nil || n > 1<<24 {
+		if br.err == nil {
+			br.err = fmt.Errorf("trace: node count too large")
+		}
+		return nil
+	}
+	seq := make([]*Node, 0, n)
+	for i := uint64(0); i < n && br.err == nil; i++ {
+		seq = append(seq, readNode(br, depth))
+	}
+	return seq
+}
+
+func readNode(br *binReader, depth int) *Node {
+	switch br.byte() {
+	case tagLoop:
+		node := &Node{Iters: br.uvarint()}
+		node.ItersHist = readHist(br)
+		node.Body = readSeq(br, depth+1)
+		if node.Body == nil {
+			node.Body = []*Node{}
+		}
+		return node
+	case tagLeaf:
+		node := &Node{}
+		node.Ev.Op = mpi.OpCode(br.uvarint())
+		node.Ev.Stack = sig.Stack(br.uvarint())
+		node.Ev.Comm = mpi.CommID(br.varint())
+		node.Ev.Tag = int(br.varint())
+		node.Ev.Bytes = int(br.varint())
+		node.Ev.Dest = readEndpoint(br)
+		node.Ev.Src = readEndpoint(br)
+		node.Ranks = readRanks(br)
+		node.Delta = readHist(br)
+		if node.Delta == nil {
+			node.Delta = stats.NewHistogram()
+		}
+		return node
+	default:
+		if br.err == nil {
+			br.err = fmt.Errorf("trace: unknown node tag")
+		}
+		return &Node{Delta: stats.NewHistogram()}
+	}
+}
+
+func readEndpoint(br *binReader) Endpoint {
+	e := Endpoint{Kind: EPKind(br.byte())}
+	if e.Kind == EPRelative || e.Kind == EPAbsolute {
+		e.Off = int(br.varint())
+	}
+	return e
+}
+
+func readRanks(br *binReader) ranklist.List {
+	n := br.uvarint()
+	if br.err != nil || n > 1<<20 {
+		if br.err == nil {
+			br.err = fmt.Errorf("trace: rank list too large")
+		}
+		return ranklist.List{}
+	}
+	var ranks []int
+	for i := uint64(0); i < n && br.err == nil; i++ {
+		start := int(br.varint())
+		dims := br.uvarint()
+		if dims > 8 {
+			br.err = fmt.Errorf("trace: rank list dims too large")
+			return ranklist.List{}
+		}
+		rl := ranklist.RL{Start: start}
+		for d := uint64(0); d < dims; d++ {
+			rl.Dims = append(rl.Dims, ranklist.Dim{
+				Iters:  int(br.varint()),
+				Stride: int(br.varint()),
+			})
+		}
+		ranks = append(ranks, rl.Ranks()...)
+	}
+	return ranklist.FromRanks(ranks)
+}
+
+func readHist(br *binReader) *stats.Histogram {
+	count := br.uvarint()
+	if count == 0 {
+		return nil
+	}
+	h := stats.NewHistogram()
+	min := br.varint()
+	max := br.varint()
+	mean := math.Float64frombits(br.uvarint())
+	nonzero := br.uvarint()
+	if nonzero > 64 {
+		br.err = fmt.Errorf("trace: histogram buckets out of range")
+		return h
+	}
+	for i := uint64(0); i < nonzero && br.err == nil; i++ {
+		idx := br.uvarint()
+		c := br.uvarint()
+		if idx < 64 {
+			h.Buckets[idx] = c
+		}
+	}
+	h.Restore(min, max, mean, count)
+	return h
+}
+
+// SaveBinary writes the trace to path in binary form.
+func (f *File) SaveBinary(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := f.WriteBinary(out); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// LoadAny reads a trace file in either format, sniffing the magic.
+func LoadAny(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	br := bufio.NewReader(in)
+	head, err := br.Peek(8)
+	if err == nil && [8]byte(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}

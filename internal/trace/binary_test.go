@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chameleon/internal/ranklist"
+)
+
+func sampleFile() *File {
+	any := leaf(3)
+	any.Ev.Src = Endpoint{Kind: EPAnySource}
+	reply := leaf(4)
+	reply.Ev.Dest = Endpoint{Kind: EPReplyToLast}
+	inner := NewLoop(5, []*Node{leaf(2)})
+	other := NewLoop(7, []*Node{leaf(2)})
+	MergeInto(inner, other, true) // gives inner an iters histogram
+	return &File{
+		P:         8,
+		Benchmark: "BT",
+		Tracer:    "chameleon",
+		Clustered: true,
+		Filter:    true,
+		Nodes: []*Node{
+			leaf(1),
+			NewLoop(10, []*Node{rankLeaf(5, 2), inner}),
+			any,
+			reply,
+		},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.P != f.P || back.Benchmark != f.Benchmark || back.Tracer != f.Tracer ||
+		back.Clustered != f.Clustered || back.Filter != f.Filter {
+		t.Fatalf("metadata: %+v", back)
+	}
+	if !SeqStructuralEqual(f.Nodes, back.Nodes, false) {
+		t.Fatalf("structure lost:\n%s\nvs\n%s", Format(f.Nodes), Format(back.Nodes))
+	}
+	if DynamicEvents(back.Nodes) != DynamicEvents(f.Nodes) {
+		t.Fatalf("events differ")
+	}
+	// Delta statistics survive.
+	if back.Nodes[0].Delta.Count() != f.Nodes[0].Delta.Count() ||
+		back.Nodes[0].Delta.Mean() != f.Nodes[0].Delta.Mean() {
+		t.Fatalf("histogram lost: %v vs %v", back.Nodes[0].Delta, f.Nodes[0].Delta)
+	}
+	// The filtered loop's iteration histogram survives.
+	loop := back.Nodes[1].Body[1]
+	if loop.ItersHist == nil || loop.MeanIters() != 6 {
+		t.Fatalf("iters hist lost: %+v", loop)
+	}
+}
+
+func TestBinaryCompact(t *testing.T) {
+	f := sampleFile()
+	var bin, js bytes.Buffer
+	if err := f.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(&js); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= js.Len() {
+		t.Fatalf("binary (%d) not smaller than JSON (%d)", bin.Len(), js.Len())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a trace file at all")); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("CHAMTRC1")); err == nil {
+		t.Fatalf("truncated accepted")
+	}
+}
+
+func TestLoadAnySniffs(t *testing.T) {
+	f := sampleFile()
+	dir := t.TempDir()
+	binPath, jsonPath := dir+"/t.bin", dir+"/t.json"
+	if err := f.SaveBinary(binPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Save(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{binPath, jsonPath} {
+		got, err := LoadAny(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !SeqStructuralEqual(f.Nodes, got.Nodes, false) {
+			t.Fatalf("%s: structure lost", path)
+		}
+	}
+	if _, err := LoadAny(dir + "/missing"); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestBinaryRanklistFidelity(t *testing.T) {
+	n := leaf(1)
+	n.Ranks = ranklist.FromRanks([]int{0, 2, 4, 6, 9})
+	f := &File{P: 16, Nodes: []*Node{n}}
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Nodes[0].Ranks.Equal(n.Ranks) {
+		t.Fatalf("ranks = %v, want %v", back.Nodes[0].Ranks, n.Ranks)
+	}
+}

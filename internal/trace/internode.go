@@ -1,0 +1,199 @@
+package trace
+
+// Inter-node compression: merging two ranks' (or subtrees') compressed
+// traces into one. Structurally equal nodes merge by unioning rank lists
+// and folding statistics; mismatching regions are interleaved with a
+// bounded look-ahead so SPMD traces with small divergences (an if/else
+// branch, a master rank) still align. This is the pairwise step of the
+// radix-tree reduction ScalaTrace runs in MPI_Finalize and Chameleon
+// runs online over the K lead traces; its comparison count is the n²
+// term of the paper's O(n² log P) complexity.
+
+import "chameleon/internal/stats"
+
+// MergeStats accumulates the work performed by merges, which the virtual
+// cost model prices.
+type MergeStats struct {
+	// Compares counts node structural comparisons (the n² term).
+	Compares int
+	// BytesMerged counts trace bytes touched while merging.
+	BytesMerged int
+}
+
+// mergeLookahead bounds how far the aligner scans for a re-sync point
+// after a mismatch.
+const mergeLookahead = 16
+
+// Merger merges node sequences under one filter setting, accumulating
+// MergeStats.
+type Merger struct {
+	Filter bool
+	// P is the rank count, used to normalize absolute end-points; 0
+	// disables normalization.
+	P     int
+	Stats MergeStats
+}
+
+// eventMatch reports whether two leaves can merge across ranks: same
+// operation, stack signature, communicator, tag and size, and mergeable
+// end-points. Unlike the intra-node fold it ignores rank lists (they
+// union) and tolerates end-point encodings that agree once resolved.
+func (m *Merger) eventMatch(a, b *Node) bool {
+	ea, eb := a.Ev, b.Ev
+	if ea.Op != eb.Op || ea.Stack != eb.Stack || ea.Comm != eb.Comm ||
+		ea.Tag != eb.Tag || ea.Bytes != eb.Bytes {
+		return false
+	}
+	if _, ok := m.mergeEndpoint(ea.Dest, a, eb.Dest, b); !ok {
+		return false
+	}
+	if _, ok := m.mergeEndpoint(ea.Src, a, eb.Src, b); !ok {
+		return false
+	}
+	return true
+}
+
+func (m *Merger) mergeEndpoint(a Endpoint, an *Node, b Endpoint, bn *Node) (Endpoint, bool) {
+	return MergeEndpoints(
+		a, an.Ranks.Min(), an.Ranks.Size() == 1,
+		b, bn.Ranks.Min(), bn.Ranks.Size() == 1,
+		m.P,
+	)
+}
+
+// nodeMatch reports whether two nodes (leaf or loop) can merge.
+func (m *Merger) nodeMatch(a, b *Node) bool {
+	m.Stats.Compares++
+	if a.IsLoop() != b.IsLoop() {
+		return false
+	}
+	if !a.IsLoop() {
+		return m.eventMatch(a, b)
+	}
+	if !m.Filter && a.Iters != b.Iters {
+		return false
+	}
+	if len(a.Body) != len(b.Body) {
+		return false
+	}
+	for i := range a.Body {
+		if !m.nodeMatch(a.Body[i], b.Body[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeNode combines two matching nodes into a fresh node covering both
+// rank sets.
+func (m *Merger) mergeNode(a, b *Node) *Node {
+	if a.IsLoop() {
+		body := make([]*Node, len(a.Body))
+		for i := range a.Body {
+			body[i] = m.mergeNode(a.Body[i], b.Body[i])
+		}
+		out := NewLoop(a.Iters, body)
+		if m.Filter && (a.Iters != b.Iters || a.ItersHist != nil || b.ItersHist != nil) {
+			out.ItersHist = mergedItersHist(a, b)
+		}
+		m.Stats.BytesMerged += out.SizeBytes()
+		return out
+	}
+	out := a.Clone()
+	dest, _ := m.mergeEndpoint(a.Ev.Dest, a, b.Ev.Dest, b)
+	src, _ := m.mergeEndpoint(a.Ev.Src, a, b.Ev.Src, b)
+	out.Ev.Dest = dest
+	out.Ev.Src = src
+	out.Ranks = a.Ranks.Union(b.Ranks)
+	out.Delta.Merge(b.Delta)
+	m.Stats.BytesMerged += out.SizeBytes()
+	return out
+}
+
+func mergedItersHist(a, b *Node) *stats.Histogram {
+	h := stats.NewHistogram()
+	if a.ItersHist != nil {
+		h.Merge(a.ItersHist)
+	} else {
+		h.Add(int64(a.Iters))
+	}
+	if b.ItersHist != nil {
+		h.Merge(b.ItersHist)
+	} else {
+		h.Add(int64(b.Iters))
+	}
+	return h
+}
+
+// Merge aligns and merges two compressed sequences, returning the merged
+// sequence. Unmatched nodes are preserved in order (interleaved at their
+// alignment position), so no MPI event is ever dropped.
+func (m *Merger) Merge(a, b []*Node) []*Node {
+	out := make([]*Node, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if m.nodeMatch(a[i], b[j]) {
+			out = append(out, m.mergeNode(a[i], b[j]))
+			i++
+			j++
+			continue
+		}
+		// Re-sync: find the nearest forward match in either sequence.
+		ai, bj := m.findSync(a, i, b, j)
+		switch {
+		case ai >= 0 && (bj < 0 || ai <= bj):
+			// a[i..i+ai) is unmatched; emit it.
+			for k := 0; k < ai; k++ {
+				out = append(out, a[i].Clone())
+				m.Stats.BytesMerged += a[i].SizeBytes()
+				i++
+			}
+		case bj >= 0:
+			for k := 0; k < bj; k++ {
+				out = append(out, b[j].Clone())
+				m.Stats.BytesMerged += b[j].SizeBytes()
+				j++
+			}
+		default:
+			// No re-sync within the look-ahead: emit both heads.
+			out = append(out, a[i].Clone())
+			m.Stats.BytesMerged += a[i].SizeBytes()
+			i++
+			if j < len(b) {
+				out = append(out, b[j].Clone())
+				m.Stats.BytesMerged += b[j].SizeBytes()
+				j++
+			}
+		}
+	}
+	for ; i < len(a); i++ {
+		out = append(out, a[i].Clone())
+		m.Stats.BytesMerged += a[i].SizeBytes()
+	}
+	for ; j < len(b); j++ {
+		out = append(out, b[j].Clone())
+		m.Stats.BytesMerged += b[j].SizeBytes()
+	}
+	return out
+}
+
+// findSync scans ahead for the smallest skip that re-aligns the
+// sequences: ai is the number of a-nodes to skip so a[i+ai] matches
+// b[j], bj the number of b-nodes to skip so b[j+bj] matches a[i]; -1
+// when no match lies within the look-ahead.
+func (m *Merger) findSync(a []*Node, i int, b []*Node, j int) (ai, bj int) {
+	ai, bj = -1, -1
+	for k := 1; k <= mergeLookahead && i+k < len(a); k++ {
+		if m.nodeMatch(a[i+k], b[j]) {
+			ai = k
+			break
+		}
+	}
+	for k := 1; k <= mergeLookahead && j+k < len(b); k++ {
+		if m.nodeMatch(a[i], b[j+k]) {
+			bj = k
+			break
+		}
+	}
+	return ai, bj
+}

@@ -1,0 +1,151 @@
+package trace
+
+// Intra-node (loop-level) compression: the online folding of a rank's
+// event stream into RSD/PRSD loop nodes, run inside the PMPI wrapper as
+// events are recorded.
+//
+// The folding rules mirror ScalaTrace's:
+//
+//  1. absorb — if the sequence ends with a loop node followed by a run
+//     of nodes structurally equal to that loop's body, the run is folded
+//     into the loop (Iters++);
+//  2. create — otherwise, if the last L nodes structurally equal the L
+//     nodes before them (for the smallest such L up to MaxWindow), the
+//     two runs become a new loop node with Iters=2.
+//
+// Applied after every append, these two rules build nested PRSDs for
+// loop nests: the inner repetition folds first, the enclosing pattern
+// (now containing the inner loop node) folds at the next level.
+
+// DefaultMaxWindow bounds the pattern length the compressor searches. It
+// must exceed the largest per-timestep event count of the traced codes
+// (LU's pipelined sweeps emit ~65 distinct leaves per timestep) or the
+// timestep loop never folds; the absorb/create scans stay cheap because
+// mismatching candidates fail on their first element.
+const DefaultMaxWindow = 160
+
+// Compressor folds an event stream into a compressed node sequence.
+type Compressor struct {
+	// Seq is the compressed sequence so far.
+	Seq []*Node
+	// MaxWindow bounds candidate loop-body lengths (DefaultMaxWindow if 0).
+	MaxWindow int
+	// Filter enables ScalaTrace's parameter filter: loops whose trip
+	// counts differ may still fold, recording the spread in a histogram.
+	Filter bool
+	// Compares counts structural comparisons performed (cost accounting).
+	Compares int
+}
+
+func (c *Compressor) window() int {
+	if c.MaxWindow > 0 {
+		return c.MaxWindow
+	}
+	return DefaultMaxWindow
+}
+
+// AppendLeaf records one event and re-folds the tail.
+func (c *Compressor) AppendLeaf(n *Node) {
+	c.Seq = append(c.Seq, n)
+	for c.fold() {
+	}
+}
+
+// AppendNode appends a pre-built node (used when growing the online
+// global trace from flushed segments) and re-folds the tail.
+func (c *Compressor) AppendNode(n *Node) {
+	c.Seq = append(c.Seq, n)
+	for c.fold() {
+	}
+}
+
+// equal wraps StructuralEqual with comparison counting.
+func (c *Compressor) equal(a, b *Node) bool {
+	c.Compares++
+	return StructuralEqual(a, b, c.Filter)
+}
+
+// fold applies one absorb or create step; it reports whether anything
+// changed (the caller loops until a fixed point, which builds nested
+// loops bottom-up).
+func (c *Compressor) fold() bool {
+	if c.absorb() {
+		return true
+	}
+	return c.create()
+}
+
+// absorb folds a completed body repetition into the loop preceding it:
+// for each candidate run length m, if the node m positions back is a
+// loop with an m-node body equal to the trailing run, the run is folded
+// (Iters++). Smaller m first so inner loops absorb before outer ones.
+func (c *Compressor) absorb() bool {
+	n := len(c.Seq)
+	for m := 1; m <= c.window() && m < n; m++ {
+		loop := c.Seq[n-1-m]
+		if !loop.IsLoop() || len(loop.Body) != m {
+			continue
+		}
+		run := c.Seq[n-m:]
+		ok := true
+		for k := 0; k < m; k++ {
+			if !c.equal(loop.Body[k], run[k]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for k := 0; k < m; k++ {
+			MergeInto(loop.Body[k], run[k], c.Filter)
+		}
+		loop.Iters++
+		c.Seq = c.Seq[:n-m]
+		return true
+	}
+	return false
+}
+
+// create folds the last L nodes with the L before them into a new loop.
+func (c *Compressor) create() bool {
+	n := len(c.Seq)
+	maxL := c.window()
+	if maxL > n/2 {
+		maxL = n / 2
+	}
+	for L := 1; L <= maxL; L++ {
+		a := c.Seq[n-2*L : n-L]
+		b := c.Seq[n-L:]
+		ok := true
+		for k := 0; k < L; k++ {
+			if !c.equal(a[k], b[k]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		body := make([]*Node, L)
+		for k := 0; k < L; k++ {
+			body[k] = a[k]
+			MergeInto(body[k], b[k], c.Filter)
+		}
+		loop := NewLoop(2, body)
+		c.Seq = append(c.Seq[:n-2*L], loop)
+		return true
+	}
+	return false
+}
+
+// Reset clears the sequence (Chameleon deletes partial traces after each
+// flush) and returns the old one.
+func (c *Compressor) Reset() []*Node {
+	old := c.Seq
+	c.Seq = nil
+	return old
+}
+
+// SizeBytes reports the current compressed trace footprint.
+func (c *Compressor) SizeBytes() int { return SizeBytes(c.Seq) }

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"chameleon/internal/stats"
+
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is a complete trace file: the global compressed sequence plus the
+// run metadata the replayer needs.
+type File struct {
+	// P is the number of ranks of the traced run.
+	P int `json:"p"`
+	// Benchmark names the traced application (informational).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Tracer names the producing tool ("scalatrace", "chameleon", ...).
+	Tracer string `json:"tracer,omitempty"`
+	// Clustered reports whether rank lists are cluster rank lists (the
+	// replayer then re-interprets lead traces for all members).
+	Clustered bool `json:"clustered"`
+	// Filter records whether the parameter filter was active.
+	Filter bool `json:"filter,omitempty"`
+	// Nodes is the compressed global trace.
+	Nodes []*Node `json:"nodes"`
+}
+
+// nodeJSON mirrors Node for serialization (Node itself would marshal
+// fine, but the mirror keeps empty leaf/loop halves out of the output).
+type nodeJSON struct {
+	Ev    *Event          `json:"ev,omitempty"`
+	Ranks json.RawMessage `json:"ranks,omitempty"`
+	Delta json.RawMessage `json:"delta,omitempty"`
+
+	Iters     uint64          `json:"iters,omitempty"`
+	Body      []*Node         `json:"body,omitempty"`
+	ItersHist json.RawMessage `json:"itersHist,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for Node.
+func (n *Node) MarshalJSON() ([]byte, error) {
+	var j nodeJSON
+	var err error
+	if n.IsLoop() {
+		j.Iters = n.Iters
+		j.Body = n.Body
+		if n.ItersHist != nil {
+			if j.ItersHist, err = json.Marshal(n.ItersHist); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		ev := n.Ev
+		j.Ev = &ev
+		if j.Ranks, err = json.Marshal(n.Ranks); err != nil {
+			return nil, err
+		}
+		if n.Delta != nil {
+			if j.Delta, err = json.Marshal(n.Delta); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Node.
+func (n *Node) UnmarshalJSON(data []byte) error {
+	var j nodeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*n = Node{}
+	if j.Ev != nil {
+		n.Ev = *j.Ev
+		if j.Ranks != nil {
+			if err := json.Unmarshal(j.Ranks, &n.Ranks); err != nil {
+				return err
+			}
+		}
+		if j.Delta != nil {
+			n.Delta = new(stats.Histogram)
+			if err := json.Unmarshal(j.Delta, n.Delta); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n.Iters = j.Iters
+	n.Body = j.Body
+	if n.Body == nil {
+		// A loop always carries a body; an empty one keeps IsLoop true.
+		n.Body = []*Node{}
+	}
+	if j.ItersHist != nil {
+		n.ItersHist = new(stats.Histogram)
+		if err := json.Unmarshal(j.ItersHist, n.ItersHist); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write serializes the trace file to w.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// Read deserializes a trace file from r.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if f.P <= 0 {
+		return nil, fmt.Errorf("trace: invalid rank count %d", f.P)
+	}
+	return &f, nil
+}
+
+// Save writes the trace file to path.
+func (f *File) Save(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := f.Write(out); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// Load reads a trace file from path.
+func Load(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return Read(in)
+}

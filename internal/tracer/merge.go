@@ -1,0 +1,55 @@
+package tracer
+
+import (
+	"chameleon/internal/mpi"
+	"chameleon/internal/trace"
+	"chameleon/internal/vtime"
+)
+
+// mergeTagBase keeps radix-tree merge traffic clear of the collective
+// tag namespace on the internal communicator.
+const mergeTagBase = 1 << 55
+
+// MergeTag derives the internal tag for merge round `round`.
+func MergeTag(round int) int { return mergeTagBase | round<<3 }
+
+// MergeOverTree runs one inter-node compression step: every member rank
+// contributes its node sequence, traces are merged pairwise up a
+// binomial (radix) tree, and members[0] returns the merged sequence
+// (nil on other ranks; non-members return mine unchanged).
+//
+// members must be in identical order on every participating rank, and
+// every member must call MergeOverTree with the same tag. Transfer costs
+// are charged by the runtime (message sizes equal the serialized trace
+// footprint); merge work is charged per structural comparison and per
+// byte to the given ledger category — together these realize the
+// paper's O(n² log |members|) inter-compression cost.
+func MergeOverTree(p *mpi.Proc, members []int, mine []*trace.Node, filter bool, tag int, cat vtime.Category) []*trace.Node {
+	pos := mpi.TreePos(members, p.Rank())
+	if pos < 0 {
+		return mine
+	}
+	model := p.Model()
+	world := p.World()
+	acc := mine
+	for _, childPos := range mpi.TreeChildPositions(pos, len(members)) {
+		t0 := p.Clock.Now()
+		msg := world.RawRecv(members[childPos], tag)
+		// Book the transfer/wait time the recv put on the clock.
+		p.Ledger.Charge(cat, vtime.Duration(p.Clock.Now()-t0))
+		child, _ := msg.Payload.([]*trace.Node)
+		m := trace.Merger{Filter: filter, P: p.Size()}
+		acc = m.Merge(acc, child)
+		p.ChargeOverhead(cat,
+			model.MergeFixed+
+				vtime.Duration(m.Stats.Compares)*model.ComparePerOp+
+				vtime.Duration(m.Stats.BytesMerged)*model.MergePerByte)
+	}
+	if parent := mpi.TreeParentPos(pos); parent >= 0 {
+		t0 := p.Clock.Now()
+		world.RawSend(members[parent], tag, trace.SizeBytes(acc), acc)
+		p.Ledger.Charge(cat, vtime.Duration(p.Clock.Now()-t0))
+		return nil
+	}
+	return acc
+}

@@ -1,0 +1,277 @@
+// Package tracer provides the per-rank recording engine shared by every
+// tracing tool in this repository (ScalaTrace, Chameleon, ACURDION): it
+// sits inside the PMPI-style interposition hooks, encodes each MPI call
+// into a trace event (stack signature, relative end-points, delta time),
+// feeds the intra-node loop compressor, and maintains the per-window
+// signature accumulators clustering consumes.
+package tracer
+
+import (
+	"chameleon/internal/mpi"
+	"chameleon/internal/ranklist"
+	"chameleon/internal/sig"
+	"chameleon/internal/trace"
+	"chameleon/internal/vtime"
+)
+
+// SigMode selects how window Call-Path signatures are built.
+type SigMode int
+
+// Signature modes.
+const (
+	// SigFull folds every dynamic event occurrence with the (seq%10)+1
+	// ordering multiplier — the paper's default construction.
+	SigFull SigMode = iota
+	// SigFiltered folds each distinct stack signature once, ignoring
+	// occurrence counts — ScalaTrace's automatic parameter filter, which
+	// makes irregular codes (POP's data-dependent solver iterations,
+	// master/worker task counts) cluster as regular.
+	SigFiltered
+)
+
+// Window accumulates the signature state of the events recorded between
+// two marker calls. Mirroring the paper's O(n) signature creation over
+// the PRSD-compressed notation, the Call-Path folds one term per
+// *distinct call site* (with its occurrence count), not one term per
+// dynamic event — a per-event XOR would self-cancel over long repetitive
+// windows because every signature recurs under every (seq%10)+1
+// multiplier an even number of times.
+type Window struct {
+	mode   SigMode
+	order  []uint64          // distinct stacks in first-seen order
+	counts map[uint64]uint64 // occurrences per stack
+	src    sig.Endpoint
+	dest   sig.Endpoint
+	events uint64
+}
+
+// NewWindow returns an empty accumulator in the given mode.
+func NewWindow(mode SigMode) *Window {
+	return &Window{mode: mode, counts: make(map[uint64]uint64)}
+}
+
+// Add folds one event into the window.
+func (w *Window) Add(ev trace.Event) {
+	w.events++
+	s := uint64(ev.Stack)
+	if _, seen := w.counts[s]; !seen {
+		w.order = append(w.order, s)
+	}
+	w.counts[s]++
+	if v, ok := ev.Src.SigValue(); ok {
+		w.src.Add(v)
+	}
+	if v, ok := ev.Dest.SigValue(); ok {
+		w.dest.Add(v)
+	}
+}
+
+// Triple snapshots the window's signature triple: each distinct call
+// site contributes once, scaled by the paper's (position%10)+1 ordering
+// multiplier so permuted call sequences cannot cancel. SigFull folds the
+// occurrence count into the term (repetition-count sensitive); the
+// filtered mode drops it, so loops with data-dependent trip counts (POP)
+// still produce a stable signature.
+func (w *Window) Triple() sig.Triple {
+	var cp uint64
+	for i, s := range w.order {
+		term := s
+		if w.mode == SigFull {
+			term ^= sig.Mix(w.counts[s])
+		}
+		mult := uint64(i%10) + 1
+		cp ^= term * mult
+	}
+	return sig.Triple{CallPath: cp, Src: w.src.Value(), Dest: w.dest.Value()}
+}
+
+// Events returns the number of events folded into the window.
+func (w *Window) Events() uint64 { return w.events }
+
+// DistinctSites returns the number of distinct call sites in the window
+// (the paper's n for signature-creation cost).
+func (w *Window) DistinctSites() int { return len(w.order) }
+
+// Reset clears the accumulators for the next window.
+func (w *Window) Reset() {
+	w.order = w.order[:0]
+	w.src.Reset()
+	w.dest.Reset()
+	w.events = 0
+	if len(w.counts) > 0 {
+		w.counts = make(map[uint64]uint64)
+	}
+}
+
+// Recorder is the per-rank recording engine.
+type Recorder struct {
+	Proc *mpi.Proc
+	// Comp is the rank's intra-node compressor (the partial trace).
+	Comp trace.Compressor
+	// Enabled gates trace-node construction; signature accumulation
+	// stays on so disabled (non-lead) ranks can still vote on phase
+	// changes. This is Chameleon's "lead flag".
+	Enabled bool
+	// Win holds the current marker window's signatures.
+	Win *Window
+
+	// lastEventEnd is the clock after the previous recorded event; the
+	// difference to the next event's pre-call clock is its delta time.
+	lastEventEnd vtime.Time
+	// excluded accumulates tool-inserted spans (marker barriers, votes,
+	// clustering) between events, subtracted from the next delta so
+	// replay reproduces the unmarked application's computation times.
+	excluded vtime.Duration
+	// lastAnySrc remembers the matched source of the most recent
+	// wildcard receive for ReplyToLast destination encoding.
+	lastAnySrc int
+
+	// lastStack is the stack signature of the most recently observed
+	// event (consumed by automatic marker detection).
+	lastStack sig.Stack
+
+	// AllocBytes tracks cumulative trace bytes allocated by this rank
+	// (monotone; deletion does not decrease it), for the space ledger.
+	AllocBytes int
+	// Events counts dynamic events recorded (not just observed).
+	Events uint64
+	// Observed counts dynamic events observed (recorded or not).
+	Observed uint64
+}
+
+// NewRecorder builds a recorder for the rank with the given signature
+// mode and the parameter filter setting.
+func NewRecorder(p *mpi.Proc, mode SigMode, filter bool) *Recorder {
+	r := &Recorder{
+		Proc:       p,
+		Enabled:    true,
+		Win:        NewWindow(mode),
+		lastAnySrc: -1,
+	}
+	r.Comp.Filter = filter
+	return r
+}
+
+// Encode translates an intercepted call into a trace event. It is
+// exported so tests can exercise encoding rules directly.
+func (r *Recorder) Encode(ci *mpi.CallInfo, stack sig.Stack) trace.Event {
+	self := r.Proc.Rank()
+	ev := trace.Event{
+		Op:    ci.Op,
+		Stack: stack,
+		Comm:  ci.Comm,
+		Tag:   ci.Tag,
+		Bytes: ci.Bytes,
+		Dest:  trace.NoEndpoint,
+		Src:   trace.NoEndpoint,
+	}
+	switch {
+	case ci.Op.IsPointToPoint():
+		if ci.Dest != mpi.NoPeer {
+			if r.lastAnySrc >= 0 && ci.Dest == r.lastAnySrc {
+				ev.Dest = trace.Endpoint{Kind: trace.EPReplyToLast}
+			} else {
+				ev.Dest = trace.Relative(normalizeOffset(ci.Dest-self, r.Proc.Size()))
+			}
+		}
+		if ci.Src != mpi.NoPeer {
+			if ci.Src == mpi.AnySource {
+				ev.Src = trace.Endpoint{Kind: trace.EPAnySource}
+			} else {
+				ev.Src = trace.Relative(normalizeOffset(ci.Src-self, r.Proc.Size()))
+			}
+		}
+	case ci.Op.IsCollective():
+		if ci.Root != mpi.NoPeer {
+			ev.Dest = trace.Absolute(ci.Root)
+		}
+	}
+	return ev
+}
+
+// normalizeOffset reduces a relative end-point offset modulo the rank
+// count into the signed range (-p/2, p/2]. Torus codes address wrapped
+// neighbors as rank±c mod P, so normalizing makes the wrap ranks'
+// encodings identical to the interior's — the location independence
+// ScalaTrace's relative encodings exist to provide.
+func normalizeOffset(off, p int) int {
+	off = ((off % p) + p) % p
+	if off > p/2 {
+		off -= p
+	}
+	return off
+}
+
+// Record processes one completed call: encodes it, folds it into the
+// window signatures, and (when enabled) appends it to the partial trace.
+// preClock is the rank's clock when the call began; stackSkip tells the
+// signature capture how many frames to drop above Record.
+func (r *Recorder) Record(ci *mpi.CallInfo, preClock vtime.Time, stackSkip int) {
+	model := r.Proc.Model()
+	stack := sig.Capture(stackSkip + 1)
+	ev := r.Encode(ci, stack)
+	r.Observed++
+
+	// Track wildcard matches for ReplyToLast encoding. The update
+	// happens after Encode so a send following the wildcard recv sees
+	// the recv's source.
+	if (ci.Op == mpi.OpRecv || ci.Op == mpi.OpWait || ci.Op == mpi.OpSendrecv) &&
+		ci.Src == mpi.AnySource {
+		r.lastAnySrc = ci.MatchedSrc
+	}
+
+	r.lastStack = ev.Stack
+	// Window signatures are always maintained (voting needs them even on
+	// non-lead ranks); charge the hashing cost to the intra category.
+	r.Win.Add(ev)
+	r.Proc.ChargeOverhead(vtime.CatIntra, model.SigPerEvent)
+
+	if !r.Enabled {
+		return
+	}
+	delta := int64(preClock-r.lastEventEnd) - int64(r.excluded)
+	if delta < 0 {
+		delta = 0
+	}
+	r.excluded = 0
+	before := r.Comp.SizeBytes()
+	leaf := trace.NewLeaf(ev, ranklist.SingleRank(r.Proc.Rank()), delta)
+	r.Comp.AppendLeaf(leaf)
+	r.Events++
+	if after := r.Comp.SizeBytes(); after > before {
+		r.AllocBytes += after - before
+	}
+	r.Proc.ChargeOverhead(vtime.CatIntra, model.CompressPerEvent)
+	r.lastEventEnd = r.Proc.Clock.Now()
+}
+
+// LastStack returns the stack signature of the most recently observed
+// event (0 before the first event).
+func (r *Recorder) LastStack() uint64 { return uint64(r.lastStack) }
+
+// MarkEventBoundary resets the delta-time origin (used after flushes:
+// "processes only need to keep the stack signature of the last event so
+// that ScalaTrace considers the computation time between the last event
+// and the new event").
+func (r *Recorder) MarkEventBoundary() {
+	r.lastEventEnd = r.Proc.Clock.Now()
+	r.excluded = 0
+}
+
+// ExcludeSpan subtracts a tool-inserted span (marker processing) from
+// the next recorded event's delta, preserving the application
+// computation that preceded the marker.
+func (r *Recorder) ExcludeSpan(d vtime.Duration) {
+	if d > 0 {
+		r.excluded += d
+	}
+}
+
+// TakePartial detaches and returns the current partial trace ("delete
+// your partial trace" at the end of a flush).
+func (r *Recorder) TakePartial() []*trace.Node {
+	return r.Comp.Reset()
+}
+
+// PartialSize returns the current partial trace footprint in bytes.
+func (r *Recorder) PartialSize() int { return r.Comp.SizeBytes() }

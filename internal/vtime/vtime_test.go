@@ -1,0 +1,158 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock not zero")
+	}
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("advance: %d", c.Now())
+	}
+	c.Advance(-5) // no-op
+	c.Advance(0)
+	if c.Now() != 100 {
+		t.Fatalf("negative/zero advance changed clock")
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(50)
+	c.AdvanceTo(30) // must not rewind
+	if c.Now() != 50 {
+		t.Fatalf("AdvanceTo rewound: %d", c.Now())
+	}
+	c.AdvanceTo(80)
+	if c.Now() != 80 {
+		t.Fatalf("AdvanceTo: %d", c.Now())
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8000 {
+		t.Fatalf("concurrent advance lost updates: %d", c.Now())
+	}
+}
+
+func TestPtoP(t *testing.T) {
+	m := Default()
+	zero := m.PtoP(0)
+	if zero != m.Alpha {
+		t.Fatalf("empty message cost = %v, want alpha %v", zero, m.Alpha)
+	}
+	big := m.PtoP(1 << 20)
+	if big <= zero {
+		t.Fatalf("transfer cost not monotone")
+	}
+	// ~3.2GB/s: 1MiB should take ~330us on top of alpha.
+	transfer := big - m.Alpha
+	if transfer < 250*Microsecond || transfer > 450*Microsecond {
+		t.Fatalf("1MiB transfer = %v, want ~328us", transfer)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for p, want := range cases {
+		if got := Log2Ceil(p); got != want {
+			t.Fatalf("Log2Ceil(%d) = %d, want %d", p, got, want)
+		}
+	}
+	if Log2Ceil(0) != 0 || Log2Ceil(-3) != 0 {
+		t.Fatalf("degenerate Log2Ceil")
+	}
+}
+
+func TestLedger(t *testing.T) {
+	var l Ledger
+	l.Charge(CatApp, 100)
+	l.Charge(CatIntra, 10)
+	l.Charge(CatMarker, 20)
+	l.Charge(CatCluster, 30)
+	l.Charge(CatInterComp, 40)
+	l.Charge(CatIntra, -5) // negative ignored
+	if l.Spent(CatIntra) != 10 {
+		t.Fatalf("intra = %v", l.Spent(CatIntra))
+	}
+	// Overhead excludes the application category.
+	if l.Overhead() != 10+20+30+40 {
+		t.Fatalf("overhead = %v", l.Overhead())
+	}
+	var m Ledger
+	m.Charge(CatIntra, 1)
+	l.Merge(&m)
+	if l.Spent(CatIntra) != 11 {
+		t.Fatalf("merge = %v", l.Spent(CatIntra))
+	}
+	l.Reset()
+	if l.Overhead() != 0 || l.Spent(CatApp) != 0 {
+		t.Fatalf("reset incomplete")
+	}
+}
+
+func TestChargeReturnsInput(t *testing.T) {
+	var l Ledger
+	if got := l.Charge(CatApp, 42); got != 42 {
+		t.Fatalf("Charge return = %v", got)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for _, c := range Categories() {
+		if c.String() == "" || c.String()[0] == 'c' && len(c.String()) > 9 {
+			t.Fatalf("bad category name %q", c.String())
+		}
+	}
+	if Category(99).String() == "" {
+		t.Fatalf("unknown category empty")
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	d := 1500 * Millisecond
+	if d.Seconds() != 1.5 {
+		t.Fatalf("seconds = %v", d.Seconds())
+	}
+	if d.String() != "1.5s" {
+		t.Fatalf("string = %q", d.String())
+	}
+	if Time(2*Second).Seconds() != 2 {
+		t.Fatalf("time seconds")
+	}
+	if Max(Time(3), Time(5)) != 5 || Max(Time(5), Time(3)) != 5 {
+		t.Fatalf("Max broken")
+	}
+}
+
+func TestDefaultCalibration(t *testing.T) {
+	m := Default()
+	if m.Alpha <= 0 || m.ComparePerOp <= 0 || m.MergeFixed <= 0 ||
+		m.SigPerEvent <= 0 || m.CompressPerEvent <= 0 {
+		t.Fatalf("default model has zero charges: %+v", m)
+	}
+	// The calibration invariant behind the paper's shape: one pairwise
+	// merge must dwarf one marker vote by orders of magnitude.
+	vote := Duration(Log2Ceil(1024)) * (m.Alpha + m.CollectivePerLevel)
+	merge := m.MergeFixed + 50*m.ComparePerOp
+	if merge < 50*vote {
+		t.Fatalf("merge/vote ratio too small: %v vs %v", merge, vote)
+	}
+}
