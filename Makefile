@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all check test test-race bench clean
+
+all: check test
+
+# check: everything must build, vet clean, and be gofmt'd.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# test-race: the observability registry is hammered from 64 goroutines;
+# the full suite runs under the race detector.
+test-race:
+	$(GO) test -race ./...
+
+# bench: price the observability layer on the stencil workload and
+# write BENCH_obs.json (ns/op enabled vs disabled, makespan overhead).
+bench:
+	BENCH_OBS_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run TestObsBenchReport -v .
+	$(GO) test -bench 'BenchmarkObsOverhead' -benchmem .
+
+clean:
+	rm -f BENCH_obs.json chameleon.journal.jsonl chameleon.trace.json

@@ -41,6 +41,7 @@ package chameleon
 
 import (
 	"fmt"
+	"io"
 
 	"chameleon/internal/acurdion"
 	"chameleon/internal/apps"
@@ -48,6 +49,7 @@ import (
 	"chameleon/internal/core"
 	"chameleon/internal/energy"
 	"chameleon/internal/mpi"
+	"chameleon/internal/obs"
 	"chameleon/internal/replay"
 	"chameleon/internal/scalatrace"
 	"chameleon/internal/trace"
@@ -78,7 +80,23 @@ type (
 	EnergyReport = energy.Report
 	// EnergyModel holds the power parameters of the energy estimate.
 	EnergyModel = energy.Model
+	// Observer is the observability hub (metrics registry, structured
+	// event journal, virtual-time timeline); nil disables everything.
+	Observer = obs.Observer
+	// ObsOptions selects which Observer facilities to enable.
+	ObsOptions = obs.Options
+	// ObsEvent is one structured journal record.
+	ObsEvent = obs.Event
+	// ObsSnapshot is a point-in-time copy of the metrics registry.
+	ObsSnapshot = obs.Snapshot
 )
+
+// NewObserver assembles an Observer from the requested facilities; it
+// returns nil (the disabled Observer) when none is enabled.
+func NewObserver(o ObsOptions) *Observer { return obs.New(o) }
+
+// ReadJournal parses a JSONL observability journal back into events.
+func ReadJournal(r io.Reader) ([]ObsEvent, error) { return obs.ReadJournal(r) }
 
 // Wildcards for point-to-point matching.
 const (
@@ -164,6 +182,10 @@ type Config struct {
 	Model CostModel
 	// Benchmark labels the run in the trace file metadata.
 	Benchmark string
+	// Obs, when non-nil, receives metrics, journal events, and timeline
+	// spans from the run (see NewObserver). Nil disables observability
+	// at the cost of one pointer test per instrumented site.
+	Obs *Observer
 }
 
 // Output captures everything a traced run produces.
@@ -216,7 +238,7 @@ func Run(cfg Config, body func(*Proc)) (*Output, error) {
 	if cfg.P <= 0 {
 		return nil, fmt.Errorf("chameleon: invalid rank count %d", cfg.P)
 	}
-	mcfg := mpi.Config{P: cfg.P, Model: cfg.Model}
+	mcfg := mpi.Config{P: cfg.P, Model: cfg.Model, Obs: cfg.Obs}
 
 	out := &Output{P: cfg.P}
 	var finish func(res *mpi.Result)
@@ -260,10 +282,19 @@ func Run(cfg Config, body func(*Proc)) (*Output, error) {
 			out.Leads = col.LeadRanks
 			out.CallPathClusters = col.CallPathClusters
 			out.SpaceByState = make([][4]int, cfg.P)
+			raw := 0
 			for r, row := range col.SpaceByState {
 				out.SpaceByState[r] = [4]int(row)
+				for _, b := range row {
+					raw += b
+				}
 			}
 			out.OnlineBytes = col.OnlineBytes
+			if o := cfg.Obs; o != nil && o.Reg != nil && out.OnlineBytes > 0 {
+				// Aggregate per-rank partial allocation vs. the online
+				// global trace: the paper's inter-node compression ratio.
+				o.Gauge("core_compression_ratio_x1000").Set(int64(raw) * 1000 / int64(out.OnlineBytes))
+			}
 		}
 	case TracerAutoChameleon:
 		col := core.NewCollector(cfg.P)
@@ -321,6 +352,10 @@ func Run(cfg Config, body func(*Proc)) (*Output, error) {
 		"intercomp": agg.Spent(vtime.CatInterComp),
 	}
 	finish(res)
+	if o := cfg.Obs; o != nil && o.Reg != nil {
+		o.Gauge("run_makespan_vtime_ns").Set(int64(out.Time))
+		o.Gauge("run_overhead_vtime_ns").Set(int64(out.Overhead))
+	}
 	return out, nil
 }
 
@@ -371,6 +406,7 @@ func RunSpec(spec Spec, tr Tracer, override *Config) (*Output, error) {
 		if override.Model != zero {
 			cfg.Model = override.Model
 		}
+		cfg.Obs = override.Obs
 	}
 	if tr == TracerAutoChameleon {
 		// Automatic marker insertion needs no in-application markers;

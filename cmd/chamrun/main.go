@@ -6,11 +6,26 @@
 //	chamrun -bench LU -class D -p 64 -tracer chameleon -o lu.trace
 //
 // Tracers: none (timing only), scalatrace, chameleon, acurdion.
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	chamrun -bench PHASE -p 16 -metrics -journal -timeline
+//
+// -metrics prints a metrics snapshot after the run (JSON to a file via
+// -metrics-out), -journal writes the structured JSONL event journal
+// (path via -journal-out, summarized by chamtop), -timeline writes a
+// Chrome trace-event JSON of per-rank virtual-time spans (path via
+// -timeline-out) loadable in Perfetto or chrome://tracing, and
+// -debug-addr serves net/http/pprof and expvar (including the live
+// metrics snapshot under "chameleon") while the run executes.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -28,13 +43,48 @@ func main() {
 	algo := flag.String("algo", "", "clustering algorithm: k-farthest, k-medoid, k-random")
 	out := flag.String("o", "", "trace output path (empty = don't write)")
 	useBinary := flag.Bool("binary", false, "write the trace in the compact binary format")
+	metrics := flag.Bool("metrics", false, "print a metrics snapshot after the run")
+	metricsOut := flag.String("metrics-out", "", "also write the metrics snapshot as JSON to this path")
+	journal := flag.Bool("journal", false, "write the structured JSONL event journal")
+	journalOut := flag.String("journal-out", "chameleon.journal.jsonl", "journal output path")
+	timeline := flag.Bool("timeline", false, "write a Chrome trace-event JSON timeline (Perfetto)")
+	timelineOut := flag.String("timeline-out", "chameleon.trace.json", "timeline output path")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address during the run")
 	flag.Parse()
 
-	override := &chameleon.Config{K: *k, Freq: *freq, Algo: *algo}
+	opts := chameleon.ObsOptions{
+		Metrics: *metrics || *metricsOut != "" || *debugAddr != "",
+	}
+	var journalFile *os.File
+	if *journal {
+		f, err := os.Create(*journalOut)
+		if err != nil {
+			fatal("journal: %v", err)
+		}
+		journalFile = f
+		opts.Journal = f
+	}
+	if *timeline {
+		opts.TimelineRanks = *p
+	}
+	observer := chameleon.NewObserver(opts)
+
+	if *debugAddr != "" {
+		expvar.Publish("chameleon", expvar.Func(func() any {
+			return observer.Reg.Snapshot()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "chamrun: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug       http://%s/debug/pprof http://%s/debug/vars\n", *debugAddr, *debugAddr)
+	}
+
+	override := &chameleon.Config{K: *k, Freq: *freq, Algo: *algo, Obs: observer}
 	res, err := chameleon.RunBenchmark(*bench, *class, *p, chameleon.Tracer(*tr), override)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "chamrun: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 
 	fmt.Printf("benchmark   %s class %s, P=%d, tracer=%s\n", *bench, *class, *p, *tr)
@@ -62,10 +112,58 @@ func main() {
 				save = res.Trace.SaveBinary
 			}
 			if err := save(*out); err != nil {
-				fmt.Fprintf(os.Stderr, "chamrun: save: %v\n", err)
-				os.Exit(1)
+				fatal("save: %v", err)
 			}
 			fmt.Printf("wrote       %s\n", *out)
 		}
 	}
+
+	if journalFile != nil {
+		if err := observer.Journal.Err(); err != nil {
+			fatal("journal: %v", err)
+		}
+		if err := journalFile.Close(); err != nil {
+			fatal("journal: %v", err)
+		}
+		fmt.Printf("journal     %s (%d events; summarize with chamtop)\n",
+			*journalOut, observer.Journal.Events())
+	}
+	if *timeline {
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			fatal("timeline: %v", err)
+		}
+		if err := observer.Timeline.WriteChromeTrace(f); err != nil {
+			fatal("timeline: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("timeline: %v", err)
+		}
+		fmt.Printf("timeline    %s (%d spans, %d dropped; open in Perfetto)\n",
+			*timelineOut, observer.Timeline.SpanCount(), observer.Timeline.Dropped())
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal("metrics: %v", err)
+		}
+		if err := observer.Reg.Snapshot().WriteJSON(f); err != nil {
+			fatal("metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("metrics: %v", err)
+		}
+		fmt.Printf("metrics     %s\n", *metricsOut)
+	}
+	if *metrics {
+		fmt.Println("metrics")
+		if err := observer.Reg.Snapshot().WriteText(os.Stdout); err != nil {
+			fatal("metrics: %v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chamrun: "+format+"\n", args...)
+	os.Exit(1)
 }

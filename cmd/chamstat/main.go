@@ -40,9 +40,10 @@ func main() {
 		exitOn(err)
 		d := analysis.Compare(a, b)
 		if d.Equivalent() {
-			fmt.Println("traces are event-equivalent (same call sites, same per-rank dynamic counts)")
+			fmt.Println("traces are event-equivalent (same call sites, same per-rank and per-site dynamic counts)")
 			return
 		}
+		fmt.Printf("DIVERGED: %s\n", d.Reason())
 		if len(d.MissingInB) > 0 {
 			fmt.Printf("call sites missing in %s: %d\n", flag.Arg(1), len(d.MissingInB))
 		}
@@ -58,6 +59,17 @@ func main() {
 			sort.Ints(ranks)
 			for _, r := range ranks[:min(10, len(ranks))] {
 				fmt.Printf("  rank %d: %+d events\n", r, d.EventDeltas[r])
+			}
+		}
+		if len(d.SiteCountDeltas) > 0 {
+			fmt.Printf("call sites with differing event counts: %d\n", len(d.SiteCountDeltas))
+			sites := make([]uint64, 0, len(d.SiteCountDeltas))
+			for s := range d.SiteCountDeltas {
+				sites = append(sites, s)
+			}
+			sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+			for _, s := range sites[:min(10, len(sites))] {
+				fmt.Printf("  site %#x: %+d events\n", s, d.SiteCountDeltas[s])
 			}
 		}
 		os.Exit(1)

@@ -1,0 +1,229 @@
+// Command chamtop summarizes a Chameleon observability journal (the
+// JSONL file written by chamrun -journal) into human-readable tables:
+// the rank-0 state timeline with per-segment virtual-time spans, the
+// Algorithm 1 vote history, cluster formations, flushes into the online
+// trace, radix-tree merge work, and per-rank finalize totals.
+//
+// Usage:
+//
+//	chamtop chameleon.journal.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"chameleon/internal/obs"
+	"chameleon/internal/stats"
+)
+
+func main() {
+	if len(os.Args) != 2 || os.Args[1] == "-h" || os.Args[1] == "-help" {
+		fmt.Fprintln(os.Stderr, "usage: chamtop <journal.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fatal("%v", err)
+	}
+	events, err := obs.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(events) == 0 {
+		fatal("%s: empty journal", os.Args[1])
+	}
+
+	fmt.Printf("%s: %d events\n\n", os.Args[1], len(events))
+	stateTimeline(events)
+	votes(events)
+	clusterings(events)
+	flushes(events)
+	merges(events)
+	finalize(events)
+}
+
+// segment is one maximal run of marker calls spent in a single
+// transition-graph state on rank 0.
+type segment struct {
+	state       string
+	firstMarker int
+	lastMarker  int
+	startVT     int64
+	endVT       int64
+	calls       int
+}
+
+func stateTimeline(events []obs.Event) {
+	var segs []segment
+	for _, ev := range events {
+		if ev.Kind != obs.KindTransition {
+			continue
+		}
+		if n := len(segs); n > 0 && segs[n-1].state == ev.To {
+			s := &segs[n-1]
+			s.lastMarker = ev.Marker
+			s.endVT = ev.VT
+			s.calls++
+			continue
+		}
+		segs = append(segs, segment{
+			state: ev.To, firstMarker: ev.Marker, lastMarker: ev.Marker,
+			startVT: ev.VT, endVT: ev.VT, calls: 1,
+		})
+	}
+	if len(segs) == 0 {
+		return
+	}
+	fmt.Println("state timeline (rank 0)")
+	w := tab()
+	fmt.Fprintln(w, "  #\tstate\tmarkers\tcalls\tvt-start\tvt-span")
+	for i, s := range segs {
+		markers := fmt.Sprintf("%d", s.firstMarker)
+		if s.lastMarker != s.firstMarker {
+			markers = fmt.Sprintf("%d-%d", s.firstMarker, s.lastMarker)
+		}
+		fmt.Fprintf(w, "  %d\t%s\t%s\t%d\t%s\t%s\n",
+			i+1, s.state, markers, s.calls, vt(s.startVT), vt(s.endVT-s.startVT))
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func votes(events []obs.Event) {
+	h := stats.NewHistogram()
+	total, mismatched := 0, 0
+	for _, ev := range events {
+		if ev.Kind != obs.KindVote {
+			continue
+		}
+		total++
+		h.Add(int64(ev.Votes))
+		if ev.Votes > 0 {
+			mismatched++
+		}
+	}
+	if total == 0 {
+		return
+	}
+	fmt.Println("votes (Algorithm 1 Reduce+Bcast)")
+	w := tab()
+	fmt.Fprintln(w, "  total\tmismatched\tmax-ranks\tp50-ranks\tp99-ranks")
+	fmt.Fprintf(w, "  %d\t%d\t%d\t%d\t%d\n",
+		total, mismatched, h.Max, h.Quantile(0.50), h.Quantile(0.99))
+	w.Flush()
+	fmt.Println()
+}
+
+func clusterings(events []obs.Event) {
+	var rows []obs.Event
+	for _, ev := range events {
+		if ev.Kind == obs.KindCluster {
+			rows = append(rows, ev)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Println("cluster formations")
+	w := tab()
+	fmt.Fprintln(w, "  #\tvt\tK\tcall-paths\tleads")
+	for i, ev := range rows {
+		fmt.Fprintf(w, "  %d\t%s\t%d\t%d\t%v\n", i+1, vt(ev.VT), ev.K, ev.Count, ev.Leads)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func flushes(events []obs.Event) {
+	var rows []obs.Event
+	for _, ev := range events {
+		if ev.Kind == obs.KindFlush {
+			rows = append(rows, ev)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Println("flushes into the online trace")
+	w := tab()
+	fmt.Fprintln(w, "  #\tvt\tmarker\tround\tcause\tonline-bytes")
+	for i, ev := range rows {
+		fmt.Fprintf(w, "  %d\t%s\t%d\t%d\t%s\t%d\n",
+			i+1, vt(ev.VT), ev.Marker, ev.Round, ev.Note, ev.Bytes)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func merges(events []obs.Event) {
+	compares := stats.NewHistogram()
+	steps := 0
+	var bytes int64
+	for _, ev := range events {
+		if ev.Kind != obs.KindMerge {
+			continue
+		}
+		steps++
+		compares.Add(int64(ev.Count))
+		bytes += ev.Bytes
+	}
+	if steps == 0 {
+		return
+	}
+	fmt.Println("radix-tree merge steps")
+	w := tab()
+	fmt.Fprintln(w, "  steps\tbytes\tcompares-p50\tcompares-p99\tcompares-max")
+	fmt.Fprintf(w, "  %d\t%d\t%d\t%d\t%d\n",
+		steps, bytes, compares.Quantile(0.50), compares.Quantile(0.99), compares.Max)
+	w.Flush()
+	fmt.Println()
+}
+
+func finalize(events []obs.Event) {
+	type tot struct {
+		rank   int
+		events uint64
+		bytes  int64
+	}
+	var rows []tot
+	recorded := stats.NewHistogram()
+	for _, ev := range events {
+		if ev.Kind != obs.KindFinalize {
+			continue
+		}
+		rows = append(rows, tot{ev.Rank, ev.Count, ev.Bytes})
+		recorded.Add(int64(ev.Count))
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].rank < rows[j].rank })
+	var events64, bytes64 int64
+	for _, r := range rows {
+		events64 += int64(r.events)
+		bytes64 += r.bytes
+	}
+	fmt.Println("finalize (per-rank recorded events)")
+	w := tab()
+	fmt.Fprintln(w, "  ranks\tevents-total\tbytes-total\tevents-p50\tevents-max")
+	fmt.Fprintf(w, "  %d\t%d\t%d\t%d\t%d\n",
+		len(rows), events64, bytes64, recorded.Quantile(0.50), recorded.Max)
+	w.Flush()
+}
+
+func tab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// vt renders a virtual-nanosecond value as a duration.
+func vt(ns int64) string { return time.Duration(ns).String() }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chamtop: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -215,16 +215,50 @@ type Diff struct {
 	// EventDeltas maps rank -> (eventsA - eventsB) for ranks that
 	// disagree.
 	EventDeltas map[int]int64
+	// SiteCountDeltas maps call site -> (dynamic events in A - in B),
+	// summed over all ranks, for sites whose counts disagree. This
+	// catches traces that shift events between call sites while keeping
+	// the site sets and per-rank totals identical.
+	SiteCountDeltas map[uint64]int64
 }
 
 // Equivalent reports whether the diff is empty.
 func (d *Diff) Equivalent() bool {
-	return len(d.MissingInA) == 0 && len(d.MissingInB) == 0 && len(d.EventDeltas) == 0
+	return len(d.MissingInA) == 0 && len(d.MissingInB) == 0 &&
+		len(d.EventDeltas) == 0 && len(d.SiteCountDeltas) == 0
+}
+
+// Reason summarizes the first divergence in one line ("" when
+// equivalent), for tools that need a non-zero exit with a cause.
+func (d *Diff) Reason() string {
+	switch {
+	case len(d.MissingInB) > 0:
+		return fmt.Sprintf("%d call sites present only in the first trace", len(d.MissingInB))
+	case len(d.MissingInA) > 0:
+		return fmt.Sprintf("%d call sites present only in the second trace", len(d.MissingInA))
+	case len(d.EventDeltas) > 0:
+		ranks := make([]int, 0, len(d.EventDeltas))
+		for r := range d.EventDeltas {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		return fmt.Sprintf("%d ranks differ in dynamic event count (first: rank %d, %+d events)",
+			len(d.EventDeltas), ranks[0], d.EventDeltas[ranks[0]])
+	case len(d.SiteCountDeltas) > 0:
+		sites := make([]uint64, 0, len(d.SiteCountDeltas))
+		for s := range d.SiteCountDeltas {
+			sites = append(sites, s)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		return fmt.Sprintf("%d call sites differ in dynamic event count (first: site %#x, %+d events)",
+			len(d.SiteCountDeltas), sites[0], d.SiteCountDeltas[sites[0]])
+	}
+	return ""
 }
 
 // Compare diffs two trace files.
 func Compare(a, b *trace.File) *Diff {
-	d := &Diff{EventDeltas: map[int]int64{}}
+	d := &Diff{EventDeltas: map[int]int64{}, SiteCountDeltas: map[uint64]int64{}}
 	sa, sb := map[uint64]struct{}{}, map[uint64]struct{}{}
 	trace.CollectStacks(a.Nodes, sa)
 	trace.CollectStacks(b.Nodes, sb)
@@ -248,9 +282,37 @@ func Compare(a, b *trace.File) *Diff {
 			d.EventDeltas[r] = int64(ea) - int64(eb)
 		}
 	}
+	ca, cb := siteCounts(a.Nodes), siteCounts(b.Nodes)
+	for s, na := range ca {
+		if nb := cb[s]; na != nb {
+			d.SiteCountDeltas[s] = int64(na) - int64(nb)
+		}
+	}
+	for s, nb := range cb {
+		if _, ok := ca[s]; !ok {
+			d.SiteCountDeltas[s] = -int64(nb)
+		}
+	}
 	sort.Slice(d.MissingInA, func(i, j int) bool { return d.MissingInA[i] < d.MissingInA[j] })
 	sort.Slice(d.MissingInB, func(i, j int) bool { return d.MissingInB[i] < d.MissingInB[j] })
 	return d
+}
+
+// siteCounts tallies dynamic events per call site across all ranks.
+func siteCounts(seq []*trace.Node) map[uint64]uint64 {
+	out := map[uint64]uint64{}
+	var walk func(seq []*trace.Node, mult uint64)
+	walk = func(seq []*trace.Node, mult uint64) {
+		for _, n := range seq {
+			if n.IsLoop() {
+				walk(n.Body, mult*n.MeanIters())
+			} else {
+				out[uint64(n.Ev.Stack)] += mult * uint64(n.Ranks.Size())
+			}
+		}
+	}
+	walk(seq, 1)
+	return out
 }
 
 func eventsForRank(seq []*trace.Node, rank int) uint64 {

@@ -125,3 +125,47 @@ func TestCriticalPath(t *testing.T) {
 		t.Fatalf("critical path = %d, want %d", got, want)
 	}
 }
+
+func TestCompareSiteCountShift(t *testing.T) {
+	// Same sites, same per-rank totals: b runs the send site 11 times and
+	// the recv site 9 times where a runs each 10 times. Before per-site
+	// counting this diffed as equivalent.
+	a, b := mkFile(4), mkFile(4)
+	loop := b.Nodes[0]
+	send, recv := loop.Body[0], loop.Body[1]
+	b.Nodes = []*trace.Node{
+		trace.NewLoop(9, []*trace.Node{send, recv}),
+		trace.NewLeaf(send.Ev, send.Ranks, 1000),
+		trace.NewLeaf(send.Ev, send.Ranks, 1000),
+		b.Nodes[1],
+	}
+	d := Compare(a, b)
+	if d.Equivalent() {
+		t.Fatalf("diff missed a per-site count shift")
+	}
+	if len(d.EventDeltas) != 0 {
+		t.Fatalf("per-rank totals should agree: %v", d.EventDeltas)
+	}
+	if len(d.SiteCountDeltas) != 2 {
+		t.Fatalf("site deltas: %v", d.SiteCountDeltas)
+	}
+	sendSite, recvSite := uint64(send.Ev.Stack), uint64(recv.Ev.Stack)
+	if d.SiteCountDeltas[sendSite] != -4 || d.SiteCountDeltas[recvSite] != 4 {
+		t.Fatalf("site deltas: %v", d.SiteCountDeltas)
+	}
+	if d.Reason() == "" {
+		t.Fatalf("divergent diff has empty reason")
+	}
+}
+
+func TestDiffReason(t *testing.T) {
+	if r := Compare(mkFile(4), mkFile(4)).Reason(); r != "" {
+		t.Fatalf("equivalent diff has reason %q", r)
+	}
+	a, b := mkFile(4), mkFile(4)
+	b.Nodes = b.Nodes[:1]
+	d := Compare(a, b)
+	if r := d.Reason(); r == "" {
+		t.Fatalf("missing-site diff has empty reason")
+	}
+}

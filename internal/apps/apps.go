@@ -177,11 +177,13 @@ func Registry(name string, class Class, p int) (Spec, error) {
 		return MG(class, p), nil
 	case "FT", "ft":
 		return FT(class, p), nil
+	case "PHASE", "phase":
+		return Phase(class, p), nil
 	}
 	return Spec{}, fmt.Errorf("apps: unknown benchmark %q", name)
 }
 
 // Names lists the available benchmarks.
 func Names() []string {
-	return []string{"BT", "LU", "SP", "CG", "MG", "FT", "POP", "S3D", "LUW", "EMF"}
+	return []string{"BT", "LU", "SP", "CG", "MG", "FT", "POP", "S3D", "LUW", "EMF", "PHASE"}
 }

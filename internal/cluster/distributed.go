@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"chameleon/internal/mpi"
+	"chameleon/internal/obs"
 	"chameleon/internal/vtime"
 )
 
@@ -20,6 +21,16 @@ func DistributedSelect(p *mpi.Proc, self Item, k int, algo Algorithm, tag int, c
 	world := p.World()
 	items := []Item{self}
 
+	o := p.Obs()
+	var cDistances, cSelections, cItems *obs.Counter
+	var cWorking *obs.Histogram
+	if o != nil && o.Reg != nil {
+		cDistances = o.Counter("cluster_distance_ops_total")
+		cSelections = o.Counter("cluster_selections_total")
+		cItems = o.Counter("cluster_items_gathered_total")
+		cWorking = o.Histogram("cluster_working_set_items")
+	}
+
 	members := make([]int, p.Size())
 	for i := range members {
 		members[i] = i
@@ -30,9 +41,13 @@ func DistributedSelect(p *mpi.Proc, self Item, k int, algo Algorithm, tag int, c
 		p.Ledger.Charge(cat, model.Alpha+model.CollectivePerLevel)
 		childItems, _ := msg.Payload.([]Item)
 		items = append(items, childItems...)
+		cItems.Add(uint64(len(childItems)))
 		if len(items) > k {
+			cWorking.Observe(int64(len(items)))
 			res := SelectLeads(items, k, algo)
 			items = res.Top
+			cSelections.Inc()
+			cDistances.Add(uint64(res.Distances))
 			p.ChargeOverhead(cat, vtime.Duration(res.Distances)*model.ClusterPerItem)
 		}
 	}
@@ -40,8 +55,11 @@ func DistributedSelect(p *mpi.Proc, self Item, k int, algo Algorithm, tag int, c
 		world.RawSend(members[parent], tag, ItemsBytes(items), items)
 		p.Ledger.Charge(cat, model.Alpha)
 	} else {
+		cWorking.Observe(int64(len(items)))
 		res := SelectLeads(items, k, algo)
 		items = res.Top
+		cSelections.Inc()
+		cDistances.Add(uint64(res.Distances))
 		p.ChargeOverhead(cat, vtime.Duration(res.Distances)*model.ClusterPerItem)
 	}
 

@@ -22,6 +22,7 @@ import (
 
 	"chameleon/internal/cluster"
 	"chameleon/internal/mpi"
+	"chameleon/internal/obs"
 	"chameleon/internal/ranklist"
 	"chameleon/internal/sig"
 	"chameleon/internal/trace"
@@ -134,18 +135,67 @@ func (c *Collector) File(p int, benchmark string, filter bool) *trace.File {
 	}
 }
 
+// coreMetrics holds the pre-fetched core_* metric handles, shared by
+// every rank of one run (the handles are atomics). Run-global series
+// (markers, votes, transitions, ...) are incremented by rank 0 only, so
+// their values count collective steps, not rank-multiplied steps;
+// per-rank series (window sizes, event totals) sum over ranks.
+type coreMetrics struct {
+	markers       *obs.Counter
+	engaged       *obs.Counter
+	votes         *obs.Counter
+	voteMismatch  *obs.Counter
+	transitions   [NumStates]*obs.Counter
+	state         *obs.Gauge
+	reclusterings *obs.Counter
+	flushes       *obs.Counter
+	windowEvents  *obs.Histogram
+	windowSites   *obs.Histogram
+	leadCount     *obs.Gauge
+	callPaths     *obs.Gauge
+	onlineBytes   *obs.Gauge
+}
+
+func newCoreMetrics(o *obs.Observer) *coreMetrics {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	m := &coreMetrics{
+		markers:       o.Counter("core_marker_calls_total"),
+		engaged:       o.Counter("core_markers_engaged_total"),
+		votes:         o.Counter("core_votes_total"),
+		voteMismatch:  o.Counter("core_vote_mismatch_ranks_total"),
+		state:         o.Gauge("core_state"),
+		reclusterings: o.Counter("core_reclusterings_total"),
+		flushes:       o.Counter("core_flushes_total"),
+		windowEvents:  o.Histogram("core_window_events"),
+		windowSites:   o.Histogram("core_window_distinct_sites"),
+		leadCount:     o.Gauge("core_lead_count"),
+		callPaths:     o.Gauge("core_callpath_clusters"),
+		onlineBytes:   o.Gauge("core_online_trace_bytes"),
+	}
+	for s := StateAT; s < NumStates; s++ {
+		m.transitions[s] = o.Counter("core_transitions_" + stateNames[s] + "_total")
+	}
+	return m
+}
+
 // Chameleon is the per-rank interposer.
 type Chameleon struct {
 	p   *mpi.Proc
 	rec *tracer.Recorder
 	opt Options
 	col *Collector
+	o   *obs.Observer
+	met *coreMetrics
 
 	// Algorithm 1 state.
 	oldCallPath  uint64
 	haveOld      bool
 	reclustering bool
 	steadyLead   bool
+	lastState    State
+	haveState    bool
 	curSig       sig.Triple
 
 	// Cluster state (valid while inLeadPhase).
@@ -173,12 +223,20 @@ type Chameleon struct {
 // New returns a hook factory for mpi.Config.Hooks.
 func New(col *Collector, opt Options) func(p *mpi.Proc) mpi.Interposer {
 	opt = opt.normalized()
+	var met *coreMetrics
 	return func(p *mpi.Proc) mpi.Interposer {
+		if met == nil {
+			// The factory runs once per rank before the rank goroutines
+			// start (see mpi.Run), so lazy shared-handle setup is safe.
+			met = newCoreMetrics(p.Obs())
+		}
 		c := &Chameleon{
 			p:            p,
 			rec:          tracer.NewRecorder(p, opt.SigMode, opt.Filter),
 			opt:          opt,
 			col:          col,
+			o:            p.Obs(),
+			met:          met,
 			reclustering: true,
 		}
 		c.online.Filter = opt.Filter
@@ -216,6 +274,9 @@ func (c *Chameleon) onMarker() {
 	hops := vtime.Duration(vtime.Log2Ceil(c.p.Size()))
 	c.p.Ledger.Charge(vtime.CatMarker, hops*(model.Alpha+model.CollectivePerLevel))
 	c.markerCalls++
+	if c.met != nil && c.p.Rank() == 0 {
+		c.met.markers.Inc()
+	}
 	// Marker and clustering processing time must not leak into the
 	// recorded inter-event computation deltas: exclude the whole marker
 	// span (barrier entry through processing end) from the next delta,
@@ -227,23 +288,50 @@ func (c *Chameleon) onMarker() {
 		return
 	}
 	c.engaged++
+	if c.met != nil && c.p.Rank() == 0 {
+		c.met.engaged.Inc()
+	}
 	state := c.transition()
 	c.stateCalls[state]++
 	c.accountSpace(state)
+	c.observeTransition(state)
 	switch state {
 	case StateC:
 		c.runClustering()
-		c.flushLeads()
+		c.flushLeads(obs.FlushInitial)
 		c.enterLeadPhase()
 	case StateL:
 		if !c.steadyLead {
 			// Phase change while leading: flush lead partials and
 			// return everyone to all-tracing.
-			c.flushLeads()
+			c.flushLeads(obs.FlushPhaseChange)
 			c.exitLeadPhase()
 		}
 	}
 	c.steadyLead = false
+}
+
+// observeTransition records one transition-graph step into the
+// observability layer. Run-global series are emitted by rank 0 only
+// (every rank computes the same state, so once is enough).
+func (c *Chameleon) observeTransition(state State) {
+	if c.p.Rank() != 0 {
+		c.lastState, c.haveState = state, true
+		return
+	}
+	if c.met != nil {
+		c.met.transitions[state].Inc()
+		c.met.state.Set(int64(state))
+	}
+	from := ""
+	if c.haveState {
+		from = c.lastState.String()
+	}
+	c.o.Emit(obs.Event{
+		Kind: obs.KindTransition, Rank: 0, VT: int64(c.p.Clock.Now()),
+		Marker: c.markerCalls, From: from, To: state.String(),
+	})
+	c.lastState, c.haveState = state, true
 }
 
 // transition implements Algorithm 1. All ranks return the same state
@@ -252,6 +340,10 @@ func (c *Chameleon) transition() State {
 	model := c.p.Model()
 	cur := c.rec.Win.Triple()
 	c.curSig = cur
+	if c.met != nil {
+		c.met.windowEvents.Observe(int64(c.rec.Win.Events()))
+		c.met.windowSites.Observe(int64(c.rec.Win.DistinctSites()))
+	}
 	c.rec.Win.Reset()
 
 	if !c.haveOld {
@@ -270,6 +362,16 @@ func (c *Chameleon) transition() State {
 	hops := vtime.Duration(vtime.Log2Ceil(c.p.Size()))
 	c.p.Ledger.Charge(vtime.CatMarker, hops*(model.Alpha+model.CollectivePerLevel))
 	c.oldCallPath = cur.CallPath
+	if c.p.Rank() == 0 {
+		if c.met != nil {
+			c.met.votes.Inc()
+			c.met.voteMismatch.Add(glob)
+		}
+		c.o.Emit(obs.Event{
+			Kind: obs.KindVote, Rank: 0, VT: int64(c.p.Clock.Now()),
+			Marker: c.markerCalls, Votes: glob,
+		})
+	}
 
 	if glob == 0 {
 		if c.reclustering {
@@ -320,20 +422,38 @@ func (c *Chameleon) runClustering() {
 		}
 	}
 
+	if c.isLead {
+		c.o.Emit(obs.Event{
+			Kind: obs.KindLead, Rank: p.Rank(), VT: int64(p.Clock.Now()),
+			Marker: c.markerCalls, Count: uint64(c.myCluster.Size()),
+		})
+	}
 	if p.Rank() == 0 {
 		c.col.mu.Lock()
 		c.col.Reclusterings++
 		c.col.LeadRanks = append([]int(nil), c.leads...)
 		c.col.CallPathClusters = len(paths)
 		c.col.mu.Unlock()
+		if c.met != nil {
+			c.met.reclusterings.Inc()
+			c.met.leadCount.Set(int64(len(c.leads)))
+			c.met.callPaths.Set(int64(len(paths)))
+		}
+		c.o.Emit(obs.Event{
+			Kind: obs.KindCluster, Rank: 0, VT: int64(p.Clock.Now()),
+			Marker: c.markerCalls, K: c.opt.K,
+			Leads: append([]int(nil), c.leads...),
+			Count: uint64(len(paths)),
+		})
 	}
 }
 
 // flushLeads runs the online inter-node compression: lead partial traces
 // (rank lists rewritten to cluster rank lists) merge over a radix tree
 // of the K leads; the result folds into rank 0's online trace. Every
-// rank then deletes its partial trace.
-func (c *Chameleon) flushLeads() {
+// rank then deletes its partial trace. The cause (initial clustering,
+// phase change, finalize) is recorded in the journal.
+func (c *Chameleon) flushLeads(cause string) {
 	p := c.p
 	model := p.Model()
 	round := c.flushRound
@@ -385,6 +505,17 @@ func (c *Chameleon) flushLeads() {
 			c.onlineAlloc += after - before
 		}
 	}
+	if p.Rank() == 0 {
+		if c.met != nil {
+			c.met.flushes.Inc()
+			c.met.onlineBytes.Set(int64(c.online.SizeBytes()))
+		}
+		c.o.Emit(obs.Event{
+			Kind: obs.KindFlush, Rank: 0, VT: int64(p.Clock.Now()),
+			Marker: c.markerCalls, Round: round, Note: cause,
+			Bytes: int64(c.online.SizeBytes()),
+		})
+	}
 	// "All nodes: delete your partial trace" — TakePartial above already
 	// detached it; restart delta-time tracking at this point.
 	c.rec.MarkEventBoundary()
@@ -424,7 +555,12 @@ func (c *Chameleon) Finalize() {
 	}
 	c.stateCalls[StateF]++
 	c.accountSpace(StateF)
-	c.flushLeads()
+	c.observeTransition(StateF)
+	c.flushLeads(obs.FlushFinal)
+	c.o.Emit(obs.Event{
+		Kind: obs.KindFinalize, Rank: c.p.Rank(), VT: int64(c.p.Clock.Now()),
+		Count: c.rec.Events, Bytes: int64(c.rec.AllocBytes),
+	})
 
 	c.col.mu.Lock()
 	defer c.col.mu.Unlock()

@@ -209,19 +209,19 @@ func (c *Comm) RawGatherObj(root int, obj any, bytes int) []any {
 // Barrier synchronizes the communicator.
 func (c *Comm) Barrier() {
 	ci := &CallInfo{Op: OpBarrier, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: NoPeer}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	c.rawBarrier()
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 }
 
 // Bcast broadcasts payload (of the given size) from root and returns it
 // on every rank.
 func (c *Comm) Bcast(root, bytes int, payload any) any {
 	ci := &CallInfo{Op: OpBcast, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: root, Bytes: bytes}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	seq := c.nextSeq()
 	out := c.treeBcast(root, collTag(c.id, seq, 0), bytes, payload)
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 	return out
 }
 
@@ -229,21 +229,21 @@ func (c *Comm) Bcast(root, bytes int, payload any) any {
 // contribution for cost purposes.
 func (c *Comm) Reduce(root, bytes int, val uint64, op ReduceOp) uint64 {
 	ci := &CallInfo{Op: OpReduce, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: root, Bytes: bytes}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	seq := c.nextSeq()
 	out := c.treeReduceU64(root, collTag(c.id, seq, 0), val, op)
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 	return out
 }
 
 // Allreduce reduces val across all ranks and distributes the result.
 func (c *Comm) Allreduce(bytes int, val uint64, op ReduceOp) uint64 {
 	ci := &CallInfo{Op: OpAllreduce, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: 0, Bytes: bytes}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	seq := c.nextSeq()
 	r := c.treeReduceU64(0, collTag(c.id, seq, 0), val, op)
 	out := c.treeBcast(0, collTag(c.id, seq, 1), 8, r).(uint64)
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 	return out
 }
 
@@ -251,21 +251,21 @@ func (c *Comm) Allreduce(bytes int, val uint64, op ReduceOp) uint64 {
 // at root, nil elsewhere).
 func (c *Comm) Gather(root, bytes int, payload any) []any {
 	ci := &CallInfo{Op: OpGather, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: root, Bytes: bytes}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	seq := c.nextSeq()
 	out := c.treeGather(root, collTag(c.id, seq, 0), bytes, payload)
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 	return out
 }
 
 // Allgather collects every rank's payload everywhere.
 func (c *Comm) Allgather(bytes int, payload any) []any {
 	ci := &CallInfo{Op: OpAllgather, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: 0, Bytes: bytes}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	seq := c.nextSeq()
 	gathered := c.treeGather(root0, collTag(c.id, seq, 0), bytes, payload)
 	out := c.treeBcast(root0, collTag(c.id, seq, 1), bytes*len(c.group), gathered)
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 	if out == nil {
 		return nil
 	}
@@ -278,7 +278,7 @@ const root0 = 0
 // rank's element.
 func (c *Comm) Scatter(root, bytes int, payloads []any) any {
 	ci := &CallInfo{Op: OpScatter, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: root, Bytes: bytes}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	seq := c.nextSeq()
 	tag := collTag(c.id, seq, 0)
 	in := c.internal()
@@ -300,7 +300,7 @@ func (c *Comm) Scatter(root, bytes int, payloads []any) any {
 	} else {
 		mine = in.rawRecv(root, tag).Payload
 	}
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 	return mine
 }
 
@@ -308,7 +308,7 @@ func (c *Comm) Scatter(root, bytes int, payloads []any) any {
 // (payloads are synthetic; only the communication shape and cost matter).
 func (c *Comm) Alltoall(bytes int) {
 	ci := &CallInfo{Op: OpAlltoall, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: NoPeer, Bytes: bytes}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	seq := c.nextSeq()
 	tag := collTag(c.id, seq, 0)
 	in := c.internal()
@@ -324,7 +324,7 @@ func (c *Comm) Alltoall(bytes int) {
 		in.rawSend(peer, tag, bytes, nil)
 		in.rawRecv(peer, tag)
 	}
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 }
 
 func nextPow2(p int) int {

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/vtime"
 )
 
@@ -120,6 +121,9 @@ type Runtime struct {
 	anyWaiters atomic.Int32
 	// aborted is set when any rank panics so blocked peers unwind.
 	aborted atomic.Bool
+	// obs/met are the run's observability sinks (nil when disabled).
+	obs *obs.Observer
+	met *opMetrics
 }
 
 // errAborted is the sentinel blocked ranks panic with after a peer rank
@@ -310,10 +314,24 @@ func (p *Proc) SetInterposer(h Interposer) {
 // Interposer returns the installed hook chain.
 func (p *Proc) Interposer() Interposer { return p.hooks }
 
+// Obs returns the run's observer (nil when observability is disabled).
+// The tracing layers pull it from here so no extra plumbing is needed.
+func (p *Proc) Obs() *obs.Observer { return p.rt.obs }
+
 // Compute advances this rank's virtual clock by d of application
 // computation. The tracing layer observes it as inter-event delta time.
 func (p *Proc) Compute(d vtime.Duration) {
 	p.Ledger.Charge(vtime.CatApp, d)
+	if o := p.rt.obs; o != nil {
+		start := p.Clock.Now()
+		p.Clock.Advance(d)
+		if m := p.rt.met; m != nil {
+			m.computeCalls.Inc()
+			m.computeNs.Observe(int64(d))
+		}
+		o.Span(p.rank, "compute", obs.CatCompute, start, p.Clock.Now())
+		return
+	}
 	p.Clock.Advance(d)
 }
 
@@ -322,6 +340,13 @@ func (p *Proc) Compute(d vtime.Duration) {
 // timeline.
 func (p *Proc) ChargeOverhead(c vtime.Category, d vtime.Duration) {
 	p.Ledger.Charge(c, d)
+	if o := p.rt.obs; o != nil && d > 0 {
+		start := p.Clock.Now()
+		p.Clock.Advance(d)
+		name, cat := overheadSpan(c)
+		o.Span(p.rank, name, cat, start, p.Clock.Now())
+		return
+	}
 	p.Clock.Advance(d)
 }
 
@@ -379,6 +404,9 @@ type Config struct {
 	Model vtime.CostModel
 	// Hooks builds the per-rank interposer; nil runs untraced.
 	Hooks func(p *Proc) Interposer
+	// Obs receives runtime metrics, journal events, and timeline spans
+	// (nil runs unobserved, at zero cost on the hot paths).
+	Obs *obs.Observer
 }
 
 // Result summarizes a completed run.
@@ -425,6 +453,8 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 		procs:     make([]*Proc, cfg.P),
 		nextComm:  commUserBase,
 		states:    make([]atomic.Int32, cfg.P),
+		obs:       cfg.Obs,
+		met:       newOpMetrics(cfg.Obs),
 	}
 	rt.gcond = sync.NewCond(&rt.gmu)
 	group := make([]int, cfg.P)
@@ -472,9 +502,9 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 			rt.setState(p.rank, stateFinalizing)
 			// MPI_Finalize: collective point where tracers flush.
 			ci := &CallInfo{Op: OpFinalize, Comm: CommWorld, Dest: NoPeer, Src: NoPeer, Root: 0}
-			p.hooks.Pre(ci)
+			start := p.opBegin(ci)
 			p.world.rawBarrier()
-			p.hooks.Post(ci)
+			p.opEnd(ci, start)
 			p.hooks.Finalize()
 			rt.setState(p.rank, stateDone)
 		}(rt.procs[r])

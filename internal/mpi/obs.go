@@ -1,0 +1,98 @@
+package mpi
+
+import (
+	"strings"
+
+	"chameleon/internal/obs"
+	"chameleon/internal/vtime"
+)
+
+// opMetrics holds the runtime's pre-fetched metric handles so the
+// per-operation hot path never touches the registry map. The handles
+// are shared across ranks (they are atomics); the struct is built once
+// per Run.
+type opMetrics struct {
+	calls [numOpCodes]*obs.Counter
+	bytes [numOpCodes]*obs.Counter
+	// blocked time (call entry to completion) split by op class.
+	p2pBlocked  *obs.Histogram
+	collBlocked *obs.Histogram
+	// application compute.
+	computeCalls *obs.Counter
+	computeNs    *obs.Histogram
+	// marker barriers (Chameleon's reserved communicator).
+	markerBarriers *obs.Counter
+}
+
+// newOpMetrics registers the mpi_* metric series.
+func newOpMetrics(o *obs.Observer) *opMetrics {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	m := &opMetrics{
+		p2pBlocked:     o.Histogram("mpi_p2p_blocked_vtime_ns"),
+		collBlocked:    o.Histogram("mpi_collective_blocked_vtime_ns"),
+		computeCalls:   o.Counter("mpi_compute_calls_total"),
+		computeNs:      o.Histogram("mpi_compute_vtime_ns"),
+		markerBarriers: o.Counter("mpi_marker_barrier_total"),
+	}
+	for op := OpCode(1); op < numOpCodes; op++ {
+		name := strings.ToLower(op.String())
+		m.calls[op] = o.Counter("mpi_" + name + "_calls_total")
+		m.bytes[op] = o.Counter("mpi_" + name + "_bytes_total")
+	}
+	return m
+}
+
+// opBegin runs the Pre interposer hook and snapshots the clock; paired
+// with opEnd it brackets every public operation.
+func (p *Proc) opBegin(ci *CallInfo) vtime.Time {
+	p.hooks.Pre(ci)
+	return p.Clock.Now()
+}
+
+// opEnd records the operation into the observability layer (counts,
+// bytes, blocked virtual time, a timeline span) and then runs the Post
+// interposer hook. The span is taken before Post so tracing-layer work
+// triggered by the hook (recording, marker processing) books onto its
+// own spans rather than inflating the communication's.
+func (p *Proc) opEnd(ci *CallInfo, start vtime.Time) {
+	if o := p.rt.obs; o != nil {
+		end := p.Clock.Now()
+		if m := p.rt.met; m != nil {
+			m.calls[ci.Op].Inc()
+			if ci.Bytes > 0 {
+				m.bytes[ci.Op].Add(uint64(ci.Bytes))
+			}
+			switch {
+			case ci.Op == OpBarrier && ci.Comm == CommMarker:
+				m.markerBarriers.Inc()
+			case ci.Op.IsCollective():
+				m.collBlocked.Observe(int64(end - start))
+			case ci.Op.IsPointToPoint():
+				m.p2pBlocked.Observe(int64(end - start))
+			}
+		}
+		name, cat := ci.Op.String(), obs.CatP2P
+		switch {
+		case ci.Op == OpBarrier && ci.Comm == CommMarker:
+			name, cat = "marker", obs.CatMarker
+		case ci.Op.IsCollective():
+			cat = obs.CatColl
+		}
+		o.Span(p.rank, name, cat, start, end)
+	}
+	p.hooks.Post(ci)
+}
+
+// overheadSpan maps a ledger category to its timeline (name, cat) pair.
+func overheadSpan(c vtime.Category) (string, string) {
+	switch c {
+	case vtime.CatMarker:
+		return "vote", obs.CatMarker
+	case vtime.CatCluster:
+		return "cluster", obs.CatClustering
+	default:
+		return c.String(), obs.CatTracer
+	}
+}

@@ -86,20 +86,20 @@ func (c *Comm) RawRecv(source, tag int) Message {
 // Send sends bytes (payload optional) to dest with tag.
 func (c *Comm) Send(dest, tag, bytes int, payload any) {
 	ci := &CallInfo{Op: OpSend, Comm: c.id, Dest: dest, Src: NoPeer, Root: NoPeer, Tag: tag, Bytes: bytes}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	c.rawSend(dest, tag, bytes, payload)
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 }
 
 // Recv blocks for a message from source (or AnySource) with tag (or
 // AnyTag).
 func (c *Comm) Recv(source, tag int) Message {
 	ci := &CallInfo{Op: OpRecv, Comm: c.id, Dest: NoPeer, Src: source, Root: NoPeer, Tag: tag}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	msg := c.rawRecv(source, tag)
 	ci.Bytes = msg.Bytes
 	ci.MatchedSrc = msg.Source
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 	return msg
 }
 
@@ -118,31 +118,31 @@ type Request struct {
 // no-op that exists for program-shape fidelity.
 func (c *Comm) Isend(dest, tag, bytes int, payload any) *Request {
 	ci := &CallInfo{Op: OpIsend, Comm: c.id, Dest: dest, Src: NoPeer, Root: NoPeer, Tag: tag, Bytes: bytes}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	c.rawSend(dest, tag, bytes, payload)
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 	return &Request{comm: c, op: OpIsend, done: true}
 }
 
 // Irecv posts a nonblocking receive; the match happens at Wait.
 func (c *Comm) Irecv(source, tag int) *Request {
 	ci := &CallInfo{Op: OpIrecv, Comm: c.id, Dest: NoPeer, Src: source, Root: NoPeer, Tag: tag}
-	c.p.hooks.Pre(ci)
-	c.p.hooks.Post(ci)
+	start := c.p.opBegin(ci)
+	c.p.opEnd(ci, start)
 	return &Request{comm: c, op: OpIrecv, source: source, tag: tag}
 }
 
 // Wait completes a request, returning the received message for Irecv.
 func (c *Comm) Wait(r *Request) Message {
 	ci := &CallInfo{Op: OpWait, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: NoPeer}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	if !r.done {
 		r.msg = c.rawRecv(r.source, r.tag)
 		r.done = true
 		ci.Bytes = r.msg.Bytes
 		ci.MatchedSrc = r.msg.Source
 	}
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 	return r.msg
 }
 
@@ -157,10 +157,10 @@ func (c *Comm) Waitall(rs ...*Request) {
 // exchange primitive).
 func (c *Comm) Sendrecv(dest, sendTag, sendBytes int, payload any, source, recvTag int) Message {
 	ci := &CallInfo{Op: OpSendrecv, Comm: c.id, Dest: dest, Src: source, Root: NoPeer, Tag: sendTag, Bytes: sendBytes}
-	c.p.hooks.Pre(ci)
+	start := c.p.opBegin(ci)
 	c.rawSend(dest, sendTag, sendBytes, payload)
 	msg := c.rawRecv(source, recvTag)
 	ci.MatchedSrc = msg.Source
-	c.p.hooks.Post(ci)
+	c.p.opEnd(ci, start)
 	return msg
 }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one structured journal record. Kind is always set; the other
+// fields are populated as relevant and omitted from the JSON otherwise.
+// VT is the emitting rank's virtual clock in nanoseconds; Marker is the
+// 1-based marker call index on the emitting rank (0 when outside marker
+// processing).
+type Event struct {
+	Kind   string `json:"kind"`
+	Rank   int    `json:"rank"`
+	VT     int64  `json:"vt_ns"`
+	Marker int    `json:"marker,omitempty"`
+	// From/To are transition-graph states for kind "transition".
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Votes is the Algorithm 1 Reduce+Bcast mismatch sum (kind "vote").
+	Votes uint64 `json:"votes,omitempty"`
+	// Leads and K describe a cluster formation (kind "cluster").
+	Leads []int `json:"leads,omitempty"`
+	K     int   `json:"k,omitempty"`
+	// Round disambiguates flush/merge rounds.
+	Round int `json:"round,omitempty"`
+	// Count and Bytes carry kind-specific magnitudes (events in a
+	// window, compares in a merge, bytes flushed, ...).
+	Count uint64 `json:"count,omitempty"`
+	Bytes int64  `json:"bytes,omitempty"`
+	// Note qualifies the event (e.g. a flush's cause).
+	Note string `json:"note,omitempty"`
+}
+
+// Journal event kinds emitted by the instrumented stack.
+const (
+	KindTransition = "transition" // transition-graph step (rank 0)
+	KindVote       = "vote"       // Algorithm 1 Reduce+Bcast result (rank 0)
+	KindCluster    = "cluster"    // cluster formation: lead set + K (rank 0)
+	KindLead       = "lead"       // this rank was elected lead (per rank)
+	KindFlush      = "flush"      // lead partials folded into the online trace
+	KindMerge      = "merge"      // one pairwise radix-tree merge step
+	KindWindow     = "window"     // per-rank marker-window summary
+	KindFinalize   = "finalize"   // per-rank end-of-run totals
+)
+
+// Flush causes recorded in Event.Note.
+const (
+	FlushInitial     = "initial"      // first clustering (AT -> C)
+	FlushPhaseChange = "phase-change" // Call-Path mismatch while leading
+	FlushFinal       = "final"        // MPI_Finalize
+)
+
+// Journal is a concurrency-safe JSONL event sink. A nil *Journal
+// discards events.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	n   uint64
+	err error
+}
+
+// NewJournal wraps w (nil returns a disabled journal).
+func NewJournal(w io.Writer) *Journal {
+	if w == nil {
+		return nil
+	}
+	return &Journal{w: w, enc: json.NewEncoder(w)}
+}
+
+// Emit appends one event line. Write errors are latched (see Err) so
+// hot paths never branch on them.
+func (j *Journal) Emit(ev Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(ev); err != nil {
+		j.err = err
+		return
+	}
+	j.n++
+}
+
+// Events returns how many events were successfully written.
+func (j *Journal) Events() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadJournal parses a JSONL journal stream back into events.
+func ReadJournal(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return out, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: journal read: %w", err)
+	}
+	return out, nil
+}

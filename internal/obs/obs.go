@@ -1,0 +1,116 @@
+// Package obs is the observability layer of the tracing stack itself:
+// the tracer tracing the tracer. It provides three coordinated
+// facilities, all cheap enough to leave compiled into the hot paths and
+// all disabled by a single nil check:
+//
+//   - a lock-free metrics Registry (atomic counters, gauges, and
+//     log2-bucketed histograms built on internal/stats.Histogram) that
+//     the MPI runtime, the transition graph, and the clusterer update
+//     in-line;
+//   - a structured JSONL Journal of discrete events — state
+//     transitions, Algorithm 1 votes, cluster formations, lead
+//     elections, phase-change flushes, radix-tree merge steps — each
+//     stamped with rank, marker index, and virtual time;
+//   - a per-rank virtual-time Timeline of spans (compute, blocked
+//     communication, marker processing, clustering, merging) exported
+//     in the Chrome trace-event format, loadable in chrome://tracing or
+//     Perfetto.
+//
+// Everything hangs off an Observer. A nil *Observer is the disabled
+// state: every method on it (and on the nil handles it returns) is a
+// no-op, so instrumented code needs no flags or build tags — the cost
+// of disabled observability is one pointer test per site.
+package obs
+
+import (
+	"io"
+
+	"chameleon/internal/vtime"
+)
+
+// Observer bundles the three observability facilities. Any field may be
+// nil to disable that facility independently; a nil *Observer disables
+// all of them.
+type Observer struct {
+	// Reg is the metrics registry.
+	Reg *Registry
+	// Journal receives structured events.
+	Journal *Journal
+	// Timeline receives per-rank virtual-time spans.
+	Timeline *Timeline
+}
+
+// Options selects which facilities New enables.
+type Options struct {
+	// Metrics enables the registry.
+	Metrics bool
+	// Journal, when non-nil, receives JSONL events.
+	Journal io.Writer
+	// TimelineRanks, when positive, enables span capture for that many
+	// ranks.
+	TimelineRanks int
+}
+
+// New assembles an Observer, or returns nil when every facility is
+// disabled (so callers can pass the result straight into a config).
+func New(o Options) *Observer {
+	ob := &Observer{}
+	if o.Metrics {
+		ob.Reg = NewRegistry()
+	}
+	if o.Journal != nil {
+		ob.Journal = NewJournal(o.Journal)
+	}
+	if o.TimelineRanks > 0 {
+		ob.Timeline = NewTimeline(o.TimelineRanks)
+	}
+	if ob.Reg == nil && ob.Journal == nil && ob.Timeline == nil {
+		return nil
+	}
+	return ob
+}
+
+// Enabled reports whether any facility is live.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Counter returns the named counter handle (nil, and safe to use, when
+// metrics are disabled).
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Counter(name)
+}
+
+// Gauge returns the named gauge handle.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Gauge(name)
+}
+
+// Histogram returns the named histogram handle.
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Histogram(name)
+}
+
+// Emit writes one journal event (no-op when the journal is disabled).
+func (o *Observer) Emit(ev Event) {
+	if o == nil {
+		return
+	}
+	o.Journal.Emit(ev)
+}
+
+// Span records one [start, end) virtual-time span on the rank's
+// timeline track.
+func (o *Observer) Span(rank int, name, cat string, start, end vtime.Time) {
+	if o == nil {
+		return
+	}
+	o.Timeline.Add(rank, name, cat, start, end)
+}

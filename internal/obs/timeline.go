@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+
+	"chameleon/internal/vtime"
+)
+
+// Span categories used by the instrumented stack. The category becomes
+// the Chrome trace event's "cat" field, so Perfetto can filter tracks
+// by activity class.
+const (
+	CatCompute    = "compute"    // application computation
+	CatP2P        = "p2p"        // point-to-point communication (incl. blocked wait)
+	CatColl       = "collective" // collective communication (incl. blocked wait)
+	CatMarker     = "marker"     // marker barrier + Algorithm 1 vote
+	CatClustering = "clustering" // Algorithm 2/3 clustering work
+	CatTracer     = "tracer"     // tracing-layer work (compression, merging)
+)
+
+// Span is one half-open [Start, Start+Dur) interval of virtual time on
+// one rank's track.
+type Span struct {
+	Rank  int
+	Name  string
+	Cat   string
+	Start vtime.Time
+	Dur   vtime.Duration
+}
+
+// defaultSpanCap bounds per-rank span memory (~48B each, so ~25MB/rank
+// at the cap). Excess spans are counted, not stored.
+const defaultSpanCap = 1 << 19
+
+// Timeline captures per-rank spans for Chrome trace-event export. Each
+// rank's track is written only from that rank's goroutine (the
+// simulated runtime's threading model), so appends are unsynchronized;
+// cross-rank state is atomic.
+type Timeline struct {
+	perRank [][]Span
+	capPer  int
+	dropped atomic.Uint64
+}
+
+// NewTimeline sizes a timeline for p ranks.
+func NewTimeline(p int) *Timeline {
+	if p <= 0 {
+		return nil
+	}
+	return &Timeline{perRank: make([][]Span, p), capPer: defaultSpanCap}
+}
+
+// Add records one [start, end) span on rank's track. Zero- and
+// negative-length spans are kept only if at least 1ns long after
+// clamping (instant events add noise without information here).
+func (t *Timeline) Add(rank int, name, cat string, start, end vtime.Time) {
+	if t == nil || rank < 0 || rank >= len(t.perRank) || end <= start {
+		return
+	}
+	if len(t.perRank[rank]) >= t.capPer {
+		t.dropped.Add(1)
+		return
+	}
+	t.perRank[rank] = append(t.perRank[rank], Span{
+		Rank: rank, Name: name, Cat: cat,
+		Start: start, Dur: vtime.Duration(end - start),
+	})
+}
+
+// Dropped returns how many spans were discarded at the per-rank cap.
+func (t *Timeline) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Spans returns rank r's recorded track (the live slice; callers must
+// not mutate it). It returns nil for out-of-range ranks.
+func (t *Timeline) Spans(r int) []Span {
+	if t == nil || r < 0 || r >= len(t.perRank) {
+		return nil
+	}
+	return t.perRank[r]
+}
+
+// SpanCount returns the total number of stored spans.
+func (t *Timeline) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range t.perRank {
+		n += len(s)
+	}
+	return n
+}
+
+// WriteChromeTrace renders the timeline in the Chrome trace-event JSON
+// format (the object form, with a traceEvents array of "X" complete
+// events), which chrome://tracing and Perfetto load directly. Virtual
+// nanoseconds map to trace microseconds with sub-microsecond precision
+// preserved as decimals. Each rank becomes one thread track of pid 0.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	if t != nil {
+		for r := range t.perRank {
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"rank %d"}}`, r, r))
+		}
+		for r := range t.perRank {
+			for _, s := range t.perRank[r] {
+				emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d}`,
+					strconv.Quote(s.Name), strconv.Quote(s.Cat),
+					usec(int64(s.Start)), usec(int64(s.Dur)), r))
+			}
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// usec formats nanoseconds as decimal microseconds without float
+// rounding artifacts.
+func usec(ns int64) string {
+	q, r := ns/1000, ns%1000
+	if r == 0 {
+		return strconv.FormatInt(q, 10)
+	}
+	return fmt.Sprintf("%d.%03d", q, r)
+}

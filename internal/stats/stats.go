@@ -144,6 +144,22 @@ func bucketOf(v int64) int {
 	return b
 }
 
+// BucketOf returns the index of the log2 bucket that holds v: bucket 0
+// holds all v <= 0 and bucket i (1 <= i <= 63) holds the values of bit
+// length i, i.e. [2^(i-1), 2^i - 1].
+func BucketOf(v int64) int { return bucketOf(v) }
+
+// BucketBounds returns the inclusive [low, high] value range of bucket i.
+func BucketBounds(i int) (low, high int64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	if i >= 63 {
+		return 1 << 62, math.MaxInt64
+	}
+	return 1 << uint(i-1), 1<<uint(i) - 1
+}
+
 func leadingZeros(v uint64) int {
 	n := 0
 	for i := 63; i >= 0; i-- {
@@ -206,6 +222,64 @@ func (h *Histogram) Count() uint64 { return h.sum.N() }
 
 // Mean returns the mean sample value (0 if empty).
 func (h *Histogram) Mean() int64 { return int64(h.sum.Mean()) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the recorded
+// samples by locating the log2 bucket containing the target rank and
+// interpolating linearly inside it. The estimate is clamped to the
+// observed [Min, Max] range, so exact-extreme queries (q = 0 or 1) are
+// exact. A histogram rehydrated via Restore has no bucket detail; it
+// falls back to the preserved mean.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var inBuckets uint64
+	for _, c := range h.Buckets {
+		inBuckets += c
+	}
+	if inBuckets == 0 {
+		// Restored summary (see Restore): only scalar state survives.
+		return h.Mean()
+	}
+	// Target rank in [1, inBuckets].
+	rank := uint64(math.Ceil(q * float64(inBuckets)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if rank > cum+c {
+			cum += c
+			continue
+		}
+		low, high := BucketBounds(i)
+		// Position of the target inside the bucket, in (0, 1].
+		frac := float64(rank-cum) / float64(c)
+		v := low + int64(frac*float64(high-low))
+		return clampInt64(v, h.Min, h.Max)
+	}
+	return h.Max
+}
+
+func clampInt64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
 
 // Clone returns an independent copy.
 func (h *Histogram) Clone() *Histogram {

@@ -269,3 +269,81 @@ func TestBucketMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBucketBoundsCoverBucketOf(t *testing.T) {
+	for _, v := range []int64{1, 2, 3, 4, 7, 8, 1000, 1 << 20, 1<<62 + 1} {
+		b := BucketOf(v)
+		low, high := BucketBounds(b)
+		if v < low || v > high {
+			t.Fatalf("v=%d bucket=%d bounds=[%d,%d]", v, b, low, high)
+		}
+	}
+	if b := BucketOf(-5); b != 0 {
+		t.Fatalf("negative bucket = %d", b)
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	h := NewHistogram()
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d", q)
+	}
+	h.Add(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Fatalf("single-sample Quantile(%v) = %d", q, got)
+		}
+	}
+}
+
+func TestQuantileExtremesExact(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %d", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("p100 = %d", got)
+	}
+}
+
+func TestQuantileUniformWithinBucketError(t *testing.T) {
+	// Uniform 1..4096: the log2 interpolation should land each quantile
+	// within its bucket, i.e. within a factor of 2 of the exact value.
+	h := NewHistogram()
+	for v := int64(1); v <= 4096; v++ {
+		h.Add(v)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		exact := float64(4096) * q
+		got := float64(h.Quantile(q))
+		if got < exact/2 || got > exact*2 {
+			t.Fatalf("Quantile(%v) = %v, exact %v (off by more than 2x)", q, got, exact)
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 500; i++ {
+		h.Add(int64(i*i) % 100000)
+	}
+	prev := int64(math.MinInt64)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestQuantileRestoredFallsBackToMean(t *testing.T) {
+	h := NewHistogram()
+	h.Restore(10, 90, 40, 7)
+	if got := h.Quantile(0.99); got != 40 {
+		t.Fatalf("restored quantile = %d, want mean 40", got)
+	}
+}

@@ -2,6 +2,7 @@ package tracer
 
 import (
 	"chameleon/internal/mpi"
+	"chameleon/internal/obs"
 	"chameleon/internal/trace"
 	"chameleon/internal/vtime"
 )
@@ -31,12 +32,23 @@ func MergeOverTree(p *mpi.Proc, members []int, mine []*trace.Node, filter bool, 
 	}
 	model := p.Model()
 	world := p.World()
+	o := p.Obs()
+	var mSteps, mCompares, mBytes *obs.Counter
+	var mDepth *obs.Gauge
+	if o != nil && o.Reg != nil {
+		mSteps = o.Counter("tracer_merge_steps_total")
+		mCompares = o.Counter("tracer_merge_compares_total")
+		mBytes = o.Counter("tracer_merge_bytes_total")
+		mDepth = o.Gauge("tracer_merge_tree_depth")
+		mDepth.SetMax(int64(vtime.Log2Ceil(len(members))))
+	}
 	acc := mine
 	for _, childPos := range mpi.TreeChildPositions(pos, len(members)) {
 		t0 := p.Clock.Now()
 		msg := world.RawRecv(members[childPos], tag)
 		// Book the transfer/wait time the recv put on the clock.
 		p.Ledger.Charge(cat, vtime.Duration(p.Clock.Now()-t0))
+		o.Span(p.Rank(), "merge-wait", obs.CatTracer, t0, p.Clock.Now())
 		child, _ := msg.Payload.([]*trace.Node)
 		m := trace.Merger{Filter: filter, P: p.Size()}
 		acc = m.Merge(acc, child)
@@ -44,6 +56,13 @@ func MergeOverTree(p *mpi.Proc, members []int, mine []*trace.Node, filter bool, 
 			model.MergeFixed+
 				vtime.Duration(m.Stats.Compares)*model.ComparePerOp+
 				vtime.Duration(m.Stats.BytesMerged)*model.MergePerByte)
+		mSteps.Inc()
+		mCompares.Add(uint64(m.Stats.Compares))
+		mBytes.Add(uint64(m.Stats.BytesMerged))
+		o.Emit(obs.Event{
+			Kind: obs.KindMerge, Rank: p.Rank(), VT: int64(p.Clock.Now()),
+			Count: uint64(m.Stats.Compares), Bytes: int64(m.Stats.BytesMerged),
+		})
 	}
 	if parent := mpi.TreeParentPos(pos); parent >= 0 {
 		t0 := p.Clock.Now()

@@ -8,6 +8,7 @@ package tracer
 
 import (
 	"chameleon/internal/mpi"
+	"chameleon/internal/obs"
 	"chameleon/internal/ranklist"
 	"chameleon/internal/sig"
 	"chameleon/internal/trace"
@@ -137,6 +138,12 @@ type Recorder struct {
 	Events uint64
 	// Observed counts dynamic events observed (recorded or not).
 	Observed uint64
+
+	// obsObserved/obsRecorded/obsAlloc are the pre-fetched metric
+	// handles (nil, and no-ops, when observability is off).
+	obsObserved *obs.Counter
+	obsRecorded *obs.Counter
+	obsAlloc    *obs.Counter
 }
 
 // NewRecorder builds a recorder for the rank with the given signature
@@ -147,6 +154,11 @@ func NewRecorder(p *mpi.Proc, mode SigMode, filter bool) *Recorder {
 		Enabled:    true,
 		Win:        NewWindow(mode),
 		lastAnySrc: -1,
+	}
+	if o := p.Obs(); o != nil {
+		r.obsObserved = o.Counter("tracer_events_observed_total")
+		r.obsRecorded = o.Counter("tracer_events_recorded_total")
+		r.obsAlloc = o.Counter("tracer_alloc_bytes_total")
 	}
 	r.Comp.Filter = filter
 	return r
@@ -211,6 +223,7 @@ func (r *Recorder) Record(ci *mpi.CallInfo, preClock vtime.Time, stackSkip int) 
 	stack := sig.Capture(stackSkip + 1)
 	ev := r.Encode(ci, stack)
 	r.Observed++
+	r.obsObserved.Inc()
 
 	// Track wildcard matches for ReplyToLast encoding. The update
 	// happens after Encode so a send following the wildcard recv sees
@@ -238,8 +251,10 @@ func (r *Recorder) Record(ci *mpi.CallInfo, preClock vtime.Time, stackSkip int) 
 	leaf := trace.NewLeaf(ev, ranklist.SingleRank(r.Proc.Rank()), delta)
 	r.Comp.AppendLeaf(leaf)
 	r.Events++
+	r.obsRecorded.Inc()
 	if after := r.Comp.SizeBytes(); after > before {
 		r.AllocBytes += after - before
+		r.obsAlloc.Add(uint64(after - before))
 	}
 	r.Proc.ChargeOverhead(vtime.CatIntra, model.CompressPerEvent)
 	r.lastEventEnd = r.Proc.Clock.Now()

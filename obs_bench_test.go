@@ -1,0 +1,134 @@
+package chameleon_test
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+
+	"chameleon"
+)
+
+// benchStencil is a small 2D Jacobi halo-exchange body (a cut-down
+// examples/stencil) used to price the observability layer.
+func benchStencil(p *chameleon.Proc) {
+	const (
+		rows, cols = 4, 4
+		timesteps  = 40
+		haloBytes  = 4096
+	)
+	w := p.World()
+	rank := p.Rank()
+	row, col := rank/cols, rank%cols
+	for step := 0; step < timesteps; step++ {
+		p.Compute(2 * chameleon.Millisecond)
+		if row > 0 {
+			w.Send(rank-cols, 1, haloBytes, nil)
+		}
+		if row < rows-1 {
+			w.Send(rank+cols, 2, haloBytes, nil)
+		}
+		if row < rows-1 {
+			w.Recv(rank+cols, 1)
+		}
+		if row > 0 {
+			w.Recv(rank-cols, 2)
+		}
+		if col > 0 {
+			w.Sendrecv(rank-1, 3, haloBytes, nil, rank-1, 4)
+		}
+		if col < cols-1 {
+			w.Sendrecv(rank+1, 4, haloBytes, nil, rank+1, 3)
+		}
+		chameleon.Marker(p)
+	}
+}
+
+func runBenchStencil(tb testing.TB, o *chameleon.Observer) *chameleon.Output {
+	out, err := chameleon.Run(chameleon.Config{
+		P:      16,
+		Tracer: chameleon.TracerChameleon,
+		K:      4,
+		Obs:    o,
+	}, benchStencil)
+	if err != nil {
+		tb.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func fullObserver() *chameleon.Observer {
+	return chameleon.NewObserver(chameleon.ObsOptions{
+		Metrics:       true,
+		Journal:       io.Discard,
+		TimelineRanks: 16,
+	})
+}
+
+// BenchmarkObsOverhead prices the observability layer on the stencil
+// workload: disabled is the nil-Observer fast path (one pointer test
+// per site), enabled runs metrics + journal + timeline all at once.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchStencil(b, nil)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchStencil(b, fullObserver())
+		}
+	})
+}
+
+// TestObsBenchReport writes BENCH_obs.json when BENCH_OBS_OUT names a
+// path (`make bench`): wall-clock ns/op with the layer enabled vs
+// disabled, and the virtual makespans, which must match exactly — the
+// layer charges no virtual time, so the <5% makespan criterion holds
+// with zero margin.
+func TestObsBenchReport(t *testing.T) {
+	path := os.Getenv("BENCH_OBS_OUT")
+	if path == "" {
+		t.Skip("set BENCH_OBS_OUT=BENCH_obs.json to write the report")
+	}
+
+	disabledOut := runBenchStencil(t, nil)
+	enabledOut := runBenchStencil(t, fullObserver())
+	if disabledOut.Time != enabledOut.Time {
+		t.Fatalf("virtual makespan changed under observability: %v vs %v",
+			disabledOut.Time, enabledOut.Time)
+	}
+
+	disabled := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchStencil(b, nil)
+		}
+	})
+	enabled := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchStencil(b, fullObserver())
+		}
+	})
+
+	report := map[string]any{
+		"workload":               "stencil 4x4, 40 timesteps, chameleon tracer",
+		"disabled_ns_op":         disabled.NsPerOp(),
+		"enabled_ns_op":          enabled.NsPerOp(),
+		"wallclock_overhead_pct": 100 * (float64(enabled.NsPerOp()) - float64(disabled.NsPerOp())) / float64(disabled.NsPerOp()),
+		"makespan_vtime_ns":      int64(disabledOut.Time),
+		"makespan_overhead_pct":  0.0,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	t.Logf("wrote %s: disabled=%dns/op enabled=%dns/op", path, disabled.NsPerOp(), enabled.NsPerOp())
+}

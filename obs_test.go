@@ -1,0 +1,227 @@
+package chameleon_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"chameleon"
+	"chameleon/internal/obs"
+)
+
+// runPhaseObserved traces the PHASE workload (the phasechange example as
+// a registry benchmark) with every observability facility enabled and
+// returns the observer plus the journal bytes.
+func runPhaseObserved(t *testing.T, p int) (*chameleon.Observer, []byte, *chameleon.Output) {
+	t.Helper()
+	var journal bytes.Buffer
+	o := chameleon.NewObserver(chameleon.ObsOptions{
+		Metrics:       true,
+		Journal:       &journal,
+		TimelineRanks: p,
+	})
+	out, err := chameleon.RunBenchmark("PHASE", "A", p, chameleon.TracerChameleon,
+		&chameleon.Config{Obs: o})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := o.Journal.Err(); err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	return o, journal.Bytes(), out
+}
+
+// stateSequence compresses the journal's rank-0 transition stream into
+// the run-length form stored in the golden file: "AT C L*39 ... F".
+func stateSequence(events []obs.Event) string {
+	var parts []string
+	state, n := "", 0
+	flush := func() {
+		if n == 0 {
+			return
+		}
+		if n == 1 {
+			parts = append(parts, state)
+		} else {
+			parts = append(parts, fmt.Sprintf("%s*%d", state, n))
+		}
+	}
+	for _, ev := range events {
+		if ev.Kind != obs.KindTransition {
+			continue
+		}
+		if ev.To == state {
+			n++
+			continue
+		}
+		flush()
+		state, n = ev.To, 1
+	}
+	flush()
+	return strings.Join(parts, " ")
+}
+
+// TestJournalGoldenPhaseChange locks the transition sequence the PHASE
+// workload must produce — the Figure 3 walk: All-Tracing, one marker of
+// Clustering, a Lead run per phase with a re-clustering at each phase
+// change, and a final Finalize — against a golden file, and requires at
+// least one phase-change flush in the journal.
+func TestJournalGoldenPhaseChange(t *testing.T) {
+	_, raw, _ := runPhaseObserved(t, 16)
+	events, err := chameleon.ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("parse journal: %v", err)
+	}
+
+	got := stateSequence(events)
+	const golden = "testdata/phase_states.golden"
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s (regenerate by writing the FAIL output): %v", golden, err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Errorf("state sequence mismatch\n got: %s\nwant: %s", got, strings.TrimSpace(string(want)))
+	}
+
+	// The sequence must be the AT -> C -> L... walk ending in F, with a
+	// re-clustering (another C) after the first Lead run.
+	if !strings.HasPrefix(got, "AT C L") {
+		t.Errorf("sequence does not start with AT C L: %s", got)
+	}
+	if !strings.HasSuffix(got, "F") {
+		t.Errorf("sequence does not end in F: %s", got)
+	}
+	if strings.Count(got, "C") < 2 {
+		t.Errorf("no re-clustering in sequence: %s", got)
+	}
+
+	flushes := map[string]int{}
+	for _, ev := range events {
+		if ev.Kind == obs.KindFlush {
+			flushes[ev.Note]++
+		}
+	}
+	if flushes[obs.FlushPhaseChange] < 1 {
+		t.Errorf("no phase-change flush in journal: %v", flushes)
+	}
+	if flushes[obs.FlushFinal] != 1 {
+		t.Errorf("want exactly one final flush: %v", flushes)
+	}
+}
+
+// TestMetricsEndToEnd checks the acceptance criterion directly: a PHASE
+// run emits nonzero mpi_*, core_*, cluster_*, and tracer_* series.
+func TestMetricsEndToEnd(t *testing.T) {
+	o, _, out := runPhaseObserved(t, 16)
+	s := o.Reg.Snapshot()
+
+	nonzero := func(name string) uint64 {
+		if v, ok := s.Counters[name]; ok {
+			return v
+		}
+		if v, ok := s.Gauges[name]; ok {
+			return uint64(v)
+		}
+		if h, ok := s.Histograms[name]; ok {
+			return h.Count
+		}
+		t.Fatalf("metric %s not registered", name)
+		return 0
+	}
+	for _, name := range []string{
+		"mpi_sendrecv_calls_total",
+		"mpi_alltoall_calls_total",
+		"mpi_marker_barrier_total",
+		"mpi_compute_vtime_ns",
+		"core_marker_calls_total",
+		"core_votes_total",
+		"core_transitions_L_total",
+		"core_flushes_total",
+		"core_window_events",
+		"cluster_distance_ops_total",
+		"cluster_working_set_items",
+		"tracer_events_observed_total",
+		"tracer_merge_steps_total",
+	} {
+		if nonzero(name) == 0 {
+			t.Errorf("metric %s is zero", name)
+		}
+	}
+
+	// Rank-0-scoped counters count collective steps, not rank-multiplied
+	// steps: every executed marker engages (Freq=1) and all but the first
+	// trigger a vote.
+	markers := s.Counters["core_marker_calls_total"]
+	if int(markers) != out.StateCalls["AT"]+out.StateCalls["C"]+out.StateCalls["L"] {
+		t.Errorf("marker calls %d != state calls %v", markers, out.StateCalls)
+	}
+	if votes := s.Counters["core_votes_total"]; votes != markers-1 {
+		t.Errorf("votes = %d, want %d", votes, markers-1)
+	}
+	if got := s.Gauges["core_reclusterings_total"]; got != 0 {
+		t.Errorf("reclusterings registered as gauge: %d", got)
+	}
+	if got := s.Counters["core_reclusterings_total"]; int(got) != out.Reclusterings {
+		t.Errorf("reclusterings = %d, want %d", got, out.Reclusterings)
+	}
+	if got := s.Gauges["core_lead_count"]; int(got) != len(out.Leads) {
+		t.Errorf("lead count = %d, want %d", got, len(out.Leads))
+	}
+	if got := s.Gauges["run_makespan_vtime_ns"]; got != int64(out.Time) {
+		t.Errorf("makespan gauge = %d, want %d", got, int64(out.Time))
+	}
+}
+
+// TestTimelineEndToEnd checks the Chrome trace export of a real run:
+// valid JSON, complete events only, every category present.
+func TestTimelineEndToEnd(t *testing.T) {
+	o, _, _ := runPhaseObserved(t, 16)
+	var buf bytes.Buffer
+	if err := o.Timeline.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Cat string  `json:"cat"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v", err)
+	}
+	cats := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Dur <= 0 {
+			t.Fatalf("non-positive span duration: %+v", ev)
+		}
+		cats[ev.Cat]++
+	}
+	for _, cat := range []string{obs.CatCompute, obs.CatP2P, obs.CatColl, obs.CatMarker, obs.CatClustering, obs.CatTracer} {
+		if cats[cat] == 0 {
+			t.Errorf("no %q spans in timeline: %v", cat, cats)
+		}
+	}
+}
+
+// TestObservabilityDeterministic: the virtual makespan must be identical
+// with observability on and off — the layer charges no virtual time.
+func TestObservabilityDeterministic(t *testing.T) {
+	base, err := chameleon.RunBenchmark("PHASE", "A", 16, chameleon.TracerChameleon, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	_, _, observed := runPhaseObserved(t, 16)
+	if base.Time != observed.Time {
+		t.Errorf("makespan changed under observability: %v vs %v", base.Time, observed.Time)
+	}
+	if base.Reclusterings != observed.Reclusterings {
+		t.Errorf("reclusterings changed: %d vs %d", base.Reclusterings, observed.Reclusterings)
+	}
+}
