@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test test-race bench clean
+.PHONY: all check test test-race test-faults bench bench-faults clean
 
 all: check test
 
@@ -25,5 +25,17 @@ bench:
 	BENCH_OBS_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run TestObsBenchReport -v .
 	$(GO) test -bench 'BenchmarkObsOverhead' -benchmem .
 
+# test-faults: the fault-injection suite, including the
+# crash-at-every-marker sweep over the PHASE and STENCIL examples
+# (see docs/FAULTS.md).
+test-faults:
+	$(GO) test -run 'TestZeroFaultIdentity|TestFault|TestPhaseLeadCrashFailover|TestStencilLeadPromotion|TestConcurrentCrashDuringClustering|TestReplayFaultedCollectiveTrace|TestCrashSweep|TestJournalGoldenLeadFailover' -v .
+	$(GO) test ./internal/fault/
+
+# bench-faults: measure perturbed-vs-clean virtual makespan and the
+# lead-failover overhead; writes BENCH_fault.json.
+bench-faults:
+	BENCH_FAULT_OUT=$(CURDIR)/BENCH_fault.json $(GO) test -run TestFaultBenchReport -v .
+
 clean:
-	rm -f BENCH_obs.json chameleon.journal.jsonl chameleon.trace.json
+	rm -f BENCH_obs.json BENCH_fault.json chameleon.journal.jsonl chameleon.trace.json

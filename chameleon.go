@@ -48,6 +48,7 @@ import (
 	"chameleon/internal/cluster"
 	"chameleon/internal/core"
 	"chameleon/internal/energy"
+	"chameleon/internal/fault"
 	"chameleon/internal/mpi"
 	"chameleon/internal/obs"
 	"chameleon/internal/replay"
@@ -89,6 +90,11 @@ type (
 	ObsEvent = obs.Event
 	// ObsSnapshot is a point-in-time copy of the metrics registry.
 	ObsSnapshot = obs.Snapshot
+	// FaultPlan is a parsed fault-injection plan (crash/delay/slow
+	// directives).
+	FaultPlan = fault.Plan
+	// FaultInjector is a compiled, seeded fault plan ready to hook a run.
+	FaultInjector = fault.Injector
 )
 
 // NewObserver assembles an Observer from the requested facilities; it
@@ -97,6 +103,22 @@ func NewObserver(o ObsOptions) *Observer { return obs.New(o) }
 
 // ReadJournal parses a JSONL observability journal back into events.
 func ReadJournal(r io.Reader) ([]ObsEvent, error) { return obs.ReadJournal(r) }
+
+// ParseFaultPlan parses a fault-plan spec (the text directive grammar,
+// or JSON when the input starts with '{'). An empty input yields an
+// empty plan.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
+
+// LoadFaultPlan reads and parses a fault-plan file.
+func LoadFaultPlan(path string) (*FaultPlan, error) { return fault.ParseFile(path) }
+
+// NewFaultInjector validates the plan against the rank count and
+// compiles it with the seed. An empty (or nil) plan returns a nil
+// injector: the runtime fault hooks stay disabled and the run is
+// bit-identical to an uninjected one.
+func NewFaultInjector(p *FaultPlan, seed uint64, nranks int) (*FaultInjector, error) {
+	return fault.NewInjector(p, seed, nranks)
+}
 
 // Wildcards for point-to-point matching.
 const (
@@ -186,6 +208,10 @@ type Config struct {
 	// spans from the run (see NewObserver). Nil disables observability
 	// at the cost of one pointer test per instrumented site.
 	Obs *Observer
+	// Fault, when non-nil, injects the compiled fault plan into the run
+	// (crash-stop at markers, compute perturbation); see
+	// NewFaultInjector. Nil leaves every fault hook disabled.
+	Fault *FaultInjector
 }
 
 // Output captures everything a traced run produces.
@@ -223,6 +249,9 @@ type Output struct {
 	// from ranks whose tracing clustering disabled (the paper's future
 	// work; zero saving for non-clustering tracers).
 	Energy EnergyReport
+	// Departed lists ranks that crash-stopped under fault injection
+	// (ascending; empty without faults).
+	Departed []int
 }
 
 func (c Config) sigMode() tracer.SigMode {
@@ -238,7 +267,7 @@ func Run(cfg Config, body func(*Proc)) (*Output, error) {
 	if cfg.P <= 0 {
 		return nil, fmt.Errorf("chameleon: invalid rank count %d", cfg.P)
 	}
-	mcfg := mpi.Config{P: cfg.P, Model: cfg.Model, Obs: cfg.Obs}
+	mcfg := mpi.Config{P: cfg.P, Model: cfg.Model, Obs: cfg.Obs, Fault: cfg.Fault}
 
 	out := &Output{P: cfg.P}
 	var finish func(res *mpi.Result)
@@ -352,6 +381,10 @@ func Run(cfg Config, body func(*Proc)) (*Output, error) {
 		"intercomp": agg.Spent(vtime.CatInterComp),
 	}
 	finish(res)
+	out.Departed = res.Departed
+	if out.Trace != nil && len(res.Departed) > 0 {
+		out.Trace.Retired = res.Departed
+	}
 	if o := cfg.Obs; o != nil && o.Reg != nil {
 		o.Gauge("run_makespan_vtime_ns").Set(int64(out.Time))
 		o.Gauge("run_overhead_vtime_ns").Set(int64(out.Overhead))
@@ -407,6 +440,7 @@ func RunSpec(spec Spec, tr Tracer, override *Config) (*Output, error) {
 			cfg.Model = override.Model
 		}
 		cfg.Obs = override.Obs
+		cfg.Fault = override.Fault
 	}
 	if tr == TracerAutoChameleon {
 		// Automatic marker insertion needs no in-application markers;

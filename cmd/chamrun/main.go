@@ -18,6 +18,15 @@
 // -timeline-out) loadable in Perfetto or chrome://tracing, and
 // -debug-addr serves net/http/pprof and expvar (including the live
 // metrics snapshot under "chameleon") while the run executes.
+//
+// Fault injection (see docs/FAULTS.md):
+//
+//	chamrun -bench PHASE -p 16 -faults 'crash rank=1 at marker=10' -fault-seed 7
+//	chamrun -bench STENCIL -p 16 -faults @plan.json
+//
+// -faults takes an inline plan spec (or @file to load one); -fault-seed
+// seeds the deterministic perturbation streams. Crash plans require the
+// chameleon tracer (crashes fire at its markers).
 package main
 
 import (
@@ -50,7 +59,30 @@ func main() {
 	timeline := flag.Bool("timeline", false, "write a Chrome trace-event JSON timeline (Perfetto)")
 	timelineOut := flag.String("timeline-out", "chameleon.trace.json", "timeline output path")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address during the run")
+	faults := flag.String("faults", "", "fault plan: inline spec, or @path to a plan file")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault injector's perturbation streams")
 	flag.Parse()
+
+	var injector *chameleon.FaultInjector
+	if *faults != "" {
+		var plan *chameleon.FaultPlan
+		var err error
+		if (*faults)[0] == '@' {
+			plan, err = chameleon.LoadFaultPlan((*faults)[1:])
+		} else {
+			plan, err = chameleon.ParseFaultPlan(*faults)
+		}
+		if err != nil {
+			fatal("faults: %v", err)
+		}
+		if plan.HasCrashes() && *tr != "chameleon" {
+			fatal("faults: crash directives require -tracer chameleon (crashes fire at its markers)")
+		}
+		injector, err = chameleon.NewFaultInjector(plan, *faultSeed, *p)
+		if err != nil {
+			fatal("faults: %v", err)
+		}
+	}
 
 	opts := chameleon.ObsOptions{
 		Metrics: *metrics || *metricsOut != "" || *debugAddr != "",
@@ -81,7 +113,7 @@ func main() {
 		fmt.Printf("debug       http://%s/debug/pprof http://%s/debug/vars\n", *debugAddr, *debugAddr)
 	}
 
-	override := &chameleon.Config{K: *k, Freq: *freq, Algo: *algo, Obs: observer}
+	override := &chameleon.Config{K: *k, Freq: *freq, Algo: *algo, Obs: observer, Fault: injector}
 	res, err := chameleon.RunBenchmark(*bench, *class, *p, chameleon.Tracer(*tr), override)
 	if err != nil {
 		fatal("%v", err)
@@ -103,6 +135,10 @@ func main() {
 			res.StateCalls["AT"], res.StateCalls["C"], res.StateCalls["L"], res.StateCalls["F"],
 			res.Reclusterings, res.CallPathClusters)
 		fmt.Printf("leads       %v\n", res.Leads)
+	}
+	if len(res.Departed) > 0 {
+		fmt.Printf("departed    %v (crash-stopped; %d of %d ranks survive)\n",
+			res.Departed, *p-len(res.Departed), *p)
 	}
 	if res.Trace != nil {
 		fmt.Printf("trace       %d top-level nodes\n", len(res.Trace.Nodes))

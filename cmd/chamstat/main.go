@@ -10,6 +10,16 @@
 //	chamstat -volumes trace-file        # per-rank volumes
 //	chamstat -matrix  trace-file        # communication matrix (sparse)
 //	chamstat -diff a.trace b.trace      # equivalence check
+//
+// A trace from a fault-injected run misses the retired (crashed) ranks;
+// -diff -tolerate-ranks excludes those ranks from both sides so the
+// survivor events still diff clean against a full fault-free baseline:
+//
+//	chamstat -diff -tolerate-ranks 1,5-7 full.trace faulted.trace
+//	chamstat -diff -tolerate-ranks auto  full.trace faulted.trace
+//
+// "auto" tolerates the union of the retired-rank lists the two trace
+// files carry.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"sort"
 
 	"chameleon/internal/analysis"
+	"chameleon/internal/fault"
 	"chameleon/internal/trace"
 	"chameleon/internal/vtime"
 )
@@ -27,19 +38,26 @@ func main() {
 	volumes := flag.Bool("volumes", false, "print per-rank communication volumes")
 	matrix := flag.Bool("matrix", false, "print the reconstructed communication matrix")
 	diff := flag.Bool("diff", false, "compare two traces for event equivalence")
+	tolerate := flag.String("tolerate-ranks", "", `with -diff: exclude these ranks ("0,5-7" set grammar, or "auto" = the traces' retired ranks)`)
 	flag.Parse()
 
 	if *diff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: chamstat -diff a.trace b.trace")
+			fmt.Fprintln(os.Stderr, "usage: chamstat -diff [-tolerate-ranks set|auto] a.trace b.trace")
 			os.Exit(2)
 		}
 		a, err := trace.LoadAny(flag.Arg(0))
 		exitOn(err)
 		b, err := trace.LoadAny(flag.Arg(1))
 		exitOn(err)
-		d := analysis.Compare(a, b)
+		tol, err := toleratedRanks(*tolerate, a, b)
+		exitOn(err)
+		d := analysis.CompareWith(a, b, analysis.CompareOpts{TolerateRanks: tol})
 		if d.Equivalent() {
+			if len(tol) > 0 {
+				fmt.Printf("traces are event-equivalent ignoring ranks %v (same call sites, same per-rank and per-site dynamic counts)\n", tol)
+				return
+			}
 			fmt.Println("traces are event-equivalent (same call sites, same per-rank and per-site dynamic counts)")
 			return
 		}
@@ -113,6 +131,38 @@ func main() {
 		cp := analysis.CriticalPath(f, int64(vtime.Default().Alpha))
 		fmt.Printf("critical-path estimate: %v\n", vtime.Duration(cp))
 	}
+}
+
+// toleratedRanks resolves the -tolerate-ranks flag: a rank-set spec, or
+// "auto" for the union of the retired ranks recorded in either trace.
+func toleratedRanks(spec string, a, b *trace.File) ([]int, error) {
+	switch spec {
+	case "":
+		return nil, nil
+	case "auto":
+		set := map[int]bool{}
+		for _, r := range a.Retired {
+			set[r] = true
+		}
+		for _, r := range b.Retired {
+			set[r] = true
+		}
+		out := make([]int, 0, len(set))
+		for r := range set {
+			out = append(out, r)
+		}
+		sort.Ints(out)
+		return out, nil
+	}
+	rs, err := fault.ParseRankSet(spec)
+	if err != nil {
+		return nil, fmt.Errorf("tolerate-ranks: %w", err)
+	}
+	p := a.P
+	if b.P > p {
+		p = b.P
+	}
+	return rs.Ranks(p), nil
 }
 
 func exitOn(err error) {

@@ -1,0 +1,443 @@
+package chameleon_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"chameleon"
+	"chameleon/internal/analysis"
+	"chameleon/internal/obs"
+)
+
+// runFaulted traces a benchmark under Chameleon with the given fault
+// plan (empty = no injection) and returns the output plus the journal.
+func runFaulted(t testing.TB, bench, plan string, seed uint64, p int) (*chameleon.Output, []byte) {
+	t.Helper()
+	parsed, err := chameleon.ParseFaultPlan(plan)
+	if err != nil {
+		t.Fatalf("parse plan %q: %v", plan, err)
+	}
+	inj, err := chameleon.NewFaultInjector(parsed, seed, p)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	var journal bytes.Buffer
+	o := chameleon.NewObserver(chameleon.ObsOptions{Journal: &journal})
+	out, err := chameleon.RunBenchmark(bench, "A", p, chameleon.TracerChameleon,
+		&chameleon.Config{Obs: o, Fault: inj})
+	if err != nil {
+		t.Fatalf("run %s with %q: %v", bench, plan, err)
+	}
+	if err := o.Journal.Err(); err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	return out, journal.Bytes()
+}
+
+// traceJSON serializes a trace for byte comparison.
+func traceJSON(t testing.TB, out *chameleon.Output) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := out.Trace.Write(&buf); err != nil {
+		t.Fatalf("serialize trace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// sortedJournal canonicalizes a journal: rank goroutines race to the
+// shared writer, so line order varies run to run while the line *set*
+// of a deterministic run does not.
+func sortedJournal(raw []byte) string {
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// journalKinds counts journal events by kind.
+func journalKinds(t testing.TB, raw []byte) map[string]int {
+	t.Helper()
+	events, err := chameleon.ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("parse journal: %v", err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	return kinds
+}
+
+// assertSurvivorCoverage checks that the merged trace validates and
+// contains events for every surviving rank (and none for the departed).
+func assertSurvivorCoverage(t testing.TB, out *chameleon.Output) {
+	t.Helper()
+	if err := out.Trace.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	dead := map[int]bool{}
+	for _, r := range out.Departed {
+		dead[r] = true
+	}
+	for _, v := range analysis.Volumes(out.Trace) {
+		events := v.SendEvents + v.RecvEvents + v.CollEvents
+		if !dead[v.Rank] && events == 0 {
+			t.Errorf("surviving rank %d has no events in the trace", v.Rank)
+		}
+	}
+}
+
+// TestZeroFaultIdentity: an empty plan compiles to a nil injector, and a
+// run through the fault-enabled facade is identical — makespan, trace
+// bytes, retired list — to a run with no fault configuration at all.
+func TestZeroFaultIdentity(t *testing.T) {
+	plan, err := chameleon.ParseFaultPlan("")
+	if err != nil {
+		t.Fatalf("parse empty plan: %v", err)
+	}
+	inj, err := chameleon.NewFaultInjector(plan, 1, 16)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	if inj != nil {
+		t.Fatalf("empty plan must compile to a nil injector")
+	}
+
+	base, err := chameleon.RunBenchmark("PHASE", "A", 16, chameleon.TracerChameleon, nil)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	faulted, _ := runFaulted(t, "PHASE", "", 1, 16)
+	if base.Time != faulted.Time {
+		t.Errorf("makespan changed under a nil injector: %v vs %v", base.Time, faulted.Time)
+	}
+	if len(faulted.Departed) != 0 || len(faulted.Trace.Retired) != 0 {
+		t.Errorf("zero-fault run departed=%v retired=%v", faulted.Departed, faulted.Trace.Retired)
+	}
+	if !bytes.Equal(traceJSON(t, base), traceJSON(t, faulted)) {
+		t.Errorf("trace bytes changed under a nil injector")
+	}
+}
+
+// TestFaultDeterminism: the same plan and seed reproduce the run exactly
+// (makespan, trace bytes, journal line set); a different seed perturbs
+// differently.
+func TestFaultDeterminism(t *testing.T) {
+	const plan = "crash rank=1 at marker=10; delay ranks=2-7 p=0.3 jitter=2ms; slow rank=3 factor=2x"
+	a, aj := runFaulted(t, "PHASE", plan, 7, 16)
+	b, bj := runFaulted(t, "PHASE", plan, 7, 16)
+	if a.Time != b.Time {
+		t.Errorf("makespan not deterministic: %v vs %v", a.Time, b.Time)
+	}
+	if !bytes.Equal(traceJSON(t, a), traceJSON(t, b)) {
+		t.Errorf("trace bytes not deterministic")
+	}
+	if sortedJournal(aj) != sortedJournal(bj) {
+		t.Errorf("journal event set not deterministic")
+	}
+
+	c, _ := runFaulted(t, "PHASE", plan, 9, 16)
+	if a.Time == c.Time {
+		t.Errorf("seed 7 and seed 9 produced the same makespan %v; jitter is not seeded", a.Time)
+	}
+}
+
+// TestPhaseLeadCrashFailover is the acceptance scenario: a PHASE run
+// whose lead rank 1 crashes at a state-L marker completes, journals
+// exactly one lead_failover, and its trace validates and covers every
+// surviving rank.
+func TestPhaseLeadCrashFailover(t *testing.T) {
+	out, journal := runFaulted(t, "PHASE", "crash rank=1 at marker=10", 1, 16)
+
+	if want := []int{1}; len(out.Departed) != 1 || out.Departed[0] != 1 {
+		t.Fatalf("departed = %v, want %v", out.Departed, want)
+	}
+	if len(out.Trace.Retired) != 1 || out.Trace.Retired[0] != 1 {
+		t.Fatalf("trace retired = %v, want [1]", out.Trace.Retired)
+	}
+	kinds := journalKinds(t, journal)
+	if kinds[obs.KindFailover] != 1 {
+		t.Errorf("lead_failover events = %d, want 1", kinds[obs.KindFailover])
+	}
+	if kinds[obs.KindFault] != 1 {
+		t.Errorf("fault events = %d, want 1", kinds[obs.KindFault])
+	}
+	assertSurvivorCoverage(t, out)
+	for _, l := range out.Leads {
+		if l == 1 {
+			t.Errorf("dead rank 1 still in lead set %v", out.Leads)
+		}
+	}
+}
+
+// TestReplayFaultedCollectiveTrace replays a crash trace end to end. A
+// collective-only workload is used: the crash-lost windows then contain
+// no point-to-point events whose surviving partners would wait forever
+// (the documented replay limit for crash traces, see docs/FAULTS.md),
+// and the partially-covered collective nodes exercise the replayer's
+// group-collective path — the retired rank replays its pre-crash
+// full-world events and finishes early.
+func TestReplayFaultedCollectiveTrace(t *testing.T) {
+	plan, err := chameleon.ParseFaultPlan("crash rank=3 at marker=10")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	inj, err := chameleon.NewFaultInjector(plan, 1, 16)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	out, err := chameleon.Run(chameleon.Config{
+		P: 16, Tracer: chameleon.TracerChameleon, K: 2, Fault: inj,
+	}, func(p *chameleon.Proc) {
+		for it := 0; it < 30; it++ {
+			p.Compute(chameleon.Millisecond)
+			p.ShrunkWorld().Allreduce(8, uint64(p.Rank()), chameleon.OpSum)
+			chameleon.Marker(p)
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(out.Departed) != 1 || out.Departed[0] != 3 {
+		t.Fatalf("departed = %v, want [3]", out.Departed)
+	}
+	if err := out.Trace.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	rep, err := chameleon.Replay(out.Trace, chameleon.DefaultModel())
+	if err != nil {
+		t.Fatalf("replay of faulted collective trace: %v", err)
+	}
+	if rep.Time <= 0 {
+		t.Errorf("replay makespan = %v", rep.Time)
+	}
+}
+
+// TestStencilLeadPromotion exercises the promotion path proper: on the
+// 4x4 STENCIL grid the interior cluster {5,6,9,10} is led by rank 5;
+// crashing it must promote a surviving member (rank 6, the lowest
+// survivor under the deterministic re-selection) rather than lose the
+// cluster.
+func TestStencilLeadPromotion(t *testing.T) {
+	out, journal := runFaulted(t, "STENCIL", "crash rank=5 at marker=10", 1, 16)
+
+	events, err := chameleon.ReadJournal(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatalf("parse journal: %v", err)
+	}
+	var failovers []obs.Event
+	for _, ev := range events {
+		if ev.Kind == obs.KindFailover {
+			failovers = append(failovers, ev)
+		}
+	}
+	if len(failovers) != 1 {
+		t.Fatalf("lead_failover events = %d, want 1", len(failovers))
+	}
+	fo := failovers[0]
+	if fo.Note != "promoted" {
+		t.Fatalf("failover note = %q, want \"promoted\" (event: %+v)", fo.Note, fo)
+	}
+	if len(fo.Leads) != 2 || fo.Leads[0] != 5 || fo.Leads[1] != 6 {
+		t.Errorf("failover leads = %v, want [5 6] (old, promoted)", fo.Leads)
+	}
+	promoted := false
+	for _, l := range out.Leads {
+		if l == 6 {
+			promoted = true
+		}
+		if l == 5 {
+			t.Errorf("dead rank 5 still in lead set %v", out.Leads)
+		}
+	}
+	if !promoted {
+		t.Errorf("promoted rank 6 not in final lead set %v", out.Leads)
+	}
+	assertSurvivorCoverage(t, out)
+}
+
+// TestConcurrentCrashDuringClustering crashes two ranks at the same
+// early marker — inside the Clustering state, while signatures are
+// being gathered — to exercise departure handling concurrent with the
+// clustering collectives (run under -race by make test-race).
+func TestConcurrentCrashDuringClustering(t *testing.T) {
+	out, journal := runFaulted(t, "PHASE", "crash rank=4 at marker=2; crash rank=5 at marker=2", 1, 16)
+	if len(out.Departed) != 2 {
+		t.Fatalf("departed = %v, want [4 5]", out.Departed)
+	}
+	if kinds := journalKinds(t, journal); kinds[obs.KindFault] != 2 {
+		t.Errorf("fault events = %d, want 2", kinds[obs.KindFault])
+	}
+	assertSurvivorCoverage(t, out)
+}
+
+// TestCrashSweep crashes one rank at every marker of the PHASE and
+// STENCIL examples: whatever state the run is in when the crash lands
+// (All-Tracing, Clustering, Lead, a flush marker), the run must
+// complete with a valid trace covering all survivors. Short mode
+// strides the sweep.
+func TestCrashSweep(t *testing.T) {
+	stride := 1
+	if testing.Short() {
+		stride = 13
+	}
+	cases := []struct {
+		bench   string
+		rank    int
+		markers int
+	}{
+		{"PHASE", 3, 160},
+		{"STENCIL", 5, 60},
+	}
+	for _, tc := range cases {
+		t.Run(tc.bench, func(t *testing.T) {
+			for m := 1; m <= tc.markers; m += stride {
+				plan := fmt.Sprintf("crash rank=%d at marker=%d", tc.rank, m)
+				out, _ := runFaulted(t, tc.bench, plan, 1, 16)
+				if len(out.Departed) != 1 || out.Departed[0] != tc.rank {
+					t.Fatalf("marker %d: departed = %v, want [%d]", m, out.Departed, tc.rank)
+				}
+				if err := out.Trace.Validate(); err != nil {
+					t.Fatalf("marker %d: trace invalid: %v", m, err)
+				}
+				assertSurvivorCoverage(t, out)
+			}
+		})
+	}
+}
+
+// failoverSequence compresses rank 0's journal stream — transitions,
+// flushes, failovers — into the run-length token form of the golden
+// file. Only rank-0 events are used: their relative order is rank 0's
+// program order and therefore deterministic.
+func failoverSequence(events []obs.Event) string {
+	var parts []string
+	token, n := "", 0
+	flush := func() {
+		if n == 0 {
+			return
+		}
+		if n == 1 {
+			parts = append(parts, token)
+		} else {
+			parts = append(parts, fmt.Sprintf("%s*%d", token, n))
+		}
+	}
+	for _, ev := range events {
+		var tok string
+		switch ev.Kind {
+		case obs.KindTransition:
+			tok = ev.To
+		case obs.KindFlush:
+			tok = "flush:" + ev.Note
+		case obs.KindFailover:
+			tok = "failover:" + ev.Note
+		default:
+			continue
+		}
+		if tok == token {
+			n++
+			continue
+		}
+		flush()
+		token, n = tok, 1
+	}
+	flush()
+	return strings.Join(parts, " ")
+}
+
+// TestJournalGoldenLeadFailover locks the journal event sequences of
+// one-lead-crash runs against golden files, one per failover flavor.
+// PHASE loses a singleton cluster (its lead had no surviving members,
+// so nothing re-traces); STENCIL promotes a survivor, whose sequence is
+// the full vote -> failover -> one re-traced window -> failover flush.
+func TestJournalGoldenLeadFailover(t *testing.T) {
+	cases := []struct {
+		bench, plan, golden, flavor string
+	}{
+		{"PHASE", "crash rank=1 at marker=10", "testdata/phase_failover.golden", "cluster-lost"},
+		{"STENCIL", "crash rank=5 at marker=10", "testdata/stencil_failover.golden", "promoted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.bench, func(t *testing.T) {
+			_, journal := runFaulted(t, tc.bench, tc.plan, 1, 16)
+			events, err := chameleon.ReadJournal(bytes.NewReader(journal))
+			if err != nil {
+				t.Fatalf("parse journal: %v", err)
+			}
+
+			got := failoverSequence(events)
+			want, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatalf("read %s (regenerate by writing the FAIL output): %v", tc.golden, err)
+			}
+			if got != strings.TrimSpace(string(want)) {
+				t.Errorf("failover sequence mismatch\n got: %s\nwant: %s", got, strings.TrimSpace(string(want)))
+			}
+
+			if !strings.Contains(got, "failover:"+tc.flavor) {
+				t.Errorf("no failover:%s token in sequence: %s", tc.flavor, got)
+			}
+			if tc.flavor != "promoted" {
+				return
+			}
+			// The promotion shape: the failover flush exists and lands
+			// after the failover itself (one re-traced window apart).
+			fo := strings.Index(got, "failover:"+tc.flavor)
+			fl := strings.Index(got, "flush:"+obs.FlushFailover)
+			if fl < 0 {
+				t.Fatalf("no failover flush in sequence: %s", got)
+			}
+			if fo > fl {
+				t.Errorf("failover flush precedes the failover itself: %s", got)
+			}
+		})
+	}
+}
+
+// TestFaultBenchReport writes BENCH_fault.json when BENCH_FAULT_OUT
+// names a path (`make bench-faults`): the virtual makespan of the PHASE
+// workload clean, under perturbation (delay+slow, no crashes), and
+// under a lead crash, plus the overhead each adds.
+func TestFaultBenchReport(t *testing.T) {
+	path := os.Getenv("BENCH_FAULT_OUT")
+	if path == "" {
+		t.Skip("set BENCH_FAULT_OUT=BENCH_fault.json to write the report")
+	}
+
+	clean, _ := runFaulted(t, "PHASE", "", 1, 16)
+	perturbed, _ := runFaulted(t, "PHASE", "delay ranks=1-15 p=0.2 jitter=1ms; slow rank=3 factor=2x", 1, 16)
+	crashed, journal := runFaulted(t, "PHASE", "crash rank=1 at marker=10", 1, 16)
+	kinds := journalKinds(t, journal)
+
+	pctOver := func(d chameleon.Duration) float64 {
+		return 100 * (float64(d) - float64(clean.Time)) / float64(clean.Time)
+	}
+	report := map[string]any{
+		"workload":                "PHASE class A, P=16, chameleon tracer",
+		"clean_makespan_ns":       int64(clean.Time),
+		"perturbed_makespan_ns":   int64(perturbed.Time),
+		"perturbed_overhead_pct":  pctOver(perturbed.Time),
+		"lead_crash_makespan_ns":  int64(crashed.Time),
+		"failover_overhead_pct":   pctOver(crashed.Time),
+		"failovers":               kinds[obs.KindFailover],
+		"perturbed_reclusterings": perturbed.Reclusterings,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	t.Logf("wrote %s: clean=%v perturbed=%v crashed=%v", path, clean.Time, perturbed.Time, crashed.Time)
+}

@@ -256,12 +256,27 @@ func (d *Diff) Reason() string {
 	return ""
 }
 
+// CompareOpts tunes a trace comparison.
+type CompareOpts struct {
+	// TolerateRanks lists ranks whose contribution is excluded from both
+	// sides of the diff — the retired (crashed) ranks, so a trace from a
+	// faulted run can diff clean against a full fault-free baseline.
+	TolerateRanks []int
+}
+
 // Compare diffs two trace files.
 func Compare(a, b *trace.File) *Diff {
+	return CompareWith(a, b, CompareOpts{})
+}
+
+// CompareWith diffs two trace files under explicit options.
+func CompareWith(a, b *trace.File, opts CompareOpts) *Diff {
+	tol := make(map[int]bool, len(opts.TolerateRanks))
+	for _, r := range opts.TolerateRanks {
+		tol[r] = true
+	}
 	d := &Diff{EventDeltas: map[int]int64{}, SiteCountDeltas: map[uint64]int64{}}
-	sa, sb := map[uint64]struct{}{}, map[uint64]struct{}{}
-	trace.CollectStacks(a.Nodes, sa)
-	trace.CollectStacks(b.Nodes, sb)
+	sa, sb := stacksWith(a.Nodes, tol), stacksWith(b.Nodes, tol)
 	for s := range sa {
 		if _, ok := sb[s]; !ok {
 			d.MissingInB = append(d.MissingInB, s)
@@ -277,12 +292,15 @@ func Compare(a, b *trace.File) *Diff {
 		p = b.P
 	}
 	for r := 0; r < p; r++ {
+		if tol[r] {
+			continue
+		}
 		ea, eb := eventsForRank(a.Nodes, r), eventsForRank(b.Nodes, r)
 		if ea != eb {
 			d.EventDeltas[r] = int64(ea) - int64(eb)
 		}
 	}
-	ca, cb := siteCounts(a.Nodes), siteCounts(b.Nodes)
+	ca, cb := siteCounts(a.Nodes, tol), siteCounts(b.Nodes, tol)
 	for s, na := range ca {
 		if nb := cb[s]; na != nb {
 			d.SiteCountDeltas[s] = int64(na) - int64(nb)
@@ -298,8 +316,46 @@ func Compare(a, b *trace.File) *Diff {
 	return d
 }
 
-// siteCounts tallies dynamic events per call site across all ranks.
-func siteCounts(seq []*trace.Node) map[uint64]uint64 {
+// survivingSize counts a leaf's rank-list members outside the tolerated
+// set.
+func survivingSize(n *trace.Node, tol map[int]bool) int {
+	if len(tol) == 0 {
+		return n.Ranks.Size()
+	}
+	count := 0
+	for _, r := range n.Ranks.Ranks() {
+		if !tol[r] {
+			count++
+		}
+	}
+	return count
+}
+
+// stacksWith collects the call sites covered by at least one
+// non-tolerated rank.
+func stacksWith(seq []*trace.Node, tol map[int]bool) map[uint64]struct{} {
+	out := map[uint64]struct{}{}
+	if len(tol) == 0 {
+		trace.CollectStacks(seq, out)
+		return out
+	}
+	var walk func(seq []*trace.Node)
+	walk = func(seq []*trace.Node) {
+		for _, n := range seq {
+			if n.IsLoop() {
+				walk(n.Body)
+			} else if survivingSize(n, tol) > 0 {
+				out[uint64(n.Ev.Stack)] = struct{}{}
+			}
+		}
+	}
+	walk(seq)
+	return out
+}
+
+// siteCounts tallies dynamic events per call site across all
+// non-tolerated ranks.
+func siteCounts(seq []*trace.Node, tol map[int]bool) map[uint64]uint64 {
 	out := map[uint64]uint64{}
 	var walk func(seq []*trace.Node, mult uint64)
 	walk = func(seq []*trace.Node, mult uint64) {
@@ -307,7 +363,7 @@ func siteCounts(seq []*trace.Node) map[uint64]uint64 {
 			if n.IsLoop() {
 				walk(n.Body, mult*n.MeanIters())
 			} else {
-				out[uint64(n.Ev.Stack)] += mult * uint64(n.Ranks.Size())
+				out[uint64(n.Ev.Stack)] += mult * uint64(survivingSize(n, tol))
 			}
 		}
 	}

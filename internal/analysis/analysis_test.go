@@ -169,3 +169,67 @@ func TestDiffReason(t *testing.T) {
 		t.Fatalf("missing-site diff has empty reason")
 	}
 }
+
+// stripRank clones a node sequence with one rank removed from every
+// leaf's rank list, dropping leaves left with no members — the shape of
+// a trace whose rank crash-stopped before recording anything.
+func stripRank(seq []*trace.Node, rank int) []*trace.Node {
+	var out []*trace.Node
+	for _, n := range seq {
+		if n.IsLoop() {
+			out = append(out, trace.NewLoop(n.Iters, stripRank(n.Body, rank)))
+			continue
+		}
+		var keep []int
+		for _, r := range n.Ranks.Ranks() {
+			if r != rank {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		out = append(out, trace.NewLeaf(n.Ev, ranklist.FromRanks(keep), 0))
+	}
+	return out
+}
+
+func TestCompareWithTolerateRanks(t *testing.T) {
+	full := mkFile(4)
+	faulted := mkFile(4)
+	faulted.Nodes = stripRank(faulted.Nodes, 2)
+	faulted.Retired = []int{2}
+	// A site covered only by the retired rank: present in full, gone
+	// entirely from faulted.
+	solo := trace.Event{Op: mpi.OpBarrier, Stack: sig.Stack(sig.Mix(4))}
+	full.Nodes = append(full.Nodes, trace.NewLeaf(solo, ranklist.SingleRank(2), 0))
+
+	if Compare(full, faulted).Equivalent() {
+		t.Fatalf("plain compare must see the missing rank")
+	}
+	d := CompareWith(full, faulted, CompareOpts{TolerateRanks: []int{2}})
+	if !d.Equivalent() {
+		t.Fatalf("tolerated compare diverges: %s", d.Reason())
+	}
+
+	// Tolerance must not mask divergence among the surviving ranks.
+	broken := mkFile(4)
+	broken.Nodes = stripRank(broken.Nodes, 2)
+	broken.Nodes = broken.Nodes[:1] // drop the survivors' collective too
+	d = CompareWith(full, broken, CompareOpts{TolerateRanks: []int{2}})
+	if d.Equivalent() {
+		t.Fatalf("tolerated compare missed a survivor divergence")
+	}
+}
+
+func TestCompareWithEmptyOptsMatchesCompare(t *testing.T) {
+	a, b := mkFile(4), mkFile(4)
+	b.Nodes = b.Nodes[:1]
+	plain, opted := Compare(a, b), CompareWith(a, b, CompareOpts{})
+	if plain.Reason() != opted.Reason() {
+		t.Fatalf("CompareWith{} diverges from Compare: %q vs %q", plain.Reason(), opted.Reason())
+	}
+	if len(plain.EventDeltas) != len(opted.EventDeltas) || len(plain.SiteCountDeltas) != len(opted.SiteCountDeltas) {
+		t.Fatalf("CompareWith{} deltas differ from Compare")
+	}
+}

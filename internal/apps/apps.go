@@ -111,6 +111,20 @@ func grid2D(p int) (rows, cols int) {
 	return best, p / best
 }
 
+// ringNeighbors returns this rank's successor and predecessor (world
+// ranks) on a ring over the surviving ranks. Without fault injection the
+// alive view is nil and the ring is the classic (rank±1) mod P.
+func ringNeighbors(pr *mpi.Proc) (next, prev int) {
+	alive := pr.AliveRanks()
+	if alive == nil {
+		p := pr.Size()
+		return (pr.Rank() + 1) % p, (pr.Rank() + p - 1) % p
+	}
+	pos := mpi.TreePos(alive, pr.Rank())
+	n := len(alive)
+	return alive[(pos+1)%n], alive[(pos+n-1)%n]
+}
+
 // jitter returns a deterministic multiplicative load perturbation in
 // [1-amp, 1+amp] for (rank, step).
 func jitter(rank, step int, amp float64) float64 {
@@ -179,11 +193,13 @@ func Registry(name string, class Class, p int) (Spec, error) {
 		return FT(class, p), nil
 	case "PHASE", "phase":
 		return Phase(class, p), nil
+	case "STENCIL", "stencil":
+		return Stencil(class, p), nil
 	}
 	return Spec{}, fmt.Errorf("apps: unknown benchmark %q", name)
 }
 
 // Names lists the available benchmarks.
 func Names() []string {
-	return []string{"BT", "LU", "SP", "CG", "MG", "FT", "POP", "S3D", "LUW", "EMF", "PHASE"}
+	return []string{"BT", "LU", "SP", "CG", "MG", "FT", "POP", "S3D", "LUW", "EMF", "PHASE", "STENCIL"}
 }

@@ -30,18 +30,22 @@ func Phase(class Class, p int) Spec {
 			return func(pr *mpi.Proc) {
 				w := pr.World()
 				rank := pr.Rank()
-				next := (rank + 1) % pr.Size()
-				prev := (rank + pr.Size() - 1) % pr.Size()
 				it := 0
 				for phase := 0; phase < phases; phase++ {
 					for step := 0; step < stepsPerPhase; step++ {
+						// Neighbors are recomputed each step over the
+						// surviving ranks so the ring re-closes around a
+						// crashed rank; without faults this yields the
+						// classic (rank±1) mod P ring.
+						next, prev := ringNeighbors(pr)
 						pr.Compute(vtime.Duration(float64(comp) * jitter(rank, it, 0.05)))
 						if phase%2 == 0 {
 							w.Sendrecv(next, 11, bytes, nil, prev, 11)
 							w.Sendrecv(prev, 12, bytes, nil, next, 12)
 						} else {
-							w.Alltoall(bytes / pr.Size())
-							w.Allreduce(8, uint64(rank), mpi.OpSum)
+							sw := pr.ShrunkWorld()
+							sw.Alltoall(bytes / pr.Size())
+							sw.Allreduce(8, uint64(rank), mpi.OpSum)
 						}
 						if markerAt(o, it) {
 							Marker(pr)

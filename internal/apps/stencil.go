@@ -1,0 +1,85 @@
+package apps
+
+import (
+	"chameleon/internal/mpi"
+	"chameleon/internal/vtime"
+)
+
+// Stencil is a 2D Jacobi-style halo-exchange skeleton built to exercise
+// fault recovery: each rank exchanges halos with its (up to four) grid
+// neighbors through per-direction conditional branches, so corner, edge
+// and interior ranks produce distinct Call-Paths (nine classes on a
+// rows >= 3 x cols >= 3 grid — the K=9 clustering of Table I's stencil
+// codes). Because the neighbor branches also test liveness, a crashed
+// rank simply drops out of its neighbors' halo pattern: survivors
+// adjacent to it switch Call-Paths (a genuine phase change), while the
+// rest of the interior cluster keeps its shape — which is exactly the
+// situation lead failover must survive when an interior *lead* dies.
+func Stencil(class Class, p int) Spec {
+	const iters = 60
+	return Spec{
+		Name:  "STENCIL",
+		P:     p,
+		Iters: iters,
+		Freq:  1,
+		K:     9,
+		Make: func(o BodyOpts) func(p *mpi.Proc) {
+			bytes := haloBytes(4096, class, p)
+			comp := computeTime(800*vtime.Microsecond, class, p)
+			return func(pr *mpi.Proc) {
+				w := pr.World()
+				rank := pr.Rank()
+				rows, cols := grid2D(pr.Size())
+				row, col := rank/cols, rank%cols
+				up, down, left, right := -1, -1, -1, -1
+				if row > 0 {
+					up = rank - cols
+				}
+				if row < rows-1 {
+					down = rank + cols
+				}
+				if col > 0 {
+					left = rank - 1
+				}
+				if col < cols-1 {
+					right = rank + 1
+				}
+				live := func(nb int) bool { return nb >= 0 && !pr.Departed(nb) }
+				for it := 0; it < iters; it++ {
+					pr.Compute(vtime.Duration(float64(comp) * jitter(rank, it, 0.05)))
+					// Eager sends first (they never block), then the
+					// matching receives; both sides skip departed
+					// neighbors, so the exchange shrinks symmetrically.
+					if live(up) {
+						w.Send(up, 1, bytes, nil)
+					}
+					if live(down) {
+						w.Send(down, 2, bytes, nil)
+					}
+					if live(left) {
+						w.Send(left, 3, bytes, nil)
+					}
+					if live(right) {
+						w.Send(right, 4, bytes, nil)
+					}
+					if live(down) {
+						w.Recv(down, 1)
+					}
+					if live(up) {
+						w.Recv(up, 2)
+					}
+					if live(right) {
+						w.Recv(right, 3)
+					}
+					if live(left) {
+						w.Recv(left, 4)
+					}
+					pr.ShrunkWorld().Allreduce(8, uint64(rank), mpi.OpSum)
+					if markerAt(o, it) {
+						Marker(pr)
+					}
+				}
+			}
+		},
+	}
+}

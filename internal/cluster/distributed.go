@@ -17,6 +17,15 @@ import (
 // communicator; tag must be unique per invocation and identical across
 // ranks.
 func DistributedSelect(p *mpi.Proc, self Item, k int, algo Algorithm, tag int, cat vtime.Category) []Item {
+	return DistributedSelectMembers(p, self, nil, k, algo, tag, cat)
+}
+
+// DistributedSelectMembers is DistributedSelect restricted to an
+// explicit member list (sorted world ranks), the form the fault-tolerant
+// path uses once ranks have crashed: the radix tree spans only the
+// survivors, and the Top-K broadcast reaches only them. A nil members
+// list means all ranks. Non-members must not call it.
+func DistributedSelectMembers(p *mpi.Proc, self Item, members []int, k int, algo Algorithm, tag int, cat vtime.Category) []Item {
 	model := p.Model()
 	world := p.World()
 	items := []Item{self}
@@ -31,9 +40,11 @@ func DistributedSelect(p *mpi.Proc, self Item, k int, algo Algorithm, tag int, c
 		cWorking = o.Histogram("cluster_working_set_items")
 	}
 
-	members := make([]int, p.Size())
-	for i := range members {
-		members[i] = i
+	if members == nil {
+		members = make([]int, p.Size())
+		for i := range members {
+			members[i] = i
+		}
 	}
 	pos := mpi.TreePos(members, p.Rank())
 	for _, childPos := range mpi.TreeChildPositions(pos, len(members)) {
@@ -63,7 +74,12 @@ func DistributedSelect(p *mpi.Proc, self Item, k int, algo Algorithm, tag int, c
 		p.ChargeOverhead(cat, vtime.Duration(res.Distances)*model.ClusterPerItem)
 	}
 
-	top := world.RawBcastObj(0, items, ItemsBytes(items)).([]Item)
+	var top []Item
+	if len(members) == p.Size() {
+		top = world.RawBcastObj(0, items, ItemsBytes(items)).([]Item)
+	} else {
+		top = mpi.GroupBcastObj(p, members, tag|1, items, ItemsBytes(items)).([]Item)
+	}
 	p.Ledger.Charge(cat, model.Alpha+model.CollectivePerLevel)
 	return top
 }

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"chameleon/internal/cluster"
@@ -154,6 +155,8 @@ type coreMetrics struct {
 	leadCount     *obs.Gauge
 	callPaths     *obs.Gauge
 	onlineBytes   *obs.Gauge
+	departures    *obs.Counter
+	failovers     *obs.Counter
 }
 
 func newCoreMetrics(o *obs.Observer) *coreMetrics {
@@ -173,6 +176,8 @@ func newCoreMetrics(o *obs.Observer) *coreMetrics {
 		leadCount:     o.Gauge("core_lead_count"),
 		callPaths:     o.Gauge("core_callpath_clusters"),
 		onlineBytes:   o.Gauge("core_online_trace_bytes"),
+		departures:    o.Counter("core_departures_total"),
+		failovers:     o.Counter("core_lead_failovers_total"),
 	}
 	for s := StateAT; s < NumStates; s++ {
 		m.transitions[s] = o.Counter("core_transitions_" + stateNames[s] + "_total")
@@ -204,6 +209,14 @@ type Chameleon struct {
 	leads       []int
 	myCluster   ranklist.List // this lead's cluster rank list
 	myVariant   bool          // cluster has rank-dependent end-points
+	// Failover state (fault injection only). clusters is the full table
+	// from the last clustering, kept so survivors can re-elect leads;
+	// deadSeen marks departures already processed; failoverFlush arms a
+	// FlushFailover at the next steady lead-phase marker, after the
+	// affected cluster has re-traced for one window.
+	clusters      []cluster.Item
+	deadSeen      map[int]bool
+	failoverFlush bool
 
 	// Online trace (rank 0 only).
 	online      trace.Compressor
@@ -271,7 +284,7 @@ func (c *Chameleon) onMarker() {
 	// overhead. The synchronization stall stays on the application clock
 	// where it belongs — it is load imbalance the barrier merely exposes.
 	model := c.p.Model()
-	hops := vtime.Duration(vtime.Log2Ceil(c.p.Size()))
+	hops := vtime.Duration(vtime.Log2Ceil(c.groupSize()))
 	c.p.Ledger.Charge(vtime.CatMarker, hops*(model.Alpha+model.CollectivePerLevel))
 	c.markerCalls++
 	if c.met != nil && c.p.Rank() == 0 {
@@ -295,20 +308,41 @@ func (c *Chameleon) onMarker() {
 	c.stateCalls[state]++
 	c.accountSpace(state)
 	c.observeTransition(state)
+	// Departures must be folded into the cluster table before any flush
+	// at this marker: a merge tree spanning a dead lead would never
+	// complete.
+	c.handleDepartures()
 	switch state {
 	case StateC:
 		c.runClustering()
 		c.flushLeads(obs.FlushInitial)
 		c.enterLeadPhase()
 	case StateL:
-		if !c.steadyLead {
+		switch {
+		case !c.steadyLead:
 			// Phase change while leading: flush lead partials and
 			// return everyone to all-tracing.
 			c.flushLeads(obs.FlushPhaseChange)
 			c.exitLeadPhase()
+			c.failoverFlush = false
+		case c.failoverFlush:
+			// A lead died last window; its cluster re-traced for one
+			// window and the promoted lead's partial flushes now.
+			c.flushLeads(obs.FlushFailover)
+			c.rec.Enabled = c.isLead
+			c.failoverFlush = false
 		}
 	}
 	c.steadyLead = false
+}
+
+// groupSize is the number of ranks participating in collective tracing
+// steps: the survivors under fault injection, everyone otherwise.
+func (c *Chameleon) groupSize() int {
+	if alive := c.p.AliveRanks(); alive != nil {
+		return len(alive)
+	}
+	return c.p.Size()
 }
 
 // observeTransition records one transition-graph step into the
@@ -358,8 +392,24 @@ func (c *Chameleon) transition() State {
 	}
 	// The Reduce+Bcast vote: book its per-rank share of the O(log P)
 	// message hops (the synchronization stall is already on the clock).
-	glob := c.p.MarkerComm().RawAllreduceU64(mismatch, mpi.OpSum)
-	hops := vtime.Duration(vtime.Log2Ceil(c.p.Size()))
+	// Under shrunken membership the vote runs over the survivors only and
+	// carries the membership epoch in the payload's high bits, so a rank
+	// voting on a stale view is caught immediately instead of corrupting
+	// the mismatch sum.
+	var glob uint64
+	if alive := c.p.AliveRanks(); alive == nil {
+		glob = c.p.MarkerComm().RawAllreduceU64(mismatch, mpi.OpSum)
+	} else {
+		epoch := uint64(c.p.Epoch())
+		tot := mpi.GroupAllreduceU64(c.p, alive, voteTag(c.markerCalls),
+			mismatch|epoch<<voteEpochShift, mpi.OpSum)
+		if got, want := tot>>voteEpochShift, epoch*uint64(len(alive)); got != want {
+			panic(fmt.Sprintf("core: vote epoch sum %d, want %d (rank %d epoch %d)",
+				got, want, c.p.Rank(), epoch))
+		}
+		glob = tot & (1<<voteEpochShift - 1)
+	}
+	hops := vtime.Duration(vtime.Log2Ceil(c.groupSize()))
 	c.p.Ledger.Charge(vtime.CatMarker, hops*(model.Alpha+model.CollectivePerLevel))
 	c.oldCallPath = cur.CallPath
 	if c.p.Rank() == 0 {
@@ -404,9 +454,10 @@ func (c *Chameleon) runClustering() {
 		Ranks: ranklist.SingleRank(p.Rank()),
 		Sig:   c.curSig,
 	}
-	top := cluster.DistributedSelect(p, self, c.opt.K, c.opt.Algo,
-		clusterTag(c.flushRound), vtime.CatCluster)
+	top := cluster.DistributedSelectMembers(p, self, p.AliveRanks(),
+		c.opt.K, c.opt.Algo, clusterTag(c.flushRound), vtime.CatCluster)
 
+	c.clusters = append(c.clusters[:0], top...)
 	c.leads = c.leads[:0]
 	c.isLead = false
 	c.myCluster = ranklist.List{}
@@ -445,6 +496,133 @@ func (c *Chameleon) runClustering() {
 			Leads: append([]int(nil), c.leads...),
 			Count: uint64(len(paths)),
 		})
+	}
+}
+
+// handleDepartures folds newly crashed ranks into the cluster table.
+// Every survivor sees the same membership view at the same marker (the
+// injector is a shared failure-detector oracle) and the cluster table
+// was broadcast, so all survivors take identical decisions without
+// additional communication. Non-lead deaths retire the rank from its
+// cluster rank list; a lead death re-runs the Algorithm 2 selection over
+// the remaining members to promote a replacement, forces that cluster
+// back to tracing (the promoted lead re-traces, representing the
+// cluster), and arms a failover flush for the next steady marker. A
+// cluster that dies entirely is dropped — its unflushed windows are
+// lost, which the journal records rather than hiding.
+func (c *Chameleon) handleDepartures() {
+	p := c.p
+	if p.AliveRanks() == nil {
+		return
+	}
+	var newlyDead []int
+	for r := 0; r < p.Size(); r++ {
+		if p.Departed(r) && !c.deadSeen[r] {
+			if c.deadSeen == nil {
+				c.deadSeen = make(map[int]bool)
+			}
+			c.deadSeen[r] = true
+			newlyDead = append(newlyDead, r)
+		}
+	}
+	if len(newlyDead) == 0 {
+		return
+	}
+	if c.met != nil && p.Rank() == 0 {
+		c.met.departures.Add(uint64(len(newlyDead)))
+	}
+	if len(c.clusters) == 0 {
+		return
+	}
+	kept := c.clusters[:0]
+	changed := false
+	for _, it := range c.clusters {
+		var survivors []int
+		for _, r := range it.Ranks.Ranks() {
+			if !p.Departed(r) {
+				survivors = append(survivors, r)
+			}
+		}
+		if len(survivors) == it.Ranks.Size() {
+			kept = append(kept, it)
+			continue
+		}
+		changed = true
+		if !p.Departed(it.Lead) {
+			// Non-lead death: retire the rank from the cluster list so
+			// merged traces stay well-formed.
+			it.Ranks = ranklist.FromRanks(survivors)
+			if it.Lead == p.Rank() {
+				c.myCluster = it.Ranks
+			}
+			kept = append(kept, it)
+			continue
+		}
+		old := it.Lead
+		if len(survivors) == 0 {
+			// The lead died with its whole cluster; nothing to promote.
+			if p.Rank() == 0 {
+				if c.met != nil {
+					c.met.failovers.Inc()
+				}
+				c.o.Emit(obs.Event{
+					Kind: obs.KindFailover, Rank: 0, VT: int64(p.Clock.Now()),
+					Marker: c.markerCalls, Leads: []int{old}, Note: "cluster-lost",
+				})
+			}
+			continue
+		}
+		// Re-run the Algorithm 2 selection over the remaining members to
+		// pick the replacement lead (signatures are the cluster's, so
+		// with identical items the selection is deterministic).
+		cand := make([]cluster.Item, len(survivors))
+		for i, r := range survivors {
+			cand[i] = cluster.Item{Lead: r, Ranks: ranklist.SingleRank(r), Sig: it.Sig}
+		}
+		res := cluster.SelectLeads(cand, 1, c.opt.Algo)
+		it.Lead = res.Top[0].Lead
+		it.Ranks = ranklist.FromRanks(survivors)
+		if it.Lead == p.Rank() {
+			c.isLead = true
+			c.myCluster = it.Ranks
+			c.myVariant = it.Variant
+			if c.inLeadPhase {
+				// Force the cluster back to tracing for one window; the
+				// failover flush next marker collects it.
+				c.rec.Enabled = true
+				c.rec.MarkEventBoundary()
+			}
+		}
+		if c.inLeadPhase {
+			c.failoverFlush = true
+		}
+		if p.Rank() == 0 {
+			if c.met != nil {
+				c.met.failovers.Inc()
+			}
+			c.o.Emit(obs.Event{
+				Kind: obs.KindFailover, Rank: 0, VT: int64(p.Clock.Now()),
+				Marker: c.markerCalls, Leads: []int{old, it.Lead},
+				Count: uint64(len(survivors)), Note: "promoted",
+			})
+		}
+		kept = append(kept, it)
+	}
+	c.clusters = kept
+	if !changed {
+		return
+	}
+	c.leads = c.leads[:0]
+	for _, it := range c.clusters {
+		c.leads = append(c.leads, it.Lead)
+	}
+	if p.Rank() == 0 {
+		c.col.mu.Lock()
+		c.col.LeadRanks = append([]int(nil), c.leads...)
+		c.col.mu.Unlock()
+		if c.met != nil {
+			c.met.leadCount.Set(int64(len(c.leads)))
+		}
 	}
 }
 
@@ -580,3 +758,12 @@ func (c *Chameleon) Finalize() {
 
 func clusterTag(round int) int { return 1<<54 | round<<3 }
 func onlineTag(round int) int  { return 1<<53 | round<<3 }
+
+// voteTag namespaces the shrunken-membership vote per marker call.
+func voteTag(marker int) int { return 1<<51 | marker<<4 }
+
+// voteEpochShift positions the membership epoch in the vote payload's
+// high bits. The mismatch sum is bounded by P < 2^20, and the epoch sum
+// (epoch * survivors) stays below 2^40 after the shift, so the packed
+// reduce can never overflow 64 bits.
+const voteEpochShift = 20

@@ -193,6 +193,8 @@ func Lookup(id string) (func(Params) (*Table, error), bool) {
 		return ExpAblationK, true
 	case "automarker":
 		return ExpAutoMarker, true
+	case "resilience":
+		return ExpResilience, true
 	}
 	return nil, false
 }
@@ -205,10 +207,10 @@ func IDs() []string {
 
 // ExtensionIDs lists the beyond-the-paper experiments (run with
 // chamexp -ext): the future-work energy estimate, trace extrapolation,
-// the online-trace equivalence audit, the K ablation and automatic
-// marker insertion.
+// the online-trace equivalence audit, the K ablation, automatic marker
+// insertion, and the fault-injection resilience sweep.
 func ExtensionIDs() []string {
-	return []string{"equiv", "energy", "extrap", "ablation-k", "automarker"}
+	return []string{"equiv", "energy", "extrap", "ablation-k", "automarker", "resilience"}
 }
 
 // benchSpec fetches the spec for one of the evaluation benchmarks at

@@ -1,0 +1,258 @@
+// Package fault is the deterministic fault-injection subsystem of the
+// simulated MPI runtime.
+//
+// A Plan describes what goes wrong during a run: crash-stop failures
+// (a rank exits cleanly at a marker boundary), probabilistic delays
+// (extra per-compute jitter), and slowdowns (a multiplicative stretch of
+// a rank's computation). Plans parse from a small text grammar or JSON
+// (see Parse). An Injector binds a validated plan to a seed and a rank
+// count and answers the runtime's questions — how long does this compute
+// really take, does this rank die at this marker, who is still alive
+// after marker m — from pure functions of (plan, seed), so the same plan
+// and seed reproduce the same perturbed run bit for bit.
+//
+// Crash-stop semantics follow the paper's marker discipline: markers are
+// the only global synchronization points Chameleon owns, so crashes fire
+// exactly there, and every surviving rank learns the new membership at
+// the same marker. The injector doubles as the failure detector: because
+// the crash schedule is shared, survivors need no timeout protocol (the
+// ULFM "shrink" step collapses to a table lookup). Rank 0 may never
+// crash — it holds the online trace.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"chameleon/internal/vtime"
+)
+
+// Crash stops one rank at a marker boundary: the rank's goroutine exits
+// cleanly (crash-stop, no Byzantine behavior) at its Marker-th marker
+// barrier, before participating in it.
+type Crash struct {
+	Rank   int `json:"rank"`
+	Marker int `json:"marker"`
+}
+
+// Delay adds jitter to matching ranks' computation: each Compute call
+// independently draws Bernoulli(P); on success an extra duration uniform
+// in [Min, Max] is added.
+type Delay struct {
+	Ranks RankSet        `json:"ranks"`
+	P     float64        `json:"p"`
+	Min   vtime.Duration `json:"min_ns"`
+	Max   vtime.Duration `json:"max_ns"`
+}
+
+// Slow stretches matching ranks' computation by a constant factor
+// (CPU degradation / a straggler node).
+type Slow struct {
+	Ranks  RankSet `json:"ranks"`
+	Factor float64 `json:"factor"`
+}
+
+// Plan is a complete fault schedule.
+type Plan struct {
+	Crashes []Crash `json:"crash,omitempty"`
+	Delays  []Delay `json:"delay,omitempty"`
+	Slows   []Slow  `json:"slow,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Crashes) == 0 && len(p.Delays) == 0 && len(p.Slows) == 0)
+}
+
+// HasCrashes reports whether the plan contains crash-stop failures
+// (which require marker-instrumented runs to fire).
+func (p *Plan) HasCrashes() bool { return p != nil && len(p.Crashes) > 0 }
+
+// Validate checks the plan against a rank count. Rank 0 cannot crash:
+// it folds the online trace, and the paper's protocol has no provision
+// for re-homing it (a documented limitation, see docs/FAULTS.md).
+func (p *Plan) Validate(nranks int) error {
+	if p == nil {
+		return nil
+	}
+	seen := make(map[int]bool, len(p.Crashes))
+	for _, c := range p.Crashes {
+		if c.Rank <= 0 || c.Rank >= nranks {
+			if c.Rank == 0 {
+				return fmt.Errorf("fault: rank 0 cannot crash (it holds the online trace)")
+			}
+			return fmt.Errorf("fault: crash rank %d out of range [1,%d)", c.Rank, nranks)
+		}
+		if c.Marker < 1 {
+			return fmt.Errorf("fault: crash marker %d for rank %d (markers are 1-based)", c.Marker, c.Rank)
+		}
+		if seen[c.Rank] {
+			return fmt.Errorf("fault: duplicate crash for rank %d", c.Rank)
+		}
+		seen[c.Rank] = true
+	}
+	for i, d := range p.Delays {
+		if d.Ranks.Empty() {
+			return fmt.Errorf("fault: delay %d has an empty rank set", i)
+		}
+		if d.Ranks.Max() >= nranks {
+			return fmt.Errorf("fault: delay %d targets rank %d out of range [0,%d)", i, d.Ranks.Max(), nranks)
+		}
+		if d.P < 0 || d.P > 1 {
+			return fmt.Errorf("fault: delay %d probability %g outside [0,1]", i, d.P)
+		}
+		if d.Min < 0 || d.Max < d.Min {
+			return fmt.Errorf("fault: delay %d jitter range [%v,%v] invalid", i, d.Min, d.Max)
+		}
+	}
+	for i, s := range p.Slows {
+		if s.Ranks.Empty() {
+			return fmt.Errorf("fault: slow %d has an empty rank set", i)
+		}
+		if s.Ranks.Max() >= nranks {
+			return fmt.Errorf("fault: slow %d targets rank %d out of range [0,%d)", i, s.Ranks.Max(), nranks)
+		}
+		if s.Factor <= 0 {
+			return fmt.Errorf("fault: slow %d factor %g must be positive", i, s.Factor)
+		}
+	}
+	return nil
+}
+
+// rngState is one rank's splitmix64 state, padded so concurrent rank
+// goroutines never share a cache line.
+type rngState struct {
+	s uint64
+	_ [7]uint64
+}
+
+// Injector binds a validated plan to a seed and rank count. All methods
+// except PerturbCompute are safe for concurrent use (they read immutable
+// state); PerturbCompute(rank, ...) must be called only from rank's own
+// goroutine, like every other per-rank runtime hook.
+type Injector struct {
+	plan *Plan
+	seed uint64
+	n    int
+	// crashAt[rank] is the 1-based crash marker, or -1.
+	crashAt []int
+	// slow[rank] is the combined multiplicative factor (1 = none).
+	slow []float64
+	// crashMarkers is the sorted multiset of crash markers (epoch math).
+	crashMarkers []int
+	rng          []rngState
+}
+
+// NewInjector validates the plan and builds an injector. An empty (or
+// nil) plan returns (nil, nil): a nil *Injector is the zero-fault mode
+// and every runtime hook treats it as "feature off", which is what makes
+// zero-fault runs bit-identical to runs without this subsystem.
+func NewInjector(p *Plan, seed uint64, nranks int) (*Injector, error) {
+	if p.Empty() {
+		return nil, nil
+	}
+	if err := p.Validate(nranks); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		plan:    p,
+		seed:    seed,
+		n:       nranks,
+		crashAt: make([]int, nranks),
+		slow:    make([]float64, nranks),
+		rng:     make([]rngState, nranks),
+	}
+	for r := range in.crashAt {
+		in.crashAt[r] = -1
+		in.slow[r] = 1
+		in.rng[r].s = mix64(seed ^ (uint64(r)+1)*0x9e3779b97f4a7c15)
+	}
+	for _, c := range p.Crashes {
+		in.crashAt[c.Rank] = c.Marker
+		in.crashMarkers = append(in.crashMarkers, c.Marker)
+	}
+	sort.Ints(in.crashMarkers)
+	for _, s := range p.Slows {
+		for _, r := range s.Ranks.Ranks(nranks) {
+			in.slow[r] *= s.Factor
+		}
+	}
+	return in, nil
+}
+
+// Ranks returns the rank count the injector was built for.
+func (in *Injector) Ranks() int { return in.n }
+
+// Seed returns the injector's seed.
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// Plan returns the underlying plan.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// CrashMarker returns the 1-based marker at which rank crashes, or -1.
+func (in *Injector) CrashMarker(rank int) int {
+	if rank < 0 || rank >= in.n {
+		return -1
+	}
+	return in.crashAt[rank]
+}
+
+// AliveAfter returns the ranks still alive once marker m has fired
+// (a rank with crash marker c is dead for every m >= c). The slice is
+// freshly allocated and sorted; identical on every caller for a given m.
+func (in *Injector) AliveAfter(m int) []int {
+	alive := make([]int, 0, in.n)
+	for r := 0; r < in.n; r++ {
+		if c := in.crashAt[r]; c < 0 || c > m {
+			alive = append(alive, r)
+		}
+	}
+	return alive
+}
+
+// EpochAt returns the membership epoch at marker m: the number of
+// crashes that have fired by then. Epoch 0 is full membership.
+func (in *Injector) EpochAt(m int) int {
+	return sort.SearchInts(in.crashMarkers, m+1)
+}
+
+// PerturbCompute maps a nominal compute duration for rank to its
+// perturbed duration (slow factors multiply, then each matching delay
+// directive draws independently). The draw sequence is a pure function
+// of (seed, rank, call index), so runs are reproducible. Must be called
+// from rank's own goroutine.
+func (in *Injector) PerturbCompute(rank int, d vtime.Duration) vtime.Duration {
+	out := d
+	if f := in.slow[rank]; f != 1 {
+		out = vtime.Duration(float64(out) * f)
+	}
+	for i := range in.plan.Delays {
+		dl := &in.plan.Delays[i]
+		if !dl.Ranks.Contains(rank) {
+			continue
+		}
+		if in.rand01(rank) >= dl.P {
+			continue
+		}
+		extra := dl.Min
+		if span := dl.Max - dl.Min; span > 0 {
+			extra += vtime.Duration(in.rand01(rank) * float64(span))
+		}
+		out += extra
+	}
+	return out
+}
+
+// rand01 draws a uniform float in [0,1) from rank's private stream.
+func (in *Injector) rand01(rank int) float64 {
+	st := &in.rng[rank]
+	st.s += 0x9e3779b97f4a7c15
+	return float64(mix64(st.s)>>11) / float64(1<<53)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,443 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"chameleon/internal/vtime"
+)
+
+// RankSet is a compact set of ranks: a union of closed ranges, as
+// written in plan specs ("3", "0-7", "1,5,8-11").
+type RankSet struct {
+	ranges []rankRange
+}
+
+type rankRange struct{ lo, hi int }
+
+// ParseRankSet parses the textual rank-set form.
+func ParseRankSet(s string) (RankSet, error) {
+	var out RankSet
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lo, hi := part, part
+		if i := strings.Index(part, "-"); i > 0 {
+			lo, hi = part[:i], part[i+1:]
+		}
+		l, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return RankSet{}, fmt.Errorf("fault: bad rank %q in set %q", lo, s)
+		}
+		h, err := strconv.Atoi(strings.TrimSpace(hi))
+		if err != nil {
+			return RankSet{}, fmt.Errorf("fault: bad rank %q in set %q", hi, s)
+		}
+		if l < 0 || h < l {
+			return RankSet{}, fmt.Errorf("fault: bad rank range %q", part)
+		}
+		out.ranges = append(out.ranges, rankRange{lo: l, hi: h})
+	}
+	if len(out.ranges) == 0 {
+		return RankSet{}, fmt.Errorf("fault: empty rank set %q", s)
+	}
+	return out, nil
+}
+
+// SingleRank returns the set {r}.
+func SingleRank(r int) RankSet {
+	return RankSet{ranges: []rankRange{{lo: r, hi: r}}}
+}
+
+// Empty reports whether the set holds no ranks.
+func (s RankSet) Empty() bool { return len(s.ranges) == 0 }
+
+// Contains reports set membership.
+func (s RankSet) Contains(r int) bool {
+	for _, rg := range s.ranges {
+		if r >= rg.lo && r <= rg.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Max returns the largest rank in the set (-1 when empty).
+func (s RankSet) Max() int {
+	m := -1
+	for _, rg := range s.ranges {
+		if rg.hi > m {
+			m = rg.hi
+		}
+	}
+	return m
+}
+
+// Ranks expands the set into a sorted slice, dropping ranks >= nranks.
+func (s RankSet) Ranks(nranks int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, rg := range s.ranges {
+		for r := rg.lo; r <= rg.hi && r < nranks; r++ {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// String renders the set in the parseable form.
+func (s RankSet) String() string {
+	var parts []string
+	for _, rg := range s.ranges {
+		if rg.lo == rg.hi {
+			parts = append(parts, strconv.Itoa(rg.lo))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", rg.lo, rg.hi))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// MarshalJSON writes the textual form.
+func (s RankSet) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts the textual form or a bare integer.
+func (s *RankSet) UnmarshalJSON(data []byte) error {
+	var str string
+	if err := json.Unmarshal(data, &str); err != nil {
+		var n int
+		if err2 := json.Unmarshal(data, &n); err2 != nil {
+			return fmt.Errorf("fault: rank set must be a string or integer: %w", err)
+		}
+		str = strconv.Itoa(n)
+	}
+	set, err := ParseRankSet(str)
+	if err != nil {
+		return err
+	}
+	*s = set
+	return nil
+}
+
+// Parse parses a fault plan. Input starting with '{' is the JSON form;
+// anything else is the directive grammar — directives separated by ';'
+// or newlines, each a verb followed by key=value fields:
+//
+//	crash rank=5 at marker=12
+//	delay ranks=0-7 p=0.1 jitter=2ms-4ms
+//	slow rank=3 factor=4x
+//
+// Keys: crash takes rank= and marker= (the bare word "at" is noise);
+// delay takes ranks= (or rank=), p= (or prob=), and jitter=DUR[-DUR]
+// (or min=/max=); slow takes ranks= (or rank=) and factor= (a trailing
+// "x" is accepted). Durations use ns/us/ms/s suffixes. An empty input
+// yields an empty plan.
+func Parse(input string) (*Plan, error) {
+	input = strings.TrimSpace(input)
+	if input == "" {
+		return &Plan{}, nil
+	}
+	if strings.HasPrefix(input, "{") {
+		return parseJSON([]byte(input))
+	}
+	plan := &Plan{}
+	split := func(r rune) bool { return r == ';' || r == '\n' }
+	for _, directive := range strings.FieldsFunc(input, split) {
+		fields := strings.Fields(directive)
+		if len(fields) == 0 {
+			continue
+		}
+		verb, args := fields[0], fields[1:]
+		kv := map[string]string{}
+		for _, a := range args {
+			if a == "at" { // "crash rank=5 at marker=12" reads naturally
+				continue
+			}
+			k, v, ok := strings.Cut(a, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: %q: expected key=value, got %q", verb, a)
+			}
+			if _, dup := kv[k]; dup {
+				return nil, fmt.Errorf("fault: %q: duplicate key %q", verb, k)
+			}
+			kv[k] = v
+		}
+		var err error
+		switch verb {
+		case "crash":
+			err = parseCrash(plan, kv)
+		case "delay":
+			err = parseDelay(plan, kv)
+		case "slow":
+			err = parseSlow(plan, kv)
+		default:
+			err = fmt.Errorf("fault: unknown directive %q (want crash, delay, or slow)", verb)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// ParseFile loads a plan from a file (JSON or directive grammar,
+// auto-detected as in Parse).
+func ParseFile(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	return Parse(string(data))
+}
+
+func parseJSON(data []byte) (*Plan, error) {
+	// Durations come in as strings ("2ms") or jitter ranges ("2ms-4ms"),
+	// so unmarshal through a mirror with textual fields.
+	var doc struct {
+		Crash []Crash `json:"crash"`
+		Delay []struct {
+			Ranks  RankSet `json:"ranks"`
+			P      float64 `json:"p"`
+			Jitter string  `json:"jitter"`
+			Min    string  `json:"min"`
+			Max    string  `json:"max"`
+		} `json:"delay"`
+		Slow []struct {
+			Ranks  RankSet `json:"ranks"`
+			Factor float64 `json:"factor"`
+		} `json:"slow"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("fault: bad JSON plan: %w", err)
+	}
+	plan := &Plan{Crashes: doc.Crash}
+	for _, d := range doc.Delay {
+		out := Delay{Ranks: d.Ranks, P: d.P}
+		var err error
+		switch {
+		case d.Jitter != "":
+			out.Min, out.Max, err = parseJitter(d.Jitter)
+		default:
+			if d.Min != "" {
+				out.Min, err = parseDuration(d.Min)
+			}
+			if err == nil && d.Max != "" {
+				out.Max, err = parseDuration(d.Max)
+			}
+			if out.Max == 0 {
+				out.Max = out.Min
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		plan.Delays = append(plan.Delays, out)
+	}
+	for _, s := range doc.Slow {
+		plan.Slows = append(plan.Slows, Slow{Ranks: s.Ranks, Factor: s.Factor})
+	}
+	return plan, nil
+}
+
+func parseCrash(plan *Plan, kv map[string]string) error {
+	rank, err := needInt(kv, "crash", "rank")
+	if err != nil {
+		return err
+	}
+	marker, err := needInt(kv, "crash", "marker")
+	if err != nil {
+		return err
+	}
+	if err := noExtra(kv, "crash", "rank", "marker"); err != nil {
+		return err
+	}
+	plan.Crashes = append(plan.Crashes, Crash{Rank: rank, Marker: marker})
+	return nil
+}
+
+func parseDelay(plan *Plan, kv map[string]string) error {
+	set, err := needRanks(kv, "delay")
+	if err != nil {
+		return err
+	}
+	d := Delay{Ranks: set, P: 1}
+	if v, ok := first(kv, "p", "prob"); ok {
+		if d.P, err = strconv.ParseFloat(v, 64); err != nil {
+			return fmt.Errorf("fault: delay: bad probability %q", v)
+		}
+	}
+	switch {
+	case kv["jitter"] != "":
+		if d.Min, d.Max, err = parseJitter(kv["jitter"]); err != nil {
+			return err
+		}
+	default:
+		if v, ok := kv["min"]; ok {
+			if d.Min, err = parseDuration(v); err != nil {
+				return err
+			}
+		}
+		if v, ok := kv["max"]; ok {
+			if d.Max, err = parseDuration(v); err != nil {
+				return err
+			}
+		}
+		if d.Max == 0 {
+			d.Max = d.Min
+		}
+	}
+	if d.Min == 0 && d.Max == 0 {
+		return fmt.Errorf("fault: delay: missing jitter= (or min=/max=)")
+	}
+	if err := noExtra(kv, "delay", "rank", "ranks", "p", "prob", "jitter", "min", "max"); err != nil {
+		return err
+	}
+	plan.Delays = append(plan.Delays, d)
+	return nil
+}
+
+func parseSlow(plan *Plan, kv map[string]string) error {
+	set, err := needRanks(kv, "slow")
+	if err != nil {
+		return err
+	}
+	v, ok := kv["factor"]
+	if !ok {
+		return fmt.Errorf("fault: slow: missing factor=")
+	}
+	f, err := strconv.ParseFloat(strings.TrimSuffix(v, "x"), 64)
+	if err != nil {
+		return fmt.Errorf("fault: slow: bad factor %q", v)
+	}
+	if err := noExtra(kv, "slow", "rank", "ranks", "factor"); err != nil {
+		return err
+	}
+	plan.Slows = append(plan.Slows, Slow{Ranks: set, Factor: f})
+	return nil
+}
+
+func needRanks(kv map[string]string, verb string) (RankSet, error) {
+	v, ok := first(kv, "ranks", "rank")
+	if !ok {
+		return RankSet{}, fmt.Errorf("fault: %s: missing ranks=", verb)
+	}
+	return ParseRankSet(v)
+}
+
+func needInt(kv map[string]string, verb, key string) (int, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("fault: %s: missing %s=", verb, key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("fault: %s: bad %s %q", verb, key, v)
+	}
+	return n, nil
+}
+
+func first(kv map[string]string, keys ...string) (string, bool) {
+	for _, k := range keys {
+		if v, ok := kv[k]; ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+func noExtra(kv map[string]string, verb string, allowed ...string) error {
+	ok := make(map[string]bool, len(allowed))
+	for _, k := range allowed {
+		ok[k] = true
+	}
+	for k := range kv {
+		if !ok[k] {
+			return fmt.Errorf("fault: %s: unknown key %q", verb, k)
+		}
+	}
+	return nil
+}
+
+// parseJitter parses "2ms" (fixed) or "2ms-4ms" (uniform range).
+func parseJitter(s string) (min, max vtime.Duration, err error) {
+	if lo, hi, ok := splitRange(s); ok {
+		if min, err = parseDuration(lo); err != nil {
+			return 0, 0, err
+		}
+		if max, err = parseDuration(hi); err != nil {
+			return 0, 0, err
+		}
+		if max < min {
+			return 0, 0, fmt.Errorf("fault: jitter range %q inverted", s)
+		}
+		return min, max, nil
+	}
+	if min, err = parseDuration(s); err != nil {
+		return 0, 0, err
+	}
+	return min, min, nil
+}
+
+// splitRange splits "2ms-4ms" at the dash between two durations (the
+// dash can never start a duration, so the first candidate wins).
+func splitRange(s string) (lo, hi string, ok bool) {
+	for i := 1; i < len(s)-1; i++ {
+		if s[i] != '-' {
+			continue
+		}
+		if _, err := parseDuration(s[:i]); err == nil {
+			if _, err := parseDuration(s[i+1:]); err == nil {
+				return s[:i], s[i+1:], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+var durUnits = []struct {
+	suffix string
+	unit   vtime.Duration
+}{
+	{"ns", vtime.Nanosecond},
+	{"us", vtime.Microsecond},
+	{"µs", vtime.Microsecond},
+	{"ms", vtime.Millisecond},
+	{"s", vtime.Second},
+}
+
+func parseDuration(s string) (vtime.Duration, error) {
+	s = strings.TrimSpace(s)
+	for _, u := range durUnits {
+		if !strings.HasSuffix(s, u.suffix) {
+			continue
+		}
+		num := strings.TrimSuffix(s, u.suffix)
+		// "s" also suffixes "ns"/"us"/"ms"; require the number to parse.
+		v, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			continue
+		}
+		if v < 0 {
+			return 0, fmt.Errorf("fault: negative duration %q", s)
+		}
+		return vtime.Duration(v * float64(u.unit)), nil
+	}
+	return 0, fmt.Errorf("fault: bad duration %q (want e.g. 500ns, 2us, 3ms, 1s)", s)
+}

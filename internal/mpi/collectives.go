@@ -206,8 +206,16 @@ func (c *Comm) RawGatherObj(root int, obj any, bytes int) []any {
 
 // --- public (traced) collectives -------------------------------------------
 
-// Barrier synchronizes the communicator.
+// Barrier synchronizes the communicator. Marker barriers additionally
+// consult the fault injector (when one is configured): a rank scheduled
+// to crash here unwinds instead of participating, and once membership
+// has shrunk the survivors barrier among themselves.
 func (c *Comm) Barrier() {
+	if c.id == CommMarker && c.p.rt.fault != nil {
+		if c.p.faultMarker() {
+			return
+		}
+	}
 	ci := &CallInfo{Op: OpBarrier, Comm: c.id, Dest: NoPeer, Src: NoPeer, Root: NoPeer}
 	start := c.p.opBegin(ci)
 	c.rawBarrier()

@@ -1,0 +1,170 @@
+package mpi
+
+// This file provides collectives over an explicit member list — the
+// shrunken-world primitives the fault-tolerance path runs on once ranks
+// have departed. They mirror the binomial-tree algorithms of the full
+// communicator collectives (same hop structure, same per-level costs),
+// but the tree is built over member *positions* so any subset of world
+// ranks can participate. Tags are caller-supplied (members change over
+// time, so there is no per-communicator sequence counter to lean on);
+// each helper consumes a small contiguous tag block, documented per
+// function. All traffic travels on CommInternal, like every other
+// tracing-layer message.
+
+// groupComm returns this rank's internal-communicator alias over the
+// world group (positions in member lists are translated to world ranks
+// before sending, so the world group is the right carrier).
+func groupComm(p *Proc) Comm {
+	return Comm{p: p, id: CommInternal, group: p.world.group, self: p.rank}
+}
+
+// GroupReduceU64 reduces val over members toward members[0] on a
+// binomial tree; the reduced value is meaningful only at members[0]
+// (second return true). Non-members return immediately. Uses tag.
+func GroupReduceU64(p *Proc, members []int, tag int, val uint64, op ReduceOp) (uint64, bool) {
+	pos := TreePos(members, p.rank)
+	if pos < 0 {
+		return val, false
+	}
+	in := groupComm(p)
+	model := p.rt.model
+	n := len(members)
+	mask := 1
+	for mask < n {
+		if pos&mask != 0 {
+			in.rawSend(members[pos&^mask], tag, 8, val)
+			return val, false
+		}
+		if pos|mask < n {
+			msg := in.rawRecv(members[pos|mask], tag)
+			val = op(val, msg.Payload.(uint64))
+			p.Clock.Advance(model.CollectivePerLevel)
+		}
+		mask <<= 1
+	}
+	return val, pos == 0
+}
+
+// GroupBcastObj broadcasts obj (of the given payload size) from
+// members[0] down the binomial tree and returns it on every member
+// (non-members get obj back unchanged). Uses tag.
+func GroupBcastObj(p *Proc, members []int, tag int, obj any, bytes int) any {
+	pos := TreePos(members, p.rank)
+	if pos < 0 {
+		return obj
+	}
+	in := groupComm(p)
+	model := p.rt.model
+	n := len(members)
+	mask := 1
+	for mask < n {
+		if pos&mask != 0 {
+			msg := in.rawRecv(members[pos&^mask], tag)
+			obj = msg.Payload
+			bytes = msg.Bytes
+			p.Clock.Advance(model.CollectivePerLevel)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if pos+mask < n && pos&mask == 0 {
+			in.rawSend(members[pos+mask], tag, bytes, obj)
+		}
+		mask >>= 1
+	}
+	return obj
+}
+
+// GroupBcastU64 broadcasts v from members[0]. Uses tag.
+func GroupBcastU64(p *Proc, members []int, tag int, v uint64) uint64 {
+	return GroupBcastObj(p, members, tag, v, 8).(uint64)
+}
+
+// GroupAllreduceU64 reduces val over members and distributes the result
+// (reduce to members[0], then broadcast — the Algorithm 1 structure).
+// Uses tags tag and tag|1.
+func GroupAllreduceU64(p *Proc, members []int, tag int, val uint64, op ReduceOp) uint64 {
+	r, _ := GroupReduceU64(p, members, tag, val, op)
+	return GroupBcastU64(p, members, tag|1, r)
+}
+
+// GroupBarrier synchronizes the members (reduce+bcast of an empty
+// payload). Uses tags tag and tag|1.
+func GroupBarrier(p *Proc, members []int, tag int) {
+	GroupReduceU64(p, members, tag, 0, OpSum)
+	GroupBcastU64(p, members, tag|1, 0)
+}
+
+// GroupGatherObj collects every member's contribution at members[0]
+// (returned slice indexed by member position; nil elsewhere). Uses tag.
+func GroupGatherObj(p *Proc, members []int, tag, bytes int, obj any) []any {
+	pos := TreePos(members, p.rank)
+	if pos < 0 {
+		return nil
+	}
+	in := groupComm(p)
+	model := p.rt.model
+	n := len(members)
+	acc := []gatherPair{{Rank: pos, Obj: obj}}
+	accBytes := bytes
+	mask := 1
+	for mask < n {
+		if pos&mask != 0 {
+			in.rawSend(members[pos&^mask], tag, accBytes, acc)
+			return nil
+		}
+		if pos|mask < n {
+			msg := in.rawRecv(members[pos|mask], tag)
+			acc = append(acc, msg.Payload.([]gatherPair)...)
+			accBytes += msg.Bytes
+			p.Clock.Advance(model.CollectivePerLevel)
+		}
+		mask <<= 1
+	}
+	if pos != 0 {
+		return nil
+	}
+	out := make([]any, n)
+	for _, pr := range acc {
+		out[pr.Rank] = pr.Obj
+	}
+	return out
+}
+
+// GroupScatter sends bytes from members[0] to every other member (the
+// payloads are synthetic, as in Comm.Scatter during replay). Uses tag.
+func GroupScatter(p *Proc, members []int, tag, bytes int) {
+	pos := TreePos(members, p.rank)
+	if pos < 0 {
+		return
+	}
+	in := groupComm(p)
+	if pos == 0 {
+		for i := 1; i < len(members); i++ {
+			in.rawSend(members[i], tag, bytes, nil)
+		}
+		return
+	}
+	in.rawRecv(members[0], tag)
+}
+
+// GroupAlltoall performs the pairwise exchange schedule of
+// Comm.Alltoall over the member positions. Uses tag.
+func GroupAlltoall(p *Proc, members []int, tag, bytes int) {
+	pos := TreePos(members, p.rank)
+	if pos < 0 {
+		return
+	}
+	in := groupComm(p)
+	n := len(members)
+	for r := 1; r < nextPow2(n); r++ {
+		peer := pos ^ r
+		if peer >= n {
+			continue
+		}
+		in.rawSend(members[peer], tag, bytes, nil)
+		in.rawRecv(members[peer], tag)
+	}
+}

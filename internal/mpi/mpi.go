@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"chameleon/internal/fault"
 	"chameleon/internal/obs"
 	"chameleon/internal/vtime"
 )
@@ -124,6 +125,8 @@ type Runtime struct {
 	// obs/met are the run's observability sinks (nil when disabled).
 	obs *obs.Observer
 	met *opMetrics
+	// fault is the run's fault injector (nil = zero-fault mode).
+	fault *fault.Injector
 }
 
 // errAborted is the sentinel blocked ranks panic with after a peer rank
@@ -285,6 +288,15 @@ type Proc struct {
 	blockedTag  atomic.Int64
 	// collSeq disambiguates successive collectives per communicator.
 	collSeq map[CommID]int
+	// markerSeq counts marker barriers this rank has entered (1-based),
+	// the clock the fault injector schedules crashes against.
+	markerSeq int
+	// aliveView/epoch/deadView/shrunk are this rank's membership view
+	// under fault injection; aliveView stays nil while all ranks live.
+	aliveView []int
+	epoch     int
+	deadView  map[int]bool
+	shrunk    *Comm
 }
 
 // Rank returns this process's rank in CommWorld.
@@ -320,8 +332,20 @@ func (p *Proc) Obs() *obs.Observer { return p.rt.obs }
 
 // Compute advances this rank's virtual clock by d of application
 // computation. The tracing layer observes it as inter-event delta time.
+// Under fault injection the nominal duration may be stretched; the
+// excess is booked to CatFault so overhead accounting stays clean.
 func (p *Proc) Compute(d vtime.Duration) {
 	p.Ledger.Charge(vtime.CatApp, d)
+	if f := p.rt.fault; f != nil {
+		if extra := f.PerturbCompute(p.rank, d) - d; extra > 0 {
+			p.Ledger.Charge(vtime.CatFault, extra)
+			if m := p.rt.met; m != nil {
+				m.faultDelays.Inc()
+				m.faultDelayNs.Observe(int64(extra))
+			}
+			d += extra
+		}
+	}
 	if o := p.rt.obs; o != nil {
 		start := p.Clock.Now()
 		p.Clock.Advance(d)
@@ -407,6 +431,8 @@ type Config struct {
 	// Obs receives runtime metrics, journal events, and timeline spans
 	// (nil runs unobserved, at zero cost on the hot paths).
 	Obs *obs.Observer
+	// Fault injects crashes and perturbations (nil = none).
+	Fault *fault.Injector
 }
 
 // Result summarizes a completed run.
@@ -415,6 +441,9 @@ type Result struct {
 	Clocks   []vtime.Time
 	Ledgers  []*vtime.Ledger
 	Makespan vtime.Duration
+	// Departed lists ranks that crash-stopped mid-run (sorted; empty
+	// without fault injection).
+	Departed []int
 }
 
 // AggregateLedger sums all per-rank ledgers (the paper reports
@@ -442,6 +471,9 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 	if cfg.P <= 0 {
 		return nil, fmt.Errorf("mpi: invalid rank count %d", cfg.P)
 	}
+	if cfg.Fault != nil && cfg.Fault.Ranks() != cfg.P {
+		return nil, fmt.Errorf("mpi: fault injector built for %d ranks, run has %d", cfg.Fault.Ranks(), cfg.P)
+	}
 	zero := vtime.CostModel{}
 	if cfg.Model == zero {
 		cfg.Model = vtime.Default()
@@ -455,6 +487,7 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 		states:    make([]atomic.Int32, cfg.P),
 		obs:       cfg.Obs,
 		met:       newOpMetrics(cfg.Obs),
+		fault:     cfg.Fault,
 	}
 	rt.gcond = sync.NewCond(&rt.gmu)
 	group := make([]int, cfg.P)
@@ -483,12 +516,21 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 
 	var wg sync.WaitGroup
 	panics := make([]any, cfg.P)
+	departed := make([]bool, cfg.P)
 	for r := 0; r < cfg.P; r++ {
 		wg.Add(1)
 		go func(p *Proc) {
 			defer wg.Done()
 			defer func() {
 				if e := recover(); e != nil {
+					if _, crashed := e.(crashExit); crashed && rt.fault != nil {
+						// Scheduled crash-stop: the rank leaves quietly;
+						// survivors already exclude it from every
+						// subsequent barrier and collective.
+						departed[p.rank] = true
+						rt.setState(p.rank, stateDone)
+						return
+					}
 					panics[p.rank] = e
 					rt.setState(p.rank, stateDone)
 					// Unblock peers waiting on this rank; they unwind
@@ -503,7 +545,13 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 			// MPI_Finalize: collective point where tracers flush.
 			ci := &CallInfo{Op: OpFinalize, Comm: CommWorld, Dest: NoPeer, Src: NoPeer, Root: 0}
 			start := p.opBegin(ci)
-			p.world.rawBarrier()
+			if rt.fault != nil && p.aliveView != nil {
+				// Survivors synchronize among themselves; the departed
+				// never reach finalize.
+				GroupBarrier(p, p.aliveView, groupFinalizeTag)
+			} else {
+				p.world.rawBarrier()
+			}
 			p.opEnd(ci, start)
 			p.hooks.Finalize()
 			rt.setState(p.rank, stateDone)
@@ -532,6 +580,9 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 	for r, p := range rt.procs {
 		res.Clocks[r] = p.Clock.Now()
 		res.Ledgers[r] = p.Ledger
+		if departed[r] {
+			res.Departed = append(res.Departed, r)
+		}
 	}
 	res.Makespan = vtime.Duration(res.MaxClock())
 	return res, nil

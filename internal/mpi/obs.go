@@ -22,6 +22,10 @@ type opMetrics struct {
 	computeNs    *obs.Histogram
 	// marker barriers (Chameleon's reserved communicator).
 	markerBarriers *obs.Counter
+	// fault injection: perturbation draws that fired and crash-stops.
+	faultDelays  *obs.Counter
+	faultDelayNs *obs.Histogram
+	crashes      *obs.Counter
 }
 
 // newOpMetrics registers the mpi_* metric series.
@@ -35,6 +39,9 @@ func newOpMetrics(o *obs.Observer) *opMetrics {
 		computeCalls:   o.Counter("mpi_compute_calls_total"),
 		computeNs:      o.Histogram("mpi_compute_vtime_ns"),
 		markerBarriers: o.Counter("mpi_marker_barrier_total"),
+		faultDelays:    o.Counter("mpi_fault_delays_total"),
+		faultDelayNs:   o.Histogram("mpi_fault_delay_vtime_ns"),
+		crashes:        o.Counter("mpi_fault_crashes_total"),
 	}
 	for op := OpCode(1); op < numOpCodes; op++ {
 		name := strings.ToLower(op.String())

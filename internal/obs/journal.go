@@ -38,14 +38,16 @@ type Event struct {
 
 // Journal event kinds emitted by the instrumented stack.
 const (
-	KindTransition = "transition" // transition-graph step (rank 0)
-	KindVote       = "vote"       // Algorithm 1 Reduce+Bcast result (rank 0)
-	KindCluster    = "cluster"    // cluster formation: lead set + K (rank 0)
-	KindLead       = "lead"       // this rank was elected lead (per rank)
-	KindFlush      = "flush"      // lead partials folded into the online trace
-	KindMerge      = "merge"      // one pairwise radix-tree merge step
-	KindWindow     = "window"     // per-rank marker-window summary
-	KindFinalize   = "finalize"   // per-rank end-of-run totals
+	KindTransition = "transition"    // transition-graph step (rank 0)
+	KindVote       = "vote"          // Algorithm 1 Reduce+Bcast result (rank 0)
+	KindCluster    = "cluster"       // cluster formation: lead set + K (rank 0)
+	KindLead       = "lead"          // this rank was elected lead (per rank)
+	KindFlush      = "flush"         // lead partials folded into the online trace
+	KindMerge      = "merge"         // one pairwise radix-tree merge step
+	KindWindow     = "window"        // per-rank marker-window summary
+	KindFinalize   = "finalize"      // per-rank end-of-run totals
+	KindFault      = "fault"         // injected fault fired (crash-stop rank)
+	KindFailover   = "lead_failover" // dead lead replaced / cluster retired (rank 0)
 )
 
 // Flush causes recorded in Event.Note.
@@ -53,6 +55,7 @@ const (
 	FlushInitial     = "initial"      // first clustering (AT -> C)
 	FlushPhaseChange = "phase-change" // Call-Path mismatch while leading
 	FlushFinal       = "final"        // MPI_Finalize
+	FlushFailover    = "failover"     // lead died; survivors flush promptly
 )
 
 // Journal is a concurrency-safe JSONL event sink. A nil *Journal

@@ -20,6 +20,7 @@ package replay
 
 import (
 	"fmt"
+	"sort"
 
 	"chameleon/internal/mpi"
 	"chameleon/internal/trace"
@@ -85,6 +86,22 @@ func RunWith(f *trace.File, opts Options) (*Result, error) {
 	if (opts.Model == vtime.CostModel{}) {
 		opts.Model = vtime.Default()
 	}
+	// Preorder node identities, shared by all ranks: collective nodes
+	// covering only part of the world (traces from runs with crashed
+	// ranks) are replayed as group collectives over exactly their rank
+	// list, and every member must derive the same tag for the same node
+	// occurrence.
+	ids := make(map[*trace.Node]int)
+	var number func(seq []*trace.Node)
+	number = func(seq []*trace.Node) {
+		for _, n := range seq {
+			ids[n] = len(ids)
+			if n.IsLoop() {
+				number(n.Body)
+			}
+		}
+	}
+	number(f.Nodes)
 	var events [1 << 12]uint64 // per-rank counters, bounded
 	res, err := mpi.Run(mpi.Config{P: f.P, Model: opts.Model}, func(p *mpi.Proc) {
 		e := engine{
@@ -93,6 +110,8 @@ func RunWith(f *trace.File, opts Options) (*Result, error) {
 			lastAnySrc: -1,
 			mode:       opts.Delta,
 			rng:        uint64(p.Rank())*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9,
+			ids:        ids,
+			occ:        make(map[*trace.Node]int),
 		}
 		e.replaySeq(f.Nodes)
 		if p.Rank() < len(events) {
@@ -117,6 +136,47 @@ type engine struct {
 	events     uint64
 	mode       DeltaMode
 	rng        uint64
+	// ids assigns shared preorder identities; occ counts this rank's
+	// replays per node. Members of a node's rank list replay it the same
+	// number of times (loop counts are node-global), so (id, occ) derives
+	// matching group-collective tags on every member.
+	ids map[*trace.Node]int
+	occ map[*trace.Node]int
+}
+
+// members returns the node's sorted rank list when it covers only part
+// of the world (retired ranks), nil for full coverage.
+func (e *engine) members(n *trace.Node) []int {
+	if n.Ranks.Size() >= e.p.Size() {
+		return nil
+	}
+	m := append([]int(nil), n.Ranks.Ranks()...)
+	sort.Ints(m)
+	return m
+}
+
+// groupTag derives this occurrence's tag block for a partial-coverage
+// collective node (bits 0-1 left free for the helpers' sub-tags).
+func (e *engine) groupTag(n *trace.Node) int {
+	occ := e.occ[n]
+	e.occ[n] = occ + 1
+	return 1<<40 | e.ids[n]<<18 | (occ&0xffff)<<2
+}
+
+// rootFirst reorders members so the group helpers' root (position 0) is
+// the recorded collective root.
+func rootFirst(m []int, root int) []int {
+	if mpi.TreePos(m, root) <= 0 {
+		return m
+	}
+	out := make([]int, 0, len(m))
+	out = append(out, root)
+	for _, r := range m {
+		if r != root {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // next is a deterministic per-rank pseudo-random step (splitmix64).
@@ -250,25 +310,59 @@ func (e *engine) issue(n *trace.Node) {
 			}
 		}
 	case mpi.OpBarrier:
-		e.w.Barrier()
+		if m := e.members(n); m != nil {
+			mpi.GroupBarrier(e.p, m, e.groupTag(n))
+		} else {
+			e.w.Barrier()
+		}
 	case mpi.OpBcast:
 		root, _ := e.resolve(ev.Dest)
-		e.w.Bcast(root, ev.Bytes, nil)
+		if m := e.members(n); m != nil {
+			mpi.GroupBcastObj(e.p, rootFirst(m, root), e.groupTag(n), nil, ev.Bytes)
+		} else {
+			e.w.Bcast(root, ev.Bytes, nil)
+		}
 	case mpi.OpReduce:
 		root, _ := e.resolve(ev.Dest)
-		e.w.Reduce(root, ev.Bytes, 0, mpi.OpSum)
+		if m := e.members(n); m != nil {
+			mpi.GroupReduceU64(e.p, rootFirst(m, root), e.groupTag(n), 0, mpi.OpSum)
+		} else {
+			e.w.Reduce(root, ev.Bytes, 0, mpi.OpSum)
+		}
 	case mpi.OpAllreduce:
-		e.w.Allreduce(ev.Bytes, 0, mpi.OpSum)
+		if m := e.members(n); m != nil {
+			mpi.GroupAllreduceU64(e.p, m, e.groupTag(n), 0, mpi.OpSum)
+		} else {
+			e.w.Allreduce(ev.Bytes, 0, mpi.OpSum)
+		}
 	case mpi.OpGather:
 		root, _ := e.resolve(ev.Dest)
-		e.w.Gather(root, ev.Bytes, nil)
+		if m := e.members(n); m != nil {
+			mpi.GroupGatherObj(e.p, rootFirst(m, root), e.groupTag(n), ev.Bytes, nil)
+		} else {
+			e.w.Gather(root, ev.Bytes, nil)
+		}
 	case mpi.OpAllgather:
-		e.w.Allgather(ev.Bytes, nil)
+		if m := e.members(n); m != nil {
+			tag := e.groupTag(n)
+			mpi.GroupGatherObj(e.p, m, tag, ev.Bytes, nil)
+			mpi.GroupBcastObj(e.p, m, tag|1, nil, ev.Bytes*len(m))
+		} else {
+			e.w.Allgather(ev.Bytes, nil)
+		}
 	case mpi.OpScatter:
 		root, _ := e.resolve(ev.Dest)
-		e.w.Scatter(root, ev.Bytes, nil)
+		if m := e.members(n); m != nil {
+			mpi.GroupScatter(e.p, rootFirst(m, root), e.groupTag(n), ev.Bytes)
+		} else {
+			e.w.Scatter(root, ev.Bytes, nil)
+		}
 	case mpi.OpAlltoall:
-		e.w.Alltoall(ev.Bytes)
+		if m := e.members(n); m != nil {
+			mpi.GroupAlltoall(e.p, m, e.groupTag(n), ev.Bytes)
+		} else {
+			e.w.Alltoall(ev.Bytes)
+		}
 	}
 }
 

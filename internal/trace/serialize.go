@@ -23,6 +23,9 @@ type File struct {
 	Clustered bool `json:"clustered"`
 	// Filter records whether the parameter filter was active.
 	Filter bool `json:"filter,omitempty"`
+	// Retired lists ranks that crash-stopped during the traced run (their
+	// events end at the crash marker; empty for fault-free runs).
+	Retired []int `json:"retired,omitempty"`
 	// Nodes is the compressed global trace.
 	Nodes []*Node `json:"nodes"`
 }

@@ -169,10 +169,11 @@ const (
 	CatCluster                   // clustering (Algorithm 2 over the radix tree)
 	CatInterComp                 // inter-node compression / online merge
 	CatReplay                    // replay interpretation
+	CatFault                     // injected fault perturbation (delay/slow)
 	numCategories
 )
 
-var categoryNames = [...]string{"app", "intra", "marker", "cluster", "intercomp", "replay"}
+var categoryNames = [...]string{"app", "intra", "marker", "cluster", "intercomp", "replay", "fault"}
 
 func (c Category) String() string {
 	if int(c) < len(categoryNames) {
@@ -204,6 +205,11 @@ func (l *Ledger) Spent(c Category) Duration { return l.spent[c] }
 func (l *Ledger) Overhead() Duration {
 	var t Duration
 	for c := CatIntra; c < numCategories; c++ {
+		if c == CatFault {
+			// Injected perturbation is application-side noise, not
+			// tracing-layer work.
+			continue
+		}
 		t += l.spent[c]
 	}
 	return t
