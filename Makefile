@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test test-race test-faults bench bench-faults clean
+.PHONY: all check test test-race test-faults bench bench-causal bench-faults clean
 
 all: check test
 
@@ -14,8 +14,9 @@ check:
 test:
 	$(GO) test ./...
 
-# test-race: the observability registry is hammered from 64 goroutines;
-# the full suite runs under the race detector.
+# test-race: the observability registry is hammered from 64 goroutines
+# and the causal store is appended from every rank concurrently; the
+# full suite (including internal/causal) runs under the race detector.
 test-race:
 	$(GO) test -race ./...
 
@@ -24,6 +25,13 @@ test-race:
 bench:
 	BENCH_OBS_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run TestObsBenchReport -v .
 	$(GO) test -bench 'BenchmarkObsOverhead' -benchmem .
+
+# bench-causal: price per-edge causal capture on top of the enabled
+# observability layer; writes BENCH_causal.json (ns/op causal on vs
+# off, edges captured, makespan overhead — must be zero).
+bench-causal:
+	BENCH_CAUSAL_OUT=$(CURDIR)/BENCH_causal.json $(GO) test -run TestCausalBenchReport -v .
+	$(GO) test -bench 'BenchmarkCausalOverhead' -benchmem .
 
 # test-faults: the fault-injection suite, including the
 # crash-at-every-marker sweep over the PHASE and STENCIL examples
@@ -38,4 +46,5 @@ bench-faults:
 	BENCH_FAULT_OUT=$(CURDIR)/BENCH_fault.json $(GO) test -run TestFaultBenchReport -v .
 
 clean:
-	rm -f BENCH_obs.json BENCH_fault.json chameleon.journal.jsonl chameleon.trace.json
+	rm -f BENCH_obs.json BENCH_causal.json BENCH_fault.json \
+		chameleon.journal.jsonl chameleon.trace.json chameleon.edges.jsonl

@@ -1,0 +1,97 @@
+package chameleon_test
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+
+	"chameleon"
+)
+
+// causalObserver is fullObserver plus per-edge causal capture — the
+// configuration `chamrun -obs -causal` wires up.
+func causalObserver() *chameleon.Observer {
+	return chameleon.NewObserver(chameleon.ObsOptions{
+		Metrics:       true,
+		Journal:       io.Discard,
+		TimelineRanks: 16,
+		CausalRanks:   16,
+	})
+}
+
+// BenchmarkCausalOverhead prices causal edge capture on the stencil
+// workload on top of the already-enabled observability layer: "off" is
+// metrics+journal+timeline (the BenchmarkObsOverhead "enabled" arm),
+// "on" additionally stamps every message and records matched edges.
+func BenchmarkCausalOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchStencil(b, fullObserver())
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchStencil(b, causalObserver())
+		}
+	})
+}
+
+// TestCausalBenchReport writes BENCH_causal.json when BENCH_CAUSAL_OUT
+// names a path (`make bench-causal`): wall-clock ns/op with causal
+// capture on vs off, the captured edge count, and the virtual
+// makespans, which must match exactly — piggybacked span context rides
+// on messages that were being sent anyway and charges no virtual time.
+func TestCausalBenchReport(t *testing.T) {
+	path := os.Getenv("BENCH_CAUSAL_OUT")
+	if path == "" {
+		t.Skip("set BENCH_CAUSAL_OUT=BENCH_causal.json to write the report")
+	}
+
+	offOut := runBenchStencil(t, fullObserver())
+	onObs := causalObserver()
+	onOut := runBenchStencil(t, onObs)
+	if offOut.Time != onOut.Time {
+		t.Fatalf("virtual makespan changed under causal capture: %v vs %v",
+			offOut.Time, onOut.Time)
+	}
+	edges := onObs.Causal.EdgeCount()
+	if edges == 0 {
+		t.Fatal("causal capture recorded no edges on the stencil workload")
+	}
+
+	off := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchStencil(b, fullObserver())
+		}
+	})
+	on := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchStencil(b, causalObserver())
+		}
+	})
+
+	report := map[string]any{
+		"workload":               "stencil 4x4, 40 timesteps, chameleon tracer",
+		"causal_off_ns_op":       off.NsPerOp(),
+		"causal_on_ns_op":        on.NsPerOp(),
+		"wallclock_overhead_pct": 100 * (float64(on.NsPerOp()) - float64(off.NsPerOp())) / float64(off.NsPerOp()),
+		"edges_captured":         edges,
+		"edges_dropped":          onObs.Causal.Dropped(),
+		"makespan_vtime_ns":      int64(offOut.Time),
+		"makespan_overhead_pct":  0.0,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	t.Logf("wrote %s: off=%dns/op on=%dns/op edges=%d", path, off.NsPerOp(), on.NsPerOp(), edges)
+}

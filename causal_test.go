@@ -1,0 +1,154 @@
+package chameleon_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"chameleon"
+	"chameleon/internal/causal"
+)
+
+// runPhaseCausal traces PHASE with causal capture, a timeline, and a
+// journal, under the given fault plan.
+func runPhaseCausal(t *testing.T, p int, plan string) (*chameleon.Observer, []byte) {
+	t.Helper()
+	var injector *chameleon.FaultInjector
+	if plan != "" {
+		parsed, err := chameleon.ParseFaultPlan(plan)
+		if err != nil {
+			t.Fatalf("plan: %v", err)
+		}
+		injector, err = chameleon.NewFaultInjector(parsed, 1, p)
+		if err != nil {
+			t.Fatalf("injector: %v", err)
+		}
+	}
+	var journal bytes.Buffer
+	o := chameleon.NewObserver(chameleon.ObsOptions{
+		Journal:       &journal,
+		TimelineRanks: p,
+		CausalRanks:   p,
+	})
+	if _, err := chameleon.RunBenchmark("PHASE", "A", p, chameleon.TracerChameleon,
+		&chameleon.Config{Obs: o, Fault: injector}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return o, journal.Bytes()
+}
+
+// TestStragglerGoldenSlowRank is the acceptance criterion: on a PHASE
+// run with rank 5 slowed 4x, chain-origin attribution must assign the
+// plurality of collective wait to rank 5, and the full report text is
+// locked against a golden file.
+func TestStragglerGoldenSlowRank(t *testing.T) {
+	const p = 8
+	o, journal := runPhaseCausal(t, p, "slow rank=5 factor=4x")
+	events, err := chameleon.ReadJournal(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	rep := causal.Analyze(o.Causal.Edges(), events)
+	if rep.EdgeCount == 0 {
+		t.Fatal("no causal edges captured")
+	}
+
+	if len(rep.Stragglers) == 0 || rep.Stragglers[0].Rank != 5 {
+		t.Fatalf("top straggler = %+v, want rank 5", rep.Stragglers)
+	}
+	top := rep.Stragglers[0]
+	var rest int64
+	for _, s := range rep.Stragglers[1:] {
+		if s.CausedWait > rest {
+			rest = s.CausedWait
+		}
+	}
+	if top.CausedWait <= rest {
+		t.Fatalf("rank 5 caused %d ns, runner-up %d ns: no plurality", top.CausedWait, rest)
+	}
+	// Every phase with meaningful wait should point at the same culprit.
+	for _, ph := range rep.Phases {
+		if ph.Wait > rep.TotalWait/10 && ph.TopRank != 5 {
+			t.Errorf("phase %s blames rank %d, want 5", ph.State, ph.TopRank)
+		}
+	}
+
+	var got bytes.Buffer
+	if err := rep.WriteText(&got, 5); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/phase_straggler.golden"
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s (regenerate by writing the FAIL output): %v", golden, err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("straggler report mismatch\n=== got ===\n%s=== want ===\n%s", got.String(), want)
+	}
+}
+
+// TestFlowEventsLinkSlowRank checks the Perfetto export side of the
+// criterion: the Chrome trace contains flow events, and rank 5's track
+// sources flow arrows (its sends delayed receivers).
+func TestFlowEventsLinkSlowRank(t *testing.T) {
+	const p = 8
+	o, _ := runPhaseCausal(t, p, "slow rank=5 factor=4x")
+	var buf bytes.Buffer
+	if err := o.Timeline.WriteChromeTraceFlows(&buf, o.Causal); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+			Bp  string `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	starts, finishes, fromSlow := 0, 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			starts++
+			if ev.Tid == 5 {
+				fromSlow++
+			}
+		case "f":
+			finishes++
+			if ev.Bp != "e" {
+				t.Fatal(`flow finish must bind to the enclosing slice (bp:"e")`)
+			}
+		}
+	}
+	if starts == 0 || starts != finishes {
+		t.Fatalf("flow events s=%d f=%d, want matched nonzero pairs", starts, finishes)
+	}
+	if fromSlow == 0 {
+		t.Fatal("no flow arrows originate on the slowed rank's track")
+	}
+	if !strings.Contains(buf.String(), `"name":"chameleon_edges_dropped"`) {
+		t.Fatal("trace missing the edges-dropped metadata event")
+	}
+}
+
+// TestCausalDeterminism locks the capture itself: two identical runs
+// must produce identical edge streams (virtual time, not wall clock,
+// orders everything).
+func TestCausalDeterminism(t *testing.T) {
+	o1, _ := runPhaseCausal(t, 8, "slow rank=5 factor=4x")
+	o2, _ := runPhaseCausal(t, 8, "slow rank=5 factor=4x")
+	var b1, b2 bytes.Buffer
+	if err := o1.Causal.WriteEdges(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.Causal.WriteEdges(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("edge capture is not deterministic across identical runs")
+	}
+}

@@ -90,6 +90,8 @@ type (
 	ObsEvent = obs.Event
 	// ObsSnapshot is a point-in-time copy of the metrics registry.
 	ObsSnapshot = obs.Snapshot
+	// ObsEdge is one matched send/recv causal edge pair.
+	ObsEdge = obs.Edge
 	// FaultPlan is a parsed fault-injection plan (crash/delay/slow
 	// directives).
 	FaultPlan = fault.Plan
@@ -103,6 +105,9 @@ func NewObserver(o ObsOptions) *Observer { return obs.New(o) }
 
 // ReadJournal parses a JSONL observability journal back into events.
 func ReadJournal(r io.Reader) ([]ObsEvent, error) { return obs.ReadJournal(r) }
+
+// ReadEdges parses a JSONL causal edge stream back into edges.
+func ReadEdges(r io.Reader) ([]ObsEdge, error) { return obs.ReadEdges(r) }
 
 // ParseFaultPlan parses a fault-plan spec (the text directive grammar,
 // or JSON when the input starts with '{'). An empty input yields an

@@ -19,6 +19,12 @@
 // -debug-addr serves net/http/pprof and expvar (including the live
 // metrics snapshot under "chameleon") while the run executes.
 //
+// Causal tracing (-causal) records a matched send/recv edge for every
+// message — point-to-point and every tree-collective hop — and writes
+// them as JSONL (-edges-out) for chamtop -critical; combined with
+// -timeline the Chrome trace gains flow events (Perfetto arrows) from
+// each delaying send to the receive it blocked.
+//
 // Fault injection (see docs/FAULTS.md):
 //
 //	chamrun -bench PHASE -p 16 -faults 'crash rank=1 at marker=10' -fault-seed 7
@@ -58,6 +64,8 @@ func main() {
 	journalOut := flag.String("journal-out", "chameleon.journal.jsonl", "journal output path")
 	timeline := flag.Bool("timeline", false, "write a Chrome trace-event JSON timeline (Perfetto)")
 	timelineOut := flag.String("timeline-out", "chameleon.trace.json", "timeline output path")
+	causalFlag := flag.Bool("causal", false, "capture causal send/recv edges and write them as JSONL")
+	edgesOut := flag.String("edges-out", "chameleon.edges.jsonl", "causal edge output path")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address during the run")
 	faults := flag.String("faults", "", "fault plan: inline spec, or @path to a plan file")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault injector's perturbation streams")
@@ -98,6 +106,9 @@ func main() {
 	}
 	if *timeline {
 		opts.TimelineRanks = *p
+	}
+	if *causalFlag {
+		opts.CausalRanks = *p
 	}
 	observer := chameleon.NewObserver(opts)
 
@@ -169,7 +180,10 @@ func main() {
 		if err != nil {
 			fatal("timeline: %v", err)
 		}
-		if err := observer.Timeline.WriteChromeTrace(f); err != nil {
+		// With causal capture on, the trace also carries flow events
+		// (Perfetto arrows) linking delaying sends to the receives they
+		// blocked.
+		if err := observer.Timeline.WriteChromeTraceFlows(f, observer.Causal); err != nil {
 			fatal("timeline: %v", err)
 		}
 		if err := f.Close(); err != nil {
@@ -177,6 +191,23 @@ func main() {
 		}
 		fmt.Printf("timeline    %s (%d spans, %d dropped; open in Perfetto)\n",
 			*timelineOut, observer.Timeline.SpanCount(), observer.Timeline.Dropped())
+		if d := observer.Timeline.Dropped(); d > 0 {
+			fmt.Printf("WARNING     span capture truncated at the per-rank cap (%d dropped)\n", d)
+		}
+	}
+	if *causalFlag {
+		f, err := os.Create(*edgesOut)
+		if err != nil {
+			fatal("edges: %v", err)
+		}
+		if err := observer.Causal.WriteEdges(f); err != nil {
+			fatal("edges: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("edges: %v", err)
+		}
+		fmt.Printf("edges       %s (%d edges, %d dropped; analyze with chamtop -critical)\n",
+			*edgesOut, observer.Causal.EdgeCount(), observer.Causal.Dropped())
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

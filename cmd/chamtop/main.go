@@ -4,47 +4,112 @@
 // Algorithm 1 vote history, cluster formations, flushes into the online
 // trace, radix-tree merge work, and per-rank finalize totals.
 //
+// With -critical it switches to the causal analysis view: it loads the
+// edge file written by chamrun -causal, extracts per-collective critical
+// paths, and prints the top straggler ranks with per-phase and
+// per-window wait attribution (plus the span-category breakdown when a
+// Chrome trace is given with -trace).
+//
 // Usage:
 //
 //	chamtop chameleon.journal.jsonl
+//	chamtop -critical -edges chameleon.edges.jsonl [-trace t.json] [-top 10] [journal.jsonl]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"text/tabwriter"
 	"time"
 
+	"chameleon/internal/causal"
 	"chameleon/internal/obs"
 	"chameleon/internal/stats"
 )
 
 func main() {
-	if len(os.Args) != 2 || os.Args[1] == "-h" || os.Args[1] == "-help" {
-		fmt.Fprintln(os.Stderr, "usage: chamtop <journal.jsonl>")
+	critical := flag.Bool("critical", false, "causal critical-path / straggler report (needs -edges)")
+	edgesPath := flag.String("edges", "chameleon.edges.jsonl", "causal edge JSONL file (with -critical)")
+	tracePath := flag.String("trace", "", "Chrome trace file for the span breakdown (with -critical)")
+	topN := flag.Int("top", 10, "rows per table in the critical report")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: chamtop [-critical -edges edges.jsonl [-trace trace.json] [-top n]] [journal.jsonl]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var events []obs.Event
+	if flag.NArg() > 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
-	if err != nil {
-		fatal("%v", err)
-	}
-	events, err := obs.ReadJournal(f)
-	f.Close()
-	if err != nil {
-		fatal("%v", err)
-	}
-	if len(events) == 0 {
-		fatal("%s: empty journal", os.Args[1])
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		events, err = obs.ReadJournal(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		if len(events) == 0 {
+			fatal("%s: empty journal", flag.Arg(0))
+		}
 	}
 
-	fmt.Printf("%s: %d events\n\n", os.Args[1], len(events))
+	if *critical {
+		criticalReport(*edgesPath, *tracePath, events, *topN)
+		return
+	}
+	if events == nil {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s: %d events\n\n", flag.Arg(0), len(events))
 	stateTimeline(events)
 	votes(events)
 	clusterings(events)
 	flushes(events)
 	merges(events)
 	finalize(events)
+}
+
+// criticalReport runs the offline causal analysis: edges (required),
+// journal events (optional, for window/phase attribution), Chrome trace
+// (optional, for the span-category breakdown).
+func criticalReport(edgesPath, tracePath string, events []obs.Event, topN int) {
+	f, err := os.Open(edgesPath)
+	if err != nil {
+		fatal("%v (run chamrun with -causal to produce an edge file)", err)
+	}
+	edges, err := obs.ReadEdges(f)
+	f.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(edges) == 0 {
+		fatal("%s: no edges", edgesPath)
+	}
+	rep := causal.Analyze(edges, events)
+	if err := rep.WriteText(os.Stdout, topN); err != nil {
+		fatal("%v", err)
+	}
+	if tracePath != "" {
+		tf, err := os.Open(tracePath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		ts, err := causal.ReadChromeTrace(tf)
+		tf.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		causal.WriteSpanBreakdown(os.Stdout, ts)
+	}
 }
 
 // segment is one maximal run of marker calls spent in a single
@@ -102,8 +167,12 @@ func votes(events []obs.Event) {
 			continue
 		}
 		total++
-		h.Add(int64(ev.Votes))
-		if ev.Votes > 0 {
+		v, ok := ev.VoteCount()
+		if !ok {
+			continue // malformed vote event: no recorded sum
+		}
+		h.Add(int64(v))
+		if v > 0 {
 			mismatched++
 		}
 	}

@@ -1,0 +1,380 @@
+// Package causal is the offline analysis layer over the causal edge DAG
+// the MPI runtime records (see internal/obs.Causal): it reconstructs
+// named collective instances from the edges' piggybacked contexts,
+// extracts each instance's critical path — the chain of messages that
+// determined its completion virtual time — and attributes receiver wait
+// time to the ranks that caused it, per marker window and per
+// transition-graph phase (AT/C/L/F).
+//
+// Two attribution views are computed. DirectWait blames the immediate
+// sender of every late message; in a reduction tree that spreads an
+// originating delay across all interior nodes (rank 5's parent forwards
+// late, so the grandparent blames the parent). CausedWait walks each
+// late edge back through the sender's own latest inbound dependency to
+// the chain origin, so the rank at the root of the delay chain collects
+// the blame — the straggler the report ranks by.
+package causal
+
+import (
+	"sort"
+
+	"chameleon/internal/obs"
+)
+
+// Collective is one reconstructed collective instance: every edge whose
+// piggybacked context named it, in store order.
+type Collective struct {
+	// Ctx/CtxSeq name the instance ("vote" 12, "merge:final" 3, ...).
+	Ctx    string
+	CtxSeq int
+	Edges  []obs.Edge
+	// StartVT/EndVT bound the instance: earliest send, latest receive.
+	StartVT int64
+	EndVT   int64
+	// Wait sums receiver blocked time over all edges.
+	Wait int64
+	// Path is the critical path in send order: the dependency chain
+	// ending at the edge with the latest RecvVT. Origin is the chain's
+	// first sender — the rank whose lateness the whole chain forwarded —
+	// and PathWait sums blocked time along the chain.
+	Path     []obs.Edge
+	Origin   int
+	PathWait int64
+	// Marker/State place the instance in the run: the engaged marker
+	// window it fell in and the transition-graph state that window
+	// produced ("" when no journal was given).
+	Marker int
+	State  string
+}
+
+// Name renders the instance identity.
+func (c *Collective) Name() string { return c.Ctx }
+
+// Straggler aggregates blame for one rank.
+type Straggler struct {
+	Rank int
+	// CausedWait is chain-origin (transitive) attribution: blocked time
+	// on any rank whose delay chain originates here.
+	CausedWait int64
+	// DirectWait is immediate-sender attribution.
+	DirectWait int64
+	// Collectives counts instances whose critical path originates here.
+	Collectives int
+}
+
+// PhaseStat aggregates one transition-graph state.
+type PhaseStat struct {
+	State       string
+	Collectives int
+	Wait        int64 // total receiver wait in the phase
+	CausedBy    map[int]int64
+	TopRank     int
+	TopCaused   int64
+}
+
+// WindowStat aggregates one engaged marker window.
+type WindowStat struct {
+	Marker    int
+	State     string
+	EndVT     int64
+	Wait      int64
+	TopRank   int
+	TopCaused int64
+}
+
+// Report is the full analysis result.
+type Report struct {
+	Ranks       int
+	EdgeCount   int
+	Collectives []Collective
+	// P2PEdges are plain point-to-point edges (no collective context).
+	P2PEdges int
+	P2PWait  int64
+	// TotalWait sums receiver blocked time over every edge.
+	TotalWait int64
+	// Stragglers is sorted by CausedWait descending, ties on rank.
+	Stragglers []Straggler
+	// WaitByCtx sums wait per context name ("vote", "marker", ...).
+	WaitByCtx map[string]int64
+	Phases    []PhaseStat
+	Windows   []WindowStat
+}
+
+type groupKey struct {
+	ctx string
+	seq int
+}
+
+// Analyze builds a report from an edge set and (optionally) the run's
+// journal events; events carry the rank-0 transition history that maps
+// virtual time to marker windows and phases. A nil events slice skips
+// window/phase attribution.
+func Analyze(edges []obs.Edge, events []obs.Event) *Report {
+	r := &Report{EdgeCount: len(edges), WaitByCtx: make(map[string]int64)}
+
+	groups := make(map[groupKey][]obs.Edge)
+	var keys []groupKey
+	for _, e := range edges {
+		if e.From >= r.Ranks {
+			r.Ranks = e.From + 1
+		}
+		if e.To >= r.Ranks {
+			r.Ranks = e.To + 1
+		}
+		r.TotalWait += e.WaitVT
+		if e.Ctx == "" {
+			r.P2PEdges++
+			r.P2PWait += e.WaitVT
+			r.WaitByCtx["p2p"] += e.WaitVT
+			continue
+		}
+		r.WaitByCtx[e.Ctx] += e.WaitVT
+		k := groupKey{e.Ctx, e.CtxSeq}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], e)
+	}
+
+	caused := make(map[int]int64)
+	direct := make(map[int]int64)
+	led := make(map[int]int)
+	for _, e := range edges {
+		direct[e.From] += e.WaitVT
+	}
+
+	for _, k := range keys {
+		g := groups[k]
+		c := Collective{Ctx: k.ctx, CtxSeq: k.seq, Edges: g, Marker: -1}
+		c.StartVT, c.EndVT = g[0].SendVT, g[0].RecvVT
+		for _, e := range g {
+			if e.SendVT < c.StartVT {
+				c.StartVT = e.SendVT
+			}
+			if e.RecvVT > c.EndVT {
+				c.EndVT = e.RecvVT
+			}
+			c.Wait += e.WaitVT
+		}
+		c.Path, c.Origin, c.PathWait = criticalPath(g)
+		if c.Wait > 0 {
+			led[c.Origin]++
+		}
+		attributeChains(g, caused)
+		r.Collectives = append(r.Collectives, c)
+	}
+	// Chain-origin attribution for p2p edges: the sender is the origin
+	// (no piggybacked dependency structure to walk within "").
+	for _, e := range edges {
+		if e.Ctx == "" {
+			caused[e.From] += e.WaitVT
+		}
+	}
+	sort.Slice(r.Collectives, func(i, j int) bool {
+		a, b := &r.Collectives[i], &r.Collectives[j]
+		if a.StartVT != b.StartVT {
+			return a.StartVT < b.StartVT
+		}
+		return a.EndVT < b.EndVT
+	})
+
+	for rank := 0; rank < r.Ranks; rank++ {
+		if caused[rank] == 0 && direct[rank] == 0 && led[rank] == 0 {
+			continue
+		}
+		r.Stragglers = append(r.Stragglers, Straggler{
+			Rank: rank, CausedWait: caused[rank], DirectWait: direct[rank],
+			Collectives: led[rank],
+		})
+	}
+	sort.Slice(r.Stragglers, func(i, j int) bool {
+		a, b := &r.Stragglers[i], &r.Stragglers[j]
+		if a.CausedWait != b.CausedWait {
+			return a.CausedWait > b.CausedWait
+		}
+		return a.Rank < b.Rank
+	})
+
+	if events != nil {
+		r.attachWindows(events)
+	}
+	return r
+}
+
+// criticalPath extracts the dependency chain that determined the
+// group's completion time. Starting from the edge with the latest
+// RecvVT, each step finds the sender's own latest inbound edge that
+// completed no later than the send left — the message the sender was
+// (transitively) waiting on. The walk continues only through edges the
+// intermediate rank actually blocked on (WaitVT > 0): a predecessor that
+// was already buffered when asked for did not pace the sender — the
+// sender's own computation did, making it the chain origin (that is how
+// a slow rank, whose inbound messages all arrive early, terminates every
+// chain it causes). The returned path is in send order; origin is the
+// first sender on it.
+func criticalPath(g []obs.Edge) (path []obs.Edge, origin int, wait int64) {
+	if len(g) == 0 {
+		return nil, -1, 0
+	}
+	// Index inbound edges per rank, ordered by RecvVT, for the
+	// predecessor search.
+	inbound := make(map[int][]obs.Edge)
+	for _, e := range g {
+		inbound[e.To] = append(inbound[e.To], e)
+	}
+	for _, row := range inbound {
+		sort.Slice(row, func(i, j int) bool { return row[i].RecvVT < row[j].RecvVT })
+	}
+	last := g[0]
+	for _, e := range g[1:] {
+		if e.RecvVT > last.RecvVT {
+			last = e
+		}
+	}
+	rev := []obs.Edge{last}
+	cur := last
+	for len(rev) <= len(g) {
+		pred, ok := predecessor(inbound[cur.From], cur.SendVT)
+		if !ok {
+			break
+		}
+		rev = append(rev, pred)
+		cur = pred
+	}
+	path = make([]obs.Edge, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+		wait += rev[i].WaitVT
+	}
+	return path, path[0].From, wait
+}
+
+// predecessor finds the latest edge in the RecvVT-sorted row that
+// completed at or before vt and that the receiver actually blocked on.
+// Zero-wait receives are pass-throughs — a message already buffered when
+// asked for did not shift the receiver's timeline, so it cannot carry a
+// delay chain; the blocked receive just before it can (in a binomial
+// reduce the parent's last receive is often an early child's buffered
+// message, while the straggling child's edge sits one slot earlier).
+func predecessor(row []obs.Edge, vt int64) (obs.Edge, bool) {
+	i := sort.Search(len(row), func(i int) bool { return row[i].RecvVT > vt })
+	for i--; i >= 0; i-- {
+		if row[i].WaitVT > 0 {
+			return row[i], true
+		}
+	}
+	return obs.Edge{}, false
+}
+
+// attributeChains adds every late edge's blocked time to its chain
+// origin: the rank reached by walking the edge's sender back through its
+// own latest inbound dependencies, stopping (as in criticalPath) at the
+// first sender that was not itself blocked — the rank whose own pace set
+// the chain in motion.
+func attributeChains(g []obs.Edge, caused map[int]int64) {
+	inbound := make(map[int][]obs.Edge)
+	for _, e := range g {
+		inbound[e.To] = append(inbound[e.To], e)
+	}
+	for _, row := range inbound {
+		sort.Slice(row, func(i, j int) bool { return row[i].RecvVT < row[j].RecvVT })
+	}
+	for _, e := range g {
+		if e.WaitVT == 0 {
+			continue
+		}
+		cur, hops := e, 0
+		for hops <= len(g) {
+			pred, ok := predecessor(inbound[cur.From], cur.SendVT)
+			if !ok {
+				break
+			}
+			cur = pred
+			hops++
+		}
+		caused[cur.From] += e.WaitVT
+	}
+}
+
+// attachWindows maps collectives to engaged marker windows using the
+// journal's rank-0 transition events: window i covers virtual time up to
+// transition i's emit stamp and produced state To. Collectives are
+// placed by StartVT (a collective begun inside a window may complete
+// after the window's transition is stamped — leaf receives of the
+// closing broadcast land later).
+func (r *Report) attachWindows(events []obs.Event) {
+	type boundary struct {
+		vt     int64
+		marker int
+		state  string
+	}
+	var bounds []boundary
+	for _, ev := range events {
+		if ev.Kind == obs.KindTransition {
+			bounds = append(bounds, boundary{ev.VT, ev.Marker, ev.To})
+		}
+	}
+	if len(bounds) == 0 {
+		return
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].vt < bounds[j].vt })
+
+	winIdx := make(map[int]int) // marker -> Windows index
+	phaseIdx := make(map[string]int)
+	winCaused := make(map[int]map[int]int64) // Windows index -> rank -> wait
+	for i := range r.Collectives {
+		c := &r.Collectives[i]
+		bi := sort.Search(len(bounds), func(j int) bool { return bounds[j].vt >= c.StartVT })
+		if bi == len(bounds) {
+			bi = len(bounds) - 1 // after the last transition: fold into it
+		}
+		b := bounds[bi]
+		c.Marker, c.State = b.marker, b.state
+
+		wi, ok := winIdx[b.marker]
+		if !ok {
+			wi = len(r.Windows)
+			winIdx[b.marker] = wi
+			r.Windows = append(r.Windows, WindowStat{Marker: b.marker, State: b.state, EndVT: b.vt})
+			winCaused[wi] = make(map[int]int64)
+		}
+		pi, ok := phaseIdx[b.state]
+		if !ok {
+			pi = len(r.Phases)
+			phaseIdx[b.state] = pi
+			r.Phases = append(r.Phases, PhaseStat{State: b.state, CausedBy: make(map[int]int64)})
+		}
+		r.Windows[wi].Wait += c.Wait
+		r.Phases[pi].Collectives++
+		r.Phases[pi].Wait += c.Wait
+
+		// Re-attribute this instance's chains into the window/phase
+		// accumulators.
+		local := make(map[int]int64)
+		attributeChains(c.Edges, local)
+		for rank, w := range local {
+			r.Phases[pi].CausedBy[rank] += w
+			winCaused[wi][rank] += w
+		}
+	}
+	for wi := range r.Windows {
+		w := &r.Windows[wi]
+		w.TopRank = -1
+		for rank, cw := range winCaused[wi] {
+			if cw > w.TopCaused || (cw == w.TopCaused && w.TopRank >= 0 && rank < w.TopRank) {
+				w.TopCaused, w.TopRank = cw, rank
+			}
+		}
+	}
+	for i := range r.Phases {
+		p := &r.Phases[i]
+		p.TopRank = -1
+		for rank, w := range p.CausedBy {
+			if w > p.TopCaused || (w == p.TopCaused && p.TopRank >= 0 && rank < p.TopRank) {
+				p.TopCaused, p.TopRank = w, rank
+			}
+		}
+	}
+	sort.Slice(r.Windows, func(i, j int) bool { return r.Windows[i].Marker < r.Windows[j].Marker })
+	sort.Slice(r.Phases, func(i, j int) bool { return r.Phases[i].Wait > r.Phases[j].Wait })
+}

@@ -1,0 +1,151 @@
+package causal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chameleon/internal/obs"
+)
+
+// voteEdges models a 3-rank reduce chain where rank 2 is the root cause:
+// its late send blocks rank 1, whose (consequently late) forward blocks
+// rank 0.
+func voteEdges() []obs.Edge {
+	return []obs.Edge{
+		{From: 2, To: 1, Seq: 1, SendVT: 100, ArriveVT: 110, RecvVT: 110, WaitVT: 80, Ctx: "vote", CtxSeq: 1},
+		{From: 1, To: 0, Seq: 1, SendVT: 115, ArriveVT: 125, RecvVT: 125, WaitVT: 90, Ctx: "vote", CtxSeq: 1},
+	}
+}
+
+// TestCriticalPathChain checks the walk-back: the path ends at the
+// latest receive, follows each sender's own latest inbound dependency,
+// and originates at the true straggler.
+func TestCriticalPathChain(t *testing.T) {
+	r := Analyze(voteEdges(), nil)
+	if len(r.Collectives) != 1 {
+		t.Fatalf("%d collectives, want 1", len(r.Collectives))
+	}
+	c := r.Collectives[0]
+	if c.Ctx != "vote" || c.CtxSeq != 1 {
+		t.Fatalf("collective identity = %s/%d", c.Ctx, c.CtxSeq)
+	}
+	if len(c.Path) != 2 || c.Origin != 2 || c.PathWait != 170 {
+		t.Fatalf("path len=%d origin=%d wait=%d, want 2/2/170", len(c.Path), c.Origin, c.PathWait)
+	}
+	if c.Path[0].From != 2 || c.Path[1].To != 0 {
+		t.Fatalf("path order wrong: %+v", c.Path)
+	}
+	if c.StartVT != 100 || c.EndVT != 125 {
+		t.Fatalf("bounds [%d,%d], want [100,125]", c.StartVT, c.EndVT)
+	}
+}
+
+// TestChainOriginAttribution is the straggler-plurality property: direct
+// attribution splits blame between ranks 2 and 1 (the forwarding parent
+// is blamed for rank 0's wait), while chain-origin attribution assigns
+// all 170ns to rank 2.
+func TestChainOriginAttribution(t *testing.T) {
+	edges := append(voteEdges(),
+		// A plain p2p edge: its sender is its own chain origin.
+		obs.Edge{From: 0, To: 1, Seq: 2, SendVT: 130, ArriveVT: 140, RecvVT: 140, WaitVT: 5},
+	)
+	r := Analyze(edges, nil)
+	if r.P2PEdges != 1 || r.P2PWait != 5 || r.TotalWait != 175 {
+		t.Fatalf("p2p=%d p2pWait=%d total=%d", r.P2PEdges, r.P2PWait, r.TotalWait)
+	}
+	if len(r.Stragglers) == 0 || r.Stragglers[0].Rank != 2 {
+		t.Fatalf("top straggler = %+v, want rank 2", r.Stragglers)
+	}
+	top := r.Stragglers[0]
+	if top.CausedWait != 170 {
+		t.Fatalf("rank 2 caused = %d, want 170 (transitive)", top.CausedWait)
+	}
+	if top.DirectWait != 80 {
+		t.Fatalf("rank 2 direct = %d, want 80 (only its own edge)", top.DirectWait)
+	}
+	if top.Collectives != 1 {
+		t.Fatalf("rank 2 leads %d critical paths, want 1", top.Collectives)
+	}
+	if r.WaitByCtx["vote"] != 170 || r.WaitByCtx["p2p"] != 5 {
+		t.Fatalf("WaitByCtx = %v", r.WaitByCtx)
+	}
+}
+
+// TestWindowPhaseAttribution maps collectives onto the journal's
+// transition boundaries by start time and aggregates per state.
+func TestWindowPhaseAttribution(t *testing.T) {
+	events := []obs.Event{
+		{Kind: obs.KindTransition, Rank: 0, VT: 120, Marker: 1, To: "AT"},
+		{Kind: obs.KindTransition, Rank: 0, VT: 300, Marker: 2, To: "L"},
+	}
+	r := Analyze(voteEdges(), events)
+	c := r.Collectives[0]
+	if c.Marker != 1 || c.State != "AT" {
+		t.Fatalf("collective placed at marker %d state %s, want 1/AT", c.Marker, c.State)
+	}
+	if len(r.Windows) != 1 || r.Windows[0].Marker != 1 || r.Windows[0].Wait != 170 {
+		t.Fatalf("windows = %+v", r.Windows)
+	}
+	if r.Windows[0].TopRank != 2 || r.Windows[0].TopCaused != 170 {
+		t.Fatalf("window top = rank %d (%d)", r.Windows[0].TopRank, r.Windows[0].TopCaused)
+	}
+	if len(r.Phases) != 1 || r.Phases[0].State != "AT" || r.Phases[0].TopRank != 2 {
+		t.Fatalf("phases = %+v", r.Phases)
+	}
+}
+
+// TestReportText smoke-tests the renderer's section set and ordering
+// determinism (two runs must byte-match).
+func TestReportText(t *testing.T) {
+	events := []obs.Event{{Kind: obs.KindTransition, Rank: 0, VT: 120, Marker: 1, To: "AT"}}
+	var a, b bytes.Buffer
+	if err := Analyze(voteEdges(), events).WriteText(&a, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := Analyze(voteEdges(), events).WriteText(&b, 5); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("report text is not deterministic")
+	}
+	for _, want := range []string{
+		"top straggler ranks", "wait by collective context", "wait by phase", "vote",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+// TestReadChromeTrace round-trips a timeline+causal store through the
+// writer and back: span categories, flow counts, and dropped metadata.
+func TestReadChromeTrace(t *testing.T) {
+	tl := obs.NewTimeline(2)
+	tl.Add(0, "compute", obs.CatCompute, 0, 1500)    // 1.5µs: exercises decimal ts
+	tl.Add(1, "vote", obs.CatMarker, 100, 2100)      // 2µs
+	tl.Add(1, "compute", obs.CatCompute, 2100, 2601) // 501ns
+	c := obs.NewCausal(2)
+	c.Record(obs.Edge{From: 0, To: 1, Seq: 1, SendVT: 10, ArriveVT: 50, RecvVT: 60, WaitVT: 40, Ctx: "vote"})
+
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTraceFlows(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Spans != 3 || ts.Flows != 2 {
+		t.Fatalf("spans=%d flows=%d, want 3/2", ts.Spans, ts.Flows)
+	}
+	if got := ts.CatNs[obs.CatCompute]; got != 2001 {
+		t.Fatalf("compute ns = %d, want 2001 (decimal µs must round-trip)", got)
+	}
+	if got := ts.CatNs[obs.CatMarker]; got != 2000 {
+		t.Fatalf("marker ns = %d, want 2000", got)
+	}
+	if ts.SpansDropped != 0 || ts.EdgesDropped != 0 {
+		t.Fatalf("dropped = %d/%d, want 0/0", ts.SpansDropped, ts.EdgesDropped)
+	}
+}

@@ -1,0 +1,98 @@
+package causal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSummary condenses a Chrome trace-event file (as written by
+// obs.Timeline.WriteChromeTraceFlows) back into analysis inputs: total
+// virtual time per span category, span/flow counts, and the dropped
+// counters the writer embeds as metadata events.
+type TraceSummary struct {
+	// CatNs sums "X" span durations (ns) per category across ranks.
+	CatNs map[string]int64
+	// Spans counts "X" events; Flows counts "s"+"f" flow events.
+	Spans int
+	Flows int
+	// SpansDropped/EdgesDropped are the capture-cap counters from the
+	// chameleon_*_dropped metadata events.
+	SpansDropped uint64
+	EdgesDropped uint64
+}
+
+// chromeEvent is the subset of the trace-event schema the reader needs.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Dur  json.Number     `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+// ReadChromeTrace parses a trace-event JSON object form stream.
+func ReadChromeTrace(r io.Reader) (*TraceSummary, error) {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("causal: chrome trace: %w", err)
+	}
+	ts := &TraceSummary{CatNs: make(map[string]int64)}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			ts.Spans++
+			ts.CatNs[ev.Cat] += usecToNs(ev.Dur)
+		case "s", "f":
+			ts.Flows++
+		case "M":
+			var args struct {
+				Dropped uint64 `json:"dropped"`
+			}
+			switch ev.Name {
+			case "chameleon_spans_dropped":
+				if json.Unmarshal(ev.Args, &args) == nil {
+					ts.SpansDropped = args.Dropped
+				}
+			case "chameleon_edges_dropped":
+				if json.Unmarshal(ev.Args, &args) == nil {
+					ts.EdgesDropped = args.Dropped
+				}
+			}
+		}
+	}
+	return ts, nil
+}
+
+// usecToNs converts the writer's decimal-microsecond encoding ("12.345")
+// back to integer nanoseconds without float rounding.
+func usecToNs(n json.Number) int64 {
+	s := n.String()
+	var whole, frac int64
+	var neg bool
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		neg = true
+		i++
+	}
+	for ; i < len(s) && s[i] != '.'; i++ {
+		whole = whole*10 + int64(s[i]-'0')
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		scale := int64(100)
+		for ; i < len(s) && scale > 0; i++ {
+			frac += int64(s[i]-'0') * scale
+			scale /= 10
+		}
+	}
+	ns := whole*1000 + frac
+	if neg {
+		return -ns
+	}
+	return ns
+}

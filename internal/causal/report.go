@@ -1,0 +1,156 @@
+package causal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteText renders the report as the human-readable tables chamtop
+// -critical prints: the wait-by-context breakdown, the top-N straggler
+// ranks under chain-origin attribution, per-phase and per-window tables.
+// All sections are deterministically ordered so the output is
+// golden-testable.
+func (r *Report) WriteText(w io.Writer, topN int) error {
+	if topN <= 0 {
+		topN = 10
+	}
+	fmt.Fprintf(w, "causal: %d edges, %d collective instances, %d p2p edges, total wait %s\n\n",
+		r.EdgeCount, len(r.Collectives), r.P2PEdges, vt(r.TotalWait))
+
+	if len(r.WaitByCtx) > 0 && r.TotalWait > 0 {
+		type ctxRow struct {
+			ctx  string
+			wait int64
+		}
+		var rows []ctxRow
+		for ctx, wait := range r.WaitByCtx {
+			rows = append(rows, ctxRow{ctx, wait})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].wait != rows[j].wait {
+				return rows[i].wait > rows[j].wait
+			}
+			return rows[i].ctx < rows[j].ctx
+		})
+		fmt.Fprintln(w, "wait by collective context")
+		tw := tab(w)
+		fmt.Fprintln(tw, "  context\twait\tshare")
+		for _, row := range rows {
+			fmt.Fprintf(tw, "  %s\t%s\t%s\n", row.ctx, vt(row.wait), pct(row.wait, r.TotalWait))
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+
+	if len(r.Stragglers) > 0 {
+		fmt.Fprintln(w, "top straggler ranks (chain-origin attribution)")
+		tw := tab(w)
+		fmt.Fprintln(tw, "  rank\tcaused-wait\tshare\tdirect-wait\tcrit-paths")
+		for i, s := range r.Stragglers {
+			if i >= topN {
+				break
+			}
+			fmt.Fprintf(tw, "  %d\t%s\t%s\t%s\t%d\n",
+				s.Rank, vt(s.CausedWait), pct(s.CausedWait, r.TotalWait), vt(s.DirectWait), s.Collectives)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+
+	if len(r.Phases) > 0 {
+		fmt.Fprintln(w, "wait by phase (transition-graph state)")
+		tw := tab(w)
+		fmt.Fprintln(tw, "  state\tcollectives\twait\tshare\ttop-rank\ttop-caused")
+		for _, p := range r.Phases {
+			fmt.Fprintf(tw, "  %s\t%d\t%s\t%s\t%d\t%s\n",
+				p.State, p.Collectives, vt(p.Wait), pct(p.Wait, r.TotalWait), p.TopRank, vt(p.TopCaused))
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+
+	if len(r.Windows) > 0 {
+		// Windows are numerous; show the heaviest few by wait.
+		idx := make([]int, len(r.Windows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool {
+			a, b := &r.Windows[idx[i]], &r.Windows[idx[j]]
+			if a.Wait != b.Wait {
+				return a.Wait > b.Wait
+			}
+			return a.Marker < b.Marker
+		})
+		if len(idx) > topN {
+			idx = idx[:topN]
+		}
+		fmt.Fprintf(w, "heaviest marker windows (top %d of %d)\n", len(idx), len(r.Windows))
+		tw := tab(w)
+		fmt.Fprintln(tw, "  marker\tstate\twait\ttop-rank\ttop-caused")
+		for _, i := range idx {
+			win := &r.Windows[i]
+			fmt.Fprintf(tw, "  %d\t%s\t%s\t%d\t%s\n",
+				win.Marker, win.State, vt(win.Wait), win.TopRank, vt(win.TopCaused))
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+
+	return nil
+}
+
+// WriteSpanBreakdown renders the run-level compute/blocked/overhead
+// split from a Chrome-trace summary alongside the edge-based report
+// (the "critical-path breakdown" view: where virtual time went).
+func WriteSpanBreakdown(w io.Writer, ts *TraceSummary) {
+	if ts == nil || len(ts.CatNs) == 0 {
+		return
+	}
+	var total int64
+	type catRow struct {
+		cat string
+		ns  int64
+	}
+	var rows []catRow
+	for cat, ns := range ts.CatNs {
+		rows = append(rows, catRow{cat, ns})
+		total += ns
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ns != rows[j].ns {
+			return rows[i].ns > rows[j].ns
+		}
+		return rows[i].cat < rows[j].cat
+	})
+	fmt.Fprintf(w, "span breakdown (%d spans, %d flow links)\n", ts.Spans, ts.Flows/2)
+	tw := tab(w)
+	fmt.Fprintln(tw, "  category\tvtime\tshare")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", row.cat, vt(row.ns), pct(row.ns, total))
+	}
+	tw.Flush()
+	if ts.SpansDropped > 0 || ts.EdgesDropped > 0 {
+		fmt.Fprintf(w, "  WARNING: capture truncated: %d spans, %d edges dropped at cap\n",
+			ts.SpansDropped, ts.EdgesDropped)
+	}
+	fmt.Fprintln(w)
+}
+
+func tab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// vt renders virtual nanoseconds as a duration.
+func vt(ns int64) string { return time.Duration(ns).String() }
+
+// pct renders an integer percentage share.
+func pct(part, whole int64) string {
+	if whole <= 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%d%%", part*100/whole)
+}

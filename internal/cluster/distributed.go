@@ -29,6 +29,9 @@ func DistributedSelectMembers(p *mpi.Proc, self Item, members []int, k int, algo
 	model := p.Model()
 	world := p.World()
 	items := []Item{self}
+	// Default causal label (tag distinguishes invocations); core's
+	// explicit "cluster" context, when set, takes precedence.
+	defer p.CausalContextDefault("cluster", tag)()
 
 	o := p.Obs()
 	var cDistances, cSelections, cItems *obs.Counter

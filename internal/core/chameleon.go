@@ -397,6 +397,7 @@ func (c *Chameleon) transition() State {
 	// voting on a stale view is caught immediately instead of corrupting
 	// the mismatch sum.
 	var glob uint64
+	restore := c.p.CausalContext("vote", c.markerCalls)
 	if alive := c.p.AliveRanks(); alive == nil {
 		glob = c.p.MarkerComm().RawAllreduceU64(mismatch, mpi.OpSum)
 	} else {
@@ -409,6 +410,7 @@ func (c *Chameleon) transition() State {
 		}
 		glob = tot & (1<<voteEpochShift - 1)
 	}
+	restore()
 	hops := vtime.Duration(vtime.Log2Ceil(c.groupSize()))
 	c.p.Ledger.Charge(vtime.CatMarker, hops*(model.Alpha+model.CollectivePerLevel))
 	c.oldCallPath = cur.CallPath
@@ -419,7 +421,7 @@ func (c *Chameleon) transition() State {
 		}
 		c.o.Emit(obs.Event{
 			Kind: obs.KindVote, Rank: 0, VT: int64(c.p.Clock.Now()),
-			Marker: c.markerCalls, Votes: glob,
+			Marker: c.markerCalls, Votes: obs.Vote(glob),
 		})
 	}
 
@@ -454,8 +456,10 @@ func (c *Chameleon) runClustering() {
 		Ranks: ranklist.SingleRank(p.Rank()),
 		Sig:   c.curSig,
 	}
+	restore := p.CausalContext("cluster", c.markerCalls)
 	top := cluster.DistributedSelectMembers(p, self, p.AliveRanks(),
 		c.opt.K, c.opt.Algo, clusterTag(c.flushRound), vtime.CatCluster)
+	restore()
 
 	c.clusters = append(c.clusters[:0], top...)
 	c.leads = c.leads[:0]
@@ -636,6 +640,9 @@ func (c *Chameleon) flushLeads(cause string) {
 	model := p.Model()
 	round := c.flushRound
 	c.flushRound++
+	// Name the merge tree's edges after the flush cause so the straggler
+	// report separates initial, phase-change, failover, and final merges.
+	defer p.CausalContext("merge:"+cause, round)()
 
 	mine := c.rec.TakePartial()
 	var partial []*trace.Node

@@ -1,0 +1,147 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"chameleon/internal/obs"
+)
+
+// lowbit returns the lowest set bit of v.
+func lowbit(v int) int { return v & -v }
+
+// runCausal executes body on p ranks with causal capture enabled and
+// returns the body's edges (the finalize barrier's edges are excluded:
+// they carry the op-derived "finalize" context, while raw collectives
+// called from the body carry none).
+func runCausal(t *testing.T, p int, body func(pr *Proc)) []obs.Edge {
+	t.Helper()
+	o := obs.New(obs.Options{CausalRanks: p})
+	if _, err := Run(Config{P: p, Obs: o}, body); err != nil {
+		t.Fatal(err)
+	}
+	var out []obs.Edge
+	for _, e := range o.Causal.Edges() {
+		if e.Ctx == "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestTreeEdgeCapture verifies every hop of treeBcast and treeReduceU64
+// produces exactly one matched send/recv edge pair, for power-of-two and
+// non-power-of-two rank counts. The binomial schedule rooted at 0 makes
+// the expected hop set explicit: bcast sends parent→child
+// (v−lowbit(v) → v), reduce sends child→parent (v → v−lowbit(v)), and
+// rawBarrier is one reduce phase plus one bcast phase.
+func TestTreeEdgeCapture(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			edges := runCausal(t, p, func(pr *Proc) {
+				w := pr.World()
+				w.RawBcastU64(0, 42)        // tag seq 0
+				w.RawReduceU64(0, 7, OpSum) // tag seq 1
+				w.RawBarrier()              // tag seq 2, phases 0+1
+			})
+			if p == 1 {
+				if len(edges) != 0 {
+					t.Fatalf("p=1: %d edges, want 0 (no hops in a single-rank tree)", len(edges))
+				}
+				return
+			}
+			// (from, to, tag) -> count. Tags are collTag(CommWorld, seq,
+			// phase) = seq<<4|phase as allocated above.
+			count := make(map[[3]int]int)
+			for _, e := range edges {
+				if e.Seq == 0 {
+					t.Fatalf("edge without piggybacked seq: %+v", e)
+				}
+				if e.SendVT > e.ArriveVT || e.ArriveVT > e.RecvVT {
+					t.Fatalf("edge times out of order: %+v", e)
+				}
+				count[[3]int{e.From, e.To, e.Tag}]++
+			}
+			var want [][3]int
+			for v := 1; v < p; v++ {
+				parent, child := v-lowbit(v), v
+				want = append(want,
+					[3]int{parent, child, 0<<4 | 0}, // bcast hop
+					[3]int{child, parent, 1<<4 | 0}, // reduce hop
+					[3]int{child, parent, 2<<4 | 0}, // barrier reduce phase
+					[3]int{parent, child, 2<<4 | 1}, // barrier bcast phase
+				)
+			}
+			for _, k := range want {
+				if count[k] != 1 {
+					t.Errorf("hop from=%d to=%d tag=%d: %d edges, want exactly 1",
+						k[0], k[1], k[2], count[k])
+				}
+			}
+			if len(edges) != len(want) {
+				t.Errorf("%d edges, want %d", len(edges), len(want))
+			}
+		})
+	}
+}
+
+// TestCausalDisabled proves the zero-cost discipline end to end: with no
+// causal store (observer nil, or enabled without CausalRanks) the run
+// records nothing and messages carry no stamp.
+func TestCausalDisabled(t *testing.T) {
+	body := func(pr *Proc) {
+		w := pr.World()
+		w.RawBcastU64(0, 1)
+		w.RawBarrier()
+	}
+	if _, err := Run(Config{P: 4}, body); err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(obs.Options{Metrics: true})
+	if o.CausalStore() != nil {
+		t.Fatal("CausalStore must be nil when CausalRanks is unset")
+	}
+	if _, err := Run(Config{P: 4, Obs: o}, body); err != nil {
+		t.Fatal(err)
+	}
+	if n := o.Causal.EdgeCount(); n != 0 {
+		t.Fatalf("disabled causal recorded %d edges", n)
+	}
+}
+
+// TestCausalContextLabels checks the context API: explicit contexts
+// label the edges recorded inside them, CausalContextDefault defers to
+// an installed outer name, and the restore closure reinstates the
+// previous context.
+func TestCausalContextLabels(t *testing.T) {
+	const p = 4
+	o := obs.New(obs.Options{CausalRanks: p})
+	_, err := Run(Config{P: p, Obs: o}, func(pr *Proc) {
+		w := pr.World()
+		restore := pr.CausalContext("vote", 3)
+		// An inner default must NOT override the explicit outer name.
+		restoreInner := pr.CausalContextDefault("merge", 9)
+		w.RawBcastU64(0, 1)
+		restoreInner()
+		restore()
+		// With no outer context the default applies.
+		defer pr.CausalContextDefault("merge", 9)()
+		w.RawBcastU64(0, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCtx := make(map[string]int)
+	for _, e := range o.Causal.Edges() {
+		byCtx[e.Ctx]++
+		if e.Ctx == "vote" && e.CtxSeq != 3 {
+			t.Fatalf("vote edge seq = %d, want 3", e.CtxSeq)
+		}
+		if e.Ctx == "merge" && e.CtxSeq != 9 {
+			t.Fatalf("merge edge seq = %d, want 9", e.CtxSeq)
+		}
+	}
+	if byCtx["vote"] != p-1 || byCtx["merge"] != p-1 {
+		t.Fatalf("edges by ctx = %v, want %d vote and %d merge", byCtx, p-1, p-1)
+	}
+}

@@ -17,6 +17,14 @@ type message struct {
 	// arrive is the virtual time at which the message is fully available
 	// at the receiver (sender clock at send + alpha-beta transfer time).
 	arrive vtime.Time
+	// origin/seq/sendVT are the piggybacked causal span context: the
+	// sender's world rank, its per-rank send sequence number (1-based; 0
+	// means causal capture was off at send time), and its clock at the
+	// moment of injection. The receiver turns them into an obs.Edge when
+	// the match completes.
+	origin int
+	seq    uint64
+	sendVT vtime.Time
 }
 
 // mailbox is a rank's incoming message queue with MPI matching semantics:

@@ -125,6 +125,9 @@ type Runtime struct {
 	// obs/met are the run's observability sinks (nil when disabled).
 	obs *obs.Observer
 	met *opMetrics
+	// causal caches obs.Causal so the per-message hot path tests one
+	// pointer instead of chasing two.
+	causal *obs.Causal
 	// fault is the run's fault injector (nil = zero-fault mode).
 	fault *fault.Injector
 }
@@ -291,6 +294,18 @@ type Proc struct {
 	// markerSeq counts marker barriers this rank has entered (1-based),
 	// the clock the fault injector schedules crashes against.
 	markerSeq int
+	// sendSeq numbers this rank's causal-stamped sends (1-based).
+	sendSeq uint64
+	// ctxName/ctxSeq label the collective instance this rank is currently
+	// executing, copied onto every edge it records (see CausalContext).
+	// markerCt counts marker barriers for op-derived contexts.
+	ctxName  string
+	ctxSeq   int
+	markerCt int
+	// opPrevName/opPrevSeq save the outer context across an op-derived
+	// context installed by opBegin (restored in opEnd).
+	opPrevName string
+	opPrevSeq  int
 	// aliveView/epoch/deadView/shrunk are this rank's membership view
 	// under fault injection; aliveView stays nil while all ranks live.
 	aliveView []int
@@ -329,6 +344,37 @@ func (p *Proc) Interposer() Interposer { return p.hooks }
 // Obs returns the run's observer (nil when observability is disabled).
 // The tracing layers pull it from here so no extra plumbing is needed.
 func (p *Proc) Obs() *obs.Observer { return p.rt.obs }
+
+// noRestore is the shared no-op restore closure handed out when causal
+// capture is disabled, so context sites allocate nothing in that case.
+var noRestore = func() {}
+
+// CausalContext names the collective instance this rank is about to
+// execute: every causal edge the rank records until the returned restore
+// runs carries (name, seq) as its Ctx/CtxSeq. Callers defer the restore:
+//
+//	defer p.CausalContext("vote", markerIdx)()
+//
+// With causal capture disabled this is one pointer test and no
+// allocation.
+func (p *Proc) CausalContext(name string, seq int) func() {
+	if p.rt.causal == nil {
+		return noRestore
+	}
+	prevName, prevSeq := p.ctxName, p.ctxSeq
+	p.ctxName, p.ctxSeq = name, seq
+	return func() { p.ctxName, p.ctxSeq = prevName, prevSeq }
+}
+
+// CausalContextDefault is CausalContext except an already-named outer
+// context wins: library helpers (cluster membership exchange, tracer
+// merges) use it so a caller's more specific name is never clobbered.
+func (p *Proc) CausalContextDefault(name string, seq int) func() {
+	if p.rt.causal == nil || p.ctxName != "" {
+		return noRestore
+	}
+	return p.CausalContext(name, seq)
+}
 
 // Compute advances this rank's virtual clock by d of application
 // computation. The tracing layer observes it as inter-event delta time.
@@ -487,6 +533,7 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 		states:    make([]atomic.Int32, cfg.P),
 		obs:       cfg.Obs,
 		met:       newOpMetrics(cfg.Obs),
+		causal:    cfg.Obs.CausalStore(),
 		fault:     cfg.Fault,
 	}
 	rt.gcond = sync.NewCond(&rt.gmu)

@@ -52,9 +52,22 @@ func newOpMetrics(o *obs.Observer) *opMetrics {
 }
 
 // opBegin runs the Pre interposer hook and snapshots the clock; paired
-// with opEnd it brackets every public operation.
+// with opEnd it brackets every public operation. For traced collectives
+// it also installs an op-derived causal context (saving any outer one)
+// so every hop edge of the collective carries an instance name even when
+// no layer above named it explicitly.
 func (p *Proc) opBegin(ci *CallInfo) vtime.Time {
 	p.hooks.Pre(ci)
+	if p.rt.causal != nil {
+		p.opPrevName, p.opPrevSeq = p.ctxName, p.ctxSeq
+		switch {
+		case ci.Op == OpBarrier && ci.Comm == CommMarker:
+			p.markerCt++
+			p.ctxName, p.ctxSeq = "marker", p.markerCt
+		case ci.Op.IsCollective():
+			p.ctxName, p.ctxSeq = strings.ToLower(ci.Op.String()), p.collSeq[ci.Comm]
+		}
+	}
 	return p.Clock.Now()
 }
 
@@ -88,6 +101,11 @@ func (p *Proc) opEnd(ci *CallInfo, start vtime.Time) {
 			cat = obs.CatColl
 		}
 		o.Span(p.rank, name, cat, start, end)
+	}
+	if p.rt.causal != nil {
+		// Restore the outer context before Post so tracing-layer work the
+		// hook triggers (marker processing, clustering) starts clean.
+		p.ctxName, p.ctxSeq = p.opPrevName, p.opPrevSeq
 	}
 	p.hooks.Post(ci)
 }

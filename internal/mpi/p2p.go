@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/vtime"
 )
 
@@ -28,14 +29,21 @@ func (c *Comm) rawSend(dest, tag, bytes int, payload any) {
 	rt := c.p.rt
 	m := rt.model
 	sendAt := c.p.Clock.Advance(m.Alpha)
-	rt.mailboxes[c.worldRank(dest)].deposit(message{
+	msg := message{
 		comm:    c.id,
 		source:  c.self,
 		tag:     tag,
 		bytes:   bytes,
 		payload: payload,
 		arrive:  sendAt + vtime.Time(m.PtoP(bytes)-m.Alpha),
-	})
+	}
+	if rt.causal != nil {
+		c.p.sendSeq++
+		msg.origin = c.p.rank
+		msg.seq = c.p.sendSeq
+		msg.sendVT = sendAt
+	}
+	rt.mailboxes[c.worldRank(dest)].deposit(msg)
 	if rt.anyWaiters.Load() > 0 {
 		rt.bump()
 	}
@@ -51,6 +59,7 @@ func (c *Comm) rawRecv(source, tag int) Message {
 	}
 	rt := c.p.rt
 	self := c.worldRank(c.self)
+	blockStart := c.p.Clock.Now()
 	c.p.blockedComm.Store(int32(c.id))
 	c.p.blockedSrc.Store(int64(source))
 	c.p.blockedTag.Store(int64(tag))
@@ -64,6 +73,21 @@ func (c *Comm) rawRecv(source, tag int) Message {
 	rt.setState(self, stateActive)
 	c.p.Clock.AdvanceTo(msg.arrive)
 	c.p.Clock.Advance(rt.model.Alpha) // receive-side software overhead
+	if rt.causal != nil && msg.seq != 0 {
+		// The receiver records the full matched edge: the sender's
+		// piggybacked stamp plus local wait accounting. Edges always land
+		// in the receiver's own row, so the store needs no locking.
+		wait := int64(msg.arrive - blockStart)
+		if wait < 0 {
+			wait = 0 // message was already buffered; no blocked time
+		}
+		rt.causal.Record(obs.Edge{
+			From: msg.origin, To: self, Seq: msg.seq,
+			SendVT: int64(msg.sendVT), ArriveVT: int64(msg.arrive), RecvVT: int64(c.p.Clock.Now()),
+			WaitVT: wait, Bytes: msg.bytes, Comm: int32(msg.comm), Tag: msg.tag,
+			Ctx: c.p.ctxName, CtxSeq: c.p.ctxSeq,
+		})
+	}
 	return Message{Source: msg.source, Tag: msg.tag, Bytes: msg.bytes, Payload: msg.payload, Arrive: msg.arrive}
 }
 

@@ -22,7 +22,11 @@ type Event struct {
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
 	// Votes is the Algorithm 1 Reduce+Bcast mismatch sum (kind "vote").
-	Votes uint64 `json:"votes,omitempty"`
+	// It is a pointer so a unanimous "no mismatch" vote (0) still
+	// serializes: omitempty would otherwise make Votes=0 events
+	// indistinguishable from non-vote events in the journal. Use
+	// VoteCount to read it.
+	Votes *uint64 `json:"votes,omitempty"`
 	// Leads and K describe a cluster formation (kind "cluster").
 	Leads []int `json:"leads,omitempty"`
 	K     int   `json:"k,omitempty"`
@@ -34,6 +38,19 @@ type Event struct {
 	Bytes int64  `json:"bytes,omitempty"`
 	// Note qualifies the event (e.g. a flush's cause).
 	Note string `json:"note,omitempty"`
+}
+
+// Vote wraps a mismatch sum for Event.Votes (so KindVote emitters can
+// set the field inline).
+func Vote(v uint64) *uint64 { return &v }
+
+// VoteCount returns the vote mismatch sum and whether the event carried
+// one (true exactly for well-formed KindVote events).
+func (ev *Event) VoteCount() (uint64, bool) {
+	if ev.Votes == nil {
+		return 0, false
+	}
+	return *ev.Votes, true
 }
 
 // Journal event kinds emitted by the instrumented stack.

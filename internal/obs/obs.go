@@ -38,6 +38,8 @@ type Observer struct {
 	Journal *Journal
 	// Timeline receives per-rank virtual-time spans.
 	Timeline *Timeline
+	// Causal receives matched send/recv edge pairs.
+	Causal *Causal
 }
 
 // Options selects which facilities New enables.
@@ -49,6 +51,9 @@ type Options struct {
 	// TimelineRanks, when positive, enables span capture for that many
 	// ranks.
 	TimelineRanks int
+	// CausalRanks, when positive, enables causal edge capture (matched
+	// send/recv pairs) for that many ranks.
+	CausalRanks int
 }
 
 // New assembles an Observer, or returns nil when every facility is
@@ -64,7 +69,10 @@ func New(o Options) *Observer {
 	if o.TimelineRanks > 0 {
 		ob.Timeline = NewTimeline(o.TimelineRanks)
 	}
-	if ob.Reg == nil && ob.Journal == nil && ob.Timeline == nil {
+	if o.CausalRanks > 0 {
+		ob.Causal = NewCausal(o.CausalRanks)
+	}
+	if ob.Reg == nil && ob.Journal == nil && ob.Timeline == nil && ob.Causal == nil {
 		return nil
 	}
 	return ob
@@ -113,4 +121,13 @@ func (o *Observer) Span(rank int, name, cat string, start, end vtime.Time) {
 		return
 	}
 	o.Timeline.Add(rank, name, cat, start, end)
+}
+
+// CausalStore returns the causal edge store (nil, and safe to pass
+// around, when causal capture is disabled).
+func (o *Observer) CausalStore() *Causal {
+	if o == nil {
+		return nil
+	}
+	return o.Causal
 }

@@ -106,6 +106,17 @@ func (t *Timeline) SpanCount() int {
 // nanoseconds map to trace microseconds with sub-microsecond precision
 // preserved as decimals. Each rank becomes one thread track of pid 0.
 func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	return t.WriteChromeTraceFlows(w, nil)
+}
+
+// WriteChromeTraceFlows is WriteChromeTrace plus causal flow events:
+// every edge whose receiver actually waited (WaitVT > 0) becomes an
+// "s"/"f" flow pair, so Perfetto renders an arrow from the delaying send
+// span on the origin rank's track to the receive span it delayed. The
+// trace always carries a "chameleon_spans_dropped" metadata event (and
+// "chameleon_edges_dropped" when a causal store is given), so capped
+// capture is visible in the artifact itself, never silently truncated.
+func (t *Timeline) WriteChromeTraceFlows(w io.Writer, c *Causal) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
 		return err
@@ -127,6 +138,27 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 				emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d}`,
 					strconv.Quote(s.Name), strconv.Quote(s.Cat),
 					usec(int64(s.Start)), usec(int64(s.Dur)), r))
+			}
+		}
+	}
+	emit(fmt.Sprintf(`{"name":"chameleon_spans_dropped","ph":"M","pid":0,"tid":0,"args":{"dropped":%d}}`, t.Dropped()))
+	if c != nil {
+		emit(fmt.Sprintf(`{"name":"chameleon_edges_dropped","ph":"M","pid":0,"tid":0,"args":{"dropped":%d}}`, c.Dropped()))
+		for _, row := range c.perRank {
+			for i := range row {
+				e := &row[i]
+				if e.WaitVT <= 0 {
+					continue
+				}
+				name := e.Ctx
+				if name == "" {
+					name = "p2p"
+				}
+				id := uint64(e.From)<<32 | e.Seq&0xffffffff
+				emit(fmt.Sprintf(`{"name":%s,"cat":"flow","ph":"s","id":%d,"ts":%s,"pid":0,"tid":%d}`,
+					strconv.Quote(name), id, usec(e.SendVT), e.From))
+				emit(fmt.Sprintf(`{"name":%s,"cat":"flow","ph":"f","bp":"e","id":%d,"ts":%s,"pid":0,"tid":%d}`,
+					strconv.Quote(name), id, usec(e.ArriveVT), e.To))
 			}
 		}
 	}

@@ -30,6 +30,9 @@ func MergeOverTree(p *mpi.Proc, members []int, mine []*trace.Node, filter bool, 
 	if pos < 0 {
 		return mine
 	}
+	// Default causal label (tag distinguishes rounds); core's explicit
+	// "merge:<cause>" context, when set, takes precedence.
+	defer p.CausalContextDefault("merge", tag)()
 	model := p.Model()
 	world := p.World()
 	o := p.Obs()
