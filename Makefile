@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test test-race test-faults bench bench-causal bench-faults clean
+.PHONY: all check test test-race test-faults bench bench-causal bench-faults bench-refactor clean
 
 all: check test
 
@@ -33,6 +33,14 @@ bench-causal:
 	BENCH_CAUSAL_OUT=$(CURDIR)/BENCH_causal.json $(GO) test -run TestCausalBenchReport -v .
 	$(GO) test -bench 'BenchmarkCausalOverhead' -benchmem .
 
+# bench-refactor: price the interned hot path (record -> compress ->
+# merge pipeline on PHASE and STENCIL) against the pre-refactor baseline
+# recorded in bench_refactor_test.go; writes BENCH_refactor.json and
+# fails unless allocs/op dropped by at least 30%.
+bench-refactor:
+	BENCH_REFACTOR_OUT=$(CURDIR)/BENCH_refactor.json $(GO) test -run TestRefactorBenchReport -v .
+	$(GO) test -bench 'BenchmarkRecordCompressMerge' -benchmem .
+
 # test-faults: the fault-injection suite, including the
 # crash-at-every-marker sweep over the PHASE and STENCIL examples
 # (see docs/FAULTS.md).
@@ -47,4 +55,5 @@ bench-faults:
 
 clean:
 	rm -f BENCH_obs.json BENCH_causal.json BENCH_fault.json \
+		BENCH_refactor.json \
 		chameleon.journal.jsonl chameleon.trace.json chameleon.edges.jsonl

@@ -1,0 +1,241 @@
+// Refactor benchmark harness: prices the hot tracing path — per-event
+// record (stack capture, window signatures, intra-node compression) and
+// the pairwise inter-node merge — on the PHASE and STENCIL event shapes.
+// `make bench-refactor` runs TestRefactorBenchReport, which executes the
+// same pipelines under testing.Benchmark and writes BENCH_refactor.json
+// with the measured ns/op and allocs/op next to the baseline recorded on
+// main before the call-site interning refactor.
+//
+//	go test -bench 'BenchmarkRecordCompressMerge' -benchmem
+package chameleon_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"chameleon/internal/mpi"
+	"chameleon/internal/trace"
+	"chameleon/internal/tracer"
+	"chameleon/internal/vtime"
+)
+
+// The per-step MPI call shapes of the two fault-suite skeletons. Each
+// entry is recorded through its own call site (siteFns below) so the
+// stack-signature machinery sees genuinely distinct backtraces, like the
+// distinct w.Send/w.Recv lines of the real apps.
+var (
+	// PHASE halo phase: two Sendrecv exchanges per step.
+	phaseShape = []mpi.CallInfo{
+		{Op: mpi.OpSendrecv, Comm: mpi.CommWorld, Dest: 1, Src: 3, Root: mpi.NoPeer, Tag: 11, Bytes: 8192},
+		{Op: mpi.OpSendrecv, Comm: mpi.CommWorld, Dest: 3, Src: 1, Root: mpi.NoPeer, Tag: 12, Bytes: 8192},
+	}
+	// STENCIL interior rank: four halo sends, four receives, one
+	// allreduce per step.
+	stencilShape = []mpi.CallInfo{
+		{Op: mpi.OpSend, Comm: mpi.CommWorld, Dest: 1, Src: mpi.NoPeer, Root: mpi.NoPeer, Tag: 1, Bytes: 4096},
+		{Op: mpi.OpSend, Comm: mpi.CommWorld, Dest: 2, Src: mpi.NoPeer, Root: mpi.NoPeer, Tag: 2, Bytes: 4096},
+		{Op: mpi.OpSend, Comm: mpi.CommWorld, Dest: 3, Src: mpi.NoPeer, Root: mpi.NoPeer, Tag: 3, Bytes: 4096},
+		{Op: mpi.OpSend, Comm: mpi.CommWorld, Dest: 0, Src: mpi.NoPeer, Root: mpi.NoPeer, Tag: 4, Bytes: 4096},
+		{Op: mpi.OpRecv, Comm: mpi.CommWorld, Dest: mpi.NoPeer, Src: 2, Root: mpi.NoPeer, Tag: 1, Bytes: 4096},
+		{Op: mpi.OpRecv, Comm: mpi.CommWorld, Dest: mpi.NoPeer, Src: 1, Root: mpi.NoPeer, Tag: 2, Bytes: 4096},
+		{Op: mpi.OpRecv, Comm: mpi.CommWorld, Dest: mpi.NoPeer, Src: 0, Root: mpi.NoPeer, Tag: 3, Bytes: 4096},
+		{Op: mpi.OpRecv, Comm: mpi.CommWorld, Dest: mpi.NoPeer, Src: 3, Root: mpi.NoPeer, Tag: 4, Bytes: 4096},
+		{Op: mpi.OpAllreduce, Comm: mpi.CommWorld, Dest: mpi.NoPeer, Src: mpi.NoPeer, Root: mpi.NoPeer, Bytes: 8},
+	}
+)
+
+// siteFns gives every pattern position its own call site: each function
+// invokes Record from a distinct source line, so runtime backtraces (and
+// therefore stack signatures) differ per position exactly as they do
+// across the distinct MPI call lines of a real application.
+//
+//go:noinline
+func recSite0(r *tracer.Recorder, ci *mpi.CallInfo, t vtime.Time) { r.Record(ci, t, 0) }
+
+//go:noinline
+func recSite1(r *tracer.Recorder, ci *mpi.CallInfo, t vtime.Time) { r.Record(ci, t, 0) }
+
+//go:noinline
+func recSite2(r *tracer.Recorder, ci *mpi.CallInfo, t vtime.Time) { r.Record(ci, t, 0) }
+
+//go:noinline
+func recSite3(r *tracer.Recorder, ci *mpi.CallInfo, t vtime.Time) { r.Record(ci, t, 0) }
+
+//go:noinline
+func recSite4(r *tracer.Recorder, ci *mpi.CallInfo, t vtime.Time) { r.Record(ci, t, 0) }
+
+//go:noinline
+func recSite5(r *tracer.Recorder, ci *mpi.CallInfo, t vtime.Time) { r.Record(ci, t, 0) }
+
+//go:noinline
+func recSite6(r *tracer.Recorder, ci *mpi.CallInfo, t vtime.Time) { r.Record(ci, t, 0) }
+
+//go:noinline
+func recSite7(r *tracer.Recorder, ci *mpi.CallInfo, t vtime.Time) { r.Record(ci, t, 0) }
+
+//go:noinline
+func recSite8(r *tracer.Recorder, ci *mpi.CallInfo, t vtime.Time) { r.Record(ci, t, 0) }
+
+var siteFns = []func(*tracer.Recorder, *mpi.CallInfo, vtime.Time){
+	recSite0, recSite1, recSite2, recSite3, recSite4,
+	recSite5, recSite6, recSite7, recSite8,
+}
+
+// feedShape replays `steps` timesteps of the shape through the recorder,
+// one distinct call site per pattern position.
+func feedShape(r *tracer.Recorder, shape []mpi.CallInfo, steps int, clk vtime.Time) {
+	for s := 0; s < steps; s++ {
+		for i := range shape {
+			siteFns[i](r, &shape[i], clk)
+		}
+	}
+}
+
+// refactorShapes maps the benchmark names to (shape, steps-per-rank).
+var refactorShapes = map[string]struct {
+	shape []mpi.CallInfo
+	steps int
+}{
+	"PHASE":   {phaseShape, 40},
+	"STENCIL": {stencilShape, 60},
+}
+
+// runPipeline performs one record→compress→merge pipeline: ranksN
+// recorders each trace `steps` timesteps of the shape, then the partial
+// traces merge pairwise (the radix-tree unit). It returns the dynamic
+// event count as a sanity check.
+func runPipeline(p *mpi.Proc, app string, ranksN int) uint64 {
+	cfg := refactorShapes[app]
+	seqs := make([][]*trace.Node, ranksN)
+	for r := 0; r < ranksN; r++ {
+		rec := tracer.NewRecorder(p, tracer.SigFull, false)
+		feedShape(rec, cfg.shape, cfg.steps, p.Clock.Now())
+		if rec.Win.Triple().CallPath == 0 {
+			panic("empty window signature")
+		}
+		seqs[r] = rec.TakePartial()
+	}
+	acc := seqs[0]
+	for r := 1; r < ranksN; r++ {
+		m := newPipelineMerger(p.Size())
+		acc = m.Merge(acc, seqs[r])
+	}
+	return trace.DynamicEvents(acc)
+}
+
+// benchPipeline measures the pipeline on one shape.
+func benchPipeline(b *testing.B, app string) {
+	cfg := refactorShapes[app]
+	eventsPerOp := float64(4 * cfg.steps * len(cfg.shape))
+	_, err := mpi.Run(mpi.Config{P: 1}, func(p *mpi.Proc) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if runPipeline(p, app, 4) == 0 {
+				b.Fatal("pipeline produced no events")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*eventsPerOp), "ns/event")
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkRecordCompressMerge(b *testing.B) {
+	for _, app := range []string{"PHASE", "STENCIL"} {
+		b.Run(app, func(b *testing.B) { benchPipeline(b, app) })
+	}
+}
+
+// refactorBaseline holds the numbers measured on main (commit d26d837,
+// immediately before the call-site interning refactor) with the exact
+// harness above: one op = 4 ranks × steps × shape events recorded,
+// compressed and merged.
+var refactorBaseline = map[string]benchNumbers{
+	"PHASE":   {NsPerOp: 355280, AllocsPerOp: 2370, BytesPerOp: 259408},
+	"STENCIL": {NsPerOp: 3144480, AllocsPerOp: 15552, BytesPerOp: 1724674},
+}
+
+type benchNumbers struct {
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Events      uint64 `json:"events_per_op,omitempty"`
+}
+
+// TestRefactorBenchReport (gated by BENCH_REFACTOR_OUT, run via `make
+// bench-refactor`) measures the pipeline and writes BENCH_refactor.json
+// with the before/after table. It fails if the allocation reduction on
+// the record→compress→merge path falls below the 30% the refactor
+// promises.
+func TestRefactorBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_REFACTOR_OUT")
+	if out == "" {
+		t.Skip("set BENCH_REFACTOR_OUT to write BENCH_refactor.json")
+	}
+	type row struct {
+		Baseline  benchNumbers `json:"baseline"`
+		Current   benchNumbers `json:"current"`
+		NsWin     string       `json:"ns_reduction"`
+		AllocsWin string       `json:"allocs_reduction"`
+	}
+	report := struct {
+		BaselineCommit string         `json:"baseline_commit"`
+		Note           string         `json:"note"`
+		Pipelines      map[string]row `json:"pipelines"`
+	}{
+		BaselineCommit: "d26d837",
+		Note:           "one op = 4 ranks x steps x shape events: record (stack capture, window sigs, intra compression) then radix merge",
+		Pipelines:      map[string]row{},
+	}
+	for app := range refactorShapes {
+		app := app
+		res := testing.Benchmark(func(b *testing.B) { benchPipeline(b, app) })
+		cur := benchNumbers{
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		base := refactorBaseline[app]
+		pct := func(before, after int64) string {
+			if before == 0 {
+				return "n/a"
+			}
+			return fmt.Sprintf("%.1f%%", 100*float64(before-after)/float64(before))
+		}
+		report.Pipelines[app] = row{
+			Baseline:  base,
+			Current:   cur,
+			NsWin:     pct(base.NsPerOp, cur.NsPerOp),
+			AllocsWin: pct(base.AllocsPerOp, cur.AllocsPerOp),
+		}
+		t.Logf("%s: ns/op %d -> %d, allocs/op %d -> %d, B/op %d -> %d",
+			app, base.NsPerOp, cur.NsPerOp, base.AllocsPerOp, cur.AllocsPerOp,
+			base.BytesPerOp, cur.BytesPerOp)
+		if base.AllocsPerOp > 0 && float64(cur.AllocsPerOp) > 0.7*float64(base.AllocsPerOp) {
+			t.Errorf("%s: allocs/op %d not >=30%% below baseline %d",
+				app, cur.AllocsPerOp, base.AllocsPerOp)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// newPipelineMerger returns the merger configuration the production
+// radix-tree reduction uses.
+func newPipelineMerger(p int) *trace.Merger {
+	// Owned matches the production MergeOverTree configuration: partials
+	// are detached from their recorders, so the merger may consume both
+	// sides in place instead of deep-copying.
+	return &trace.Merger{P: p, Owned: true}
+}

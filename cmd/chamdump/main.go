@@ -5,6 +5,7 @@
 // Usage:
 //
 //	chamdump lu.trace
+//	chamdump -sites lu.trace   # print the interned call-site table
 package main
 
 import (
@@ -17,9 +18,10 @@ import (
 
 func main() {
 	stats := flag.Bool("stats", false, "print summary statistics only")
+	sites := flag.Bool("sites", false, "print the interned call-site table and exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: chamdump [-stats] trace-file")
+		fmt.Fprintln(os.Stderr, "usage: chamdump [-stats] [-sites] trace-file")
 		os.Exit(2)
 	}
 	f, err := trace.LoadAny(flag.Arg(0))
@@ -32,8 +34,34 @@ func main() {
 	fmt.Printf("# nodes=%d leaves=%d dynamic-events=%d size=%dB\n",
 		trace.NodeCount(f.Nodes), trace.LeafCount(f.Nodes),
 		trace.DynamicEvents(f.Nodes), trace.SizeBytes(f.Nodes))
+	if *sites {
+		printSites(f)
+		return
+	}
 	if *stats {
 		return
 	}
 	fmt.Print(trace.Format(f.Nodes))
+}
+
+// printSites lists the trace's call-site table: one row per distinct
+// interned signature, with function and file:line where the producing
+// process resolved them (v1 traces and cross-process loads may carry
+// signatures only).
+func printSites(f *trace.File) {
+	tab := f.Sites
+	if len(tab) == 0 {
+		tab = f.SiteTable()
+	}
+	fmt.Printf("# sites=%d\n", len(tab))
+	for _, s := range tab {
+		loc := "?"
+		if s.Func != "" {
+			loc = s.Func
+			if s.File != "" {
+				loc = fmt.Sprintf("%s %s:%d", s.Func, s.File, s.Line)
+			}
+		}
+		fmt.Printf("site %4d  sig=%016x  %s\n", s.ID, uint64(s.Sig), loc)
+	}
 }

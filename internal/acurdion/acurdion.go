@@ -47,7 +47,7 @@ func NewCollector(p int) *Collector {
 
 // File packages the global trace for the replayer.
 func (c *Collector) File(p int, benchmark string, filter bool) *trace.File {
-	return &trace.File{
+	f := &trace.File{
 		P:         p,
 		Benchmark: benchmark,
 		Tracer:    "acurdion",
@@ -55,6 +55,8 @@ func (c *Collector) File(p int, benchmark string, filter bool) *trace.File {
 		Filter:    filter,
 		Nodes:     c.Global,
 	}
+	f.Sites = f.SiteTable()
+	return f
 }
 
 // Tracer is the per-rank interposer.

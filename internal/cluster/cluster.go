@@ -115,7 +115,7 @@ func FindTopK(items []Item, k int, algo Algorithm) Result {
 	for i, idx := range chosen {
 		top[i] = its[idx]
 	}
-	isChosen := make(map[int]bool, len(chosen))
+	isChosen := make([]bool, len(its))
 	for _, idx := range chosen {
 		isChosen[idx] = true
 	}
@@ -225,7 +225,7 @@ func selectMedoid(its []Item, k int, dist *int) []int {
 // the item count so runs are reproducible).
 func selectRandom(its []Item, k int) []int {
 	chosen := make([]int, 0, k)
-	seen := make(map[int]bool)
+	seen := make([]bool, len(its))
 	state := uint64(0x9e3779b97f4a7c15)
 	for len(chosen) < k {
 		state += 0x9e3779b97f4a7c15

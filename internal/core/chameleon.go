@@ -126,7 +126,7 @@ func NewCollector(p int) *Collector {
 
 // File packages the online trace for the replayer.
 func (c *Collector) File(p int, benchmark string, filter bool) *trace.File {
-	return &trace.File{
+	f := &trace.File{
 		P:         p,
 		Benchmark: benchmark,
 		Tracer:    "chameleon",
@@ -134,6 +134,8 @@ func (c *Collector) File(p int, benchmark string, filter bool) *trace.File {
 		Filter:    filter,
 		Nodes:     c.Online,
 	}
+	f.Sites = f.SiteTable()
+	return f
 }
 
 // coreMetrics holds the pre-fetched core_* metric handles, shared by
@@ -218,8 +220,10 @@ type Chameleon struct {
 	deadSeen      map[int]bool
 	failoverFlush bool
 
-	// Online trace (rank 0 only).
+	// Online trace (rank 0 only). onlinePool recycles nodes the online
+	// compressor's folds discard.
 	online      trace.Compressor
+	onlinePool  trace.Pool
 	onlineAlloc int
 
 	markerCalls int
@@ -253,6 +257,7 @@ func New(col *Collector, opt Options) func(p *mpi.Proc) mpi.Interposer {
 			reclustering: true,
 		}
 		c.online.Filter = opt.Filter
+		c.online.Pool = &c.onlinePool
 		return c
 	}
 }
@@ -644,9 +649,9 @@ func (c *Chameleon) flushLeads(cause string) {
 	// report separates initial, phase-change, failover, and final merges.
 	defer p.CausalContext("merge:"+cause, round)()
 
-	mine := c.rec.TakePartial()
 	var partial []*trace.Node
 	if c.isLead || (len(c.leads) == 0 && p.Rank() == 0) {
+		mine := c.rec.TakePartial()
 		if c.isLead && c.myVariant {
 			trace.ResolveEndpoints(mine, p.Rank(), p.Size())
 		}
@@ -655,6 +660,9 @@ func (c *Chameleon) flushLeads(cause string) {
 		}
 		partial = tracer.MergeOverTree(p, c.leads, mine,
 			c.opt.Filter, tracer.MergeTag(round+1), vtime.CatInterComp)
+	} else {
+		// Non-lead partials go nowhere; recycle their nodes.
+		c.rec.DiscardPartial()
 	}
 
 	// Route the partial global trace to rank 0 ("if root of Top K list
@@ -680,12 +688,15 @@ func (c *Chameleon) flushLeads(cause string) {
 	if p.Rank() == 0 && partial != nil {
 		before := c.online.SizeBytes()
 		c0 := c.online.Compares
+		// Size the partial before appending: the online compressor owns
+		// (and may fold and recycle) the nodes once appended.
+		partialBytes := trace.SizeBytes(partial)
 		for _, n := range partial {
 			c.online.AppendNode(n)
 		}
 		p.ChargeOverhead(vtime.CatInterComp,
 			vtime.Duration(c.online.Compares-c0)*model.ComparePerOp+
-				vtime.Duration(trace.SizeBytes(partial))*model.MergePerByte)
+				vtime.Duration(partialBytes)*model.MergePerByte)
 		if after := c.online.SizeBytes(); after > before {
 			c.onlineAlloc += after - before
 		}

@@ -32,13 +32,15 @@ func NewCollector(p int) *Collector {
 
 // File packages the collected global trace for the replayer.
 func (c *Collector) File(p int, benchmark string, filter bool) *trace.File {
-	return &trace.File{
+	f := &trace.File{
 		P:         p,
 		Benchmark: benchmark,
 		Tracer:    "scalatrace",
 		Filter:    filter,
 		Nodes:     c.Global,
 	}
+	f.Sites = f.SiteTable()
+	return f
 }
 
 // Options configures the baseline tracer.

@@ -1,0 +1,270 @@
+package sig
+
+// Call-site interning: the process-wide table that maps a backtrace (a
+// PC slice) to a small dense SiteID exactly once, caching the mixed
+// Stack signature alongside. The hot tracing path then pays one hash of
+// the raw PCs and a shard-local lookup per event instead of re-mixing
+// every frame through splitmix64; loop iterations hitting the same call
+// site skip the per-frame fold entirely and everything downstream
+// (windows, compressor, codec) can key on the integer ID.
+//
+// The in-process MPI simulator runs every rank as a goroutine of one
+// process, so the table is shared by all ranks: lookups take only a
+// shard mutex, and the ID → metadata mapping is a copy-on-write slice
+// read without any lock.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SiteID is a dense process-wide identifier of an interned call site.
+// 0 (NoSite) marks events that never went through the intern table
+// (hand-built test events, traces deserialized from the v1 format).
+type SiteID uint32
+
+// NoSite is the zero SiteID.
+const NoSite SiteID = 0
+
+// SiteMeta is the cached metadata of one interned call site.
+type SiteMeta struct {
+	// Sig is the mixed stack signature (FromPCs of the backtrace, or the
+	// verbatim signature for sites interned by signature only).
+	Sig Stack
+	// PCs is the captured backtrace; nil for signature-only sites.
+	PCs []uintptr
+	// Func/File/Line describe the innermost frame, resolved at intern
+	// time for signature-only sites carrying serialized metadata and on
+	// demand (Resolve) for captured ones.
+	Func string
+	File string
+	Line int
+}
+
+// SiteInfo is the serializable form of a call-site table entry.
+type SiteInfo struct {
+	ID   uint32 `json:"id"`
+	Sig  uint64 `json:"sig"`
+	Func string `json:"func,omitempty"`
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+}
+
+const internShards = 64
+
+type internShard struct {
+	mu sync.Mutex
+	// byHash buckets candidate IDs by raw backtrace hash (captured
+	// sites) or by signature value (signature-only sites); candidates
+	// are verified against the stored metadata, so cross-kind key
+	// collisions are harmless.
+	byHash map[uint64][]SiteID
+}
+
+// Table is a sharded, concurrency-safe call-site intern table.
+type Table struct {
+	shards [internShards]internShard
+	// growMu serializes meta growth; meta itself is copy-on-write so
+	// Signature/Meta reads are lock-free.
+	growMu sync.Mutex
+	meta   atomic.Pointer[[]SiteMeta]
+}
+
+// Sites is the process-wide intern table.
+var Sites = NewTable()
+
+// NewTable returns an empty intern table.
+func NewTable() *Table {
+	t := &Table{}
+	empty := make([]SiteMeta, 0)
+	t.meta.Store(&empty)
+	for i := range t.shards {
+		t.shards[i].byHash = make(map[uint64][]SiteID)
+	}
+	return t
+}
+
+// hashPCs folds the raw backtrace into the shard/bucket key. Unlike the
+// signature fold it is order-sensitive (FNV-style), so stacks that would
+// XOR-cancel still land in distinct buckets; collisions only cost a
+// verification pass.
+func hashPCs(pcs []uintptr) uint64 {
+	h := uint64(1469598103934665603)
+	for _, pc := range pcs {
+		h ^= uint64(pc)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func pcsEqual(a, b []uintptr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InternPCs interns a backtrace, returning its SiteID. The first call
+// for a given PC vector computes and caches FromPCs; later calls from
+// any goroutine hit the shard map without touching the frames.
+func (t *Table) InternPCs(pcs []uintptr) SiteID {
+	h := hashPCs(pcs)
+	s := &t.shards[h%internShards]
+	s.mu.Lock()
+	meta := *t.meta.Load()
+	for _, id := range s.byHash[h] {
+		m := &meta[id-1]
+		if m.PCs != nil && pcsEqual(m.PCs, pcs) {
+			s.mu.Unlock()
+			return id
+		}
+	}
+	// Miss: compute the signature and publish the new site. The PC slice
+	// is cloned — the caller's array is usually stack-allocated.
+	own := make([]uintptr, len(pcs))
+	copy(own, pcs)
+	id := t.grow(SiteMeta{Sig: FromPCs(own), PCs: own})
+	s.byHash[h] = append(s.byHash[h], id)
+	s.mu.Unlock()
+	return id
+}
+
+// InternSig interns a site known only by its stack signature (synthetic
+// test events, v1 traces where the backtrace was never serialized). The
+// same signature always returns the same SiteID.
+func (t *Table) InternSig(sig Stack) SiteID {
+	return t.InternSigMeta(SiteInfo{Sig: uint64(sig)})
+}
+
+// InternSigMeta interns a signature-only site carrying serialized
+// metadata (the v2 codec's site-table entries). Metadata of an already
+// interned signature is kept from the first intern.
+func (t *Table) InternSigMeta(info SiteInfo) SiteID {
+	h := uint64(info.Sig)
+	s := &t.shards[h%internShards]
+	s.mu.Lock()
+	meta := *t.meta.Load()
+	for _, id := range s.byHash[h] {
+		m := &meta[id-1]
+		if m.PCs == nil && m.Sig == Stack(info.Sig) {
+			s.mu.Unlock()
+			return id
+		}
+	}
+	id := t.grow(SiteMeta{
+		Sig: Stack(info.Sig), Func: info.Func, File: info.File, Line: info.Line,
+	})
+	s.byHash[h] = append(s.byHash[h], id)
+	s.mu.Unlock()
+	return id
+}
+
+// grow appends one site under the growth lock and publishes the new
+// copy-on-write snapshot. Callers hold a shard lock, which serializes
+// duplicate publication per bucket; distinct shards growing concurrently
+// serialize here.
+func (t *Table) grow(m SiteMeta) SiteID {
+	t.growMu.Lock()
+	old := *t.meta.Load()
+	next := make([]SiteMeta, len(old)+1)
+	copy(next, old)
+	next[len(old)] = m
+	t.meta.Store(&next)
+	t.growMu.Unlock()
+	return SiteID(len(next))
+}
+
+// Signature returns the cached stack signature of an interned site
+// (lock-free; 0 for NoSite).
+func (t *Table) Signature(id SiteID) Stack {
+	if id == NoSite {
+		return 0
+	}
+	return (*t.meta.Load())[id-1].Sig
+}
+
+// Meta returns a copy of the site's metadata (lock-free).
+func (t *Table) Meta(id SiteID) (SiteMeta, bool) {
+	if id == NoSite {
+		return SiteMeta{}, false
+	}
+	meta := *t.meta.Load()
+	if int(id) > len(meta) {
+		return SiteMeta{}, false
+	}
+	return meta[id-1], true
+}
+
+// Len returns the number of interned sites.
+func (t *Table) Len() int { return len(*t.meta.Load()) }
+
+// machineryPrefixes lists function-name prefixes Resolve treats as
+// tracing machinery: the reported frame is the innermost frame outside
+// these packages, so site tables show application call sites rather
+// than the interposer plumbing every backtrace shares.
+var machineryPrefixes = []string{
+	"chameleon/internal/mpi.",
+	"chameleon/internal/tracer.",
+	"chameleon/internal/core.",
+	"chameleon/internal/scalatrace.",
+	"chameleon/internal/acurdion.",
+}
+
+func isMachinery(fn string) bool {
+	for _, p := range machineryPrefixes {
+		if len(fn) >= len(p) && fn[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolve returns the serializable description of a site, resolving
+// captured backtraces on demand (a cold path: only serialization and
+// chamdump call it). The reported frame is the innermost frame outside
+// the tracing machinery, falling back to the innermost frame when the
+// whole backtrace is machinery.
+func (t *Table) Resolve(id SiteID) (SiteInfo, bool) {
+	m, ok := t.Meta(id)
+	if !ok {
+		return SiteInfo{}, false
+	}
+	info := SiteInfo{ID: uint32(id), Sig: uint64(m.Sig), Func: m.Func, File: m.File, Line: m.Line}
+	if info.Func == "" && len(m.PCs) > 0 {
+		frames := runtime.CallersFrames(m.PCs)
+		var innermost runtime.Frame
+		for {
+			fr, more := frames.Next()
+			if innermost.PC == 0 && fr.PC != 0 {
+				innermost = fr
+			}
+			if fr.Function != "" && !isMachinery(fr.Function) {
+				innermost = fr
+				break
+			}
+			if !more {
+				break
+			}
+		}
+		if innermost.PC != 0 {
+			info.Func, info.File, info.Line = innermost.Function, innermost.File, innermost.Line
+		}
+	}
+	return info, true
+}
+
+// CaptureSite walks the current goroutine stack (skipping skip frames
+// above the caller) and interns it, returning the site ID. It replaces
+// Capture on the hot path: the skip arithmetic matches, so CaptureSite
+// observes exactly the frames Capture used to fold.
+func CaptureSite(skip int) SiteID {
+	var pcs [32]uintptr
+	n := runtime.Callers(skip+2, pcs[:])
+	return Sites.InternPCs(pcs[:n])
+}

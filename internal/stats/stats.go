@@ -287,6 +287,12 @@ func (h *Histogram) Clone() *Histogram {
 	return &c
 }
 
+// Reset returns the histogram to its freshly-constructed state so pooled
+// trace nodes can reuse the allocation.
+func (h *Histogram) Reset() {
+	*h = Histogram{Min: math.MaxInt64, Max: math.MinInt64}
+}
+
 // SizeBytes approximates the in-memory footprint of the histogram, used
 // by the trace-space ledger (Table IV).
 func (h *Histogram) SizeBytes() int {

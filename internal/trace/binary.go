@@ -2,13 +2,22 @@ package trace
 
 // Binary trace format: a compact varint encoding of trace files, the
 // analogue of ScalaTrace's on-disk format (the JSON form is for
-// debugging and interchange). Layout:
+// debugging and interchange).
 //
-//	magic "CHAMTRC1"
+// Version 2 ("CHAMTRC2", written by WriteBinary) interns call sites into
+// a file-local table so every leaf stores a small varint index instead
+// of its full 64-bit stack signature:
+//
+//	magic "CHAMTRC2"
 //	varint P, flags byte (clustered, filter), strings benchmark/tracer
+//	site table: varint count, then per site:
+//	  uvarint signature, strings func/file, varint line
 //	varint node count, then nodes depth-first:
-//	  0x01 leaf:  op, stack, comm, tag, bytes, dest, src, ranklist, hist
+//	  0x01 leaf:  op, site-index, comm, tag, bytes, dest, src, ranklist, hist
 //	  0x02 loop:  iters, optional iters-hist, body count, body nodes
+//
+// Version 1 ("CHAMTRC1") had no site table and stored the raw stack
+// signature on each leaf; ReadBinary still reads it.
 //
 // Everything integer is unsigned/signed varint; histograms store count,
 // min, max, mean and the sparse bucket set.
@@ -27,7 +36,10 @@ import (
 	"chameleon/internal/stats"
 )
 
-var binaryMagic = [8]byte{'C', 'H', 'A', 'M', 'T', 'R', 'C', '1'}
+var (
+	binaryMagicV1 = [8]byte{'C', 'H', 'A', 'M', 'T', 'R', 'C', '1'}
+	binaryMagicV2 = [8]byte{'C', 'H', 'A', 'M', 'T', 'R', 'C', '2'}
+)
 
 const (
 	tagLeaf byte = 0x01
@@ -119,10 +131,11 @@ func (b *binReader) str() string {
 	return string(buf)
 }
 
-// WriteBinary serializes the trace file in the compact binary format.
+// WriteBinary serializes the trace file in the compact binary format
+// (version 2: site-indexed leaves behind a file-local call-site table).
 func (f *File) WriteBinary(w io.Writer) error {
 	bw := &binWriter{w: bufio.NewWriter(w)}
-	if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+	if _, err := bw.w.Write(binaryMagicV2[:]); err != nil {
 		return err
 	}
 	bw.uvarint(uint64(f.P))
@@ -136,31 +149,66 @@ func (f *File) WriteBinary(w io.Writer) error {
 	bw.byte(flags)
 	bw.str(f.Benchmark)
 	bw.str(f.Tracer)
-	writeSeq(bw, f.Nodes)
+	index := make(map[uint64]int)
+	sites := collectSites(f.Nodes, index, nil)
+	bw.uvarint(uint64(len(sites)))
+	for _, s := range sites {
+		bw.uvarint(s.Sig)
+		bw.str(s.Func)
+		bw.str(s.File)
+		bw.varint(int64(s.Line))
+	}
+	writeSeq(bw, f.Nodes, index)
 	if bw.err != nil {
 		return bw.err
 	}
 	return bw.w.Flush()
 }
 
-func writeSeq(bw *binWriter, seq []*Node) {
+// collectSites walks the sequence and assigns every distinct call-site
+// signature a dense file-local index in first-appearance order,
+// resolving function/file/line metadata through the process intern
+// table when the leaf carries an interned SiteID.
+func collectSites(seq []*Node, index map[uint64]int, sites []sig.SiteInfo) []sig.SiteInfo {
+	for _, n := range seq {
+		if n.IsLoop() {
+			sites = collectSites(n.Body, index, sites)
+			continue
+		}
+		k := uint64(n.Ev.Stack)
+		if _, ok := index[k]; ok {
+			continue
+		}
+		info := sig.SiteInfo{ID: uint32(len(sites)), Sig: k}
+		if n.Ev.Site != sig.NoSite {
+			if ri, ok := sig.Sites.Resolve(n.Ev.Site); ok && ri.Sig == k {
+				info.Func, info.File, info.Line = ri.Func, ri.File, ri.Line
+			}
+		}
+		index[k] = len(sites)
+		sites = append(sites, info)
+	}
+	return sites
+}
+
+func writeSeq(bw *binWriter, seq []*Node, index map[uint64]int) {
 	bw.uvarint(uint64(len(seq)))
 	for _, n := range seq {
-		writeNode(bw, n)
+		writeNode(bw, n, index)
 	}
 }
 
-func writeNode(bw *binWriter, n *Node) {
+func writeNode(bw *binWriter, n *Node, index map[uint64]int) {
 	if n.IsLoop() {
 		bw.byte(tagLoop)
 		bw.uvarint(n.Iters)
 		writeHist(bw, n.ItersHist)
-		writeSeq(bw, n.Body)
+		writeSeq(bw, n.Body, index)
 		return
 	}
 	bw.byte(tagLeaf)
 	bw.uvarint(uint64(n.Ev.Op))
-	bw.uvarint(uint64(n.Ev.Stack))
+	bw.uvarint(uint64(index[uint64(n.Ev.Stack)]))
 	bw.varint(int64(n.Ev.Comm))
 	bw.varint(int64(n.Ev.Tag))
 	bw.varint(int64(n.Ev.Bytes))
@@ -214,14 +262,28 @@ func writeHist(bw *binWriter, h *stats.Histogram) {
 	}
 }
 
-// ReadBinary deserializes a binary trace file.
+// decodeSites is the deserialized file-local site table: leaf indices
+// map through it to stack signatures and process-interned SiteIDs. nil
+// for version-1 files (leaves carry raw signatures).
+type decodeSites struct {
+	sigs []sig.Stack
+	ids  []sig.SiteID
+}
+
+// ReadBinary deserializes a binary trace file (either format version).
 func ReadBinary(r io.Reader) (*File, error) {
 	br := &binReader{r: bufio.NewReader(r)}
 	var magic [8]byte
 	if _, err := io.ReadFull(br.r, magic[:]); err != nil {
 		return nil, fmt.Errorf("trace: read magic: %w", err)
 	}
-	if magic != binaryMagic {
+	var version int
+	switch magic {
+	case binaryMagicV1:
+		version = 1
+	case binaryMagicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("trace: not a binary trace file")
 	}
 	f := &File{}
@@ -231,7 +293,11 @@ func ReadBinary(r io.Reader) (*File, error) {
 	f.Filter = flags&2 != 0
 	f.Benchmark = br.str()
 	f.Tracer = br.str()
-	f.Nodes = readSeq(br, 0)
+	var sites *decodeSites
+	if version >= 2 {
+		sites = readSiteTable(br, f)
+	}
+	f.Nodes = readSeq(br, 0, sites)
 	if br.err != nil {
 		return nil, fmt.Errorf("trace: decode binary: %w", br.err)
 	}
@@ -241,9 +307,39 @@ func ReadBinary(r io.Reader) (*File, error) {
 	return f, nil
 }
 
+// readSiteTable decodes the v2 call-site table, re-interning each entry
+// into the process table (so decoded events get live SiteIDs) and
+// recording the serializable form on the file.
+func readSiteTable(br *binReader, f *File) *decodeSites {
+	n := br.uvarint()
+	if br.err != nil || n > 1<<20 {
+		if br.err == nil {
+			br.err = fmt.Errorf("trace: site table too large")
+		}
+		return nil
+	}
+	ds := &decodeSites{
+		sigs: make([]sig.Stack, 0, n),
+		ids:  make([]sig.SiteID, 0, n),
+	}
+	for i := uint64(0); i < n && br.err == nil; i++ {
+		info := sig.SiteInfo{
+			ID:   uint32(i),
+			Sig:  br.uvarint(),
+			Func: br.str(),
+			File: br.str(),
+			Line: int(br.varint()),
+		}
+		ds.sigs = append(ds.sigs, sig.Stack(info.Sig))
+		ds.ids = append(ds.ids, sig.Sites.InternSigMeta(info))
+		f.Sites = append(f.Sites, info)
+	}
+	return ds
+}
+
 const maxBinaryDepth = 64
 
-func readSeq(br *binReader, depth int) []*Node {
+func readSeq(br *binReader, depth int, sites *decodeSites) []*Node {
 	if depth > maxBinaryDepth {
 		br.err = fmt.Errorf("trace: nesting too deep")
 		return nil
@@ -257,17 +353,17 @@ func readSeq(br *binReader, depth int) []*Node {
 	}
 	seq := make([]*Node, 0, n)
 	for i := uint64(0); i < n && br.err == nil; i++ {
-		seq = append(seq, readNode(br, depth))
+		seq = append(seq, readNode(br, depth, sites))
 	}
 	return seq
 }
 
-func readNode(br *binReader, depth int) *Node {
+func readNode(br *binReader, depth int, sites *decodeSites) *Node {
 	switch br.byte() {
 	case tagLoop:
 		node := &Node{Iters: br.uvarint()}
 		node.ItersHist = readHist(br)
-		node.Body = readSeq(br, depth+1)
+		node.Body = readSeq(br, depth+1, sites)
 		if node.Body == nil {
 			node.Body = []*Node{}
 		}
@@ -275,7 +371,20 @@ func readNode(br *binReader, depth int) *Node {
 	case tagLeaf:
 		node := &Node{}
 		node.Ev.Op = mpi.OpCode(br.uvarint())
-		node.Ev.Stack = sig.Stack(br.uvarint())
+		if sites != nil {
+			idx := br.uvarint()
+			if idx >= uint64(len(sites.sigs)) {
+				if br.err == nil {
+					br.err = fmt.Errorf("trace: site index %d out of range", idx)
+				}
+				node.Delta = stats.NewHistogram()
+				return node
+			}
+			node.Ev.Stack = sites.sigs[idx]
+			node.Ev.Site = sites.ids[idx]
+		} else {
+			node.Ev.Stack = sig.Stack(br.uvarint())
+		}
 		node.Ev.Comm = mpi.CommID(br.varint())
 		node.Ev.Tag = int(br.varint())
 		node.Ev.Bytes = int(br.varint())
@@ -378,7 +487,7 @@ func LoadAny(path string) (*File, error) {
 	defer in.Close()
 	br := bufio.NewReader(in)
 	head, err := br.Peek(8)
-	if err == nil && [8]byte(head) == binaryMagic {
+	if err == nil && ([8]byte(head) == binaryMagicV1 || [8]byte(head) == binaryMagicV2) {
 		return ReadBinary(br)
 	}
 	return Read(br)

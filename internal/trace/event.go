@@ -123,6 +123,12 @@ func (e Endpoint) SigValue() (int, bool) {
 type Event struct {
 	Op    mpi.OpCode
 	Stack sig.Stack
+	// Site is the interned call-site ID behind Stack (sig.NoSite for
+	// events that never passed through the intern table: hand-built test
+	// events and traces read from the v1 binary format). It is derived
+	// state — Stack == sig.Sites.Signature(Site) whenever set — so it is
+	// excluded from equality and from the JSON encoding.
+	Site  sig.SiteID `json:"-"`
 	Comm  mpi.CommID
 	Dest  Endpoint // destination (sends) or root (rooted collectives)
 	Src   Endpoint // source (receives)
@@ -131,8 +137,13 @@ type Event struct {
 }
 
 // Equal reports exact parameter equality (the intra-node fold criterion:
-// "alternating send/receive calls with identical parameters").
-func (e Event) Equal(o Event) bool { return e == o }
+// "alternating send/receive calls with identical parameters"). Site is
+// ignored: it is a cache of Stack's identity, and traces mixing interned
+// and uninterned events (e.g. replayed v1 segments) must still fold.
+func (e Event) Equal(o Event) bool {
+	return e.Op == o.Op && e.Stack == o.Stack && e.Comm == o.Comm &&
+		e.Dest == o.Dest && e.Src == o.Src && e.Tag == o.Tag && e.Bytes == o.Bytes
+}
 
 // String renders the event compactly.
 func (e Event) String() string {

@@ -30,7 +30,16 @@ type Merger struct {
 	Filter bool
 	// P is the rank count, used to normalize absolute end-points; 0
 	// disables normalization.
-	P     int
+	P int
+	// Owned declares that the merger owns both input sequences: matched
+	// pairs merge in place into the left node, unmatched nodes move into
+	// the output without deep copies, and consumed right-side nodes are
+	// recycled into Pool. The inputs are unusable afterwards. Cost
+	// accounting (Compares, BytesMerged) is identical to the cloning
+	// mode, so the virtual-time charges do not change.
+	Owned bool
+	// Pool receives the nodes an Owned merge consumes (optional).
+	Pool  *Pool
 	Stats MergeStats
 }
 
@@ -84,9 +93,13 @@ func (m *Merger) nodeMatch(a, b *Node) bool {
 	return true
 }
 
-// mergeNode combines two matching nodes into a fresh node covering both
-// rank sets.
+// mergeNode combines two matching nodes into a node covering both rank
+// sets: a fresh deep copy by default, or a in place (consuming b) when
+// the merger owns its inputs.
 func (m *Merger) mergeNode(a, b *Node) *Node {
+	if m.Owned {
+		return m.mergeNodeOwned(a, b)
+	}
 	if a.IsLoop() {
 		body := make([]*Node, len(a.Body))
 		for i := range a.Body {
@@ -110,6 +123,52 @@ func (m *Merger) mergeNode(a, b *Node) *Node {
 	return out
 }
 
+// mergeNodeOwned is mergeNode without the copies: statistics fold into
+// a's own storage and b's carcass recycles. The values produced — node
+// contents and BytesMerged — are exactly those of the cloning path.
+func (m *Merger) mergeNodeOwned(a, b *Node) *Node {
+	if a.IsLoop() {
+		for i := range a.Body {
+			a.Body[i] = m.mergeNodeOwned(a.Body[i], b.Body[i])
+		}
+		if m.Filter && (a.Iters != b.Iters || a.ItersHist != nil || b.ItersHist != nil) {
+			mergeItersHistInto(a, b)
+		}
+		m.Stats.BytesMerged += a.SizeBytes()
+		// The recursion above already consumed (and recycled) b's body.
+		b.Body = nil
+		m.Pool.Put(b)
+		return a
+	}
+	// End-points must merge before a's rank list unions: the encoding
+	// rules depend on each side's own rank set.
+	dest, _ := m.mergeEndpoint(a.Ev.Dest, a, b.Ev.Dest, b)
+	src, _ := m.mergeEndpoint(a.Ev.Src, a, b.Ev.Src, b)
+	a.Ev.Dest = dest
+	a.Ev.Src = src
+	a.Ranks = a.Ranks.Union(b.Ranks)
+	a.Delta.Merge(b.Delta)
+	m.Stats.BytesMerged += a.SizeBytes()
+	m.Pool.Put(b)
+	return a
+}
+
+// mergeItersHistInto is the in-place form of mergedItersHist: it leaves
+// a.ItersHist holding exactly the histogram the cloning path would have
+// built (merging into an empty histogram copies it bitwise, so folding b
+// into a's existing histogram is equivalent).
+func mergeItersHistInto(a, b *Node) {
+	if a.ItersHist == nil {
+		a.ItersHist = stats.NewHistogram()
+		a.ItersHist.Add(int64(a.Iters))
+	}
+	if b.ItersHist != nil {
+		a.ItersHist.Merge(b.ItersHist)
+	} else {
+		a.ItersHist.Add(int64(b.Iters))
+	}
+}
+
 func mergedItersHist(a, b *Node) *stats.Histogram {
 	h := stats.NewHistogram()
 	if a.ItersHist != nil {
@@ -125,9 +184,21 @@ func mergedItersHist(a, b *Node) *stats.Histogram {
 	return h
 }
 
+// take emits an unmatched node into the output: moved verbatim when the
+// merger owns its inputs, deep-copied otherwise. BytesMerged accounting
+// is the same either way.
+func (m *Merger) take(n *Node) *Node {
+	m.Stats.BytesMerged += n.SizeBytes()
+	if m.Owned {
+		return n
+	}
+	return n.Clone()
+}
+
 // Merge aligns and merges two compressed sequences, returning the merged
 // sequence. Unmatched nodes are preserved in order (interleaved at their
-// alignment position), so no MPI event is ever dropped.
+// alignment position), so no MPI event is ever dropped. With Owned set,
+// both inputs are consumed (see Merger.Owned).
 func (m *Merger) Merge(a, b []*Node) []*Node {
 	out := make([]*Node, 0, len(a)+len(b))
 	i, j := 0, 0
@@ -144,35 +215,29 @@ func (m *Merger) Merge(a, b []*Node) []*Node {
 		case ai >= 0 && (bj < 0 || ai <= bj):
 			// a[i..i+ai) is unmatched; emit it.
 			for k := 0; k < ai; k++ {
-				out = append(out, a[i].Clone())
-				m.Stats.BytesMerged += a[i].SizeBytes()
+				out = append(out, m.take(a[i]))
 				i++
 			}
 		case bj >= 0:
 			for k := 0; k < bj; k++ {
-				out = append(out, b[j].Clone())
-				m.Stats.BytesMerged += b[j].SizeBytes()
+				out = append(out, m.take(b[j]))
 				j++
 			}
 		default:
 			// No re-sync within the look-ahead: emit both heads.
-			out = append(out, a[i].Clone())
-			m.Stats.BytesMerged += a[i].SizeBytes()
+			out = append(out, m.take(a[i]))
 			i++
 			if j < len(b) {
-				out = append(out, b[j].Clone())
-				m.Stats.BytesMerged += b[j].SizeBytes()
+				out = append(out, m.take(b[j]))
 				j++
 			}
 		}
 	}
 	for ; i < len(a); i++ {
-		out = append(out, a[i].Clone())
-		m.Stats.BytesMerged += a[i].SizeBytes()
+		out = append(out, m.take(a[i]))
 	}
 	for ; j < len(b); j++ {
-		out = append(out, b[j].Clone())
-		m.Stats.BytesMerged += b[j].SizeBytes()
+		out = append(out, m.take(b[j]))
 	}
 	return out
 }

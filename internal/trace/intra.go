@@ -35,6 +35,15 @@ type Compressor struct {
 	Filter bool
 	// Compares counts structural comparisons performed (cost accounting).
 	Compares int
+	// Pool, when set, receives the nodes the absorb/create folds discard,
+	// so steady-state recording reuses instead of reallocating them. It
+	// must be owned by the same goroutine as the compressor.
+	Pool *Pool
+
+	// size is the exact footprint of Seq in SizeBytes terms, maintained
+	// incrementally (leaf histograms have constant footprint, so only
+	// appends, folds and iteration-histogram creation can change it).
+	size int
 }
 
 func (c *Compressor) window() int {
@@ -46,6 +55,7 @@ func (c *Compressor) window() int {
 
 // AppendLeaf records one event and re-folds the tail.
 func (c *Compressor) AppendLeaf(n *Node) {
+	c.size += n.SizeBytes()
 	c.Seq = append(c.Seq, n)
 	for c.fold() {
 	}
@@ -54,6 +64,7 @@ func (c *Compressor) AppendLeaf(n *Node) {
 // AppendNode appends a pre-built node (used when growing the online
 // global trace from flushed segments) and re-folds the tail.
 func (c *Compressor) AppendNode(n *Node) {
+	c.size += n.SizeBytes()
 	c.Seq = append(c.Seq, n)
 	for c.fold() {
 	}
@@ -98,7 +109,8 @@ func (c *Compressor) absorb() bool {
 			continue
 		}
 		for k := 0; k < m; k++ {
-			MergeInto(loop.Body[k], run[k], c.Filter)
+			c.size += MergeInto(loop.Body[k], run[k], c.Filter) - run[k].SizeBytes()
+			c.Pool.Put(run[k])
 		}
 		loop.Iters++
 		c.Seq = c.Seq[:n-m]
@@ -130,9 +142,11 @@ func (c *Compressor) create() bool {
 		body := make([]*Node, L)
 		for k := 0; k < L; k++ {
 			body[k] = a[k]
-			MergeInto(body[k], b[k], c.Filter)
+			c.size += MergeInto(body[k], b[k], c.Filter) - b[k].SizeBytes()
+			c.Pool.Put(b[k])
 		}
-		loop := NewLoop(2, body)
+		loop := c.Pool.Loop(2, body)
+		c.size += 16 + 24 // the new loop node's own overhead (see Node.SizeBytes)
 		c.Seq = append(c.Seq[:n-2*L], loop)
 		return true
 	}
@@ -140,12 +154,17 @@ func (c *Compressor) create() bool {
 }
 
 // Reset clears the sequence (Chameleon deletes partial traces after each
-// flush) and returns the old one.
+// flush) and returns the old one. Ownership of the returned nodes moves
+// to the caller — recycle them via Pool.PutSeq when they are discarded
+// rather than handed on.
 func (c *Compressor) Reset() []*Node {
 	old := c.Seq
 	c.Seq = nil
+	c.size = 0
 	return old
 }
 
-// SizeBytes reports the current compressed trace footprint.
-func (c *Compressor) SizeBytes() int { return SizeBytes(c.Seq) }
+// SizeBytes reports the current compressed trace footprint. It is O(1):
+// the compressor maintains the byte count incrementally across appends
+// and folds.
+func (c *Compressor) SizeBytes() int { return c.size }

@@ -96,16 +96,21 @@ func SeqStructuralEqual(a, b []*Node, filter bool) bool {
 }
 
 // MergeInto folds src's statistics into dst. Both must be structurally
-// equal under the given filter setting.
-func MergeInto(dst, src *Node, filter bool) {
+// equal under the given filter setting. It returns the number of bytes
+// dst grew by (only the creation of an iteration-count histogram changes
+// a node's footprint), so the compressor can track its size exactly
+// without re-walking the sequence.
+func MergeInto(dst, src *Node, filter bool) int {
 	if !dst.IsLoop() {
 		dst.Delta.Merge(src.Delta)
-		return
+		return 0
 	}
+	grown := 0
 	if filter && dst.Iters != src.Iters {
 		if dst.ItersHist == nil {
 			dst.ItersHist = stats.NewHistogram()
 			dst.ItersHist.Add(int64(dst.Iters))
+			grown += dst.ItersHist.SizeBytes()
 		}
 		dst.ItersHist.Add(int64(src.Iters))
 		if src.ItersHist != nil {
@@ -113,8 +118,9 @@ func MergeInto(dst, src *Node, filter bool) {
 		}
 	}
 	for i := range dst.Body {
-		MergeInto(dst.Body[i], src.Body[i], filter)
+		grown += MergeInto(dst.Body[i], src.Body[i], filter)
 	}
+	return grown
 }
 
 // MeanIters returns the loop trip count to use during replay: the exact

@@ -1,0 +1,96 @@
+package trace
+
+// Node pooling for the per-rank hot path. Every recorded MPI event costs
+// a Node and a Histogram; the compressor's absorb/create folds then
+// discard most of them within a few events. A Pool keeps those carcasses
+// on free lists so steady-state recording allocates nothing.
+//
+// Pools are intentionally lock-free and goroutine-local: each recorder
+// (one per simulated rank) owns one, and nodes recycled into a pool may
+// only be touched by that pool's owner afterwards. Ownership of live
+// nodes is linear — TakePartial hands a sequence away, the radix-tree
+// merge consumes both inputs (Merger.Owned), and the online compressor
+// folds what reaches rank 0 — so a node is never reachable from two
+// places when it dies.
+
+import (
+	"chameleon/internal/ranklist"
+	"chameleon/internal/stats"
+)
+
+// Pool is a free list of trace nodes and delta histograms. The zero
+// value is ready to use; a nil *Pool is valid and falls back to plain
+// allocation everywhere.
+type Pool struct {
+	nodes []*Node
+	hists []*stats.Histogram
+}
+
+// Leaf builds a leaf node for one observed event, reusing pooled
+// storage. It is the pooled analogue of NewLeaf.
+func (p *Pool) Leaf(ev Event, ranks ranklist.List, deltaNs int64) *Node {
+	h := p.hist()
+	h.Add(deltaNs)
+	n := p.node()
+	n.Ev = ev
+	n.Ranks = ranks
+	n.Delta = h
+	return n
+}
+
+// Loop builds a loop node from pooled storage.
+func (p *Pool) Loop(iters uint64, body []*Node) *Node {
+	n := p.node()
+	n.Iters = iters
+	n.Body = body
+	return n
+}
+
+func (p *Pool) node() *Node {
+	if p == nil || len(p.nodes) == 0 {
+		return &Node{}
+	}
+	n := p.nodes[len(p.nodes)-1]
+	p.nodes = p.nodes[:len(p.nodes)-1]
+	return n
+}
+
+func (p *Pool) hist() *stats.Histogram {
+	if p == nil || len(p.hists) == 0 {
+		return stats.NewHistogram()
+	}
+	h := p.hists[len(p.hists)-1]
+	p.hists = p.hists[:len(p.hists)-1]
+	h.Reset()
+	return h
+}
+
+// Put recycles one node and everything it owns (its histogram, and for
+// loops the whole body subtree). The caller must be the node's sole
+// owner.
+func (p *Pool) Put(n *Node) {
+	if p == nil || n == nil {
+		return
+	}
+	if n.Delta != nil {
+		p.hists = append(p.hists, n.Delta)
+	}
+	if n.ItersHist != nil {
+		p.hists = append(p.hists, n.ItersHist)
+	}
+	for _, c := range n.Body {
+		p.Put(c)
+	}
+	*n = Node{}
+	p.nodes = append(p.nodes, n)
+}
+
+// PutSeq recycles a whole detached sequence (a discarded partial trace).
+func (p *Pool) PutSeq(seq []*Node) {
+	if p == nil {
+		return
+	}
+	for _, n := range seq {
+		p.Put(n)
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"chameleon/internal/sig"
 	"chameleon/internal/stats"
 
 	"encoding/json"
@@ -26,8 +27,20 @@ type File struct {
 	// Retired lists ranks that crash-stopped during the traced run (their
 	// events end at the crash marker; empty for fault-free runs).
 	Retired []int `json:"retired,omitempty"`
+	// Sites is the interned call-site table of the trace: one entry per
+	// distinct stack signature, with resolved function/file:line where
+	// known. The binary codec always persists it (v2 format); producers
+	// populate it via SiteTable.
+	Sites []sig.SiteInfo `json:"sites,omitempty"`
 	// Nodes is the compressed global trace.
 	Nodes []*Node `json:"nodes"`
+}
+
+// SiteTable computes the file's call-site table from its node sequence:
+// distinct signatures in first-appearance order, with metadata resolved
+// through the process intern table where leaves carry SiteIDs.
+func (f *File) SiteTable() []sig.SiteInfo {
+	return collectSites(f.Nodes, make(map[uint64]int), nil)
 }
 
 // nodeJSON mirrors Node for serialization (Node itself would marshal

@@ -53,7 +53,10 @@ func MergeOverTree(p *mpi.Proc, members []int, mine []*trace.Node, filter bool, 
 		p.Ledger.Charge(cat, vtime.Duration(p.Clock.Now()-t0))
 		o.Span(p.Rank(), "merge-wait", obs.CatTracer, t0, p.Clock.Now())
 		child, _ := msg.Payload.([]*trace.Node)
-		m := trace.Merger{Filter: filter, P: p.Size()}
+		// Ownership is linear along the tree: the child rank sent its
+		// sequence away and this rank's acc is not referenced elsewhere,
+		// so the merger consumes both in place instead of deep-copying.
+		m := trace.Merger{Filter: filter, P: p.Size(), Owned: true}
 		acc = m.Merge(acc, child)
 		p.ChargeOverhead(cat,
 			model.MergeFixed+

@@ -37,10 +37,16 @@ const (
 // dynamic event — a per-event XOR would self-cancel over long repetitive
 // windows because every signature recurs under every (seq%10)+1
 // multiplier an even number of times.
+//
+// Sites are tracked by their interned SiteID: the occurrence counters
+// live in a dense slice indexed by site, so the steady state of a
+// repetitive window (every site already seen) allocates nothing and
+// never touches a hash map.
 type Window struct {
 	mode   SigMode
-	order  []uint64          // distinct stacks in first-seen order
-	counts map[uint64]uint64 // occurrences per stack
+	order  []sig.SiteID // distinct sites in first-seen order
+	counts []uint64     // occurrences, parallel to order
+	pos    []int32      // SiteID → 1-based index into order; 0 = unseen
 	src    sig.Endpoint
 	dest   sig.Endpoint
 	events uint64
@@ -48,17 +54,31 @@ type Window struct {
 
 // NewWindow returns an empty accumulator in the given mode.
 func NewWindow(mode SigMode) *Window {
-	return &Window{mode: mode, counts: make(map[uint64]uint64)}
+	return &Window{mode: mode}
 }
 
-// Add folds one event into the window.
+// Add folds one event into the window. Events without an interned site
+// (hand-built tests, v1 traces) are interned by signature on the fly, so
+// identical signatures still collapse onto one accumulator slot.
 func (w *Window) Add(ev trace.Event) {
 	w.events++
-	s := uint64(ev.Stack)
-	if _, seen := w.counts[s]; !seen {
-		w.order = append(w.order, s)
+	site := ev.Site
+	if site == sig.NoSite {
+		site = sig.Sites.InternSig(ev.Stack)
 	}
-	w.counts[s]++
+	if int(site) >= len(w.pos) {
+		grown := make([]int32, int(site)+16)
+		copy(grown, w.pos)
+		w.pos = grown
+	}
+	p := w.pos[site]
+	if p == 0 {
+		w.order = append(w.order, site)
+		w.counts = append(w.counts, 0)
+		p = int32(len(w.order))
+		w.pos[site] = p
+	}
+	w.counts[p-1]++
 	if v, ok := ev.Src.SigValue(); ok {
 		w.src.Add(v)
 	}
@@ -72,13 +92,14 @@ func (w *Window) Add(ev trace.Event) {
 // multiplier so permuted call sequences cannot cancel. SigFull folds the
 // occurrence count into the term (repetition-count sensitive); the
 // filtered mode drops it, so loops with data-dependent trip counts (POP)
-// still produce a stable signature.
+// still produce a stable signature. Signatures come from the intern
+// table's cache — the per-frame fold happened once, at intern time.
 func (w *Window) Triple() sig.Triple {
 	var cp uint64
-	for i, s := range w.order {
-		term := s
+	for i, site := range w.order {
+		term := uint64(sig.Sites.Signature(site))
 		if w.mode == SigFull {
-			term ^= sig.Mix(w.counts[s])
+			term ^= sig.Mix(w.counts[i])
 		}
 		mult := uint64(i%10) + 1
 		cp ^= term * mult
@@ -93,15 +114,17 @@ func (w *Window) Events() uint64 { return w.events }
 // (the paper's n for signature-creation cost).
 func (w *Window) DistinctSites() int { return len(w.order) }
 
-// Reset clears the accumulators for the next window.
+// Reset clears the accumulators for the next window, keeping the backing
+// storage so steady-state windows allocate nothing.
 func (w *Window) Reset() {
+	for _, site := range w.order {
+		w.pos[site] = 0
+	}
 	w.order = w.order[:0]
+	w.counts = w.counts[:0]
 	w.src.Reset()
 	w.dest.Reset()
 	w.events = 0
-	if len(w.counts) > 0 {
-		w.counts = make(map[uint64]uint64)
-	}
 }
 
 // Recorder is the per-rank recording engine.
@@ -131,6 +154,12 @@ type Recorder struct {
 	// event (consumed by automatic marker detection).
 	lastStack sig.Stack
 
+	// pool recycles the trace nodes this rank's compressor discards;
+	// selfRanks is the rank's singleton rank list, shared by every leaf
+	// (rank lists are immutable once built).
+	pool      trace.Pool
+	selfRanks ranklist.List
+
 	// AllocBytes tracks cumulative trace bytes allocated by this rank
 	// (monotone; deletion does not decrease it), for the space ledger.
 	AllocBytes int
@@ -154,6 +183,7 @@ func NewRecorder(p *mpi.Proc, mode SigMode, filter bool) *Recorder {
 		Enabled:    true,
 		Win:        NewWindow(mode),
 		lastAnySrc: -1,
+		selfRanks:  ranklist.SingleRank(p.Rank()),
 	}
 	if o := p.Obs(); o != nil {
 		r.obsObserved = o.Counter("tracer_events_observed_total")
@@ -161,6 +191,7 @@ func NewRecorder(p *mpi.Proc, mode SigMode, filter bool) *Recorder {
 		r.obsAlloc = o.Counter("tracer_alloc_bytes_total")
 	}
 	r.Comp.Filter = filter
+	r.Comp.Pool = &r.pool
 	return r
 }
 
@@ -220,8 +251,13 @@ func normalizeOffset(off, p int) int {
 // signature capture how many frames to drop above Record.
 func (r *Recorder) Record(ci *mpi.CallInfo, preClock vtime.Time, stackSkip int) {
 	model := r.Proc.Model()
-	stack := sig.Capture(stackSkip + 1)
-	ev := r.Encode(ci, stack)
+	// Intern the call site: the backtrace walk and per-frame signature
+	// fold run once per distinct site; loop iterations pay one hash and
+	// a shard-map hit. CaptureSite's skip arithmetic matches Capture's,
+	// so the observed frames are the ones Capture used to fold.
+	site := sig.CaptureSite(stackSkip + 1)
+	ev := r.Encode(ci, sig.Sites.Signature(site))
+	ev.Site = site
 	r.Observed++
 	r.obsObserved.Inc()
 
@@ -248,7 +284,7 @@ func (r *Recorder) Record(ci *mpi.CallInfo, preClock vtime.Time, stackSkip int) 
 	}
 	r.excluded = 0
 	before := r.Comp.SizeBytes()
-	leaf := trace.NewLeaf(ev, ranklist.SingleRank(r.Proc.Rank()), delta)
+	leaf := r.pool.Leaf(ev, r.selfRanks, delta)
 	r.Comp.AppendLeaf(leaf)
 	r.Events++
 	r.obsRecorded.Inc()
@@ -283,9 +319,17 @@ func (r *Recorder) ExcludeSpan(d vtime.Duration) {
 }
 
 // TakePartial detaches and returns the current partial trace ("delete
-// your partial trace" at the end of a flush).
+// your partial trace" at the end of a flush). Ownership of the nodes
+// moves to the caller.
 func (r *Recorder) TakePartial() []*trace.Node {
 	return r.Comp.Reset()
+}
+
+// DiscardPartial deletes the current partial trace, recycling its nodes
+// into the recorder's pool — the path for ranks whose partial is flushed
+// nowhere (non-leads at a lead flush, departed ranks).
+func (r *Recorder) DiscardPartial() {
+	r.pool.PutSeq(r.Comp.Reset())
 }
 
 // PartialSize returns the current partial trace footprint in bytes.
