@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test test-race test-faults bench bench-causal bench-faults bench-refactor clean
+.PHONY: all check test test-race test-faults test-store fuzz-trace bench bench-causal bench-faults bench-refactor bench-store clean
 
 all: check test
 
@@ -41,6 +41,27 @@ bench-refactor:
 	BENCH_REFACTOR_OUT=$(CURDIR)/BENCH_refactor.json $(GO) test -run TestRefactorBenchReport -v .
 	$(GO) test -bench 'BenchmarkRecordCompressMerge' -benchmem .
 
+# test-store: the trace-archive suite under the race detector — the
+# 64-goroutine mixed ingest/query/compaction storm, the chamd HTTP
+# handlers, and the end-to-end push/fetch/diff round trip.
+test-store:
+	$(GO) test -race ./internal/store/
+	$(GO) test -race -run 'TestStore' .
+
+# fuzz-trace: a short fuzz smoke over the binary trace decoder (the
+# archive ingests untrusted payloads through it). CI runs this; local
+# deep fuzzing just raises -fuzztime.
+fuzz-trace:
+	$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime=10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzReadAny -fuzztime=5s ./internal/trace/
+
+# bench-store: price archive ingest (cold and dedup), fetch, and query
+# on real benchmark traces; writes BENCH_store.json with throughput and
+# the gzip storage ratio.
+bench-store:
+	BENCH_STORE_OUT=$(CURDIR)/BENCH_store.json $(GO) test -run TestStoreBenchReport -v .
+	$(GO) test -bench 'BenchmarkStore' -benchmem .
+
 # test-faults: the fault-injection suite, including the
 # crash-at-every-marker sweep over the PHASE and STENCIL examples
 # (see docs/FAULTS.md).
@@ -55,5 +76,5 @@ bench-faults:
 
 clean:
 	rm -f BENCH_obs.json BENCH_causal.json BENCH_fault.json \
-		BENCH_refactor.json \
+		BENCH_refactor.json BENCH_store.json \
 		chameleon.journal.jsonl chameleon.trace.json chameleon.edges.jsonl

@@ -1,0 +1,252 @@
+package chameleon_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"chameleon"
+	"chameleon/internal/store"
+	"chameleon/internal/trace"
+)
+
+// benchArchiveTraces produces a mixed fleet of real benchmark traces —
+// the payload population a chamd archive would hold for one benchmark
+// suite sweep.
+func benchArchiveTraces(tb testing.TB) []*trace.File {
+	tb.Helper()
+	specs := []struct {
+		name, class string
+		p           int
+	}{
+		{"BT", "D", 16},
+		{"LU", "D", 16},
+		{"SP", "D", 16},
+		{"CG", "D", 16},
+	}
+	files := make([]*trace.File, 0, len(specs))
+	for _, s := range specs {
+		out, err := chameleon.RunBenchmark(s.name, s.class, s.p, chameleon.TracerChameleon, nil)
+		if err != nil {
+			tb.Fatalf("%s: %v", s.name, err)
+		}
+		files = append(files, out.Trace)
+	}
+	return files
+}
+
+// BenchmarkStoreIngest prices cold ingest: canonical encode + content
+// address + segment write + manifest swap, per trace.
+func BenchmarkStoreIngest(b *testing.B) {
+	files := benchArchiveTraces(b)
+	for _, gz := range []bool{false, true} {
+		b.Run(fmt.Sprintf("gzip=%v", gz), func(b *testing.B) {
+			a, err := store.Open(b.TempDir(), store.Options{Gzip: gz})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer a.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := files[i%len(files)]
+				// Vary the benchmark label so every iteration is a cold
+				// ingest, not a dedup hit.
+				f.Benchmark = fmt.Sprintf("BENCH-%d", i)
+				if _, _, err := a.Ingest(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreDedup prices the warm path: a re-push of an archived
+// run stops at the content address.
+func BenchmarkStoreDedup(b *testing.B) {
+	files := benchArchiveTraces(b)
+	a, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	for _, f := range files {
+		if _, _, err := a.Ingest(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, created, err := a.Ingest(files[i%len(files)]); err != nil || created {
+			b.Fatalf("created=%v err=%v", created, err)
+		}
+	}
+}
+
+// BenchmarkStoreGet prices fetch + integrity verification + decode.
+func BenchmarkStoreGet(b *testing.B) {
+	files := benchArchiveTraces(b)
+	a, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	ids := make([]string, len(files))
+	for i, f := range files {
+		run, _, err := a.Ingest(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = run.ID
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.Get(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreList prices a filtered manifest query over a populated
+// archive.
+func BenchmarkStoreList(b *testing.B) {
+	files := benchArchiveTraces(b)
+	a, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 64; i++ {
+		f := files[i%len(files)]
+		f.Benchmark = fmt.Sprintf("SWEEP-%d", i%8)
+		if _, _, err := a.Ingest(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if runs, _ := a.List(store.Query{Benchmark: "SWEEP-3", Limit: 16}); len(runs) == 0 {
+			b.Fatal("query matched nothing")
+		}
+	}
+}
+
+// TestStoreBenchReport writes BENCH_store.json when BENCH_STORE_OUT
+// names a path (`make bench-store`): ingest/dedup/get/list throughput
+// on real benchmark traces, plus the storage effect of gzip segments.
+func TestStoreBenchReport(t *testing.T) {
+	path := os.Getenv("BENCH_STORE_OUT")
+	if path == "" {
+		t.Skip("set BENCH_STORE_OUT=BENCH_store.json to write the report")
+	}
+
+	files := benchArchiveTraces(t)
+	var raw, stored int64
+	a, err := store.Open(t.TempDir(), store.Options{Gzip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		run, _, err := a.Ingest(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw += run.RawBytes
+		stored += run.StoredBytes
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bench := func(name string, fn func(b *testing.B)) int64 {
+		r := testing.Benchmark(fn)
+		t.Logf("%s: %d ns/op", name, r.NsPerOp())
+		return r.NsPerOp()
+	}
+	report := map[string]any{
+		"workload":          "BT/LU/SP/CG class D traces, 16 ranks",
+		"trace_count":       len(files),
+		"raw_bytes":         raw,
+		"stored_bytes_gzip": stored,
+		"gzip_ratio":        float64(stored) / float64(raw),
+		"ingest_ns_op":      bench("ingest", benchStoreIngestOnce(files)),
+		"dedup_ns_op":       bench("dedup", benchStoreDedupOnce(files)),
+		"get_ns_op":         bench("get", benchStoreGetOnce(files)),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	t.Logf("wrote %s", path)
+}
+
+func benchStoreIngestOnce(files []*trace.File) func(b *testing.B) {
+	return func(b *testing.B) {
+		a, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer a.Close()
+		for i := 0; i < b.N; i++ {
+			f := files[i%len(files)]
+			f.Benchmark = fmt.Sprintf("BENCH-%d", i)
+			if _, _, err := a.Ingest(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchStoreDedupOnce(files []*trace.File) func(b *testing.B) {
+	return func(b *testing.B) {
+		a, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer a.Close()
+		for i := range files {
+			files[i].Benchmark = fmt.Sprintf("DEDUP-%d", i)
+			if _, _, err := a.Ingest(files[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := a.Ingest(files[i%len(files)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchStoreGetOnce(files []*trace.File) func(b *testing.B) {
+	return func(b *testing.B) {
+		a, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer a.Close()
+		ids := make([]string, len(files))
+		for i := range files {
+			run, _, err := a.Ingest(files[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[i] = run.ID
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := a.Get(ids[i%len(ids)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

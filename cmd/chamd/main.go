@@ -1,0 +1,120 @@
+// Command chamd serves a persistent Chameleon trace archive over HTTP:
+// a content-addressed, append-only store of compressed online traces,
+// queryable across runs (see docs/STORE.md).
+//
+// Usage:
+//
+//	chamd -dir /var/lib/chameleon -addr :8321 -gzip -metrics
+//
+// Endpoints:
+//
+//	PUT  /runs                  ingest a trace (idempotent; ETag = content address)
+//	GET  /runs                  list runs (benchmark=, p=, sig=, sigset=, limit=, offset=)
+//	GET  /runs/{id}             fetch one run (binary, or ?format=json)
+//	GET  /runs/{a}/diff/{b}     per-site divergence between two archived runs
+//	GET  /metrics               obs registry snapshot (with -metrics)
+//	GET  /healthz               liveness probe
+//
+// Producers push with `chamrun ... -push http://host:8321`; the analysis
+// tools (chamstat, chamdump, chamreplay, chamextrap) accept
+// http(s)://host/runs/{id} references wherever they take a trace path.
+//
+// The daemon is hardened for unattended use: per-request timeouts,
+// a PUT body cap, periodic background compaction of orphaned segments,
+// and graceful shutdown on SIGINT/SIGTERM (in-flight requests drain, the
+// compactor stops, the manifest is already durable at every point).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chameleon/internal/obs"
+	"chameleon/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	dir := flag.String("dir", "chameleon-store", "archive directory")
+	gzipSegs := flag.Bool("gzip", false, "store segments gzip-compressed (and serve gzip transfers without recompressing)")
+	metrics := flag.Bool("metrics", false, "expose the obs metrics registry at GET /metrics")
+	journalOut := flag.String("journal-out", "", "append store journal events (JSONL) to this path")
+	maxBodyMB := flag.Int64("max-body-mb", 64, "maximum PUT body size in MiB")
+	reqTimeout := flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
+	compactEvery := flag.Duration("compact-every", 10*time.Minute, "background orphan-segment compaction period (0 = disabled)")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	var journal *obs.Journal
+	if *journalOut != "" {
+		jf, err := os.OpenFile(*journalOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("journal: %v", err)
+		}
+		defer jf.Close()
+		journal = obs.NewJournal(jf)
+	}
+
+	archive, err := store.Open(*dir, store.Options{
+		Gzip:         *gzipSegs,
+		Reg:          reg,
+		Journal:      journal,
+		CompactEvery: *compactEvery,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer archive.Close()
+
+	handler := store.NewServer(archive, store.ServerOptions{
+		MaxBodyBytes:   *maxBodyMB << 20,
+		RequestTimeout: *reqTimeout,
+		Metrics:        *metrics,
+		Reg:            reg,
+	})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// The handler's own timeout bounds work per request; these bound
+		// slow-loris reads and stuck writes at the connection level.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       5 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("chamd       serving %s on %s (%d runs, gzip=%v, compact-every=%v)\n",
+		*dir, *addr, archive.Len(), *gzipSegs, *compactEvery)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal("serve: %v", err)
+		}
+	case <-ctx.Done():
+		fmt.Println("chamd       shutting down (draining in-flight requests)")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fatal("shutdown: %v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chamd: "+format+"\n", args...)
+	os.Exit(1)
+}

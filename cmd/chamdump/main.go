@@ -6,6 +6,7 @@
 //
 //	chamdump lu.trace
 //	chamdump -sites lu.trace   # print the interned call-site table
+//	chamdump http://host:8321/runs/<id>   # fetch from a chamd archive
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"chameleon/internal/store"
 	"chameleon/internal/trace"
 )
 
@@ -24,7 +26,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: chamdump [-stats] [-sites] trace-file")
 		os.Exit(2)
 	}
-	f, err := trace.LoadAny(flag.Arg(0))
+	f, err := store.LoadTrace(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chamdump: %v\n", err)
 		os.Exit(1)

@@ -20,6 +20,7 @@ import (
 
 	"chameleon"
 	"chameleon/internal/extrap"
+	"chameleon/internal/store"
 	"chameleon/internal/trace"
 )
 
@@ -36,7 +37,7 @@ func main() {
 
 	sources := make([]*trace.File, 0, flag.NArg())
 	for _, path := range flag.Args() {
-		f, err := trace.LoadAny(path)
+		f, err := store.LoadTrace(path)
 		exitOn(err)
 		sources = append(sources, f)
 	}

@@ -7,6 +7,9 @@
 //
 //	chamreplay lu.trace
 //	chamreplay -ref lu-scalatrace.trace lu-chameleon.trace
+//
+// Trace arguments may be http(s):// run references into a chamd
+// archive (docs/STORE.md).
 package main
 
 import (
@@ -16,7 +19,7 @@ import (
 
 	"chameleon"
 	"chameleon/internal/replay"
-	"chameleon/internal/trace"
+	"chameleon/internal/store"
 )
 
 func main() {
@@ -28,7 +31,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := trace.LoadAny(flag.Arg(0))
+	f, err := store.LoadTrace(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chamreplay: %v\n", err)
 		os.Exit(1)
@@ -51,7 +54,7 @@ func main() {
 	fmt.Printf("events      %d dynamic MPI events re-issued\n", res.Events)
 
 	if *ref != "" {
-		rf, err := trace.LoadAny(*ref)
+		rf, err := store.LoadTrace(*ref)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chamreplay: %v\n", err)
 			os.Exit(1)

@@ -33,6 +33,14 @@
 // -faults takes an inline plan spec (or @file to load one); -fault-seed
 // seeds the deterministic perturbation streams. Crash plans require the
 // chameleon tracer (crashes fire at its markers).
+//
+// Trace archiving (see docs/STORE.md):
+//
+//	chamrun -bench PHASE -p 16 -push http://localhost:8321
+//
+// -push uploads the merged online trace to a chamd archive after the
+// run; ingest is idempotent (content-addressed), so re-pushing an
+// identical run stores nothing new.
 package main
 
 import (
@@ -46,6 +54,7 @@ import (
 	"strings"
 
 	"chameleon"
+	"chameleon/internal/store"
 )
 
 func main() {
@@ -58,6 +67,8 @@ func main() {
 	algo := flag.String("algo", "", "clustering algorithm: k-farthest, k-medoid, k-random")
 	out := flag.String("o", "", "trace output path (empty = don't write)")
 	useBinary := flag.Bool("binary", false, "write the trace in the compact binary format")
+	push := flag.String("push", "", "after the run, upload the merged trace to this chamd archive URL")
+	pushGzip := flag.Bool("push-gzip", true, "gzip the -push transfer")
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot after the run")
 	metricsOut := flag.String("metrics-out", "", "also write the metrics snapshot as JSON to this path")
 	journal := flag.Bool("journal", false, "write the structured JSONL event journal")
@@ -163,6 +174,20 @@ func main() {
 			}
 			fmt.Printf("wrote       %s\n", *out)
 		}
+		if *push != "" {
+			run, created, err := store.Push(*push, res.Trace, *pushGzip)
+			if err != nil {
+				fatal("push: %v", err)
+			}
+			verb := "stored"
+			if !created {
+				verb = "dedup"
+			}
+			fmt.Printf("pushed      %s/runs/%s (%s, %d B raw)\n",
+				strings.TrimSuffix(*push, "/"), run.ID[:12], verb, run.RawBytes)
+		}
+	} else if *push != "" {
+		fatal("push: the run produced no trace (tracer %q)", *tr)
 	}
 
 	if journalFile != nil {

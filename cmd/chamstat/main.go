@@ -20,6 +20,14 @@
 //
 // "auto" tolerates the union of the retired-rank lists the two trace
 // files carry.
+//
+// Every trace argument may also be an http(s):// run reference into a
+// chamd archive (see docs/STORE.md), e.g.
+//
+//	chamstat -diff http://host:8321/runs/<id-a> http://host:8321/runs/<id-b>
+//
+// Remote fetches report their transfer sizes (gzip wire bytes vs. raw
+// payload bytes) on stderr.
 package main
 
 import (
@@ -30,9 +38,23 @@ import (
 
 	"chameleon/internal/analysis"
 	"chameleon/internal/fault"
+	"chameleon/internal/store"
 	"chameleon/internal/trace"
 	"chameleon/internal/vtime"
 )
+
+// load resolves a trace reference (path or http(s):// run URL); remote
+// fetches surface their compressed/uncompressed byte counts on stderr.
+func load(ref string) (*trace.File, error) {
+	f, stats, err := store.LoadTraceStats(ref)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		fmt.Fprintf(os.Stderr, "chamstat: fetched %s (%s)\n", ref, stats)
+	}
+	return f, nil
+}
 
 func main() {
 	volumes := flag.Bool("volumes", false, "print per-rank communication volumes")
@@ -46,9 +68,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: chamstat -diff [-tolerate-ranks set|auto] a.trace b.trace")
 			os.Exit(2)
 		}
-		a, err := trace.LoadAny(flag.Arg(0))
+		a, err := load(flag.Arg(0))
 		exitOn(err)
-		b, err := trace.LoadAny(flag.Arg(1))
+		b, err := load(flag.Arg(1))
 		exitOn(err)
 		tol, err := toleratedRanks(*tolerate, a, b)
 		exitOn(err)
@@ -97,7 +119,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: chamstat [-volumes|-matrix|-diff] trace-file")
 		os.Exit(2)
 	}
-	f, err := trace.LoadAny(flag.Arg(0))
+	f, err := load(flag.Arg(0))
 	exitOn(err)
 
 	switch {

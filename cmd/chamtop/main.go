@@ -14,6 +14,10 @@
 //
 //	chamtop chameleon.journal.jsonl
 //	chamtop -critical -edges chameleon.edges.jsonl [-trace t.json] [-top 10] [journal.jsonl]
+//
+// The journal, edge, and trace arguments may also be http(s):// URLs
+// (e.g. artifacts served by a chamd host, docs/STORE.md); chamtop
+// fetches them before analyzing.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"chameleon/internal/causal"
 	"chameleon/internal/obs"
 	"chameleon/internal/stats"
+	"chameleon/internal/store"
 )
 
 func main() {
@@ -46,7 +51,7 @@ func main() {
 		os.Exit(2)
 	}
 	if flag.NArg() == 1 {
-		f, err := os.Open(flag.Arg(0))
+		f, err := store.OpenRef(flag.Arg(0))
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -82,7 +87,7 @@ func main() {
 // journal events (optional, for window/phase attribution), Chrome trace
 // (optional, for the span-category breakdown).
 func criticalReport(edgesPath, tracePath string, events []obs.Event, topN int) {
-	f, err := os.Open(edgesPath)
+	f, err := store.OpenRef(edgesPath)
 	if err != nil {
 		fatal("%v (run chamrun with -causal to produce an edge file)", err)
 	}
@@ -99,7 +104,7 @@ func criticalReport(edgesPath, tracePath string, events []obs.Event, topN int) {
 		fatal("%v", err)
 	}
 	if tracePath != "" {
-		tf, err := os.Open(tracePath)
+		tf, err := store.OpenRef(tracePath)
 		if err != nil {
 			fatal("%v", err)
 		}

@@ -1,0 +1,185 @@
+package store
+
+// HTTP client helpers: the CLI tools accept `http(s)://` run references
+// wherever they accept a trace path, and chamrun -push uploads the
+// merged online trace to a chamd archive after Finalize.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"chameleon/internal/trace"
+)
+
+// httpClient disables the transport's transparent gzip so transfer
+// byte counts are observable; decompression is explicit in fetch.
+var httpClient = &http.Client{
+	Timeout: 60 * time.Second,
+	Transport: &http.Transport{
+		DisableCompression: true,
+	},
+}
+
+// IsRef reports whether the trace reference is an HTTP(S) URL rather
+// than a local path.
+func IsRef(s string) bool {
+	return strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://")
+}
+
+// TransferStats describes one HTTP trace fetch: bytes moved on the
+// wire vs. the decoded payload size (they differ under gzip transfer).
+type TransferStats struct {
+	WireBytes int64
+	RawBytes  int64
+	Gzip      bool
+}
+
+func (t TransferStats) String() string {
+	if t.Gzip {
+		return fmt.Sprintf("%d B gzip on the wire, %d B raw", t.WireBytes, t.RawBytes)
+	}
+	return fmt.Sprintf("%d B on the wire", t.WireBytes)
+}
+
+// FetchBytes GETs a run reference and returns the decoded payload plus
+// transfer statistics.
+func FetchBytes(url string) ([]byte, TransferStats, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, TransferStats{}, err
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return nil, TransferStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, TransferStats{}, fmt.Errorf("GET %s: %s: %s",
+			url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	wire, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, TransferStats{}, fmt.Errorf("GET %s: %w", url, err)
+	}
+	stats := TransferStats{WireBytes: int64(len(wire))}
+	payload := wire
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		stats.Gzip = true
+		zr, err := gzip.NewReader(bytes.NewReader(wire))
+		if err != nil {
+			return nil, TransferStats{}, fmt.Errorf("GET %s: gzip: %w", url, err)
+		}
+		payload, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, TransferStats{}, fmt.Errorf("GET %s: gzip: %w", url, err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, TransferStats{}, fmt.Errorf("GET %s: gzip: %w", url, err)
+		}
+	}
+	stats.RawBytes = int64(len(payload))
+	return payload, stats, nil
+}
+
+// LoadTraceStats resolves a trace reference — a local path or an
+// http(s):// run URL — into a decoded trace file. The stats pointer is
+// non-nil exactly for remote fetches.
+func LoadTraceStats(ref string) (*trace.File, *TransferStats, error) {
+	if !IsRef(ref) {
+		f, err := trace.LoadAny(ref)
+		return f, nil, err
+	}
+	payload, stats, err := FetchBytes(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := trace.ReadAny(bytes.NewReader(payload))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", ref, err)
+	}
+	return f, &stats, nil
+}
+
+// LoadTrace resolves a trace reference (local path or http(s):// run
+// URL) into a decoded trace file.
+func LoadTrace(ref string) (*trace.File, error) {
+	f, _, err := LoadTraceStats(ref)
+	return f, err
+}
+
+// OpenRef opens a reference as a byte stream: a local file, or the
+// body of an HTTP GET (journals, edge files, Chrome traces).
+func OpenRef(ref string) (io.ReadCloser, error) {
+	if !IsRef(ref) {
+		return os.Open(ref)
+	}
+	payload, _, err := FetchBytes(ref)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(payload)), nil
+}
+
+// Push uploads a trace to a chamd archive rooted at base (e.g.
+// "http://host:8321"; a trailing "/runs" is accepted too). It returns
+// the server's manifest record and whether the run was new to the
+// archive (false = content-address dedup).
+func Push(base string, f *trace.File, useGzip bool) (Run, bool, error) {
+	payload, _, err := Encode(f)
+	if err != nil {
+		return Run{}, false, err
+	}
+	return PushBytes(base, payload, useGzip)
+}
+
+// PushBytes uploads an already-serialized trace payload.
+func PushBytes(base string, payload []byte, useGzip bool) (Run, bool, error) {
+	url := strings.TrimSuffix(base, "/")
+	if !strings.HasSuffix(url, "/runs") {
+		url += "/runs"
+	}
+	body := payload
+	var buf bytes.Buffer
+	if useGzip {
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(payload); err != nil {
+			return Run{}, false, err
+		}
+		if err := zw.Close(); err != nil {
+			return Run{}, false, err
+		}
+		body = buf.Bytes()
+	}
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return Run{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if useGzip {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return Run{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return Run{}, false, fmt.Errorf("PUT %s: %s: %s",
+			url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var run Run
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		return Run{}, false, fmt.Errorf("PUT %s: decode response: %w", url, err)
+	}
+	return run, resp.StatusCode == http.StatusCreated, nil
+}

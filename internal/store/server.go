@@ -1,0 +1,405 @@
+package store
+
+// The HTTP face of the archive: the handler cmd/chamd serves and the
+// httptest harness exercises. Routes:
+//
+//	PUT  /runs                  ingest a trace (idempotent: content address = ETag)
+//	GET  /runs                  list runs (benchmark=, p=, sig=, sigset=, limit=, offset=)
+//	GET  /runs/{id}             fetch one run (binary; ?format=json or Accept: application/json)
+//	GET  /runs/{a}/diff/{b}     server-side per-site divergence (chamstat -diff engine)
+//	GET  /metrics               obs registry snapshot (when enabled)
+//	GET  /healthz               liveness probe
+//
+// Requests and responses speak optional gzip (Content-Encoding /
+// Accept-Encoding); when the archive itself stores gzip segments a
+// compressed GET streams the stored frame without recompressing.
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"chameleon/internal/analysis"
+	"chameleon/internal/fault"
+	"chameleon/internal/obs"
+)
+
+// ServerOptions harden and instrument the HTTP layer.
+type ServerOptions struct {
+	// MaxBodyBytes caps PUT bodies (after transfer decompression);
+	// 0 means the 64 MiB default.
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request's handling; 0 means 30s.
+	RequestTimeout time.Duration
+	// Metrics exposes the registry at GET /metrics.
+	Metrics bool
+	// Reg receives request counters and latency histograms (it may be
+	// the same registry the archive reports into).
+	Reg *obs.Registry
+}
+
+const (
+	defaultMaxBody        = 64 << 20
+	defaultRequestTimeout = 30 * time.Second
+)
+
+type server struct {
+	a    *Archive
+	opts ServerOptions
+
+	mRequests, mErrors          *obs.Counter
+	mIngestReqs, mQueryReqs     *obs.Counter
+	mBytesIn, mBytesOut         *obs.Counter
+	hLatency, hIngest, hQueries *obs.Histogram
+}
+
+// NewServer builds the archive's HTTP handler: mux, per-request
+// timeout, body limits, instrumentation.
+func NewServer(a *Archive, opts ServerOptions) http.Handler {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBody
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = defaultRequestTimeout
+	}
+	s := &server{
+		a:    a,
+		opts: opts,
+
+		mRequests:   opts.Reg.Counter("chamd_requests"),
+		mErrors:     opts.Reg.Counter("chamd_errors"),
+		mIngestReqs: opts.Reg.Counter("chamd_ingest_requests"),
+		mQueryReqs:  opts.Reg.Counter("chamd_query_requests"),
+		mBytesIn:    opts.Reg.Counter("chamd_bytes_in"),
+		mBytesOut:   opts.Reg.Counter("chamd_bytes_out"),
+		hLatency:    opts.Reg.Histogram("chamd_latency_ns"),
+		hIngest:     opts.Reg.Histogram("chamd_ingest_latency_ns"),
+		hQueries:    opts.Reg.Histogram("chamd_query_latency_ns"),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /runs", s.handlePut)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /runs/{a}/diff/{b}", s.handleDiff)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if opts.Metrics {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+
+	instrumented := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.mRequests.Inc()
+		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(cw, r)
+		s.hLatency.Observe(time.Since(start).Nanoseconds())
+		s.mBytesOut.Add(uint64(cw.bytes))
+		if cw.status >= 400 {
+			s.mErrors.Inc()
+		}
+	})
+	return http.TimeoutHandler(instrumented, opts.RequestTimeout, "chamd: request timed out\n")
+}
+
+// countingWriter tracks status and body bytes for instrumentation.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (c *countingWriter) WriteHeader(code int) {
+	c.status = code
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.bytes += int64(n)
+	return n, err
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf("chamd: "+format, args...), code)
+}
+
+func failCode(err error) int {
+	if strings.Contains(err.Error(), "not found") {
+		return http.StatusNotFound
+	}
+	if strings.Contains(err.Error(), "ambiguous") {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
+	s.mIngestReqs.Inc()
+	start := time.Now()
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	defer body.Close()
+
+	var in io.Reader = body
+	switch enc := r.Header.Get("Content-Encoding"); enc {
+	case "", "identity":
+	case "gzip":
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "gzip body: %v", err)
+			return
+		}
+		defer zr.Close()
+		in = zr
+	default:
+		s.fail(w, http.StatusUnsupportedMediaType, "unsupported Content-Encoding %q", enc)
+		return
+	}
+
+	payload, err := io.ReadAll(in)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.opts.MaxBodyBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	s.mBytesIn.Add(uint64(len(payload)))
+
+	run, created, err := s.a.IngestBytes(payload)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.hIngest.Observe(time.Since(start).Nanoseconds())
+
+	w.Header().Set("ETag", `"`+run.ID+`"`)
+	w.Header().Set("Location", "/runs/"+run.ID)
+	w.Header().Set("Content-Type", "application/json")
+	if created {
+		w.WriteHeader(http.StatusCreated)
+	}
+	json.NewEncoder(w).Encode(run) //nolint:errcheck — client gone is fine
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mQueryReqs.Inc()
+	start := time.Now()
+	id := r.PathValue("id")
+
+	run, err := s.a.Resolve(id)
+	if err != nil {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	etag := `"` + run.ID + `"`
+	if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	asJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if asJSON {
+		f, _, err := s.a.Get(run.ID)
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Content-Type", "application/json")
+		if err := f.Write(w); err != nil {
+			s.mErrors.Inc()
+		}
+		s.hQueries.Observe(time.Since(start).Nanoseconds())
+		return
+	}
+
+	wantGzip := strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
+	var payload []byte
+	if wantGzip && run.Gzip {
+		// The segment is already a gzip frame; stream it as the
+		// transfer encoding without recompressing.
+		payload, _, err = s.a.StoredPayload(run.ID)
+		if err == nil {
+			w.Header().Set("Content-Encoding", "gzip")
+		}
+	} else {
+		payload, _, err = s.a.Payload(run.ID)
+	}
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Raw-Bytes", strconv.FormatInt(run.RawBytes, 10))
+	w.Header().Set("X-Stored-Bytes", strconv.FormatInt(run.StoredBytes, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	w.Write(payload) //nolint:errcheck — client gone is fine
+	s.hQueries.Observe(time.Since(start).Nanoseconds())
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mQueryReqs.Inc()
+	start := time.Now()
+	q := Query{Benchmark: r.URL.Query().Get("benchmark"), SigSet: r.URL.Query().Get("sigset")}
+	var err error
+	if v := r.URL.Query().Get("p"); v != "" {
+		if q.P, err = strconv.Atoi(v); err != nil {
+			s.fail(w, http.StatusBadRequest, "p: %v", err)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("sig"); v != "" {
+		// Signatures print as hex (chamdump -sites); accept 0x-prefixed
+		// hex, bare hex, or decimal.
+		if q.Sig, err = parseSig(v); err != nil {
+			s.fail(w, http.StatusBadRequest, "sig: %v", err)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if q.Limit, err = strconv.Atoi(v); err != nil || q.Limit < 0 {
+			s.fail(w, http.StatusBadRequest, "limit: %q", v)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if q.Offset, err = strconv.Atoi(v); err != nil || q.Offset < 0 {
+			s.fail(w, http.StatusBadRequest, "offset: %q", v)
+			return
+		}
+	}
+
+	runs, total := s.a.List(q)
+	resp := struct {
+		Total  int   `json:"total"`
+		Offset int   `json:"offset"`
+		Runs   []Run `json:"runs"`
+	}{Total: total, Offset: q.Offset, Runs: runs}
+	if resp.Runs == nil {
+		resp.Runs = []Run{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	s.hQueries.Observe(time.Since(start).Nanoseconds())
+}
+
+func parseSig(v string) (uint64, error) {
+	if strings.HasPrefix(v, "0x") || strings.HasPrefix(v, "0X") {
+		return strconv.ParseUint(v[2:], 16, 64)
+	}
+	if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+		return n, nil
+	}
+	return strconv.ParseUint(v, 16, 64)
+}
+
+// DiffResponse is the JSON shape of GET /runs/{a}/diff/{b}: the
+// chamstat per-site divergence verdict computed server-side.
+type DiffResponse struct {
+	A              string           `json:"a"`
+	B              string           `json:"b"`
+	Equivalent     bool             `json:"equivalent"`
+	Reason         string           `json:"reason,omitempty"`
+	TolerateRanks  []int            `json:"tolerate_ranks,omitempty"`
+	MissingInA     int              `json:"missing_in_a,omitempty"`
+	MissingInB     int              `json:"missing_in_b,omitempty"`
+	EventDeltas    map[string]int64 `json:"event_deltas,omitempty"`
+	SiteCountDelta map[string]int64 `json:"site_count_deltas,omitempty"`
+}
+
+func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	s.mQueryReqs.Inc()
+	start := time.Now()
+	fa, runA, err := s.a.Get(r.PathValue("a"))
+	if err != nil {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	fb, runB, err := s.a.Get(r.PathValue("b"))
+	if err != nil {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+
+	var tol []int
+	switch spec := r.URL.Query().Get("tolerate"); spec {
+	case "":
+	case "auto":
+		set := map[int]bool{}
+		for _, rk := range fa.Retired {
+			set[rk] = true
+		}
+		for _, rk := range fb.Retired {
+			set[rk] = true
+		}
+		for rk := range set {
+			tol = append(tol, rk)
+		}
+		sort.Ints(tol)
+	default:
+		rs, err := fault.ParseRankSet(spec)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "tolerate: %v", err)
+			return
+		}
+		p := fa.P
+		if fb.P > p {
+			p = fb.P
+		}
+		tol = rs.Ranks(p)
+	}
+
+	d := analysis.CompareWith(fa, fb, analysis.CompareOpts{TolerateRanks: tol})
+	resp := DiffResponse{
+		A:             runA.ID,
+		B:             runB.ID,
+		Equivalent:    d.Equivalent(),
+		TolerateRanks: tol,
+		MissingInA:    len(d.MissingInA),
+		MissingInB:    len(d.MissingInB),
+	}
+	if !d.Equivalent() {
+		resp.Reason = d.Reason()
+	}
+	if len(d.EventDeltas) > 0 {
+		resp.EventDeltas = map[string]int64{}
+		for rank, delta := range d.EventDeltas {
+			resp.EventDeltas[strconv.Itoa(rank)] = delta
+		}
+	}
+	if len(d.SiteCountDeltas) > 0 {
+		resp.SiteCountDelta = map[string]int64{}
+		for site, delta := range d.SiteCountDeltas {
+			resp.SiteCountDelta[fmt.Sprintf("%#x", site)] = delta
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	s.hQueries.Observe(time.Since(start).Nanoseconds())
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.opts.Reg.Snapshot()
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w) //nolint:errcheck
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	snap.WriteText(w) //nolint:errcheck
+}

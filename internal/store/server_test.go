@@ -1,0 +1,421 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"chameleon/internal/obs"
+)
+
+func newTestServer(t *testing.T, archOpts Options, srvOpts ServerOptions) (*Archive, *httptest.Server) {
+	t.Helper()
+	a, err := Open(t.TempDir(), archOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(a, srvOpts))
+	t.Cleanup(func() { srv.Close(); a.Close() })
+	return a, srv
+}
+
+func putTrace(t *testing.T, url string, payload []byte, gzipBody bool) (*http.Response, Run) {
+	t.Helper()
+	body := payload
+	if gzipBody {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		body = buf.Bytes()
+	}
+	req, err := http.NewRequest(http.MethodPut, url+"/runs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gzipBody {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var run Run
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, run
+}
+
+func TestPutIdempotent(t *testing.T) {
+	_, srv := newTestServer(t, Options{}, ServerOptions{})
+	payload, id, err := Encode(mkTrace(8, "PHASE", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp1, run1 := putTrace(t, srv.URL, payload, false)
+	if resp1.StatusCode != http.StatusCreated {
+		t.Fatalf("first PUT: %s, want 201", resp1.Status)
+	}
+	if run1.ID != id {
+		t.Fatalf("server content address %s, client computed %s", run1.ID, id)
+	}
+	if etag := resp1.Header.Get("ETag"); etag != `"`+id+`"` {
+		t.Fatalf("ETag %q, want content address", etag)
+	}
+
+	resp2, run2 := putTrace(t, srv.URL, payload, false)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate PUT: %s, want 200 (dedup)", resp2.Status)
+	}
+	if run2.ID != run1.ID {
+		t.Fatal("dedup PUT returned a different run")
+	}
+}
+
+func TestGetBinaryJSONAndCache(t *testing.T) {
+	a, srv := newTestServer(t, Options{}, ServerOptions{})
+	f := mkTrace(8, "PHASE", 2)
+	payload, id, _ := Encode(f)
+	if _, _, err := a.Ingest(f); err != nil {
+		t.Fatal(err)
+	}
+
+	// Binary fetch is byte-identical to the canonical payload.
+	resp, err := http.Get(srv.URL + "/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, payload) {
+		t.Fatalf("binary GET: %s, %d bytes (want %d)", resp.Status, len(got), len(payload))
+	}
+	if resp.Header.Get("X-Raw-Bytes") == "" {
+		t.Fatal("missing X-Raw-Bytes counter header")
+	}
+
+	// Prefix resolution over HTTP.
+	resp, err = http.Get(srv.URL + "/runs/" + id[:12])
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prefix GET: %s", resp.Status)
+	}
+
+	// JSON rendering decodes as a trace file.
+	resp, err = http.Get(srv.URL + "/runs/" + id + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&js)
+	resp.Body.Close()
+	if err != nil || js["p"] != float64(8) {
+		t.Fatalf("JSON GET: err=%v p=%v", err, js["p"])
+	}
+
+	// Conditional fetch via ETag.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/runs/"+id, nil)
+	req.Header.Set("If-None-Match", `"`+id+`"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET: %s, want 304", resp.Status)
+	}
+
+	// Unknown run.
+	resp, err = http.Get(srv.URL + "/runs/ffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing run GET: %s, want 404", resp.Status)
+	}
+}
+
+func TestGzipTransferEndToEnd(t *testing.T) {
+	// Archive stores gzip segments; PUT arrives gzip; GET streams the
+	// stored frame as Content-Encoding: gzip without recompressing.
+	_, srv := newTestServer(t, Options{Gzip: true}, ServerOptions{})
+	payload, id, _ := Encode(mkWideTrace(16, "STENCIL", 3))
+
+	resp, run := putTrace(t, srv.URL, payload, true)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("gzip PUT: %s", resp.Status)
+	}
+	if !run.Gzip || run.StoredBytes >= run.RawBytes {
+		t.Fatalf("segment should be stored compressed: stored=%d raw=%d", run.StoredBytes, run.RawBytes)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/runs/"+id, nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	tr := &http.Transport{DisableCompression: true}
+	resp2, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", resp2.Header.Get("Content-Encoding"))
+	}
+	wire, _ := io.ReadAll(resp2.Body)
+	if int64(len(wire)) != run.StoredBytes {
+		t.Fatalf("wire bytes %d != stored segment bytes %d (should stream the stored frame)", len(wire), run.StoredBytes)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, payload) {
+		t.Fatal("gzip transfer lost bytes")
+	}
+
+	// The client helper sees both byte counts.
+	fTrace, stats, err := LoadTraceStats(srv.URL + "/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fTrace.P != 16 || stats == nil || !stats.Gzip ||
+		stats.WireBytes != run.StoredBytes || stats.RawBytes != run.RawBytes {
+		t.Fatalf("LoadTraceStats: P=%d stats=%+v", fTrace.P, stats)
+	}
+}
+
+func TestListEndpoint(t *testing.T) {
+	a, srv := newTestServer(t, Options{}, ServerOptions{})
+	for i := uint64(0); i < 3; i++ {
+		if _, _, err := a.Ingest(mkTrace(8, "PHASE", 10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := a.Ingest(mkTrace(4, "LU", 20)); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(query string) (int, []Run) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/runs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /runs%s: %s", query, resp.Status)
+		}
+		var out struct {
+			Total int   `json:"total"`
+			Runs  []Run `json:"runs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Total, out.Runs
+	}
+
+	if total, runs := get(""); total != 4 || len(runs) != 4 {
+		t.Fatalf("list all: %d/%d", len(runs), total)
+	}
+	if total, runs := get("?benchmark=PHASE&limit=2"); total != 3 || len(runs) != 2 {
+		t.Fatalf("list PHASE limit 2: %d/%d", len(runs), total)
+	}
+	if total, _ := get("?p=4"); total != 1 {
+		t.Fatalf("list p=4: %d", total)
+	}
+	_, all := get("")
+	sigRun := all[0]
+	if total, runs := get("?sig=" + "0x" + strings.ToLower(hexSig(sigRun.Sigs[0]))); total != 1 || runs[0].ID != sigRun.ID {
+		t.Fatalf("list by sig: total=%d", total)
+	}
+
+	resp, err := http.Get(srv.URL + "/runs?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit: %s, want 400", resp.Status)
+	}
+}
+
+func hexSig(s uint64) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, 16)
+	for i := 60; i >= 0; i -= 4 {
+		out = append(out, digits[(s>>uint(i))&0xf])
+	}
+	return string(out)
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	a, srv := newTestServer(t, Options{}, ServerOptions{})
+	same1, _, err := a.Ingest(mkTrace(8, "PHASE", 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same structure re-ingested dedups, so diff a run against itself
+	// and against a structurally different one.
+	other, _, err := a.Ingest(mkTrace(8, "PHASE", 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var d DiffResponse
+	resp, err := http.Get(srv.URL + "/runs/" + same1.ID + "/diff/" + same1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&d)
+	resp.Body.Close()
+	if err != nil || !d.Equivalent {
+		t.Fatalf("self-diff: err=%v equivalent=%v reason=%q", err, d.Equivalent, d.Reason)
+	}
+
+	resp, err = http.Get(srv.URL + "/runs/" + same1.ID + "/diff/" + other.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&d)
+	resp.Body.Close()
+	if err != nil || d.Equivalent || d.Reason == "" {
+		t.Fatalf("cross-diff: err=%v equivalent=%v reason=%q", err, d.Equivalent, d.Reason)
+	}
+}
+
+func TestMaxBodyLimit(t *testing.T) {
+	_, srv := newTestServer(t, Options{}, ServerOptions{MaxBodyBytes: 64})
+	payload, _, _ := Encode(mkTrace(8, "PHASE", 40))
+	resp, _ := putTrace(t, srv.URL, payload, false)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize PUT: %s, want 413", resp.Status)
+	}
+}
+
+func TestBadPayloadRejected(t *testing.T) {
+	_, srv := newTestServer(t, Options{}, ServerOptions{})
+	resp, _ := putTrace(t, srv.URL, []byte("not a trace at all"), false)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage PUT: %s, want 400", resp.Status)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, err := Open(t.TempDir(), Options{Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	srv := httptest.NewServer(NewServer(a, ServerOptions{Metrics: true, Reg: reg}))
+	defer srv.Close()
+
+	payload, _, _ := Encode(mkTrace(8, "PHASE", 50))
+	if resp, _ := putTrace(t, srv.URL, payload, false); resp.StatusCode != http.StatusCreated {
+		t.Fatal("seed ingest failed")
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{"store_ingests 1", "chamd_ingest_requests 1", "chamd_latency_ns_count"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics text missing %q:\n%s", want, text)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil || snap.Counters["store_ingests"] != 1 {
+		t.Fatalf("metrics JSON: err=%v counters=%v", err, snap.Counters)
+	}
+
+	// Without the flag the route does not exist.
+	srv2 := httptest.NewServer(NewServer(a, ServerOptions{Reg: reg}))
+	defer srv2.Close()
+	resp, err = http.Get(srv2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("metrics without -metrics: %s, want 404", resp.Status)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, srv := newTestServer(t, Options{}, ServerOptions{})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+}
+
+func TestPushClient(t *testing.T) {
+	a, srv := newTestServer(t, Options{}, ServerOptions{})
+	f := mkTrace(8, "PHASE", 60)
+
+	run, created, err := Push(srv.URL, f, true)
+	if err != nil || !created {
+		t.Fatalf("push: created=%v err=%v", created, err)
+	}
+	if a.Len() != 1 {
+		t.Fatal("push did not ingest")
+	}
+	_, created, err = Push(srv.URL+"/runs", f, false) // trailing /runs accepted, plain body
+	if err != nil || created {
+		t.Fatalf("re-push: created=%v err=%v (want dedup)", created, err)
+	}
+
+	got, err := LoadTrace(srv.URL + "/runs/" + run.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotID, _ := Encode(got)
+	if gotID != run.ID {
+		t.Fatal("fetched trace does not round-trip to the pushed address")
+	}
+}

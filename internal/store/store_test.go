@@ -1,0 +1,417 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"chameleon/internal/mpi"
+	"chameleon/internal/ranklist"
+	"chameleon/internal/sig"
+	"chameleon/internal/trace"
+)
+
+// mkTrace builds a small deterministic trace file; seed perturbs the
+// call-site signatures so distinct seeds yield distinct content
+// addresses.
+func mkTrace(p int, benchmark string, seed uint64) *trace.File {
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	ranks := ranklist.FromRanks(all)
+	send := trace.Event{Op: mpi.OpSend, Stack: sig.Stack(sig.Mix(seed*100 + 1)), Dest: trace.Relative(1), Tag: 1, Bytes: 256}
+	recv := trace.Event{Op: mpi.OpRecv, Stack: sig.Stack(sig.Mix(seed*100 + 2)), Src: trace.Relative(-1), Tag: 1, Bytes: 256}
+	coll := trace.Event{Op: mpi.OpAllreduce, Stack: sig.Stack(sig.Mix(seed*100 + 3)), Bytes: 8}
+	return &trace.File{
+		P:         p,
+		Benchmark: benchmark,
+		Tracer:    "chameleon",
+		Nodes: []*trace.Node{
+			trace.NewLoop(40, []*trace.Node{
+				trace.NewLeaf(send, ranks, 1000),
+				trace.NewLeaf(recv, ranks, 0),
+			}),
+			trace.NewLeaf(coll, ranks, 500),
+		},
+	}
+}
+
+// mkWideTrace is mkTrace with many distinct call sites, large enough
+// that gzip actually shrinks the payload.
+func mkWideTrace(p int, benchmark string, seed uint64) *trace.File {
+	f := mkTrace(p, benchmark, seed)
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	ranks := ranklist.FromRanks(all)
+	for i := uint64(0); i < 128; i++ {
+		ev := trace.Event{Op: mpi.OpBcast, Stack: sig.Stack(sig.Mix(seed*1000 + i)), Bytes: int(8 * i)}
+		f.Nodes = append(f.Nodes, trace.NewLeaf(ev, ranks, int64(100*i)))
+	}
+	return f
+}
+
+func openTemp(t *testing.T, opts Options) *Archive {
+	t.Helper()
+	a, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func countSegments(t *testing.T, a *Archive) int {
+	t.Helper()
+	n := 0
+	err := filepath.Walk(filepath.Join(a.dir, "segments"), func(path string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() && strings.HasSuffix(path, ".seg") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestIngestDedup(t *testing.T) {
+	a := openTemp(t, Options{})
+	f := mkTrace(8, "PHASE", 1)
+
+	r1, created, err := a.Ingest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first ingest should create a segment")
+	}
+	r2, created, err := a.Ingest(mkTrace(8, "PHASE", 1)) // fresh but identical File
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created {
+		t.Fatal("second ingest of identical content must dedup")
+	}
+	if r1.ID != r2.ID {
+		t.Fatalf("content addresses differ: %s vs %s", r1.ID, r2.ID)
+	}
+	if got := countSegments(t, a); got != 1 {
+		t.Fatalf("segments on disk = %d, want 1", got)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("manifest runs = %d, want 1", a.Len())
+	}
+	if r1.P != 8 || r1.Benchmark != "PHASE" || r1.Events == 0 || len(r1.Sigs) != 3 {
+		t.Fatalf("manifest record incomplete: %+v", r1)
+	}
+}
+
+func TestIngestBytesNormalizesFormats(t *testing.T) {
+	a := openTemp(t, Options{})
+	f := mkTrace(4, "STENCIL", 2)
+
+	var binV2 bytes.Buffer
+	if err := f.WriteBinary(&binV2); err != nil {
+		t.Fatal(err)
+	}
+	var asJSON bytes.Buffer
+	if err := f.Write(&asJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, created, err := a.IngestBytes(binV2.Bytes())
+	if err != nil || !created {
+		t.Fatalf("binary ingest: created=%v err=%v", created, err)
+	}
+	r2, created, err := a.IngestBytes(asJSON.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || r1.ID != r2.ID {
+		t.Fatalf("JSON push of the same run must dedup against the binary push (created=%v, %s vs %s)",
+			created, r1.ID[:12], r2.ID[:12])
+	}
+}
+
+func TestGetRoundTripAndIntegrity(t *testing.T) {
+	a := openTemp(t, Options{})
+	f := mkTrace(8, "PHASE", 3)
+	canonical, id, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Ingest(f); err != nil {
+		t.Fatal(err)
+	}
+
+	payload, run, err := a.Payload(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, canonical) {
+		t.Fatal("stored payload is not byte-identical to the canonical encoding")
+	}
+	if run.RawBytes != int64(len(canonical)) {
+		t.Fatalf("RawBytes = %d, want %d", run.RawBytes, len(canonical))
+	}
+
+	got, _, err := a.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, reID, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reID != id || !bytes.Equal(re, canonical) {
+		t.Fatal("decoded trace does not re-encode to the same content address")
+	}
+
+	// Corrupt the segment on disk; the content-address check must catch it.
+	seg := a.segmentPath(id)
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Payload(id); err == nil {
+		t.Fatal("corrupt segment must fail the integrity check")
+	}
+}
+
+func TestGzipSegments(t *testing.T) {
+	a := openTemp(t, Options{Gzip: true})
+	f := mkWideTrace(16, "PHASE", 4)
+	run, created, err := a.Ingest(f)
+	if err != nil || !created {
+		t.Fatalf("ingest: created=%v err=%v", created, err)
+	}
+	if !run.Gzip {
+		t.Fatal("run should record gzip storage")
+	}
+
+	// The on-disk segment is a gzip frame.
+	raw, err := os.ReadFile(a.segmentPath(run.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) != run.StoredBytes {
+		t.Fatalf("StoredBytes = %d, file is %d", run.StoredBytes, len(raw))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("segment is not gzip: %v", err)
+	}
+	zr.Close()
+
+	// Reads transparently decompress and still verify the address.
+	payload, _, err := a.Payload(run.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, id, _ := Encode(f)
+	if id != run.ID || !bytes.Equal(payload, canonical) {
+		t.Fatal("gzip round-trip lost bytes")
+	}
+
+	// A gzip archive dedups against the same content pushed again.
+	if _, created, _ := a.Ingest(f); created {
+		t.Fatal("gzip archive must dedup identical content")
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, _, err := a.Ingest(mkTrace(4, "LU", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	b, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Len() != 1 {
+		t.Fatalf("reopened archive has %d runs, want 1", b.Len())
+	}
+	got, rec, err := b.Get(run.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Benchmark != "LU" || got.P != 4 {
+		t.Fatalf("reopened run lost metadata: %+v", rec)
+	}
+}
+
+func TestListQueryAndPagination(t *testing.T) {
+	a := openTemp(t, Options{})
+	var phase Run
+	for i := uint64(0); i < 5; i++ {
+		r, _, err := a.Ingest(mkTrace(8, "PHASE", 10+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		phase = r
+	}
+	for i := uint64(0); i < 3; i++ {
+		if _, _, err := a.Ingest(mkTrace(16, "STENCIL", 20+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	runs, total := a.List(Query{})
+	if total != 8 || len(runs) != 8 {
+		t.Fatalf("List all: %d/%d, want 8/8", len(runs), total)
+	}
+	runs, total = a.List(Query{Benchmark: "PHASE"})
+	if total != 5 || len(runs) != 5 {
+		t.Fatalf("List PHASE: %d/%d, want 5/5", len(runs), total)
+	}
+	runs, total = a.List(Query{P: 16})
+	if total != 3 {
+		t.Fatalf("List P=16: total %d, want 3", total)
+	}
+	runs, total = a.List(Query{Benchmark: "PHASE", Limit: 2})
+	if total != 5 || len(runs) != 2 {
+		t.Fatalf("List limited: %d/%d, want 2/5", len(runs), total)
+	}
+	runs, _ = a.List(Query{Benchmark: "PHASE", Limit: 2, Offset: 4})
+	if len(runs) != 1 {
+		t.Fatalf("List offset tail: %d, want 1", len(runs))
+	}
+	if runs, _ = a.List(Query{Offset: 100}); len(runs) != 0 {
+		t.Fatal("offset past the end must return nothing")
+	}
+
+	// Sig containment: one of PHASE's interned signatures.
+	if len(phase.Sigs) == 0 {
+		t.Fatal("run has no signature set")
+	}
+	runs, total = a.List(Query{Sig: phase.Sigs[0]})
+	if total != 1 || runs[0].ID != phase.ID {
+		t.Fatalf("List by sig: got %d runs, want exactly the matching one", total)
+	}
+	// SigSet exact match.
+	runs, _ = a.List(Query{SigSet: phase.SigSet})
+	if len(runs) != 1 || runs[0].ID != phase.ID {
+		t.Fatal("List by sigset must match exactly one run")
+	}
+}
+
+func TestDeleteAndCompact(t *testing.T) {
+	a := openTemp(t, Options{})
+	keep, _, err := a.Ingest(mkTrace(4, "PHASE", 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, _, err := a.Ingest(mkTrace(4, "PHASE", 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Delete(drop.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Append-only: the segment survives deletion until compaction.
+	if got := countSegments(t, a); got != 2 {
+		t.Fatalf("segments after delete = %d, want 2", got)
+	}
+	// Plant tmp debris as a crashed ingest would leave.
+	if err := os.WriteFile(filepath.Join(a.dir, "tmp", "seg-debris"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := a.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 { // orphaned segment + tmp debris
+		t.Fatalf("compact removed %d files, want 2", removed)
+	}
+	if got := countSegments(t, a); got != 1 {
+		t.Fatalf("segments after compact = %d, want 1", got)
+	}
+	if _, _, err := a.Get(drop.ID); err == nil {
+		t.Fatal("deleted run must not resolve")
+	}
+	if _, _, err := a.Get(keep.ID); err != nil {
+		t.Fatalf("surviving run broken after compact: %v", err)
+	}
+}
+
+func TestBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{CompactEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	run, _, err := a.Ingest(mkTrace(4, "PHASE", 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Delete(run.ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for countSegments(t, a) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background compactor never reclaimed the orphan")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestResolvePrefix(t *testing.T) {
+	a := openTemp(t, Options{})
+	run, _, err := a.Ingest(mkTrace(4, "PHASE", 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Resolve(run.ID[:12])
+	if err != nil || got.ID != run.ID {
+		t.Fatalf("prefix resolve: %v", err)
+	}
+	if _, err := a.Resolve(run.ID[:4]); err == nil {
+		t.Fatal("too-short prefix must not resolve")
+	}
+	if _, err := a.Resolve("ffffffffffff"); err == nil {
+		t.Fatal("unknown prefix must not resolve")
+	}
+}
+
+func TestManifestSwapLeavesNoTemp(t *testing.T) {
+	a := openTemp(t, Options{})
+	for i := uint64(0); i < 4; i++ {
+		if _, _, err := a.Ingest(mkTrace(2, "BT", 60+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(a.manifestPath()); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+	tmps, err := os.ReadDir(filepath.Join(a.dir, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("tmp staging not empty after ingests: %d files", len(tmps))
+	}
+}

@@ -318,9 +318,16 @@ func readSiteTable(br *binReader, f *File) *decodeSites {
 		}
 		return nil
 	}
+	// Cap the preallocation: n is attacker-controlled in a corrupt
+	// file, and each entry consumes at least three bytes of input, so a
+	// bogus huge count hits EOF long before the slices grow this large.
+	pre := n
+	if pre > 4096 {
+		pre = 4096
+	}
 	ds := &decodeSites{
-		sigs: make([]sig.Stack, 0, n),
-		ids:  make([]sig.SiteID, 0, n),
+		sigs: make([]sig.Stack, 0, pre),
+		ids:  make([]sig.SiteID, 0, pre),
 	}
 	for i := uint64(0); i < n && br.err == nil; i++ {
 		info := sig.SiteInfo{
@@ -351,7 +358,13 @@ func readSeq(br *binReader, depth int, sites *decodeSites) []*Node {
 		}
 		return nil
 	}
-	seq := make([]*Node, 0, n)
+	// Bound the preallocation: a corrupt count up to 1<<24 would
+	// otherwise commit a 128MB slice before the first decode error.
+	pre := n
+	if pre > 4096 {
+		pre = 4096
+	}
+	seq := make([]*Node, 0, pre)
 	for i := uint64(0); i < n && br.err == nil; i++ {
 		seq = append(seq, readNode(br, depth, sites))
 	}
@@ -420,20 +433,53 @@ func readRanks(br *binReader) ranklist.List {
 		}
 		return ranklist.List{}
 	}
+	// maxRankExpansion bounds the total rank count one leaf may decode
+	// to: RL.Ranks materializes the cross product of its dimensions, so
+	// corrupt iteration counts must be rejected before expansion (a
+	// negative Iters would panic the allocator; a huge one would OOM).
+	const maxRankExpansion = 1 << 20
 	var ranks []int
+	total := uint64(0)
 	for i := uint64(0); i < n && br.err == nil; i++ {
 		start := int(br.varint())
+		if start < 0 || start > 1<<30 {
+			br.err = fmt.Errorf("trace: rank list start %d out of range", start)
+			return ranklist.List{}
+		}
 		dims := br.uvarint()
 		if dims > 8 {
 			br.err = fmt.Errorf("trace: rank list dims too large")
 			return ranklist.List{}
 		}
 		rl := ranklist.RL{Start: start}
+		size := uint64(1)
 		for d := uint64(0); d < dims; d++ {
+			iters := br.varint()
+			stride := br.varint()
+			if iters < 1 || iters > maxRankExpansion ||
+				stride < -(1<<30) || stride > 1<<30 {
+				if br.err == nil {
+					br.err = fmt.Errorf("trace: rank list dimension out of range")
+				}
+				return ranklist.List{}
+			}
+			size *= uint64(iters)
+			if size > maxRankExpansion {
+				br.err = fmt.Errorf("trace: rank list too large")
+				return ranklist.List{}
+			}
 			rl.Dims = append(rl.Dims, ranklist.Dim{
-				Iters:  int(br.varint()),
-				Stride: int(br.varint()),
+				Iters:  int(iters),
+				Stride: int(stride),
 			})
+		}
+		total += size
+		if total > maxRankExpansion {
+			br.err = fmt.Errorf("trace: rank list too large")
+			return ranklist.List{}
+		}
+		if br.err != nil {
+			return ranklist.List{}
 		}
 		ranks = append(ranks, rl.Ranks()...)
 	}
@@ -485,7 +531,13 @@ func LoadAny(path string) (*File, error) {
 		return nil, err
 	}
 	defer in.Close()
-	br := bufio.NewReader(in)
+	return ReadAny(in)
+}
+
+// ReadAny reads a trace from r in either format (binary v1/v2 or
+// JSON), sniffing the magic.
+func ReadAny(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
 	head, err := br.Peek(8)
 	if err == nil && ([8]byte(head) == binaryMagicV1 || [8]byte(head) == binaryMagicV2) {
 		return ReadBinary(br)

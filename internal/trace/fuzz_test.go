@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chameleon/internal/mpi"
+	"chameleon/internal/ranklist"
+	"chameleon/internal/sig"
+)
+
+// fuzzSeedFile builds a representative v2 trace for the fuzz corpus:
+// loops, leaves, rank lists with strides, histograms with spread.
+func fuzzSeedFile() *File {
+	ranks := ranklist.FromRanks([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	odd := ranklist.FromRanks([]int{1, 3, 5, 7})
+	send := Event{Op: mpi.OpSend, Stack: sig.Stack(sig.Mix(1)), Dest: Relative(1), Tag: 7, Bytes: 512}
+	recv := Event{Op: mpi.OpRecv, Stack: sig.Stack(sig.Mix(2)), Src: Relative(-1), Tag: 7, Bytes: 512}
+	coll := Event{Op: mpi.OpAllreduce, Stack: sig.Stack(sig.Mix(3)), Bytes: 8}
+	sendLeaf := NewLeaf(send, ranks, 1200)
+	sendLeaf.Delta.Add(900)
+	sendLeaf.Delta.Add(4000)
+	return &File{
+		P:         8,
+		Benchmark: "PHASE",
+		Tracer:    "chameleon",
+		Nodes: []*Node{
+			NewLoop(40, []*Node{
+				sendLeaf,
+				NewLeaf(recv, odd, 0),
+			}),
+			NewLeaf(coll, ranks, 500),
+		},
+	}
+}
+
+// FuzzReadBinary feeds arbitrary bytes to the binary decoder. The
+// decoder must never panic or allocate unboundedly: corrupt input
+// returns an error. Decoded files must survive re-encoding.
+func FuzzReadBinary(f *testing.F) {
+	// Seed 1: the v1 compat fixture from the repository testdata.
+	v1, err := os.ReadFile(filepath.Join("..", "..", "testdata", "compat_v1_phase.trc"))
+	if err != nil {
+		f.Fatalf("v1 seed: %v", err)
+	}
+	f.Add(v1)
+
+	// Seed 2: a representative v2 golden built in-process.
+	var v2 bytes.Buffer
+	if err := fuzzSeedFile().WriteBinary(&v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+
+	// Seed 3: truncated v2.
+	f.Add(v2.Bytes()[:v2.Len()/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode cleanly.
+		if err := decoded.WriteBinary(io.Discard); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadAny exercises the format sniffer (binary magics + the JSON
+// fallback) on arbitrary input.
+func FuzzReadAny(f *testing.F) {
+	var v2 bytes.Buffer
+	if err := fuzzSeedFile().WriteBinary(&v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	var js bytes.Buffer
+	if err := fuzzSeedFile().Write(&js); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(js.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ReadAny(bytes.NewReader(data)) //nolint:errcheck — must not panic
+	})
+}
+
+// corrupter hand-assembles binary trace files so the regression tests
+// below can hit specific decoder bounds.
+type corrupter struct{ buf bytes.Buffer }
+
+func (c *corrupter) magic(v byte)    { c.buf.Write([]byte{'C', 'H', 'A', 'M', 'T', 'R', 'C', v}) }
+func (c *corrupter) bytes(b ...byte) { c.buf.Write(b) }
+
+func (c *corrupter) uvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	c.buf.Write(tmp[:n])
+}
+
+func (c *corrupter) varint(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	c.buf.Write(tmp[:n])
+}
+
+func (c *corrupter) str(s string) {
+	c.uvarint(uint64(len(s)))
+	c.buf.WriteString(s)
+}
+
+// header writes a v2 preamble with an empty site table.
+func (c *corrupter) header() {
+	c.magic('2')
+	c.uvarint(1) // P
+	c.bytes(0)   // flags
+	c.str("")    // benchmark
+	c.str("")    // tracer
+	c.uvarint(0) // site table count
+}
+
+func mustErr(t *testing.T, name string, data []byte) {
+	t.Helper()
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatalf("%s: corrupt input decoded without error", name)
+	}
+}
+
+func TestReadBinaryCorruptInputs(t *testing.T) {
+	t.Run("truncated", func(t *testing.T) {
+		var good bytes.Buffer
+		if err := fuzzSeedFile().WriteBinary(&good); err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut < good.Len(); cut += 7 {
+			if _, err := ReadBinary(bytes.NewReader(good.Bytes()[:cut])); err == nil {
+				t.Fatalf("truncation at %d bytes decoded without error", cut)
+			}
+		}
+	})
+
+	t.Run("huge node count", func(t *testing.T) {
+		var c corrupter
+		c.header()
+		c.uvarint(1 << 40) // node count far past the 1<<24 cap
+		mustErr(t, "node count", c.buf.Bytes())
+	})
+
+	t.Run("node count within cap but no data", func(t *testing.T) {
+		// A count under the cap must not commit a huge allocation before
+		// the decoder notices the stream is empty.
+		var c corrupter
+		c.header()
+		c.uvarint(1 << 23)
+		mustErr(t, "empty-bodied count", c.buf.Bytes())
+	})
+
+	t.Run("negative rank iters", func(t *testing.T) {
+		// Pre-hardening this panicked: RL.Ranks computed a negative
+		// slice capacity from a corrupt iteration count.
+		var c corrupter
+		c.header()
+		c.uvarint(1)  // one node
+		c.bytes(0x01) // leaf
+		c.uvarint(1)  // op
+		c.uvarint(0)  // site index (v2, empty table -> out of range later is fine)
+		mustErr(t, "negative iters", c.buf.Bytes())
+	})
+
+	t.Run("negative rank iters full leaf", func(t *testing.T) {
+		var c corrupter
+		c.magic('1') // v1: leaves carry raw signatures, no site table
+		c.uvarint(4) // P
+		c.bytes(0)   // flags
+		c.str("")    // benchmark
+		c.str("")    // tracer
+		c.uvarint(1) // node count
+		c.bytes(0x01)
+		c.uvarint(1)  // op
+		c.uvarint(42) // raw signature
+		c.varint(0)   // comm
+		c.varint(0)   // tag
+		c.varint(0)   // bytes
+		c.bytes(0)    // dest endpoint kind none
+		c.bytes(0)    // src endpoint kind none
+		c.uvarint(1)  // one rank descriptor
+		c.varint(0)   // start
+		c.uvarint(1)  // one dim
+		c.varint(-5)  // iters: negative — must error, not panic
+		c.varint(1)   // stride
+		mustErr(t, "negative iters leaf", c.buf.Bytes())
+	})
+
+	t.Run("huge rank expansion", func(t *testing.T) {
+		var c corrupter
+		c.magic('1')
+		c.uvarint(4)
+		c.bytes(0)
+		c.str("")
+		c.str("")
+		c.uvarint(1)
+		c.bytes(0x01)
+		c.uvarint(1)
+		c.uvarint(42)
+		c.varint(0)
+		c.varint(0)
+		c.varint(0)
+		c.bytes(0)
+		c.bytes(0)
+		c.uvarint(1)      // one rank descriptor
+		c.varint(0)       // start
+		c.uvarint(2)      // two dims
+		c.varint(1 << 19) // iters
+		c.varint(1)       // stride
+		c.varint(1 << 19) // iters: product 1<<38 — must be rejected
+		c.varint(1)       // stride
+		mustErr(t, "rank expansion", c.buf.Bytes())
+	})
+
+	t.Run("site index out of range", func(t *testing.T) {
+		var c corrupter
+		c.header() // empty site table
+		c.uvarint(1)
+		c.bytes(0x01)
+		c.uvarint(1)
+		c.uvarint(99) // site index into the empty table
+		mustErr(t, "site index", c.buf.Bytes())
+	})
+
+	t.Run("huge site table", func(t *testing.T) {
+		var c corrupter
+		c.magic('2')
+		c.uvarint(1)
+		c.bytes(0)
+		c.str("")
+		c.str("")
+		c.uvarint(1 << 30) // site count past the cap
+		mustErr(t, "site table", c.buf.Bytes())
+	})
+
+	t.Run("huge string", func(t *testing.T) {
+		var c corrupter
+		c.magic('2')
+		c.uvarint(1)
+		c.bytes(0)
+		c.uvarint(1 << 30) // benchmark length
+		mustErr(t, "string length", c.buf.Bytes())
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		mustErr(t, "magic", []byte("NOTATRCE"))
+	})
+}
+
+// TestLoadAnyCorruptFile proves the path-level loader surfaces decode
+// errors instead of panicking.
+func TestLoadAnyCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	var c corrupter
+	c.header()
+	c.uvarint(1 << 40)
+	path := filepath.Join(dir, "corrupt.trc")
+	if err := os.WriteFile(path, c.buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAny(path); err == nil {
+		t.Fatal("corrupt file loaded without error")
+	}
+}
