@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test test-race test-faults test-store fuzz-trace bench bench-causal bench-faults bench-refactor bench-store clean
+.PHONY: all check test test-race test-faults test-store test-live fuzz-trace bench bench-causal bench-faults bench-refactor bench-store bench-live clean
 
 all: check test
 
@@ -48,6 +48,22 @@ test-store:
 	$(GO) test -race ./internal/store/
 	$(GO) test -race -run 'TestStore' .
 
+# test-live: the live-telemetry suite under the race detector — the
+# delta shipper, chamd's session tracker and detectors, the
+# 64-goroutine concurrent-pusher storm, and the end-to-end in-flight
+# straggler test (chamrun -live -> chamd -> chamtop -follow).
+test-live:
+	$(GO) test -race -run 'TestLive|TestShipper|TestJournalRing|TestProgress' ./internal/obs/ ./internal/store/
+	$(GO) test -race -run 'TestLiveSlowRankFlaggedInFlight|TestLiveCrashRankDeparts' .
+
+# bench-live: price the live telemetry shipper against a no -live run
+# of the same workload; writes BENCH_live.json (wall-clock overhead
+# percent — budget 5%, the report fails beyond it — and wire bytes per
+# shipped delta).
+bench-live:
+	BENCH_LIVE_OUT=$(CURDIR)/BENCH_live.json $(GO) test -run TestLiveBenchReport -v .
+	$(GO) test -run '^$$' -bench 'BenchmarkNilObserver|BenchmarkNilProgress' -benchmem ./internal/obs/
+
 # fuzz-trace: a short fuzz smoke over the binary trace decoder (the
 # archive ingests untrusted payloads through it). CI runs this; local
 # deep fuzzing just raises -fuzztime.
@@ -76,5 +92,5 @@ bench-faults:
 
 clean:
 	rm -f BENCH_obs.json BENCH_causal.json BENCH_fault.json \
-		BENCH_refactor.json BENCH_store.json \
+		BENCH_refactor.json BENCH_store.json BENCH_live.json \
 		chameleon.journal.jsonl chameleon.trace.json chameleon.edges.jsonl

@@ -1,0 +1,157 @@
+package chameleon_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"chameleon"
+)
+
+// benchLiveInterval is the shipper period for the bench workload: short
+// enough that periodic shipping fires within one run.
+const benchLiveInterval = 50 * time.Millisecond
+
+// runPhaseForBench runs the bench-live workload (PHASE class A, P=32,
+// chameleon tracer); when srvURL is non-empty it attaches a live
+// shipper exactly as `chamrun -live` does — at a 50ms interval so the
+// periodic shipping path fires within the run — and returns the
+// shipper's wire stats.
+func runPhaseForBench(tb testing.TB, srvURL, session string) (deltas, bytesOut uint64) {
+	tb.Helper()
+	const p = 32
+	opts := chameleon.ObsOptions{Metrics: true}
+	if srvURL != "" {
+		opts.ProgressRanks = p
+		opts.JournalRing = 256
+	}
+	o := chameleon.NewObserver(opts)
+
+	var shipper *chameleon.LiveShipper
+	if srvURL != "" {
+		var err error
+		shipper, err = chameleon.NewLiveShipper(o, chameleon.LiveShipperOptions{
+			URL:       srvURL,
+			Session:   session,
+			Benchmark: "PHASE",
+			P:         p,
+			Interval:  benchLiveInterval,
+		})
+		if err != nil {
+			tb.Fatalf("shipper: %v", err)
+		}
+		shipper.Start()
+	}
+	_, err := chameleon.RunBenchmark("PHASE", "A", p, chameleon.TracerChameleon,
+		&chameleon.Config{Obs: o})
+	if shipper != nil {
+		if serr := shipper.Stop(); serr != nil {
+			tb.Fatalf("shipper stop: %v", serr)
+		}
+	}
+	if err != nil {
+		tb.Fatalf("run: %v", err)
+	}
+	if shipper != nil {
+		st := shipper.Stats()
+		return st.Deltas, uint64(st.BytesOut)
+	}
+	return 0, 0
+}
+
+// BenchmarkLiveOverhead prices the live telemetry pipeline: "off" is a
+// metrics-only run (chamrun -metrics), "on" adds the progress board,
+// journal ring, and the delta shipper posting to an in-process chamd
+// (chamrun -metrics -live).
+func BenchmarkLiveOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runPhaseForBench(b, "", "")
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		srv := newLiveDaemon(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runPhaseForBench(b, srv.URL, fmt.Sprintf("bench-%d", i))
+		}
+	})
+}
+
+// TestLiveBenchReport writes BENCH_live.json when BENCH_LIVE_OUT names
+// a path (`make bench-live`): wall-clock overhead of -live vs no -live
+// (must stay under 5%) and bytes on the wire per shipped delta.
+func TestLiveBenchReport(t *testing.T) {
+	path := os.Getenv("BENCH_LIVE_OUT")
+	if path == "" {
+		t.Skip("set BENCH_LIVE_OUT=BENCH_live.json to write the report")
+	}
+
+	srv := newLiveDaemon(t)
+
+	// The workload's wall-clock drifts a few percent over the report's
+	// lifetime, so interleave baseline/live passes (drift hits both
+	// sides equally) and take the fastest pass per side — the standard
+	// noise-robust statistic — before comparing.
+	var deltas, bytesOut uint64
+	var liveRuns, pass int
+	baseFn := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runPhaseForBench(b, "", "")
+		}
+	}
+	liveFn := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, by := runPhaseForBench(b, srv.URL, fmt.Sprintf("report-%d-%d", pass, i))
+			deltas += d
+			bytesOut += by
+			liveRuns++
+		}
+		pass++
+	}
+	var baseline, live testing.BenchmarkResult
+	for i := 0; i < 3; i++ {
+		if r := testing.Benchmark(baseFn); i == 0 || r.NsPerOp() < baseline.NsPerOp() {
+			baseline = r
+		}
+		if r := testing.Benchmark(liveFn); i == 0 || r.NsPerOp() < live.NsPerOp() {
+			live = r
+		}
+	}
+	if deltas == 0 {
+		t.Fatal("live runs shipped no deltas")
+	}
+
+	overheadPct := 100 * (float64(live.NsPerOp()) - float64(baseline.NsPerOp())) / float64(baseline.NsPerOp())
+	bytesPerDelta := float64(bytesOut) / float64(deltas)
+
+	report := map[string]any{
+		"workload":               "PHASE class A, P=32, chameleon tracer",
+		"interval":               benchLiveInterval.String(),
+		"baseline_ns_op":         baseline.NsPerOp(),
+		"live_ns_op":             live.NsPerOp(),
+		"wallclock_overhead_pct": overheadPct,
+		"deltas_per_run":         float64(deltas) / float64(liveRuns),
+		"bytes_per_delta":        bytesPerDelta,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	t.Logf("wrote %s: baseline=%dns/op live=%dns/op overhead=%.2f%% bytes/delta=%.0f",
+		path, baseline.NsPerOp(), live.NsPerOp(), overheadPct, bytesPerDelta)
+
+	if overheadPct > 5.0 {
+		t.Fatalf("live shipper overhead %.2f%% exceeds the 5%% budget", overheadPct)
+	}
+}

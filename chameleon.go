@@ -92,6 +92,10 @@ type (
 	ObsSnapshot = obs.Snapshot
 	// ObsEdge is one matched send/recv causal edge pair.
 	ObsEdge = obs.Edge
+	// LiveShipper streams an Observer's state to a chamd live session.
+	LiveShipper = obs.Shipper
+	// LiveShipperOptions configures a live telemetry shipper.
+	LiveShipperOptions = obs.ShipperOptions
 	// FaultPlan is a parsed fault-injection plan (crash/delay/slow
 	// directives).
 	FaultPlan = fault.Plan
@@ -102,6 +106,12 @@ type (
 // NewObserver assembles an Observer from the requested facilities; it
 // returns nil (the disabled Observer) when none is enabled.
 func NewObserver(o ObsOptions) *Observer { return obs.New(o) }
+
+// NewLiveShipper builds a live telemetry shipper for the observer (see
+// chamrun -live and docs/OBSERVABILITY.md).
+func NewLiveShipper(o *Observer, opts LiveShipperOptions) (*LiveShipper, error) {
+	return obs.NewShipper(o, opts)
+}
 
 // ReadJournal parses a JSONL observability journal back into events.
 func ReadJournal(r io.Reader) ([]ObsEvent, error) { return obs.ReadJournal(r) }

@@ -8,29 +8,42 @@
 //
 // Endpoints:
 //
-//	PUT  /runs                  ingest a trace (idempotent; ETag = content address)
-//	GET  /runs                  list runs (benchmark=, p=, sig=, sigset=, limit=, offset=)
-//	GET  /runs/{id}             fetch one run (binary, or ?format=json)
-//	GET  /runs/{a}/diff/{b}     per-site divergence between two archived runs
-//	GET  /metrics               obs registry snapshot (with -metrics)
-//	GET  /healthz               liveness probe
+//	PUT  /runs                            ingest a trace (idempotent; ETag = content address)
+//	GET  /runs                            list runs (benchmark=, p=, sig=, sigset=, limit=, offset=)
+//	GET  /runs/{id}                       fetch one run (binary, or ?format=json)
+//	GET  /runs/{a}/diff/{b}               per-site divergence between two archived runs
+//	POST /live/sessions/{id}/deltas       ingest live telemetry deltas (chamrun -live)
+//	GET  /live/sessions                   list in-flight sessions
+//	GET  /live/sessions/{id}              one session's current view (?metrics=1)
+//	GET  /live/sessions/{id}/watch        long-poll for the next version (chamtop -follow)
+//	GET  /metrics                         Prometheus text (with -metrics; JSON via Accept)
+//	GET  /healthz                         liveness probe
 //
 // Producers push with `chamrun ... -push http://host:8321`; the analysis
 // tools (chamstat, chamdump, chamreplay, chamextrap) accept
 // http(s)://host/runs/{id} references wherever they take a trace path.
 //
+// Live telemetry (docs/OBSERVABILITY.md): runs started with
+// `chamrun -live http://host:8321` stream sequence-numbered deltas here;
+// the daemon tracks per-rank heartbeats and window progress, flags
+// stragglers and stalls in flight, and `chamtop -follow` renders the
+// view. -live-heartbeat and -live-ttl tune the detectors.
+//
 // The daemon is hardened for unattended use: per-request timeouts,
 // a PUT body cap, periodic background compaction of orphaned segments,
-// and graceful shutdown on SIGINT/SIGTERM (in-flight requests drain, the
-// compactor stops, the manifest is already durable at every point).
+// graceful shutdown on SIGINT/SIGTERM (in-flight requests drain, the
+// compactor stops, the manifest is already durable at every point), and
+// -debug-addr serves net/http/pprof and expvar on a side listener.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +62,9 @@ func main() {
 	maxBodyMB := flag.Int64("max-body-mb", 64, "maximum PUT body size in MiB")
 	reqTimeout := flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
 	compactEvery := flag.Duration("compact-every", 10*time.Minute, "background orphan-segment compaction period (0 = disabled)")
+	liveHeartbeat := flag.Duration("live-heartbeat", 5*time.Second, "live sessions: missed-heartbeat threshold before a rank is flagged stalled")
+	liveTTL := flag.Duration("live-ttl", 10*time.Minute, "live sessions: drop sessions idle longer than this")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this side address")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -73,12 +89,33 @@ func main() {
 	}
 	defer archive.Close()
 
+	live := store.NewLive(store.LiveOptions{
+		HeartbeatTimeout: *liveHeartbeat,
+		SessionTTL:       *liveTTL,
+		Reg:              reg,
+	})
+
 	handler := store.NewServer(archive, store.ServerOptions{
 		MaxBodyBytes:   *maxBodyMB << 20,
 		RequestTimeout: *reqTimeout,
 		Metrics:        *metrics,
 		Reg:            reg,
+		Live:           live,
 	})
+
+	if *debugAddr != "" {
+		// pprof registers on the default mux, which the main server's own
+		// handler never exposes — only this side listener serves it.
+		expvar.Publish("chameleon", expvar.Func(func() any {
+			return reg.Snapshot()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "chamd: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("chamd       debug http://%s/debug/pprof http://%s/debug/vars\n", *debugAddr, *debugAddr)
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,

@@ -52,6 +52,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"chameleon"
 	"chameleon/internal/store"
@@ -78,6 +79,9 @@ func main() {
 	causalFlag := flag.Bool("causal", false, "capture causal send/recv edges and write them as JSONL")
 	edgesOut := flag.String("edges-out", "chameleon.edges.jsonl", "causal edge output path")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address during the run")
+	live := flag.String("live", "", "stream live telemetry deltas to this chamd URL during the run (watch with chamtop -follow)")
+	liveInterval := flag.Duration("live-interval", 250*time.Millisecond, "live telemetry snapshot/ship period")
+	liveSession := flag.String("live-session", "", "live session ID (default: random)")
 	faults := flag.String("faults", "", "fault plan: inline spec, or @path to a plan file")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault injector's perturbation streams")
 	flag.Parse()
@@ -104,7 +108,13 @@ func main() {
 	}
 
 	opts := chameleon.ObsOptions{
-		Metrics: *metrics || *metricsOut != "" || *debugAddr != "",
+		Metrics: *metrics || *metricsOut != "" || *debugAddr != "" || *live != "",
+	}
+	if *live != "" {
+		// Live telemetry needs the progress board and a journal tail ring
+		// even when no journal file was requested.
+		opts.ProgressRanks = *p
+		opts.JournalRing = 1024
 	}
 	var journalFile *os.File
 	if *journal {
@@ -135,8 +145,37 @@ func main() {
 		fmt.Printf("debug       http://%s/debug/pprof http://%s/debug/vars\n", *debugAddr, *debugAddr)
 	}
 
+	var shipper *chameleon.LiveShipper
+	if *live != "" {
+		var err error
+		shipper, err = chameleon.NewLiveShipper(observer, chameleon.LiveShipperOptions{
+			URL:       *live,
+			Session:   *liveSession,
+			Benchmark: *bench,
+			P:         *p,
+			Interval:  *liveInterval,
+		})
+		if err != nil {
+			fatal("live: %v", err)
+		}
+		shipper.Start()
+		fmt.Printf("live        %s/live/sessions/%s (every %v; chamtop -follow %s -session %s)\n",
+			strings.TrimSuffix(*live, "/"), shipper.Session(), *liveInterval, *live, shipper.Session())
+	}
+
 	override := &chameleon.Config{K: *k, Freq: *freq, Algo: *algo, Obs: observer, Fault: injector}
 	res, err := chameleon.RunBenchmark(*bench, *class, *p, chameleon.Tracer(*tr), override)
+	if shipper != nil {
+		// Flush the final delta even when the run failed, so watchers see
+		// the ending either way.
+		if serr := shipper.Stop(); serr != nil {
+			fmt.Fprintf(os.Stderr, "chamrun: live: %v\n", serr)
+		} else {
+			st := shipper.Stats()
+			fmt.Printf("live        shipped %d deltas in %d posts (%d B; errors=%d dropped=%d)\n",
+				st.Deltas, st.Posts, st.BytesOut, st.Errors, st.Dropped)
+		}
+	}
 	if err != nil {
 		fatal("%v", err)
 	}

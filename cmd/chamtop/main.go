@@ -10,10 +10,17 @@
 // per-window wait attribution (plus the span-category breakdown when a
 // Chrome trace is given with -trace).
 //
+// With -follow it becomes the live monitor: it polls (long-poll) a
+// chamd daemon's live-session endpoint and renders a refreshing view of
+// an in-flight run — per-rank window progress, heartbeats, and the
+// daemon's straggler/stall flags — while the run executes (start the
+// run with chamrun -live; see docs/OBSERVABILITY.md).
+//
 // Usage:
 //
 //	chamtop chameleon.journal.jsonl
 //	chamtop -critical -edges chameleon.edges.jsonl [-trace t.json] [-top 10] [journal.jsonl]
+//	chamtop -follow http://localhost:8321 [-session id] [-once]
 //
 // The journal, edge, and trace arguments may also be http(s):// URLs
 // (e.g. artifacts served by a chamd host, docs/STORE.md); chamtop
@@ -39,11 +46,21 @@ func main() {
 	edgesPath := flag.String("edges", "chameleon.edges.jsonl", "causal edge JSONL file (with -critical)")
 	tracePath := flag.String("trace", "", "Chrome trace file for the span breakdown (with -critical)")
 	topN := flag.Int("top", 10, "rows per table in the critical report")
+	follow := flag.String("follow", "", "chamd base URL: watch a live session instead of reading a journal")
+	session := flag.String("session", "", "live session ID to follow (default: the most recently updated)")
+	once := flag.Bool("once", false, "with -follow: print one frame and exit (no refresh loop)")
+	pollTimeout := flag.Duration("poll", 10*time.Second, "with -follow: long-poll timeout per request")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: chamtop [-critical -edges edges.jsonl [-trace trace.json] [-top n]] [journal.jsonl]")
+		fmt.Fprintln(os.Stderr, "       chamtop -follow http://host:8321 [-session id] [-once] [-poll 10s]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *follow != "" {
+		followLive(*follow, *session, *once, *pollTimeout)
+		return
+	}
 
 	var events []obs.Event
 	if flag.NArg() > 1 {
@@ -288,6 +305,57 @@ func finalize(events []obs.Event) {
 	fmt.Fprintf(w, "  %d\t%d\t%d\t%d\t%d\n",
 		len(rows), events64, bytes64, recorded.Quantile(0.50), recorded.Max)
 	w.Flush()
+}
+
+// followLive is the -follow mode: long-poll a chamd live session and
+// redraw its view each time the server's version advances, until the
+// run finalizes (or forever for -once=false sessions that never do;
+// interrupt with ^C).
+func followLive(base, session string, once bool, poll time.Duration) {
+	if session == "" {
+		sessions, err := store.FetchLiveSessions(base)
+		if err != nil {
+			fatal("follow: %v", err)
+		}
+		if len(sessions) == 0 {
+			fatal("follow: %s has no live sessions (start one with chamrun -live %s)", base, base)
+		}
+		// List() returns newest-updated first; follow that one.
+		session = sessions[0].Session
+		if len(sessions) > 1 {
+			fmt.Fprintf(os.Stderr, "chamtop: %d live sessions, following most recent %q (pick with -session):\n",
+				len(sessions), session)
+			for _, s := range sessions {
+				fmt.Fprintf(os.Stderr, "  %-20s %-10s P=%d stragglers=%d\n", s.Session, s.Benchmark, s.P, s.Stragglers)
+			}
+		}
+	}
+
+	v, err := store.FetchLiveView(base, session)
+	if err != nil {
+		fatal("follow: %v", err)
+	}
+	for {
+		if !once {
+			fmt.Print("\x1b[H\x1b[2J") // cursor home + clear: redraw in place
+		}
+		store.RenderSessionView(os.Stdout, v)
+		if once || v.Final {
+			return
+		}
+		next, err := store.WatchLiveView(base, session, v.Version, poll)
+		if err != nil {
+			// Transient watch errors (daemon restart, request timeout edge)
+			// shouldn't kill the monitor; back off briefly and re-fetch.
+			fmt.Fprintf(os.Stderr, "chamtop: watch: %v\n", err)
+			time.Sleep(time.Second)
+			next, err = store.FetchLiveView(base, session)
+			if err != nil {
+				fatal("follow: %v", err)
+			}
+		}
+		v = next
+	}
 }
 
 func tab() *tabwriter.Writer {

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"chameleon/internal/mpi"
-	"chameleon/internal/obs"
 	"chameleon/internal/vtime"
 )
 
@@ -33,15 +32,12 @@ func DistributedSelectMembers(p *mpi.Proc, self Item, members []int, k int, algo
 	// explicit "cluster" context, when set, takes precedence.
 	defer p.CausalContextDefault("cluster", tag)()
 
+	// Handles are nil-safe when metrics are off; no guard needed.
 	o := p.Obs()
-	var cDistances, cSelections, cItems *obs.Counter
-	var cWorking *obs.Histogram
-	if o != nil && o.Reg != nil {
-		cDistances = o.Counter("cluster_distance_ops_total")
-		cSelections = o.Counter("cluster_selections_total")
-		cItems = o.Counter("cluster_items_gathered_total")
-		cWorking = o.Histogram("cluster_working_set_items")
-	}
+	cDistances := o.Counter("cluster_distance_ops_total")
+	cSelections := o.Counter("cluster_selections_total")
+	cItems := o.Counter("cluster_items_gathered_total")
+	cWorking := o.Histogram("cluster_working_set_items")
 
 	if members == nil {
 		members = make([]int, p.Size())

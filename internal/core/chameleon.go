@@ -161,10 +161,10 @@ type coreMetrics struct {
 	failovers     *obs.Counter
 }
 
+// newCoreMetrics always returns a usable struct: with metrics disabled
+// every handle is nil, and nil handles absorb updates, so call sites
+// never guard on the struct.
 func newCoreMetrics(o *obs.Observer) *coreMetrics {
-	if o == nil || o.Reg == nil {
-		return nil
-	}
 	m := &coreMetrics{
 		markers:       o.Counter("core_marker_calls_total"),
 		engaged:       o.Counter("core_markers_engaged_total"),
@@ -292,9 +292,13 @@ func (c *Chameleon) onMarker() {
 	hops := vtime.Duration(vtime.Log2Ceil(c.groupSize()))
 	c.p.Ledger.Charge(vtime.CatMarker, hops*(model.Alpha+model.CollectivePerLevel))
 	c.markerCalls++
-	if c.met != nil && c.p.Rank() == 0 {
+	if c.p.Rank() == 0 {
 		c.met.markers.Inc()
 	}
+	// Live progress: the window count is the marker call count, and the
+	// barrier-entry clock (saved by Pre) carries cross-rank skew the
+	// barrier itself erases.
+	c.o.Window(c.p.Rank(), uint64(c.markerCalls), c.pre)
 	// Marker and clustering processing time must not leak into the
 	// recorded inter-event computation deltas: exclude the whole marker
 	// span (barrier entry through processing end) from the next delta,
@@ -306,7 +310,7 @@ func (c *Chameleon) onMarker() {
 		return
 	}
 	c.engaged++
-	if c.met != nil && c.p.Rank() == 0 {
+	if c.p.Rank() == 0 {
 		c.met.engaged.Inc()
 	}
 	state := c.transition()
@@ -358,10 +362,8 @@ func (c *Chameleon) observeTransition(state State) {
 		c.lastState, c.haveState = state, true
 		return
 	}
-	if c.met != nil {
-		c.met.transitions[state].Inc()
-		c.met.state.Set(int64(state))
-	}
+	c.met.transitions[state].Inc()
+	c.met.state.Set(int64(state))
 	from := ""
 	if c.haveState {
 		from = c.lastState.String()
@@ -379,10 +381,8 @@ func (c *Chameleon) transition() State {
 	model := c.p.Model()
 	cur := c.rec.Win.Triple()
 	c.curSig = cur
-	if c.met != nil {
-		c.met.windowEvents.Observe(int64(c.rec.Win.Events()))
-		c.met.windowSites.Observe(int64(c.rec.Win.DistinctSites()))
-	}
+	c.met.windowEvents.Observe(int64(c.rec.Win.Events()))
+	c.met.windowSites.Observe(int64(c.rec.Win.DistinctSites()))
 	c.rec.Win.Reset()
 
 	if !c.haveOld {
@@ -420,10 +420,8 @@ func (c *Chameleon) transition() State {
 	c.p.Ledger.Charge(vtime.CatMarker, hops*(model.Alpha+model.CollectivePerLevel))
 	c.oldCallPath = cur.CallPath
 	if c.p.Rank() == 0 {
-		if c.met != nil {
-			c.met.votes.Inc()
-			c.met.voteMismatch.Add(glob)
-		}
+		c.met.votes.Inc()
+		c.met.voteMismatch.Add(glob)
 		c.o.Emit(obs.Event{
 			Kind: obs.KindVote, Rank: 0, VT: int64(c.p.Clock.Now()),
 			Marker: c.markerCalls, Votes: obs.Vote(glob),
@@ -494,11 +492,9 @@ func (c *Chameleon) runClustering() {
 		c.col.LeadRanks = append([]int(nil), c.leads...)
 		c.col.CallPathClusters = len(paths)
 		c.col.mu.Unlock()
-		if c.met != nil {
-			c.met.reclusterings.Inc()
-			c.met.leadCount.Set(int64(len(c.leads)))
-			c.met.callPaths.Set(int64(len(paths)))
-		}
+		c.met.reclusterings.Inc()
+		c.met.leadCount.Set(int64(len(c.leads)))
+		c.met.callPaths.Set(int64(len(paths)))
 		c.o.Emit(obs.Event{
 			Kind: obs.KindCluster, Rank: 0, VT: int64(p.Clock.Now()),
 			Marker: c.markerCalls, K: c.opt.K,
@@ -537,7 +533,7 @@ func (c *Chameleon) handleDepartures() {
 	if len(newlyDead) == 0 {
 		return
 	}
-	if c.met != nil && p.Rank() == 0 {
+	if p.Rank() == 0 {
 		c.met.departures.Add(uint64(len(newlyDead)))
 	}
 	if len(c.clusters) == 0 {
@@ -571,9 +567,7 @@ func (c *Chameleon) handleDepartures() {
 		if len(survivors) == 0 {
 			// The lead died with its whole cluster; nothing to promote.
 			if p.Rank() == 0 {
-				if c.met != nil {
-					c.met.failovers.Inc()
-				}
+				c.met.failovers.Inc()
 				c.o.Emit(obs.Event{
 					Kind: obs.KindFailover, Rank: 0, VT: int64(p.Clock.Now()),
 					Marker: c.markerCalls, Leads: []int{old}, Note: "cluster-lost",
@@ -606,9 +600,7 @@ func (c *Chameleon) handleDepartures() {
 			c.failoverFlush = true
 		}
 		if p.Rank() == 0 {
-			if c.met != nil {
-				c.met.failovers.Inc()
-			}
+			c.met.failovers.Inc()
 			c.o.Emit(obs.Event{
 				Kind: obs.KindFailover, Rank: 0, VT: int64(p.Clock.Now()),
 				Marker: c.markerCalls, Leads: []int{old, it.Lead},
@@ -629,9 +621,7 @@ func (c *Chameleon) handleDepartures() {
 		c.col.mu.Lock()
 		c.col.LeadRanks = append([]int(nil), c.leads...)
 		c.col.mu.Unlock()
-		if c.met != nil {
-			c.met.leadCount.Set(int64(len(c.leads)))
-		}
+		c.met.leadCount.Set(int64(len(c.leads)))
 	}
 }
 
@@ -702,10 +692,8 @@ func (c *Chameleon) flushLeads(cause string) {
 		}
 	}
 	if p.Rank() == 0 {
-		if c.met != nil {
-			c.met.flushes.Inc()
-			c.met.onlineBytes.Set(int64(c.online.SizeBytes()))
-		}
+		c.met.flushes.Inc()
+		c.met.onlineBytes.Set(int64(c.online.SizeBytes()))
 		c.o.Emit(obs.Event{
 			Kind: obs.KindFlush, Rank: 0, VT: int64(p.Clock.Now()),
 			Marker: c.markerCalls, Round: round, Note: cause,

@@ -128,6 +128,9 @@ type Runtime struct {
 	// causal caches obs.Causal so the per-message hot path tests one
 	// pointer instead of chasing two.
 	causal *obs.Causal
+	// progress caches obs.Progress for the live-telemetry hooks (nil
+	// when live tracking is off; every method is nil-safe).
+	progress *obs.Progress
 	// fault is the run's fault injector (nil = zero-fault mode).
 	fault *fault.Injector
 }
@@ -385,20 +388,19 @@ func (p *Proc) Compute(d vtime.Duration) {
 	if f := p.rt.fault; f != nil {
 		if extra := f.PerturbCompute(p.rank, d) - d; extra > 0 {
 			p.Ledger.Charge(vtime.CatFault, extra)
-			if m := p.rt.met; m != nil {
-				m.faultDelays.Inc()
-				m.faultDelayNs.Observe(int64(extra))
-			}
+			p.rt.met.faultDelays.Inc()
+			p.rt.met.faultDelayNs.Observe(int64(extra))
 			d += extra
 		}
 	}
+	// Post-perturbation, so a fault-slowed rank's stretch is visible on
+	// the live progress board.
+	p.rt.progress.AddCompute(p.rank, int64(d))
 	if o := p.rt.obs; o != nil {
 		start := p.Clock.Now()
 		p.Clock.Advance(d)
-		if m := p.rt.met; m != nil {
-			m.computeCalls.Inc()
-			m.computeNs.Observe(int64(d))
-		}
+		p.rt.met.computeCalls.Inc()
+		p.rt.met.computeNs.Observe(int64(d))
 		o.Span(p.rank, "compute", obs.CatCompute, start, p.Clock.Now())
 		return
 	}
@@ -534,6 +536,7 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 		obs:       cfg.Obs,
 		met:       newOpMetrics(cfg.Obs),
 		causal:    cfg.Obs.CausalStore(),
+		progress:  cfg.Obs.ProgressBoard(),
 		fault:     cfg.Fault,
 	}
 	rt.gcond = sync.NewCond(&rt.gmu)
@@ -575,6 +578,7 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 						// survivors already exclude it from every
 						// subsequent barrier and collective.
 						departed[p.rank] = true
+						rt.progress.Depart(p.rank)
 						rt.setState(p.rank, stateDone)
 						return
 					}

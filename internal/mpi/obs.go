@@ -28,11 +28,10 @@ type opMetrics struct {
 	crashes      *obs.Counter
 }
 
-// newOpMetrics registers the mpi_* metric series.
+// newOpMetrics registers the mpi_* metric series. It always returns a
+// usable struct: with metrics disabled every handle is nil, and nil
+// handles absorb updates, so call sites never guard on the struct.
 func newOpMetrics(o *obs.Observer) *opMetrics {
-	if o == nil || o.Reg == nil {
-		return nil
-	}
 	m := &opMetrics{
 		p2pBlocked:     o.Histogram("mpi_p2p_blocked_vtime_ns"),
 		collBlocked:    o.Histogram("mpi_collective_blocked_vtime_ns"),
@@ -77,21 +76,23 @@ func (p *Proc) opBegin(ci *CallInfo) vtime.Time {
 // triggered by the hook (recording, marker processing) books onto its
 // own spans rather than inflating the communication's.
 func (p *Proc) opEnd(ci *CallInfo, start vtime.Time) {
+	// Heartbeat for live telemetry: any completed operation proves the
+	// rank is alive.
+	p.rt.progress.Op(p.rank)
 	if o := p.rt.obs; o != nil {
 		end := p.Clock.Now()
-		if m := p.rt.met; m != nil {
-			m.calls[ci.Op].Inc()
-			if ci.Bytes > 0 {
-				m.bytes[ci.Op].Add(uint64(ci.Bytes))
-			}
-			switch {
-			case ci.Op == OpBarrier && ci.Comm == CommMarker:
-				m.markerBarriers.Inc()
-			case ci.Op.IsCollective():
-				m.collBlocked.Observe(int64(end - start))
-			case ci.Op.IsPointToPoint():
-				m.p2pBlocked.Observe(int64(end - start))
-			}
+		m := p.rt.met
+		m.calls[ci.Op].Inc()
+		if ci.Bytes > 0 {
+			m.bytes[ci.Op].Add(uint64(ci.Bytes))
+		}
+		switch {
+		case ci.Op == OpBarrier && ci.Comm == CommMarker:
+			m.markerBarriers.Inc()
+		case ci.Op.IsCollective():
+			m.collBlocked.Observe(int64(end - start))
+		case ci.Op.IsPointToPoint():
+			m.p2pBlocked.Observe(int64(end - start))
 		}
 		name, cat := ci.Op.String(), obs.CatP2P
 		switch {

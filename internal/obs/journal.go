@@ -75,14 +75,22 @@ const (
 	FlushFailover    = "failover"     // lead died; survivors flush promptly
 )
 
-// Journal is a concurrency-safe JSONL event sink. A nil *Journal
-// discards events.
+// Journal is a concurrency-safe JSONL event sink, optionally keeping a
+// bounded in-memory ring of the most recent events so a live telemetry
+// shipper can stream the tail without re-reading the output file. A nil
+// *Journal discards events.
 type Journal struct {
 	mu  sync.Mutex
 	w   io.Writer
 	enc *json.Encoder
 	n   uint64
 	err error
+	// ring holds the most recent ringCap events; ringBase is the
+	// absolute index of ring[0] (events are numbered from 0 in emit
+	// order, so ringBase+len(ring) == total events ever ringed).
+	ring     []Event
+	ringCap  int
+	ringBase uint64
 }
 
 // NewJournal wraps w (nil returns a disabled journal).
@@ -91,6 +99,20 @@ func NewJournal(w io.Writer) *Journal {
 		return nil
 	}
 	return &Journal{w: w, enc: json.NewEncoder(w)}
+}
+
+// NewJournalRing builds a journal that keeps the most recent `recent`
+// events in memory (see Tail) in addition to encoding them to w; w may
+// be nil for a ring-only journal (live telemetry without -journal).
+func NewJournalRing(w io.Writer, recent int) *Journal {
+	if recent <= 0 {
+		return NewJournal(w)
+	}
+	j := &Journal{w: w, ringCap: recent}
+	if w != nil {
+		j.enc = json.NewEncoder(w)
+	}
+	return j
 }
 
 // Emit appends one event line. Write errors are latched (see Err) so
@@ -104,11 +126,48 @@ func (j *Journal) Emit(ev Event) {
 	if j.err != nil {
 		return
 	}
-	if err := j.enc.Encode(ev); err != nil {
-		j.err = err
-		return
+	if j.enc != nil {
+		if err := j.enc.Encode(ev); err != nil {
+			j.err = err
+			return
+		}
+	}
+	if j.ringCap > 0 {
+		if len(j.ring) == j.ringCap {
+			// Shift-free eviction: drop the oldest half in one copy so
+			// amortized append stays O(1) without a circular index.
+			half := j.ringCap / 2
+			if half == 0 {
+				half = 1
+			}
+			j.ring = append(j.ring[:0], j.ring[half:]...)
+			j.ringBase += uint64(half)
+		}
+		j.ring = append(j.ring, ev)
 	}
 	j.n++
+}
+
+// Tail returns the ringed events with absolute index >= after, the
+// index to pass as the next call's after, and how many events in the
+// requested range had already been evicted from the ring. The returned
+// slice is freshly allocated.
+func (j *Journal) Tail(after uint64) (events []Event, next uint64, dropped uint64) {
+	if j == nil {
+		return nil, after, 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.ringBase + uint64(len(j.ring))
+	if after < j.ringBase {
+		dropped = j.ringBase - after
+		after = j.ringBase
+	}
+	if after >= end {
+		return nil, end, dropped
+	}
+	events = append([]Event(nil), j.ring[after-j.ringBase:]...)
+	return events, end, dropped
 }
 
 // Events returns how many events were successfully written.

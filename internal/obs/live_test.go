@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestJournalRingTail checks the shipper-facing tail contract: absolute
+// indexing, eviction accounting, and cursor advancement.
+func TestJournalRingTail(t *testing.T) {
+	j := NewJournalRing(nil, 8)
+	for i := 0; i < 4; i++ {
+		j.Emit(Event{Kind: KindWindow, Rank: i})
+	}
+	evs, next, dropped := j.Tail(0)
+	if len(evs) != 4 || next != 4 || dropped != 0 {
+		t.Fatalf("tail(0) = %d events, next %d, dropped %d", len(evs), next, dropped)
+	}
+	if evs[0].Rank != 0 || evs[3].Rank != 3 {
+		t.Fatalf("tail order wrong: %+v", evs)
+	}
+	// No new events: empty tail, cursor stays put.
+	evs, next, dropped = j.Tail(next)
+	if len(evs) != 0 || next != 4 || dropped != 0 {
+		t.Fatalf("idle tail = %d events, next %d, dropped %d", len(evs), next, dropped)
+	}
+	// Overflow the ring: capacity 8 evicts the oldest half on the 9th
+	// emit, so events 0..3 (already consumed) plus some unconsumed ones
+	// are gone.
+	for i := 4; i < 20; i++ {
+		j.Emit(Event{Kind: KindWindow, Rank: i})
+	}
+	evs, next2, dropped := j.Tail(next)
+	if next2 != 20 {
+		t.Fatalf("next = %d, want 20", next2)
+	}
+	if dropped == 0 {
+		t.Fatal("expected dropped events after ring overflow")
+	}
+	if uint64(len(evs))+dropped != 20-next {
+		t.Fatalf("events (%d) + dropped (%d) != requested range (%d)", len(evs), dropped, 20-next)
+	}
+	// Returned events are the most recent, contiguous with the end.
+	if evs[len(evs)-1].Rank != 19 {
+		t.Fatalf("last tailed rank = %d, want 19", evs[len(evs)-1].Rank)
+	}
+	// The JSONL writer still sees everything when attached.
+	var buf bytes.Buffer
+	jw := NewJournalRing(&buf, 4)
+	for i := 0; i < 10; i++ {
+		jw.Emit(Event{Kind: KindWindow, Rank: i})
+	}
+	all, err := ReadJournal(&buf)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("writer side kept %d events (err %v), want 10", len(all), err)
+	}
+	if jw.Events() != 10 {
+		t.Fatalf("Events() = %d, want 10", jw.Events())
+	}
+}
+
+// TestProgressBoard exercises the per-rank slots and snapshot.
+func TestProgressBoard(t *testing.T) {
+	p := NewProgress(4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for w := uint64(1); w <= 10; w++ {
+				p.Window(r, w, int64(w)*100*int64(r+1))
+				p.AddCompute(r, int64(r+1)*50)
+				p.Op(r)
+			}
+		}(r)
+	}
+	wg.Wait()
+	p.Depart(3)
+	snap := p.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	for r, rp := range snap {
+		if rp.Rank != r || rp.Windows != 10 || rp.Ops != 10 {
+			t.Fatalf("rank %d snapshot wrong: %+v", r, rp)
+		}
+		if rp.ComputeVT != int64(r+1)*500 {
+			t.Fatalf("rank %d computeVT = %d, want %d", r, rp.ComputeVT, (r+1)*500)
+		}
+	}
+	if !snap[3].Departed || snap[0].Departed {
+		t.Fatalf("departed flags wrong: %+v", snap)
+	}
+	// Out-of-range and nil are absorbed.
+	p.Window(99, 1, 1)
+	p.Op(-1)
+	var nilP *Progress
+	nilP.Window(0, 1, 1)
+	nilP.AddCompute(0, 1)
+	nilP.Op(0)
+	nilP.Depart(0)
+	if nilP.Ranks() != 0 || nilP.Snapshot() != nil {
+		t.Fatal("nil progress misbehaved")
+	}
+}
+
+// TestWritePrometheus checks the exposition format: type lines, sorted
+// families, summary quantiles.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total").Add(3)
+	r.Counter("aa_total").Inc()
+	r.Gauge("level").Set(-2)
+	for i := 1; i <= 100; i++ {
+		r.Histogram("lat_ns").Observe(int64(i))
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE aa_total counter\naa_total 1\n",
+		"# TYPE zz_total counter\nzz_total 3\n",
+		"# TYPE level gauge\nlevel -2\n",
+		"# TYPE lat_ns summary\n",
+		"lat_ns{quantile=\"0.5\"} ",
+		"lat_ns{quantile=\"0.99\"} ",
+		"lat_ns_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "aa_total") > strings.Index(out, "zz_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+// liveSink is a minimal in-test chamd: it accepts delta batches and
+// remembers what it saw.
+type liveSink struct {
+	mu      sync.Mutex
+	deltas  []Delta
+	fail    atomic.Bool // reject requests while set
+	reqs    atomic.Int64
+	maxSeen uint64
+}
+
+func (ls *liveSink) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ls.reqs.Add(1)
+		if ls.fail.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		var batch []Delta
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ls.mu.Lock()
+		for _, d := range batch {
+			if d.Seq > ls.maxSeen {
+				ls.maxSeen = d.Seq
+				ls.deltas = append(ls.deltas, d)
+			}
+		}
+		max := ls.maxSeen
+		ls.mu.Unlock()
+		json.NewEncoder(w).Encode(Ack{AckSeq: max})
+	})
+}
+
+func (ls *liveSink) snapshot() []Delta {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return append([]Delta(nil), ls.deltas...)
+}
+
+// TestShipperHappyPath runs a shipper against an httptest sink and
+// checks sequencing, payload contents, and the final flush.
+func TestShipperHappyPath(t *testing.T) {
+	sink := &liveSink{}
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	o := New(Options{Metrics: true, JournalRing: 64, ProgressRanks: 2})
+	o.Counter("widgets_total").Add(7)
+	o.Emit(Event{Kind: KindWindow, Rank: 0})
+	o.Progress.Window(0, 3, 1000)
+	o.Progress.Window(1, 3, 4000)
+	o.Progress.Op(0)
+
+	sh, err := NewShipper(o, ShipperOptions{
+		URL:       srv.URL,
+		Benchmark: "TEST",
+		P:         2,
+		Interval:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewShipper: %v", err)
+	}
+	if sh.Session() == "" {
+		t.Fatal("no session id generated")
+	}
+	sh.Start()
+	time.Sleep(30 * time.Millisecond)
+	o.Counter("widgets_total").Add(1)
+	o.Emit(Event{Kind: KindFinalize, Rank: 1})
+	if err := sh.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+
+	got := sink.snapshot()
+	if len(got) < 2 {
+		t.Fatalf("sink saw %d deltas, want >= 2", len(got))
+	}
+	for i, d := range got {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("delta %d has seq %d (gap or reorder)", i, d.Seq)
+		}
+		if d.Session != sh.Session() || d.Benchmark != "TEST" || d.P != 2 {
+			t.Fatalf("delta header wrong: %+v", d)
+		}
+	}
+	last := got[len(got)-1]
+	if !last.Final {
+		t.Fatalf("last delta not final: %+v", last)
+	}
+	var finalSnap Snapshot
+	if err := json.Unmarshal(last.Metrics, &finalSnap); err != nil || finalSnap.Counters["widgets_total"] != 8 {
+		t.Fatalf("final metrics wrong (err %v): %s", err, last.Metrics)
+	}
+	if len(last.Ranks) != 2 || last.Ranks[1].Windows != 3 {
+		t.Fatalf("final ranks wrong: %+v", last.Ranks)
+	}
+	// Journal events arrive exactly once across the stream.
+	events := 0
+	for _, d := range got {
+		events += len(d.Events)
+	}
+	if events != 2 {
+		t.Fatalf("journal events shipped %d times, want 2", events)
+	}
+	st := sh.Stats()
+	if st.Deltas != uint64(len(got)) || st.Errors != 0 || st.Dropped != 0 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+// TestShipperRetry makes the sink fail for a while and checks the
+// shipper buffers, backs off, and delivers everything once the sink
+// recovers — without duplicating sequence numbers.
+func TestShipperRetry(t *testing.T) {
+	sink := &liveSink{}
+	sink.fail.Store(true)
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	o := New(Options{Metrics: true, ProgressRanks: 1})
+	sh, err := NewShipper(o, ShipperOptions{
+		URL:      srv.URL,
+		Interval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewShipper: %v", err)
+	}
+	sh.Start()
+	time.Sleep(20 * time.Millisecond)
+	if st := sh.Stats(); st.Errors == 0 {
+		t.Fatalf("expected transport errors while sink down, got %+v", st)
+	}
+	sink.fail.Store(false)
+	time.Sleep(20 * time.Millisecond)
+	if err := sh.Stop(); err != nil {
+		t.Fatalf("Stop after recovery: %v", err)
+	}
+	got := sink.snapshot()
+	if len(got) == 0 {
+		t.Fatal("sink saw nothing after recovery")
+	}
+	seen := map[uint64]bool{}
+	for _, d := range got {
+		if seen[d.Seq] {
+			t.Fatalf("duplicate seq %d", d.Seq)
+		}
+		seen[d.Seq] = true
+	}
+	if !got[len(got)-1].Final {
+		t.Fatal("final delta missing after recovery")
+	}
+}
+
+// TestShipperDropOldest bounds the pending buffer.
+func TestShipperDropOldest(t *testing.T) {
+	sink := &liveSink{}
+	sink.fail.Store(true)
+	srv := httptest.NewServer(sink.handler())
+	defer srv.Close()
+
+	o := New(Options{ProgressRanks: 1})
+	sh, err := NewShipper(o, ShipperOptions{
+		URL:        srv.URL,
+		Interval:   time.Millisecond,
+		MaxPending: 4,
+	})
+	if err != nil {
+		t.Fatalf("NewShipper: %v", err)
+	}
+	sh.Start()
+	time.Sleep(30 * time.Millisecond)
+	sink.fail.Store(false)
+	_ = sh.Stop()
+	if st := sh.Stats(); st.Dropped == 0 {
+		t.Fatalf("expected dropped deltas with MaxPending=4, got %+v", st)
+	}
+}
+
+// TestValidateSessionID pins the shared charset.
+func TestValidateSessionID(t *testing.T) {
+	for _, ok := range []string{"a", "run-1", "A.b_c-9", strings.Repeat("x", 64)} {
+		if err := ValidateSessionID(ok); err != nil {
+			t.Fatalf("ValidateSessionID(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "a/b", "a b", "セ", strings.Repeat("x", 65)} {
+		if err := ValidateSessionID(bad); err == nil {
+			t.Fatalf("ValidateSessionID(%q) accepted", bad)
+		}
+	}
+}
+
+// BenchmarkNilObserver proves the PR-1 wart fix: every Observer entry
+// point on a nil receiver costs a pointer test and nothing else — zero
+// allocations, sub-nanosecond-scale per call.
+func BenchmarkNilObserver(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Counter("x").Inc()
+		o.Gauge("x").Set(1)
+		o.Histogram("x").Observe(1)
+		o.Span(0, "s", CatCompute, 0, 1)
+		o.Window(0, 1, 1)
+		o.ProgressBoard().Op(0)
+		o.Emit(Event{})
+	}
+}
+
+// BenchmarkNilProgress isolates the progress hooks (the new hot-path
+// sites in mpi/core).
+func BenchmarkNilProgress(b *testing.B) {
+	var p *Progress
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Op(0)
+		p.AddCompute(0, 10)
+		p.Window(0, 1, 1)
+	}
+}

@@ -40,6 +40,8 @@ type Observer struct {
 	Timeline *Timeline
 	// Causal receives matched send/recv edge pairs.
 	Causal *Causal
+	// Progress is the per-rank live-run progress board.
+	Progress *Progress
 }
 
 // Options selects which facilities New enables.
@@ -54,6 +56,13 @@ type Options struct {
 	// CausalRanks, when positive, enables causal edge capture (matched
 	// send/recv pairs) for that many ranks.
 	CausalRanks int
+	// ProgressRanks, when positive, enables the live progress board for
+	// that many ranks (required for live telemetry shipping).
+	ProgressRanks int
+	// JournalRing, when positive, keeps that many recent journal events
+	// in memory for the live shipper's Tail reads. It enables the
+	// journal even when the Journal writer is nil (ring-only).
+	JournalRing int
 }
 
 // New assembles an Observer, or returns nil when every facility is
@@ -63,7 +72,9 @@ func New(o Options) *Observer {
 	if o.Metrics {
 		ob.Reg = NewRegistry()
 	}
-	if o.Journal != nil {
+	if o.JournalRing > 0 {
+		ob.Journal = NewJournalRing(o.Journal, o.JournalRing)
+	} else if o.Journal != nil {
 		ob.Journal = NewJournal(o.Journal)
 	}
 	if o.TimelineRanks > 0 {
@@ -72,7 +83,10 @@ func New(o Options) *Observer {
 	if o.CausalRanks > 0 {
 		ob.Causal = NewCausal(o.CausalRanks)
 	}
-	if ob.Reg == nil && ob.Journal == nil && ob.Timeline == nil && ob.Causal == nil {
+	if o.ProgressRanks > 0 {
+		ob.Progress = NewProgress(o.ProgressRanks)
+	}
+	if ob.Reg == nil && ob.Journal == nil && ob.Timeline == nil && ob.Causal == nil && ob.Progress == nil {
 		return nil
 	}
 	return ob
@@ -130,4 +144,21 @@ func (o *Observer) CausalStore() *Causal {
 		return nil
 	}
 	return o.Causal
+}
+
+// ProgressBoard returns the live progress board (nil, and safe to use,
+// when progress tracking is disabled).
+func (o *Observer) ProgressBoard() *Progress {
+	if o == nil {
+		return nil
+	}
+	return o.Progress
+}
+
+// Window records one completed marker window on the progress board.
+func (o *Observer) Window(rank int, window uint64, arriveVT vtime.Time) {
+	if o == nil {
+		return
+	}
+	o.Progress.Window(rank, window, int64(arriveVT))
 }

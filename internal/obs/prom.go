@@ -1,0 +1,63 @@
+package obs
+
+// Prometheus text exposition of a metrics snapshot, so chamd (and any
+// live run behind it) is scrapeable by standard tooling. Counters and
+// gauges render as themselves; histograms render as summaries (the
+// registry's log2 buckets already interpolate stable p50/p90/p99, which
+// is what the snapshot carries).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PrometheusContentType is the exposition-format content type.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4). Metric families are sorted by
+// name so output is deterministic.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		// sum is reconstructed from the snapshot mean; the registry keeps
+		// an exact sum but the snapshot carries the mean, and count*mean
+		// is exact enough for rate math.
+		sum := h.Mean * int64(h.Count)
+		_, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.9\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, name, h.P50, name, h.P90, name, h.P99, name, sum, name, h.Count)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

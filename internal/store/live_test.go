@@ -1,0 +1,421 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chameleon/internal/obs"
+)
+
+// fakeClock is an injectable wall clock for deterministic heartbeat
+// tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1700000000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func ranksDelta(seq uint64, ranks ...obs.RankProgress) obs.Delta {
+	return obs.Delta{Seq: seq, P: len(ranks), Ranks: ranks}
+}
+
+// TestLiveSlowFlag: a rank with >2x the median cumulative compute is
+// flagged slow and produces one straggler event.
+func TestLiveSlowFlag(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLive(LiveOptions{Now: clk.now})
+	d := ranksDelta(1,
+		obs.RankProgress{Rank: 0, Windows: 5, ComputeVT: 100, Ops: 50},
+		obs.RankProgress{Rank: 1, Windows: 5, ComputeVT: 110, Ops: 50},
+		obs.RankProgress{Rank: 2, Windows: 5, ComputeVT: 105, Ops: 50},
+		obs.RankProgress{Rank: 3, Windows: 5, ComputeVT: 420, Ops: 50},
+	)
+	if _, err := l.Apply("s1", []obs.Delta{d}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	v, err := l.View("s1", false)
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	if len(v.Stragglers) != 1 || v.Stragglers[0] != 3 {
+		t.Fatalf("stragglers = %v, want [3]", v.Stragglers)
+	}
+	if !hasFlag(v.Ranks[3].Flags, FlagSlow) {
+		t.Fatalf("rank 3 flags = %v, want slow", v.Ranks[3].Flags)
+	}
+	if n := countEvents(v.LiveEvents, LiveEventStraggler, FlagSlow); n != 1 {
+		t.Fatalf("straggler(slow) events = %d, want 1", n)
+	}
+	// Re-reads don't duplicate the sticky event.
+	v, _ = l.View("s1", false)
+	if n := countEvents(v.LiveEvents, LiveEventStraggler, FlagSlow); n != 1 {
+		t.Fatalf("straggler events duplicated on re-read: %d", n)
+	}
+}
+
+// TestLiveBehindAndDeparted: a crash-frozen rank falls behind the
+// median window count; a departed rank is flagged departed.
+func TestLiveBehindAndDeparted(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLive(LiveOptions{Now: clk.now})
+	if _, err := l.Apply("s2", []obs.Delta{ranksDelta(1,
+		obs.RankProgress{Rank: 0, Windows: 10, ComputeVT: 100, Ops: 99},
+		obs.RankProgress{Rank: 1, Windows: 10, ComputeVT: 100, Ops: 99},
+		obs.RankProgress{Rank: 2, Windows: 4, ComputeVT: 40, Ops: 30},
+		obs.RankProgress{Rank: 3, Windows: 3, ComputeVT: 30, Ops: 20, Departed: true},
+	)}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	v, err := l.View("s2", false)
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	if !hasFlag(v.Ranks[2].Flags, FlagBehind) {
+		t.Fatalf("rank 2 flags = %v, want behind", v.Ranks[2].Flags)
+	}
+	if !hasFlag(v.Ranks[3].Flags, FlagDeparted) {
+		t.Fatalf("rank 3 flags = %v, want departed", v.Ranks[3].Flags)
+	}
+	// The departed rank is excluded from the medians: with ranks 0/1 at
+	// 10 and rank 2 at 4, the median over the living is 10.
+	if len(v.Stragglers) != 2 {
+		t.Fatalf("stragglers = %v, want two", v.Stragglers)
+	}
+}
+
+// TestLiveMissedHeartbeat: a rank whose ops counter freezes is flagged
+// stalled after HeartbeatTimeout of fake wall-clock, and produces a
+// missed_heartbeat event — detected on read, with no shipper traffic.
+func TestLiveMissedHeartbeat(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLive(LiveOptions{Now: clk.now, HeartbeatTimeout: 2 * time.Second})
+	apply := func(seq uint64, ops1 uint64) {
+		if _, err := l.Apply("s3", []obs.Delta{ranksDelta(seq,
+			obs.RankProgress{Rank: 0, Windows: seq, Ops: 10 * seq},
+			obs.RankProgress{Rank: 1, Windows: 1, Ops: ops1},
+		)}); err != nil {
+			t.Fatalf("Apply(%d): %v", seq, err)
+		}
+	}
+	apply(1, 7)
+	clk.advance(time.Second)
+	apply(2, 7) // rank 1's ops frozen, but only 1s elapsed: not yet stalled
+	v, _ := l.View("s3", false)
+	if hasFlag(v.Ranks[1].Flags, FlagStalled) {
+		t.Fatalf("rank 1 stalled too early: %v", v.Ranks[1].Flags)
+	}
+	clk.advance(3 * time.Second)
+	apply(3, 7)
+	v, _ = l.View("s3", false)
+	if !hasFlag(v.Ranks[1].Flags, FlagStalled) {
+		t.Fatalf("rank 1 flags = %v, want stalled", v.Ranks[1].Flags)
+	}
+	if hasFlag(v.Ranks[0].Flags, FlagStalled) {
+		t.Fatalf("rank 0 wrongly stalled: %v", v.Ranks[0].Flags)
+	}
+	if n := countEvents(v.LiveEvents, LiveEventMissedHeartbeat, FlagStalled); n != 1 {
+		t.Fatalf("missed_heartbeat events = %d, want 1", n)
+	}
+	// A final session stops stalling (the run is over, silence is fine).
+	if _, err := l.Apply("s3", []obs.Delta{{Seq: 4, Final: true}}); err != nil {
+		t.Fatalf("final: %v", err)
+	}
+	clk.advance(time.Minute)
+	v, _ = l.View("s3", false)
+	if !v.Final {
+		t.Fatal("session not final")
+	}
+	if hasFlag(v.Ranks[0].Flags, FlagStalled) {
+		t.Fatalf("final session still stalling: %v", v.Ranks[0].Flags)
+	}
+}
+
+// TestLiveSeqDedup: retried batches (duplicate seq) are applied once.
+func TestLiveSeqDedup(t *testing.T) {
+	l := NewLive(LiveOptions{Now: newFakeClock().now})
+	d1 := ranksDelta(1, obs.RankProgress{Rank: 0, Windows: 1, Ops: 1})
+	d2 := ranksDelta(2, obs.RankProgress{Rank: 0, Windows: 2, Ops: 2})
+	ack, err := l.Apply("s4", []obs.Delta{d1, d2})
+	if err != nil || ack != 2 {
+		t.Fatalf("Apply = %d, %v", ack, err)
+	}
+	ack, err = l.Apply("s4", []obs.Delta{d1, d2}) // retry
+	if err != nil || ack != 2 {
+		t.Fatalf("retry Apply = %d, %v", ack, err)
+	}
+	v, _ := l.View("s4", false)
+	if v.Deltas != 2 {
+		t.Fatalf("deltas = %d, want 2 (dedup failed)", v.Deltas)
+	}
+}
+
+// TestLiveEviction: sessions idle past the TTL vanish on the next
+// lazily-swept call; the session cap evicts the stalest.
+func TestLiveEviction(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLive(LiveOptions{Now: clk.now, SessionTTL: time.Minute, MaxSessions: 2})
+	one := ranksDelta(1, obs.RankProgress{Rank: 0, Windows: 1, Ops: 1})
+	if _, err := l.Apply("old", []obs.Delta{one}); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(30 * time.Second)
+	if _, err := l.Apply("new", []obs.Delta{one}); err != nil {
+		t.Fatal(err)
+	}
+	// Cap eviction: a third session pushes out the stalest ("old").
+	if _, err := l.Apply("third", []obs.Delta{one}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.View("old", false); err == nil {
+		t.Fatal("cap eviction kept the stalest session")
+	}
+	// TTL eviction.
+	clk.advance(2 * time.Minute)
+	if got := l.List(); len(got) != 0 {
+		t.Fatalf("TTL sweep left %d sessions", len(got))
+	}
+}
+
+// TestLiveWatchWakes: a blocked watch returns promptly once a delta
+// bumps the version.
+func TestLiveWatchWakes(t *testing.T) {
+	l := NewLive(LiveOptions{})
+	if _, err := l.Apply("s5", []obs.Delta{ranksDelta(1, obs.RankProgress{Rank: 0, Windows: 1, Ops: 1})}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := l.View("s5", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *SessionView, 1)
+	go func() {
+		w, err := l.Watch("s5", v.Version, 5*time.Second)
+		if err != nil {
+			t.Errorf("Watch: %v", err)
+			done <- nil
+			return
+		}
+		done <- w
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := l.Apply("s5", []obs.Delta{ranksDelta(2, obs.RankProgress{Rank: 0, Windows: 2, Ops: 2})}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case w := <-done:
+		if w == nil || w.Version <= v.Version {
+			t.Fatalf("watch returned stale view: %+v", w)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watch did not wake on new delta")
+	}
+}
+
+// TestLiveEndpoints drives the HTTP surface end to end: POST deltas,
+// GET view, GET list, long-poll watch, Prometheus /metrics.
+func TestLiveEndpoints(t *testing.T) {
+	a := newTestArchive(t)
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(NewServer(a, ServerOptions{Metrics: true, Reg: reg}))
+	defer srv.Close()
+
+	batch := []obs.Delta{ranksDelta(1,
+		obs.RankProgress{Rank: 0, Windows: 5, ComputeVT: 100, Ops: 10},
+		obs.RankProgress{Rank: 1, Windows: 5, ComputeVT: 400, Ops: 10},
+	)}
+	body, _ := json.Marshal(batch)
+	resp, err := http.Post(srv.URL+"/live/sessions/e2e/deltas", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST deltas: %v", err)
+	}
+	var ack obs.Ack
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil || ack.AckSeq != 1 {
+		t.Fatalf("ack = %+v, err %v", ack, err)
+	}
+	resp.Body.Close()
+
+	v, err := FetchLiveView(srv.URL, "e2e")
+	if err != nil {
+		t.Fatalf("FetchLiveView: %v", err)
+	}
+	if len(v.Stragglers) != 1 || v.Stragglers[0] != 1 {
+		t.Fatalf("stragglers = %v, want [1]", v.Stragglers)
+	}
+	sums, err := FetchLiveSessions(srv.URL)
+	if err != nil || len(sums) != 1 || sums[0].Session != "e2e" || sums[0].Stragglers != 1 {
+		t.Fatalf("FetchLiveSessions = %+v, err %v", sums, err)
+	}
+	w, err := WatchLiveView(srv.URL, "e2e", 0, 50*time.Millisecond)
+	if err != nil || w.Session != "e2e" {
+		t.Fatalf("WatchLiveView = %+v, err %v", w, err)
+	}
+
+	// Bad session IDs are rejected.
+	resp, err = http.Post(srv.URL+"/live/sessions/bad%2Fid/deltas", "application/json", strings.NewReader("[]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound &&
+		resp.StatusCode != http.StatusMovedPermanently {
+		t.Fatalf("slash session id: status %d", resp.StatusCode)
+	}
+
+	// Prometheus exposition with the live gauges.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE chamd_live_sessions gauge",
+		"chamd_live_sessions 1",
+		"chamd_live_deltas 1",
+		"# TYPE chamd_latency_ns summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	// The text renderer handles a straggler view.
+	var frame bytes.Buffer
+	RenderSessionView(&frame, v)
+	if !strings.Contains(frame.String(), "stragglers: 1") {
+		t.Fatalf("render missing straggler line:\n%s", frame.String())
+	}
+}
+
+// TestLivePushStorm: the ISSUE's -race storm — 64 concurrent pushers,
+// each its own session, against one chamd.
+func TestLivePushStorm(t *testing.T) {
+	a := newTestArchive(t)
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(NewServer(a, ServerOptions{Reg: reg}))
+	defer srv.Close()
+
+	const pushers = 64
+	const deltasEach = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, pushers)
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("storm-%02d", g)
+			for seq := uint64(1); seq <= deltasEach; seq++ {
+				batch := []obs.Delta{ranksDelta(seq,
+					obs.RankProgress{Rank: 0, Windows: seq, ComputeVT: int64(seq) * 100, Ops: seq * 3},
+					obs.RankProgress{Rank: 1, Windows: seq, ComputeVT: int64(seq) * 250, Ops: seq * 3},
+				)}
+				body, _ := json.Marshal(batch)
+				resp, err := http.Post(srv.URL+"/live/sessions/"+id+"/deltas", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- fmt.Errorf("%s seq %d: %w", id, seq, err)
+					return
+				}
+				var ack obs.Ack
+				err = json.NewDecoder(resp.Body).Decode(&ack)
+				resp.Body.Close()
+				if err != nil || ack.AckSeq != seq {
+					errs <- fmt.Errorf("%s seq %d: ack %+v err %v", id, seq, ack, err)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	// Concurrent watchers hammer views and lists while pushers run.
+	stop := make(chan struct{})
+	var watchWG sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		watchWG.Add(1)
+		go func(g int) {
+			defer watchWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				FetchLiveSessions(srv.URL)                             //nolint:errcheck
+				FetchLiveView(srv.URL, fmt.Sprintf("storm-%02d", g*7)) //nolint:errcheck
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	watchWG.Wait()
+	for g := 0; g < pushers; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	sums, err := FetchLiveSessions(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != pushers {
+		t.Fatalf("sessions = %d, want %d", len(sums), pushers)
+	}
+	for _, s := range sums {
+		if s.Version == 0 {
+			t.Fatalf("session %s never advanced", s.Session)
+		}
+	}
+}
+
+func newTestArchive(t *testing.T) *Archive {
+	t.Helper()
+	a, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("open archive: %v", err)
+	}
+	return a
+}
+
+func hasFlag(flags []string, f string) bool {
+	for _, x := range flags {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
+func countEvents(evs []LiveEvent, kind, flag string) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Kind == kind && ev.Flag == flag {
+			n++
+		}
+	}
+	return n
+}

@@ -7,7 +7,11 @@ package store
 //	GET  /runs                  list runs (benchmark=, p=, sig=, sigset=, limit=, offset=)
 //	GET  /runs/{id}             fetch one run (binary; ?format=json or Accept: application/json)
 //	GET  /runs/{a}/diff/{b}     server-side per-site divergence (chamstat -diff engine)
-//	GET  /metrics               obs registry snapshot (when enabled)
+//	POST /live/sessions/{id}/deltas   ingest a live telemetry delta batch
+//	GET  /live/sessions               list in-flight sessions
+//	GET  /live/sessions/{id}          one session's live view (?metrics=1 includes snapshot)
+//	GET  /live/sessions/{id}/watch    long-poll: block until version > ?version= or ?timeout=
+//	GET  /metrics               Prometheus text exposition (JSON behind Accept: application/json)
 //	GET  /healthz               liveness probe
 //
 // Requests and responses speak optional gzip (Content-Encoding /
@@ -43,6 +47,9 @@ type ServerOptions struct {
 	// Reg receives request counters and latency histograms (it may be
 	// the same registry the archive reports into).
 	Reg *obs.Registry
+	// Live tracks in-flight sessions; nil builds a default tracker
+	// reporting into Reg (live endpoints are always served).
+	Live *Live
 }
 
 const (
@@ -53,9 +60,11 @@ const (
 type server struct {
 	a    *Archive
 	opts ServerOptions
+	live *Live
 
 	mRequests, mErrors          *obs.Counter
 	mIngestReqs, mQueryReqs     *obs.Counter
+	mLiveReqs                   *obs.Counter
 	mBytesIn, mBytesOut         *obs.Counter
 	hLatency, hIngest, hQueries *obs.Histogram
 }
@@ -69,14 +78,19 @@ func NewServer(a *Archive, opts ServerOptions) http.Handler {
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = defaultRequestTimeout
 	}
+	if opts.Live == nil {
+		opts.Live = NewLive(LiveOptions{Reg: opts.Reg})
+	}
 	s := &server{
 		a:    a,
 		opts: opts,
+		live: opts.Live,
 
 		mRequests:   opts.Reg.Counter("chamd_requests"),
 		mErrors:     opts.Reg.Counter("chamd_errors"),
 		mIngestReqs: opts.Reg.Counter("chamd_ingest_requests"),
 		mQueryReqs:  opts.Reg.Counter("chamd_query_requests"),
+		mLiveReqs:   opts.Reg.Counter("chamd_live_requests"),
 		mBytesIn:    opts.Reg.Counter("chamd_bytes_in"),
 		mBytesOut:   opts.Reg.Counter("chamd_bytes_out"),
 		hLatency:    opts.Reg.Histogram("chamd_latency_ns"),
@@ -89,6 +103,10 @@ func NewServer(a *Archive, opts ServerOptions) http.Handler {
 	mux.HandleFunc("GET /runs", s.handleList)
 	mux.HandleFunc("GET /runs/{id}", s.handleGet)
 	mux.HandleFunc("GET /runs/{a}/diff/{b}", s.handleDiff)
+	mux.HandleFunc("POST /live/sessions/{id}/deltas", s.handleLiveDeltas)
+	mux.HandleFunc("GET /live/sessions", s.handleLiveList)
+	mux.HandleFunc("GET /live/sessions/{id}", s.handleLiveGet)
+	mux.HandleFunc("GET /live/sessions/{id}/watch", s.handleLiveWatch)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -400,6 +418,90 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap.WriteJSON(w) //nolint:errcheck
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	snap.WriteText(w) //nolint:errcheck
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	snap.WritePrometheus(w) //nolint:errcheck
+}
+
+// --- live telemetry endpoints ---
+
+func (s *server) handleLiveDeltas(w http.ResponseWriter, r *http.Request) {
+	s.mLiveReqs.Inc()
+	id := r.PathValue("id")
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	defer body.Close()
+	var batch []obs.Delta
+	if err := json.NewDecoder(body).Decode(&batch); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.opts.MaxBodyBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "delta batch: %v", err)
+		return
+	}
+	ackSeq, err := s.live.Apply(id, batch)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(obs.Ack{AckSeq: ackSeq}) //nolint:errcheck
+}
+
+func (s *server) handleLiveList(w http.ResponseWriter, r *http.Request) {
+	s.mLiveReqs.Inc()
+	resp := struct {
+		Sessions []LiveSummary `json:"sessions"`
+	}{Sessions: s.live.List()}
+	if resp.Sessions == nil {
+		resp.Sessions = []LiveSummary{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}
+
+func (s *server) handleLiveGet(w http.ResponseWriter, r *http.Request) {
+	s.mLiveReqs.Inc()
+	withMetrics := r.URL.Query().Get("metrics") == "1"
+	v, err := s.live.View(r.PathValue("id"), withMetrics)
+	if err != nil {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func (s *server) handleLiveWatch(w http.ResponseWriter, r *http.Request) {
+	s.mLiveReqs.Inc()
+	var after uint64
+	if v := r.URL.Query().Get("version"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "version: %q", v)
+			return
+		}
+		after = n
+	}
+	// The long-poll must resolve inside the server's request timeout
+	// (the whole handler chain sits under http.TimeoutHandler).
+	maxWait := s.opts.RequestTimeout * 3 / 4
+	wait := maxWait
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			s.fail(w, http.StatusBadRequest, "timeout: %q", v)
+			return
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+	v, err := s.live.Watch(r.PathValue("id"), after, wait)
+	if err != nil {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
 }

@@ -35,16 +35,12 @@ func MergeOverTree(p *mpi.Proc, members []int, mine []*trace.Node, filter bool, 
 	defer p.CausalContextDefault("merge", tag)()
 	model := p.Model()
 	world := p.World()
+	// Handles are nil-safe when metrics are off; no guard needed.
 	o := p.Obs()
-	var mSteps, mCompares, mBytes *obs.Counter
-	var mDepth *obs.Gauge
-	if o != nil && o.Reg != nil {
-		mSteps = o.Counter("tracer_merge_steps_total")
-		mCompares = o.Counter("tracer_merge_compares_total")
-		mBytes = o.Counter("tracer_merge_bytes_total")
-		mDepth = o.Gauge("tracer_merge_tree_depth")
-		mDepth.SetMax(int64(vtime.Log2Ceil(len(members))))
-	}
+	mSteps := o.Counter("tracer_merge_steps_total")
+	mCompares := o.Counter("tracer_merge_compares_total")
+	mBytes := o.Counter("tracer_merge_bytes_total")
+	o.Gauge("tracer_merge_tree_depth").SetMax(int64(vtime.Log2Ceil(len(members))))
 	acc := mine
 	for _, childPos := range mpi.TreeChildPositions(pos, len(members)) {
 		t0 := p.Clock.Now()
