@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test test-race test-faults test-store test-live fuzz-trace bench bench-causal bench-faults bench-refactor bench-store bench-live clean
+.PHONY: all check test test-race test-faults test-store test-live test-zan fuzz-trace bench bench-causal bench-faults bench-refactor bench-store bench-live bench-zan clean
 
 all: check test
 
@@ -78,6 +78,22 @@ bench-store:
 	BENCH_STORE_OUT=$(CURDIR)/BENCH_store.json $(GO) test -run TestStoreBenchReport -v .
 	$(GO) test -bench 'BenchmarkStore' -benchmem .
 
+# test-zan: the compressed-domain analysis suite — the engine's unit
+# tests, the analysis guards and oracle, and the property test proving
+# the closed-form metrics against the expansion oracle and the replayer
+# on every application skeleton (see docs/ANALYSIS.md).
+test-zan:
+	$(GO) test ./internal/zan/ ./internal/analysis/
+	$(GO) test -run 'TestCompressedMetrics' -v .
+
+# bench-zan: price the compressed-domain walk against the replay-based
+# reference on PHASE and SWEEP3D traces at 1x and 100x their recorded
+# iteration counts; writes BENCH_zan.json and fails unless zan is >=10x
+# faster and >=10x lighter on allocations at 100x while staying flat
+# across the scaling.
+bench-zan:
+	BENCH_ZAN_OUT=$(CURDIR)/BENCH_zan.json $(GO) test -run TestZanBenchReport -v -timeout 20m .
+
 # test-faults: the fault-injection suite, including the
 # crash-at-every-marker sweep over the PHASE and STENCIL examples
 # (see docs/FAULTS.md).
@@ -93,4 +109,5 @@ bench-faults:
 clean:
 	rm -f BENCH_obs.json BENCH_causal.json BENCH_fault.json \
 		BENCH_refactor.json BENCH_store.json BENCH_live.json \
+		BENCH_zan.json \
 		chameleon.journal.jsonl chameleon.trace.json chameleon.edges.jsonl

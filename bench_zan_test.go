@@ -1,0 +1,181 @@
+// Zan benchmark harness: prices the compressed-domain analysis engine
+// against the replay-based reference on real skeleton traces. The
+// headline claim (ISSUE 7): on PHASE and SWEEP3D traces scaled to 100x
+// their iteration counts, zan computes the same metrics the replayer
+// would derive while being >=10x faster and allocating >=10x less —
+// and its cost stays flat as the iteration counts grow, because it
+// multiplies per-iteration contributions instead of expanding loops.
+//
+// `make bench-zan` runs TestZanBenchReport, which measures both paths
+// under testing.Benchmark and writes BENCH_zan.json.
+//
+//	go test -bench 'BenchmarkCompressedAnalysis' -benchmem
+package chameleon_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"chameleon"
+	"chameleon/internal/analysis"
+	"chameleon/internal/trace"
+	"chameleon/internal/zan"
+)
+
+// zanBenchApps maps report keys to the benchmark runs being analyzed.
+// SWEEP3D is registered under its short name S3D in the facade.
+var zanBenchApps = map[string]struct {
+	bench string
+	class string
+}{
+	"PHASE":   {bench: "PHASE", class: "A"},
+	"SWEEP3D": {bench: "S3D", class: "A"},
+}
+
+// zanBenchTrace produces the trace under analysis: the skeleton run
+// through the Chameleon online tracer at P=16, with every top-level
+// loop's iteration count scaled by k ("the same program, k times
+// longer" — the compressed representation keeps its exact size).
+func zanBenchTrace(tb testing.TB, bench, class string, k uint64) *trace.File {
+	tb.Helper()
+	out, err := chameleon.RunBenchmark(bench, class, 16, chameleon.TracerChameleon, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if k == 1 {
+		return out.Trace
+	}
+	return scaleTopIters(out.Trace, k)
+}
+
+// benchZanAnalyze measures the closed-form compressed-domain walk.
+func benchZanAnalyze(b *testing.B, f *trace.File) {
+	opts := zan.Options{Model: chameleon.DefaultModel()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := zan.Analyze(f, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Events == 0 {
+			b.Fatal("no events analyzed")
+		}
+	}
+}
+
+// benchReplay measures the replay-based reference: simulated
+// re-execution of every dynamic event, linear in the expanded trace.
+func benchReplay(b *testing.B, f *trace.File) {
+	model := chameleon.DefaultModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := chameleon.Replay(f, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("no events replayed")
+		}
+	}
+}
+
+func BenchmarkCompressedAnalysis(b *testing.B) {
+	for app, cfg := range zanBenchApps {
+		f := zanBenchTrace(b, cfg.bench, cfg.class, 100)
+		b.Run(app+"/zan", func(b *testing.B) { benchZanAnalyze(b, f) })
+		b.Run(app+"/replay", func(b *testing.B) { benchReplay(b, f) })
+	}
+}
+
+// TestZanBenchReport (gated by BENCH_ZAN_OUT, run via `make bench-zan`)
+// measures zan vs. replay on PHASE and SWEEP3D at their recorded
+// iteration counts and at 100x, verifies the metrics agree (expansion
+// oracle field by field plus the replayed event count), and writes
+// BENCH_zan.json. It fails unless, at 100x, zan is >=10x faster and
+// allocates >=10x less than replay — and unless zan's cost stayed flat
+// (<=3x) across the 100x scaling while replay's grew >=10x.
+func TestZanBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_ZAN_OUT")
+	if out == "" {
+		t.Skip("set BENCH_ZAN_OUT to write BENCH_zan.json")
+	}
+	type row struct {
+		Events      uint64       `json:"dynamic_events"`
+		StoredNodes int          `json:"stored_nodes"`
+		Zan         benchNumbers `json:"zan"`
+		Replay      benchNumbers `json:"replay"`
+		Speedup     string       `json:"zan_speedup"`
+		AllocsRatio string       `json:"zan_alloc_reduction"`
+	}
+	report := struct {
+		Note string                    `json:"note"`
+		Apps map[string]map[string]row `json:"apps"`
+	}{
+		Note: "zan = one compressed walk (internal/zan); replay = simulated re-execution of every dynamic event; traces are P=16 Chameleon online traces, x100 scales every top-level loop's iteration count",
+		Apps: map[string]map[string]row{},
+	}
+	measure := func(f *trace.File) row {
+		rep, err := analysis.CrossCheck(f, chameleon.DefaultModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		zr := testing.Benchmark(func(b *testing.B) { benchZanAnalyze(b, f) })
+		rr := testing.Benchmark(func(b *testing.B) { benchReplay(b, f) })
+		ratio := func(num, den int64) string {
+			if den == 0 {
+				return "n/a"
+			}
+			return fmt.Sprintf("%.1fx", float64(num)/float64(den))
+		}
+		return row{
+			Events:      rep.Events,
+			StoredNodes: rep.StoredNodes,
+			Zan: benchNumbers{NsPerOp: zr.NsPerOp(), AllocsPerOp: zr.AllocsPerOp(),
+				BytesPerOp: zr.AllocedBytesPerOp(), Events: rep.Events},
+			Replay: benchNumbers{NsPerOp: rr.NsPerOp(), AllocsPerOp: rr.AllocsPerOp(),
+				BytesPerOp: rr.AllocedBytesPerOp(), Events: rep.Events},
+			Speedup:     ratio(rr.NsPerOp(), zr.NsPerOp()),
+			AllocsRatio: ratio(rr.AllocsPerOp(), zr.AllocsPerOp()),
+		}
+	}
+	for app, cfg := range zanBenchApps {
+		base := measure(zanBenchTrace(t, cfg.bench, cfg.class, 1))
+		scaled := measure(zanBenchTrace(t, cfg.bench, cfg.class, 100))
+		report.Apps[app] = map[string]row{"x1": base, "x100": scaled}
+		t.Logf("%s x1:   %d events, zan %d ns/op %d allocs, replay %d ns/op %d allocs",
+			app, base.Events, base.Zan.NsPerOp, base.Zan.AllocsPerOp,
+			base.Replay.NsPerOp, base.Replay.AllocsPerOp)
+		t.Logf("%s x100: %d events, zan %d ns/op %d allocs, replay %d ns/op %d allocs (%s faster, %s fewer allocs)",
+			app, scaled.Events, scaled.Zan.NsPerOp, scaled.Zan.AllocsPerOp,
+			scaled.Replay.NsPerOp, scaled.Replay.AllocsPerOp,
+			scaled.Speedup, scaled.AllocsRatio)
+		if scaled.Replay.NsPerOp < 10*scaled.Zan.NsPerOp {
+			t.Errorf("%s x100: zan %d ns/op is not >=10x faster than replay %d ns/op",
+				app, scaled.Zan.NsPerOp, scaled.Replay.NsPerOp)
+		}
+		if scaled.Replay.AllocsPerOp < 10*scaled.Zan.AllocsPerOp {
+			t.Errorf("%s x100: zan %d allocs/op is not >=10x below replay %d allocs/op",
+				app, scaled.Zan.AllocsPerOp, scaled.Replay.AllocsPerOp)
+		}
+		if scaled.Zan.NsPerOp > 3*base.Zan.NsPerOp {
+			t.Errorf("%s: zan cost grew %d -> %d ns/op across x100 scaling; the compressed walk must stay flat",
+				app, base.Zan.NsPerOp, scaled.Zan.NsPerOp)
+		}
+		if scaled.Replay.NsPerOp < 10*base.Replay.NsPerOp {
+			t.Errorf("%s: replay cost %d -> %d ns/op did not grow >=10x with the events; harness is not measuring the expansion",
+				app, base.Replay.NsPerOp, scaled.Replay.NsPerOp)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

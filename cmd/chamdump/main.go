@@ -5,6 +5,7 @@
 // Usage:
 //
 //	chamdump lu.trace
+//	chamdump -stats lu.trace   # compression ratio + per-window node counts
 //	chamdump -sites lu.trace   # print the interned call-site table
 //	chamdump http://host:8321/runs/<id>   # fetch from a chamd archive
 package main
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	stats := flag.Bool("stats", false, "print summary statistics only")
+	stats := flag.Bool("stats", false, "print summary statistics (compression ratio, per-window node counts) only")
 	sites := flag.Bool("sites", false, "print the interned call-site table and exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -41,9 +42,65 @@ func main() {
 		return
 	}
 	if *stats {
+		printStats(f)
 		return
 	}
 	fmt.Print(trace.Format(f.Nodes))
+}
+
+// printStats reports how well the trace compresses — dynamic events per
+// stored node — and breaks the stored representation down per marker
+// window (top-level node), using the read-only visitor so nothing is
+// expanded.
+func printStats(f *trace.File) {
+	winNodes := make([]int, len(f.Nodes))
+	winLeaves := make([]int, len(f.Nodes))
+	winEvents := make([]uint64, len(f.Nodes))
+	winDepth := make([]int, len(f.Nodes))
+	trace.Accept(f.Nodes, statsVisitor{nodes: winNodes, leaves: winLeaves, events: winEvents, depth: winDepth})
+
+	nodes := trace.NodeCount(f.Nodes)
+	// Rank-weighted dynamic events (occurrences x rank-list width), the
+	// same totals zan and the replayer count.
+	var events uint64
+	for _, e := range winEvents {
+		events += e
+	}
+	ratio := 0.0
+	if nodes > 0 {
+		ratio = float64(events) / float64(nodes)
+	}
+	fmt.Printf("# compression: %d dynamic events in %d stored nodes = %.1fx\n",
+		events, nodes, ratio)
+	fmt.Printf("# %-6s %8s %8s %12s %6s\n", "window", "nodes", "leaves", "events", "depth")
+	for i := range f.Nodes {
+		fmt.Printf("# %-6d %8d %8d %12d %6d\n",
+			i, winNodes[i], winLeaves[i], winEvents[i], winDepth[i])
+	}
+}
+
+// statsVisitor tallies per-window stored-node counts during one
+// compressed walk.
+type statsVisitor struct {
+	nodes, leaves []int
+	events        []uint64
+	depth         []int
+}
+
+func (v statsVisitor) EnterLoop(n *trace.Node, c trace.Cursor) bool {
+	v.nodes[c.Window]++
+	if d := c.Depth + 1; d > v.depth[c.Window] {
+		v.depth[c.Window] = d
+	}
+	return true
+}
+
+func (v statsVisitor) LeaveLoop(*trace.Node, trace.Cursor) {}
+
+func (v statsVisitor) Leaf(n *trace.Node, c trace.Cursor) {
+	v.nodes[c.Window]++
+	v.leaves[c.Window]++
+	v.events[c.Window] += c.Mult * uint64(n.Ranks.Size())
 }
 
 // printSites lists the trace's call-site table: one row per distinct

@@ -9,7 +9,14 @@
 //	chamstat trace-file                 # summary
 //	chamstat -volumes trace-file        # per-rank volumes
 //	chamstat -matrix  trace-file        # communication matrix (sparse)
+//	chamstat -zstats  trace-file        # compressed-domain analysis (per-window metrics)
 //	chamstat -diff a.trace b.trace      # equivalence check
+//
+// -zstats computes wait/compute/communication time, load imbalance,
+// per-op tallies, and send/recv match consistency by walking the
+// compressed trace once (internal/zan, docs/ANALYSIS.md) — never
+// expanding its loops. Add -check to also run the expansion oracle and
+// the replayer and fail if the closed-form metrics diverge.
 //
 // A trace from a fault-injected run misses the retired (crashed) ranks;
 // -diff -tolerate-ranks excludes those ranks from both sides so the
@@ -41,6 +48,7 @@ import (
 	"chameleon/internal/store"
 	"chameleon/internal/trace"
 	"chameleon/internal/vtime"
+	"chameleon/internal/zan"
 )
 
 // load resolves a trace reference (path or http(s):// run URL); remote
@@ -59,6 +67,8 @@ func load(ref string) (*trace.File, error) {
 func main() {
 	volumes := flag.Bool("volumes", false, "print per-rank communication volumes")
 	matrix := flag.Bool("matrix", false, "print the reconstructed communication matrix")
+	zstats := flag.Bool("zstats", false, "print the compressed-domain analysis report (per-window metrics)")
+	check := flag.Bool("check", false, "with -zstats: cross-check the closed-form metrics against the expansion oracle and the replayer")
 	diff := flag.Bool("diff", false, "compare two traces for event equivalence")
 	tolerate := flag.String("tolerate-ranks", "", `with -diff: exclude these ranks ("0,5-7" set grammar, or "auto" = the traces' retired ranks)`)
 	flag.Parse()
@@ -123,6 +133,18 @@ func main() {
 	exitOn(err)
 
 	switch {
+	case *zstats:
+		rep, err := zan.Analyze(f, zan.Options{})
+		exitOn(err)
+		fmt.Printf("trace %s (%s, benchmark=%s)\n", flag.Arg(0), f.Tracer, f.Benchmark)
+		fmt.Print(rep.String())
+		if *check {
+			if _, err := analysis.CrossCheck(f, vtime.Default()); err != nil {
+				fmt.Fprintf(os.Stderr, "chamstat: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("cross-check: closed-form metrics match the expansion oracle and the replayed event count")
+		}
 	case *volumes:
 		for _, v := range analysis.Volumes(f) {
 			fmt.Printf("rank %4d: sends=%d (%dB) recvs=%d collectives=%d\n",

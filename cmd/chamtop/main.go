@@ -16,11 +16,18 @@
 // daemon's straggler/stall flags — while the run executes (start the
 // run with chamrun -live; see docs/OBSERVABILITY.md).
 //
+// With -zan it ranks a finished trace's hottest marker windows by
+// wait-state time, computed in the compressed domain (internal/zan,
+// docs/ANALYSIS.md) without expanding the trace. Add -check to verify
+// the closed-form metrics against the expansion oracle and the
+// replayer before trusting the ranking.
+//
 // Usage:
 //
 //	chamtop chameleon.journal.jsonl
 //	chamtop -critical -edges chameleon.edges.jsonl [-trace t.json] [-top 10] [journal.jsonl]
 //	chamtop -follow http://localhost:8321 [-session id] [-once]
+//	chamtop -zan lu.trace [-check] [-top 10]
 //
 // The journal, edge, and trace arguments may also be http(s):// URLs
 // (e.g. artifacts served by a chamd host, docs/STORE.md); chamtop
@@ -35,10 +42,13 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"chameleon/internal/analysis"
 	"chameleon/internal/causal"
 	"chameleon/internal/obs"
 	"chameleon/internal/stats"
 	"chameleon/internal/store"
+	"chameleon/internal/vtime"
+	"chameleon/internal/zan"
 )
 
 func main() {
@@ -50,15 +60,22 @@ func main() {
 	session := flag.String("session", "", "live session ID to follow (default: the most recently updated)")
 	once := flag.Bool("once", false, "with -follow: print one frame and exit (no refresh loop)")
 	pollTimeout := flag.Duration("poll", 10*time.Second, "with -follow: long-poll timeout per request")
+	zanRef := flag.String("zan", "", "trace path or run URL: rank its hottest windows by compressed-domain wait time")
+	check := flag.Bool("check", false, "with -zan: cross-check the metrics against the expansion oracle and the replayer")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: chamtop [-critical -edges edges.jsonl [-trace trace.json] [-top n]] [journal.jsonl]")
 		fmt.Fprintln(os.Stderr, "       chamtop -follow http://host:8321 [-session id] [-once] [-poll 10s]")
+		fmt.Fprintln(os.Stderr, "       chamtop -zan trace-ref [-check] [-top n]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *follow != "" {
 		followLive(*follow, *session, *once, *pollTimeout)
+		return
+	}
+	if *zanRef != "" {
+		zanReport(*zanRef, *topN, *check)
 		return
 	}
 
@@ -305,6 +322,51 @@ func finalize(events []obs.Event) {
 	fmt.Fprintf(w, "  %d\t%d\t%d\t%d\t%d\n",
 		len(rows), events64, bytes64, recorded.Quantile(0.50), recorded.Max)
 	w.Flush()
+}
+
+// zanReport is the -zan mode: one compressed-domain walk over the
+// trace, then the hottest marker windows by wait-state time.
+func zanReport(ref string, topN int, check bool) {
+	f, err := store.LoadTrace(ref)
+	if err != nil {
+		fatal("%v", err)
+	}
+	rep, err := zan.Analyze(f, zan.Options{})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%s: P=%d, %d events in %d stored nodes (%.1fx), %d windows\n",
+		ref, rep.P, rep.Events, rep.StoredNodes, rep.CompressionRatio, len(rep.Windows))
+	fmt.Printf("compute=%v comm=%v wait=%v imbalance=%.2f comm/compute=%.3f\n\n",
+		time.Duration(rep.ComputeNs), time.Duration(rep.CommNs), time.Duration(rep.WaitNs),
+		rep.LoadImbalance, rep.CommRatio)
+
+	fmt.Println("hottest windows by wait-state time")
+	w := tab()
+	fmt.Fprintln(w, "  window\twait\tcompute\tcomm\tevents\timbalance\tlocal-unmatched")
+	for _, i := range rep.TopWaitWindows(topN) {
+		win := &rep.Windows[i]
+		fmt.Fprintf(w, "  %d\t%s\t%s\t%s\t%d\t%.2f\t%d\n",
+			win.Index, vt(win.WaitNs), vt(win.ComputeNs), vt(win.CommNs),
+			win.Events, win.LoadImbalance, win.LocalUnmatched)
+	}
+	w.Flush()
+
+	m := rep.Match
+	fmt.Printf("\nmatch: sends=%d recvs=%d paired=%d cross-window=%d order-violations=%d",
+		m.Sends, m.Recvs, m.ResolvedPairs, m.CrossWindow, m.OrderViolations)
+	if m.Consistent {
+		fmt.Println(" => consistent")
+	} else {
+		fmt.Printf(" => INCONSISTENT (%d unmatched)\n", m.Unmatched)
+	}
+
+	if check {
+		if _, err := analysis.CrossCheck(f, vtime.Default()); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println("cross-check: closed-form metrics match the expansion oracle and the replayed event count")
+	}
 }
 
 // followLive is the -follow mode: long-poll a chamd live session and

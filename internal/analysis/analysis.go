@@ -6,6 +6,7 @@ package analysis
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -46,6 +47,9 @@ func Summarize(f *trace.File) Summary {
 	s.MaxLoopDepth = maxDepth(f.Nodes, 0)
 	var walk func(seq []*trace.Node, mult uint64)
 	walk = func(seq []*trace.Node, mult uint64) {
+		if mult == 0 {
+			return // zero-trip loop: no dynamic events below here
+		}
 		for _, n := range seq {
 			if n.IsLoop() {
 				walk(n.Body, mult*n.MeanIters())
@@ -55,10 +59,18 @@ func Summarize(f *trace.File) Summary {
 		}
 	}
 	walk(f.Nodes, 1)
-	if s.Leaves > 0 {
-		s.CompressionRatio = float64(s.DynamicEvents) / float64(s.Leaves)
-	}
+	s.CompressionRatio = Ratio(float64(s.DynamicEvents), float64(s.Leaves))
 	return s
+}
+
+// Ratio returns num/den with a guarded denominator: 0 when den is zero
+// or not finite, so empty traces, empty windows, and zero-iteration
+// loops never produce NaN or Inf in derived metrics.
+func Ratio(num, den float64) float64 {
+	if den == 0 || math.IsNaN(den) || math.IsInf(den, 0) {
+		return 0
+	}
+	return num / den
 }
 
 func maxDepth(seq []*trace.Node, depth int) int {
@@ -107,6 +119,9 @@ func Volumes(f *trace.File) []Volume {
 	}
 	var walk func(seq []*trace.Node, mult uint64)
 	walk = func(seq []*trace.Node, mult uint64) {
+		if mult == 0 {
+			return
+		}
 		for _, n := range seq {
 			if n.IsLoop() {
 				walk(n.Body, mult*n.MeanIters())
@@ -153,6 +168,9 @@ func Matrix(f *trace.File) *CommMatrix {
 	m := &CommMatrix{P: f.P, Counts: map[int]map[int]uint64{}, Bytes: map[int]map[int]uint64{}}
 	var walk func(seq []*trace.Node, mult uint64)
 	walk = func(seq []*trace.Node, mult uint64) {
+		if mult == 0 {
+			return
+		}
 		for _, n := range seq {
 			if n.IsLoop() {
 				walk(n.Body, mult*n.MeanIters())
@@ -307,7 +325,7 @@ func CompareWith(a, b *trace.File, opts CompareOpts) *Diff {
 		}
 	}
 	for s, nb := range cb {
-		if _, ok := ca[s]; !ok {
+		if _, ok := ca[s]; !ok && nb != 0 {
 			d.SiteCountDeltas[s] = -int64(nb)
 		}
 	}
@@ -359,6 +377,10 @@ func siteCounts(seq []*trace.Node, tol map[int]bool) map[uint64]uint64 {
 	out := map[uint64]uint64{}
 	var walk func(seq []*trace.Node, mult uint64)
 	walk = func(seq []*trace.Node, mult uint64) {
+		if mult == 0 {
+			return // zero-trip loops contribute no events, and a
+			// zero-count entry would poison the count diff
+		}
 		for _, n := range seq {
 			if n.IsLoop() {
 				walk(n.Body, mult*n.MeanIters())

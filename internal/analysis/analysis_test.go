@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"math"
 	"testing"
 
 	"chameleon/internal/mpi"
@@ -231,5 +232,77 @@ func TestCompareWithEmptyOptsMatchesCompare(t *testing.T) {
 	}
 	if len(plain.EventDeltas) != len(opted.EventDeltas) || len(plain.SiteCountDeltas) != len(opted.SiteCountDeltas) {
 		t.Fatalf("CompareWith{} deltas differ from Compare")
+	}
+}
+
+// TestZeroIterationLoopMetrics pins the empty-window guards: a trace
+// whose only loop never trips must produce clean zeros everywhere — no
+// NaN, no Inf, no phantom zero-count map entries.
+func TestZeroIterationLoopMetrics(t *testing.T) {
+	dead := trace.NewLeaf(
+		trace.Event{Op: mpi.OpSend, Stack: sig.Stack(sig.Mix(77)), Dest: trace.Relative(1), Bytes: 64},
+		ranklist.FromRanks([]int{0, 1}), 100)
+	f := &trace.File{P: 2, Nodes: []*trace.Node{trace.NewLoop(0, []*trace.Node{dead})}}
+
+	s := Summarize(f)
+	if s.DynamicEvents != 0 || s.CompressionRatio != 0 {
+		t.Errorf("summary: events=%d ratio=%g, want zeros", s.DynamicEvents, s.CompressionRatio)
+	}
+	if len(s.OpCounts) != 0 {
+		t.Errorf("summary leaked zero-count ops: %v", s.OpCounts)
+	}
+
+	for _, v := range Volumes(f) {
+		if v.SendEvents != 0 || v.SendBytes != 0 {
+			t.Errorf("volumes leaked from zero-trip loop: %+v", v)
+		}
+	}
+
+	m := Matrix(f)
+	if m.TotalMessages() != 0 || m.Unresolved != 0 || len(m.Counts) != 0 {
+		t.Errorf("matrix leaked from zero-trip loop: %+v", m)
+	}
+
+	if cp := CriticalPath(f, 1000); cp != 0 {
+		t.Errorf("critical path = %d, want 0", cp)
+	}
+
+	// Site *presence* is structural (the call exists in the program even
+	// if its loop never trips), but the count diff must not record
+	// phantom zero-valued deltas for it.
+	empty := &trace.File{P: 2}
+	if d := Compare(f, empty); len(d.SiteCountDeltas) != 0 || len(d.EventDeltas) != 0 {
+		t.Errorf("zero-trip loop produced phantom count deltas: %+v", d)
+	}
+}
+
+// TestEmptyTraceMetrics covers the degenerate no-node trace.
+func TestEmptyTraceMetrics(t *testing.T) {
+	f := &trace.File{P: 3}
+	s := Summarize(f)
+	if s.CompressionRatio != 0 || s.DynamicEvents != 0 || s.Leaves != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+	if got := len(Volumes(f)); got != 3 {
+		t.Errorf("Volumes length = %d, want 3", got)
+	}
+	if m := Matrix(f); m.TotalMessages() != 0 {
+		t.Errorf("empty matrix has messages")
+	}
+}
+
+// TestRatioGuards pins the shared denominator guard.
+func TestRatioGuards(t *testing.T) {
+	cases := []struct{ num, den, want float64 }{
+		{1, 0, 0},
+		{0, 0, 0},
+		{1, math.NaN(), 0},
+		{1, math.Inf(1), 0},
+		{6, 3, 2},
+	}
+	for _, c := range cases {
+		if got := Ratio(c.num, c.den); got != c.want {
+			t.Errorf("Ratio(%g, %g) = %g, want %g", c.num, c.den, got, c.want)
+		}
 	}
 }

@@ -73,6 +73,23 @@ func (r RL) Contains(rank int) bool {
 	return contains(rank-r.Start, r.Dims)
 }
 
+// ForEach calls fn for every rank the descriptor covers, without
+// allocating. Ranks are produced in dimension order, not sorted.
+func (r RL) ForEach(fn func(rank int)) {
+	forEachDim(r.Start, r.Dims, fn)
+}
+
+func forEachDim(base int, dims []Dim, fn func(int)) {
+	if len(dims) == 0 {
+		fn(base)
+		return
+	}
+	d := dims[0]
+	for i := 0; i < d.Iters; i++ {
+		forEachDim(base+i*d.Stride, dims[1:], fn)
+	}
+}
+
 func contains(offset int, dims []Dim) bool {
 	if len(dims) == 0 {
 		return offset == 0
@@ -221,6 +238,17 @@ func (l List) Ranks() []int {
 	}
 	sort.Ints(out)
 	return dedup(out)
+}
+
+// ForEach calls fn for every rank in the list, without allocating — the
+// hot iteration path of the compressed-domain analysis engine. Lists
+// built by FromRanks/Union are normalized (descriptors disjoint), so fn
+// runs exactly once per covered rank; hand-built overlapping unions may
+// repeat ranks. Order follows the descriptors, not global rank order.
+func (l List) ForEach(fn func(rank int)) {
+	for _, r := range l.rls {
+		r.ForEach(fn)
+	}
 }
 
 // Contains reports membership.

@@ -203,3 +203,33 @@ func TestSizeBytesPositive(t *testing.T) {
 		t.Fatalf("SizeBytes not positive")
 	}
 }
+
+// TestForEachMatchesRanks proves the allocation-free iterator covers
+// exactly the set Ranks() expands, for arbitrary normalized lists.
+func TestForEachMatchesRanks(t *testing.T) {
+	f := func(xs []uint8) bool {
+		in := make([]int, len(xs))
+		for i, x := range xs {
+			in[i] = int(x)
+		}
+		l := FromRanks(in)
+		var got []int
+		l.ForEach(func(r int) { got = append(got, r) })
+		sort.Ints(got)
+		return reflect.DeepEqual(got, l.Ranks()) &&
+			(len(got) == l.Size() || len(in) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEach2D(t *testing.T) {
+	r := New(1, Dim{Iters: 2, Stride: 1}, Dim{Iters: 3, Stride: 4})
+	var got []int
+	r.ForEach(func(rank int) { got = append(got, rank) })
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{1, 2, 5, 6, 9, 10}) {
+		t.Fatalf("ForEach = %v", got)
+	}
+}

@@ -74,6 +74,30 @@ func (w *Welford) Add(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// AddConst folds n observations of the same value x in O(1): the block
+// has mean x and zero internal variance, so it merges as a synthetic
+// accumulator. The compressed-domain analysis engine relies on this to
+// weight a loop body's contribution by its iteration count without
+// expanding the loop.
+func (w *Welford) AddConst(x float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	w.Merge(Welford{n: n, mean: x})
+}
+
+// MergeScaled folds k copies of another accumulator in O(1): k disjoint
+// copies of o's sample set share o's mean, and their pooled
+// sum-of-squared-deviations is k times o's, so the union merges as one
+// synthetic accumulator — exact in real arithmetic, not an
+// approximation.
+func (w *Welford) MergeScaled(o Welford, k uint64) {
+	if k == 0 || o.n == 0 {
+		return
+	}
+	w.Merge(Welford{n: o.n * k, mean: o.mean, m2: o.m2 * float64(k)})
+}
+
 // Merge combines another accumulator into this one (Chan et al. parallel
 // variance update), so per-rank accumulators can be reduced over a tree.
 func (w *Welford) Merge(o Welford) {
@@ -183,7 +207,8 @@ func (h *Histogram) Add(v int64) {
 	h.sum.Add(float64(v))
 }
 
-// AddN records a sample observed n times.
+// AddN records a sample observed n times, in O(1) regardless of n (the
+// n identical observations fold in as one constant block).
 func (h *Histogram) AddN(v int64, n uint64) {
 	if n == 0 {
 		return
@@ -195,9 +220,7 @@ func (h *Histogram) AddN(v int64, n uint64) {
 	if v > h.Max {
 		h.Max = v
 	}
-	for i := uint64(0); i < n; i++ {
-		h.sum.Add(float64(v))
-	}
+	h.sum.AddConst(float64(v), n)
 }
 
 // Merge folds another histogram into this one.
@@ -217,11 +240,40 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.sum.Merge(o.sum)
 }
 
+// MergeScaled folds k copies of another histogram into this one in
+// O(1): bucket counts scale exactly, extrema are unchanged by
+// duplication, and the summary accumulator merges via
+// Welford.MergeScaled. It is how compressed-domain analysis aggregates
+// a leaf's delta-time histogram across loop iterations and rank-list
+// members without expanding either.
+func (h *Histogram) MergeScaled(o *Histogram, k uint64) {
+	if o == nil || k == 0 || o.Count() == 0 {
+		return
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i] * k
+	}
+	if o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.sum.MergeScaled(o.sum, k)
+}
+
 // Count returns the number of samples recorded.
 func (h *Histogram) Count() uint64 { return h.sum.N() }
 
 // Mean returns the mean sample value (0 if empty).
 func (h *Histogram) Mean() int64 { return int64(h.sum.Mean()) }
+
+// FMean returns the mean without integer truncation.
+func (h *Histogram) FMean() float64 { return h.sum.Mean() }
+
+// Std returns the population standard deviation of the samples (0 for
+// restored summaries, which do not persist variance).
+func (h *Histogram) Std() float64 { return h.sum.Std() }
 
 // Quantile estimates the q-quantile (q in [0, 1]) of the recorded
 // samples by locating the log2 bucket containing the target rank and

@@ -347,3 +347,58 @@ func TestQuantileRestoredFallsBackToMean(t *testing.T) {
 		t.Fatalf("restored quantile = %d, want mean 40", got)
 	}
 }
+
+// TestMergeScaledMatchesRepeatedMerge proves the O(1) scaled fold
+// against the linear reference: merging a histogram k times one by one.
+func TestMergeScaledMatchesRepeatedMerge(t *testing.T) {
+	src := NewHistogram()
+	for _, v := range []int64{10, 70, 70, 500, 9000} {
+		src.Add(v)
+	}
+	const k = 7
+	scaled, repeated := NewHistogram(), NewHistogram()
+	scaled.Add(3) // pre-existing content on both sides
+	repeated.Add(3)
+	scaled.MergeScaled(src, k)
+	for i := 0; i < k; i++ {
+		repeated.Merge(src)
+	}
+	if scaled.Count() != repeated.Count() || scaled.Buckets != repeated.Buckets ||
+		scaled.Min != repeated.Min || scaled.Max != repeated.Max {
+		t.Fatalf("scaled fold diverges: %v vs %v", scaled, repeated)
+	}
+	if math.Abs(float64(scaled.Mean()-repeated.Mean())) > 1 {
+		t.Fatalf("mean: scaled %d vs repeated %d", scaled.Mean(), repeated.Mean())
+	}
+	sm, rm := scaled.sum.Std(), repeated.sum.Std()
+	if rm != 0 && math.Abs(sm-rm)/rm > 1e-9 {
+		t.Fatalf("std: scaled %v vs repeated %v", sm, rm)
+	}
+	// k = 0 and empty sources are no-ops.
+	before := scaled.Count()
+	scaled.MergeScaled(src, 0)
+	scaled.MergeScaled(NewHistogram(), 5)
+	scaled.MergeScaled(nil, 5)
+	if scaled.Count() != before {
+		t.Fatalf("no-op MergeScaled changed count")
+	}
+}
+
+func TestWelfordAddConst(t *testing.T) {
+	var a, b Welford
+	a.Add(5)
+	b.Add(5)
+	for i := 0; i < 1000; i++ {
+		a.Add(42)
+	}
+	b.AddConst(42, 1000)
+	if a.N() != b.N() {
+		t.Fatalf("n: %d vs %d", a.N(), b.N())
+	}
+	if math.Abs(a.Mean()-b.Mean()) > 1e-9 {
+		t.Fatalf("mean: %v vs %v", a.Mean(), b.Mean())
+	}
+	if math.Abs(a.Std()-b.Std()) > 1e-6 {
+		t.Fatalf("std: %v vs %v", a.Std(), b.Std())
+	}
+}

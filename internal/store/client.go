@@ -129,6 +129,29 @@ func OpenRef(ref string) (io.ReadCloser, error) {
 	return io.NopCloser(bytes.NewReader(payload)), nil
 }
 
+// FetchStats GETs a run's compressed-domain analysis report from a
+// chamd archive: base is the archive root, id a run reference (full
+// content address or unique prefix). The report is computed server-side
+// without expanding the stored trace.
+func FetchStats(base, id string) (StatsResponse, error) {
+	url := strings.TrimSuffix(base, "/") + "/runs/" + id + "/stats"
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return StatsResponse{}, fmt.Errorf("GET %s: %s: %s",
+			url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return StatsResponse{}, fmt.Errorf("GET %s: decode response: %w", url, err)
+	}
+	return out, nil
+}
+
 // Push uploads a trace to a chamd archive rooted at base (e.g.
 // "http://host:8321"; a trailing "/runs" is accepted too). It returns
 // the server's manifest record and whether the run was new to the

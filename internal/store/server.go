@@ -6,6 +6,7 @@ package store
 //	PUT  /runs                  ingest a trace (idempotent: content address = ETag)
 //	GET  /runs                  list runs (benchmark=, p=, sig=, sigset=, limit=, offset=)
 //	GET  /runs/{id}             fetch one run (binary; ?format=json or Accept: application/json)
+//	GET  /runs/{id}/stats       compressed-domain analysis report (zan; never expands the trace)
 //	GET  /runs/{a}/diff/{b}     server-side per-site divergence (chamstat -diff engine)
 //	POST /live/sessions/{id}/deltas   ingest a live telemetry delta batch
 //	GET  /live/sessions               list in-flight sessions
@@ -33,6 +34,7 @@ import (
 	"chameleon/internal/analysis"
 	"chameleon/internal/fault"
 	"chameleon/internal/obs"
+	"chameleon/internal/zan"
 )
 
 // ServerOptions harden and instrument the HTTP layer.
@@ -102,6 +104,7 @@ func NewServer(a *Archive, opts ServerOptions) http.Handler {
 	mux.HandleFunc("PUT /runs", s.handlePut)
 	mux.HandleFunc("GET /runs", s.handleList)
 	mux.HandleFunc("GET /runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /runs/{id}/stats", s.handleStats)
 	mux.HandleFunc("GET /runs/{a}/diff/{b}", s.handleDiff)
 	mux.HandleFunc("POST /live/sessions/{id}/deltas", s.handleLiveDeltas)
 	mux.HandleFunc("GET /live/sessions", s.handleLiveList)
@@ -324,6 +327,33 @@ func parseSig(v string) (uint64, error) {
 		return n, nil
 	}
 	return strconv.ParseUint(v, 16, 64)
+}
+
+// StatsResponse is the JSON shape of GET /runs/{id}/stats: the
+// compressed-domain analysis report, computed by walking the stored RSD
+// tree once (internal/zan) — the archive never expands the trace to
+// serve it.
+type StatsResponse struct {
+	ID     string      `json:"id"`
+	Report *zan.Report `json:"report"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mQueryReqs.Inc()
+	start := time.Now()
+	f, run, err := s.a.Get(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	rep, err := zan.Analyze(f, zan.Options{})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(StatsResponse{ID: run.ID, Report: rep}) //nolint:errcheck
+	s.hQueries.Observe(time.Since(start).Nanoseconds())
 }
 
 // DiffResponse is the JSON shape of GET /runs/{a}/diff/{b}: the

@@ -419,3 +419,69 @@ func TestPushClient(t *testing.T) {
 		t.Fatal("fetched trace does not round-trip to the pushed address")
 	}
 }
+
+func TestStatsEndpoint(t *testing.T) {
+	a, srv := newTestServer(t, Options{}, ServerOptions{})
+	f := mkTrace(8, "PHASE", 3)
+	run, _, err := a.Ingest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/runs/" + run.ID + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stats GET: %s: %s", resp.Status, msg)
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != run.ID {
+		t.Errorf("stats ID = %s, want %s", out.ID, run.ID)
+	}
+	// mkTrace: loop(40){Send, Recv} + Allreduce over 8 ranks.
+	wantEvents := uint64((40*2 + 1) * 8)
+	if out.Report == nil || out.Report.Events != wantEvents {
+		t.Fatalf("stats report events = %+v, want %d", out.Report, wantEvents)
+	}
+	if out.Report.P != 8 || len(out.Report.Windows) != 2 {
+		t.Errorf("report shape: P=%d windows=%d, want 8/2", out.Report.P, len(out.Report.Windows))
+	}
+	if !out.Report.Match.Consistent {
+		t.Errorf("ring trace must be match-consistent: %+v", out.Report.Match)
+	}
+
+	// Prefix resolution and error mapping follow the other run routes.
+	resp2, err := http.Get(srv.URL + "/runs/" + run.ID[:12] + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("prefix stats GET: %s", resp2.Status)
+	}
+	resp3, err := http.Get(srv.URL + "/runs/deadbeef/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("missing run stats GET: %s, want 404", resp3.Status)
+	}
+
+	// The client helper round-trips the same report.
+	got, err := FetchStats(srv.URL, run.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Report.Events != wantEvents {
+		t.Errorf("FetchStats events = %d, want %d", got.Report.Events, wantEvents)
+	}
+}

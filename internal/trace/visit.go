@@ -1,0 +1,76 @@
+package trace
+
+// Read-only visitor API over compressed RSD trees.
+//
+// A walk touches every stored node exactly once; it never expands
+// loops. Instead the Cursor carries the product of the enclosing loop
+// trip counts (Mult), so a visitor can weight each leaf's
+// per-iteration contribution in closed form — the core move of
+// compressed-domain analysis (cost proportional to stored nodes, not
+// to the dynamic events they represent).
+//
+// Windows: the top-level nodes of a global trace are its marker
+// windows. Marker barriers themselves are never recorded (every tracer
+// skips the marker communicator), but the online compressor flushes at
+// marker boundaries, so consecutive top-level segments align with the
+// application's timestep windows. Cursor.Window is the index of the
+// enclosing top-level node.
+
+// Cursor is the walk state handed to a Visitor at each node.
+type Cursor struct {
+	// Mult is the product of the enclosing loops' trip counts
+	// (MeanIters); a leaf visited with Mult == m represents m dynamic
+	// occurrences per covered rank.
+	Mult uint64
+	// Depth is the loop-nesting depth (0 at top level).
+	Depth int
+	// Window is the index of the enclosing top-level node.
+	Window int
+}
+
+// Visitor receives the nodes of a compressed walk.
+type Visitor interface {
+	// EnterLoop is called before a loop's body; returning false prunes
+	// the subtree (LeaveLoop is not called for pruned loops).
+	EnterLoop(n *Node, c Cursor) bool
+	// LeaveLoop is called after a loop's body has been walked.
+	LeaveLoop(n *Node, c Cursor)
+	// Leaf is called for each leaf node.
+	Leaf(n *Node, c Cursor)
+}
+
+// Accept walks the sequence depth-first in trace order, visiting every
+// stored node exactly once.
+func Accept(seq []*Node, v Visitor) {
+	for i, n := range seq {
+		acceptNode(n, Cursor{Mult: 1, Window: i}, v)
+	}
+}
+
+func acceptNode(n *Node, c Cursor, v Visitor) {
+	if !n.IsLoop() {
+		v.Leaf(n, c)
+		return
+	}
+	if !v.EnterLoop(n, c) {
+		return
+	}
+	bc := Cursor{Mult: c.Mult * n.MeanIters(), Depth: c.Depth + 1, Window: c.Window}
+	for _, b := range n.Body {
+		acceptNode(b, bc, v)
+	}
+	v.LeaveLoop(n, c)
+}
+
+// leafVisitor adapts a plain function to the Visitor interface.
+type leafVisitor func(*Node, Cursor)
+
+func (f leafVisitor) EnterLoop(*Node, Cursor) bool { return true }
+func (f leafVisitor) LeaveLoop(*Node, Cursor)      {}
+func (f leafVisitor) Leaf(n *Node, c Cursor)       { f(n, c) }
+
+// VisitLeaves walks the sequence and calls fn once per stored leaf with
+// its cursor (iteration weight, depth, window).
+func VisitLeaves(seq []*Node, fn func(n *Node, c Cursor)) {
+	Accept(seq, leafVisitor(fn))
+}

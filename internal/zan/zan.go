@@ -1,0 +1,799 @@
+// Package zan is the compressed-domain analysis engine: it computes
+// per-window and per-rank performance metrics on a compressed RSD trace
+// by walking the stored nodes exactly once, multiplying each leaf's
+// per-iteration contribution by the product of its enclosing loop trip
+// counts and aggregating across rank lists in closed form — it never
+// expands a loop and never replays an event.
+//
+// Cost is therefore proportional to stored nodes times rank-list width,
+// independent of the dynamic event count the loops represent; the
+// replay-based path in internal/replay, linear in dynamic events,
+// serves as the cross-check oracle (see internal/analysis and
+// docs/ANALYSIS.md).
+//
+// Metrics follow Haldar's time-resolved standard metrics, resolved to
+// marker windows (the top-level segments of the global trace):
+// compute/communication/wait time, load imbalance, communication-to-
+// compute ratios, per-op event and byte tallies, log2 message-size
+// histograms, and send/recv match-order (happens-before) consistency
+// checks in the spirit of analyses on compressed traces (Kini, Mathur,
+// Viswanathan).
+package zan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"chameleon/internal/mpi"
+	"chameleon/internal/stats"
+	"chameleon/internal/trace"
+	"chameleon/internal/vtime"
+)
+
+// Options configures an analysis.
+type Options struct {
+	// Model prices communication (vtime.Default() when zero).
+	Model vtime.CostModel
+	// Expand switches the engine into its reference mode: loops are
+	// expanded iteration by iteration and every leaf contribution is
+	// applied with weight 1. The result is bit-identical to the
+	// closed-form walk (the sums are the same integers added in the
+	// same per-window order), at a cost linear in dynamic events — this
+	// is the expansion oracle the equivalence tests diff against.
+	Expand bool
+}
+
+// OpStat tallies one MPI operation inside a window.
+type OpStat struct {
+	// Events is the dynamic occurrence count across all covered ranks.
+	Events uint64 `json:"events"`
+	// Bytes is the total payload: occurrences x per-event byte count.
+	Bytes uint64 `json:"bytes"`
+}
+
+// Window is the metric set of one marker window (top-level trace node).
+type Window struct {
+	Index int `json:"index"`
+	// Nodes and Leaves count the stored (compressed) representation.
+	Nodes  int `json:"nodes"`
+	Leaves int `json:"leaves"`
+	// Events is the dynamic event count the window represents, summed
+	// across ranks.
+	Events uint64 `json:"events"`
+	// ComputeNs is the modeled computation time (delta-histogram means),
+	// summed across ranks and iterations.
+	ComputeNs int64 `json:"compute_ns"`
+	// CommNs is the modeled communication cost under the cost model.
+	CommNs int64 `json:"comm_ns"`
+	// WaitNs is the modeled wait-state time: for synchronizing events
+	// (collectives, receives) the skew between the slowest and the mean
+	// arrival, max(0, delta.Max - delta.Mean), per occurrence.
+	WaitNs int64 `json:"wait_ns"`
+	// LoadImbalance is max/mean of per-rank compute time over the ranks
+	// participating in the window (1.0 = perfectly balanced, 0 = no
+	// compute recorded).
+	LoadImbalance float64 `json:"load_imbalance"`
+	// CommRatio is CommNs/ComputeNs (0 when no compute was recorded).
+	CommRatio float64 `json:"comm_ratio"`
+	// Ops tallies events and bytes per operation.
+	Ops map[string]OpStat `json:"ops,omitempty"`
+	// ByteBuckets is a log2 histogram of per-event payload sizes,
+	// weighted by dynamic occurrences (bucket index as in
+	// stats.BucketOf; zero-payload events land in bucket 0).
+	ByteBuckets map[int]uint64 `json:"byte_buckets,omitempty"`
+	// LocalUnmatched counts send/recv occurrences on resolved channels
+	// that found no partner inside this window (they may still match
+	// across windows; see MatchReport.CrossWindow).
+	LocalUnmatched uint64 `json:"local_unmatched,omitempty"`
+	// Delta* summarize the distribution of per-event computation deltas
+	// in the window, aggregated from the stored leaf histograms in O(1)
+	// per leaf via stats.MergeScaled (count/min/max are exact; mean and
+	// std are closed-form pooled moments).
+	DeltaCount  uint64  `json:"delta_count,omitempty"`
+	DeltaMinNs  int64   `json:"delta_min_ns,omitempty"`
+	DeltaMaxNs  int64   `json:"delta_max_ns,omitempty"`
+	DeltaMeanNs float64 `json:"delta_mean_ns,omitempty"`
+	DeltaStdNs  float64 `json:"delta_std_ns,omitempty"`
+}
+
+// Rank is one rank's whole-trace totals.
+type Rank struct {
+	Rank      int    `json:"rank"`
+	Events    uint64 `json:"events"`
+	ComputeNs int64  `json:"compute_ns"`
+	CommNs    int64  `json:"comm_ns"`
+	WaitNs    int64  `json:"wait_ns"`
+	SendBytes uint64 `json:"send_bytes"`
+}
+
+// MatchReport is the send/recv match-order consistency verdict.
+//
+// Conservation: every tag's dynamic send count must equal its dynamic
+// recv count (Sendrecv contributes to both sides). Channels whose
+// end-points resolve to concrete (src, dst) pairs are matched directed;
+// wildcard (any-source) and reply-encoded end-points are checked at tag
+// granularity only. Matches that only close across window boundaries
+// are counted in CrossWindow; under marker-aligned windows (Chameleon
+// online traces flush at markers, which are global barriers) a directed
+// channel whose first receive window precedes its first send window is
+// a happens-before violation and is counted in OrderViolations.
+type MatchReport struct {
+	// Sends and Recvs are dynamic point-to-point occurrence totals.
+	Sends uint64 `json:"sends"`
+	Recvs uint64 `json:"recvs"`
+	// Wildcards counts recv occurrences with any-source/reply encodings
+	// (matched at tag granularity).
+	Wildcards uint64 `json:"wildcards,omitempty"`
+	// ResolvedPairs counts directed-channel matches.
+	ResolvedPairs uint64 `json:"resolved_pairs"`
+	// CrossWindow counts directed matches that close only across window
+	// boundaries.
+	CrossWindow uint64 `json:"cross_window,omitempty"`
+	// OrderViolations counts directed channels whose first receive
+	// window precedes their first send window.
+	OrderViolations uint64 `json:"order_violations,omitempty"`
+	// UnmatchedByTag maps tag -> (sends - recvs) for tags that do not
+	// conserve.
+	UnmatchedByTag map[int]int64 `json:"unmatched_by_tag,omitempty"`
+	// Unmatched is the total absolute conservation defect.
+	Unmatched uint64 `json:"unmatched"`
+	// Consistent reports Unmatched == 0.
+	Consistent bool `json:"consistent"`
+}
+
+// Report is the full compressed-domain analysis of one trace.
+type Report struct {
+	P         int    `json:"p"`
+	Benchmark string `json:"benchmark,omitempty"`
+	Tracer    string `json:"tracer,omitempty"`
+	// StoredNodes/StoredLeaves describe the compressed representation
+	// the walk actually touched.
+	StoredNodes  int `json:"stored_nodes"`
+	StoredLeaves int `json:"stored_leaves"`
+	// Events is the dynamic event total across ranks; it equals the
+	// event count a full replay re-issues.
+	Events uint64 `json:"events"`
+	// CompressionRatio is dynamic events represented per stored node.
+	CompressionRatio float64 `json:"compression_ratio"`
+	// Whole-trace totals (sums of the window columns).
+	ComputeNs int64 `json:"compute_ns"`
+	CommNs    int64 `json:"comm_ns"`
+	WaitNs    int64 `json:"wait_ns"`
+	// LoadImbalance is max/mean per-rank compute over participating
+	// ranks; CommRatio is CommNs/ComputeNs. Both 0 when undefined.
+	LoadImbalance float64 `json:"load_imbalance"`
+	CommRatio     float64 `json:"comm_ratio"`
+
+	Windows []Window    `json:"windows"`
+	Ranks   []Rank      `json:"ranks"`
+	Match   MatchReport `json:"match"`
+}
+
+// chKey identifies a directed point-to-point channel.
+type chKey struct {
+	tag, src, dst int
+}
+
+// chCount tallies one channel. Window-local instances hold the
+// window's full counts; the whole-trace map holds only the leftovers
+// that failed to pair inside their window, plus first-activity windows
+// for the happens-before check.
+type chCount struct {
+	sends, recvs uint64
+	// first window that sent/received on the channel (-1 = never).
+	firstSendWin, firstRecvWin int
+}
+
+type tagCount struct {
+	sends, recvs uint64
+}
+
+// analyzer accumulates one walk. It implements trace.Visitor for the
+// closed-form mode; the expansion oracle drives the same leaf method
+// with weight 1 per dynamic occurrence.
+type analyzer struct {
+	p     int
+	model vtime.CostModel
+
+	windows []Window
+	ranks   []Rank
+
+	// Per-window scratch, valid while leaves of window cur arrive (both
+	// walk modes emit leaves in window order).
+	cur         int
+	scratchComp []int64  // per-rank compute inside the current window
+	scratchEv   []uint64 // per-rank events inside the current window
+	touched     []int    // ranks touched in the current window
+	winChans    map[chKey]*chCount
+	winDelta    *stats.Histogram
+
+	// Whole-trace match state.
+	chans map[chKey]*chCount
+	tags  map[int]*tagCount
+	match MatchReport
+}
+
+// Analyze walks the trace once and returns its compressed-domain
+// report. An empty trace yields an empty (but valid) report.
+func Analyze(f *trace.File, opt Options) (*Report, error) {
+	if f == nil {
+		return nil, errors.New("zan: nil trace file")
+	}
+	if f.P <= 0 {
+		return nil, fmt.Errorf("zan: invalid rank count %d", f.P)
+	}
+	if (opt.Model == vtime.CostModel{}) {
+		opt.Model = vtime.Default()
+	}
+	a := &analyzer{
+		p:           f.P,
+		model:       opt.Model,
+		windows:     make([]Window, len(f.Nodes)),
+		ranks:       make([]Rank, f.P),
+		scratchComp: make([]int64, f.P),
+		scratchEv:   make([]uint64, f.P),
+		chans:       map[chKey]*chCount{},
+		tags:        map[int]*tagCount{},
+	}
+	for r := range a.ranks {
+		a.ranks[r].Rank = r
+	}
+	for i, n := range f.Nodes {
+		a.windows[i] = Window{
+			Index:  i,
+			Nodes:  trace.NodeCount([]*trace.Node{n}),
+			Leaves: trace.LeafCount([]*trace.Node{n}),
+		}
+	}
+
+	a.cur = -1
+	if opt.Expand {
+		for i, n := range f.Nodes {
+			a.startWindow(i)
+			a.expand(n)
+		}
+	} else {
+		trace.Accept(f.Nodes, a)
+	}
+	a.startWindow(-1) // flush the last window
+
+	return a.report(f), nil
+}
+
+// --- walk plumbing ---
+
+func (a *analyzer) EnterLoop(n *trace.Node, c trace.Cursor) bool {
+	a.startWindow(c.Window)
+	return true
+}
+
+func (a *analyzer) LeaveLoop(*trace.Node, trace.Cursor) {}
+
+func (a *analyzer) Leaf(n *trace.Node, c trace.Cursor) {
+	a.startWindow(c.Window)
+	a.leaf(n, c.Mult)
+}
+
+// expand is the reference walk: loops run MeanIters times, leaves apply
+// with weight 1 per occurrence.
+func (a *analyzer) expand(n *trace.Node) {
+	if !n.IsLoop() {
+		a.leaf(n, 1)
+		return
+	}
+	iters := n.MeanIters()
+	for i := uint64(0); i < iters; i++ {
+		for _, b := range n.Body {
+			a.expand(b)
+		}
+	}
+}
+
+// startWindow finalizes the previous window's derived metrics when the
+// walk crosses into window w (or past the end, w == -1).
+func (a *analyzer) startWindow(w int) {
+	if w == a.cur {
+		return
+	}
+	if a.cur >= 0 {
+		a.flushWindow()
+	}
+	a.cur = w
+	if w >= 0 {
+		a.winChans = map[chKey]*chCount{}
+		a.winDelta = stats.NewHistogram()
+	}
+}
+
+func (a *analyzer) flushWindow() {
+	win := &a.windows[a.cur]
+
+	// Load imbalance and comm ratio over the ranks that participated.
+	var maxComp, sumComp int64
+	participants := 0
+	for _, r := range a.touched {
+		if a.scratchEv[r] == 0 {
+			continue
+		}
+		participants++
+		if a.scratchComp[r] > maxComp {
+			maxComp = a.scratchComp[r]
+		}
+		sumComp += a.scratchComp[r]
+		a.scratchEv[r] = 0
+		a.scratchComp[r] = 0
+	}
+	a.touched = a.touched[:0]
+	win.LoadImbalance = imbalance(maxComp, sumComp, participants)
+	win.CommRatio = ratio(float64(win.CommNs), float64(win.ComputeNs))
+
+	// Pair up the window's directed channels; only the leftovers roll
+	// into the whole-trace channel map, so every pair formed there
+	// later is by construction a cross-window match.
+	for k, c := range a.winChans {
+		paired := minU64(c.sends, c.recvs)
+		a.match.ResolvedPairs += paired
+		win.LocalUnmatched += (c.sends - paired) + (c.recvs - paired)
+		g := a.chans[k]
+		if g == nil {
+			g = &chCount{firstSendWin: -1, firstRecvWin: -1}
+			a.chans[k] = g
+		}
+		g.sends += c.sends - paired
+		g.recvs += c.recvs - paired
+		if c.sends > 0 && g.firstSendWin < 0 {
+			g.firstSendWin = a.cur
+		}
+		if c.recvs > 0 && g.firstRecvWin < 0 {
+			g.firstRecvWin = a.cur
+		}
+	}
+	a.winChans = nil
+
+	if a.winDelta != nil && a.winDelta.Count() > 0 {
+		win.DeltaCount = a.winDelta.Count()
+		win.DeltaMinNs = a.winDelta.Min
+		win.DeltaMaxNs = a.winDelta.Max
+		win.DeltaMeanNs = a.winDelta.FMean()
+		win.DeltaStdNs = a.winDelta.Std()
+	}
+	a.winDelta = nil
+}
+
+// --- leaf contribution (shared by both walk modes) ---
+
+// leaf applies one stored leaf with the given iteration weight. Every
+// accumulator is an integer sum, so applying (n, mult) once or (n, 1)
+// mult times yields bit-identical results — the property the expansion
+// oracle verifies.
+func (a *analyzer) leaf(n *trace.Node, mult uint64) {
+	if mult == 0 {
+		// A zero-trip loop body represents no dynamic events; skipping
+		// it keeps the closed-form walk identical to the expansion
+		// oracle, which never reaches these leaves.
+		return
+	}
+	win := &a.windows[a.cur]
+	ev := n.Ev
+	size := n.Ranks.Size()
+	occ := mult * uint64(size)
+
+	compPer := int64(0)
+	waitPer := int64(0)
+	if n.Delta != nil && n.Delta.Count() > 0 {
+		compPer = maxI64(n.Delta.Mean(), 0)
+		if synchronizes(ev.Op) {
+			waitPer = maxI64(n.Delta.Max-n.Delta.Mean(), 0)
+		}
+		a.winDelta.MergeScaled(n.Delta, occ)
+	}
+	commPer := int64(a.commCost(ev, size))
+
+	win.Events += occ
+	win.ComputeNs += int64(mult) * compPer * int64(size)
+	win.CommNs += int64(mult) * commPer * int64(size)
+	win.WaitNs += int64(mult) * waitPer * int64(size)
+
+	if win.Ops == nil {
+		win.Ops = map[string]OpStat{}
+	}
+	st := win.Ops[ev.Op.String()]
+	st.Events += occ
+	st.Bytes += occ * uint64(ev.Bytes)
+	win.Ops[ev.Op.String()] = st
+
+	if win.ByteBuckets == nil {
+		win.ByteBuckets = map[int]uint64{}
+	}
+	win.ByteBuckets[stats.BucketOf(int64(ev.Bytes))] += occ
+
+	sends, recvs := p2pSides(ev.Op)
+	n.Ranks.ForEach(func(r int) {
+		if r < 0 || r >= a.p {
+			return
+		}
+		rk := &a.ranks[r]
+		rk.Events += mult
+		rk.ComputeNs += int64(mult) * compPer
+		rk.CommNs += int64(mult) * commPer
+		rk.WaitNs += int64(mult) * waitPer
+		if sends {
+			rk.SendBytes += mult * uint64(ev.Bytes)
+		}
+		if a.scratchEv[r] == 0 && a.scratchComp[r] == 0 {
+			a.touched = append(a.touched, r)
+		}
+		a.scratchEv[r] += mult
+		a.scratchComp[r] += int64(mult) * compPer
+
+		if sends {
+			a.match.Sends += mult
+			a.addTag(ev.Tag).sends += mult
+			if dst, ok := resolveMod(ev.Dest, r, a.p); ok {
+				a.winChan(chKey{tag: ev.Tag, src: r, dst: dst}).sends += mult
+			}
+		}
+		if recvs {
+			a.match.Recvs += mult
+			a.addTag(ev.Tag).recvs += mult
+			if src, ok := resolveMod(ev.Src, r, a.p); ok {
+				a.winChan(chKey{tag: ev.Tag, src: src, dst: r}).recvs += mult
+			} else {
+				a.match.Wildcards += mult
+			}
+		}
+	})
+}
+
+func (a *analyzer) addTag(tag int) *tagCount {
+	t := a.tags[tag]
+	if t == nil {
+		t = &tagCount{}
+		a.tags[tag] = t
+	}
+	return t
+}
+
+func (a *analyzer) winChan(k chKey) *chCount {
+	c := a.winChans[k]
+	if c == nil {
+		c = &chCount{firstSendWin: -1, firstRecvWin: -1}
+		a.winChans[k] = c
+	}
+	return c
+}
+
+// commCost prices one occurrence of the event for one participating
+// rank, in virtual nanoseconds: alpha-beta for point-to-point traffic,
+// a log2(group)-depth tree for collectives over the leaf's rank list.
+func (a *analyzer) commCost(ev trace.Event, group int) vtime.Duration {
+	m := a.model
+	switch {
+	case ev.Op == mpi.OpSend || ev.Op == mpi.OpIsend:
+		return m.PtoP(ev.Bytes)
+	case ev.Op == mpi.OpRecv || ev.Op == mpi.OpIrecv:
+		return m.Alpha
+	case ev.Op == mpi.OpSendrecv:
+		return m.PtoP(ev.Bytes) + m.Alpha
+	case ev.Op.IsCollective():
+		levels := vtime.Duration(vtime.Log2Ceil(group))
+		return levels * (m.PtoP(ev.Bytes) + m.CollectivePerLevel)
+	}
+	return 0
+}
+
+// synchronizes reports whether the operation's delta skew counts as
+// wait-state time: collectives and blocking receive-side operations
+// wait for remote progress, sends and local ops do not.
+func synchronizes(op mpi.OpCode) bool {
+	switch op {
+	case mpi.OpRecv, mpi.OpIrecv, mpi.OpWait, mpi.OpSendrecv:
+		return true
+	}
+	return op.IsCollective()
+}
+
+// p2pSides reports which point-to-point sides the op contributes to.
+func p2pSides(op mpi.OpCode) (sends, recvs bool) {
+	switch op {
+	case mpi.OpSend, mpi.OpIsend:
+		return true, false
+	case mpi.OpRecv, mpi.OpIrecv:
+		return false, true
+	case mpi.OpSendrecv:
+		return true, true
+	}
+	return false, false
+}
+
+// resolveMod resolves an end-point for a rank, wrapped into [0, p) the
+// way replay resolves relative (torus) offsets. Wildcard and reply
+// encodings report ok=false.
+func resolveMod(e trace.Endpoint, self, p int) (int, bool) {
+	r, ok := e.Resolve(self)
+	if !ok {
+		return 0, false
+	}
+	return ((r % p) + p) % p, true
+}
+
+// --- finalization ---
+
+func (a *analyzer) report(f *trace.File) *Report {
+	rep := &Report{
+		P:            f.P,
+		Benchmark:    f.Benchmark,
+		Tracer:       f.Tracer,
+		StoredNodes:  trace.NodeCount(f.Nodes),
+		StoredLeaves: trace.LeafCount(f.Nodes),
+		Windows:      a.windows,
+		Ranks:        a.ranks,
+	}
+	for i := range a.windows {
+		w := &a.windows[i]
+		rep.Events += w.Events
+		rep.ComputeNs += w.ComputeNs
+		rep.CommNs += w.CommNs
+		rep.WaitNs += w.WaitNs
+	}
+	rep.CompressionRatio = ratio(float64(rep.Events), float64(rep.StoredNodes))
+	rep.CommRatio = ratio(float64(rep.CommNs), float64(rep.ComputeNs))
+
+	var maxComp, sumComp int64
+	participants := 0
+	for i := range a.ranks {
+		if a.ranks[i].Events == 0 {
+			continue
+		}
+		participants++
+		if a.ranks[i].ComputeNs > maxComp {
+			maxComp = a.ranks[i].ComputeNs
+		}
+		sumComp += a.ranks[i].ComputeNs
+	}
+	rep.LoadImbalance = imbalance(maxComp, sumComp, participants)
+
+	// Cross-window matching over the per-channel leftovers, and the
+	// windowed happens-before check.
+	m := a.match
+	for _, c := range a.chans {
+		// The per-window pairing already subtracted its matches before
+		// rolling leftovers into this map, so every pair formed here is
+		// by construction a cross-window match.
+		m.CrossWindow += minU64(c.sends, c.recvs)
+		if c.firstSendWin >= 0 && c.firstRecvWin >= 0 &&
+			c.firstRecvWin < c.firstSendWin {
+			m.OrderViolations++
+		}
+	}
+	// m.ResolvedPairs so far counted window-local pairs only; the
+	// cross-window pairs complete the directed total.
+	m.ResolvedPairs += m.CrossWindow
+
+	for tag, t := range a.tags {
+		if t.sends != t.recvs {
+			if m.UnmatchedByTag == nil {
+				m.UnmatchedByTag = map[int]int64{}
+			}
+			d := int64(t.sends) - int64(t.recvs)
+			m.UnmatchedByTag[tag] = d
+			if d < 0 {
+				d = -d
+			}
+			m.Unmatched += uint64(d)
+		}
+	}
+	m.Consistent = m.Unmatched == 0
+	rep.Match = m
+	return rep
+}
+
+func imbalance(maxComp, sumComp int64, participants int) float64 {
+	if participants == 0 || sumComp <= 0 {
+		return 0
+	}
+	mean := float64(sumComp) / float64(participants)
+	return ratio(float64(maxComp), mean)
+}
+
+// ratio returns num/den with a guarded denominator: 0 when den is zero
+// (or not finite), so empty windows and zero-compute traces never
+// produce NaN or Inf.
+func ratio(num, den float64) float64 {
+	if den == 0 || math.IsNaN(den) || math.IsInf(den, 0) {
+		return 0
+	}
+	return num / den
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- comparison ---
+
+// Diff compares two reports field by field: integer-valued metrics must
+// be identical, float-valued ratios must agree within relative
+// tolerance tol. It returns human-readable mismatch descriptions
+// (empty = equal). The equivalence tests use it to prove the
+// closed-form walk against the expansion oracle; chamstat/chamtop
+// -check uses it against a fresh oracle run.
+func Diff(a, b *Report, tol float64) []string {
+	var out []string
+	mism := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	eqI := func(name string, x, y int64) {
+		if x != y {
+			mism("%s: %d != %d", name, x, y)
+		}
+	}
+	eqU := func(name string, x, y uint64) {
+		if x != y {
+			mism("%s: %d != %d", name, x, y)
+		}
+	}
+	eqF := func(name string, x, y float64) {
+		if !closeEnough(x, y, tol) {
+			mism("%s: %g != %g (tol %g)", name, x, y, tol)
+		}
+	}
+	eqI("p", int64(a.P), int64(b.P))
+	eqI("stored_nodes", int64(a.StoredNodes), int64(b.StoredNodes))
+	eqI("stored_leaves", int64(a.StoredLeaves), int64(b.StoredLeaves))
+	eqU("events", a.Events, b.Events)
+	eqI("compute_ns", a.ComputeNs, b.ComputeNs)
+	eqI("comm_ns", a.CommNs, b.CommNs)
+	eqI("wait_ns", a.WaitNs, b.WaitNs)
+	eqF("compression_ratio", a.CompressionRatio, b.CompressionRatio)
+	eqF("load_imbalance", a.LoadImbalance, b.LoadImbalance)
+	eqF("comm_ratio", a.CommRatio, b.CommRatio)
+
+	if len(a.Windows) != len(b.Windows) {
+		mism("windows: %d != %d", len(a.Windows), len(b.Windows))
+		return out
+	}
+	for i := range a.Windows {
+		wa, wb := &a.Windows[i], &b.Windows[i]
+		pre := fmt.Sprintf("window[%d].", i)
+		eqI(pre+"nodes", int64(wa.Nodes), int64(wb.Nodes))
+		eqI(pre+"leaves", int64(wa.Leaves), int64(wb.Leaves))
+		eqU(pre+"events", wa.Events, wb.Events)
+		eqI(pre+"compute_ns", wa.ComputeNs, wb.ComputeNs)
+		eqI(pre+"comm_ns", wa.CommNs, wb.CommNs)
+		eqI(pre+"wait_ns", wa.WaitNs, wb.WaitNs)
+		eqU(pre+"local_unmatched", wa.LocalUnmatched, wb.LocalUnmatched)
+		eqF(pre+"load_imbalance", wa.LoadImbalance, wb.LoadImbalance)
+		eqF(pre+"comm_ratio", wa.CommRatio, wb.CommRatio)
+		eqU(pre+"delta_count", wa.DeltaCount, wb.DeltaCount)
+		eqI(pre+"delta_min_ns", wa.DeltaMinNs, wb.DeltaMinNs)
+		eqI(pre+"delta_max_ns", wa.DeltaMaxNs, wb.DeltaMaxNs)
+		eqF(pre+"delta_mean_ns", wa.DeltaMeanNs, wb.DeltaMeanNs)
+		eqF(pre+"delta_std_ns", wa.DeltaStdNs, wb.DeltaStdNs)
+		diffOps(pre, wa.Ops, wb.Ops, &out)
+		diffBuckets(pre, wa.ByteBuckets, wb.ByteBuckets, &out)
+	}
+	if len(a.Ranks) != len(b.Ranks) {
+		mism("ranks: %d != %d", len(a.Ranks), len(b.Ranks))
+		return out
+	}
+	for i := range a.Ranks {
+		ra, rb := &a.Ranks[i], &b.Ranks[i]
+		pre := fmt.Sprintf("rank[%d].", i)
+		eqU(pre+"events", ra.Events, rb.Events)
+		eqI(pre+"compute_ns", ra.ComputeNs, rb.ComputeNs)
+		eqI(pre+"comm_ns", ra.CommNs, rb.CommNs)
+		eqI(pre+"wait_ns", ra.WaitNs, rb.WaitNs)
+		eqU(pre+"send_bytes", ra.SendBytes, rb.SendBytes)
+	}
+	eqU("match.sends", a.Match.Sends, b.Match.Sends)
+	eqU("match.recvs", a.Match.Recvs, b.Match.Recvs)
+	eqU("match.wildcards", a.Match.Wildcards, b.Match.Wildcards)
+	eqU("match.resolved_pairs", a.Match.ResolvedPairs, b.Match.ResolvedPairs)
+	eqU("match.cross_window", a.Match.CrossWindow, b.Match.CrossWindow)
+	eqU("match.order_violations", a.Match.OrderViolations, b.Match.OrderViolations)
+	eqU("match.unmatched", a.Match.Unmatched, b.Match.Unmatched)
+	return out
+}
+
+func diffOps(pre string, a, b map[string]OpStat, out *[]string) {
+	for op, sa := range a {
+		sb, ok := b[op]
+		if !ok || sa != sb {
+			*out = append(*out, fmt.Sprintf("%sops[%s]: %+v != %+v", pre, op, sa, sb))
+		}
+	}
+	for op := range b {
+		if _, ok := a[op]; !ok {
+			*out = append(*out, fmt.Sprintf("%sops[%s]: missing in first", pre, op))
+		}
+	}
+}
+
+func diffBuckets(pre string, a, b map[int]uint64, out *[]string) {
+	for k, va := range a {
+		if vb := b[k]; va != vb {
+			*out = append(*out, fmt.Sprintf("%sbyte_buckets[%d]: %d != %d", pre, k, va, vb))
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok && vb != 0 {
+			*out = append(*out, fmt.Sprintf("%sbyte_buckets[%d]: 0 != %d", pre, k, vb))
+		}
+	}
+}
+
+func closeEnough(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return d <= tol
+	}
+	return d/scale <= tol
+}
+
+// String renders a compact human-readable report (chamstat -zstats).
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P=%d stored=%d nodes (%d leaves) events=%d ratio=%.1fx\n",
+		r.P, r.StoredNodes, r.StoredLeaves, r.Events, r.CompressionRatio)
+	fmt.Fprintf(&b, "compute=%v comm=%v wait=%v imbalance=%.2f comm/compute=%.3f\n",
+		vtime.Duration(r.ComputeNs), vtime.Duration(r.CommNs), vtime.Duration(r.WaitNs),
+		r.LoadImbalance, r.CommRatio)
+	m := r.Match
+	verdict := "consistent"
+	if !m.Consistent {
+		verdict = fmt.Sprintf("INCONSISTENT (%d unmatched)", m.Unmatched)
+	}
+	fmt.Fprintf(&b, "match: sends=%d recvs=%d wildcard=%d paired=%d cross-window=%d order-violations=%d => %s\n",
+		m.Sends, m.Recvs, m.Wildcards, m.ResolvedPairs, m.CrossWindow, m.OrderViolations, verdict)
+	fmt.Fprintf(&b, "%-4s %6s %6s %10s %12s %12s %12s %6s %6s\n",
+		"win", "nodes", "leaves", "events", "compute", "comm", "wait", "imbal", "c/c")
+	for i := range r.Windows {
+		w := &r.Windows[i]
+		fmt.Fprintf(&b, "%-4d %6d %6d %10d %12v %12v %12v %6.2f %6.3f\n",
+			w.Index, w.Nodes, w.Leaves, w.Events,
+			vtime.Duration(w.ComputeNs), vtime.Duration(w.CommNs), vtime.Duration(w.WaitNs),
+			w.LoadImbalance, w.CommRatio)
+	}
+	return b.String()
+}
+
+// TopWaitWindows returns the indices of the n windows with the most
+// wait-state time, descending (chamtop -zan).
+func (r *Report) TopWaitWindows(n int) []int {
+	idx := make([]int, len(r.Windows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		wi, wj := r.Windows[idx[i]].WaitNs, r.Windows[idx[j]].WaitNs
+		if wi != wj {
+			return wi > wj
+		}
+		return idx[i] < idx[j]
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	return idx[:n]
+}

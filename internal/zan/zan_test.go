@@ -1,0 +1,341 @@
+package zan
+
+import (
+	"strings"
+	"testing"
+
+	"chameleon/internal/mpi"
+	"chameleon/internal/ranklist"
+	"chameleon/internal/trace"
+	"chameleon/internal/vtime"
+)
+
+// twoRankTrace is the hand-checked fixture:
+//
+//	window 0: Send rank0->rank1 (tag 7, 1024 B, delta 500),
+//	          Recv rank1<-rank0 (tag 7, 1024 B, delta 800)
+//	window 1: loop(5){ Barrier ranks{0,1} (delta 200) }
+func twoRankTrace() *trace.File {
+	send := trace.NewLeaf(trace.Event{
+		Op: mpi.OpSend, Dest: trace.Absolute(1), Tag: 7, Bytes: 1024,
+	}, ranklist.SingleRank(0), 500)
+	recv := trace.NewLeaf(trace.Event{
+		Op: mpi.OpRecv, Src: trace.Absolute(0), Tag: 7, Bytes: 1024,
+	}, ranklist.SingleRank(1), 800)
+	barrier := trace.NewLeaf(trace.Event{
+		Op: mpi.OpBarrier,
+	}, ranklist.FromRL(ranklist.Range(0, 2, 1)), 200)
+	return &trace.File{
+		P: 2,
+		Nodes: []*trace.Node{
+			trace.NewLoop(1, []*trace.Node{send, recv}),
+			trace.NewLoop(5, []*trace.Node{barrier}),
+		},
+	}
+}
+
+func TestAnalyzeHandChecked(t *testing.T) {
+	rep, err := Analyze(twoRankTrace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default model: Alpha=1000ns, Beta=0.3125 ns/B.
+	// Send(1024B)=1320ns, Recv=1000ns, Barrier over 2 ranks =
+	// log2ceil(2) * (PtoP(0) + 500) = 1500ns per rank per iteration.
+	if rep.Events != 12 {
+		t.Errorf("Events = %d, want 12", rep.Events)
+	}
+	if got := rep.Windows[0]; got.Events != 2 || got.ComputeNs != 1300 ||
+		got.CommNs != 2320 || got.WaitNs != 0 {
+		t.Errorf("window 0 = %+v, want events=2 compute=1300 comm=2320 wait=0", got)
+	}
+	if got := rep.Windows[1]; got.Events != 10 || got.ComputeNs != 2000 ||
+		got.CommNs != 15000 {
+		t.Errorf("window 1 = %+v, want events=10 compute=2000 comm=15000", got)
+	}
+	if rep.StoredNodes != 5 || rep.StoredLeaves != 3 {
+		t.Errorf("stored = %d nodes / %d leaves, want 5/3", rep.StoredNodes, rep.StoredLeaves)
+	}
+	if rep.CompressionRatio != 12.0/5.0 {
+		t.Errorf("CompressionRatio = %g, want 2.4", rep.CompressionRatio)
+	}
+	if rep.Ranks[0].Events != 6 || rep.Ranks[1].Events != 6 {
+		t.Errorf("rank events = %d/%d, want 6/6", rep.Ranks[0].Events, rep.Ranks[1].Events)
+	}
+	if rep.Ranks[0].ComputeNs != 1500 || rep.Ranks[1].ComputeNs != 1800 {
+		t.Errorf("rank compute = %d/%d, want 1500/1800",
+			rep.Ranks[0].ComputeNs, rep.Ranks[1].ComputeNs)
+	}
+	if rep.Ranks[0].SendBytes != 1024 || rep.Ranks[1].SendBytes != 0 {
+		t.Errorf("send bytes = %d/%d, want 1024/0",
+			rep.Ranks[0].SendBytes, rep.Ranks[1].SendBytes)
+	}
+	wantImb := 1800.0 / 1650.0
+	if !closeEnough(rep.LoadImbalance, wantImb, 1e-12) {
+		t.Errorf("LoadImbalance = %g, want %g", rep.LoadImbalance, wantImb)
+	}
+	m := rep.Match
+	if m.Sends != 1 || m.Recvs != 1 || m.ResolvedPairs != 1 ||
+		m.CrossWindow != 0 || m.OrderViolations != 0 || !m.Consistent {
+		t.Errorf("match = %+v, want 1 send/recv paired locally, consistent", m)
+	}
+	if st := rep.Windows[0].Ops["Send"]; st.Events != 1 || st.Bytes != 1024 {
+		t.Errorf("window 0 Send op = %+v, want {1, 1024}", st)
+	}
+	if st := rep.Windows[1].Ops["Barrier"]; st.Events != 10 || st.Bytes != 0 {
+		t.Errorf("window 1 Barrier op = %+v, want {10, 0}", st)
+	}
+	if rep.Windows[1].DeltaCount != 10 || rep.Windows[1].DeltaMeanNs != 200 {
+		t.Errorf("window 1 delta = n=%d mean=%g, want n=10 mean=200",
+			rep.Windows[1].DeltaCount, rep.Windows[1].DeltaMeanNs)
+	}
+}
+
+func TestWaitStateSkew(t *testing.T) {
+	// A barrier whose delta histogram spreads {100, 300}: mean 200, max
+	// 300, so each occurrence carries 100 ns of modeled wait.
+	b := trace.NewLeaf(trace.Event{Op: mpi.OpBarrier},
+		ranklist.FromRL(ranklist.Range(0, 2, 1)), 100)
+	b.Delta.Add(300)
+	f := &trace.File{P: 2, Nodes: []*trace.Node{b}}
+	rep, err := Analyze(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WaitNs != 200 {
+		t.Errorf("WaitNs = %d, want 200 (skew 100 x 2 ranks)", rep.WaitNs)
+	}
+	// Sends never accrue wait even with skewed deltas.
+	s := trace.NewLeaf(trace.Event{Op: mpi.OpSend, Dest: trace.Absolute(1), Bytes: 8},
+		ranklist.SingleRank(0), 100)
+	s.Delta.Add(300)
+	rep, err = Analyze(&trace.File{P: 2, Nodes: []*trace.Node{s}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WaitNs != 0 {
+		t.Errorf("send WaitNs = %d, want 0", rep.WaitNs)
+	}
+}
+
+func TestExpandOracleBitEqual(t *testing.T) {
+	f := twoRankTrace()
+	fast, err := Analyze(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Analyze(f, Options{Expand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(fast, slow, 1e-9); len(d) != 0 {
+		t.Fatalf("closed-form vs expansion oracle:\n%s", strings.Join(d, "\n"))
+	}
+}
+
+func TestZeroIterationLoop(t *testing.T) {
+	// A zero-trip loop represents no events: its leaves must not leak
+	// into any metric, matching the oracle (which never reaches them).
+	dead := trace.NewLeaf(trace.Event{Op: mpi.OpSend, Dest: trace.Absolute(1), Bytes: 64},
+		ranklist.SingleRank(0), 100)
+	live := trace.NewLeaf(trace.Event{Op: mpi.OpBarrier},
+		ranklist.FromRL(ranklist.Range(0, 2, 1)), 50)
+	f := &trace.File{P: 2, Nodes: []*trace.Node{
+		trace.NewLoop(0, []*trace.Node{dead}),
+		live,
+	}}
+	fast, err := Analyze(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Events != 2 || fast.Match.Sends != 0 {
+		t.Errorf("zero-trip loop leaked: events=%d sends=%d", fast.Events, fast.Match.Sends)
+	}
+	w := fast.Windows[0]
+	if w.Events != 0 || len(w.Ops) != 0 || w.LoadImbalance != 0 || w.CommRatio != 0 {
+		t.Errorf("empty window not inert: %+v", w)
+	}
+	slow, err := Analyze(f, Options{Expand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(fast, slow, 1e-9); len(d) != 0 {
+		t.Fatalf("zero-trip loop diverges from oracle:\n%s", strings.Join(d, "\n"))
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	rep, err := Analyze(&trace.File{P: 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 0 || len(rep.Windows) != 0 || len(rep.Ranks) != 4 {
+		t.Errorf("empty trace report: %+v", rep)
+	}
+	if rep.CompressionRatio != 0 || rep.CommRatio != 0 || rep.LoadImbalance != 0 {
+		t.Errorf("empty trace ratios must be 0, got %g/%g/%g",
+			rep.CompressionRatio, rep.CommRatio, rep.LoadImbalance)
+	}
+	if !rep.Match.Consistent {
+		t.Error("empty trace must be match-consistent")
+	}
+	if s := rep.String(); s == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	if _, err := Analyze(nil, Options{}); err == nil {
+		t.Error("nil file accepted")
+	}
+	if _, err := Analyze(&trace.File{P: 0}, Options{}); err == nil {
+		t.Error("P=0 accepted")
+	}
+}
+
+func TestCrossWindowMatchAndOrderViolation(t *testing.T) {
+	// Recv in window 0, its Send only in window 1: the pair closes
+	// across windows, and — windows being marker-barrier aligned — the
+	// receive observed before the send is a happens-before violation.
+	recv := trace.NewLeaf(trace.Event{
+		Op: mpi.OpRecv, Src: trace.Absolute(0), Tag: 3, Bytes: 16,
+	}, ranklist.SingleRank(1), 10)
+	send := trace.NewLeaf(trace.Event{
+		Op: mpi.OpSend, Dest: trace.Absolute(1), Tag: 3, Bytes: 16,
+	}, ranklist.SingleRank(0), 10)
+	f := &trace.File{P: 2, Nodes: []*trace.Node{recv, send}}
+	rep, err := Analyze(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Match
+	if m.ResolvedPairs != 1 || m.CrossWindow != 1 {
+		t.Errorf("pairs=%d cross=%d, want 1/1", m.ResolvedPairs, m.CrossWindow)
+	}
+	if m.OrderViolations != 1 {
+		t.Errorf("OrderViolations = %d, want 1", m.OrderViolations)
+	}
+	if !m.Consistent {
+		t.Error("tag conservation holds, report must stay consistent")
+	}
+	if rep.Windows[0].LocalUnmatched != 1 || rep.Windows[1].LocalUnmatched != 1 {
+		t.Errorf("LocalUnmatched = %d/%d, want 1/1",
+			rep.Windows[0].LocalUnmatched, rep.Windows[1].LocalUnmatched)
+	}
+}
+
+func TestInconsistentTrace(t *testing.T) {
+	// Two sends, one recv on the same tag: conservation fails by 1.
+	send := trace.NewLeaf(trace.Event{
+		Op: mpi.OpSend, Dest: trace.Absolute(1), Tag: 9, Bytes: 4,
+	}, ranklist.SingleRank(0), 10)
+	f := &trace.File{P: 2, Nodes: []*trace.Node{
+		trace.NewLoop(2, []*trace.Node{send}),
+		trace.NewLeaf(trace.Event{
+			Op: mpi.OpRecv, Src: trace.Absolute(0), Tag: 9, Bytes: 4,
+		}, ranklist.SingleRank(1), 10),
+	}}
+	rep, err := Analyze(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Match
+	if m.Consistent || m.Unmatched != 1 || m.UnmatchedByTag[9] != 1 {
+		t.Errorf("match = %+v, want 1 unmatched send on tag 9", m)
+	}
+	if !strings.Contains(rep.String(), "INCONSISTENT") {
+		t.Error("String() must flag inconsistency")
+	}
+}
+
+func TestWildcardRecvCountedNotPaired(t *testing.T) {
+	recv := trace.NewLeaf(trace.Event{
+		Op: mpi.OpRecv, Src: trace.Endpoint{Kind: trace.EPAnySource}, Tag: 1, Bytes: 4,
+	}, ranklist.SingleRank(1), 10)
+	send := trace.NewLeaf(trace.Event{
+		Op: mpi.OpSend, Dest: trace.Absolute(1), Tag: 1, Bytes: 4,
+	}, ranklist.SingleRank(0), 10)
+	rep, err := Analyze(&trace.File{P: 2, Nodes: []*trace.Node{
+		trace.NewLoop(1, []*trace.Node{send, recv}),
+	}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Match
+	if m.Wildcards != 1 || m.ResolvedPairs != 0 {
+		t.Errorf("match = %+v, want 1 wildcard, 0 directed pairs", m)
+	}
+	if !m.Consistent {
+		t.Error("wildcard recv still conserves its tag")
+	}
+}
+
+func TestDiffDetectsMismatches(t *testing.T) {
+	f := twoRankTrace()
+	a, _ := Analyze(f, Options{})
+	b, _ := Analyze(f, Options{})
+	if d := Diff(a, b, 0); len(d) != 0 {
+		t.Fatalf("identical reports diff: %v", d)
+	}
+	b.Windows[1].CommNs++
+	b.Ranks[0].Events++
+	b.Match.Sends++
+	d := Diff(a, b, 0)
+	if len(d) != 3 {
+		t.Fatalf("want 3 mismatches, got %v", d)
+	}
+}
+
+func TestTopWaitWindows(t *testing.T) {
+	r := &Report{Windows: []Window{
+		{Index: 0, WaitNs: 5}, {Index: 1, WaitNs: 50}, {Index: 2, WaitNs: 20},
+	}}
+	if got := r.TopWaitWindows(2); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("TopWaitWindows(2) = %v, want [1 2]", got)
+	}
+	if got := r.TopWaitWindows(10); len(got) != 3 {
+		t.Errorf("TopWaitWindows(10) returned %d entries, want 3", len(got))
+	}
+}
+
+func TestSendrecvContributesBothSides(t *testing.T) {
+	sr := trace.NewLeaf(trace.Event{
+		Op: mpi.OpSendrecv, Dest: trace.Relative(1), Src: trace.Relative(-1),
+		Tag: 2, Bytes: 32,
+	}, ranklist.FromRL(ranklist.Range(0, 4, 1)), 10)
+	rep, err := Analyze(&trace.File{P: 4, Nodes: []*trace.Node{sr}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Match
+	if m.Sends != 4 || m.Recvs != 4 {
+		t.Errorf("sendrecv sides = %d/%d, want 4/4", m.Sends, m.Recvs)
+	}
+	// Relative ±1 endpoints wrap mod P into a ring: every directed
+	// channel pairs inside the window.
+	if m.ResolvedPairs != 4 || !m.Consistent {
+		t.Errorf("match = %+v, want 4 ring pairs, consistent", m)
+	}
+	// Cost model prices both the send and the recv half; wait counts.
+	if rep.CommNs == 0 || rep.WaitNs != 0 {
+		t.Errorf("comm=%d wait=%d; sendrecv must price comm, single-sample delta has no skew",
+			rep.CommNs, rep.WaitNs)
+	}
+}
+
+func BenchmarkZanAnalyze(b *testing.B) {
+	f := twoRankTrace()
+	// Make the compressed representation non-trivially nested.
+	f.Nodes = append(f.Nodes, trace.NewLoop(1000, []*trace.Node{
+		trace.NewLoop(100, []*trace.Node{
+			trace.NewLeaf(trace.Event{Op: mpi.OpAllreduce, Bytes: 8},
+				ranklist.FromRL(ranklist.Range(0, 2, 1)), 40),
+		}),
+	}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(f, Options{Model: vtime.Default()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package chameleon_test
 //	chamrun -push  -> PUT /runs      (idempotent: second push dedups)
 //	chamstat http  -> GET /runs/{id} (byte-identical canonical payload)
 //	chamstat -diff -> same verdict over HTTP refs as over local files
+//	stats          -> GET /runs/{id}/stats (server-side zan report)
 
 import (
 	"bytes"
@@ -129,6 +130,30 @@ func TestStoreEndToEnd(t *testing.T) {
 	if !reflect.DeepEqual(diffs["local"], diffs["http"]) {
 		t.Fatalf("diff over http refs diverges from local diff:\nlocal: %+v\nhttp:  %+v",
 			diffs["local"], diffs["http"])
+	}
+
+	// Acceptance: GET /runs/{id}/stats serves the compressed-domain
+	// analysis of the archived run, and it matches the report computed
+	// locally on the pushed trace — the server analyzed the stored
+	// nodes, not an expansion.
+	sr, err := store.FetchStats(srv.URL, btRun.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID != btRun.ID {
+		t.Fatalf("stats for run %s, want %s", sr.ID, btRun.ID)
+	}
+	local, err := analysis.CrossCheck(bt, chameleon.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Report == nil || sr.Report.Events != local.Events {
+		t.Fatalf("archived stats report %+v does not match local analysis (%d events)",
+			sr.Report, local.Events)
+	}
+	if sr.Report.StoredNodes != local.StoredNodes || !sr.Report.Match.Consistent {
+		t.Fatalf("archived stats: nodes=%d consistent=%v, want nodes=%d consistent=true",
+			sr.Report.StoredNodes, sr.Report.Match.Consistent, local.StoredNodes)
 	}
 
 	// A trace must also diff clean against its own archived copy.
