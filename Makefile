@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test test-race test-faults test-store test-live test-zan fuzz-trace bench bench-causal bench-faults bench-refactor bench-store bench-live bench-zan clean
+.PHONY: all check test test-race test-faults test-store test-live test-wave test-zan fuzz-trace bench bench-causal bench-faults bench-refactor bench-store bench-live bench-wave bench-zan clean
 
 all: check test
 
@@ -106,8 +106,27 @@ test-faults:
 bench-faults:
 	BENCH_FAULT_OUT=$(CURDIR)/BENCH_fault.json $(GO) test -run TestFaultBenchReport -v .
 
+# test-wave: the idle-wave suite — noise-plan generators, the wave
+# detector (fitting edge cases: single rank, crashed rank, two origins,
+# P=1), the archive edges/waves endpoints, the golden seeded-pulse
+# scenario, and the live in-flight desync detection e2e
+# (see docs/OBSERVABILITY.md, "Idle waves").
+test-wave:
+	$(GO) test -race ./internal/wave/
+	$(GO) test -race -run 'TestNoise|TestExampleNoisePlans|TestPulse' ./internal/fault/
+	$(GO) test -race -run 'TestEdgesAndWavesEndpoints|TestLiveDesync' ./internal/store/
+	$(GO) test -race -run 'TestWaveGoldenScenario|TestLiveDesyncFlaggedInFlight' .
+
+# bench-wave: price wave detection against replaying the same trace;
+# writes BENCH_wave.json (detector ns/op at 1x/4x/16x edge counts —
+# budget 5% of replay time, the report fails beyond it) and checks the
+# nil-registry counter path stays allocation-free.
+bench-wave:
+	BENCH_WAVE_OUT=$(CURDIR)/BENCH_wave.json $(GO) test -run TestWaveBenchReport -v .
+	$(GO) test -run '^$$' -bench BenchmarkNilWaveCounters -benchmem ./internal/wave/
+
 clean:
 	rm -f BENCH_obs.json BENCH_causal.json BENCH_fault.json \
 		BENCH_refactor.json BENCH_store.json BENCH_live.json \
-		BENCH_zan.json \
+		BENCH_zan.json BENCH_wave.json \
 		chameleon.journal.jsonl chameleon.trace.json chameleon.edges.jsonl

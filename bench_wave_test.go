@@ -1,0 +1,165 @@
+package chameleon_test
+
+// Wave-detector pricing harness: the idle-wave detector is a post-hoc
+// analysis over the causal edge stream, and its cost must stay a
+// rounding error next to the replay-based analyses it complements. The
+// headline claim (ISSUE 8): on a noise-injected STENCIL run, wave.Detect
+// costs <5% of replaying the same run's trace, and its cost scales
+// linearly as the edge stream grows.
+//
+// `make bench-wave` runs TestWaveBenchReport, which writes
+// BENCH_wave.json.
+//
+//	go test -bench 'BenchmarkWaveDetect' -benchmem
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"chameleon"
+	"chameleon/internal/obs"
+	"chameleon/internal/trace"
+	"chameleon/internal/wave"
+)
+
+const waveBenchP = 13
+
+// waveBenchRun produces the inputs under measurement: a noise-pulsed
+// sync-free STENCIL run traced by the Chameleon tracer with causal
+// capture, yielding both the edge stream (detector input) and the
+// compressed trace (replay baseline).
+func waveBenchRun(tb testing.TB) ([]obs.Edge, *trace.File) {
+	tb.Helper()
+	plan, err := chameleon.ParseNoisePlan("periodic ranks=5 start=400ms period=200ms extra=80ms count=1", waveBenchP, 7)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	injector, err := chameleon.NewFaultInjector(plan, 7, waveBenchP)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	o := chameleon.NewObserver(chameleon.ObsOptions{CausalRanks: waveBenchP})
+	res, err := chameleon.RunBenchmark("STENCIL", "A", waveBenchP, chameleon.TracerChameleon,
+		&chameleon.Config{Obs: o, Fault: injector, SyncEvery: -1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return o.Causal.Edges(), res.Trace
+}
+
+// tileEdges lays k time-shifted copies of the edge stream end to end:
+// the same run, k times longer, with the wave pattern recurring once
+// per copy — a linear scaling axis for the detector.
+func tileEdges(edges []obs.Edge, k int) []obs.Edge {
+	var span int64
+	for _, e := range edges {
+		if e.RecvVT > span {
+			span = e.RecvVT
+		}
+	}
+	span++
+	out := make([]obs.Edge, 0, len(edges)*k)
+	for i := 0; i < k; i++ {
+		shift := int64(i) * span
+		for _, e := range edges {
+			e.SendVT += shift
+			e.ArriveVT += shift
+			e.RecvVT += shift
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func benchWaveDetect(b *testing.B, edges []obs.Edge) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := wave.Detect(edges, wave.Options{P: waveBenchP})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Waves) == 0 {
+			b.Fatal("no waves detected")
+		}
+	}
+}
+
+func BenchmarkWaveDetect(b *testing.B) {
+	edges, _ := waveBenchRun(b)
+	for _, k := range []int{1, 4, 16} {
+		tiled := tileEdges(edges, k)
+		b.Run(fmt.Sprintf("x%d", k), func(b *testing.B) { benchWaveDetect(b, tiled) })
+	}
+}
+
+// TestWaveBenchReport (gated by BENCH_WAVE_OUT, run via `make
+// bench-wave`) prices wave.Detect against replaying the same run's
+// trace and across a 16x edge-stream scaling, and writes
+// BENCH_wave.json. It fails if detection on the run's own edges costs
+// more than 5% of the replay.
+func TestWaveBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_WAVE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_WAVE_OUT to write BENCH_wave.json")
+	}
+	edges, f := waveBenchRun(t)
+
+	report := struct {
+		Note         string                  `json:"note"`
+		Edges        int                     `json:"edges"`
+		Replay       benchNumbers            `json:"replay"`
+		Detect       map[string]benchNumbers `json:"detect"`
+		DetectShare  string                  `json:"detect_share_of_replay"`
+		ShareCeiling string                  `json:"share_ceiling"`
+	}{
+		Note:   "detect = wave.Detect over the causal edge stream of a noise-pulsed sync-free STENCIL run (P=13, Chameleon tracer); replay = simulated re-execution of the same run's trace; xN tiles the edge stream N times",
+		Edges:  len(edges),
+		Detect: map[string]benchNumbers{},
+	}
+
+	model := chameleon.DefaultModel()
+	rr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := chameleon.Replay(f, model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Events == 0 {
+				b.Fatal("no events replayed")
+			}
+		}
+	})
+	report.Replay = benchNumbers{NsPerOp: rr.NsPerOp(), AllocsPerOp: rr.AllocsPerOp(), BytesPerOp: rr.AllocedBytesPerOp()}
+
+	var base int64
+	for _, k := range []int{1, 4, 16} {
+		tiled := tileEdges(edges, k)
+		dr := testing.Benchmark(func(b *testing.B) { benchWaveDetect(b, tiled) })
+		key := fmt.Sprintf("x%d", k)
+		report.Detect[key] = benchNumbers{NsPerOp: dr.NsPerOp(), AllocsPerOp: dr.AllocsPerOp(), BytesPerOp: dr.AllocedBytesPerOp()}
+		t.Logf("detect %s: %d edges, %d ns/op, %d allocs/op", key, len(tiled), dr.NsPerOp(), dr.AllocsPerOp())
+		if k == 1 {
+			base = dr.NsPerOp()
+		}
+	}
+	share := float64(base) / float64(rr.NsPerOp())
+	report.DetectShare = fmt.Sprintf("%.2f%%", share*100)
+	report.ShareCeiling = "5%"
+	t.Logf("replay: %d ns/op; detect x1 is %s of replay", rr.NsPerOp(), report.DetectShare)
+	if share > 0.05 {
+		t.Errorf("wave.Detect costs %s of the replay time; the detector must stay below 5%%", report.DetectShare)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

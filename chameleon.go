@@ -127,6 +127,14 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) 
 // LoadFaultPlan reads and parses a fault-plan file.
 func LoadFaultPlan(path string) (*FaultPlan, error) { return fault.ParseFile(path) }
 
+// ParseNoisePlan synthesizes a pulse-train fault plan from a noise-
+// generator spec ("periodic ...", "resonant ...", "random ..."; see
+// fault.ParseNoise). The result merges into a regular fault plan via
+// Plan.Merge, which is how chamrun composes -faults with -noise.
+func ParseNoisePlan(spec string, nranks int, seed uint64) (*FaultPlan, error) {
+	return fault.ParseNoise(spec, nranks, seed)
+}
+
 // NewFaultInjector validates the plan against the rank count and
 // compiles it with the seed. An empty (or nil) plan returns a nil
 // injector: the runtime fault hooks stay disabled and the run is
@@ -227,6 +235,17 @@ type Config struct {
 	// (crash-stop at markers, compute perturbation); see
 	// NewFaultInjector. Nil leaves every fault hook disabled.
 	Fault *FaultInjector
+	// SyncEvery overrides the period of a skeleton's built-in global
+	// synchronization (see apps.BodyOpts.SyncEvery): 0 keeps the
+	// skeleton default, negative disables it. Idle-wave experiments
+	// disable the sync — it equalizes clocks and kills traveling waves.
+	// Only honored through RunSpec/RunBenchmark.
+	SyncEvery int
+	// CheckpointEvery, when positive, injects a Recorder-style
+	// checkpoint/IO phase every that many timesteps into skeletons that
+	// support it (see apps.BodyOpts.CheckpointEvery). Only honored
+	// through RunSpec/RunBenchmark.
+	CheckpointEvery int
 }
 
 // Output captures everything a traced run produces.
@@ -440,6 +459,7 @@ func RunSpec(spec Spec, tr Tracer, override *Config) (*Output, error) {
 		Benchmark:   spec.Name,
 	}
 	markerFreq := spec.Freq
+	var syncEvery, checkpointEvery int
 	if override != nil {
 		if override.K > 0 {
 			cfg.K = override.K
@@ -456,13 +476,20 @@ func RunSpec(spec Spec, tr Tracer, override *Config) (*Output, error) {
 		}
 		cfg.Obs = override.Obs
 		cfg.Fault = override.Fault
+		syncEvery = override.SyncEvery
+		checkpointEvery = override.CheckpointEvery
 	}
 	if tr == TracerAutoChameleon {
 		// Automatic marker insertion needs no in-application markers;
 		// the frequency steers the anchor firing rate instead.
 		cfg.Freq = markerFreq
 	}
-	body := spec.Make(apps.BodyOpts{Freq: markerFreq, Markers: tr == TracerChameleon})
+	body := spec.Make(apps.BodyOpts{
+		Freq:            markerFreq,
+		Markers:         tr == TracerChameleon,
+		SyncEvery:       syncEvery,
+		CheckpointEvery: checkpointEvery,
+	})
 	return Run(cfg, body)
 }
 

@@ -12,6 +12,9 @@
 //	GET  /runs                            list runs (benchmark=, p=, sig=, sigset=, limit=, offset=)
 //	GET  /runs/{id}                       fetch one run (binary, or ?format=json)
 //	GET  /runs/{a}/diff/{b}               per-site divergence between two archived runs
+//	PUT  /runs/{id}/edges                 attach a causal edge sidecar (chamrun -push-edges)
+//	GET  /runs/{id}/edges                 fetch a run's edge sidecar (JSONL)
+//	GET  /runs/{id}/waves                 idle-wave detector report over the sidecar
 //	POST /live/sessions/{id}/deltas       ingest live telemetry deltas (chamrun -live)
 //	GET  /live/sessions                   list in-flight sessions
 //	GET  /live/sessions/{id}              one session's current view (?metrics=1)
@@ -26,8 +29,9 @@
 // Live telemetry (docs/OBSERVABILITY.md): runs started with
 // `chamrun -live http://host:8321` stream sequence-numbered deltas here;
 // the daemon tracks per-rank heartbeats and window progress, flags
-// stragglers and stalls in flight, and `chamtop -follow` renders the
-// view. -live-heartbeat and -live-ttl tune the detectors.
+// stragglers, stalls, and desynchronized rank bands (nascent idle
+// waves) in flight, and `chamtop -follow` renders the view.
+// -live-heartbeat, -live-ttl, and -live-desync tune the detectors.
 //
 // The daemon is hardened for unattended use: per-request timeouts,
 // a PUT body cap, periodic background compaction of orphaned segments,
@@ -64,6 +68,7 @@ func main() {
 	compactEvery := flag.Duration("compact-every", 10*time.Minute, "background orphan-segment compaction period (0 = disabled)")
 	liveHeartbeat := flag.Duration("live-heartbeat", 5*time.Second, "live sessions: missed-heartbeat threshold before a rank is flagged stalled")
 	liveTTL := flag.Duration("live-ttl", 10*time.Minute, "live sessions: drop sessions idle longer than this")
+	liveDesync := flag.Duration("live-desync", time.Millisecond, "live sessions: window-arrival skew before a contiguous rank band is flagged desynchronized (negative = disable)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this side address")
 	flag.Parse()
 
@@ -92,6 +97,7 @@ func main() {
 	live := store.NewLive(store.LiveOptions{
 		HeartbeatTimeout: *liveHeartbeat,
 		SessionTTL:       *liveTTL,
+		DesyncSkewNs:     liveDesync.Nanoseconds(),
 		Reg:              reg,
 	})
 

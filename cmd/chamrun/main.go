@@ -34,6 +34,20 @@
 // seeds the deterministic perturbation streams. Crash plans require the
 // chameleon tracer (crashes fire at its markers).
 //
+// Noise plans (idle-wave studies, docs/OBSERVABILITY.md):
+//
+//	chamrun -bench STENCIL -p 16 -sync-every -1 -causal \
+//	    -noise 'periodic ranks=5 start=400ms period=16ms extra=5ms count=10'
+//
+// -noise synthesizes a pulse-train fault plan from generator directives
+// (periodic, resonant, random; see examples/noise/), reproducibly from
+// -noise-seed, and merges it with -faults. -sync-every overrides a
+// skeleton's built-in global synchronization period (negative disables
+// it, letting idle waves propagate); -checkpoint-every injects a
+// Recorder-style gather+IO checkpoint phase every N iterations.
+// -push-edges uploads the causal edge stream as a sidecar of the pushed
+// run so `chamd` serves GET /runs/{id}/waves (requires -causal -push).
+//
 // Trace archiving (see docs/STORE.md):
 //
 //	chamrun -bench PHASE -p 16 -push http://localhost:8321
@@ -44,6 +58,7 @@
 package main
 
 import (
+	"bytes"
 	"expvar"
 	"flag"
 	"fmt"
@@ -84,11 +99,19 @@ func main() {
 	liveSession := flag.String("live-session", "", "live session ID (default: random)")
 	faults := flag.String("faults", "", "fault plan: inline spec, or @path to a plan file")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault injector's perturbation streams")
+	noise := flag.String("noise", "", "noise-plan generator spec (periodic/resonant/random directives), merged with -faults")
+	noiseSeed := flag.Uint64("noise-seed", 1, "seed for the -noise generators")
+	syncEvery := flag.Int("sync-every", 0, "override the skeleton's global-sync period (0 = default, negative = disable)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "inject a checkpoint (gather+IO) phase every N iterations")
+	pushEdges := flag.Bool("push-edges", false, "also upload the causal edge stream as a sidecar of the pushed run (requires -causal and -push)")
 	flag.Parse()
 
-	var injector *chameleon.FaultInjector
+	if *pushEdges && (*push == "" || !*causalFlag) {
+		fatal("push-edges: requires both -causal and -push")
+	}
+
+	var plan *chameleon.FaultPlan
 	if *faults != "" {
-		var plan *chameleon.FaultPlan
 		var err error
 		if (*faults)[0] == '@' {
 			plan, err = chameleon.LoadFaultPlan((*faults)[1:])
@@ -98,9 +121,24 @@ func main() {
 		if err != nil {
 			fatal("faults: %v", err)
 		}
+	}
+	if *noise != "" {
+		np, err := chameleon.ParseNoisePlan(*noise, *p, *noiseSeed)
+		if err != nil {
+			fatal("noise: %v", err)
+		}
+		if plan == nil {
+			plan = np
+		} else {
+			plan.Merge(np)
+		}
+	}
+	var injector *chameleon.FaultInjector
+	if plan != nil {
 		if plan.HasCrashes() && *tr != "chameleon" {
 			fatal("faults: crash directives require -tracer chameleon (crashes fire at its markers)")
 		}
+		var err error
 		injector, err = chameleon.NewFaultInjector(plan, *faultSeed, *p)
 		if err != nil {
 			fatal("faults: %v", err)
@@ -163,7 +201,10 @@ func main() {
 			strings.TrimSuffix(*live, "/"), shipper.Session(), *liveInterval, *live, shipper.Session())
 	}
 
-	override := &chameleon.Config{K: *k, Freq: *freq, Algo: *algo, Obs: observer, Fault: injector}
+	override := &chameleon.Config{
+		K: *k, Freq: *freq, Algo: *algo, Obs: observer, Fault: injector,
+		SyncEvery: *syncEvery, CheckpointEvery: *checkpointEvery,
+	}
 	res, err := chameleon.RunBenchmark(*bench, *class, *p, chameleon.Tracer(*tr), override)
 	if shipper != nil {
 		// Flush the final delta even when the run failed, so watchers see
@@ -201,6 +242,7 @@ func main() {
 		fmt.Printf("departed    %v (crash-stopped; %d of %d ranks survive)\n",
 			res.Departed, *p-len(res.Departed), *p)
 	}
+	var pushedID string
 	if res.Trace != nil {
 		fmt.Printf("trace       %d top-level nodes\n", len(res.Trace.Nodes))
 		if *out != "" {
@@ -222,6 +264,7 @@ func main() {
 			if !created {
 				verb = "dedup"
 			}
+			pushedID = run.ID
 			fmt.Printf("pushed      %s/runs/%s (%s, %d B raw)\n",
 				strings.TrimSuffix(*push, "/"), run.ID[:12], verb, run.RawBytes)
 		}
@@ -260,18 +303,22 @@ func main() {
 		}
 	}
 	if *causalFlag {
-		f, err := os.Create(*edgesOut)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := observer.Causal.WriteEdges(&buf); err != nil {
 			fatal("edges: %v", err)
 		}
-		if err := observer.Causal.WriteEdges(f); err != nil {
+		if err := os.WriteFile(*edgesOut, buf.Bytes(), 0o644); err != nil {
 			fatal("edges: %v", err)
 		}
-		if err := f.Close(); err != nil {
-			fatal("edges: %v", err)
-		}
-		fmt.Printf("edges       %s (%d edges, %d dropped; analyze with chamtop -critical)\n",
+		fmt.Printf("edges       %s (%d edges, %d dropped; analyze with chamtop -critical or -waves)\n",
 			*edgesOut, observer.Causal.EdgeCount(), observer.Causal.Dropped())
+		if *pushEdges && pushedID != "" {
+			if err := store.PushEdges(*push, pushedID, buf.Bytes(), *pushGzip); err != nil {
+				fatal("push-edges: %v", err)
+			}
+			fmt.Printf("pushed      edge sidecar for %s (%d B; chamstat -waves %s/runs/%s)\n",
+				pushedID[:12], buf.Len(), strings.TrimSuffix(*push, "/"), pushedID[:12])
+		}
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

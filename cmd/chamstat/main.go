@@ -11,6 +11,12 @@
 //	chamstat -matrix  trace-file        # communication matrix (sparse)
 //	chamstat -zstats  trace-file        # compressed-domain analysis (per-window metrics)
 //	chamstat -diff a.trace b.trace      # equivalence check
+//	chamstat -waves edges-or-run-ref    # idle-wave summary (docs/OBSERVABILITY.md)
+//
+// -waves takes either a causal edge file (chamrun -causal -edges-out)
+// and runs the idle-wave detector locally, or an http(s)://host/runs/{id}
+// reference, in which case the chamd archive computes the report
+// server-side over the run's edge sidecar (chamrun -push-edges).
 //
 // -zstats computes wait/compute/communication time, load imbalance,
 // per-op tallies, and send/recv match consistency by walking the
@@ -42,12 +48,15 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"chameleon/internal/analysis"
 	"chameleon/internal/fault"
+	"chameleon/internal/obs"
 	"chameleon/internal/store"
 	"chameleon/internal/trace"
 	"chameleon/internal/vtime"
+	"chameleon/internal/wave"
 	"chameleon/internal/zan"
 )
 
@@ -71,7 +80,17 @@ func main() {
 	check := flag.Bool("check", false, "with -zstats: cross-check the closed-form metrics against the expansion oracle and the replayer")
 	diff := flag.Bool("diff", false, "compare two traces for event equivalence")
 	tolerate := flag.String("tolerate-ranks", "", `with -diff: exclude these ranks ("0,5-7" set grammar, or "auto" = the traces' retired ranks)`)
+	waves := flag.Bool("waves", false, "idle-wave summary over a causal edge file or a run URL's edge sidecar")
 	flag.Parse()
+
+	if *waves {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: chamstat -waves edges.jsonl | http://host:8321/runs/<id>")
+			os.Exit(2)
+		}
+		waveSummary(flag.Arg(0))
+		return
+	}
 
 	if *diff {
 		if flag.NArg() != 2 {
@@ -175,6 +194,46 @@ func main() {
 		cp := analysis.CriticalPath(f, int64(vtime.Default().Alpha))
 		fmt.Printf("critical-path estimate: %v\n", vtime.Duration(cp))
 	}
+}
+
+// waveSummary is the -waves mode. A /runs/{id} URL asks the chamd
+// archive for the server-side report over the run's edge sidecar; any
+// other reference is read as a causal edge JSONL stream and analyzed
+// locally.
+func waveSummary(ref string) {
+	var rep *wave.Report
+	if store.IsRef(ref) {
+		i := strings.LastIndex(ref, "/runs/")
+		if i < 0 {
+			exitOn(fmt.Errorf("%s: a remote -waves reference must name a run (…/runs/<id>)", ref))
+		}
+		resp, err := store.FetchWaves(ref[:i], ref[i+len("/runs/"):])
+		exitOn(err)
+		rep = resp.Report
+		fmt.Printf("run %s (server-side report)\n", resp.ID[:12])
+	} else {
+		f, err := os.Open(ref)
+		exitOn(err)
+		edges, err := obs.ReadEdges(f)
+		f.Close()
+		exitOn(err)
+		p := 0
+		for _, e := range edges {
+			if e.From >= p {
+				p = e.From + 1
+			}
+			if e.To >= p {
+				p = e.To + 1
+			}
+		}
+		if p == 0 {
+			exitOn(fmt.Errorf("%s: no edges", ref))
+		}
+		rep, err = wave.Detect(edges, wave.Options{P: p})
+		exitOn(err)
+		fmt.Printf("edges %s (P=%d inferred)\n", ref, p)
+	}
+	fmt.Print(wave.Summary(rep))
 }
 
 // toleratedRanks resolves the -tolerate-ranks flag: a rank-set spec, or

@@ -22,12 +22,18 @@
 // the closed-form metrics against the expansion oracle and the
 // replayer before trusting the ranking.
 //
+// With -waves it runs the idle-wave detector (internal/wave,
+// docs/OBSERVABILITY.md) over the causal edge file and renders a
+// rank x virtual-time wait heatmap with the fitted wave fronts marked,
+// followed by the per-wave kinematics summary (origin, speed, decay).
+//
 // Usage:
 //
 //	chamtop chameleon.journal.jsonl
 //	chamtop -critical -edges chameleon.edges.jsonl [-trace t.json] [-top 10] [journal.jsonl]
 //	chamtop -follow http://localhost:8321 [-session id] [-once]
 //	chamtop -zan lu.trace [-check] [-top 10]
+//	chamtop -waves -edges chameleon.edges.jsonl [-p 16] [-bins 96]
 //
 // The journal, edge, and trace arguments may also be http(s):// URLs
 // (e.g. artifacts served by a chamd host, docs/STORE.md); chamtop
@@ -48,6 +54,7 @@ import (
 	"chameleon/internal/stats"
 	"chameleon/internal/store"
 	"chameleon/internal/vtime"
+	"chameleon/internal/wave"
 	"chameleon/internal/zan"
 )
 
@@ -62,10 +69,14 @@ func main() {
 	pollTimeout := flag.Duration("poll", 10*time.Second, "with -follow: long-poll timeout per request")
 	zanRef := flag.String("zan", "", "trace path or run URL: rank its hottest windows by compressed-domain wait time")
 	check := flag.Bool("check", false, "with -zan: cross-check the metrics against the expansion oracle and the replayer")
+	waves := flag.Bool("waves", false, "idle-wave view: detect waves in the causal edge file and render the rank x time heatmap")
+	nranks := flag.Int("p", 0, "with -waves: rank count (0 = infer from the edges)")
+	bins := flag.Int("bins", 96, "with -waves: heatmap time bins")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: chamtop [-critical -edges edges.jsonl [-trace trace.json] [-top n]] [journal.jsonl]")
 		fmt.Fprintln(os.Stderr, "       chamtop -follow http://host:8321 [-session id] [-once] [-poll 10s]")
 		fmt.Fprintln(os.Stderr, "       chamtop -zan trace-ref [-check] [-top n]")
+		fmt.Fprintln(os.Stderr, "       chamtop -waves -edges edges-ref [-p n] [-bins n]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,6 +87,10 @@ func main() {
 	}
 	if *zanRef != "" {
 		zanReport(*zanRef, *topN, *check)
+		return
+	}
+	if *waves {
+		waveView(*edgesPath, *nranks, *bins)
 		return
 	}
 
@@ -322,6 +337,44 @@ func finalize(events []obs.Event) {
 	fmt.Fprintf(w, "  %d\t%d\t%d\t%d\t%d\n",
 		len(rows), events64, bytes64, recorded.Quantile(0.50), recorded.Max)
 	w.Flush()
+}
+
+// waveView is the -waves mode: load the causal edge file (a local path
+// or a chamd /runs/{id}/edges URL), run the idle-wave detector, and
+// render the rank x virtual-time heatmap plus the per-wave kinematics.
+func waveView(edgesRef string, p, bins int) {
+	f, err := store.OpenRef(edgesRef)
+	if err != nil {
+		fatal("%v (run chamrun with -causal to produce an edge file)", err)
+	}
+	edges, err := obs.ReadEdges(f)
+	f.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(edges) == 0 {
+		fatal("%s: no edges", edgesRef)
+	}
+	if p <= 0 {
+		for _, e := range edges {
+			if e.From >= p {
+				p = e.From + 1
+			}
+			if e.To >= p {
+				p = e.To + 1
+			}
+		}
+	}
+	rep, err := wave.Detect(edges, wave.Options{P: p})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%s: P=%d, %d edges, %d wait points (%d significant, floor %s, gap %s)\n\n",
+		edgesRef, p, rep.Edges, rep.WaitPoints, rep.Significant, vt(rep.FloorNs), vt(rep.MaxGapNs))
+	hm := wave.BuildHeatmap(edges, p, bins)
+	fmt.Print(hm.Render(rep))
+	fmt.Println()
+	fmt.Print(wave.Summary(rep))
 }
 
 // zanReport is the -zan mode: one compressed-domain walk over the

@@ -58,6 +58,18 @@ type BodyOpts struct {
 	// Markers enables marker insertion at all. The paper's baseline
 	// (ScalaTrace) binaries carry no markers; only Chameleon runs do.
 	Markers bool
+	// SyncEvery overrides the period of a skeleton's built-in global
+	// synchronization (STENCIL's per-iteration residual Allreduce).
+	// Zero keeps the skeleton's default; negative disables the sync
+	// entirely. Idle-wave experiments disable it: a global sync
+	// equalizes every rank's clock and kills traveling waves.
+	SyncEvery int
+	// CheckpointEvery, when positive, injects a Recorder-style
+	// checkpoint/IO phase every that many timesteps into skeletons that
+	// support it (STENCIL): ranks gather their block to rank 0, which
+	// then burns an IO-write compute burst — a serial phase that both
+	// diversifies the workload mix and acts as a noise source.
+	CheckpointEvery int
 }
 
 // Spec is a runnable benchmark instance.
@@ -90,6 +102,25 @@ func (s Spec) Body(markers bool) func(p *mpi.Proc) {
 // under the given options.
 func markerAt(o BodyOpts, it int) bool {
 	return o.Markers && o.Freq > 0 && (it+1)%o.Freq == 0
+}
+
+// checkpoint runs a Recorder-style checkpoint/IO phase: every rank
+// contributes a state block (16 halo widths) to rank 0 over the
+// survivor communicator, and the root then charges a serial IO-write
+// burst sized to the gathered volume (~1 byte/ns, a 1 GB/s writer),
+// floored at one compute step. Besides diversifying the workload mix,
+// the root-side burst is a built-in noise source: it delays rank 0's
+// next halo exchange and launches an idle wave from the array edge.
+func checkpoint(pr *mpi.Proc, blockBytes int, comp vtime.Duration) {
+	block := 16 * blockBytes
+	pr.ShrunkWorld().Gather(0, block, nil)
+	if pr.Rank() == 0 {
+		io := vtime.Duration(len(pr.AliveRanks()) * block)
+		if io < comp {
+			io = comp
+		}
+		pr.Compute(io)
+	}
 }
 
 // Marker invokes Chameleon's marker: an MPI_Barrier on the reserved

@@ -47,6 +47,9 @@ func Phase(class Class, p int) Spec {
 							sw.Alltoall(bytes / pr.Size())
 							sw.Allreduce(8, uint64(rank), mpi.OpSum)
 						}
+						if o.CheckpointEvery > 0 && (it+1)%o.CheckpointEvery == 0 {
+							checkpoint(pr, bytes, comp)
+						}
 						if markerAt(o, it) {
 							Marker(pr)
 						}

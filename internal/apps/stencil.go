@@ -26,6 +26,10 @@ func Stencil(class Class, p int) Spec {
 		Make: func(o BodyOpts) func(p *mpi.Proc) {
 			bytes := haloBytes(4096, class, p)
 			comp := computeTime(800*vtime.Microsecond, class, p)
+			syncEvery := o.SyncEvery
+			if syncEvery == 0 {
+				syncEvery = 1 // default: residual Allreduce every timestep
+			}
 			return func(pr *mpi.Proc) {
 				w := pr.World()
 				rank := pr.Rank()
@@ -74,7 +78,15 @@ func Stencil(class Class, p int) Spec {
 					if live(left) {
 						w.Recv(left, 4)
 					}
-					pr.ShrunkWorld().Allreduce(8, uint64(rank), mpi.OpSum)
+					// The residual reduction is a global sync: it equalizes
+					// every rank's clock, so idle-wave runs thin it out or
+					// disable it (a wave cannot outlive a global sync).
+					if syncEvery > 0 && (it+1)%syncEvery == 0 {
+						pr.ShrunkWorld().Allreduce(8, uint64(rank), mpi.OpSum)
+					}
+					if o.CheckpointEvery > 0 && (it+1)%o.CheckpointEvery == 0 {
+						checkpoint(pr, bytes, comp)
+					}
 					if markerAt(o, it) {
 						Marker(pr)
 					}

@@ -3,13 +3,17 @@
 //
 // A Plan describes what goes wrong during a run: crash-stop failures
 // (a rank exits cleanly at a marker boundary), probabilistic delays
-// (extra per-compute jitter), and slowdowns (a multiplicative stretch of
-// a rank's computation). Plans parse from a small text grammar or JSON
-// (see Parse). An Injector binds a validated plan to a seed and a rank
-// count and answers the runtime's questions — how long does this compute
-// really take, does this rank die at this marker, who is still alive
-// after marker m — from pure functions of (plan, seed), so the same plan
-// and seed reproduce the same perturbed run bit for bit.
+// (extra per-compute jitter), slowdowns (a multiplicative stretch of
+// a rank's computation), and pulses (one-off or periodic noise
+// injections anchored at a virtual time — the idle-wave sources of
+// Afzal et al., see docs/OBSERVABILITY.md). Plans parse from a small
+// text grammar or JSON (see Parse); noise-plan generators build pulse
+// trains from a seed (see noise.go). An Injector binds a validated plan
+// to a seed and a rank count and answers the runtime's questions — how
+// long does this compute really take, does this rank die at this
+// marker, who is still alive after marker m — from pure functions of
+// (plan, seed), so the same plan and seed reproduce the same perturbed
+// run bit for bit.
 //
 // Crash-stop semantics follow the paper's marker discipline: markers are
 // the only global synchronization points Chameleon owns, so crashes fire
@@ -22,6 +26,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"chameleon/internal/vtime"
@@ -52,16 +57,50 @@ type Slow struct {
 	Factor float64 `json:"factor"`
 }
 
+// Pulse injects a one-off (or periodic) noise burst anchored at a
+// virtual time: the first Compute call on a matching rank at or past At
+// is stretched by Extra. With Every > 0 the pulse re-fires each period;
+// Count bounds the number of firings (0 = unbounded for periodic
+// pulses, exactly one for one-shots). At most one firing lands per
+// Compute call — periods that elapse while the rank is blocked in a
+// receive are absorbed, not queued, which is exactly the idle-wave
+// decay mechanism: noise hitting an already-waiting rank does no
+// additional damage.
+type Pulse struct {
+	Ranks RankSet        `json:"ranks"`
+	At    vtime.Duration `json:"at_ns"`
+	Extra vtime.Duration `json:"extra_ns"`
+	Every vtime.Duration `json:"every_ns,omitempty"`
+	Count int            `json:"count,omitempty"`
+}
+
 // Plan is a complete fault schedule.
 type Plan struct {
 	Crashes []Crash `json:"crash,omitempty"`
 	Delays  []Delay `json:"delay,omitempty"`
 	Slows   []Slow  `json:"slow,omitempty"`
+	Pulses  []Pulse `json:"pulse,omitempty"`
 }
 
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Crashes) == 0 && len(p.Delays) == 0 && len(p.Slows) == 0)
+	return p == nil || (len(p.Crashes) == 0 && len(p.Delays) == 0 &&
+		len(p.Slows) == 0 && len(p.Pulses) == 0)
+}
+
+// Merge appends src's directives to p (both may be nil; the merged plan
+// is returned). chamrun uses it to compose -faults with -noise.
+func (p *Plan) Merge(src *Plan) *Plan {
+	if p == nil {
+		p = &Plan{}
+	}
+	if src != nil {
+		p.Crashes = append(p.Crashes, src.Crashes...)
+		p.Delays = append(p.Delays, src.Delays...)
+		p.Slows = append(p.Slows, src.Slows...)
+		p.Pulses = append(p.Pulses, src.Pulses...)
+	}
+	return p
 }
 
 // HasCrashes reports whether the plan contains crash-stop failures
@@ -98,7 +137,9 @@ func (p *Plan) Validate(nranks int) error {
 		if d.Ranks.Max() >= nranks {
 			return fmt.Errorf("fault: delay %d targets rank %d out of range [0,%d)", i, d.Ranks.Max(), nranks)
 		}
-		if d.P < 0 || d.P > 1 {
+		// The negated comparison also rejects NaN, which an ordered
+		// check (d.P < 0 || d.P > 1) silently accepts.
+		if !(d.P >= 0 && d.P <= 1) || math.IsNaN(d.P) || math.IsInf(d.P, 0) {
 			return fmt.Errorf("fault: delay %d probability %g outside [0,1]", i, d.P)
 		}
 		if d.Min < 0 || d.Max < d.Min {
@@ -112,8 +153,28 @@ func (p *Plan) Validate(nranks int) error {
 		if s.Ranks.Max() >= nranks {
 			return fmt.Errorf("fault: slow %d targets rank %d out of range [0,%d)", i, s.Ranks.Max(), nranks)
 		}
-		if s.Factor <= 0 {
-			return fmt.Errorf("fault: slow %d factor %g must be positive", i, s.Factor)
+		if !(s.Factor > 0) || math.IsInf(s.Factor, 0) {
+			return fmt.Errorf("fault: slow %d factor %g must be positive and finite", i, s.Factor)
+		}
+	}
+	for i, pu := range p.Pulses {
+		if pu.Ranks.Empty() {
+			return fmt.Errorf("fault: pulse %d has an empty rank set", i)
+		}
+		if pu.Ranks.Max() >= nranks {
+			return fmt.Errorf("fault: pulse %d targets rank %d out of range [0,%d)", i, pu.Ranks.Max(), nranks)
+		}
+		if pu.At < 0 {
+			return fmt.Errorf("fault: pulse %d anchor %v negative", i, pu.At)
+		}
+		if pu.Extra <= 0 {
+			return fmt.Errorf("fault: pulse %d extra %v must be positive", i, pu.Extra)
+		}
+		if pu.Every < 0 {
+			return fmt.Errorf("fault: pulse %d period %v negative", i, pu.Every)
+		}
+		if pu.Count < 0 {
+			return fmt.Errorf("fault: pulse %d count %d negative", i, pu.Count)
 		}
 	}
 	return nil
@@ -141,6 +202,12 @@ type Injector struct {
 	// crashMarkers is the sorted multiset of crash markers (epoch math).
 	crashMarkers []int
 	rng          []rngState
+	// pulses[rank][i] tracks how many firings of plan.Pulses[i] have been
+	// charged or absorbed on rank (each rank owns its own row).
+	pulses [][]int
+	// pulseFired / pulseAbsorbed count per-rank firings and absorptions.
+	pulseFired    []uint64
+	pulseAbsorbed []uint64
 }
 
 // NewInjector validates the plan and builds an injector. An empty (or
@@ -162,10 +229,20 @@ func NewInjector(p *Plan, seed uint64, nranks int) (*Injector, error) {
 		slow:    make([]float64, nranks),
 		rng:     make([]rngState, nranks),
 	}
+	if len(p.Pulses) > 0 {
+		in.pulses = make([][]int, nranks)
+		in.pulseFired = make([]uint64, nranks)
+		in.pulseAbsorbed = make([]uint64, nranks)
+	}
 	for r := range in.crashAt {
 		in.crashAt[r] = -1
 		in.slow[r] = 1
 		in.rng[r].s = mix64(seed ^ (uint64(r)+1)*0x9e3779b97f4a7c15)
+		if in.pulses != nil {
+			// Per-rank rows are allocated separately so rank goroutines
+			// never write into a shared backing array.
+			in.pulses[r] = make([]int, len(p.Pulses))
+		}
 	}
 	for _, c := range p.Crashes {
 		in.crashAt[c.Rank] = c.Marker
@@ -217,11 +294,13 @@ func (in *Injector) EpochAt(m int) int {
 }
 
 // PerturbCompute maps a nominal compute duration for rank to its
-// perturbed duration (slow factors multiply, then each matching delay
-// directive draws independently). The draw sequence is a pure function
-// of (seed, rank, call index), so runs are reproducible. Must be called
-// from rank's own goroutine.
-func (in *Injector) PerturbCompute(rank int, d vtime.Duration) vtime.Duration {
+// perturbed duration: slow factors multiply, each matching delay
+// directive draws independently, and due pulses fire (now is the rank's
+// virtual clock at the start of the compute, which anchors pulse
+// firing). The draw sequence is a pure function of (seed, rank, call
+// index), so runs are reproducible. Must be called from rank's own
+// goroutine.
+func (in *Injector) PerturbCompute(rank int, now vtime.Time, d vtime.Duration) vtime.Duration {
 	out := d
 	if f := in.slow[rank]; f != 1 {
 		out = vtime.Duration(float64(out) * f)
@@ -240,7 +319,72 @@ func (in *Injector) PerturbCompute(rank int, d vtime.Duration) vtime.Duration {
 		}
 		out += extra
 	}
+	if in.pulses != nil {
+		out += in.firePulses(rank, now)
+	}
 	return out
+}
+
+// firePulses charges every pulse directive due on rank at virtual time
+// now. A pulse fires at most once per call; periods that elapsed beyond
+// the one being charged (the rank sat blocked through them) are
+// absorbed and only counted.
+func (in *Injector) firePulses(rank int, now vtime.Time) vtime.Duration {
+	var extra vtime.Duration
+	for i := range in.plan.Pulses {
+		pu := &in.plan.Pulses[i]
+		if !pu.Ranks.Contains(rank) {
+			continue
+		}
+		limit := pu.Count
+		if pu.Every <= 0 && (limit == 0 || limit > 1) {
+			limit = 1 // a one-shot pulse fires exactly once
+		}
+		fired := in.pulses[rank][i]
+		if limit > 0 && fired >= limit {
+			continue
+		}
+		due := vtime.Time(pu.At) + vtime.Time(fired)*vtime.Time(pu.Every)
+		if now < due {
+			continue
+		}
+		extra += pu.Extra
+		in.pulseFired[rank]++
+		next := fired + 1
+		if pu.Every > 0 {
+			// Periods that already elapsed are absorbed: the rank was
+			// waiting when they hit, so they add no further skew.
+			elapsed := int((now-vtime.Time(pu.At))/vtime.Time(pu.Every)) + 1
+			if limit > 0 && elapsed > limit {
+				elapsed = limit
+			}
+			if elapsed > next {
+				in.pulseAbsorbed[rank] += uint64(elapsed - next)
+				next = elapsed
+			}
+		}
+		in.pulses[rank][i] = next
+	}
+	return extra
+}
+
+// PulsesFired returns how many pulse firings rank has absorbed into its
+// compute time so far (reads race with the rank's goroutine; call after
+// the run, or from the rank itself).
+func (in *Injector) PulsesFired(rank int) uint64 {
+	if in.pulseFired == nil || rank < 0 || rank >= in.n {
+		return 0
+	}
+	return in.pulseFired[rank]
+}
+
+// PulsesAbsorbed returns how many pulse periods elapsed unseen while
+// rank was blocked (the idle-wave absorption count).
+func (in *Injector) PulsesAbsorbed(rank int) uint64 {
+	if in.pulseAbsorbed == nil || rank < 0 || rank >= in.n {
+		return 0
+	}
+	return in.pulseAbsorbed[rank]
 }
 
 // rand01 draws a uniform float in [0,1) from rank's private stream.

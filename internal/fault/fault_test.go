@@ -216,7 +216,7 @@ func TestPerturbDeterministicPerSeed(t *testing.T) {
 		var out []vtime.Duration
 		for rank := 0; rank < 8; rank++ {
 			for i := 0; i < 64; i++ {
-				out = append(out, in.PerturbCompute(rank, vtime.Millisecond))
+				out = append(out, in.PerturbCompute(rank, 0, vtime.Millisecond))
 			}
 		}
 		return out
@@ -230,7 +230,7 @@ func TestPerturbDeterministicPerSeed(t *testing.T) {
 	}
 	// The slow factor applies deterministically even when no delay fires.
 	in, _ := NewInjector(plan, 7, 8)
-	if got := in.PerturbCompute(3, vtime.Millisecond); got < 2*vtime.Millisecond {
+	if got := in.PerturbCompute(3, 0, vtime.Millisecond); got < 2*vtime.Millisecond {
 		t.Errorf("slow rank perturbation %v < 2ms floor", got)
 	}
 	// Statistically, about half the draws on a delayed rank must exceed

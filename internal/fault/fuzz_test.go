@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPlanDecode throws arbitrary bytes at the plan decoder (both the
+// JSON form and the directive grammar share the Parse entry point) and
+// checks the invariant the runtime depends on: whatever Parse accepts,
+// Validate either rejects or every numeric field is finite and in range
+// — no NaN/Inf jitter bounds, probabilities, or durations ever reach an
+// Injector. Seeds come from the example plans under examples/noise/ and
+// docs/FAULTS.md.
+func FuzzPlanDecode(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"crash rank=5 at marker=12",
+		"delay ranks=0-7 p=0.1 jitter=2ms-4ms",
+		"slow rank=3 factor=4x",
+		"pulse ranks=5 at=400ms extra=80ms every=50ms count=4",
+		"pulse rank=3 at=1ms extra=5ms; slow rank=3 factor=2x",
+		`{"pulse":[{"ranks":"5","at":"400ms","extra":"80ms"}]}`,
+		`{"pulse":[{"ranks":"3","at":"100ms","extra":"5ms","every":"16ms","count":10}]}`,
+		`{"delay":[{"ranks":"0-7","p":0.5,"jitter":"1ms-3ms"}],"slow":[{"ranks":"2","factor":2}]}`,
+		`{"crash":[{"rank":5,"marker":12}]}`,
+		`{"delay":[{"ranks":"0","p":1e999,"jitter":"1ms"}]}`,
+		`{"pulse":[{"ranks":"0","at":"NaNs","extra":"Infms"}]}`,
+		"pulse rank=0 at=1e300s extra=1ms",
+		"delay ranks=0 p=NaN jitter=1ms",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		plan, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if err := plan.Validate(64); err != nil {
+			return
+		}
+		for _, d := range plan.Delays {
+			if math.IsNaN(d.P) || math.IsInf(d.P, 0) || d.P < 0 || d.P > 1 {
+				t.Fatalf("validated delay has bad p: %v (input %q)", d.P, input)
+			}
+			if d.Min < 0 || d.Max < d.Min {
+				t.Fatalf("validated delay has bad jitter [%v,%v] (input %q)", d.Min, d.Max, input)
+			}
+		}
+		for _, s := range plan.Slows {
+			if math.IsNaN(s.Factor) || math.IsInf(s.Factor, 0) || s.Factor <= 0 {
+				t.Fatalf("validated slow has bad factor: %v (input %q)", s.Factor, input)
+			}
+		}
+		for _, pu := range plan.Pulses {
+			if pu.At < 0 || pu.Extra <= 0 || pu.Every < 0 || pu.Count < 0 {
+				t.Fatalf("validated pulse has bad fields: %+v (input %q)", pu, input)
+			}
+		}
+		// A validated plan must be injectable without panicking.
+		in, err := NewInjector(plan, 1, 64)
+		if err != nil {
+			t.Fatalf("NewInjector rejected validated plan: %v (input %q)", err, input)
+		}
+		if in != nil { // empty plans yield a nil injector by contract
+			in.PerturbCompute(0, 0, 1000)
+		}
+	})
+}

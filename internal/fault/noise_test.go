@@ -1,0 +1,296 @@
+package fault
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chameleon/internal/vtime"
+)
+
+func TestPulseOneShot(t *testing.T) {
+	plan, err := Parse("pulse rank=3 at=1ms extra=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(plan, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := vtime.Millisecond
+	// Before the anchor: untouched.
+	if got := in.PerturbCompute(3, 0, base); got != base {
+		t.Errorf("pre-anchor perturbation = %v, want %v", got, base)
+	}
+	// Past the anchor: fires once.
+	if got := in.PerturbCompute(3, 2*vtime.Time(vtime.Millisecond), base); got != base+5*vtime.Millisecond {
+		t.Errorf("post-anchor perturbation = %v, want %v", got, base+5*vtime.Millisecond)
+	}
+	// One-shot: never again.
+	if got := in.PerturbCompute(3, 100*vtime.Time(vtime.Millisecond), base); got != base {
+		t.Errorf("second firing = %v, want %v (one-shot)", got, base)
+	}
+	if got := in.PulsesFired(3); got != 1 {
+		t.Errorf("PulsesFired(3) = %d, want 1", got)
+	}
+	// Other ranks untouched.
+	if got := in.PerturbCompute(4, 100*vtime.Time(vtime.Millisecond), base); got != base {
+		t.Errorf("rank 4 perturbation = %v, want %v", got, base)
+	}
+}
+
+func TestPulsePeriodicAbsorption(t *testing.T) {
+	plan, err := Parse("pulse rank=0 at=0ms extra=1ms every=1ms count=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(plan, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rank that only shows up at t=10ms was blocked through 5 due
+	// pulses: exactly one fires, the rest are absorbed — the decay
+	// mechanism of idle waves (noise landing on an already-waiting
+	// rank does no additional harm).
+	got := in.PerturbCompute(0, 10*vtime.Time(vtime.Millisecond), vtime.Millisecond)
+	if want := 2 * vtime.Millisecond; got != want {
+		t.Errorf("perturbation = %v, want %v (single firing despite 5 due)", got, want)
+	}
+	if f := in.PulsesFired(0); f != 1 {
+		t.Errorf("PulsesFired = %d, want 1", f)
+	}
+	if a := in.PulsesAbsorbed(0); a != 4 {
+		t.Errorf("PulsesAbsorbed = %d, want 4", a)
+	}
+	// Count exhausted: nothing more fires.
+	if got := in.PerturbCompute(0, 20*vtime.Time(vtime.Millisecond), vtime.Millisecond); got != vtime.Millisecond {
+		t.Errorf("post-count perturbation = %v, want base", got)
+	}
+}
+
+func TestPulsePeriodicTrain(t *testing.T) {
+	plan, err := Parse("pulse rank=1 at=1ms extra=2ms every=3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(plan, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fires := 0
+	for now := vtime.Time(0); now < 20*vtime.Time(vtime.Millisecond); now += vtime.Time(vtime.Millisecond) {
+		if in.PerturbCompute(1, now, vtime.Millisecond) > vtime.Millisecond {
+			fires++
+		}
+	}
+	// Pulses due at 1,4,7,10,13,16,19 ms; the 1ms sampling catches each.
+	if fires != 7 {
+		t.Errorf("fired %d times over 20ms at 3ms period, want 7", fires)
+	}
+}
+
+func TestPulseJSONRoundTrip(t *testing.T) {
+	plan, err := Parse(`{"pulse":[{"ranks":"2-3","at":"5ms","extra":"1ms","every":"10ms","count":3}]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pulses) != 1 {
+		t.Fatalf("got %d pulses, want 1", len(plan.Pulses))
+	}
+	pu := plan.Pulses[0]
+	if pu.At != 5*vtime.Millisecond || pu.Extra != vtime.Millisecond || pu.Every != 10*vtime.Millisecond || pu.Count != 3 {
+		t.Errorf("pulse = %+v", pu)
+	}
+	if !pu.Ranks.Contains(2) || !pu.Ranks.Contains(3) || pu.Ranks.Contains(4) {
+		t.Errorf("rank set = %v", pu.Ranks)
+	}
+	if err := plan.Validate(8); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPulseValidate(t *testing.T) {
+	bad := []string{
+		"pulse rank=9 at=1ms extra=1ms", // out of range for nranks=8
+		"pulse rank=0 at=1ms",           // missing extra
+	}
+	for _, spec := range bad {
+		plan, err := Parse(spec)
+		if err != nil {
+			continue // rejected at parse time — fine
+		}
+		if err := plan.Validate(8); err == nil {
+			t.Errorf("Validate accepted %q", spec)
+		}
+	}
+	if _, err := Parse("pulse rank=0 at=NaNms extra=1ms"); err == nil {
+		t.Error("Parse accepted NaN duration")
+	}
+	if _, err := Parse("pulse rank=0 at=Infs extra=1ms"); err == nil {
+		t.Error("Parse accepted Inf duration")
+	}
+	if _, err := Parse(`{"pulse":[{"ranks":"0","at":"1e300s","extra":"1ms"}]}`); err == nil {
+		t.Error("Parse accepted overflowing duration")
+	}
+}
+
+func TestGeneratePeriodic(t *testing.T) {
+	plan := GeneratePeriodic(SingleRank(2), 10*vtime.Millisecond, 16*vtime.Millisecond, 5*vtime.Millisecond, 4)
+	if err := plan.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pulses) != 1 {
+		t.Fatalf("got %d pulses, want 1", len(plan.Pulses))
+	}
+	pu := plan.Pulses[0]
+	if pu.At != 10*vtime.Millisecond || pu.Every != 16*vtime.Millisecond || pu.Count != 4 {
+		t.Errorf("pulse = %+v", pu)
+	}
+}
+
+func TestGenerateResonant(t *testing.T) {
+	plan := GenerateResonant(SingleRank(0), 100*vtime.Millisecond, 0.05, vtime.Millisecond, 10, 0)
+	if got, want := plan.Pulses[0].Every, vtime.Duration(105*float64(vtime.Millisecond)); got != want {
+		t.Errorf("resonant period = %v, want %v", got, want)
+	}
+	// Zero detune degenerates to the base period.
+	plan = GenerateResonant(SingleRank(0), 100*vtime.Millisecond, 0, vtime.Millisecond, 10, 0)
+	if got := plan.Pulses[0].Every; got != 100*vtime.Millisecond {
+		t.Errorf("undetuned period = %v, want 100ms", got)
+	}
+}
+
+func TestGenerateRandomDeterministic(t *testing.T) {
+	set, err := ParseRankSet("0-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(seed uint64) *Plan {
+		return GenerateRandom(set, 8, 12, vtime.Second, vtime.Millisecond, 8*vtime.Millisecond, seed)
+	}
+	a, b := gen(42), gen(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different random plans")
+	}
+	if c := gen(43); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical random plans")
+	}
+	if len(a.Pulses) != 12 {
+		t.Fatalf("got %d pulses, want 12", len(a.Pulses))
+	}
+	if err := a.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	for i, pu := range a.Pulses {
+		if pu.At < 0 || pu.At >= vtime.Second {
+			t.Errorf("pulse %d at %v outside window", i, pu.At)
+		}
+		if pu.Extra < vtime.Millisecond || pu.Extra > 8*vtime.Millisecond {
+			t.Errorf("pulse %d extra %v outside jitter range", i, pu.Extra)
+		}
+		if pu.Count != 1 || pu.Every != 0 {
+			t.Errorf("pulse %d not one-shot: %+v", i, pu)
+		}
+	}
+}
+
+func TestParseNoise(t *testing.T) {
+	plan, err := ParseNoise("periodic ranks=3 start=100ms period=16ms extra=5ms count=10", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pulses) != 1 || plan.Pulses[0].Every != 16*vtime.Millisecond {
+		t.Errorf("plan = %+v", plan)
+	}
+
+	plan, err = ParseNoise("resonant ranks=0-1 base=16ms detune=0.1 extra=2ms count=4; random ranks=0-7 count=3 window=500ms extra=1ms-2ms", 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pulses) != 1+3 {
+		t.Errorf("got %d pulses, want 4", len(plan.Pulses))
+	}
+	again, err := ParseNoise("resonant ranks=0-1 base=16ms detune=0.1 extra=2ms count=4; random ranks=0-7 count=3 window=500ms extra=1ms-2ms", 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, again) {
+		t.Error("ParseNoise not deterministic for fixed seed")
+	}
+
+	for _, bad := range []string{
+		"",
+		"wobble ranks=0 extra=1ms",
+		"periodic ranks=0 period=1ms", // missing extra
+		"periodic ranks=0 extra=1ms",  // missing period
+		"resonant ranks=0 base=1ms extra=1ms detune=2", // detune out of range
+		"random ranks=0 window=1s extra=1ms",           // missing count
+		"periodic ranks=99 period=1ms extra=1ms",       // out of range at validate
+		"periodic ranks=0 period=1ms extra=1ms bogus=1",
+	} {
+		if _, err := ParseNoise(bad, 8, 1); err == nil {
+			t.Errorf("ParseNoise accepted %q", bad)
+		}
+	}
+}
+
+func TestPlanMerge(t *testing.T) {
+	a, err := Parse("slow rank=1 factor=2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("pulse rank=2 at=1ms extra=1ms; delay ranks=0 p=0.5 jitter=1ms-2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Merge(b)
+	if len(a.Slows) != 1 || len(a.Pulses) != 1 || len(a.Delays) != 1 {
+		t.Errorf("merged plan = %+v", a)
+	}
+	a.Merge(nil) // nil-safe
+	if err := a.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPulseMarshalStable(t *testing.T) {
+	plan := GeneratePeriodic(SingleRank(5), 400*vtime.Millisecond, 0, 80*vtime.Millisecond, 0)
+	data, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan.Pulses, back.Pulses) {
+		t.Errorf("round trip: %+v != %+v", plan.Pulses, back.Pulses)
+	}
+}
+
+// TestExampleNoisePlans keeps the runnable plans under examples/noise/
+// honest: they must parse, validate at the documented rank count, and
+// actually contain pulses.
+func TestExampleNoisePlans(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "noise", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected at least 3 example plans, found %v", files)
+	}
+	for _, f := range files {
+		plan, err := ParseFile(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if err := plan.Validate(16); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+		if len(plan.Pulses) == 0 {
+			t.Errorf("%s: no pulses", f)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package fault
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -143,12 +144,15 @@ func (s *RankSet) UnmarshalJSON(data []byte) error {
 //	crash rank=5 at marker=12
 //	delay ranks=0-7 p=0.1 jitter=2ms-4ms
 //	slow rank=3 factor=4x
+//	pulse ranks=5 at=400ms extra=80ms every=50ms count=4
 //
 // Keys: crash takes rank= and marker= (the bare word "at" is noise);
 // delay takes ranks= (or rank=), p= (or prob=), and jitter=DUR[-DUR]
 // (or min=/max=); slow takes ranks= (or rank=) and factor= (a trailing
-// "x" is accepted). Durations use ns/us/ms/s suffixes. An empty input
-// yields an empty plan.
+// "x" is accepted); pulse takes ranks= (or rank=), at= (virtual-time
+// anchor), extra= (injected compute), and optionally every= (period)
+// and count= (firing bound). Durations use ns/us/ms/s suffixes. An
+// empty input yields an empty plan.
 func Parse(input string) (*Plan, error) {
 	input = strings.TrimSpace(input)
 	if input == "" {
@@ -187,8 +191,10 @@ func Parse(input string) (*Plan, error) {
 			err = parseDelay(plan, kv)
 		case "slow":
 			err = parseSlow(plan, kv)
+		case "pulse":
+			err = parsePulse(plan, kv)
 		default:
-			err = fmt.Errorf("fault: unknown directive %q (want crash, delay, or slow)", verb)
+			err = fmt.Errorf("fault: unknown directive %q (want crash, delay, slow, or pulse)", verb)
 		}
 		if err != nil {
 			return nil, err
@@ -223,6 +229,13 @@ func parseJSON(data []byte) (*Plan, error) {
 			Ranks  RankSet `json:"ranks"`
 			Factor float64 `json:"factor"`
 		} `json:"slow"`
+		Pulse []struct {
+			Ranks RankSet `json:"ranks"`
+			At    string  `json:"at"`
+			Extra string  `json:"extra"`
+			Every string  `json:"every"`
+			Count int     `json:"count"`
+		} `json:"pulse"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("fault: bad JSON plan: %w", err)
@@ -252,6 +265,27 @@ func parseJSON(data []byte) (*Plan, error) {
 	}
 	for _, s := range doc.Slow {
 		plan.Slows = append(plan.Slows, Slow{Ranks: s.Ranks, Factor: s.Factor})
+	}
+	for i, pu := range doc.Pulse {
+		out := Pulse{Ranks: pu.Ranks, Count: pu.Count}
+		var err error
+		if pu.At != "" {
+			if out.At, err = parseDuration(pu.At); err != nil {
+				return nil, err
+			}
+		}
+		if pu.Extra == "" {
+			return nil, fmt.Errorf("fault: pulse %d: missing extra", i)
+		}
+		if out.Extra, err = parseDuration(pu.Extra); err != nil {
+			return nil, err
+		}
+		if pu.Every != "" {
+			if out.Every, err = parseDuration(pu.Every); err != nil {
+				return nil, err
+			}
+		}
+		plan.Pulses = append(plan.Pulses, out)
 	}
 	return plan, nil
 }
@@ -330,6 +364,41 @@ func parseSlow(plan *Plan, kv map[string]string) error {
 		return err
 	}
 	plan.Slows = append(plan.Slows, Slow{Ranks: set, Factor: f})
+	return nil
+}
+
+func parsePulse(plan *Plan, kv map[string]string) error {
+	set, err := needRanks(kv, "pulse")
+	if err != nil {
+		return err
+	}
+	pu := Pulse{Ranks: set}
+	if v, ok := kv["at"]; ok {
+		if pu.At, err = parseDuration(v); err != nil {
+			return err
+		}
+	}
+	v, ok := kv["extra"]
+	if !ok {
+		return fmt.Errorf("fault: pulse: missing extra=")
+	}
+	if pu.Extra, err = parseDuration(v); err != nil {
+		return err
+	}
+	if v, ok := kv["every"]; ok {
+		if pu.Every, err = parseDuration(v); err != nil {
+			return err
+		}
+	}
+	if v, ok := kv["count"]; ok {
+		if pu.Count, err = strconv.Atoi(v); err != nil {
+			return fmt.Errorf("fault: pulse: bad count %q", v)
+		}
+	}
+	if err := noExtra(kv, "pulse", "rank", "ranks", "at", "extra", "every", "count"); err != nil {
+		return err
+	}
+	plan.Pulses = append(plan.Pulses, pu)
 	return nil
 }
 
@@ -434,8 +503,17 @@ func parseDuration(s string) (vtime.Duration, error) {
 		if err != nil {
 			continue
 		}
+		// ParseFloat accepts "NaN" and "Inf"; converting either to the
+		// integer Duration is undefined behavior, so reject them here
+		// (plan JSON is untrusted input — see FuzzPlanDecode).
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("fault: non-finite duration %q", s)
+		}
 		if v < 0 {
 			return 0, fmt.Errorf("fault: negative duration %q", s)
+		}
+		if v*float64(u.unit) > float64(math.MaxInt64) {
+			return 0, fmt.Errorf("fault: duration %q overflows", s)
 		}
 		return vtime.Duration(v * float64(u.unit)), nil
 	}

@@ -386,7 +386,7 @@ func (p *Proc) CausalContextDefault(name string, seq int) func() {
 func (p *Proc) Compute(d vtime.Duration) {
 	p.Ledger.Charge(vtime.CatApp, d)
 	if f := p.rt.fault; f != nil {
-		if extra := f.PerturbCompute(p.rank, d) - d; extra > 0 {
+		if extra := f.PerturbCompute(p.rank, p.Clock.Now(), d) - d; extra > 0 {
 			p.Ledger.Charge(vtime.CatFault, extra)
 			p.rt.met.faultDelays.Inc()
 			p.rt.met.faultDelayNs.Observe(int64(extra))

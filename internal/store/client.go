@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/trace"
 )
 
@@ -150,6 +151,79 @@ func FetchStats(base, id string) (StatsResponse, error) {
 		return StatsResponse{}, fmt.Errorf("GET %s: decode response: %w", url, err)
 	}
 	return out, nil
+}
+
+// FetchWaves requests the server-side idle-wave report over a run's
+// edge sidecar.
+func FetchWaves(base, id string) (WavesResponse, error) {
+	url := strings.TrimSuffix(base, "/") + "/runs/" + id + "/waves"
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		return WavesResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return WavesResponse{}, fmt.Errorf("GET %s: %s: %s",
+			url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out WavesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return WavesResponse{}, fmt.Errorf("GET %s: decode response: %w", url, err)
+	}
+	return out, nil
+}
+
+// FetchEdges downloads a run's causal edge sidecar.
+func FetchEdges(base, id string) ([]obs.Edge, error) {
+	url := strings.TrimSuffix(base, "/") + "/runs/" + id + "/edges"
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET %s: %s: %s",
+			url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return obs.ReadEdges(resp.Body)
+}
+
+// PushEdges attaches a causal edge sidecar (JSONL bytes, the format
+// obs.WriteEdges produces) to an already-pushed run.
+func PushEdges(base, id string, jsonl []byte, useGzip bool) error {
+	url := strings.TrimSuffix(base, "/") + "/runs/" + id + "/edges"
+	body := jsonl
+	var buf bytes.Buffer
+	if useGzip {
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(jsonl); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		body = buf.Bytes()
+	}
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if useGzip {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("PUT %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
 }
 
 // Push uploads a trace to a chamd archive rooted at base (e.g.

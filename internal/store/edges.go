@@ -1,0 +1,152 @@
+package store
+
+// Causal-edge sidecars: a run's causal edge stream (the JSONL format
+// WriteEdges produces) can be attached to its archived trace, so the
+// idle-wave detector runs server-side against the archive instead of
+// requiring the original -edges-out file. Sidecars live next to the
+// segments:
+//
+//	edges/ab/abcd....jsonl   edge stream keyed by the run's content address
+//
+// A sidecar is plain data about a run, not part of its identity — the
+// content address still covers only the canonical trace payload, and
+// re-pushing edges simply replaces the sidecar. Orphaned sidecars
+// (their run deleted) are reclaimed by Compact alongside orphaned
+// segments.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chameleon/internal/obs"
+	"chameleon/internal/wave"
+)
+
+func (a *Archive) edgesPath(id string) string {
+	return filepath.Join(a.dir, "edges", id[:2], id+".jsonl")
+}
+
+// PutEdges attaches a causal edge stream (JSONL bytes) to an archived
+// run, replacing any previous sidecar. The payload must parse; the
+// number of edges is returned. The run may be named by unique prefix.
+func (a *Archive) PutEdges(id string, jsonl []byte) (int, Run, error) {
+	run, err := a.Resolve(id)
+	if err != nil {
+		return 0, Run{}, err
+	}
+	edges, err := obs.ReadEdges(bytes.NewReader(jsonl))
+	if err != nil {
+		return 0, Run{}, fmt.Errorf("store: edges for %s: %w", run.ID[:12], err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	path := a.edgesPath(run.ID)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return 0, Run{}, fmt.Errorf("store: edges: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(a.dir, "tmp"), "edges-*")
+	if err != nil {
+		return 0, Run{}, fmt.Errorf("store: edges: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(jsonl); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return 0, Run{}, fmt.Errorf("store: edges: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return 0, Run{}, fmt.Errorf("store: edges: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return 0, Run{}, fmt.Errorf("store: edges: %w", err)
+	}
+	return len(edges), run, nil
+}
+
+// EdgesPayload returns a run's stored edge stream verbatim.
+func (a *Archive) EdgesPayload(id string) ([]byte, Run, error) {
+	run, err := a.Resolve(id)
+	if err != nil {
+		return nil, Run{}, err
+	}
+	b, err := os.ReadFile(a.edgesPath(run.ID))
+	if os.IsNotExist(err) {
+		return nil, Run{}, fmt.Errorf("store: edge sidecar for run %s not found", run.ID[:12])
+	}
+	if err != nil {
+		return nil, Run{}, fmt.Errorf("store: edges: %w", err)
+	}
+	return b, run, nil
+}
+
+// Edges decodes a run's edge sidecar.
+func (a *Archive) Edges(id string) ([]obs.Edge, Run, error) {
+	b, run, err := a.EdgesPayload(id)
+	if err != nil {
+		return nil, Run{}, err
+	}
+	edges, err := obs.ReadEdges(bytes.NewReader(b))
+	if err != nil {
+		return nil, Run{}, fmt.Errorf("store: edges for %s: %w", run.ID[:12], err)
+	}
+	return edges, run, nil
+}
+
+// Waves runs the idle-wave detector over a run's edge sidecar.
+func (a *Archive) Waves(id string) (*wave.Report, Run, error) {
+	edges, run, err := a.Edges(id)
+	if err != nil {
+		return nil, Run{}, err
+	}
+	rep, err := wave.Detect(edges, wave.Options{P: run.P, Reg: a.opts.Reg})
+	if err != nil {
+		return nil, Run{}, fmt.Errorf("store: waves for %s: %w", run.ID[:12], err)
+	}
+	return rep, run, nil
+}
+
+// compactEdgesLocked removes edge sidecars whose run the manifest no
+// longer references. Callers hold a.mu.
+func (a *Archive) compactEdgesLocked() (removed int, firstErr error) {
+	root := filepath.Join(a.dir, "edges")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, sub := range entries {
+		if !sub.IsDir() {
+			continue
+		}
+		subPath := filepath.Join(root, sub.Name())
+		files, err := os.ReadDir(subPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, f := range files {
+			id := strings.TrimSuffix(f.Name(), ".jsonl")
+			if _, live := a.runs[id]; live {
+				continue
+			}
+			if err := os.Remove(filepath.Join(subPath, f.Name())); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			removed++
+		}
+		os.Remove(subPath) // best-effort fan-out cleanup
+	}
+	return removed, firstErr
+}

@@ -419,3 +419,110 @@ func countEvents(evs []LiveEvent, kind, flag string) int {
 	}
 	return n
 }
+
+// TestLiveDesync: a contiguous band of ranks arriving late at the
+// marker barrier fires a desync event; the event re-fires only when the
+// band moves (a traveling front), not while it sits still.
+func TestLiveDesync(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	l := NewLive(LiveOptions{Now: clk.now, Reg: reg})
+	arrive := func(seq uint64, win uint64, vt [6]int64) obs.Delta {
+		ranks := make([]obs.RankProgress, 6)
+		for r := range ranks {
+			ranks[r] = obs.RankProgress{Rank: r, Windows: win, ArriveVT: vt[r], Ops: 10 * win}
+		}
+		return ranksDelta(seq, ranks...)
+	}
+	ms := int64(time.Millisecond)
+
+	// Window 1: healthy — skew below the 1ms default.
+	if _, err := l.Apply("sd", []obs.Delta{arrive(1, 1, [6]int64{0, 100, 200, 100, 50, 0})}); err != nil {
+		t.Fatal(err)
+	}
+	// Window 2: ranks 2,3 late by 40ms — a qualified band.
+	if _, err := l.Apply("sd", []obs.Delta{arrive(2, 2, [6]int64{10 * ms, 10 * ms, 50 * ms, 50 * ms, 10 * ms, 10 * ms})}); err != nil {
+		t.Fatal(err)
+	}
+	// Window 3: same band — no new event.
+	if _, err := l.Apply("sd", []obs.Delta{arrive(3, 3, [6]int64{20 * ms, 20 * ms, 60 * ms, 60 * ms, 20 * ms, 20 * ms})}); err != nil {
+		t.Fatal(err)
+	}
+	// Window 4: band moved to ranks 3,4 — the front traveled.
+	if _, err := l.Apply("sd", []obs.Delta{arrive(4, 4, [6]int64{30 * ms, 30 * ms, 30 * ms, 70 * ms, 70 * ms, 30 * ms})}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := l.View("sd", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var desyncs []LiveEvent
+	for _, ev := range v.LiveEvents {
+		if ev.Kind == LiveEventDesync {
+			desyncs = append(desyncs, ev)
+		}
+	}
+	if len(desyncs) != 2 {
+		t.Fatalf("desync events = %d (%v), want 2", len(desyncs), desyncs)
+	}
+	if desyncs[0].Rank != 2 || desyncs[1].Rank != 3 {
+		t.Errorf("desync band heads = %d,%d, want 2,3", desyncs[0].Rank, desyncs[1].Rank)
+	}
+	if got := reg.Counter("chamd_live_desync_events").Value(); got != 2 {
+		t.Errorf("chamd_live_desync_events = %d, want 2", got)
+	}
+	// The window summaries carry the band.
+	last := v.Windows[len(v.Windows)-1]
+	if len(last.LateRanks) != 2 || last.LateRanks[0] != 3 || last.LateRanks[1] != 4 {
+		t.Errorf("window late ranks = %v, want [3 4]", last.LateRanks)
+	}
+	if last.LateNs != 40*ms {
+		t.Errorf("window late ns = %d, want %d", last.LateNs, 40*ms)
+	}
+}
+
+// TestLiveDesyncRejectsNonWave: lone stragglers, scattered late ranks,
+// and whole-machine lag never fire desync.
+func TestLiveDesyncRejectsNonWave(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLive(LiveOptions{Now: clk.now})
+	ms := int64(time.Millisecond)
+	apply := func(seq, win uint64, vt []int64) {
+		t.Helper()
+		ranks := make([]obs.RankProgress, len(vt))
+		for r := range ranks {
+			ranks[r] = obs.RankProgress{Rank: r, Windows: win, ArriveVT: vt[r], Ops: 10 * win}
+		}
+		if _, err := l.Apply("sn", []obs.Delta{ranksDelta(seq, ranks...)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply(1, 1, []int64{0, 50 * ms, 0, 0, 0, 0})             // lone straggler
+	apply(2, 2, []int64{0, 60 * ms, 0, 70 * ms, 0, 80 * ms}) // scattered, no adjacency
+	// Uniform lag: everyone moved together, nobody is late relative to
+	// the window's earliest rank.
+	apply(3, 3, []int64{50 * ms, 50 * ms, 50 * ms, 50 * ms, 50 * ms, 50 * ms})
+	v, err := l.View("sn", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range v.LiveEvents {
+		if ev.Kind == LiveEventDesync {
+			t.Fatalf("unexpected desync event: %+v", ev)
+		}
+	}
+	// Disabled detector records no band at all.
+	ld := NewLive(LiveOptions{Now: clk.now, DesyncSkewNs: -1})
+	ranks := []obs.RankProgress{
+		{Rank: 0, Windows: 1, ArriveVT: 0, Ops: 10},
+		{Rank: 1, Windows: 1, ArriveVT: 90 * ms, Ops: 10},
+		{Rank: 2, Windows: 1, ArriveVT: 90 * ms, Ops: 10},
+	}
+	if _, err := ld.Apply("off", []obs.Delta{ranksDelta(1, ranks...)}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = ld.View("off", false)
+	if len(v.Windows) != 1 || v.Windows[0].LateRanks != nil {
+		t.Errorf("disabled detector recorded band: %+v", v.Windows)
+	}
+}

@@ -7,6 +7,9 @@ package store
 //	GET  /runs                  list runs (benchmark=, p=, sig=, sigset=, limit=, offset=)
 //	GET  /runs/{id}             fetch one run (binary; ?format=json or Accept: application/json)
 //	GET  /runs/{id}/stats       compressed-domain analysis report (zan; never expands the trace)
+//	PUT  /runs/{id}/edges       attach a causal edge sidecar (JSONL body)
+//	GET  /runs/{id}/edges       fetch a run's edge sidecar
+//	GET  /runs/{id}/waves       idle-wave detector report over the edge sidecar
 //	GET  /runs/{a}/diff/{b}     server-side per-site divergence (chamstat -diff engine)
 //	POST /live/sessions/{id}/deltas   ingest a live telemetry delta batch
 //	GET  /live/sessions               list in-flight sessions
@@ -34,6 +37,7 @@ import (
 	"chameleon/internal/analysis"
 	"chameleon/internal/fault"
 	"chameleon/internal/obs"
+	"chameleon/internal/wave"
 	"chameleon/internal/zan"
 )
 
@@ -105,6 +109,9 @@ func NewServer(a *Archive, opts ServerOptions) http.Handler {
 	mux.HandleFunc("GET /runs", s.handleList)
 	mux.HandleFunc("GET /runs/{id}", s.handleGet)
 	mux.HandleFunc("GET /runs/{id}/stats", s.handleStats)
+	mux.HandleFunc("PUT /runs/{id}/edges", s.handleEdgesPut)
+	mux.HandleFunc("GET /runs/{id}/edges", s.handleEdgesGet)
+	mux.HandleFunc("GET /runs/{id}/waves", s.handleWaves)
 	mux.HandleFunc("GET /runs/{a}/diff/{b}", s.handleDiff)
 	mux.HandleFunc("POST /live/sessions/{id}/deltas", s.handleLiveDeltas)
 	mux.HandleFunc("GET /live/sessions", s.handleLiveList)
@@ -353,6 +360,81 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(StatsResponse{ID: run.ID, Report: rep}) //nolint:errcheck
+	s.hQueries.Observe(time.Since(start).Nanoseconds())
+}
+
+func (s *server) handleEdgesPut(w http.ResponseWriter, r *http.Request) {
+	s.mIngestReqs.Inc()
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	defer body.Close()
+	var in io.Reader = body
+	switch enc := r.Header.Get("Content-Encoding"); enc {
+	case "", "identity":
+	case "gzip":
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "gzip body: %v", err)
+			return
+		}
+		defer zr.Close()
+		in = zr
+	default:
+		s.fail(w, http.StatusUnsupportedMediaType, "unsupported Content-Encoding %q", enc)
+		return
+	}
+	payload, err := io.ReadAll(in)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.opts.MaxBodyBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	s.mBytesIn.Add(uint64(len(payload)))
+
+	n, run, err := s.a.PutEdges(r.PathValue("id"), payload)
+	if err != nil {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck
+		ID    string `json:"id"`
+		Edges int    `json:"edges"`
+	}{ID: run.ID, Edges: n})
+}
+
+func (s *server) handleEdgesGet(w http.ResponseWriter, r *http.Request) {
+	s.mQueryReqs.Inc()
+	payload, _, err := s.a.EdgesPayload(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	w.Write(payload) //nolint:errcheck — client gone is fine
+}
+
+// WavesResponse is the JSON shape of GET /runs/{id}/waves: the idle-wave
+// detector report computed server-side over the run's edge sidecar.
+type WavesResponse struct {
+	ID     string       `json:"id"`
+	Report *wave.Report `json:"report"`
+}
+
+func (s *server) handleWaves(w http.ResponseWriter, r *http.Request) {
+	s.mQueryReqs.Inc()
+	start := time.Now()
+	rep, run, err := s.a.Waves(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(WavesResponse{ID: run.ID, Report: rep}) //nolint:errcheck
 	s.hQueries.Observe(time.Since(start).Nanoseconds())
 }
 

@@ -485,3 +485,110 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Errorf("FetchStats events = %d, want %d", got.Report.Events, wantEvents)
 	}
 }
+
+// waveEdges synthesizes an edge stream with a clean idle wave from
+// origin, JSONL-encoded the way chamrun -edges-out writes it.
+func waveEdges(t *testing.T, p, origin int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	emit := func(e obs.Edge) {
+		if err := enc.Encode(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms := int64(1e6)
+	for it := int64(0); it < 40; it++ { // jitter-scale background
+		for r := 0; r < p; r++ {
+			emit(obs.Edge{From: (r + 1) % p, To: r, RecvVT: it*2*ms + int64(r)*1000, WaitVT: 20_000 + int64(r)*500})
+		}
+	}
+	for d := 0; d < p; d++ { // the wave front, both directions
+		for _, r := range []int{origin - d, origin + d} {
+			if r < 0 || r >= p {
+				continue
+			}
+			emit(obs.Edge{From: origin, To: r, RecvVT: 100*ms + int64(d)*2*ms, WaitVT: 50 * ms})
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestEdgesAndWavesEndpoints(t *testing.T) {
+	a, srv := newTestServer(t, Options{}, ServerOptions{})
+	payload, id, err := Encode(mkTrace(8, "PHASE", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := putTrace(t, srv.URL, payload, false); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT trace: %s", resp.Status)
+	}
+
+	// No sidecar yet: 404 on both edge routes.
+	for _, path := range []string{"/edges", "/waves"} {
+		resp, err := http.Get(srv.URL + "/runs/" + id + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s before push: %s, want 404", path, resp.Status)
+		}
+	}
+
+	jsonl := waveEdges(t, 8, 3)
+	if err := PushEdges(srv.URL, id, jsonl, true); err != nil {
+		t.Fatalf("PushEdges: %v", err)
+	}
+	// Replacing the sidecar is idempotent.
+	if err := PushEdges(srv.URL, id[:12], jsonl, false); err != nil {
+		t.Fatalf("PushEdges by prefix: %v", err)
+	}
+
+	edges, err := FetchEdges(srv.URL, id)
+	if err != nil {
+		t.Fatalf("FetchEdges: %v", err)
+	}
+	want, _ := obs.ReadEdges(bytes.NewReader(jsonl))
+	if len(edges) != len(want) {
+		t.Fatalf("fetched %d edges, want %d", len(edges), len(want))
+	}
+
+	waves, err := FetchWaves(srv.URL, id)
+	if err != nil {
+		t.Fatalf("FetchWaves: %v", err)
+	}
+	if waves.ID != id || waves.Report == nil {
+		t.Fatalf("waves response: %+v", waves)
+	}
+	if len(waves.Report.Waves) != 1 || waves.Report.Waves[0].OriginRank != 3 {
+		t.Fatalf("server-side detector: %+v", waves.Report.Waves)
+	}
+
+	// Garbage bodies are rejected.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/runs/"+id+"/edges",
+		strings.NewReader("{\"from\": not json\n"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad edge body: %s, want 400", resp.Status)
+	}
+
+	// Deleting the run orphans the sidecar; Compact reclaims it.
+	if err := a.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := a.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed < 2 { // segment + sidecar
+		t.Fatalf("compact removed %d files, want >= 2", removed)
+	}
+	if _, _, err := a.EdgesPayload(id); err == nil {
+		t.Fatal("sidecar survived delete+compact")
+	}
+}

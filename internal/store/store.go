@@ -5,9 +5,10 @@
 //
 // Layout under the archive directory:
 //
-//	manifest.json            index of runs (atomic-swap on update)
-//	segments/ab/abcd....seg  immutable v2 binary payloads (optionally gzip)
-//	tmp/                     staging area for in-flight writes
+//	manifest.json              index of runs (atomic-swap on update)
+//	segments/ab/abcd....seg    immutable v2 binary payloads (optionally gzip)
+//	edges/ab/abcd....jsonl     causal-edge sidecars (see edges.go)
+//	tmp/                       staging area for in-flight writes
 //
 // A run's identity is the SHA-256 of its canonical CHAMTRC2 encoding, so
 // ingest is idempotent: pushing the same trace twice (in any input
@@ -604,6 +605,14 @@ func (a *Archive) Compact() (int, error) {
 		}
 		// Drop now-empty fan-out directories; best-effort.
 		os.Remove(subPath)
+	}
+
+	// Edge sidecars of deleted runs are orphans too.
+	if n, err := a.compactEdgesLocked(); true {
+		removed += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 
 	// Ingest holds the same lock while staging, so anything left in

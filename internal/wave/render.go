@@ -1,0 +1,141 @@
+package wave
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chameleon/internal/obs"
+)
+
+// Heatmap is per-rank wait time bucketed over virtual time — the
+// rank×time picture in which idle waves appear as diagonal streaks.
+type Heatmap struct {
+	P     int   `json:"p"`
+	Bins  int   `json:"bins"`
+	MinVT int64 `json:"min_vt_ns"`
+	MaxVT int64 `json:"max_vt_ns"`
+	// Cells[rank][bin] is the summed receiver wait (virtual ns) of
+	// application edges completing in that bin.
+	Cells [][]int64 `json:"cells"`
+}
+
+// BuildHeatmap buckets application-edge wait time into a rank×bins grid.
+func BuildHeatmap(edges []obs.Edge, p, bins int) *Heatmap {
+	if p <= 0 || bins <= 0 {
+		return nil
+	}
+	hm := &Heatmap{P: p, Bins: bins, Cells: make([][]int64, p)}
+	for r := range hm.Cells {
+		hm.Cells[r] = make([]int64, bins)
+	}
+	first := true
+	for i := range edges {
+		e := &edges[i]
+		if e.Ctx != "" || e.To < 0 || e.To >= p {
+			continue
+		}
+		if first || e.RecvVT < hm.MinVT {
+			hm.MinVT = e.RecvVT
+		}
+		if first || e.RecvVT > hm.MaxVT {
+			hm.MaxVT = e.RecvVT
+		}
+		first = false
+	}
+	if first {
+		return hm
+	}
+	span := hm.MaxVT - hm.MinVT
+	for i := range edges {
+		e := &edges[i]
+		if e.Ctx != "" || e.To < 0 || e.To >= p || e.WaitVT <= 0 {
+			continue
+		}
+		bin := 0
+		if span > 0 {
+			bin = int(int64(bins) * (e.RecvVT - hm.MinVT) / (span + 1))
+		}
+		hm.Cells[e.To][bin] += e.WaitVT
+	}
+	return hm
+}
+
+// shades maps cell intensity to glyphs, darkest last.
+const shades = " .:-=+*#%@"
+
+// Render draws the heatmap with one row per rank and marks each fitted
+// wave origin with 'O'. Intensity is normalized to the hottest cell.
+func (hm *Heatmap) Render(rep *Report) string {
+	if hm == nil || hm.P == 0 {
+		return "no edges\n"
+	}
+	var peak int64
+	for _, row := range hm.Cells {
+		for _, c := range row {
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	span := hm.MaxVT - hm.MinVT
+	origin := map[[2]int]bool{}
+	if rep != nil && span > 0 {
+		for _, w := range rep.Waves {
+			bin := int(int64(hm.Bins) * (w.OriginVT - hm.MinVT) / (span + 1))
+			if bin >= 0 && bin < hm.Bins {
+				origin[[2]int{w.OriginRank, bin}] = true
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rank×time wait heatmap  [%.1fms .. %.1fms]  peak %.2fms wait/bin\n",
+		float64(hm.MinVT)/1e6, float64(hm.MaxVT)/1e6, float64(peak)/1e6)
+	for r := 0; r < hm.P; r++ {
+		fmt.Fprintf(&b, "%4d |", r)
+		for bin := 0; bin < hm.Bins; bin++ {
+			if origin[[2]int{r, bin}] {
+				b.WriteByte('O')
+				continue
+			}
+			ch := shades[0]
+			if peak > 0 {
+				idx := int(hm.Cells[r][bin] * int64(len(shades)-1) / peak)
+				ch = shades[idx]
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteString("|\n")
+	}
+	if rep != nil && len(rep.Waves) > 0 {
+		b.WriteString("O = fitted wave origin\n")
+	}
+	return b.String()
+}
+
+// Summary formats the detector report as the chamstat wave section.
+func Summary(rep *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "idle waves: %d detected  (%d/%d wait points above %.2fms floor)\n",
+		len(rep.Waves), rep.Significant, rep.WaitPoints, float64(rep.FloorNs)/1e6)
+	waves := append([]Wave(nil), rep.Waves...)
+	sort.Slice(waves, func(i, j int) bool { return waves[i].AmplitudeNs > waves[j].AmplitudeNs })
+	for _, w := range waves {
+		state := "in flight"
+		if w.Decayed {
+			state = "decayed"
+		}
+		fmt.Fprintf(&b, "  wave %d: origin rank %d @ %.1fms  amp %.2fms  speed %.2f ranks/ms (%.2fms/hop)  %d ranks  %s",
+			w.ID, w.OriginRank, float64(w.OriginVT)/1e6, float64(w.AmplitudeNs)/1e6,
+			w.SpeedRanksPerMs, w.PerHopNs/1e6, w.Ranks, state)
+		if w.DecayHops > 0 {
+			fmt.Fprintf(&b, "  decay %.1f hops", w.DecayHops)
+		}
+		b.WriteByte('\n')
+	}
+	for _, in := range rep.Interactions {
+		fmt.Fprintf(&b, "  interaction: waves %d+%d %s at rank %d @ %.1fms\n",
+			in.Waves[0], in.Waves[1], in.Kind, in.Rank, float64(in.VT)/1e6)
+	}
+	return b.String()
+}

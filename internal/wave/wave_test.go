@@ -1,0 +1,325 @@
+package wave
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chameleon/internal/obs"
+)
+
+const ms = int64(1e6)
+
+// background fills the trace with the jitter-scale waits every
+// bulk-synchronous step produces, so the floor auto-calibrates.
+func background(p int, iters int, period int64) []obs.Edge {
+	var edges []obs.Edge
+	for it := 0; it < iters; it++ {
+		for r := 0; r < p; r++ {
+			edges = append(edges, obs.Edge{
+				From:   (r + 1) % p,
+				To:     r,
+				RecvVT: int64(it)*period + int64(r)*1000,
+				WaitVT: 20_000 + int64((r*7+it)%13)*1000, // 20-32µs
+			})
+		}
+	}
+	return edges
+}
+
+// frontEdges emits one idle wave: origin rank blocked at t0 for amp,
+// and each hop outward blocked perHop later with exponentially decayed
+// amplitude (decayHops = 0 means no decay).
+func frontEdges(p, origin int, t0, perHop, amp int64, decayHops float64) []obs.Edge {
+	var edges []obs.Edge
+	add := func(rank int, d int) {
+		if rank < 0 || rank >= p {
+			return
+		}
+		w := float64(amp)
+		if decayHops > 0 {
+			w *= math.Exp(-float64(d) / decayHops)
+		}
+		edges = append(edges, obs.Edge{
+			From:   origin,
+			To:     rank,
+			RecvVT: t0 + int64(d)*perHop,
+			WaitVT: int64(w),
+		})
+	}
+	add(origin, 0)
+	for d := 1; d < p; d++ {
+		add(origin-d, d)
+		add(origin+d, d)
+	}
+	return edges
+}
+
+func TestDetectSingleWave(t *testing.T) {
+	const p = 16
+	perHop := 2 * ms
+	edges := append(background(p, 40, perHop), frontEdges(p, 5, 100*ms, perHop, 50*ms, 0)...)
+	reg := obs.NewRegistry()
+	rep, err := Detect(edges, Options{P: p, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Waves) != 1 {
+		t.Fatalf("detected %d waves, want 1 (report %+v)", len(rep.Waves), rep)
+	}
+	w := rep.Waves[0]
+	if w.OriginRank != 5 {
+		t.Errorf("origin rank = %d, want 5", w.OriginRank)
+	}
+	if w.OriginVT != 100*ms {
+		t.Errorf("origin VT = %d, want %d", w.OriginVT, 100*ms)
+	}
+	if w.AmplitudeNs != 50*ms {
+		t.Errorf("amplitude = %d, want %d", w.AmplitudeNs, 50*ms)
+	}
+	if math.Abs(w.PerHopNs-float64(perHop)) > 0.05*float64(perHop) {
+		t.Errorf("per-hop = %.0fns, want ~%d", w.PerHopNs, perHop)
+	}
+	if math.Abs(w.SpeedRanksPerMs-0.5) > 0.05 {
+		t.Errorf("speed = %.3f ranks/ms, want ~0.5", w.SpeedRanksPerMs)
+	}
+	if w.Ranks != p {
+		t.Errorf("wave touched %d ranks, want %d", w.Ranks, p)
+	}
+	if w.Decayed {
+		t.Error("undecayed wave reported as decayed")
+	}
+	if got := reg.Counter("wave_detected_total").Value(); got != 1 {
+		t.Errorf("wave_detected_total = %d, want 1", got)
+	}
+	if got := reg.Gauge("wave_fronts_inflight").Value(); got != 1 {
+		t.Errorf("wave_fronts_inflight = %d, want 1", got)
+	}
+}
+
+func TestDetectDecay(t *testing.T) {
+	const p = 12
+	perHop := 2 * ms
+	edges := append(background(p, 40, perHop), frontEdges(p, 2, 100*ms, perHop, 50*ms, 3)...)
+	rep, err := Detect(edges, Options{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Waves) != 1 {
+		t.Fatalf("detected %d waves, want 1", len(rep.Waves))
+	}
+	w := rep.Waves[0]
+	if !w.Decayed {
+		t.Error("wave decayed over 9 hops at 3-hop e-folding but not flagged")
+	}
+	if w.DecayHops < 2 || w.DecayHops > 4 {
+		t.Errorf("decay = %.2f hops, want ~3", w.DecayHops)
+	}
+}
+
+func TestSingleRankWave(t *testing.T) {
+	const p = 8
+	edges := background(p, 40, 2*ms)
+	// A burst of large waits confined to rank 3: a "wave" that never
+	// propagates (e.g. the disturbance was absorbed immediately).
+	for i := int64(0); i < 4; i++ {
+		edges = append(edges, obs.Edge{From: 2, To: 3, RecvVT: 100*ms + i*2*ms, WaitVT: 30 * ms})
+	}
+	rep, err := Detect(edges, Options{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Waves) != 1 {
+		t.Fatalf("detected %d waves, want 1", len(rep.Waves))
+	}
+	w := rep.Waves[0]
+	if w.Ranks != 1 || w.OriginRank != 3 {
+		t.Errorf("wave = %+v, want single-rank at 3", w)
+	}
+	if w.PerHopNs != 0 || w.SpeedRanksPerMs != 0 {
+		t.Errorf("single-rank wave has speed %.2f/%.2f, want 0", w.PerHopNs, w.SpeedRanksPerMs)
+	}
+}
+
+func TestWaveHitsDepartedRank(t *testing.T) {
+	const p = 12
+	perHop := 2 * ms
+	edges := background(p, 40, perHop)
+	// Rank 9 crashed: the wave from rank 5 travels down freely but
+	// stops at rank 8 going up (no halo traffic crosses a dead rank).
+	for _, e := range frontEdges(p, 5, 100*ms, perHop, 40*ms, 0) {
+		if e.To >= 9 && e.WaitVT > ms {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	rep, err := Detect(edges, Options{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Waves) != 1 {
+		t.Fatalf("detected %d waves, want 1", len(rep.Waves))
+	}
+	w := rep.Waves[0]
+	if w.OriginRank != 5 {
+		t.Errorf("origin = %d, want 5", w.OriginRank)
+	}
+	for _, f := range w.Front {
+		if f.Rank >= 9 {
+			t.Errorf("front crossed departed rank: %+v", f)
+		}
+	}
+	if w.Ranks != 9 { // ranks 0..8
+		t.Errorf("wave touched %d ranks, want 9", w.Ranks)
+	}
+}
+
+func TestTwoSimultaneousOrigins(t *testing.T) {
+	const p = 16
+	perHop := 2 * ms
+	edges := background(p, 60, perHop)
+	edges = append(edges, frontEdges(p, 2, 100*ms, perHop, 40*ms, 0)...)
+	edges = append(edges, frontEdges(p, 13, 100*ms, perHop, 40*ms, 0)...)
+	rep, err := Detect(edges, Options{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Waves) != 2 {
+		t.Fatalf("detected %d waves, want 2", len(rep.Waves))
+	}
+	got := map[int]bool{}
+	for _, w := range rep.Waves {
+		got[w.OriginRank] = true
+	}
+	if !got[2] || !got[13] {
+		t.Errorf("origins = %v, want {2, 13}", got)
+	}
+	if len(rep.Interactions) != 1 {
+		t.Fatalf("got %d interactions, want 1 (fronts meet mid-array)", len(rep.Interactions))
+	}
+	in := rep.Interactions[0]
+	if in.Rank < 6 || in.Rank > 9 {
+		t.Errorf("interaction at rank %d, want mid-array (6-9)", in.Rank)
+	}
+	if in.Kind != "merge" && in.Kind != "cancel" {
+		t.Errorf("interaction kind %q", in.Kind)
+	}
+}
+
+func TestP1(t *testing.T) {
+	rep, err := Detect(background(1, 20, 2*ms), Options{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Waves) != 0 {
+		t.Errorf("P=1 background-only trace yielded %d waves", len(rep.Waves))
+	}
+	// And with a burst: one degenerate single-rank wave, no panic.
+	edges := append(background(1, 20, 2*ms), obs.Edge{From: 0, To: 0, RecvVT: 50 * ms, WaitVT: 30 * ms})
+	if rep, err = Detect(edges, Options{P: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Waves) != 1 || rep.Waves[0].Ranks != 1 {
+		t.Errorf("P=1 burst: %+v", rep.Waves)
+	}
+}
+
+func TestDetectRejectsBadOptions(t *testing.T) {
+	if _, err := Detect(nil, Options{}); err == nil {
+		t.Error("Detect accepted P=0")
+	}
+}
+
+func TestDetectEmpty(t *testing.T) {
+	rep, err := Detect(nil, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Edges != 0 || len(rep.Waves) != 0 {
+		t.Errorf("empty trace: %+v", rep)
+	}
+}
+
+func TestCollectiveEdgesIgnored(t *testing.T) {
+	const p = 8
+	edges := background(p, 40, 2*ms)
+	// Huge waits inside a collective must not register as wave points.
+	for r := 0; r < p; r++ {
+		edges = append(edges, obs.Edge{From: 0, To: r, RecvVT: 100 * ms, WaitVT: 90 * ms, Ctx: "vote"})
+	}
+	rep, err := Detect(edges, Options{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Waves) != 0 {
+		t.Errorf("collective edges produced %d waves", len(rep.Waves))
+	}
+}
+
+func TestManhattanDistance(t *testing.T) {
+	// On a 4-column grid, ranks 1 and 5 are vertical neighbors even
+	// though |1-5| = 4 linearly.
+	if d := rankDist(1, 5, 4); d != 1 {
+		t.Errorf("grid dist(1,5) = %d, want 1", d)
+	}
+	if d := rankDist(1, 5, 0); d != 4 {
+		t.Errorf("linear dist(1,5) = %d, want 4", d)
+	}
+	if d := rankDist(0, 15, 4); d != 6 {
+		t.Errorf("grid dist(0,15) = %d, want 6", d)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	const p = 8
+	perHop := 2 * ms
+	edges := append(background(p, 40, perHop), frontEdges(p, 3, 60*ms, perHop, 40*ms, 0)...)
+	rep, err := Detect(edges, Options{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := BuildHeatmap(edges, p, 40)
+	out := hm.Render(rep)
+	if !strings.Contains(out, "O") {
+		t.Errorf("render lacks origin marker:\n%s", out)
+	}
+	if got := strings.Count(out, "|\n"); got != p {
+		t.Errorf("render has %d rank rows, want %d:\n%s", got, p, out)
+	}
+	sum := Summary(rep)
+	if !strings.Contains(sum, "origin rank 3") {
+		t.Errorf("summary lacks origin:\n%s", sum)
+	}
+	// Nil-safety.
+	if out := (*Heatmap)(nil).Render(nil); out == "" {
+		t.Error("nil heatmap render empty")
+	}
+	if BuildHeatmap(nil, 0, 10) != nil {
+		t.Error("BuildHeatmap accepted p=0")
+	}
+}
+
+// TestNilRegistryCounterPathAllocs pins the disabled-metrics contract:
+// updating the wave counters through a nil registry must not allocate.
+func TestNilRegistryCounterPathAllocs(t *testing.T) {
+	var reg *obs.Registry
+	if n := testing.AllocsPerRun(100, func() {
+		reg.Counter("wave_detected_total").Inc()
+		reg.Counter("wave_decayed_total").Add(2)
+		reg.Gauge("wave_fronts_inflight").Set(3)
+	}); n != 0 {
+		t.Errorf("nil-registry counter path allocates %.1f/op, want 0", n)
+	}
+}
+
+// BenchmarkNilWaveCounters prices the same path: the cost of leaving
+// metrics off must be a few predictable branches.
+func BenchmarkNilWaveCounters(b *testing.B) {
+	var reg *obs.Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.Counter("wave_detected_total").Inc()
+		reg.Counter("wave_decayed_total").Add(2)
+		reg.Gauge("wave_fronts_inflight").Set(int64(i))
+	}
+}

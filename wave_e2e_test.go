@@ -1,0 +1,155 @@
+package chameleon_test
+
+// End-to-end idle-wave scenarios: a seeded noise pulse on a STENCIL run
+// must come back out of the wave detector with the injected origin and
+// the halo-exchange propagation speed, and a sustained pulse train must
+// raise the live desync flag on chamd before the run finalizes.
+
+import (
+	"testing"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/store"
+	"chameleon/internal/wave"
+)
+
+// TestWaveGoldenScenario is the acceptance criterion for the detector:
+// inject one 80ms pulse on rank 5 of a 13-rank STENCIL run with the
+// global sync disabled, capture the causal edges, and require the
+// fitted wave to match the injection — origin adjacent to rank 5,
+// origin time in the pulse's causal shadow, amplitude near the pulse
+// width, and propagation speed near one hop per halo-exchange period.
+func TestWaveGoldenScenario(t *testing.T) {
+	const (
+		p     = 13
+		at    = 400 * time.Millisecond
+		extra = 80 * time.Millisecond
+	)
+	plan, err := chameleon.ParseNoisePlan("periodic ranks=5 start=400ms period=200ms extra=80ms count=1", p, 7)
+	if err != nil {
+		t.Fatalf("noise: %v", err)
+	}
+	injector, err := chameleon.NewFaultInjector(plan, 7, p)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	o := chameleon.NewObserver(chameleon.ObsOptions{CausalRanks: p})
+	res, err := chameleon.RunBenchmark("STENCIL", "A", p, chameleon.TracerNone,
+		&chameleon.Config{Obs: o, Fault: injector, SyncEvery: -1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// 60 iterations of halo exchange set the propagation clock: an idle
+	// wave moves about one rank per iteration.
+	period := int64(res.Time) / 60
+
+	rep, err := wave.Detect(o.Causal.Edges(), wave.Options{P: p})
+	if err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	if len(rep.Waves) == 0 {
+		t.Fatalf("no waves detected over %d wait points", rep.WaitPoints)
+	}
+	// The injected pulse dominates everything else in the run.
+	best := rep.Waves[0]
+	for _, w := range rep.Waves[1:] {
+		if w.AmplitudeNs > best.AmplitudeNs {
+			best = w
+		}
+	}
+	// The delayed rank itself never waits; its neighbors raise the wave.
+	if best.OriginRank < 4 || best.OriginRank > 6 {
+		t.Errorf("origin rank = %d, want within 1 of injected rank 5", best.OriginRank)
+	}
+	// The first wait surfaces once the pulse's delayed send lands:
+	// between the injection and a few halo periods after at+extra.
+	lo, hi := at.Nanoseconds(), (at+extra).Nanoseconds()+3*period
+	if best.OriginVT < lo || best.OriginVT > hi {
+		t.Errorf("origin VT = %v, want in [%v, %v]",
+			time.Duration(best.OriginVT), time.Duration(lo), time.Duration(hi))
+	}
+	if min, max := extra.Nanoseconds()/2, extra.Nanoseconds()*3/2; best.AmplitudeNs < min || best.AmplitudeNs > max {
+		t.Errorf("amplitude = %v, want within 50%% of the %v pulse", time.Duration(best.AmplitudeNs), extra)
+	}
+	if best.PerHopNs <= 0 {
+		t.Fatalf("wave did not propagate: %+v", best)
+	}
+	if ratio := float64(best.PerHopNs) / float64(period); ratio < 0.5 || ratio > 1.5 {
+		t.Errorf("propagation = %v/hop, want within 50%% of the %v halo period (ratio %.2f)",
+			time.Duration(best.PerHopNs), time.Duration(period), ratio)
+	}
+	if best.Ranks < 3 {
+		t.Errorf("wave touched only %d ranks, want a multi-hop front", best.Ranks)
+	}
+}
+
+// TestLiveDesyncFlaggedInFlight drives a pulse train on rank 3 of a
+// sync-free STENCIL run through the live telemetry pipeline and
+// requires chamd to raise a desync event strictly before the final
+// event — the nascent idle wave is flagged while the run is in flight.
+func TestLiveDesyncFlaggedInFlight(t *testing.T) {
+	const p, session = 13, "e2e-desync"
+	srv := newLiveDaemon(t)
+
+	plan, err := chameleon.ParseNoisePlan("periodic ranks=3 start=50ms period=5ms extra=30ms count=100000", p, 1)
+	if err != nil {
+		t.Fatalf("noise: %v", err)
+	}
+	injector, err := chameleon.NewFaultInjector(plan, 1, p)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	o := chameleon.NewObserver(chameleon.ObsOptions{
+		Metrics:       true,
+		ProgressRanks: p,
+		JournalRing:   256,
+	})
+	shipper, err := chameleon.NewLiveShipper(o, chameleon.LiveShipperOptions{
+		URL:       srv.URL,
+		Session:   session,
+		Benchmark: "STENCIL",
+		P:         p,
+		Interval:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("shipper: %v", err)
+	}
+	shipper.Start()
+	_, err = chameleon.RunBenchmark("STENCIL", "A", p, chameleon.TracerChameleon,
+		&chameleon.Config{Obs: o, Fault: injector, SyncEvery: -1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := shipper.Stop(); err != nil {
+		t.Fatalf("shipper stop: %v", err)
+	}
+
+	v, err := store.FetchLiveView(srv.URL, session)
+	if err != nil {
+		t.Fatalf("final view: %v", err)
+	}
+	desync, final := -1, -1
+	for i, ev := range v.LiveEvents {
+		switch {
+		case ev.Kind == store.LiveEventDesync && desync < 0:
+			desync = i
+		case ev.Kind == store.LiveEventFinal:
+			final = i
+		}
+	}
+	if desync < 0 {
+		t.Fatalf("no desync event in the session log: %+v", v.LiveEvents)
+	}
+	if final < 0 {
+		t.Fatalf("session never finalized: %+v", v.LiveEvents)
+	}
+	if desync > final {
+		t.Errorf("desync event (index %d) raised after final (index %d)", desync, final)
+	}
+	// The flagged band must sit on the injected rank's neighborhood.
+	ev := v.LiveEvents[desync]
+	if ev.Rank < 2 || ev.Rank > 4 {
+		t.Errorf("desync band head = rank %d, want near injected rank 3: %+v", ev.Rank, ev)
+	}
+}
