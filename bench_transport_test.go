@@ -1,0 +1,149 @@
+package chameleon_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"chameleon"
+	"chameleon/internal/mpi"
+)
+
+// runFleetForBench runs one benchmark split across TCP members and
+// returns the wall time plus the transports' aggregate wire stats and
+// the world makespan.
+func runFleetForBench(tb testing.TB, bench string, p int, members [][2]int) (wall time.Duration, stats mpi.TCPStats, makespan chameleon.Duration) {
+	tb.Helper()
+	addr := freeJoinAddr(tb)
+	fp := fmt.Sprintf("bench/%s/p%d", bench, p)
+	outs := make([]*chameleon.Output, len(members))
+	allStats := make([]mpi.TCPStats, len(members))
+	errs := make([]error, len(members))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			tr, err := mpi.NewTCPTransport(mpi.TCPOptions{
+				Join: addr, RankLo: lo, RankHi: hi, P: p, Fingerprint: fp,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i], errs[i] = chameleon.RunBenchmark(bench, "A", p, chameleon.TracerChameleon,
+				&chameleon.Config{Transport: tr})
+			allStats[i] = tr.Stats()
+		}(i, m[0], m[1])
+	}
+	wg.Wait()
+	wall = time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			tb.Fatalf("fleet member %d: %v", i, err)
+		}
+	}
+	for _, s := range allStats {
+		stats.FramesOut += s.FramesOut
+		stats.BytesOut += s.BytesOut
+		stats.FramesIn += s.FramesIn
+		stats.BytesIn += s.BytesIn
+		stats.BoundSweeps += s.BoundSweeps
+	}
+	return wall, stats, outs[0].Time
+}
+
+// TestTransportBenchReport writes BENCH_transport.json when
+// BENCH_TRANSPORT_OUT names a path (`make bench-transport`): the
+// per-message socket overhead of a 2×4-rank fleet against the 8-rank
+// in-process run, and the makespan/wall-clock of a P=64 fleet split
+// four ways — with the cross-backend determinism of both asserted.
+func TestTransportBenchReport(t *testing.T) {
+	path := os.Getenv("BENCH_TRANSPORT_OUT")
+	if path == "" {
+		t.Skip("set BENCH_TRANSPORT_OUT=BENCH_transport.json to write the report")
+	}
+
+	const bench = "STENCIL"
+
+	// Interleave in-process and fleet passes (machine drift hits both
+	// sides equally) and keep the fastest pass per side.
+	var inprocBest, fleetBest time.Duration
+	var stats mpi.TCPStats
+	var inprocSpan, fleetSpan chameleon.Duration
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		out, err := chameleon.RunBenchmark(bench, "A", 8, chameleon.TracerChameleon, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); i == 0 || d < inprocBest {
+			inprocBest = d
+		}
+		inprocSpan = out.Time
+
+		wall, st, span := runFleetForBench(t, bench, 8, [][2]int{{0, 3}, {4, 7}})
+		if i == 0 || wall < fleetBest {
+			fleetBest = wall
+			stats = st
+		}
+		fleetSpan = span
+	}
+	if fleetSpan != inprocSpan {
+		t.Fatalf("P=8 fleet makespan %v != in-process %v", fleetSpan, inprocSpan)
+	}
+	if stats.FramesOut == 0 {
+		t.Fatal("fleet run crossed no frames")
+	}
+	perMsgNs := float64(fleetBest-inprocBest) / float64(stats.FramesOut)
+
+	// P=64 split four ways: the acceptance-scale fleet. One pass — the
+	// point is the makespan identity and the order of magnitude of the
+	// wall clock, not a tight distribution.
+	start := time.Now()
+	big, err := chameleon.RunBenchmark(bench, "A", 64, chameleon.TracerChameleon, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigInprocWall := time.Since(start)
+	bigWall, bigStats, bigSpan := runFleetForBench(t, bench, 64,
+		[][2]int{{0, 15}, {16, 31}, {32, 47}, {48, 63}})
+	if bigSpan != big.Time {
+		t.Fatalf("P=64 fleet makespan %v != in-process %v", bigSpan, big.Time)
+	}
+
+	report := map[string]any{
+		"workload":             bench + " class A, chameleon tracer",
+		"p8_inproc_wall_ns":    inprocBest.Nanoseconds(),
+		"p8_fleet_wall_ns":     fleetBest.Nanoseconds(),
+		"p8_frames_crossed":    stats.FramesOut,
+		"p8_bytes_crossed":     stats.BytesOut,
+		"p8_bound_sweeps":      stats.BoundSweeps,
+		"per_message_ns":       perMsgNs,
+		"p64_members":          4,
+		"p64_makespan":         bigSpan.String(),
+		"p64_inproc_wall_ns":   bigInprocWall.Nanoseconds(),
+		"p64_fleet_wall_ns":    bigWall.Nanoseconds(),
+		"p64_frames_crossed":   bigStats.FramesOut,
+		"p64_bytes_crossed":    bigStats.BytesOut,
+		"makespans_bitwise_eq": true,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	t.Logf("wrote %s: P=8 %.0fns/msg over %d frames; P=64 fleet %v wall (in-proc %v)",
+		path, perMsgNs, stats.FramesOut, bigWall, bigInprocWall)
+}

@@ -246,7 +246,17 @@ type Config struct {
 	// support it (see apps.BodyOpts.CheckpointEvery). Only honored
 	// through RunSpec/RunBenchmark.
 	CheckpointEvery int
+	// Transport routes messages between ranks. Nil hosts all P ranks in
+	// this process; a TCP transport (internal/fleet.Connect) hosts a
+	// slice of the world here and the rest in peer OS processes. Under
+	// a fleet, only the process hosting rank 0 produces the real merged
+	// trace — collectors are per-process, and the tracers' merge trees
+	// root at rank 0.
+	Transport Transport
 }
+
+// Transport is the rank-message routing seam (see mpi.Transport).
+type Transport = mpi.Transport
 
 // Output captures everything a traced run produces.
 type Output struct {
@@ -301,7 +311,7 @@ func Run(cfg Config, body func(*Proc)) (*Output, error) {
 	if cfg.P <= 0 {
 		return nil, fmt.Errorf("chameleon: invalid rank count %d", cfg.P)
 	}
-	mcfg := mpi.Config{P: cfg.P, Model: cfg.Model, Obs: cfg.Obs, Fault: cfg.Fault}
+	mcfg := mpi.Config{P: cfg.P, Model: cfg.Model, Obs: cfg.Obs, Fault: cfg.Fault, Transport: cfg.Transport}
 
 	out := &Output{P: cfg.P}
 	var finish func(res *mpi.Result)
@@ -476,6 +486,7 @@ func RunSpec(spec Spec, tr Tracer, override *Config) (*Output, error) {
 		}
 		cfg.Obs = override.Obs
 		cfg.Fault = override.Fault
+		cfg.Transport = override.Transport
 		syncEvery = override.SyncEvery
 		checkpointEvery = override.CheckpointEvery
 	}

@@ -48,6 +48,20 @@
 // -push-edges uploads the causal edge stream as a sidecar of the pushed
 // run so `chamd` serves GET /runs/{id}/waves (requires -causal -push).
 //
+// Multi-process fleets (see docs/ARCHITECTURE.md):
+//
+//	chamrun -bench STENCIL -p 8 -transport=tcp -join=:9307 -ranks=0..3 &
+//	chamrun -bench STENCIL -p 8 -transport=tcp -join=:9307 -ranks=4..7
+//
+// -transport=tcp splits the world across OS processes: each invocation
+// hosts the ranks named by -ranks, whichever process binds the -join
+// address coordinates the rendezvous, and messages between processes
+// cross real sockets. All members must pass identical run flags (the
+// config fingerprint is checked at rendezvous). The member hosting
+// rank 0 writes/pushes the merged trace; under -live every member
+// ships its own telemetry deltas and chamd stitches them into one
+// session.
+//
 // Trace archiving (see docs/STORE.md):
 //
 //	chamrun -bench PHASE -p 16 -push http://localhost:8321
@@ -70,6 +84,8 @@ import (
 	"time"
 
 	"chameleon"
+	"chameleon/internal/fleet"
+	"chameleon/internal/mpi"
 	"chameleon/internal/store"
 )
 
@@ -104,6 +120,10 @@ func main() {
 	syncEvery := flag.Int("sync-every", 0, "override the skeleton's global-sync period (0 = default, negative = disable)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "inject a checkpoint (gather+IO) phase every N iterations")
 	pushEdges := flag.Bool("push-edges", false, "also upload the causal edge stream as a sidecar of the pushed run (requires -causal and -push)")
+	transport := flag.String("transport", "inproc", "rank transport: inproc (all P ranks in this process) or tcp (multi-process fleet)")
+	join := flag.String("join", "", "tcp transport: rendezvous address (bind-or-dial; every fleet member passes the same address)")
+	ranks := flag.String("ranks", "", `tcp transport: inclusive world-rank range hosted by this process ("lo..hi" or a single rank)`)
+	crashExit := flag.Bool("crash-exit", true, "tcp transport: kill this process once all its ranks crash-stop (survivors journal the loss and fail over)")
 	flag.Parse()
 
 	if *pushEdges && (*push == "" || !*causalFlag) {
@@ -145,6 +165,65 @@ func main() {
 		}
 	}
 
+	// Fleet rendezvous happens before the observer exists so the crash
+	// hook can flush whatever telemetry sinks get built below; the
+	// closure reads shipper/journalFile at crash time, not now.
+	var (
+		journalFile *os.File
+		shipper     *chameleon.LiveShipper
+		fleetTr     *mpi.TCPTransport
+		fleetInfo   mpi.FleetInfo
+	)
+	hostsRank0 := true // inproc hosts the whole world
+	switch *transport {
+	case "inproc":
+		if *join != "" || *ranks != "" {
+			fatal("transport: -join/-ranks require -transport=tcp")
+		}
+	case "tcp":
+		if *ranks == "" {
+			fatal("transport: -transport=tcp requires -ranks")
+		}
+		// Every member must run the identical configuration — the
+		// fingerprint is compared at rendezvous so a mismatched fleet
+		// fails fast instead of silently diverging.
+		fp := fmt.Sprintf("bench=%s class=%s p=%d tracer=%s k=%d freq=%d algo=%s faults=%s noise=%s fseed=%d nseed=%d sync=%d ckpt=%d",
+			*bench, *class, *p, *tr, *k, *freq, *algo, *faults, *noise,
+			*faultSeed, *noiseSeed, *syncEvery, *checkpointEvery)
+		var err error
+		fleetTr, fleetInfo, err = fleet.Connect(fleet.Options{
+			Join:        *join,
+			Ranks:       *ranks,
+			P:           *p,
+			Session:     *liveSession,
+			Fingerprint: fp,
+			ExitOnCrash: *crashExit,
+			OnCrashExit: func() {
+				// Last words before the self-kill: flush the live
+				// shipper and the journal so watchers see the
+				// crash-stop instead of a silent disappearance.
+				if shipper != nil {
+					shipper.Stop()
+				}
+				if journalFile != nil {
+					journalFile.Sync()
+				}
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "chamrun: fleet: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal("transport: %v", err)
+		}
+		// The transport is closed by the runtime's Run lifecycle.
+		hostsRank0 = fleetInfo.HostsRank0
+		fmt.Printf("fleet       session %s, member %d of %d, hosting ranks %s\n",
+			fleetInfo.Session, fleetInfo.Member, fleetInfo.Members, *ranks)
+	default:
+		fatal("transport: unknown transport %q (inproc or tcp)", *transport)
+	}
+
 	opts := chameleon.ObsOptions{
 		Metrics: *metrics || *metricsOut != "" || *debugAddr != "" || *live != "",
 	}
@@ -154,7 +233,6 @@ func main() {
 		opts.ProgressRanks = *p
 		opts.JournalRing = 1024
 	}
-	var journalFile *os.File
 	if *journal {
 		f, err := os.Create(*journalOut)
 		if err != nil {
@@ -183,16 +261,30 @@ func main() {
 		fmt.Printf("debug       http://%s/debug/pprof http://%s/debug/vars\n", *debugAddr, *debugAddr)
 	}
 
-	var shipper *chameleon.LiveShipper
 	if *live != "" {
-		var err error
-		shipper, err = chameleon.NewLiveShipper(observer, chameleon.LiveShipperOptions{
+		shipOpts := chameleon.LiveShipperOptions{
 			URL:       *live,
 			Session:   *liveSession,
 			Benchmark: *bench,
 			P:         *p,
 			Interval:  *liveInterval,
-		})
+		}
+		if fleetTr != nil {
+			// Each rank process ships its own independently-sequenced
+			// delta stream; chamd attributes them all to the fleet
+			// session, dedups per part, and only finalizes the session
+			// once every member's final delta lands. The Ranks filter
+			// keeps this member's zero rows from clobbering peers'
+			// progress.
+			shipOpts.Session = fleetInfo.Session
+			shipOpts.Part = fmt.Sprintf("m%d", fleetInfo.Member)
+			lo, hi, _ := fleet.ParseRanks(*ranks)
+			for r := lo; r <= hi; r++ {
+				shipOpts.Ranks = append(shipOpts.Ranks, r)
+			}
+		}
+		var err error
+		shipper, err = chameleon.NewLiveShipper(observer, shipOpts)
 		if err != nil {
 			fatal("live: %v", err)
 		}
@@ -204,6 +296,9 @@ func main() {
 	override := &chameleon.Config{
 		K: *k, Freq: *freq, Algo: *algo, Obs: observer, Fault: injector,
 		SyncEvery: *syncEvery, CheckpointEvery: *checkpointEvery,
+	}
+	if fleetTr != nil {
+		override.Transport = fleetTr
 	}
 	res, err := chameleon.RunBenchmark(*bench, *class, *p, chameleon.Tracer(*tr), override)
 	if shipper != nil {
@@ -243,7 +338,15 @@ func main() {
 			res.Departed, *p-len(res.Departed), *p)
 	}
 	var pushedID string
-	if res.Trace != nil {
+	if !hostsRank0 {
+		// Collectors are per-process and the tracers' merge trees root
+		// at rank 0, so only the member hosting rank 0 holds the real
+		// merged trace; everyone else's collector saw only local merge
+		// traffic. Saving or pushing it would archive a fragment.
+		if res.Trace != nil {
+			fmt.Printf("trace       (merged trace lives with the rank-0 member; not saved here)\n")
+		}
+	} else if res.Trace != nil {
 		fmt.Printf("trace       %d top-level nodes\n", len(res.Trace.Nodes))
 		if *out != "" {
 			save := res.Trace.Save

@@ -81,14 +81,15 @@ func main() {
 	diff := flag.Bool("diff", false, "compare two traces for event equivalence")
 	tolerate := flag.String("tolerate-ranks", "", `with -diff: exclude these ranks ("0,5-7" set grammar, or "auto" = the traces' retired ranks)`)
 	waves := flag.Bool("waves", false, "idle-wave summary over a causal edge file or a run URL's edge sidecar")
+	cols := flag.Int("cols", 0, "with -waves: treat ranks as a row-major grid this many columns wide (0 = 1-D chain)")
 	flag.Parse()
 
 	if *waves {
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: chamstat -waves edges.jsonl | http://host:8321/runs/<id>")
+			fmt.Fprintln(os.Stderr, "usage: chamstat -waves [-cols n] edges.jsonl | http://host:8321/runs/<id>")
 			os.Exit(2)
 		}
-		waveSummary(flag.Arg(0))
+		waveSummary(flag.Arg(0), *cols)
 		return
 	}
 
@@ -200,14 +201,14 @@ func main() {
 // archive for the server-side report over the run's edge sidecar; any
 // other reference is read as a causal edge JSONL stream and analyzed
 // locally.
-func waveSummary(ref string) {
+func waveSummary(ref string, cols int) {
 	var rep *wave.Report
 	if store.IsRef(ref) {
 		i := strings.LastIndex(ref, "/runs/")
 		if i < 0 {
 			exitOn(fmt.Errorf("%s: a remote -waves reference must name a run (…/runs/<id>)", ref))
 		}
-		resp, err := store.FetchWaves(ref[:i], ref[i+len("/runs/"):])
+		resp, err := store.FetchWaves(ref[:i], ref[i+len("/runs/"):], cols)
 		exitOn(err)
 		rep = resp.Report
 		fmt.Printf("run %s (server-side report)\n", resp.ID[:12])
@@ -229,7 +230,7 @@ func waveSummary(ref string) {
 		if p == 0 {
 			exitOn(fmt.Errorf("%s: no edges", ref))
 		}
-		rep, err = wave.Detect(edges, wave.Options{P: p})
+		rep, err = wave.Detect(edges, wave.Options{P: p, Cols: cols})
 		exitOn(err)
 		fmt.Printf("edges %s (P=%d inferred)\n", ref, p)
 	}

@@ -72,11 +72,12 @@ func main() {
 	waves := flag.Bool("waves", false, "idle-wave view: detect waves in the causal edge file and render the rank x time heatmap")
 	nranks := flag.Int("p", 0, "with -waves: rank count (0 = infer from the edges)")
 	bins := flag.Int("bins", 96, "with -waves: heatmap time bins")
+	cols := flag.Int("cols", 0, "with -waves: treat ranks as a row-major grid this many columns wide (0 = 1-D chain)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: chamtop [-critical -edges edges.jsonl [-trace trace.json] [-top n]] [journal.jsonl]")
 		fmt.Fprintln(os.Stderr, "       chamtop -follow http://host:8321 [-session id] [-once] [-poll 10s]")
 		fmt.Fprintln(os.Stderr, "       chamtop -zan trace-ref [-check] [-top n]")
-		fmt.Fprintln(os.Stderr, "       chamtop -waves -edges edges-ref [-p n] [-bins n]")
+		fmt.Fprintln(os.Stderr, "       chamtop -waves -edges edges-ref [-p n] [-bins n] [-cols n]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -90,7 +91,7 @@ func main() {
 		return
 	}
 	if *waves {
-		waveView(*edgesPath, *nranks, *bins)
+		waveView(*edgesPath, *nranks, *bins, *cols)
 		return
 	}
 
@@ -342,7 +343,7 @@ func finalize(events []obs.Event) {
 // waveView is the -waves mode: load the causal edge file (a local path
 // or a chamd /runs/{id}/edges URL), run the idle-wave detector, and
 // render the rank x virtual-time heatmap plus the per-wave kinematics.
-func waveView(edgesRef string, p, bins int) {
+func waveView(edgesRef string, p, bins, cols int) {
 	f, err := store.OpenRef(edgesRef)
 	if err != nil {
 		fatal("%v (run chamrun with -causal to produce an edge file)", err)
@@ -365,7 +366,7 @@ func waveView(edgesRef string, p, bins int) {
 			}
 		}
 	}
-	rep, err := wave.Detect(edges, wave.Options{P: p})
+	rep, err := wave.Detect(edges, wave.Options{P: p, Cols: cols})
 	if err != nil {
 		fatal("%v", err)
 	}

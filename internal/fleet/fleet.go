@@ -1,0 +1,153 @@
+// Package fleet glues the mpi TCP transport to the tracing stack: it
+// registers wire codecs for the payload types the tracers ship between
+// ranks (compressed trace sequences, cluster candidate lists — types
+// the mpi package cannot import without a cycle), and parses the
+// chamrun -ranks/-join flags into a connected transport.
+//
+// A multi-process run is N invocations of the same binary:
+//
+//	chamrun -transport=tcp -join=:9307 -ranks=0..3  ...
+//	chamrun -transport=tcp -join=:9307 -ranks=4..7  ...
+//
+// Whichever process binds the join address coordinates the rendezvous;
+// the rest dial it. Every process must be started with the same
+// benchmark, seed, tracer, and fault plan — the config fingerprint is
+// checked at rendezvous so a mismatched fleet fails fast instead of
+// diverging.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"chameleon/internal/cluster"
+	"chameleon/internal/mpi"
+	"chameleon/internal/trace"
+)
+
+func init() {
+	// Compressed trace sequences (inter-node merge traffic). The trace
+	// binary codec is the wire format: its file-local site table plus
+	// decode-time re-interning is exactly the cross-process story — a
+	// receiving process re-interns each call site into its own table
+	// and the PC-derived Stack signatures stay globally stable, so
+	// Event.Equal keeps working across machines.
+	mpi.RegisterPayloadCodec(mpi.PayloadCodec{
+		Name: "trace.nodes",
+		Zero: []*trace.Node{},
+		Encode: func(v any) ([]byte, error) {
+			f := &trace.File{P: 1, Nodes: v.([]*trace.Node)}
+			var buf bytes.Buffer
+			if err := f.WriteBinary(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+		Decode: func(data []byte) (any, error) {
+			f, err := trace.ReadBinary(bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			return f.Nodes, nil
+		},
+	})
+	// Cluster candidate lists (Algorithm 2's merge tree). Plain JSON:
+	// every Item field marshals, and signature triples are value types.
+	mpi.RegisterPayloadCodec(mpi.PayloadCodec{
+		Name: "cluster.items",
+		Zero: []cluster.Item{},
+		Encode: func(v any) ([]byte, error) {
+			return json.Marshal(v.([]cluster.Item))
+		},
+		Decode: func(data []byte) (any, error) {
+			var items []cluster.Item
+			if err := json.Unmarshal(data, &items); err != nil {
+				return nil, err
+			}
+			if items == nil {
+				items = []cluster.Item{}
+			}
+			return items, nil
+		},
+	})
+}
+
+// ParseRanks parses a -ranks value: "a..b" (inclusive) or a single
+// rank "a".
+func ParseRanks(s string) (lo, hi int, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, 0, fmt.Errorf("fleet: empty rank range")
+	}
+	if lo64, err := strconv.Atoi(s); err == nil {
+		return lo64, lo64, nil
+	}
+	a, b, ok := strings.Cut(s, "..")
+	if !ok {
+		return 0, 0, fmt.Errorf("fleet: rank range %q is not \"lo..hi\"", s)
+	}
+	if lo, err = strconv.Atoi(strings.TrimSpace(a)); err != nil {
+		return 0, 0, fmt.Errorf("fleet: bad rank range start %q", a)
+	}
+	if hi, err = strconv.Atoi(strings.TrimSpace(b)); err != nil {
+		return 0, 0, fmt.Errorf("fleet: bad rank range end %q", b)
+	}
+	if lo < 0 || hi < lo {
+		return 0, 0, fmt.Errorf("fleet: invalid rank range %d..%d", lo, hi)
+	}
+	return lo, hi, nil
+}
+
+// Options parameterizes Connect.
+type Options struct {
+	// Join is the rendezvous address (required).
+	Join string
+	// Ranks is the inclusive world-rank range hosted by this process,
+	// in "lo..hi" (or single "r") form.
+	Ranks string
+	// P is the world size.
+	P int
+	// Session optionally names the fleet session (live telemetry);
+	// empty lets the coordinator assign one.
+	Session string
+	// Fingerprint summarizes the run config; all members must match.
+	Fingerprint string
+	// ExitOnCrash kills this process once all its ranks crash-stop.
+	ExitOnCrash bool
+	// OnCrashExit flushes journals and telemetry before the self-kill.
+	OnCrashExit func()
+	// Logf receives transport progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Connect parses the rank range, performs the fleet rendezvous, and
+// returns the connected transport. The transport is ready to pass as
+// chameleon.Config.Transport; Info describes this process's place in
+// the fleet.
+func Connect(o Options) (*mpi.TCPTransport, mpi.FleetInfo, error) {
+	lo, hi, err := ParseRanks(o.Ranks)
+	if err != nil {
+		return nil, mpi.FleetInfo{}, err
+	}
+	if o.Join == "" {
+		return nil, mpi.FleetInfo{}, fmt.Errorf("fleet: -join address required for the tcp transport")
+	}
+	tr, err := mpi.NewTCPTransport(mpi.TCPOptions{
+		Join:        o.Join,
+		RankLo:      lo,
+		RankHi:      hi,
+		P:           o.P,
+		Session:     o.Session,
+		Fingerprint: o.Fingerprint,
+		ExitOnCrash: o.ExitOnCrash,
+		OnCrashExit: o.OnCrashExit,
+		Logf:        o.Logf,
+	})
+	if err != nil {
+		return nil, mpi.FleetInfo{}, err
+	}
+	return tr, tr.Info(), nil
+}

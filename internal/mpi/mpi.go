@@ -100,10 +100,17 @@ const (
 	stateDone // body and finalize complete
 )
 
-// Runtime is one simulated MPI job.
+// Runtime is one simulated MPI job (or, under a network transport, this
+// process's share of one).
 type Runtime struct {
-	p         int
-	model     vtime.CostModel
+	p     int
+	model vtime.CostModel
+	// tr routes messages and scopes matcher visibility; local lists the
+	// world ranks hosted in this process (all of them for the default
+	// in-process transport). mailboxes and procs are indexed by world
+	// rank and nil for remote ranks.
+	tr        Transport
+	local     []int
 	mailboxes []*mailbox
 	procs     []*Proc
 	nextComm  CommID
@@ -143,11 +150,22 @@ func (abortError) Error() string { return "mpi: run aborted by peer failure" }
 
 var errAborted = abortError{}
 
-// abort marks the run failed and wakes every blocked rank.
+// abort marks the run failed and wakes every blocked rank. Network
+// transports relay the abort to peer processes.
 func (rt *Runtime) abort() {
 	rt.aborted.Store(true)
+	rt.abortLocal()
+	rt.tr.noteAbort()
+}
+
+// abortLocal wakes this process's blocked ranks (the local half of
+// abort, also entered when a peer process reports failure).
+func (rt *Runtime) abortLocal() {
+	rt.aborted.Store(true)
 	for _, mb := range rt.mailboxes {
-		mb.cond.Broadcast()
+		if mb != nil {
+			mb.cond.Broadcast()
+		}
 	}
 	rt.bump()
 }
@@ -217,8 +235,21 @@ func (rt *Runtime) waitChange(old uint64) {
 }
 
 // setState transitions a rank's state and wakes wildcard matchers.
+// Network transports additionally fold the transition into their
+// stability generation so peer bound-sweeps observe it.
 func (rt *Runtime) setState(rank int, s rankState) {
 	rt.states[rank].Store(int32(s))
+	if rt.anyWaiters.Load() > 0 {
+		rt.bump()
+	}
+	rt.tr.noteState(rank)
+}
+
+// depositLocal enqueues a message for a rank hosted in this process and
+// wakes wildcard matchers; both transport backends route local
+// deliveries through it.
+func (rt *Runtime) depositLocal(dest int, msg message) {
+	rt.mailboxes[dest].deposit(msg)
 	if rt.anyWaiters.Load() > 0 {
 		rt.bump()
 	}
@@ -238,7 +269,7 @@ func (rt *Runtime) setState(rank int, s rankState) {
 // simulation, specialized to the one-hop unblocking chain.
 func (rt *Runtime) lbtsSafe(self int, t vtime.Time) bool {
 	alpha := vtime.Time(rt.model.Alpha)
-	for r := range rt.procs {
+	for _, r := range rt.local {
 		if r == self {
 			continue
 		}
@@ -273,7 +304,9 @@ func (rt *Runtime) lbtsSafe(self int, t vtime.Time) bool {
 			}
 		}
 	}
-	return true
+	// Ranks hosted by other processes are the transport's to bound (the
+	// in-process backend hosts everyone and answers true immediately).
+	return rt.tr.remoteSafe(self, t)
 }
 
 // Proc is the per-rank handle passed to the application body. All of its
@@ -454,17 +487,20 @@ func (c *Comm) Dup() *Comm {
 	c.rawBarrier()
 	var id CommID
 	if c.self == 0 {
-		id = c.p.rt.allocComm()
+		id = c.p.rt.tr.allocComm(1)
 	}
 	id = CommID(c.rawBcastU64(0, uint64(id)))
 	return &Comm{p: c.p, id: id, group: c.group, self: c.self}
 }
 
-func (rt *Runtime) allocComm() CommID {
+// allocLocalComm reserves n consecutive CommIDs from this process's
+// counter. The in-process transport uses it directly; the TCP transport
+// instead asks the rendezvous coordinator so IDs stay world-unique.
+func (rt *Runtime) allocLocalComm(n int) CommID {
 	rt.commMu.Lock()
 	defer rt.commMu.Unlock()
 	id := rt.nextComm
-	rt.nextComm++
+	rt.nextComm += CommID(n)
 	return id
 }
 
@@ -479,8 +515,14 @@ type Config struct {
 	// Obs receives runtime metrics, journal events, and timeline spans
 	// (nil runs unobserved, at zero cost on the hot paths).
 	Obs *obs.Observer
-	// Fault injects crashes and perturbations (nil = none).
+	// Fault injects crashes and perturbations (nil = none). Under a
+	// network transport every process must be built with the same plan
+	// and seed: the shared schedule doubles as the failure detector.
 	Fault *fault.Injector
+	// Transport routes messages between ranks. Nil hosts all P ranks in
+	// this process (the historical behavior); a TCP transport hosts a
+	// slice of the world here and the rest across OS processes.
+	Transport Transport
 }
 
 // Result summarizes a completed run.
@@ -526,9 +568,15 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 	if cfg.Model == zero {
 		cfg.Model = vtime.Default()
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = &inProcTransport{}
+	}
 	rt := &Runtime{
 		p:         cfg.P,
 		model:     cfg.Model,
+		tr:        tr,
+		local:     tr.localRanks(cfg.P),
 		mailboxes: make([]*mailbox, cfg.P),
 		procs:     make([]*Proc, cfg.P),
 		nextComm:  commUserBase,
@@ -544,7 +592,7 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 	for i := range group {
 		group[i] = i
 	}
-	for r := 0; r < cfg.P; r++ {
+	for _, r := range rt.local {
 		rt.mailboxes[r] = newMailbox(&rt.aborted)
 		p := &Proc{
 			rank:    r,
@@ -559,15 +607,19 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 		rt.procs[r] = p
 	}
 	if cfg.Hooks != nil {
-		for _, p := range rt.procs {
+		for _, r := range rt.local {
+			p := rt.procs[r]
 			p.SetInterposer(cfg.Hooks(p))
 		}
+	}
+	if err := tr.start(rt); err != nil {
+		return nil, err
 	}
 
 	var wg sync.WaitGroup
 	panics := make([]any, cfg.P)
 	departed := make([]bool, cfg.P)
-	for r := 0; r < cfg.P; r++ {
+	for _, r := range rt.local {
 		wg.Add(1)
 		go func(p *Proc) {
 			defer wg.Done()
@@ -580,6 +632,7 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 						departed[p.rank] = true
 						rt.progress.Depart(p.rank)
 						rt.setState(p.rank, stateDone)
+						rt.tr.noteDeparted(p.rank)
 						return
 					}
 					panics[p.rank] = e
@@ -622,19 +675,25 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 		}
 	}
 	if firstErr != nil {
+		tr.close()
 		return nil, firstErr
 	}
 	if rt.aborted.Load() {
+		tr.close()
 		return nil, fmt.Errorf("mpi: run aborted")
 	}
 	res := &Result{P: cfg.P, Clocks: make([]vtime.Time, cfg.P), Ledgers: make([]*vtime.Ledger, cfg.P)}
-	for r, p := range rt.procs {
-		res.Clocks[r] = p.Clock.Now()
-		res.Ledgers[r] = p.Ledger
-		if departed[r] {
-			res.Departed = append(res.Departed, r)
-		}
+	for _, r := range rt.local {
+		res.Clocks[r] = rt.procs[r].Clock.Now()
+		res.Ledgers[r] = rt.procs[r].Ledger
 	}
-	res.Makespan = vtime.Duration(res.MaxClock())
+	// The transport completes the picture: the in-process backend owns
+	// every rank already; a network backend exchanges per-rank results
+	// so all processes return the same world-wide Result.
+	res, err := tr.finish(res, departed)
+	tr.close()
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }

@@ -43,10 +43,7 @@ func (c *Comm) rawSend(dest, tag, bytes int, payload any) {
 		msg.seq = c.p.sendSeq
 		msg.sendVT = sendAt
 	}
-	rt.mailboxes[c.worldRank(dest)].deposit(msg)
-	if rt.anyWaiters.Load() > 0 {
-		rt.bump()
-	}
+	rt.tr.deposit(c.worldRank(dest), msg)
 }
 
 // rawRecv blocks until a matching message is available and advances the

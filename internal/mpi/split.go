@@ -2,22 +2,26 @@ package mpi
 
 import "sort"
 
+// splitEntry is one rank's (color, key) contribution to Split's root
+// gather. Package-level (not function-local) so the wire codec can
+// carry it across a network transport.
+type splitEntry struct{ Color, Key, Rank int }
+
 // Split partitions the communicator by color (as MPI_Comm_split): ranks
 // sharing a color form a new communicator, ordered by (key, parent
 // rank). Ranks passing a negative color (MPI_UNDEFINED) receive nil. The
 // call is collective over the parent communicator.
 func (c *Comm) Split(color, key int) *Comm {
-	type entry struct{ Color, Key, Rank int }
 	seq := c.nextSeq()
 	gathered := c.treeGather(0, collTag(c.id, seq, 0), 12,
-		entry{Color: color, Key: key, Rank: c.self})
+		splitEntry{Color: color, Key: key, Rank: c.self})
 
 	// The root computes the group layout and broadcasts it.
 	var layout map[int][]int
 	if c.self == 0 {
-		byColor := map[int][]entry{}
+		byColor := map[int][]splitEntry{}
 		for _, g := range gathered {
-			e := g.(entry)
+			e := g.(splitEntry)
 			if e.Color < 0 {
 				continue
 			}
@@ -44,7 +48,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	// its color to the same identity.
 	var base CommID
 	if c.self == 0 {
-		base = c.p.rt.allocCommN(len(layout))
+		base = c.p.rt.tr.allocComm(len(layout))
 	}
 	base = CommID(c.treeBcast(0, collTag(c.id, seq, 2), 8, uint64(base)).(uint64))
 	if color < 0 {
@@ -68,13 +72,4 @@ func (c *Comm) Split(color, key int) *Comm {
 		}
 	}
 	return nil
-}
-
-// allocCommN reserves n consecutive CommIDs.
-func (rt *Runtime) allocCommN(n int) CommID {
-	rt.commMu.Lock()
-	defer rt.commMu.Unlock()
-	id := rt.nextComm
-	rt.nextComm += CommID(n)
-	return id
 }

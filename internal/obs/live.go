@@ -30,7 +30,12 @@ type Delta struct {
 	Session   string `json:"session"`
 	Benchmark string `json:"benchmark,omitempty"`
 	P         int    `json:"p"`
-	Seq       uint64 `json:"seq"`
+	// Part distinguishes independent shippers feeding one session — the
+	// fleet case, where every rank process ships its own deltas with
+	// its own sequence numbers. Empty for single-process runs; the
+	// server dedups sequence numbers per part.
+	Part string `json:"part,omitempty"`
+	Seq  uint64 `json:"seq"`
 	// SentUnixMs is the sender's wall clock at build time.
 	SentUnixMs int64 `json:"sent_unix_ms"`
 	// Final marks the run's last delta (sent by Stop).
@@ -60,6 +65,12 @@ type ShipperOptions struct {
 	URL string
 	// Session identifies the run; a random ID is generated when empty.
 	Session string
+	// Part labels this shipper within the session (fleet member index);
+	// empty for single-process runs.
+	Part string
+	// Ranks limits the shipped progress board to these world ranks (a
+	// fleet member only speaks for the ranks it hosts); nil ships all.
+	Ranks []int
 	// Benchmark and P label the session on the server.
 	Benchmark string
 	P         int
@@ -243,6 +254,7 @@ func (s *Shipper) build(final bool) Delta {
 		Session:    s.opts.Session,
 		Benchmark:  s.opts.Benchmark,
 		P:          s.opts.P,
+		Part:       s.opts.Part,
 		Seq:        s.seq,
 		SentUnixMs: time.Now().UnixMilli(),
 		Final:      final,
@@ -262,6 +274,21 @@ func (s *Shipper) build(final bool) Delta {
 			d.EventsDropped += uint64(over)
 		}
 		d.Ranks = s.o.Progress.Snapshot()
+		if s.opts.Ranks != nil {
+			// A fleet member only speaks for the ranks it hosts: its
+			// board rows for remote ranks are empty and would clobber
+			// the other members' progress on the server.
+			keep := d.Ranks[:0]
+			for _, rp := range d.Ranks {
+				for _, r := range s.opts.Ranks {
+					if rp.Rank == r {
+						keep = append(keep, rp)
+						break
+					}
+				}
+			}
+			d.Ranks = keep
+		}
 		if d.P == 0 {
 			d.P = s.o.Progress.Ranks()
 		}

@@ -154,9 +154,13 @@ func FetchStats(base, id string) (StatsResponse, error) {
 }
 
 // FetchWaves requests the server-side idle-wave report over a run's
-// edge sidecar.
-func FetchWaves(base, id string) (WavesResponse, error) {
+// edge sidecar. A positive cols asks the server to treat ranks as a
+// row-major cols-wide grid (?cols= query param).
+func FetchWaves(base, id string, cols int) (WavesResponse, error) {
 	url := strings.TrimSuffix(base, "/") + "/runs/" + id + "/waves"
+	if cols > 0 {
+		url += fmt.Sprintf("?cols=%d", cols)
+	}
 	resp, err := httpClient.Get(url)
 	if err != nil {
 		return WavesResponse{}, err

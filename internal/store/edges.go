@@ -97,13 +97,15 @@ func (a *Archive) Edges(id string) ([]obs.Edge, Run, error) {
 	return edges, run, nil
 }
 
-// Waves runs the idle-wave detector over a run's edge sidecar.
-func (a *Archive) Waves(id string) (*wave.Report, Run, error) {
+// Waves runs the idle-wave detector over a run's edge sidecar. A
+// positive cols interprets ranks as a row-major cols-wide grid
+// (Manhattan rank distance) instead of a 1-D chain.
+func (a *Archive) Waves(id string, cols int) (*wave.Report, Run, error) {
 	edges, run, err := a.Edges(id)
 	if err != nil {
 		return nil, Run{}, err
 	}
-	rep, err := wave.Detect(edges, wave.Options{P: run.P, Reg: a.opts.Reg})
+	rep, err := wave.Detect(edges, wave.Options{P: run.P, Cols: cols, Reg: a.opts.Reg})
 	if err != nil {
 		return nil, Run{}, fmt.Errorf("store: waves for %s: %w", run.ID[:12], err)
 	}

@@ -428,7 +428,16 @@ type WavesResponse struct {
 func (s *server) handleWaves(w http.ResponseWriter, r *http.Request) {
 	s.mQueryReqs.Inc()
 	start := time.Now()
-	rep, run, err := s.a.Waves(r.PathValue("id"))
+	cols := 0
+	if v := r.URL.Query().Get("cols"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, "bad cols %q: want a non-negative integer", v)
+			return
+		}
+		cols = n
+	}
+	rep, run, err := s.a.Waves(r.PathValue("id"), cols)
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return

@@ -554,7 +554,7 @@ func TestEdgesAndWavesEndpoints(t *testing.T) {
 		t.Fatalf("fetched %d edges, want %d", len(edges), len(want))
 	}
 
-	waves, err := FetchWaves(srv.URL, id)
+	waves, err := FetchWaves(srv.URL, id, 0)
 	if err != nil {
 		t.Fatalf("FetchWaves: %v", err)
 	}
@@ -563,6 +563,20 @@ func TestEdgesAndWavesEndpoints(t *testing.T) {
 	}
 	if len(waves.Report.Waves) != 1 || waves.Report.Waves[0].OriginRank != 3 {
 		t.Fatalf("server-side detector: %+v", waves.Report.Waves)
+	}
+
+	// ?cols= switches the detector to grid (Manhattan) rank distance;
+	// the report must still come back, and a bad value is a 400.
+	if _, err := FetchWaves(srv.URL, id, 4); err != nil {
+		t.Fatalf("FetchWaves cols=4: %v", err)
+	}
+	resp400, err := http.Get(srv.URL + "/runs/" + id + "/waves?cols=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp400.Body.Close()
+	if resp400.StatusCode != http.StatusBadRequest {
+		t.Fatalf("waves?cols=bogus: %s, want 400", resp400.Status)
 	}
 
 	// Garbage bodies are rejected.

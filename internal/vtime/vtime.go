@@ -225,6 +225,22 @@ func (l *Ledger) Merge(o *Ledger) {
 // Reset zeroes all categories.
 func (l *Ledger) Reset() { l.spent = [numCategories]Duration{} }
 
+// Snapshot returns the per-category spent durations in Category order,
+// for serializing a ledger across process boundaries (fleet result
+// exchange).
+func (l *Ledger) Snapshot() []Duration {
+	out := make([]Duration, numCategories)
+	copy(out, l.spent[:])
+	return out
+}
+
+// Restore overwrites the ledger from a Snapshot slice; extra entries
+// from a newer category set are ignored, missing ones stay zero.
+func (l *Ledger) Restore(s []Duration) {
+	l.spent = [numCategories]Duration{}
+	copy(l.spent[:], s)
+}
+
 // Categories returns the list of ledger categories in display order.
 func Categories() []Category {
 	cats := make([]Category, numCategories)
