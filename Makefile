@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check test test-race test-faults test-store test-live test-transport test-wave test-zan fuzz-trace fuzz-frame bench bench-causal bench-faults bench-refactor bench-store bench-live bench-transport bench-wave bench-zan clean
+.PHONY: all check test test-race test-faults test-store test-live test-transport test-wave test-zan test-fed fuzz-trace fuzz-frame bench bench-causal bench-faults bench-refactor bench-store bench-live bench-transport bench-wave bench-zan bench-fed clean
 
 all: check test
 
@@ -149,8 +149,29 @@ bench-wave:
 	BENCH_WAVE_OUT=$(CURDIR)/BENCH_wave.json $(GO) test -run TestWaveBenchReport -v .
 	$(GO) test -run '^$$' -bench BenchmarkNilWaveCounters -benchmem ./internal/wave/
 
+# test-fed: the federation suite under the race detector — the
+# consistent-hash ring and mesh node units, the continuous-query
+# engine, the in-process 3-peer mesh tests (replication placement,
+# scatter-gather pagination, tenancy/quota/rate limits, conditional
+# GETs, CQ gates, anti-entropy, dead-owner fallback), the concurrent-
+# pusher storm (64 workers under -race, 1024 in plain builds), and the
+# subprocess peer-death e2e (push through A, SIGKILL B, byte-identical
+# reads from the survivors, sweep-repaired B after restart).
+test-fed:
+	$(GO) test -race ./internal/mesh/ ./internal/cq/
+	$(GO) test -race -run 'TestFed' ./internal/store/
+	$(GO) test -race -run 'TestFedPeerDeathAndAntiEntropyRecovery' -v .
+
+# bench-fed: price federated ingest against a single unfederated peer
+# (same traces, same HTTP edge); writes BENCH_fed.json with the
+# replication overhead ratio, warm fan-out cost, and scatter-gather
+# list latency on a 3-peer R=2 mesh.
+bench-fed:
+	BENCH_FED_OUT=$(CURDIR)/BENCH_fed.json $(GO) test -run TestFedBenchReport -v -timeout 20m .
+
 clean:
 	rm -f BENCH_obs.json BENCH_causal.json BENCH_fault.json \
 		BENCH_refactor.json BENCH_store.json BENCH_live.json \
 		BENCH_zan.json BENCH_wave.json BENCH_transport.json \
+		BENCH_fed.json \
 		chameleon.journal.jsonl chameleon.trace.json chameleon.edges.jsonl

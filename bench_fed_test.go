@@ -1,0 +1,161 @@
+package chameleon_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"chameleon/internal/mesh"
+	"chameleon/internal/store"
+	"chameleon/internal/trace"
+)
+
+// startBenchFleet brings up n federated chamd peers in-process: each
+// gets its own archive and mesh node, all on pre-reserved loopback
+// ports so every peer knows the full membership before any of them
+// serves. n=1 starts a plain unfederated server — the baseline the
+// replication overhead is priced against.
+func startBenchFleet(tb testing.TB, n, replicas int) []string {
+	tb.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	for i := range lns {
+		a, err := store.Open(tb.TempDir(), store.Options{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { a.Close() })
+		var node *mesh.Node
+		if n > 1 {
+			node, err = mesh.NewNode(mesh.Options{Self: urls[i], Peers: urls, Replicas: replicas})
+			if err != nil {
+				tb.Fatal(err)
+			}
+		}
+		srv := httptest.NewUnstartedServer(store.NewServer(a, store.ServerOptions{Mesh: node}))
+		srv.Listener.Close()
+		srv.Listener = lns[i]
+		srv.Start()
+		tb.Cleanup(srv.Close)
+	}
+	return urls
+}
+
+// benchFedIngestOnce prices cold ingest through the HTTP edge: every
+// iteration pushes a distinct run (the benchmark label is varied so
+// the content address never repeats). With peers>1 each PUT fans out
+// to R owners; the ratio against peers=1 is the replication overhead.
+func benchFedIngestOnce(files []*trace.File, peers, replicas int, label string) func(b *testing.B) {
+	return func(b *testing.B) {
+		urls := startBenchFleet(b, peers, replicas)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := files[i%len(files)]
+			f.Benchmark = fmt.Sprintf("%s-%d", label, i)
+			if _, _, err := store.Push(urls[i%len(urls)], f, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchFedDedupOnce prices the warm fan-out: a re-push of an archived
+// run stops at the content address on every owner.
+func benchFedDedupOnce(files []*trace.File, peers, replicas int) func(b *testing.B) {
+	return func(b *testing.B) {
+		urls := startBenchFleet(b, peers, replicas)
+		for i := range files {
+			files[i].Benchmark = fmt.Sprintf("FEDWARM-%d", i)
+			if _, _, err := store.Push(urls[0], files[i], false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := store.Push(urls[i%len(urls)], files[i%len(files)], false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchFedScatterListOnce prices the scatter-gather listing over a
+// populated 3-peer mesh: the queried edge merges every peer's page.
+func benchFedScatterListOnce(files []*trace.File, peers, replicas int) func(b *testing.B) {
+	return func(b *testing.B) {
+		urls := startBenchFleet(b, peers, replicas)
+		for i := 0; i < 48; i++ {
+			f := files[i%len(files)]
+			f.Benchmark = fmt.Sprintf("FEDLIST-%d", i)
+			if _, _, err := store.Push(urls[i%len(urls)], f, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lr, err := store.FetchRuns(urls[i%len(urls)], "", 100, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if lr.Total != 48 {
+				b.Fatalf("scatter list sees %d runs, want 48", lr.Total)
+			}
+		}
+	}
+}
+
+// TestFedBenchReport writes BENCH_fed.json when BENCH_FED_OUT names a
+// path (`make bench-fed`): single-peer vs 3-peer ingest throughput
+// through the HTTP edge, the replication overhead ratio that separates
+// them, warm fan-out cost, and scatter-gather list latency.
+func TestFedBenchReport(t *testing.T) {
+	path := os.Getenv("BENCH_FED_OUT")
+	if path == "" {
+		t.Skip("set BENCH_FED_OUT=BENCH_fed.json to write the report")
+	}
+
+	files := benchArchiveTraces(t)
+	bench := func(name string, fn func(b *testing.B)) int64 {
+		r := testing.Benchmark(fn)
+		t.Logf("%s: %d ns/op", name, r.NsPerOp())
+		return r.NsPerOp()
+	}
+
+	single := bench("single ingest", benchFedIngestOnce(files, 1, 0, "FEDBASE"))
+	fed := bench("3-peer ingest", benchFedIngestOnce(files, 3, 2, "FEDMESH"))
+	report := map[string]any{
+		"workload":               "BT/LU/SP/CG class D traces, 16 ranks, pushed through the HTTP edge",
+		"peers":                  3,
+		"replicas":               2,
+		"single_ingest_ns_op":    single,
+		"fed_ingest_ns_op":       fed,
+		"replication_overhead":   float64(fed) / float64(single),
+		"fed_dedup_ns_op":        bench("3-peer dedup", benchFedDedupOnce(files, 3, 2)),
+		"fed_scatter_list_ns_op": bench("3-peer scatter list", benchFedScatterListOnce(files, 3, 2)),
+		"fed_single_list_ns_op":  bench("single list", benchFedScatterListOnce(files, 1, 0)),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	t.Logf("wrote %s", path)
+}

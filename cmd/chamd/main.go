@@ -9,18 +9,41 @@
 // Endpoints:
 //
 //	PUT  /runs                            ingest a trace (idempotent; ETag = content address)
-//	GET  /runs                            list runs (benchmark=, p=, sig=, sigset=, limit=, offset=)
+//	GET  /runs                            list runs (benchmark=, p=, sig=, sigset=, limit=, offset=; default page 100, cap 500, "next" = following offset)
 //	GET  /runs/{id}                       fetch one run (binary, or ?format=json)
 //	GET  /runs/{a}/diff/{b}               per-site divergence between two archived runs
+//	GET  /runs/{id}/stats                 compressed-domain analysis report (ETag/If-None-Match)
 //	PUT  /runs/{id}/edges                 attach a causal edge sidecar (chamrun -push-edges)
 //	GET  /runs/{id}/edges                 fetch a run's edge sidecar (JSONL)
-//	GET  /runs/{id}/waves                 idle-wave detector report over the sidecar
+//	GET  /runs/{id}/waves                 idle-wave detector report over the sidecar (ETag/If-None-Match)
+//	PUT  /cq                              register a continuous-query regression gate
+//	GET  /cq                              list this tenant's gates (?all=1 intra-mesh)
+//	DELETE /cq/{name}                     unregister a gate
+//	GET  /cq/events                       the gate event feed (?version= long-polls)
+//	POST /cq/events                       intra-mesh event broadcast (forwarded only; 403 at the edge)
+//	GET  /mesh/manifest                   this peer's local holdings (anti-entropy)
+//	GET  /mesh/status                     ring membership + per-tenant usage
+//	POST /mesh/sweep                      trigger one anti-entropy sweep now
 //	POST /live/sessions/{id}/deltas       ingest live telemetry deltas (chamrun -live)
 //	GET  /live/sessions                   list in-flight sessions
 //	GET  /live/sessions/{id}              one session's current view (?metrics=1)
 //	GET  /live/sessions/{id}/watch        long-poll for the next version (chamtop -follow)
 //	GET  /metrics                         Prometheus text (with -metrics; JSON via Accept)
 //	GET  /healthz                         liveness probe
+//
+// Federation (docs/STORE.md, "Federation"): starting several daemons
+// with the same -peers list (each naming itself via -self) makes them
+// one logical archive — every run is placed on -replicas owners by
+// consistent hashing over its content address, PUT fans out, GET
+// proxies, GET /runs scatter-gathers, and anti-entropy sweeps (ridden
+// on background compaction, or extra via -anti-entropy-every) repair
+// any peer that missed writes while down. Requests are namespaced per
+// tenant (X-Cham-Tenant header; tools take -tenant), with optional
+// per-tenant storage quotas (-tenant-quota-mb) and token-bucket rate
+// limits (-rate-limit/-rate-burst); either breach answers 429 +
+// Retry-After at the edge. Continuous queries (PUT /cq) gate every ingest of a benchmark
+// against a golden run via the chamstat diff engine and append
+// regression/ok events to a long-pollable per-tenant feed.
 //
 // Producers push with `chamrun ... -push http://host:8321`; the analysis
 // tools (chamstat, chamdump, chamreplay, chamextrap) accept
@@ -50,9 +73,14 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"chameleon/internal/cq"
+	"chameleon/internal/mesh"
 	"chameleon/internal/obs"
 	"chameleon/internal/store"
 )
@@ -70,6 +98,14 @@ func main() {
 	liveTTL := flag.Duration("live-ttl", 10*time.Minute, "live sessions: drop sessions idle longer than this")
 	liveDesync := flag.Duration("live-desync", time.Millisecond, "live sessions: window-arrival skew before a contiguous rank band is flagged desynchronized (negative = disable)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this side address")
+	peers := flag.String("peers", "", "comma-separated peer URLs forming a federated mesh (must include -self)")
+	self := flag.String("self", "", "this peer's own URL as listed in -peers")
+	replicas := flag.Int("replicas", 2, "mesh replication factor R (clamped to the peer count)")
+	antiEntropyEvery := flag.Duration("anti-entropy-every", 0, "extra anti-entropy sweep period (0 = sweep only with background compaction)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-tenant request rate limit in req/s (0 = unlimited; breaches get 429 + Retry-After)")
+	rateBurst := flag.Int("rate-burst", 0, "per-tenant rate-limit burst (default: the rate)")
+	tenantQuotaMB := flag.Int64("tenant-quota-mb", 0, "per-tenant storage quota in MiB of raw trace bytes (0 = unlimited)")
+	cqFile := flag.String("cq-file", "", "persist continuous-query registrations to this JSON file (default: <dir>/cq.json)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -83,16 +119,69 @@ func main() {
 		journal = obs.NewJournal(jf)
 	}
 
-	archive, err := store.Open(*dir, store.Options{
+	// Federation: a -peers list turns this daemon into one peer of a
+	// consistent-hash mesh (docs/STORE.md, "Federation").
+	var node *mesh.Node
+	if *peers != "" {
+		if *self == "" {
+			fatal("-peers requires -self")
+		}
+		n, err := mesh.NewNode(mesh.Options{
+			Self:     *self,
+			Peers:    strings.Split(*peers, ","),
+			Replicas: *replicas,
+			Reg:      reg,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		node = n
+	}
+
+	// sweep is installed once the archive and CQ engine exist; the
+	// background compactor may tick before then.
+	var sweep atomic.Value // of func()
+	storeOpts := store.Options{
 		Gzip:         *gzipSegs,
+		QuotaBytes:   *tenantQuotaMB << 20,
 		Reg:          reg,
 		Journal:      journal,
 		CompactEvery: *compactEvery,
-	})
+	}
+	if node != nil {
+		// Anti-entropy rides the compaction cadence: converge placement
+		// in the same breath that reclaims orphans.
+		storeOpts.OnCompact = func() {
+			if f, ok := sweep.Load().(func()); ok {
+				f()
+			}
+		}
+	}
+	archive, err := store.Open(*dir, storeOpts)
 	if err != nil {
 		fatal("%v", err)
 	}
 	defer archive.Close()
+
+	cqPath := *cqFile
+	if cqPath == "" {
+		cqPath = filepath.Join(*dir, "cq.json")
+	}
+	engine, err := cq.New(cq.Options{
+		Lookup:  store.FedLookup(archive, node),
+		Persist: cqPath,
+		Origin:  *self,
+		OnEvent: store.BroadcastCQEvents(node),
+		Reg:     reg,
+	})
+	if err != nil {
+		fatal("cq: %v", err)
+	}
+	if node != nil {
+		sweep.Store(func() {
+			node.Sweep(archive.MeshTarget(), engine) //nolint:errcheck — next sweep retries
+		})
+	}
 
 	live := store.NewLive(store.LiveOptions{
 		HeartbeatTimeout: *liveHeartbeat,
@@ -107,7 +196,21 @@ func main() {
 		Metrics:        *metrics,
 		Reg:            reg,
 		Live:           live,
+		Mesh:           node,
+		CQ:             engine,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
 	})
+
+	if node != nil && *antiEntropyEvery > 0 {
+		ticker := time.NewTicker(*antiEntropyEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				node.Sweep(archive.MeshTarget(), engine) //nolint:errcheck — next sweep retries
+			}
+		}()
+	}
 
 	if *debugAddr != "" {
 		// pprof registers on the default mux, which the main server's own

@@ -22,7 +22,11 @@ import (
 func main() {
 	stats := flag.Bool("stats", false, "print summary statistics (compression ratio, per-window node counts) only")
 	sites := flag.Bool("sites", false, "print the interned call-site table and exit")
+	tenant := flag.String("tenant", "", "namespace requests to this archive tenant (X-Cham-Tenant header)")
 	flag.Parse()
+	if *tenant != "" {
+		store.SetTenant(*tenant)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: chamdump [-stats] [-sites] trace-file")
 		os.Exit(2)

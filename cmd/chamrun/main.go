@@ -124,7 +124,11 @@ func main() {
 	join := flag.String("join", "", "tcp transport: rendezvous address (bind-or-dial; every fleet member passes the same address)")
 	ranks := flag.String("ranks", "", `tcp transport: inclusive world-rank range hosted by this process ("lo..hi" or a single rank)`)
 	crashExit := flag.Bool("crash-exit", true, "tcp transport: kill this process once all its ranks crash-stop (survivors journal the loss and fail over)")
+	tenant := flag.String("tenant", "", "namespace requests to this archive tenant (X-Cham-Tenant header)")
 	flag.Parse()
+	if *tenant != "" {
+		store.SetTenant(*tenant)
+	}
 
 	if *pushEdges && (*push == "" || !*causalFlag) {
 		fatal("push-edges: requires both -causal and -push")

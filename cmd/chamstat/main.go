@@ -82,7 +82,11 @@ func main() {
 	tolerate := flag.String("tolerate-ranks", "", `with -diff: exclude these ranks ("0,5-7" set grammar, or "auto" = the traces' retired ranks)`)
 	waves := flag.Bool("waves", false, "idle-wave summary over a causal edge file or a run URL's edge sidecar")
 	cols := flag.Int("cols", 0, "with -waves: treat ranks as a row-major grid this many columns wide (0 = 1-D chain)")
+	tenant := flag.String("tenant", "", "namespace requests to this archive tenant (X-Cham-Tenant header)")
 	flag.Parse()
+	if *tenant != "" {
+		store.SetTenant(*tenant)
+	}
 
 	if *waves {
 		if flag.NArg() != 1 {

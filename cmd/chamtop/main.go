@@ -80,7 +80,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       chamtop -waves -edges edges-ref [-p n] [-bins n] [-cols n]")
 		flag.PrintDefaults()
 	}
+	tenant := flag.String("tenant", "", "namespace requests to this archive tenant (X-Cham-Tenant header)")
 	flag.Parse()
+	if *tenant != "" {
+		store.SetTenant(*tenant)
+	}
 
 	if *follow != "" {
 		followLive(*follow, *session, *once, *pollTimeout)

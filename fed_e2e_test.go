@@ -1,0 +1,321 @@
+// Federated-archive e2e: three genuine chamd-like OS processes form a
+// consistent-hash mesh (R=2) over real sockets. The acceptance
+// scenario is peer death — push runs through peer A, SIGKILL peer B,
+// and every run must still read byte-identical from the survivors;
+// restart B and one anti-entropy sweep must restore its share of the
+// ring, including its persisted continuous-query registrations.
+package chameleon_test
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"chameleon/internal/cq"
+	"chameleon/internal/mesh"
+	"chameleon/internal/mpi"
+	"chameleon/internal/ranklist"
+	"chameleon/internal/sig"
+	"chameleon/internal/store"
+	"chameleon/internal/trace"
+)
+
+// Re-exec plumbing: TestFedPeerChild is the body of a child chamd
+// process (archive + mesh + CQ engine + HTTP server), gated behind an
+// env var so a plain `go test` never runs it. It serves until killed.
+const (
+	fedChildEnv   = "CHAMELEON_FED_CHILD"
+	fedChildDir   = "CHAMELEON_FED_DIR"
+	fedChildSelf  = "CHAMELEON_FED_SELF"
+	fedChildPeers = "CHAMELEON_FED_PEERS"
+)
+
+func TestFedPeerChild(t *testing.T) {
+	if os.Getenv(fedChildEnv) == "" {
+		t.Skip("fed peer child helper; driven by the subprocess tests")
+	}
+	dir := os.Getenv(fedChildDir)
+	self := os.Getenv(fedChildSelf)
+	a, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	node, err := mesh.NewNode(mesh.Options{
+		Self:     self,
+		Peers:    strings.Split(os.Getenv(fedChildPeers), ","),
+		Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cq.New(cq.Options{
+		Lookup:  store.FedLookup(a, node),
+		Persist: filepath.Join(dir, "cq.json"),
+		Origin:  self,
+		OnEvent: store.BroadcastCQEvents(node),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", strings.TrimPrefix(self, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := store.NewServer(a, store.ServerOptions{Mesh: node, CQ: eng})
+	(&http.Server{Handler: handler}).Serve(ln) //nolint:errcheck — killed by the parent
+}
+
+// spawnFedPeer re-execs the test binary as one federated peer.
+func spawnFedPeer(t *testing.T, dir, self, peers string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestFedPeerChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		fedChildEnv+"=1", fedChildDir+"="+dir, fedChildSelf+"="+self, fedChildPeers+"="+peers)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill() //nolint:errcheck — may already be dead
+		cmd.Wait()         //nolint:errcheck
+		if t.Failed() && buf.Len() > 0 {
+			t.Logf("peer %s output:\n%s", self, buf.String())
+		}
+	})
+	return cmd
+}
+
+func waitHealthy(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("peer %s never became healthy", url)
+}
+
+// fedHTTP issues one request with optional mesh-forward (strictly
+// local) and tenant headers.
+func fedHTTP(t *testing.T, method, url string, body []byte, local bool) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local {
+		req.Header.Set(mesh.HeaderForward, mesh.ForwardFanout)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+// variantOf decodes a fresh copy of a canonical trace and perturbs one
+// leaf's timing histogram: a new content address, same structure.
+func variantOf(t *testing.T, canon []byte, i int64) *trace.File {
+	t.Helper()
+	f, err := trace.ReadAny(bytes.NewReader(canon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaf func(ns []*trace.Node) *trace.Node
+	leaf = func(ns []*trace.Node) *trace.Node {
+		for _, n := range ns {
+			if n.Delta != nil {
+				return n
+			}
+			if got := leaf(n.Body); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	l := leaf(f.Nodes)
+	if l == nil {
+		t.Fatal("trace has no leaves")
+	}
+	l.Delta.Add(10_000 + i)
+	return f
+}
+
+func TestFedPeerDeathAndAntiEntropyRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+
+	// Reserve three ports, then start three peers on them.
+	urls := make([]string, 3)
+	dirs := make([]string, 3)
+	for i := range urls {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		urls[i] = "http://" + ln.Addr().String()
+		ln.Close()
+		dirs[i] = t.TempDir()
+	}
+	peerList := strings.Join(urls, ",")
+	procs := make([]*exec.Cmd, 3)
+	for i := range urls {
+		procs[i] = spawnFedPeer(t, dirs[i], urls[i], peerList)
+	}
+	for _, u := range urls {
+		waitHealthy(t, u)
+	}
+
+	// Push six distinct runs through peer A: one real benchmark trace
+	// plus timing-perturbed variants (new content addresses, same
+	// structure).
+	base := runTrace(t, "STENCIL", "A", 8)
+	baseCanon, _, err := store.Encode(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canons := map[string][]byte{}
+	var ids []string
+	push := func(via string, f *trace.File) string {
+		t.Helper()
+		canon, id, err := store.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, body := fedHTTP(t, http.MethodPut, via+"/runs", canon, false)
+		if code != http.StatusOK && code != http.StatusCreated {
+			t.Fatalf("PUT via %s: %d: %s", via, code, body)
+		}
+		canons[id] = canon
+		return id
+	}
+	ids = append(ids, push(urls[0], base))
+	for i := int64(1); i < 6; i++ {
+		ids = append(ids, push(urls[0], variantOf(t, baseCanon, i)))
+	}
+
+	// Arm a continuous-query gate against the first run; it fans out
+	// now and must survive B's death via its persisted registration.
+	if _, err := store.RegisterCQ(urls[0], cq.Spec{Name: "gate", Golden: ids[0]}); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL peer B mid-fleet.
+	if err := procs[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[1].Wait() //nolint:errcheck — killed on purpose
+
+	// Acceptance: every run reads byte-identical from both survivors,
+	// whether the replica is local or proxied from the other survivor.
+	for _, id := range ids {
+		for _, u := range []string{urls[0], urls[2]} {
+			code, body := fedHTTP(t, http.MethodGet, u+"/runs/"+id, nil, false)
+			if code != http.StatusOK {
+				t.Fatalf("run %s via %s with B dead: %d", id[:12], u, code)
+			}
+			if !bytes.Equal(body, canons[id]) {
+				t.Fatalf("run %s via %s: not byte-identical (%d vs %d bytes)",
+					id[:12], u, len(body), len(canons[id]))
+			}
+		}
+	}
+
+	// Writes keep landing while B is down.
+	for i := int64(6); i < 9; i++ {
+		ids = append(ids, push(urls[0], variantOf(t, baseCanon, i)))
+	}
+
+	// Restart B on the same port and directory; one sweep per peer
+	// converges the ring (B pulls what it missed, the survivors pull
+	// anything that landed off-ring while the fleet was degraded).
+	procs[1] = spawnFedPeer(t, dirs[1], urls[1], peerList)
+	waitHealthy(t, urls[1])
+	for _, u := range []string{urls[1], urls[0], urls[2]} {
+		if _, err := store.TriggerSweep(u); err != nil {
+			t.Fatalf("sweep %s: %v", u, err)
+		}
+	}
+
+	// Placement is whole again: each run's R=2 owners serve it locally.
+	ring, err := mesh.NewRing(urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		for _, owner := range ring.Owners(id, 2) {
+			code, body := fedHTTP(t, http.MethodGet, owner+"/runs/"+id, nil, true)
+			if code != http.StatusOK {
+				t.Fatalf("owner %s lacks run %s after recovery: %d", owner, id[:12], code)
+			}
+			if !bytes.Equal(body, canons[id]) {
+				t.Fatalf("owner %s run %s: bytes diverged after repair", owner, id[:12])
+			}
+		}
+	}
+
+	// The gate survived the crash: push a structural drift (one extra
+	// call site) through peer C and catch the regression on peer A's
+	// long-poll feed — wherever the primary owner is, the event
+	// broadcasts fleet-wide.
+	drift := variantOf(t, baseCanon, 99)
+	extra := trace.Event{Op: mpi.OpSend, Stack: sig.Stack(sig.Mix(0xfed)), Dest: trace.Relative(1), Tag: 3, Bytes: 64}
+	drift.Nodes = append(drift.Nodes, trace.NewLeaf(extra, ranklist.FromRanks([]int{0}), 777))
+	driftID := push(urls[2], drift)
+
+	feed, err := store.FetchCQFeed(urls[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range feed.Events {
+		if ev.Run == driftID {
+			found = true
+			if ev.Verdict != cq.VerdictRegression {
+				t.Fatalf("drifted run gated %q (%s)", ev.Verdict, ev.Reason)
+			}
+			if ev.Golden != ids[0] {
+				t.Fatalf("gate resolved golden %q, want %s", ev.Golden, ids[0])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no gate event for the drifted run %s in A's feed: %+v", driftID[:12], feed.Events)
+	}
+
+	// And the fleet agrees on what it holds: 2 copies of every run.
+	total := 0
+	for _, u := range urls {
+		st, err := store.FetchMeshStatus(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Runs
+	}
+	if want := 2 * len(canons); total != want {
+		t.Fatalf("fleet holds %d copies of %d runs after recovery, want %d", total, len(canons), want)
+	}
+}

@@ -1,0 +1,568 @@
+// Package cq is the continuous-query engine: standing "compare every
+// ingest of benchmark B at P against golden run G" registrations that
+// turn the archive's server-side diff into a CI regression gate.
+//
+// A Spec names a tenant-scoped query; on every matching ingest the
+// owning peer diffs the new run against the golden (the same
+// analysis.CompareWith engine behind chamstat -diff and GET
+// /runs/{a}/diff/{b}) and appends an "ok" or "regression" Event to the
+// tenant's feed. Feeds carry a version counter with long-poll Watch —
+// the store.Live idiom — so `chamrun -push` plus one registered query
+// and one watcher is a complete regression gate: push, watch, exit
+// non-zero on "regression".
+//
+// Tolerance has two axes: Tolerate excludes ranks from both sides of
+// the diff ("auto" = the union of retired/crashed ranks, or an explicit
+// rank-set like "1,3-5"), and MaxEventDelta forgives per-rank and
+// per-site dynamic event-count drift up to an absolute bound. Call
+// sites present on one side only are never forgiven — a new or vanished
+// code path is always a regression.
+package cq
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"chameleon/internal/analysis"
+	"chameleon/internal/fault"
+	"chameleon/internal/obs"
+	"chameleon/internal/trace"
+)
+
+// Verdicts.
+const (
+	VerdictOK         = "ok"
+	VerdictRegression = "regression"
+)
+
+// Spec is one registered continuous query.
+type Spec struct {
+	// Tenant scopes the query; the HTTP layer fills it from the
+	// X-Cham-Tenant header.
+	Tenant string `json:"tenant"`
+	// Name identifies the query within its tenant; PUT /cq with an
+	// existing name replaces the registration.
+	Name string `json:"name"`
+	// Benchmark matches ingests by trace benchmark name ("" matches
+	// every benchmark).
+	Benchmark string `json:"benchmark,omitempty"`
+	// P matches ingests by rank count (0 matches any).
+	P int `json:"p,omitempty"`
+	// Golden is the reference run: a content address or unique prefix
+	// that must resolve in the mesh.
+	Golden string `json:"golden"`
+	// Tolerate excludes ranks from the diff: "", "auto" (retired ranks
+	// of either side), or an explicit rank-set ("1,3-5").
+	Tolerate string `json:"tolerate,omitempty"`
+	// MaxEventDelta forgives per-rank and per-site dynamic event count
+	// drift up to this absolute bound (0 = exact).
+	MaxEventDelta int64 `json:"max_event_delta,omitempty"`
+	// UpdatedUnixMs stamps the registration; anti-entropy merges keep
+	// the newest.
+	UpdatedUnixMs int64 `json:"updated_unix_ms,omitempty"`
+}
+
+// Validate checks the registration fields that do not need the archive.
+func (s Spec) Validate() error {
+	if s.Name == "" || len(s.Name) > 64 {
+		return fmt.Errorf("cq: name must be 1-64 chars")
+	}
+	for _, c := range s.Name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("cq: name contains %q (allowed: [A-Za-z0-9._-])", c)
+		}
+	}
+	if s.Golden == "" {
+		return fmt.Errorf("cq: golden run reference is required")
+	}
+	if s.MaxEventDelta < 0 {
+		return fmt.Errorf("cq: max_event_delta must be >= 0")
+	}
+	if s.Tolerate != "" && s.Tolerate != "auto" {
+		if _, err := fault.ParseRankSet(s.Tolerate); err != nil {
+			return fmt.Errorf("cq: tolerate: %w", err)
+		}
+	}
+	return nil
+}
+
+// Event is one gate evaluation appended to a tenant feed.
+type Event struct {
+	// ID is unique across the mesh (origin peer + sequence); peers
+	// receiving a broadcast event dedup on it.
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	CQ       string `json:"cq"`
+	Run      string `json:"run"`
+	Golden   string `json:"golden"`
+	Verdict  string `json:"verdict"`
+	Reason   string `json:"reason,omitempty"`
+	AtUnixMs int64  `json:"at_unix_ms"`
+}
+
+// FeedView is the watcher-facing snapshot of one tenant's feed.
+type FeedView struct {
+	Tenant  string  `json:"tenant"`
+	Version uint64  `json:"version"`
+	Events  []Event `json:"events"`
+}
+
+// Lookup resolves a golden run reference into its decoded trace and
+// full content address — locally or, under federation, from whichever
+// peer owns it.
+type Lookup func(tenant, id string) (*trace.File, string, error)
+
+// Options configures an Engine.
+type Options struct {
+	// Lookup resolves golden runs (required for Evaluate).
+	Lookup Lookup
+	// Persist, when non-empty, saves registrations to this JSON file
+	// (atomic write) and loads them at New.
+	Persist string
+	// Origin prefixes event IDs (the peer's own URL under federation).
+	Origin string
+	// MaxEvents bounds each tenant feed (default 256).
+	MaxEvents int
+	// OnEvent, when non-nil, observes every locally generated event
+	// (the federation layer broadcasts them to peers).
+	OnEvent func(Event)
+	// Now overrides the clock (tests).
+	Now func() time.Time
+	// Reg receives cq_* metrics.
+	Reg *obs.Registry
+}
+
+type feed struct {
+	version uint64
+	events  []Event
+	seen    map[string]bool
+	changed chan struct{}
+}
+
+// Engine holds the registrations and per-tenant event feeds of one
+// peer. All methods are safe for concurrent use.
+type Engine struct {
+	mu    sync.Mutex
+	opts  Options
+	specs map[string]map[string]*Spec // tenant -> name -> spec
+	feeds map[string]*feed
+	seq   uint64
+	nonce int64
+
+	mEvals, mRegressions, mEvents *obs.Counter
+	gSpecs                        *obs.Gauge
+}
+
+// New builds an engine, loading persisted registrations if Persist
+// names an existing file.
+func New(opts Options) (*Engine, error) {
+	if opts.MaxEvents <= 0 {
+		opts.MaxEvents = 256
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.Origin == "" {
+		opts.Origin = "local"
+	}
+	e := &Engine{
+		opts:         opts,
+		specs:        map[string]map[string]*Spec{},
+		feeds:        map[string]*feed{},
+		nonce:        opts.Now().UnixNano(),
+		mEvals:       opts.Reg.Counter("cq_evaluations"),
+		mRegressions: opts.Reg.Counter("cq_regressions"),
+		mEvents:      opts.Reg.Counter("cq_events"),
+		gSpecs:       opts.Reg.Gauge("cq_specs"),
+	}
+	if opts.Persist != "" {
+		data, err := os.ReadFile(opts.Persist)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("cq: load %s: %w", opts.Persist, err)
+		}
+		if err == nil {
+			var specs []Spec
+			if err := json.Unmarshal(data, &specs); err != nil {
+				return nil, fmt.Errorf("cq: load %s: %w", opts.Persist, err)
+			}
+			for i := range specs {
+				s := specs[i]
+				e.putLocked(&s)
+			}
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) putLocked(s *Spec) {
+	t := e.specs[s.Tenant]
+	if t == nil {
+		t = map[string]*Spec{}
+		e.specs[s.Tenant] = t
+	}
+	t[s.Name] = s
+}
+
+func (e *Engine) countLocked() int {
+	n := 0
+	for _, t := range e.specs {
+		n += len(t)
+	}
+	return n
+}
+
+// persistLocked writes the full registration set atomically. Callers
+// hold e.mu.
+func (e *Engine) persistLocked() error {
+	if e.opts.Persist == "" {
+		return nil
+	}
+	specs := e.allLocked()
+	data, err := json.MarshalIndent(specs, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(e.opts.Persist)
+	tmp, err := os.CreateTemp(dir, "cq-*")
+	if err != nil {
+		return fmt.Errorf("cq: persist: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("cq: persist: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("cq: persist: %w", err)
+	}
+	if err := os.Rename(name, e.opts.Persist); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("cq: persist: %w", err)
+	}
+	return nil
+}
+
+// Register adds or replaces a registration (idempotent by tenant+name)
+// and returns the stored spec with its update stamp.
+func (e *Engine) Register(s Spec) (Spec, error) {
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.UpdatedUnixMs == 0 {
+		s.UpdatedUnixMs = e.opts.Now().UnixMilli()
+	}
+	e.putLocked(&s)
+	e.gSpecs.Set(int64(e.countLocked()))
+	if err := e.persistLocked(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Delete removes a registration.
+func (e *Engine) Delete(tenant, name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.specs[tenant]
+	if t == nil || t[name] == nil {
+		return fmt.Errorf("cq: query %q not found", name)
+	}
+	delete(t, name)
+	if len(t) == 0 {
+		delete(e.specs, tenant)
+	}
+	e.gSpecs.Set(int64(e.countLocked()))
+	return e.persistLocked()
+}
+
+// List returns one tenant's registrations, sorted by name.
+func (e *Engine) List(tenant string) []Spec {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Spec, 0, len(e.specs[tenant]))
+	for _, s := range e.specs[tenant] {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// All returns every registration across tenants (the anti-entropy sync
+// payload), sorted by tenant then name.
+func (e *Engine) All() []Spec {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.allLocked()
+}
+
+func (e *Engine) allLocked() []Spec {
+	var out []Spec
+	for _, t := range e.specs {
+		for _, s := range t {
+			out = append(out, *s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Name < out[j].Name
+	})
+	if out == nil {
+		out = []Spec{}
+	}
+	return out
+}
+
+// Merge folds peer registrations in, newest update stamp winning.
+// Invalid specs are skipped. It returns how many local registrations
+// changed.
+func (e *Engine) Merge(specs []Spec) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	merged := 0
+	for i := range specs {
+		s := specs[i]
+		if s.Validate() != nil {
+			continue
+		}
+		cur := e.specs[s.Tenant][s.Name]
+		if cur != nil && cur.UpdatedUnixMs >= s.UpdatedUnixMs {
+			continue
+		}
+		e.putLocked(&s)
+		merged++
+	}
+	if merged > 0 {
+		e.gSpecs.Set(int64(e.countLocked()))
+		e.persistLocked() //nolint:errcheck — best-effort sync persistence
+	}
+	return merged
+}
+
+// Evaluate runs every registration matching an ingested run and
+// returns the events appended (nil when nothing matched). The
+// federation layer calls it on the run's primary owner only.
+func (e *Engine) Evaluate(tenant, runID string, f *trace.File) []Event {
+	e.mu.Lock()
+	var matched []Spec
+	for _, s := range e.specs[tenant] {
+		if s.Benchmark != "" && s.Benchmark != f.Benchmark {
+			continue
+		}
+		if s.P != 0 && s.P != f.P {
+			continue
+		}
+		matched = append(matched, *s)
+	}
+	e.mu.Unlock()
+	if len(matched) == 0 {
+		return nil
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].Name < matched[j].Name })
+
+	var out []Event
+	for _, s := range matched {
+		e.mEvals.Inc()
+		ev := e.evaluateOne(tenant, runID, f, s)
+		if ev.Verdict == VerdictRegression {
+			e.mRegressions.Inc()
+		}
+		out = append(out, e.appendLocal(ev))
+	}
+	return out
+}
+
+func (e *Engine) evaluateOne(tenant, runID string, f *trace.File, s Spec) Event {
+	ev := Event{
+		Tenant: tenant, CQ: s.Name, Run: runID, Golden: s.Golden,
+		AtUnixMs: e.opts.Now().UnixMilli(),
+	}
+	golden, goldenID, err := e.opts.Lookup(tenant, s.Golden)
+	if err != nil {
+		ev.Verdict = VerdictRegression
+		ev.Reason = fmt.Sprintf("golden run unavailable: %v", err)
+		return ev
+	}
+	ev.Golden = goldenID
+	if goldenID == runID {
+		ev.Verdict = VerdictOK
+		ev.Reason = "identical content address"
+		return ev
+	}
+	tol, err := tolerated(s.Tolerate, f, golden)
+	if err != nil {
+		ev.Verdict = VerdictRegression
+		ev.Reason = err.Error()
+		return ev
+	}
+	d := analysis.CompareWith(f, golden, analysis.CompareOpts{TolerateRanks: tol})
+	if within(d, s.MaxEventDelta) {
+		ev.Verdict = VerdictOK
+		if !d.Equivalent() {
+			ev.Reason = fmt.Sprintf("within tolerance (max event delta %d): %s", s.MaxEventDelta, d.Reason())
+		}
+		return ev
+	}
+	ev.Verdict = VerdictRegression
+	ev.Reason = d.Reason()
+	return ev
+}
+
+// tolerated resolves a Tolerate spec against the two traces.
+func tolerated(spec string, a, b *trace.File) ([]int, error) {
+	switch spec {
+	case "":
+		return nil, nil
+	case "auto":
+		set := map[int]bool{}
+		for _, r := range a.Retired {
+			set[r] = true
+		}
+		for _, r := range b.Retired {
+			set[r] = true
+		}
+		out := make([]int, 0, len(set))
+		for r := range set {
+			out = append(out, r)
+		}
+		sort.Ints(out)
+		return out, nil
+	default:
+		rs, err := fault.ParseRankSet(spec)
+		if err != nil {
+			return nil, fmt.Errorf("tolerate: %v", err)
+		}
+		p := a.P
+		if b.P > p {
+			p = b.P
+		}
+		return rs.Ranks(p), nil
+	}
+}
+
+// within reports whether a diff passes under the event-delta bound:
+// no call sites unique to either side, and every per-rank and per-site
+// dynamic event delta within max.
+func within(d *analysis.Diff, max int64) bool {
+	if len(d.MissingInA) > 0 || len(d.MissingInB) > 0 {
+		return false
+	}
+	for _, delta := range d.EventDeltas {
+		if delta > max || -delta > max {
+			return false
+		}
+	}
+	for _, delta := range d.SiteCountDeltas {
+		if delta > max || -delta > max {
+			return false
+		}
+	}
+	return true
+}
+
+// appendLocal stamps an ID onto a locally generated event, appends it,
+// notifies OnEvent for federation broadcast, and returns the stamped
+// event.
+func (e *Engine) appendLocal(ev Event) Event {
+	e.mu.Lock()
+	e.seq++
+	ev.ID = fmt.Sprintf("%s#%x-%d", e.opts.Origin, e.nonce, e.seq)
+	e.appendLocked(ev)
+	e.mu.Unlock()
+	if e.opts.OnEvent != nil {
+		e.opts.OnEvent(ev)
+	}
+	return ev
+}
+
+// Append folds a broadcast event from a peer into the local feed,
+// dedup'd by event ID. It reports whether the event was new.
+func (e *Engine) Append(ev Event) bool {
+	if ev.ID == "" || ev.Tenant == "" {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fd := e.feedLocked(ev.Tenant)
+	if fd.seen[ev.ID] {
+		return false
+	}
+	e.appendLocked(ev)
+	return true
+}
+
+func (e *Engine) feedLocked(tenant string) *feed {
+	fd := e.feeds[tenant]
+	if fd == nil {
+		fd = &feed{seen: map[string]bool{}, changed: make(chan struct{})}
+		e.feeds[tenant] = fd
+	}
+	return fd
+}
+
+// appendLocked adds the event to its tenant feed and bumps the feed
+// version. Callers hold e.mu.
+func (e *Engine) appendLocked(ev Event) {
+	fd := e.feedLocked(ev.Tenant)
+	fd.events = append(fd.events, ev)
+	fd.seen[ev.ID] = true
+	if over := len(fd.events) - e.opts.MaxEvents; over > 0 {
+		for _, old := range fd.events[:over] {
+			delete(fd.seen, old.ID)
+		}
+		fd.events = append(fd.events[:0], fd.events[over:]...)
+	}
+	fd.version++
+	close(fd.changed)
+	fd.changed = make(chan struct{})
+	e.mEvents.Inc()
+}
+
+// Feed snapshots one tenant's event feed.
+func (e *Engine) Feed(tenant string) FeedView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fd := e.feedLocked(tenant)
+	return FeedView{
+		Tenant:  tenant,
+		Version: fd.version,
+		Events:  append([]Event{}, fd.events...),
+	}
+}
+
+// Watch blocks until the tenant feed's version exceeds after or the
+// timeout elapses, returning the current view either way. Watching a
+// tenant with no events yet simply blocks until the first one.
+func (e *Engine) Watch(tenant string, after uint64, timeout time.Duration) FeedView {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		e.mu.Lock()
+		fd := e.feedLocked(tenant)
+		if fd.version > after {
+			v := FeedView{Tenant: tenant, Version: fd.version, Events: append([]Event{}, fd.events...)}
+			e.mu.Unlock()
+			return v
+		}
+		ch := fd.changed
+		e.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return e.Feed(tenant)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+package cq
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chameleon/internal/mpi"
+	"chameleon/internal/ranklist"
+	"chameleon/internal/sig"
+	"chameleon/internal/trace"
+)
+
+// mkTrace builds a small deterministic trace: a loop of send/recv plus
+// one collective. iters shifts per-rank dynamic event counts by 2 per
+// iteration; seed perturbs the call-site signatures.
+func mkTrace(p int, benchmark string, iters uint64, seed uint64) *trace.File {
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	ranks := ranklist.FromRanks(all)
+	send := trace.Event{Op: mpi.OpSend, Stack: sig.Stack(sig.Mix(seed*100 + 1)), Dest: trace.Relative(1), Tag: 1, Bytes: 256}
+	recv := trace.Event{Op: mpi.OpRecv, Stack: sig.Stack(sig.Mix(seed*100 + 2)), Src: trace.Relative(-1), Tag: 1, Bytes: 256}
+	coll := trace.Event{Op: mpi.OpAllreduce, Stack: sig.Stack(sig.Mix(seed*100 + 3)), Bytes: 8}
+	return &trace.File{
+		P:         p,
+		Benchmark: benchmark,
+		Tracer:    "chameleon",
+		Nodes: []*trace.Node{
+			trace.NewLoop(iters, []*trace.Node{
+				trace.NewLeaf(send, ranks, 1000),
+				trace.NewLeaf(recv, ranks, 0),
+			}),
+			trace.NewLeaf(coll, ranks, 500),
+		},
+	}
+}
+
+// fixedNow is a deterministic test clock.
+func fixedNow() time.Time { return time.UnixMilli(1_700_000_000_000) }
+
+// stubLookup serves goldens from a map keyed by reference.
+func stubLookup(m map[string]*trace.File) Lookup {
+	return func(tenant, id string) (*trace.File, string, error) {
+		f, ok := m[id]
+		if !ok {
+			return nil, "", fmt.Errorf("no run matches %q", id)
+		}
+		return f, id, nil
+	}
+}
+
+func newEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	if opts.Now == nil {
+		opts.Now = fixedNow
+	}
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSpecValidate(t *testing.T) {
+	ok := Spec{Name: "gate", Golden: "abc123"}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for _, s := range []Spec{
+		{Name: "", Golden: "g"},
+		{Name: strings.Repeat("x", 65), Golden: "g"},
+		{Name: "has space", Golden: "g"},
+		{Name: "gate", Golden: ""},
+		{Name: "gate", Golden: "g", MaxEventDelta: -1},
+		{Name: "gate", Golden: "g", Tolerate: "not-a-rank-set"},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("invalid spec accepted: %+v", s)
+		}
+	}
+	for _, tol := range []string{"", "auto", "1,3-5"} {
+		s := Spec{Name: "gate", Golden: "g", Tolerate: tol}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("tolerate %q rejected: %v", tol, err)
+		}
+	}
+}
+
+func TestRegisterListDeleteAll(t *testing.T) {
+	e := newEngine(t, Options{})
+	for _, name := range []string{"zz", "aa"} {
+		if _, err := e.Register(Spec{Tenant: "acme", Name: name, Golden: "g"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Register(Spec{Tenant: "beta", Name: "mm", Golden: "g"}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := e.List("acme")
+	if len(got) != 2 || got[0].Name != "aa" || got[1].Name != "zz" {
+		t.Fatalf("List not sorted by name: %+v", got)
+	}
+	if got[0].UpdatedUnixMs != fixedNow().UnixMilli() {
+		t.Fatalf("Register did not stamp UpdatedUnixMs: %+v", got[0])
+	}
+
+	all := e.All()
+	if len(all) != 3 || all[0].Tenant != "acme" || all[2].Tenant != "beta" {
+		t.Fatalf("All not sorted by tenant then name: %+v", all)
+	}
+
+	// Re-registering a name replaces, never duplicates.
+	if _, err := e.Register(Spec{Tenant: "acme", Name: "aa", Golden: "g2"}); err != nil {
+		t.Fatal(err)
+	}
+	got = e.List("acme")
+	if len(got) != 2 || got[0].Golden != "g2" {
+		t.Fatalf("re-register did not replace: %+v", got)
+	}
+
+	if err := e.Delete("acme", "aa"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete("acme", "aa"); err == nil {
+		t.Fatal("deleting a missing query succeeded")
+	}
+	if got := e.List("acme"); len(got) != 1 {
+		t.Fatalf("delete left %d specs", len(got))
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cq.json")
+	e := newEngine(t, Options{Persist: path})
+	want, err := e.Register(Spec{Tenant: "acme", Name: "gate", Golden: "g", MaxEventDelta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newEngine(t, Options{Persist: path})
+	got := e2.List("acme")
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("persisted spec did not round-trip: %+v vs %+v", got, want)
+	}
+
+	// A corrupt file fails loudly rather than silently dropping gates.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Persist: path, Now: fixedNow}); err == nil {
+		t.Fatal("corrupt persist file loaded without error")
+	}
+}
+
+func TestMergeNewestWins(t *testing.T) {
+	e := newEngine(t, Options{})
+	if _, err := e.Register(Spec{Tenant: "acme", Name: "gate", Golden: "old", UpdatedUnixMs: 100}); err != nil {
+		t.Fatal(err)
+	}
+	n := e.Merge([]Spec{
+		{Tenant: "acme", Name: "gate", Golden: "stale", UpdatedUnixMs: 50},   // older: ignored
+		{Tenant: "acme", Name: "gate2", Golden: "fresh", UpdatedUnixMs: 200}, // new name: merged
+		{Tenant: "acme", Name: "bad name!", Golden: "g", UpdatedUnixMs: 300}, // invalid: skipped
+	})
+	if n != 1 {
+		t.Fatalf("Merge merged %d, want 1", n)
+	}
+	got := e.List("acme")
+	if len(got) != 2 || got[0].Golden != "old" || got[1].Name != "gate2" {
+		t.Fatalf("merge result: %+v", got)
+	}
+
+	// A newer stamp replaces.
+	if n := e.Merge([]Spec{{Tenant: "acme", Name: "gate", Golden: "new", UpdatedUnixMs: 999}}); n != 1 {
+		t.Fatalf("newer spec not merged: %d", n)
+	}
+	if got := e.List("acme"); got[0].Golden != "new" {
+		t.Fatalf("newest did not win: %+v", got[0])
+	}
+}
+
+func TestEvaluateMatchesBenchmarkAndP(t *testing.T) {
+	goldens := map[string]*trace.File{"gold": mkTrace(4, "lulesh", 40, 7)}
+	e := newEngine(t, Options{Lookup: stubLookup(goldens)})
+	for _, s := range []Spec{
+		{Tenant: "acme", Name: "other-bench", Benchmark: "miniFE", Golden: "gold"},
+		{Tenant: "acme", Name: "other-p", Benchmark: "lulesh", P: 8, Golden: "gold"},
+		{Tenant: "other-tenant", Name: "gate", Golden: "gold"},
+	} {
+		if _, err := e.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if evs := e.Evaluate("acme", "run1", mkTrace(4, "lulesh", 40, 7)); evs != nil {
+		t.Fatalf("non-matching specs evaluated: %+v", evs)
+	}
+
+	// A wildcard spec ("" benchmark, P=0) matches everything in-tenant.
+	if _, err := e.Register(Spec{Tenant: "acme", Name: "any", Golden: "gold"}); err != nil {
+		t.Fatal(err)
+	}
+	evs := e.Evaluate("acme", "run1", mkTrace(4, "lulesh", 40, 7))
+	if len(evs) != 1 || evs[0].CQ != "any" || evs[0].Verdict != VerdictOK {
+		t.Fatalf("wildcard spec: %+v", evs)
+	}
+}
+
+func TestEvaluateVerdicts(t *testing.T) {
+	golden := mkTrace(4, "lulesh", 40, 7)
+	goldens := map[string]*trace.File{"gold": golden}
+	e := newEngine(t, Options{Lookup: stubLookup(goldens), Origin: "http://a"})
+	reg := func(s Spec) {
+		t.Helper()
+		if _, err := e.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval := func(f *trace.File, runID string) Event {
+		t.Helper()
+		evs := e.Evaluate("acme", runID, f)
+		if len(evs) != 1 {
+			t.Fatalf("got %d events, want 1", len(evs))
+		}
+		return evs[0]
+	}
+
+	// Golden unavailable: fail closed.
+	reg(Spec{Tenant: "acme", Name: "gate", Golden: "missing"})
+	ev := eval(mkTrace(4, "lulesh", 40, 7), "run1")
+	if ev.Verdict != VerdictRegression || !strings.Contains(ev.Reason, "golden run unavailable") {
+		t.Fatalf("missing golden: %+v", ev)
+	}
+
+	// Same content address: trivially ok.
+	reg(Spec{Tenant: "acme", Name: "gate", Golden: "gold"})
+	if ev := eval(golden, "gold"); ev.Verdict != VerdictOK || ev.Reason != "identical content address" {
+		t.Fatalf("identical address: %+v", ev)
+	}
+
+	// Equivalent trace under a different address: ok, no caveat.
+	if ev := eval(mkTrace(4, "lulesh", 40, 7), "run2"); ev.Verdict != VerdictOK || ev.Reason != "" {
+		t.Fatalf("equivalent run: %+v", ev)
+	}
+
+	// One extra loop iteration = +2 events per rank and +4 dynamic
+	// events per call site (4 ranks): regression at exact match and at
+	// a bound of 3, ok under MaxEventDelta 4 (with a caveat reason).
+	drift := mkTrace(4, "lulesh", 41, 7)
+	if ev := eval(drift, "run3"); ev.Verdict != VerdictRegression || ev.Reason == "" {
+		t.Fatalf("drift at exact tolerance: %+v", ev)
+	}
+	reg(Spec{Tenant: "acme", Name: "gate", Golden: "gold", MaxEventDelta: 3})
+	if ev := eval(drift, "run4"); ev.Verdict != VerdictRegression {
+		t.Fatalf("drift above bound: %+v", ev)
+	}
+	reg(Spec{Tenant: "acme", Name: "gate", Golden: "gold", MaxEventDelta: 4})
+	if ev := eval(drift, "run5"); ev.Verdict != VerdictOK || !strings.Contains(ev.Reason, "within tolerance") {
+		t.Fatalf("drift within bound: %+v", ev)
+	}
+
+	// A call site present on one side only is never forgiven, however
+	// generous the event-delta bound.
+	reg(Spec{Tenant: "acme", Name: "gate", Golden: "gold", MaxEventDelta: 1 << 40})
+	if ev := eval(mkTrace(4, "lulesh", 40, 99), "run6"); ev.Verdict != VerdictRegression {
+		t.Fatalf("new code path forgiven: %+v", ev)
+	}
+}
+
+func TestEvaluateTolerate(t *testing.T) {
+	// The new run diverges only on rank 0: an extra private call site.
+	mk := func() *trace.File {
+		f := mkTrace(4, "lulesh", 40, 7)
+		ev := trace.Event{Op: mpi.OpSend, Stack: sig.Stack(sig.Mix(4242)), Dest: trace.Relative(1), Tag: 9, Bytes: 8}
+		f.Nodes = append(f.Nodes, trace.NewLeaf(ev, ranklist.FromRanks([]int{0}), 100))
+		return f
+	}
+	goldens := map[string]*trace.File{"gold": mkTrace(4, "lulesh", 40, 7)}
+	e := newEngine(t, Options{Lookup: stubLookup(goldens)})
+
+	if _, err := e.Register(Spec{Tenant: "acme", Name: "strict", Golden: "gold"}); err != nil {
+		t.Fatal(err)
+	}
+	evs := e.Evaluate("acme", "r1", mk())
+	if evs[0].Verdict != VerdictRegression {
+		t.Fatalf("rank-0 divergence not caught: %+v", evs[0])
+	}
+
+	// Excluding rank 0 excludes its private call site from both sides.
+	if _, err := e.Register(Spec{Tenant: "acme", Name: "strict", Golden: "gold", Tolerate: "0"}); err != nil {
+		t.Fatal(err)
+	}
+	evs = e.Evaluate("acme", "r2", mk())
+	if evs[0].Verdict != VerdictOK {
+		t.Fatalf("tolerated rank still fails the gate: %+v", evs[0])
+	}
+
+	// "auto" reads the retired-rank lists instead.
+	if _, err := e.Register(Spec{Tenant: "acme", Name: "strict", Golden: "gold", Tolerate: "auto"}); err != nil {
+		t.Fatal(err)
+	}
+	faulted := mk()
+	faulted.Retired = []int{0}
+	evs = e.Evaluate("acme", "r3", faulted)
+	if evs[0].Verdict != VerdictOK {
+		t.Fatalf("auto-tolerate ignored the retired rank: %+v", evs[0])
+	}
+}
+
+func TestEventIDsAndOnEvent(t *testing.T) {
+	var mu sync.Mutex
+	var seen []Event
+	goldens := map[string]*trace.File{"gold": mkTrace(2, "b", 10, 1)}
+	e := newEngine(t, Options{
+		Lookup: stubLookup(goldens),
+		Origin: "http://peer-a:8321",
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			seen = append(seen, ev)
+			mu.Unlock()
+		},
+	})
+	if _, err := e.Register(Spec{Tenant: "acme", Name: "gate", Golden: "gold"}); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		evs := e.Evaluate("acme", fmt.Sprintf("run%d", i), mkTrace(2, "b", 10, 1))
+		id := evs[0].ID
+		if !strings.HasPrefix(id, "http://peer-a:8321#") {
+			t.Fatalf("event ID missing origin prefix: %q", id)
+		}
+		if ids[id] {
+			t.Fatalf("duplicate event ID %q", id)
+		}
+		ids[id] = true
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 5 {
+		t.Fatalf("OnEvent saw %d events, want 5", len(seen))
+	}
+}
+
+func TestAppendDedupAndFeedCap(t *testing.T) {
+	e := newEngine(t, Options{MaxEvents: 4})
+	if e.Append(Event{Tenant: "acme"}) {
+		t.Fatal("event without ID accepted")
+	}
+	if e.Append(Event{ID: "x#1"}) {
+		t.Fatal("event without tenant accepted")
+	}
+	ev := Event{ID: "peer#1", Tenant: "acme", CQ: "gate", Verdict: VerdictOK}
+	if !e.Append(ev) {
+		t.Fatal("fresh event rejected")
+	}
+	if e.Append(ev) {
+		t.Fatal("duplicate event ID accepted")
+	}
+
+	for i := 2; i <= 7; i++ {
+		e.Append(Event{ID: fmt.Sprintf("peer#%d", i), Tenant: "acme", Verdict: VerdictOK})
+	}
+	fd := e.Feed("acme")
+	if len(fd.Events) != 4 {
+		t.Fatalf("feed holds %d events, cap is 4", len(fd.Events))
+	}
+	if fd.Events[0].ID != "peer#4" || fd.Events[3].ID != "peer#7" {
+		t.Fatalf("cap did not evict oldest-first: %+v", fd.Events)
+	}
+	if fd.Version != 7 {
+		t.Fatalf("version = %d, want 7", fd.Version)
+	}
+
+	// Tenant feeds are isolated.
+	if got := e.Feed("other"); got.Version != 0 || len(got.Events) != 0 {
+		t.Fatalf("tenant isolation broken: %+v", got)
+	}
+}
+
+func TestWatchLongPoll(t *testing.T) {
+	e := newEngine(t, Options{})
+
+	// Timeout path: nothing arrives, the current (empty) view returns.
+	start := time.Now()
+	fd := e.Watch("acme", 0, 50*time.Millisecond)
+	if fd.Version != 0 || time.Since(start) < 40*time.Millisecond {
+		t.Fatalf("timeout watch misbehaved: v=%d after %v", fd.Version, time.Since(start))
+	}
+
+	// Wake path: a concurrent append releases the watcher.
+	done := make(chan FeedView, 1)
+	go func() { done <- e.Watch("acme", 0, 5*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	e.Append(Event{ID: "peer#1", Tenant: "acme", Verdict: VerdictRegression})
+	select {
+	case fd := <-done:
+		if fd.Version != 1 || len(fd.Events) != 1 || fd.Events[0].Verdict != VerdictRegression {
+			t.Fatalf("woken watch view: %+v", fd)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch never woke on append")
+	}
+
+	// A watcher already behind returns immediately.
+	start = time.Now()
+	if fd := e.Watch("acme", 0, 5*time.Second); fd.Version != 1 || time.Since(start) > time.Second {
+		t.Fatalf("stale watch did not return immediately: %+v", fd)
+	}
+}

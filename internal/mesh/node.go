@@ -1,0 +1,196 @@
+package mesh
+
+// Node is one chamd peer's view of the federation: the ring, its own
+// identity, and the HTTP plumbing for talking to the other owners.
+// The store's HTTP layer drives it (fan-out on PUT, proxy on GET,
+// scatter-gather on list); the anti-entropy Sweep drives itself.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"chameleon/internal/obs"
+)
+
+// Federation request headers.
+const (
+	// HeaderTenant namespaces every run, live session, and query.
+	HeaderTenant = "X-Cham-Tenant"
+	// HeaderForward marks intra-mesh traffic. A forwarded request is
+	// served strictly locally (no re-fan-out, no re-proxy), which is
+	// both the loop guard and the "ask this exact peer" primitive.
+	HeaderForward = "X-Cham-Mesh"
+	// ForwardFanout is a peer-to-peer replica write or scatter read.
+	ForwardFanout = "fanout"
+	// ForwardRepair is an anti-entropy pull; receivers skip continuous-
+	// query evaluation so a converging peer never re-fires a gate.
+	ForwardRepair = "repair"
+)
+
+// Forwarded reports whether the request is intra-mesh traffic.
+func Forwarded(r *http.Request) bool { return r.Header.Get(HeaderForward) != "" }
+
+// Repair reports whether the request is an anti-entropy pull.
+func Repair(r *http.Request) bool { return r.Header.Get(HeaderForward) == ForwardRepair }
+
+// Entry is one (tenant, run) pair in a peer's manifest, the unit the
+// anti-entropy sweep reasons about.
+type Entry struct {
+	Tenant string `json:"tenant"`
+	ID     string `json:"id"`
+}
+
+// Target is the local archive surface the sweep converges: what runs
+// it has, and how to store a replica pulled from a peer.
+type Target interface {
+	// Entries lists every (tenant, run) the local archive holds.
+	Entries() []Entry
+	// Have reports whether the run is already stored locally.
+	Have(tenant, id string) bool
+	// Pull ingests a canonical payload fetched from a peer.
+	Pull(tenant string, payload []byte) error
+}
+
+// Options configures a Node.
+type Options struct {
+	// Self is this peer's own URL as it appears in Peers.
+	Self string
+	// Peers is the full static membership, self included.
+	Peers []string
+	// Replicas is the ownership factor R (default 2, clamped to the
+	// peer count).
+	Replicas int
+	// Vnodes per peer (default DefaultVnodes).
+	Vnodes int
+	// Client overrides the intra-mesh HTTP client.
+	Client *http.Client
+	// Reg receives mesh_* counters.
+	Reg *obs.Registry
+}
+
+// Node is one peer's federation state. All methods are safe for
+// concurrent use (the ring is immutable).
+type Node struct {
+	ring     *Ring
+	self     string
+	others   []string
+	replicas int
+	hc       *http.Client
+
+	mSweeps, mPulled, mSweepErrs *obs.Counter
+}
+
+// NewNode builds a peer's federation state. Self must appear in the
+// peer list.
+func NewNode(opts Options) (*Node, error) {
+	ring, err := NewRing(opts.Peers, opts.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	self := strings.TrimSuffix(strings.TrimSpace(opts.Self), "/")
+	var others []string
+	found := false
+	for _, p := range ring.Peers() {
+		if p == self {
+			found = true
+			continue
+		}
+		others = append(others, p)
+	}
+	if !found {
+		return nil, fmt.Errorf("mesh: self %q is not in the peer list %v", self, ring.Peers())
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 2
+	}
+	if opts.Replicas > len(ring.Peers()) {
+		opts.Replicas = len(ring.Peers())
+	}
+	hc := opts.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Node{
+		ring:       ring,
+		self:       self,
+		others:     others,
+		replicas:   opts.Replicas,
+		hc:         hc,
+		mSweeps:    opts.Reg.Counter("mesh_sweeps"),
+		mPulled:    opts.Reg.Counter("mesh_sweep_pulled"),
+		mSweepErrs: opts.Reg.Counter("mesh_sweep_errors"),
+	}, nil
+}
+
+// Self returns this peer's normalized URL.
+func (n *Node) Self() string { return n.self }
+
+// Peers returns the full membership.
+func (n *Node) Peers() []string { return n.ring.Peers() }
+
+// Others returns the membership minus self.
+func (n *Node) Others() []string { return append([]string(nil), n.others...) }
+
+// Replicas returns the ownership factor R.
+func (n *Node) Replicas() int { return n.replicas }
+
+// Owners returns the R peers owning a run, primary first.
+func (n *Node) Owners(id string) []string { return n.ring.Owners(id, n.replicas) }
+
+// IsOwner reports whether this peer is one of the run's R owners.
+func (n *Node) IsOwner(id string) bool {
+	for _, o := range n.Owners(id) {
+		if o == n.self {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPrimary reports whether this peer is the run's first owner — the
+// one that evaluates continuous queries on ingest.
+func (n *Node) IsPrimary(id string) bool {
+	owners := n.Owners(id)
+	return len(owners) > 0 && owners[0] == n.self
+}
+
+// Do sends an intra-mesh request: the forward header (loop guard) and
+// tenant are set, and the response is returned as-is.
+func (n *Node) Do(method, peer, path, tenant, kind string, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, peer+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if kind == "" {
+		kind = ForwardFanout
+	}
+	req.Header.Set(HeaderForward, kind)
+	if tenant != "" {
+		req.Header.Set(HeaderTenant, tenant)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return n.hc.Do(req)
+}
+
+// Send issues a caller-built request on the intra-mesh client. The
+// caller is responsible for setting the forward header.
+func (n *Node) Send(req *http.Request) (*http.Response, error) { return n.hc.Do(req) }
+
+// getBody fetches an intra-mesh URL and returns the body on 200.
+func (n *Node) getBody(peer, path, tenant, kind string) ([]byte, error) {
+	resp, err := n.Do(http.MethodGet, peer, path, tenant, kind, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("mesh: GET %s%s: %s: %s", peer, path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return io.ReadAll(resp.Body)
+}

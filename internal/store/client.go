@@ -15,6 +15,8 @@ import (
 	"strings"
 	"time"
 
+	"chameleon/internal/cq"
+	"chameleon/internal/mesh"
 	"chameleon/internal/obs"
 	"chameleon/internal/trace"
 )
@@ -26,6 +28,32 @@ var httpClient = &http.Client{
 	Transport: &http.Transport{
 		DisableCompression: true,
 	},
+}
+
+// clientTenant is the tenant every client helper stamps on its
+// requests (the CLI tools' -tenant flag). Empty means the server-side
+// default tenant.
+var clientTenant string
+
+// SetTenant namespaces all subsequent client-helper requests from this
+// process under the named tenant.
+func SetTenant(tenant string) { clientTenant = tenant }
+
+// doReq sends a client request with the process tenant attached.
+func doReq(req *http.Request) (*http.Response, error) {
+	if clientTenant != "" {
+		req.Header.Set(mesh.HeaderTenant, clientTenant)
+	}
+	return httpClient.Do(req)
+}
+
+// clientGet is httpClient.Get with the tenant header.
+func clientGet(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return doReq(req)
 }
 
 // IsRef reports whether the trace reference is an HTTP(S) URL rather
@@ -57,7 +85,7 @@ func FetchBytes(url string) ([]byte, TransferStats, error) {
 		return nil, TransferStats{}, err
 	}
 	req.Header.Set("Accept-Encoding", "gzip")
-	resp, err := httpClient.Do(req)
+	resp, err := doReq(req)
 	if err != nil {
 		return nil, TransferStats{}, err
 	}
@@ -136,7 +164,7 @@ func OpenRef(ref string) (io.ReadCloser, error) {
 // without expanding the stored trace.
 func FetchStats(base, id string) (StatsResponse, error) {
 	url := strings.TrimSuffix(base, "/") + "/runs/" + id + "/stats"
-	resp, err := httpClient.Get(url)
+	resp, err := clientGet(url)
 	if err != nil {
 		return StatsResponse{}, err
 	}
@@ -161,7 +189,7 @@ func FetchWaves(base, id string, cols int) (WavesResponse, error) {
 	if cols > 0 {
 		url += fmt.Sprintf("?cols=%d", cols)
 	}
-	resp, err := httpClient.Get(url)
+	resp, err := clientGet(url)
 	if err != nil {
 		return WavesResponse{}, err
 	}
@@ -181,7 +209,7 @@ func FetchWaves(base, id string, cols int) (WavesResponse, error) {
 // FetchEdges downloads a run's causal edge sidecar.
 func FetchEdges(base, id string) ([]obs.Edge, error) {
 	url := strings.TrimSuffix(base, "/") + "/runs/" + id + "/edges"
-	resp, err := httpClient.Get(url)
+	resp, err := clientGet(url)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +246,7 @@ func PushEdges(base, id string, jsonl []byte, useGzip bool) error {
 	if useGzip {
 		req.Header.Set("Content-Encoding", "gzip")
 	}
-	resp, err := httpClient.Do(req)
+	resp, err := doReq(req)
 	if err != nil {
 		return err
 	}
@@ -268,7 +296,7 @@ func PushBytes(base string, payload []byte, useGzip bool) (Run, bool, error) {
 	if useGzip {
 		req.Header.Set("Content-Encoding", "gzip")
 	}
-	resp, err := httpClient.Do(req)
+	resp, err := doReq(req)
 	if err != nil {
 		return Run{}, false, err
 	}
@@ -283,4 +311,147 @@ func PushBytes(base string, payload []byte, useGzip bool) (Run, bool, error) {
 		return Run{}, false, fmt.Errorf("PUT %s: decode response: %w", url, err)
 	}
 	return run, resp.StatusCode == http.StatusCreated, nil
+}
+
+// FetchRuns lists a chamd archive's runs. query is the raw filter
+// string ("benchmark=lulesh&p=64"), without limit/offset; those come
+// from the offset parameter and the server's page size. The returned
+// ListResponse carries Next when more pages remain.
+func FetchRuns(base, query string, limit, offset int) (ListResponse, error) {
+	u := strings.TrimSuffix(base, "/") + "/runs"
+	sep := "?"
+	if query != "" {
+		u += sep + query
+		sep = "&"
+	}
+	if limit > 0 {
+		u += fmt.Sprintf("%slimit=%d", sep, limit)
+		sep = "&"
+	}
+	if offset > 0 {
+		u += fmt.Sprintf("%soffset=%d", sep, offset)
+	}
+	var out ListResponse
+	if err := getJSON(u, &out); err != nil {
+		return ListResponse{}, err
+	}
+	return out, nil
+}
+
+// RegisterCQ registers (or replaces) a continuous query on a chamd
+// archive and returns the stored spec.
+func RegisterCQ(base string, spec cq.Spec) (cq.Spec, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return cq.Spec{}, err
+	}
+	url := strings.TrimSuffix(base, "/") + "/cq"
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return cq.Spec{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := doReq(req)
+	if err != nil {
+		return cq.Spec{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return cq.Spec{}, fmt.Errorf("PUT %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out cq.Spec
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return cq.Spec{}, fmt.Errorf("PUT %s: decode response: %w", url, err)
+	}
+	return out, nil
+}
+
+// FetchCQs lists the tenant's registered continuous queries.
+func FetchCQs(base string) ([]cq.Spec, error) {
+	var out []cq.Spec
+	if err := getJSON(strings.TrimSuffix(base, "/")+"/cq", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeleteCQ drops a registered continuous query by name.
+func DeleteCQ(base, name string) error {
+	url := strings.TrimSuffix(base, "/") + "/cq/" + name
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := doReq(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("DELETE %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// FetchCQFeed fetches the tenant's continuous-query event feed.
+func FetchCQFeed(base string) (cq.FeedView, error) {
+	var out cq.FeedView
+	if err := getJSON(strings.TrimSuffix(base, "/")+"/cq/events", &out); err != nil {
+		return cq.FeedView{}, err
+	}
+	return out, nil
+}
+
+// WatchCQFeed long-polls the tenant's CQ feed until its version
+// exceeds after or timeout elapses server-side.
+func WatchCQFeed(base string, after uint64, timeout time.Duration) (cq.FeedView, error) {
+	u := fmt.Sprintf("%s/cq/events?version=%d&timeout=%s",
+		strings.TrimSuffix(base, "/"), after, timeout)
+	var out cq.FeedView
+	if err := getJSON(u, &out); err != nil {
+		return cq.FeedView{}, err
+	}
+	return out, nil
+}
+
+// FetchMeshStatus fetches a peer's federation identity and per-tenant
+// usage.
+func FetchMeshStatus(base string) (MeshStatus, error) {
+	var out MeshStatus
+	if err := getJSON(strings.TrimSuffix(base, "/")+"/mesh/status", &out); err != nil {
+		return MeshStatus{}, err
+	}
+	return out, nil
+}
+
+// TriggerSweep asks a peer to run one anti-entropy pass now and
+// returns its report.
+func TriggerSweep(base string) (mesh.SweepReport, error) {
+	url := strings.TrimSuffix(base, "/") + "/mesh/sweep"
+	req, err := http.NewRequest(http.MethodPost, url, nil)
+	if err != nil {
+		return mesh.SweepReport{}, err
+	}
+	resp, err := doReq(req)
+	if err != nil {
+		return mesh.SweepReport{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return mesh.SweepReport{}, fmt.Errorf("POST %s: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out struct {
+		mesh.SweepReport
+		Error string `json:"error,omitempty"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return mesh.SweepReport{}, fmt.Errorf("POST %s: decode response: %w", url, err)
+	}
+	if out.Error != "" {
+		return out.SweepReport, fmt.Errorf("sweep: %s", out.Error)
+	}
+	return out.SweepReport, nil
 }

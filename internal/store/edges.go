@@ -4,9 +4,10 @@ package store
 // WriteEdges produces) can be attached to its archived trace, so the
 // idle-wave detector runs server-side against the archive instead of
 // requiring the original -edges-out file. Sidecars live next to the
-// segments:
+// segments in the run's tenant tree:
 //
-//	edges/ab/abcd....jsonl   edge stream keyed by the run's content address
+//	edges/ab/abcd....jsonl             default tenant
+//	tenants/<t>/edges/ab/abcd....jsonl everyone else
 //
 // A sidecar is plain data about a run, not part of its identity — the
 // content address still covers only the canonical trace payload, and
@@ -19,21 +20,25 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 
 	"chameleon/internal/obs"
 	"chameleon/internal/wave"
 )
 
-func (a *Archive) edgesPath(id string) string {
-	return filepath.Join(a.dir, "edges", id[:2], id+".jsonl")
+func (a *Archive) edgesPath(tenant, id string) string {
+	return filepath.Join(a.tenantRoot(tenant), "edges", id[:2], id+".jsonl")
 }
 
 // PutEdges attaches a causal edge stream (JSONL bytes) to an archived
-// run, replacing any previous sidecar. The payload must parse; the
-// number of edges is returned. The run may be named by unique prefix.
+// default-tenant run, replacing any previous sidecar. The payload must
+// parse; the number of edges is returned. The run may be named by
+// unique prefix.
 func (a *Archive) PutEdges(id string, jsonl []byte) (int, Run, error) {
-	run, err := a.Resolve(id)
+	return a.Tenant(DefaultTenant).PutEdges(id, jsonl)
+}
+
+func (a *Archive) putEdges(tenant, id string, jsonl []byte) (int, Run, error) {
+	run, err := a.resolve(tenant, id)
 	if err != nil {
 		return 0, Run{}, err
 	}
@@ -43,7 +48,7 @@ func (a *Archive) PutEdges(id string, jsonl []byte) (int, Run, error) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	path := a.edgesPath(run.ID)
+	path := a.edgesPath(tenant, run.ID)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return 0, Run{}, fmt.Errorf("store: edges: %w", err)
 	}
@@ -68,13 +73,18 @@ func (a *Archive) PutEdges(id string, jsonl []byte) (int, Run, error) {
 	return len(edges), run, nil
 }
 
-// EdgesPayload returns a run's stored edge stream verbatim.
+// EdgesPayload returns a default-tenant run's stored edge stream
+// verbatim.
 func (a *Archive) EdgesPayload(id string) ([]byte, Run, error) {
-	run, err := a.Resolve(id)
+	return a.Tenant(DefaultTenant).EdgesPayload(id)
+}
+
+func (a *Archive) edgesPayload(tenant, id string) ([]byte, Run, error) {
+	run, err := a.resolve(tenant, id)
 	if err != nil {
 		return nil, Run{}, err
 	}
-	b, err := os.ReadFile(a.edgesPath(run.ID))
+	b, err := os.ReadFile(a.edgesPath(tenant, run.ID))
 	if os.IsNotExist(err) {
 		return nil, Run{}, fmt.Errorf("store: edge sidecar for run %s not found", run.ID[:12])
 	}
@@ -84,9 +94,13 @@ func (a *Archive) EdgesPayload(id string) ([]byte, Run, error) {
 	return b, run, nil
 }
 
-// Edges decodes a run's edge sidecar.
+// Edges decodes a default-tenant run's edge sidecar.
 func (a *Archive) Edges(id string) ([]obs.Edge, Run, error) {
-	b, run, err := a.EdgesPayload(id)
+	return a.Tenant(DefaultTenant).Edges(id)
+}
+
+func (a *Archive) edges(tenant, id string) ([]obs.Edge, Run, error) {
+	b, run, err := a.edgesPayload(tenant, id)
 	if err != nil {
 		return nil, Run{}, err
 	}
@@ -97,11 +111,15 @@ func (a *Archive) Edges(id string) ([]obs.Edge, Run, error) {
 	return edges, run, nil
 }
 
-// Waves runs the idle-wave detector over a run's edge sidecar. A
-// positive cols interprets ranks as a row-major cols-wide grid
-// (Manhattan rank distance) instead of a 1-D chain.
+// Waves runs the idle-wave detector over a default-tenant run's edge
+// sidecar. A positive cols interprets ranks as a row-major cols-wide
+// grid (Manhattan rank distance) instead of a 1-D chain.
 func (a *Archive) Waves(id string, cols int) (*wave.Report, Run, error) {
-	edges, run, err := a.Edges(id)
+	return a.Tenant(DefaultTenant).Waves(id, cols)
+}
+
+func (a *Archive) waves(tenant, id string, cols int) (*wave.Report, Run, error) {
+	edges, run, err := a.edges(tenant, id)
 	if err != nil {
 		return nil, Run{}, err
 	}
@@ -110,45 +128,4 @@ func (a *Archive) Waves(id string, cols int) (*wave.Report, Run, error) {
 		return nil, Run{}, fmt.Errorf("store: waves for %s: %w", run.ID[:12], err)
 	}
 	return rep, run, nil
-}
-
-// compactEdgesLocked removes edge sidecars whose run the manifest no
-// longer references. Callers hold a.mu.
-func (a *Archive) compactEdgesLocked() (removed int, firstErr error) {
-	root := filepath.Join(a.dir, "edges")
-	entries, err := os.ReadDir(root)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return 0, nil
-		}
-		return 0, err
-	}
-	for _, sub := range entries {
-		if !sub.IsDir() {
-			continue
-		}
-		subPath := filepath.Join(root, sub.Name())
-		files, err := os.ReadDir(subPath)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		for _, f := range files {
-			id := strings.TrimSuffix(f.Name(), ".jsonl")
-			if _, live := a.runs[id]; live {
-				continue
-			}
-			if err := os.Remove(filepath.Join(subPath, f.Name())); err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			removed++
-		}
-		os.Remove(subPath) // best-effort fan-out cleanup
-	}
-	return removed, firstErr
 }

@@ -1,0 +1,222 @@
+package store
+
+// Federation glue: the pieces that connect one Archive to the mesh.
+//
+//   - archiveTarget adapts the Archive to mesh.Target so the
+//     anti-entropy sweep can enumerate, check, and pull runs.
+//   - FedLookup resolves a continuous query's golden run: locally
+//     first, then from the run's owners across the mesh.
+//   - BroadcastCQEvents pushes locally-emitted CQ events to every
+//     other peer so a long-poll watcher on any peer sees them.
+//   - rateLimiter is the per-tenant token bucket the HTTP edge
+//     enforces (429 + Retry-After on breach). Intra-mesh traffic
+//     bypasses it: fan-out writes and repair pulls are the system
+//     talking to itself, and throttling them would amplify client
+//     load R-fold.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"chameleon/internal/cq"
+	"chameleon/internal/mesh"
+	"chameleon/internal/trace"
+)
+
+// archiveTarget adapts an Archive to the mesh.Target surface.
+type archiveTarget struct{ a *Archive }
+
+// MeshTarget returns the archive's anti-entropy surface.
+func (a *Archive) MeshTarget() mesh.Target { return archiveTarget{a} }
+
+func (t archiveTarget) Entries() []mesh.Entry {
+	t.a.mu.Lock()
+	defer t.a.mu.Unlock()
+	out := make([]mesh.Entry, 0, 64)
+	for tenant, runs := range t.a.runs {
+		for id := range runs {
+			out = append(out, mesh.Entry{Tenant: tenant, ID: id})
+		}
+	}
+	return out
+}
+
+func (t archiveTarget) Have(tenant, id string) bool {
+	t.a.mu.Lock()
+	defer t.a.mu.Unlock()
+	_, ok := t.a.runs[tenant][id]
+	return ok
+}
+
+func (t archiveTarget) Pull(tenant string, payload []byte) error {
+	tenant, err := NormalizeTenant(tenant)
+	if err != nil {
+		return err
+	}
+	_, _, err = t.a.Tenant(tenant).IngestBytes(payload)
+	return err
+}
+
+// FedLookup builds the cq.Lookup a federated engine uses to resolve
+// golden runs: the local archive first, then the run's owner peers
+// (node nil means local-only). A golden fetched from a peer is decoded
+// but not ingested — resolution must not mutate placement.
+func FedLookup(a *Archive, node *mesh.Node) cq.Lookup {
+	return func(tenant, id string) (*trace.File, string, error) {
+		f, run, err := a.Tenant(tenant).Get(id)
+		if err == nil {
+			return f, run.ID, nil
+		}
+		if node == nil {
+			return nil, "", err
+		}
+		var lastErr error
+		for _, peer := range ownersThenRest(node, id) {
+			resp, err := node.Do(http.MethodGet, peer, "/runs/"+id, tenant, mesh.ForwardRepair, "", nil)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			body, err := readOK(resp)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			f, err := trace.ReadAny(bytes.NewReader(body))
+			if err != nil {
+				return nil, "", fmt.Errorf("store: golden %s from %s: %w", id, peer, err)
+			}
+			_, cid, err := Encode(f)
+			if err != nil {
+				return nil, "", err
+			}
+			return f, cid, nil
+		}
+		if lastErr != nil {
+			return nil, "", fmt.Errorf("store: golden %s not found on any peer: %w", id, lastErr)
+		}
+		return nil, "", fmt.Errorf("store: golden run %q not found", id)
+	}
+}
+
+// ownersThenRest orders peers for a read: the run's owners first
+// (minus self), then every other peer — a run ingested as a fallback
+// replica while its owner was down lives off-ring until anti-entropy
+// converges, so misses must scatter wide, not give up at R peers.
+func ownersThenRest(node *mesh.Node, id string) []string {
+	seen := map[string]bool{node.Self(): true}
+	out := make([]string, 0, len(node.Peers()))
+	for _, p := range node.Owners(id) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, p := range node.Others() {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func readOK(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s", resp.Status)
+	}
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// BroadcastCQEvents returns an engine OnEvent hook that forwards each
+// locally-emitted event to every other peer (POST /cq/events, fanout
+// header), so a watcher long-polling any peer's feed sees gates fired
+// anywhere in the mesh. Delivery is best-effort: the feed is
+// observability, not a ledger, and receivers dedup by event ID.
+func BroadcastCQEvents(node *mesh.Node) func(cq.Event) {
+	if node == nil {
+		return nil
+	}
+	return func(ev cq.Event) {
+		body, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		for _, peer := range node.Others() {
+			resp, err := node.Do(http.MethodPost, peer, "/cq/events", ev.Tenant, mesh.ForwardFanout,
+				"application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}
+}
+
+// rateLimiter is a per-tenant token bucket. The zero rate disables
+// limiting.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*tokenBucket
+	now     func() time.Time
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*tokenBucket), now: time.Now}
+}
+
+// allow spends one token from the tenant's bucket. When the bucket is
+// dry it returns false and how long until a token accrues (the
+// Retry-After value).
+func (rl *rateLimiter) allow(tenant string) (bool, time.Duration) {
+	if rl == nil {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b := rl.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: rl.burst, last: now}
+		rl.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rate
+	b.last = now
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package store
+
+// stormPushers under -race: 64 workers, enough to exercise every
+// cross-peer lock while staying inside the race detector's overhead.
+const stormPushers = 64

@@ -20,7 +20,7 @@ func liveBase(base string) string {
 }
 
 func getJSON(u string, out any) error {
-	resp, err := httpClient.Get(u)
+	resp, err := clientGet(u)
 	if err != nil {
 		return err
 	}

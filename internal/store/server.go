@@ -15,15 +15,34 @@ package store
 //	GET  /live/sessions               list in-flight sessions
 //	GET  /live/sessions/{id}          one session's live view (?metrics=1 includes snapshot)
 //	GET  /live/sessions/{id}/watch    long-poll: block until version > ?version= or ?timeout=
+//	PUT  /cq                    register a continuous query (cq.Spec JSON)
+//	GET  /cq                    list the tenant's continuous queries
+//	DELETE /cq/{name}           drop a continuous query
+//	GET  /cq/events             the tenant's CQ event feed (?version= long-polls)
+//	GET  /mesh/manifest         every (tenant, run) this peer holds (anti-entropy)
+//	GET  /mesh/status           federation identity: self, peers, replicas, tenants
+//	POST /mesh/sweep            run one anti-entropy pass now
 //	GET  /metrics               Prometheus text exposition (JSON behind Accept: application/json)
 //	GET  /healthz               liveness probe
+//
+// Every run, live session, and query is namespaced by the
+// X-Cham-Tenant header (default "default"); tenants are rate-limited
+// (429 + Retry-After) and quota-bounded at this edge. When a mesh.Node
+// is configured the handler federates: PUT fans out to the run's R
+// owners, a GET miss transparently proxies to a peer that has the run,
+// and GET /runs scatter-gathers the whole fleet. Intra-mesh traffic
+// carries the X-Cham-Mesh header and is always served strictly locally
+// — that header is the loop guard.
 //
 // Requests and responses speak optional gzip (Content-Encoding /
 // Accept-Encoding); when the archive itself stores gzip segments a
 // compressed GET streams the stored frame without recompressing.
 
 import (
+	"bytes"
 	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,8 +54,11 @@ import (
 	"time"
 
 	"chameleon/internal/analysis"
+	"chameleon/internal/cq"
 	"chameleon/internal/fault"
+	"chameleon/internal/mesh"
 	"chameleon/internal/obs"
+	"chameleon/internal/trace"
 	"chameleon/internal/wave"
 	"chameleon/internal/zan"
 )
@@ -56,27 +78,50 @@ type ServerOptions struct {
 	// Live tracks in-flight sessions; nil builds a default tracker
 	// reporting into Reg (live endpoints are always served).
 	Live *Live
+	// Mesh, when non-nil, federates this peer: PUT fan-out, GET proxy,
+	// scatter-gather list, anti-entropy endpoints.
+	Mesh *mesh.Node
+	// CQ, when non-nil, serves the continuous-query endpoints and
+	// evaluates registered gates on ingest.
+	CQ *cq.Engine
+	// RateLimit throttles each tenant to this many requests/second at
+	// the edge (0 disables). Intra-mesh traffic is exempt.
+	RateLimit float64
+	// RateBurst is the token-bucket depth (default: RateLimit).
+	RateBurst int
 }
 
 const (
 	defaultMaxBody        = 64 << 20
 	defaultRequestTimeout = 30 * time.Second
+
+	// defaultListLimit is the page size GET /runs uses when the client
+	// sends no limit; maxListLimit is the server-side cap a client
+	// cannot exceed. Intra-mesh scatter reads are uncapped — the edge
+	// peer needs complete sets to merge and paginate exactly.
+	defaultListLimit = 100
+	maxListLimit     = 500
 )
 
 type server struct {
-	a    *Archive
-	opts ServerOptions
-	live *Live
+	a       *Archive
+	opts    ServerOptions
+	live    *Live
+	node    *mesh.Node
+	cq      *cq.Engine
+	limiter *rateLimiter
 
 	mRequests, mErrors          *obs.Counter
 	mIngestReqs, mQueryReqs     *obs.Counter
 	mLiveReqs                   *obs.Counter
 	mBytesIn, mBytesOut         *obs.Counter
+	mThrottled                  *obs.Counter
+	mFanouts, mProxied          *obs.Counter
 	hLatency, hIngest, hQueries *obs.Histogram
 }
 
 // NewServer builds the archive's HTTP handler: mux, per-request
-// timeout, body limits, instrumentation.
+// timeout, body limits, tenancy, federation, instrumentation.
 func NewServer(a *Archive, opts ServerOptions) http.Handler {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = defaultMaxBody
@@ -88,9 +133,12 @@ func NewServer(a *Archive, opts ServerOptions) http.Handler {
 		opts.Live = NewLive(LiveOptions{Reg: opts.Reg})
 	}
 	s := &server{
-		a:    a,
-		opts: opts,
-		live: opts.Live,
+		a:       a,
+		opts:    opts,
+		live:    opts.Live,
+		node:    opts.Mesh,
+		cq:      opts.CQ,
+		limiter: newRateLimiter(opts.RateLimit, opts.RateBurst),
 
 		mRequests:   opts.Reg.Counter("chamd_requests"),
 		mErrors:     opts.Reg.Counter("chamd_errors"),
@@ -99,6 +147,9 @@ func NewServer(a *Archive, opts ServerOptions) http.Handler {
 		mLiveReqs:   opts.Reg.Counter("chamd_live_requests"),
 		mBytesIn:    opts.Reg.Counter("chamd_bytes_in"),
 		mBytesOut:   opts.Reg.Counter("chamd_bytes_out"),
+		mThrottled:  opts.Reg.Counter("chamd_throttled"),
+		mFanouts:    opts.Reg.Counter("chamd_mesh_fanouts"),
+		mProxied:    opts.Reg.Counter("chamd_mesh_proxied"),
 		hLatency:    opts.Reg.Histogram("chamd_latency_ns"),
 		hIngest:     opts.Reg.Histogram("chamd_ingest_latency_ns"),
 		hQueries:    opts.Reg.Histogram("chamd_query_latency_ns"),
@@ -117,6 +168,18 @@ func NewServer(a *Archive, opts ServerOptions) http.Handler {
 	mux.HandleFunc("GET /live/sessions", s.handleLiveList)
 	mux.HandleFunc("GET /live/sessions/{id}", s.handleLiveGet)
 	mux.HandleFunc("GET /live/sessions/{id}/watch", s.handleLiveWatch)
+	if s.cq != nil {
+		mux.HandleFunc("PUT /cq", s.handleCQPut)
+		mux.HandleFunc("GET /cq", s.handleCQList)
+		mux.HandleFunc("DELETE /cq/{name}", s.handleCQDelete)
+		mux.HandleFunc("GET /cq/events", s.handleCQEvents)
+		mux.HandleFunc("POST /cq/events", s.handleCQEventPost)
+	}
+	mux.HandleFunc("GET /mesh/manifest", s.handleMeshManifest)
+	mux.HandleFunc("GET /mesh/status", s.handleMeshStatus)
+	if s.node != nil {
+		mux.HandleFunc("POST /mesh/sweep", s.handleMeshSweep)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -129,7 +192,15 @@ func NewServer(a *Archive, opts ServerOptions) http.Handler {
 		start := time.Now()
 		s.mRequests.Inc()
 		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
-		mux.ServeHTTP(cw, r)
+		if code, retry := s.admit(r); code != 0 {
+			if retry > 0 {
+				cw.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+0.5)))
+			}
+			s.mThrottled.Inc()
+			http.Error(cw, "chamd: tenant rate limit exceeded", code)
+		} else {
+			mux.ServeHTTP(cw, r)
+		}
 		s.hLatency.Observe(time.Since(start).Nanoseconds())
 		s.mBytesOut.Add(uint64(cw.bytes))
 		if cw.status >= 400 {
@@ -137,6 +208,38 @@ func NewServer(a *Archive, opts ServerOptions) http.Handler {
 		}
 	})
 	return http.TimeoutHandler(instrumented, opts.RequestTimeout, "chamd: request timed out\n")
+}
+
+// admit applies the per-tenant rate limit. Intra-mesh traffic and
+// probes are exempt; an invalid tenant header is handled later by the
+// route handler (tenantOf), not here.
+func (s *server) admit(r *http.Request) (code int, retry time.Duration) {
+	if s.limiter == nil || mesh.Forwarded(r) {
+		return 0, 0
+	}
+	switch r.URL.Path {
+	case "/healthz", "/metrics":
+		return 0, 0
+	}
+	tenant, err := NormalizeTenant(r.Header.Get(mesh.HeaderTenant))
+	if err != nil {
+		return 0, 0
+	}
+	if ok, wait := s.limiter.allow(tenant); !ok {
+		return http.StatusTooManyRequests, wait
+	}
+	return 0, 0
+}
+
+// tenantOf extracts and validates the request's tenant, writing the
+// 400 itself on a bad name.
+func (s *server) tenantOf(w http.ResponseWriter, r *http.Request) (string, bool) {
+	tenant, err := NormalizeTenant(r.Header.Get(mesh.HeaderTenant))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return "", false
+	}
+	return tenant, true
 }
 
 // countingWriter tracks status and body bytes for instrumentation.
@@ -162,6 +265,9 @@ func (s *server) fail(w http.ResponseWriter, code int, format string, args ...an
 }
 
 func failCode(err error) int {
+	if errors.Is(err, ErrQuotaExceeded) {
+		return http.StatusTooManyRequests
+	}
 	if strings.Contains(err.Error(), "not found") {
 		return http.StatusNotFound
 	}
@@ -171,12 +277,11 @@ func failCode(err error) int {
 	return http.StatusBadRequest
 }
 
-func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
-	s.mIngestReqs.Inc()
-	start := time.Now()
+// readBody drains a possibly-gzipped request body under the size cap,
+// failing the request itself on error (nil return means handled).
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) []byte {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	defer body.Close()
-
 	var in io.Reader = body
 	switch enc := r.Header.Get("Content-Encoding"); enc {
 	case "", "identity":
@@ -184,34 +289,83 @@ func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
 		zr, err := gzip.NewReader(body)
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "gzip body: %v", err)
-			return
+			return nil
 		}
 		defer zr.Close()
 		in = zr
 	default:
 		s.fail(w, http.StatusUnsupportedMediaType, "unsupported Content-Encoding %q", enc)
-		return
+		return nil
 	}
-
 	payload, err := io.ReadAll(in)
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.opts.MaxBodyBytes)
-			return
+			return nil
 		}
 		s.fail(w, http.StatusBadRequest, "read body: %v", err)
-		return
+		return nil
 	}
 	s.mBytesIn.Add(uint64(len(payload)))
+	return payload
+}
 
-	run, created, err := s.a.IngestBytes(payload)
+func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
+	s.mIngestReqs.Inc()
+	start := time.Now()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	payload := s.readBody(w, r)
+	if payload == nil {
+		return
+	}
+	f, err := trace.ReadAny(bytes.NewReader(payload))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "store: ingest: %v", err)
+		return
+	}
+	canon, id, err := Encode(f)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.hIngest.Observe(time.Since(start).Nanoseconds())
 
+	if s.node != nil && !mesh.Forwarded(r) {
+		s.fanoutPut(w, r, tenant, f, canon, id, start)
+		return
+	}
+
+	run, created, err := s.ingestLocal(tenant, f, canon, id, !mesh.Repair(r))
+	if err != nil {
+		if errors.Is(err, ErrQuotaExceeded) {
+			w.Header().Set("Retry-After", "60")
+		}
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	s.hIngest.Observe(time.Since(start).Nanoseconds())
+	s.writeRun(w, run, created)
+}
+
+// ingestLocal stores the canonical payload and, when this peer is the
+// run's primary owner (or there is no mesh), evaluates continuous
+// queries against it. Repair ingests pass evaluate=false: anti-entropy
+// must converge replicas without re-firing gates.
+func (s *server) ingestLocal(tenant string, f *trace.File, canon []byte, id string, evaluate bool) (Run, bool, error) {
+	run, created, err := s.a.ingest(tenant, f, canon, id)
+	if err != nil {
+		return Run{}, false, err
+	}
+	if evaluate && created && s.cq != nil && (s.node == nil || s.node.IsPrimary(id)) {
+		s.cq.Evaluate(tenant, id, f)
+	}
+	return run, created, nil
+}
+
+func (s *server) writeRun(w http.ResponseWriter, run Run, created bool) {
 	w.Header().Set("ETag", `"`+run.ID+`"`)
 	w.Header().Set("Location", "/runs/"+run.ID)
 	w.Header().Set("Content-Type", "application/json")
@@ -221,13 +375,158 @@ func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(run) //nolint:errcheck — client gone is fine
 }
 
+// fanoutPut replicates an edge ingest to the run's R owners. Self
+// ingests directly; remote owners get a forwarded PUT. A dead remote
+// owner is tolerated by ingesting locally as a fallback replica — the
+// anti-entropy sweep moves the bytes onto the ring later — so a write
+// succeeds as long as any peer can hold it.
+func (s *server) fanoutPut(w http.ResponseWriter, r *http.Request, tenant string, f *trace.File, canon []byte, id string, start time.Time) {
+	s.mFanouts.Inc()
+	owners := s.node.Owners(id)
+	var run *Run
+	created := false
+	stored := 0
+	quotaHits := 0
+	remoteFailed := false
+	var lastErr error
+
+	for _, owner := range owners {
+		if owner == s.node.Self() {
+			rr, c, err := s.ingestLocal(tenant, f, canon, id, !mesh.Repair(r))
+			if err != nil {
+				if errors.Is(err, ErrQuotaExceeded) {
+					quotaHits++
+					lastErr = err
+					continue
+				}
+				s.fail(w, failCode(err), "%v", err)
+				return
+			}
+			run, created, stored = &rr, created || c, stored+1
+			continue
+		}
+		resp, err := s.node.Do(http.MethodPut, owner, "/runs", tenant, mesh.ForwardFanout,
+			"application/octet-stream", bytes.NewReader(canon))
+		if err != nil {
+			remoteFailed = true
+			lastErr = err
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusCreated:
+			created = created || resp.StatusCode == http.StatusCreated
+			stored++
+			if run == nil {
+				var rr Run
+				if json.Unmarshal(body, &rr) == nil && rr.ID != "" {
+					run = &rr
+				}
+			}
+		case http.StatusTooManyRequests:
+			quotaHits++
+			lastErr = fmt.Errorf("%s: %s", owner, strings.TrimSpace(string(body)))
+		default:
+			remoteFailed = true
+			lastErr = fmt.Errorf("%s: %s: %s", owner, resp.Status, strings.TrimSpace(string(body)))
+		}
+	}
+
+	if stored == 0 {
+		if quotaHits > 0 && !remoteFailed {
+			w.Header().Set("Retry-After", "60")
+			s.fail(w, http.StatusTooManyRequests, "%v", lastErr)
+			return
+		}
+		// Every owner is unreachable or full: last resort is this peer.
+		rr, c, err := s.ingestLocal(tenant, f, canon, id, !mesh.Repair(r))
+		if err != nil {
+			if errors.Is(err, ErrQuotaExceeded) {
+				w.Header().Set("Retry-After", "60")
+			}
+			s.fail(w, failCode(err), "replicate %s: %v (owners: %v)", id[:12], err, lastErr)
+			return
+		}
+		run, created = &rr, c
+	}
+	if run == nil {
+		// Stored remotely but the owner's response didn't parse; build
+		// the record locally — ingest metadata is deterministic.
+		rr := *describe(f, canon, id)
+		rr.Tenant = tenant
+		run = &rr
+	}
+	s.hIngest.Observe(time.Since(start).Nanoseconds())
+	s.writeRun(w, *run, created)
+}
+
+// proxyHeaders are the request headers a transparent peer proxy
+// forwards and the response headers it relays back.
+var proxyReqHeaders = []string{"Accept", "Accept-Encoding", "If-None-Match"}
+var proxyRespHeaders = []string{"Content-Type", "Content-Encoding", "ETag", "Content-Length",
+	"X-Raw-Bytes", "X-Stored-Bytes", "Location"}
+
+// proxyRead forwards a GET this peer cannot serve to the run's owners
+// (then the rest of the fleet) and relays the first definitive
+// response. It reports whether the request was handled.
+func (s *server) proxyRead(w http.ResponseWriter, r *http.Request, tenant, id, path string) bool {
+	if s.node == nil || mesh.Forwarded(r) {
+		return false
+	}
+	target := path
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	for _, peer := range ownersThenRest(s.node, id) {
+		req, err := http.NewRequest(http.MethodGet, peer+target, nil)
+		if err != nil {
+			return false
+		}
+		req.Header.Set(mesh.HeaderForward, mesh.ForwardFanout)
+		req.Header.Set(mesh.HeaderTenant, tenant)
+		for _, h := range proxyReqHeaders {
+			if v := r.Header.Get(h); v != "" {
+				req.Header.Set(h, v)
+			}
+		}
+		resp, err := s.node.Send(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound || resp.StatusCode >= 500 {
+			resp.Body.Close()
+			continue
+		}
+		for _, h := range proxyRespHeaders {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body) //nolint:errcheck — client gone is fine
+		resp.Body.Close()
+		s.mProxied.Inc()
+		return true
+	}
+	return false
+}
+
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	s.mQueryReqs.Inc()
 	start := time.Now()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
 	id := r.PathValue("id")
+	tv := s.a.Tenant(tenant)
 
-	run, err := s.a.Resolve(id)
+	run, err := tv.Resolve(id)
 	if err != nil {
+		if strings.Contains(err.Error(), "not found") && s.proxyRead(w, r, tenant, id, "/runs/"+id) {
+			return
+		}
 		s.fail(w, failCode(err), "%v", err)
 		return
 	}
@@ -241,7 +540,7 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	asJSON := r.URL.Query().Get("format") == "json" ||
 		strings.Contains(r.Header.Get("Accept"), "application/json")
 	if asJSON {
-		f, _, err := s.a.Get(run.ID)
+		f, _, err := tv.Get(run.ID)
 		if err != nil {
 			s.fail(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -260,12 +559,12 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if wantGzip && run.Gzip {
 		// The segment is already a gzip frame; stream it as the
 		// transfer encoding without recompressing.
-		payload, _, err = s.a.StoredPayload(run.ID)
+		payload, _, err = tv.StoredPayload(run.ID)
 		if err == nil {
 			w.Header().Set("Content-Encoding", "gzip")
 		}
 	} else {
-		payload, _, err = s.a.Payload(run.ID)
+		payload, _, err = tv.Payload(run.ID)
 	}
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, "%v", err)
@@ -280,9 +579,23 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	s.hQueries.Observe(time.Since(start).Nanoseconds())
 }
 
+// ListResponse is the JSON shape of GET /runs. Next, when present, is
+// the offset of the page after this one; its absence means the listing
+// is exhausted.
+type ListResponse struct {
+	Total  int   `json:"total"`
+	Offset int   `json:"offset"`
+	Next   int   `json:"next,omitempty"`
+	Runs   []Run `json:"runs"`
+}
+
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mQueryReqs.Inc()
 	start := time.Now()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
 	q := Query{Benchmark: r.URL.Query().Get("benchmark"), SigSet: r.URL.Query().Get("sigset")}
 	var err error
 	if v := r.URL.Query().Get("p"); v != "" {
@@ -312,18 +625,112 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	runs, total := s.a.List(q)
-	resp := struct {
-		Total  int   `json:"total"`
-		Offset int   `json:"offset"`
-		Runs   []Run `json:"runs"`
-	}{Total: total, Offset: q.Offset, Runs: runs}
+	fwd := mesh.Forwarded(r)
+	if !fwd {
+		// Server-side page bounds: an unspecified limit gets the
+		// documented default, an oversized one is clamped.
+		if q.Limit == 0 || q.Limit > maxListLimit {
+			if q.Limit > maxListLimit {
+				q.Limit = maxListLimit
+			} else {
+				q.Limit = defaultListLimit
+			}
+		}
+	}
+
+	var runs []Run
+	var total int
+	if s.node != nil && !fwd {
+		runs, total, err = s.scatterList(tenant, q, r.URL.Query())
+		if err != nil {
+			s.fail(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+	} else {
+		runs, total = s.a.list(tenant, q)
+	}
+
+	resp := ListResponse{Total: total, Offset: q.Offset, Runs: runs}
 	if resp.Runs == nil {
 		resp.Runs = []Run{}
+	}
+	if next := q.Offset + len(resp.Runs); len(resp.Runs) > 0 && next < total {
+		resp.Next = next
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp) //nolint:errcheck
 	s.hQueries.Observe(time.Since(start).Nanoseconds())
+}
+
+// scatterList merges the whole fleet's view of a tenant's runs:
+// local set plus every peer's (forwarded, uncapped) listing, deduped
+// by content address, newest first, then paginated exactly like a
+// single-archive listing. An unreachable peer degrades the listing to
+// the reachable subset rather than failing it — at R>=2 every run is
+// still visible through a surviving owner.
+func (s *server) scatterList(tenant string, q Query, params map[string][]string) ([]Run, int, error) {
+	full := q
+	full.Limit, full.Offset = 0, 0
+	local, _ := s.a.list(tenant, full)
+	byID := make(map[string]Run, len(local))
+	for _, r := range local {
+		byID[r.ID] = r
+	}
+
+	query := ""
+	for _, k := range []string{"benchmark", "p", "sig", "sigset"} {
+		if vs, ok := params[k]; ok && len(vs) > 0 && vs[0] != "" {
+			if query != "" {
+				query += "&"
+			}
+			query += k + "=" + vs[0]
+		}
+	}
+	path := "/runs"
+	if query != "" {
+		path += "?" + query
+	}
+	for _, peer := range s.node.Others() {
+		resp, err := s.node.Do(http.MethodGet, peer, path, tenant, mesh.ForwardFanout, "", nil)
+		if err != nil {
+			continue
+		}
+		body, err := readOK(resp)
+		if err != nil {
+			continue
+		}
+		var lr ListResponse
+		if json.Unmarshal(body, &lr) != nil {
+			continue
+		}
+		for _, r := range lr.Runs {
+			if _, seen := byID[r.ID]; !seen {
+				byID[r.ID] = r
+			}
+		}
+	}
+
+	merged := make([]Run, 0, len(byID))
+	for _, r := range byID {
+		merged = append(merged, r)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if !merged[i].Ingested.Equal(merged[j].Ingested) {
+			return merged[i].Ingested.After(merged[j].Ingested)
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	total := len(merged)
+	if q.Offset > 0 {
+		if q.Offset >= len(merged) {
+			return nil, total, nil
+		}
+		merged = merged[q.Offset:]
+	}
+	if q.Limit > 0 && len(merged) > q.Limit {
+		merged = merged[:q.Limit]
+	}
+	return merged, total, nil
 }
 
 func parseSig(v string) (uint64, error) {
@@ -345,10 +752,40 @@ type StatsResponse struct {
 	Report *zan.Report `json:"report"`
 }
 
+// notModified handles If-None-Match against a computed ETag, setting
+// the header either way and reporting whether a 304 was written.
+func notModified(w http.ResponseWriter, r *http.Request, etag string) bool {
+	w.Header().Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mQueryReqs.Inc()
 	start := time.Now()
-	f, run, err := s.a.Get(r.PathValue("id"))
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	tv := s.a.Tenant(tenant)
+	run, err := tv.Resolve(id)
+	if err != nil {
+		if strings.Contains(err.Error(), "not found") && s.proxyRead(w, r, tenant, id, "/runs/"+id+"/stats") {
+			return
+		}
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	// The report is a pure function of the immutable payload, so the
+	// content address is its ETag.
+	if notModified(w, r, `"stats-`+run.ID+`"`) {
+		return
+	}
+	f, _, err := tv.Get(run.ID)
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return
@@ -365,36 +802,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleEdgesPut(w http.ResponseWriter, r *http.Request) {
 	s.mIngestReqs.Inc()
-	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	defer body.Close()
-	var in io.Reader = body
-	switch enc := r.Header.Get("Content-Encoding"); enc {
-	case "", "identity":
-	case "gzip":
-		zr, err := gzip.NewReader(body)
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, "gzip body: %v", err)
-			return
-		}
-		defer zr.Close()
-		in = zr
-	default:
-		s.fail(w, http.StatusUnsupportedMediaType, "unsupported Content-Encoding %q", enc)
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
 		return
 	}
-	payload, err := io.ReadAll(in)
-	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			s.fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.opts.MaxBodyBytes)
-			return
-		}
-		s.fail(w, http.StatusBadRequest, "read body: %v", err)
+	payload := s.readBody(w, r)
+	if payload == nil {
 		return
 	}
-	s.mBytesIn.Add(uint64(len(payload)))
-
-	n, run, err := s.a.PutEdges(r.PathValue("id"), payload)
+	n, run, err := s.a.Tenant(tenant).PutEdges(r.PathValue("id"), payload)
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return
@@ -408,8 +824,16 @@ func (s *server) handleEdgesPut(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleEdgesGet(w http.ResponseWriter, r *http.Request) {
 	s.mQueryReqs.Inc()
-	payload, _, err := s.a.EdgesPayload(r.PathValue("id"))
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	payload, _, err := s.a.Tenant(tenant).EdgesPayload(id)
 	if err != nil {
+		if strings.Contains(err.Error(), "not found") && s.proxyRead(w, r, tenant, id, "/runs/"+id+"/edges") {
+			return
+		}
 		s.fail(w, failCode(err), "%v", err)
 		return
 	}
@@ -428,6 +852,10 @@ type WavesResponse struct {
 func (s *server) handleWaves(w http.ResponseWriter, r *http.Request) {
 	s.mQueryReqs.Inc()
 	start := time.Now()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
 	cols := 0
 	if v := r.URL.Query().Get("cols"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -437,7 +865,26 @@ func (s *server) handleWaves(w http.ResponseWriter, r *http.Request) {
 		}
 		cols = n
 	}
-	rep, run, err := s.a.Waves(r.PathValue("id"), cols)
+	id := r.PathValue("id")
+	tv := s.a.Tenant(tenant)
+	sidecar, run, err := tv.EdgesPayload(id)
+	if err != nil {
+		if strings.Contains(err.Error(), "not found") && s.proxyRead(w, r, tenant, id, "/runs/"+id+"/waves") {
+			return
+		}
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	// Unlike the trace payload the sidecar is replaceable, so the ETag
+	// must cover its bytes (plus the detector's cols knob), not just
+	// the run identity.
+	sum := sha256.New()
+	fmt.Fprintf(sum, "%s|%d|", run.ID, cols)
+	sum.Write(sidecar)
+	if notModified(w, r, `"waves-`+hex.EncodeToString(sum.Sum(nil)[:16])+`"`) {
+		return
+	}
+	rep, _, err := tv.Waves(run.ID, cols)
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return
@@ -464,12 +911,17 @@ type DiffResponse struct {
 func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	s.mQueryReqs.Inc()
 	start := time.Now()
-	fa, runA, err := s.a.Get(r.PathValue("a"))
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	tv := s.a.Tenant(tenant)
+	fa, runA, err := tv.Get(r.PathValue("a"))
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return
 	}
-	fb, runB, err := s.a.Get(r.PathValue("b"))
+	fb, runB, err := tv.Get(r.PathValue("b"))
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return
@@ -547,6 +999,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleLiveDeltas(w http.ResponseWriter, r *http.Request) {
 	s.mLiveReqs.Inc()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
 	id := r.PathValue("id")
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	defer body.Close()
@@ -560,7 +1016,7 @@ func (s *server) handleLiveDeltas(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "delta batch: %v", err)
 		return
 	}
-	ackSeq, err := s.live.Apply(id, batch)
+	ackSeq, err := s.live.ApplyT(tenant, id, batch)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -571,9 +1027,13 @@ func (s *server) handleLiveDeltas(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleLiveList(w http.ResponseWriter, r *http.Request) {
 	s.mLiveReqs.Inc()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
 	resp := struct {
 		Sessions []LiveSummary `json:"sessions"`
-	}{Sessions: s.live.List()}
+	}{Sessions: s.live.ListT(tenant)}
 	if resp.Sessions == nil {
 		resp.Sessions = []LiveSummary{}
 	}
@@ -583,8 +1043,12 @@ func (s *server) handleLiveList(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleLiveGet(w http.ResponseWriter, r *http.Request) {
 	s.mLiveReqs.Inc()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
 	withMetrics := r.URL.Query().Get("metrics") == "1"
-	v, err := s.live.View(r.PathValue("id"), withMetrics)
+	v, err := s.live.ViewT(tenant, r.PathValue("id"), withMetrics)
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return
@@ -595,6 +1059,10 @@ func (s *server) handleLiveGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleLiveWatch(w http.ResponseWriter, r *http.Request) {
 	s.mLiveReqs.Inc()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
 	var after uint64
 	if v := r.URL.Query().Get("version"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
@@ -604,25 +1072,213 @@ func (s *server) handleLiveWatch(w http.ResponseWriter, r *http.Request) {
 		}
 		after = n
 	}
-	// The long-poll must resolve inside the server's request timeout
-	// (the whole handler chain sits under http.TimeoutHandler).
-	maxWait := s.opts.RequestTimeout * 3 / 4
-	wait := maxWait
-	if v := r.URL.Query().Get("timeout"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			s.fail(w, http.StatusBadRequest, "timeout: %q", v)
-			return
-		}
-		if d < wait {
-			wait = d
-		}
+	wait, ok := s.longPollWait(w, r)
+	if !ok {
+		return
 	}
-	v, err := s.live.Watch(r.PathValue("id"), after, wait)
+	v, err := s.live.WatchT(tenant, r.PathValue("id"), after, wait)
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// longPollWait resolves the ?timeout= parameter against the server's
+// request timeout (the whole handler chain sits under
+// http.TimeoutHandler, so the poll must resolve inside it).
+func (s *server) longPollWait(w http.ResponseWriter, r *http.Request) (time.Duration, bool) {
+	maxWait := s.opts.RequestTimeout * 3 / 4
+	wait := maxWait
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			s.fail(w, http.StatusBadRequest, "timeout: %q", v)
+			return 0, false
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+	return wait, true
+}
+
+// --- continuous-query endpoints ---
+
+func (s *server) handleCQPut(w http.ResponseWriter, r *http.Request) {
+	s.mQueryReqs.Inc()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	payload := s.readBody(w, r)
+	if payload == nil {
+		return
+	}
+	var spec cq.Spec
+	if err := json.Unmarshal(payload, &spec); err != nil {
+		s.fail(w, http.StatusBadRequest, "cq spec: %v", err)
+		return
+	}
+	spec.Tenant = tenant
+	stored, err := s.cq.Register(spec)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Registrations fan out to the whole fleet (every peer can be the
+	// primary owner of a future ingest); anti-entropy re-syncs any peer
+	// that was down. Best-effort by design.
+	if s.node != nil && !mesh.Forwarded(r) {
+		body, _ := json.Marshal(stored)
+		for _, peer := range s.node.Others() {
+			resp, err := s.node.Do(http.MethodPut, peer, "/cq", tenant, mesh.ForwardFanout,
+				"application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(stored) //nolint:errcheck
+}
+
+func (s *server) handleCQList(w http.ResponseWriter, r *http.Request) {
+	s.mQueryReqs.Inc()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	var specs []cq.Spec
+	if r.URL.Query().Get("all") == "1" && mesh.Forwarded(r) {
+		// Anti-entropy sync path: a sweeping peer needs every tenant's
+		// registrations; external clients only ever see their own.
+		specs = s.cq.All()
+	} else {
+		specs = s.cq.List(tenant)
+	}
+	if specs == nil {
+		specs = []cq.Spec{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(specs) //nolint:errcheck
+}
+
+func (s *server) handleCQDelete(w http.ResponseWriter, r *http.Request) {
+	s.mQueryReqs.Inc()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.cq.Delete(tenant, name); err != nil {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+	if s.node != nil && !mesh.Forwarded(r) {
+		for _, peer := range s.node.Others() {
+			resp, err := s.node.Do(http.MethodDelete, peer, "/cq/"+name, tenant, mesh.ForwardFanout, "", nil)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleCQEvents(w http.ResponseWriter, r *http.Request) {
+	s.mQueryReqs.Inc()
+	tenant, ok := s.tenantOf(w, r)
+	if !ok {
+		return
+	}
+	var view cq.FeedView
+	if v := r.URL.Query().Get("version"); v != "" {
+		after, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "version: %q", v)
+			return
+		}
+		wait, ok := s.longPollWait(w, r)
+		if !ok {
+			return
+		}
+		view = s.cq.Watch(tenant, after, wait)
+	} else {
+		view = s.cq.Feed(tenant)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(view) //nolint:errcheck
+}
+
+// handleCQEventPost receives a peer's event broadcast. Forwarded-only:
+// external clients cannot forge feed entries.
+func (s *server) handleCQEventPost(w http.ResponseWriter, r *http.Request) {
+	if !mesh.Forwarded(r) {
+		s.fail(w, http.StatusForbidden, "cq event broadcast is mesh-internal")
+		return
+	}
+	payload := s.readBody(w, r)
+	if payload == nil {
+		return
+	}
+	var ev cq.Event
+	if err := json.Unmarshal(payload, &ev); err != nil {
+		s.fail(w, http.StatusBadRequest, "cq event: %v", err)
+		return
+	}
+	s.cq.Append(ev)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- mesh endpoints ---
+
+func (s *server) handleMeshManifest(w http.ResponseWriter, r *http.Request) {
+	entries := s.a.MeshTarget().Entries()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Tenant != entries[j].Tenant {
+			return entries[i].Tenant < entries[j].Tenant
+		}
+		return entries[i].ID < entries[j].ID
+	})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(entries) //nolint:errcheck
+}
+
+// MeshStatus is the JSON shape of GET /mesh/status.
+type MeshStatus struct {
+	Self     string           `json:"self,omitempty"`
+	Peers    []string         `json:"peers,omitempty"`
+	Replicas int              `json:"replicas,omitempty"`
+	Runs     int              `json:"runs"`
+	Tenants  map[string]int64 `json:"tenants,omitempty"` // tenant -> used raw bytes
+}
+
+func (s *server) handleMeshStatus(w http.ResponseWriter, r *http.Request) {
+	st := MeshStatus{Runs: s.a.Len(), Tenants: map[string]int64{}}
+	for _, t := range s.a.Tenants() {
+		st.Tenants[t] = s.a.Tenant(t).Used()
+	}
+	if s.node != nil {
+		st.Self = s.node.Self()
+		st.Peers = s.node.Peers()
+		st.Replicas = s.node.Replicas()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st) //nolint:errcheck
+}
+
+func (s *server) handleMeshSweep(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.node.Sweep(s.a.MeshTarget(), s.cq)
+	w.Header().Set("Content-Type", "application/json")
+	out := struct {
+		mesh.SweepReport
+		Error string `json:"error,omitempty"`
+	}{SweepReport: rep}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	json.NewEncoder(w).Encode(out) //nolint:errcheck
 }

@@ -6,18 +6,26 @@
 // Layout under the archive directory:
 //
 //	manifest.json              index of runs (atomic-swap on update)
-//	segments/ab/abcd....seg    immutable v2 binary payloads (optionally gzip)
-//	edges/ab/abcd....jsonl     causal-edge sidecars (see edges.go)
+//	segments/ab/abcd....seg    default-tenant v2 binary payloads (optionally gzip)
+//	edges/ab/abcd....jsonl     default-tenant causal-edge sidecars (see edges.go)
+//	tenants/<t>/segments/...   per-tenant payloads for every other tenant
+//	tenants/<t>/edges/...      per-tenant sidecars
 //	tmp/                       staging area for in-flight writes
 //
 // A run's identity is the SHA-256 of its canonical CHAMTRC2 encoding, so
 // ingest is idempotent: pushing the same trace twice (in any input
 // format — v1, v2, or JSON) normalizes to the same bytes, the same
-// content address, and a single stored segment. The manifest indexes
-// each run by benchmark, rank count, Call-Path signature set, and ingest
-// timestamp; it is only ever replaced whole (write-temp + rename), never
-// edited in place, so a crash mid-update leaves the previous index
-// intact and at worst an orphaned segment, which Compact reclaims.
+// content address, and a single stored segment. Runs are namespaced by
+// tenant (see tenant.go): content addresses dedup within a tenant, and
+// tenants are fully isolated on disk — the same trace pushed by two
+// tenants is stored twice, so deleting one tenant's data can never
+// reach into another's.
+//
+// The manifest indexes each run by tenant, benchmark, rank count,
+// Call-Path signature set, and ingest timestamp; it is only ever
+// replaced whole (write-temp + rename), never edited in place, so a
+// crash mid-update leaves the previous index intact and at worst an
+// orphaned segment, which Compact reclaims.
 package store
 
 import (
@@ -26,6 +34,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -45,12 +54,23 @@ const (
 	KindCompact = "store_compact" // one compaction pass (Count: files removed)
 )
 
+// ErrQuotaExceeded marks an ingest rejected by a tenant storage quota.
+// The HTTP layer maps it to 429 + Retry-After.
+var ErrQuotaExceeded = errors.New("store: tenant storage quota exceeded")
+
 // Options configures an Archive.
 type Options struct {
 	// Gzip compresses stored segments on disk. Reads transparently
 	// decompress; the content address is always of the uncompressed
 	// canonical payload, so a gzip archive dedups against a plain one.
 	Gzip bool
+	// QuotaBytes caps each tenant's stored run data, measured in
+	// canonical (raw) payload bytes — deterministic regardless of the
+	// Gzip setting. 0 means unlimited.
+	QuotaBytes int64
+	// TenantQuotas overrides QuotaBytes per tenant (0 entry = that
+	// tenant is unlimited).
+	TenantQuotas map[string]int64
 	// Reg, when non-nil, receives ingest/query/compaction counters and
 	// latency histograms.
 	Reg *obs.Registry
@@ -59,6 +79,10 @@ type Options struct {
 	// CompactEvery, when positive, starts a background goroutine that
 	// sweeps orphaned segments at this period until Close.
 	CompactEvery time.Duration
+	// OnCompact, when non-nil, runs after each background compaction
+	// pass — the hook chamd uses to piggyback the federation's
+	// anti-entropy sweep on the same cadence.
+	OnCompact func()
 }
 
 // Run is one archived trace: the manifest record the index keeps and
@@ -67,6 +91,9 @@ type Run struct {
 	// ID is the content address: hex SHA-256 of the canonical CHAMTRC2
 	// payload.
 	ID string `json:"id"`
+	// Tenant is the namespace the run lives in (empty in old manifests
+	// means DefaultTenant).
+	Tenant string `json:"tenant,omitempty"`
 	// Benchmark/Tracer/P/Clustered mirror the trace file metadata.
 	Benchmark string `json:"benchmark,omitempty"`
 	Tracer    string `json:"tracer,omitempty"`
@@ -108,7 +135,8 @@ type Archive struct {
 	opts Options
 
 	mu   sync.Mutex
-	runs map[string]*Run // by full content address
+	runs map[string]map[string]*Run // tenant -> content address -> run
+	used map[string]int64           // tenant -> sum of RawBytes
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -116,6 +144,7 @@ type Archive struct {
 	mIngest, mDedup, mGets, mLists, mDeletes *obs.Counter
 	mCompacts, mOrphans                      *obs.Counter
 	mRawBytes, mStoredBytes                  *obs.Counter
+	mQuotaRejects                            *obs.Counter
 	hIngest, hGet                            *obs.Histogram
 }
 
@@ -136,20 +165,22 @@ func Open(dir string, opts Options) (*Archive, error) {
 	a := &Archive{
 		dir:  dir,
 		opts: opts,
-		runs: make(map[string]*Run),
+		runs: make(map[string]map[string]*Run),
+		used: make(map[string]int64),
 		stop: make(chan struct{}),
 
-		mIngest:      opts.Reg.Counter("store_ingests"),
-		mDedup:       opts.Reg.Counter("store_ingest_dedups"),
-		mGets:        opts.Reg.Counter("store_gets"),
-		mLists:       opts.Reg.Counter("store_lists"),
-		mDeletes:     opts.Reg.Counter("store_deletes"),
-		mCompacts:    opts.Reg.Counter("store_compactions"),
-		mOrphans:     opts.Reg.Counter("store_orphans_removed"),
-		mRawBytes:    opts.Reg.Counter("store_raw_bytes"),
-		mStoredBytes: opts.Reg.Counter("store_stored_bytes"),
-		hIngest:      opts.Reg.Histogram("store_ingest_ns"),
-		hGet:         opts.Reg.Histogram("store_get_ns"),
+		mIngest:       opts.Reg.Counter("store_ingests"),
+		mDedup:        opts.Reg.Counter("store_ingest_dedups"),
+		mGets:         opts.Reg.Counter("store_gets"),
+		mLists:        opts.Reg.Counter("store_lists"),
+		mDeletes:      opts.Reg.Counter("store_deletes"),
+		mCompacts:     opts.Reg.Counter("store_compactions"),
+		mOrphans:      opts.Reg.Counter("store_orphans_removed"),
+		mRawBytes:     opts.Reg.Counter("store_raw_bytes"),
+		mStoredBytes:  opts.Reg.Counter("store_stored_bytes"),
+		mQuotaRejects: opts.Reg.Counter("store_quota_rejects"),
+		hIngest:       opts.Reg.Histogram("store_ingest_ns"),
+		hGet:          opts.Reg.Histogram("store_get_ns"),
 	}
 	if err := a.loadManifest(); err != nil {
 		return nil, err
@@ -183,14 +214,27 @@ func (a *Archive) compactLoop(every time.Duration) {
 			return
 		case <-t.C:
 			a.Compact() //nolint:errcheck — best-effort background sweep
+			if a.opts.OnCompact != nil {
+				a.opts.OnCompact()
+			}
 		}
 	}
 }
 
 func (a *Archive) manifestPath() string { return filepath.Join(a.dir, "manifest.json") }
 
-func (a *Archive) segmentPath(id string) string {
-	return filepath.Join(a.dir, "segments", id[:2], id+".seg")
+// tenantRoot returns the directory a tenant's payload tree lives
+// under: the archive root for the default tenant (the pre-federation
+// layout), tenants/<name> for everyone else.
+func (a *Archive) tenantRoot(tenant string) string {
+	if tenant == DefaultTenant {
+		return a.dir
+	}
+	return filepath.Join(a.dir, "tenants", tenant)
+}
+
+func (a *Archive) segmentPath(tenant, id string) string {
+	return filepath.Join(a.tenantRoot(tenant), "segments", id[:2], id+".seg")
 }
 
 func (a *Archive) loadManifest() error {
@@ -209,19 +253,43 @@ func (a *Archive) loadManifest() error {
 		return fmt.Errorf("store: manifest version %d not supported", m.Version)
 	}
 	for _, r := range m.Runs {
-		a.runs[r.ID] = r
+		if r.Tenant == "" {
+			r.Tenant = DefaultTenant
+		}
+		a.putRunLocked(r)
 	}
 	return nil
+}
+
+// putRunLocked indexes a run and charges its tenant. Callers hold a.mu
+// (or are still single-threaded in Open).
+func (a *Archive) putRunLocked(r *Run) {
+	t := a.runs[r.Tenant]
+	if t == nil {
+		t = make(map[string]*Run)
+		a.runs[r.Tenant] = t
+	}
+	if _, dup := t[r.ID]; !dup {
+		a.used[r.Tenant] += r.RawBytes
+	}
+	t[r.ID] = r
 }
 
 // writeManifest atomically replaces the on-disk index with the current
 // in-memory run set. Callers hold a.mu.
 func (a *Archive) writeManifest() error {
-	m := manifest{Version: manifestVersion, Runs: make([]*Run, 0, len(a.runs))}
-	for _, r := range a.runs {
-		m.Runs = append(m.Runs, r)
+	m := manifest{Version: manifestVersion}
+	for _, t := range a.runs {
+		for _, r := range t {
+			m.Runs = append(m.Runs, r)
+		}
 	}
-	sort.Slice(m.Runs, func(i, j int) bool { return m.Runs[i].ID < m.Runs[j].ID })
+	sort.Slice(m.Runs, func(i, j int) bool {
+		if m.Runs[i].Tenant != m.Runs[j].Tenant {
+			return m.Runs[i].Tenant < m.Runs[j].Tenant
+		}
+		return m.Runs[i].ID < m.Runs[j].ID
+	})
 	data, err := json.MarshalIndent(m, "", " ")
 	if err != nil {
 		return err
@@ -291,56 +359,64 @@ func describe(f *trace.File, payload []byte, id string) *Run {
 	}
 }
 
-// Ingest archives a trace file. It returns the manifest record and
-// whether a new segment was created (false when the content address was
-// already present — the dedup path stores nothing).
+// Ingest archives a trace file into the default tenant. It returns the
+// manifest record and whether a new segment was created (false when the
+// content address was already present — the dedup path stores nothing).
 func (a *Archive) Ingest(f *trace.File) (Run, bool, error) {
-	payload, id, err := Encode(f)
-	if err != nil {
-		return Run{}, false, fmt.Errorf("store: encode: %w", err)
-	}
-	return a.ingest(f, payload, id)
+	return a.Tenant(DefaultTenant).Ingest(f)
 }
 
 // IngestBytes archives a serialized trace (any readable format: binary
-// v1/v2 or JSON). The payload is decoded — validating it — and
-// re-encoded canonically, so equivalent pushes in different formats
-// share one content address.
+// v1/v2 or JSON) into the default tenant. The payload is decoded —
+// validating it — and re-encoded canonically, so equivalent pushes in
+// different formats share one content address.
 func (a *Archive) IngestBytes(b []byte) (Run, bool, error) {
-	f, err := trace.ReadAny(bytes.NewReader(b))
-	if err != nil {
-		return Run{}, false, fmt.Errorf("store: ingest: %w", err)
-	}
-	return a.Ingest(f)
+	return a.Tenant(DefaultTenant).IngestBytes(b)
 }
 
-func (a *Archive) ingest(f *trace.File, payload []byte, id string) (Run, bool, error) {
+// quotaFor returns a tenant's raw-byte quota (0 = unlimited).
+func (a *Archive) quotaFor(tenant string) int64 {
+	if q, ok := a.opts.TenantQuotas[tenant]; ok {
+		return q
+	}
+	return a.opts.QuotaBytes
+}
+
+func (a *Archive) ingest(tenant string, f *trace.File, payload []byte, id string) (Run, bool, error) {
 	start := time.Now()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 
-	if r, ok := a.runs[id]; ok {
+	if r, ok := a.runs[tenant][id]; ok {
 		a.mIngest.Inc()
 		a.mDedup.Inc()
 		a.opts.Journal.Emit(obs.Event{Kind: KindIngest, Note: "dedup", Bytes: r.RawBytes})
 		return *r, false, nil
 	}
 
+	if quota := a.quotaFor(tenant); quota > 0 && a.used[tenant]+int64(len(payload)) > quota {
+		a.mQuotaRejects.Inc()
+		return Run{}, false, fmt.Errorf("%w: tenant %q holds %d of %d bytes, run needs %d more",
+			ErrQuotaExceeded, tenant, a.used[tenant], quota, len(payload))
+	}
+
 	run := describe(f, payload, id)
+	run.Tenant = tenant
 	run.Ingested = time.Now().UTC()
 	run.Gzip = a.opts.Gzip
 
-	stored, err := a.writeSegment(id, payload)
+	stored, err := a.writeSegment(tenant, id, payload)
 	if err != nil {
 		return Run{}, false, err
 	}
 	run.StoredBytes = stored
 
-	a.runs[id] = run
+	a.putRunLocked(run)
 	if err := a.writeManifest(); err != nil {
 		// Roll back the index entry; the segment becomes an orphan that
 		// the next Compact reclaims.
-		delete(a.runs, id)
+		delete(a.runs[tenant], id)
+		a.used[tenant] -= run.RawBytes
 		return Run{}, false, err
 	}
 
@@ -355,8 +431,8 @@ func (a *Archive) ingest(f *trace.File, payload []byte, id string) (Run, bool, e
 // writeSegment stages the payload in tmp/ and renames it into place, so
 // a segment path either doesn't exist or holds complete bytes. Callers
 // hold a.mu.
-func (a *Archive) writeSegment(id string, payload []byte) (int64, error) {
-	path := a.segmentPath(id)
+func (a *Archive) writeSegment(tenant, id string, payload []byte) (int64, error) {
+	path := a.segmentPath(tenant, id)
 	if fi, err := os.Stat(path); err == nil {
 		// Orphan left by a crashed ingest whose manifest swap never
 		// landed: the bytes are content-addressed, reuse them.
@@ -402,17 +478,22 @@ func (a *Archive) writeSegment(id string, payload []byte) (int64, error) {
 	return fi.Size(), nil
 }
 
-// Resolve looks a run up by full content address or by unique prefix
-// (at least 6 hex digits).
+// Resolve looks a default-tenant run up by full content address or by
+// unique prefix (at least 6 hex digits).
 func (a *Archive) Resolve(id string) (Run, error) {
+	return a.Tenant(DefaultTenant).Resolve(id)
+}
+
+func (a *Archive) resolve(tenant, id string) (Run, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if r, ok := a.runs[id]; ok {
+	runs := a.runs[tenant]
+	if r, ok := runs[id]; ok {
 		return *r, nil
 	}
 	if len(id) >= 6 && len(id) < 64 {
 		var found *Run
-		for k, r := range a.runs {
+		for k, r := range runs {
 			if strings.HasPrefix(k, id) {
 				if found != nil {
 					return Run{}, fmt.Errorf("store: run %q is ambiguous", id)
@@ -427,11 +508,15 @@ func (a *Archive) Resolve(id string) (Run, error) {
 	return Run{}, fmt.Errorf("store: run %q not found", id)
 }
 
-// Payload returns the canonical (uncompressed) segment bytes of a run,
-// verifying them against the content address.
+// Payload returns the canonical (uncompressed) segment bytes of a
+// default-tenant run, verifying them against the content address.
 func (a *Archive) Payload(id string) ([]byte, Run, error) {
+	return a.Tenant(DefaultTenant).Payload(id)
+}
+
+func (a *Archive) payload(tenant, id string) ([]byte, Run, error) {
 	start := time.Now()
-	run, err := a.Resolve(id)
+	run, err := a.resolve(tenant, id)
 	if err != nil {
 		return nil, Run{}, err
 	}
@@ -448,15 +533,19 @@ func (a *Archive) Payload(id string) ([]byte, Run, error) {
 	return raw, run, nil
 }
 
-// StoredPayload returns the on-disk segment bytes as stored (gzip
-// frame intact when the archive compresses), for zero-copy HTTP
-// serving with Content-Encoding: gzip.
+// StoredPayload returns the on-disk segment bytes of a default-tenant
+// run as stored (gzip frame intact when the archive compresses), for
+// zero-copy HTTP serving with Content-Encoding: gzip.
 func (a *Archive) StoredPayload(id string) ([]byte, Run, error) {
-	run, err := a.Resolve(id)
+	return a.Tenant(DefaultTenant).StoredPayload(id)
+}
+
+func (a *Archive) storedPayload(tenant, id string) ([]byte, Run, error) {
+	run, err := a.resolve(tenant, id)
 	if err != nil {
 		return nil, Run{}, err
 	}
-	b, err := os.ReadFile(a.segmentPath(run.ID))
+	b, err := os.ReadFile(a.segmentPath(tenant, run.ID))
 	if err != nil {
 		return nil, Run{}, fmt.Errorf("store: segment: %w", err)
 	}
@@ -465,7 +554,7 @@ func (a *Archive) StoredPayload(id string) ([]byte, Run, error) {
 }
 
 func (a *Archive) readSegment(run Run) ([]byte, error) {
-	f, err := os.Open(a.segmentPath(run.ID))
+	f, err := os.Open(a.segmentPath(run.Tenant, run.ID))
 	if err != nil {
 		return nil, fmt.Errorf("store: segment: %w", err)
 	}
@@ -486,25 +575,21 @@ func (a *Archive) readSegment(run Run) ([]byte, error) {
 	return b, nil
 }
 
-// Get decodes an archived run back into a trace file.
+// Get decodes an archived default-tenant run back into a trace file.
 func (a *Archive) Get(id string) (*trace.File, Run, error) {
-	raw, run, err := a.Payload(id)
-	if err != nil {
-		return nil, Run{}, err
-	}
-	f, err := trace.ReadAny(bytes.NewReader(raw))
-	if err != nil {
-		return nil, Run{}, fmt.Errorf("store: decode %s: %w", run.ID[:12], err)
-	}
-	return f, run, nil
+	return a.Tenant(DefaultTenant).Get(id)
 }
 
-// List returns the runs matching q, newest first, plus the total match
-// count before pagination.
+// List returns the default-tenant runs matching q, newest first, plus
+// the total match count before pagination.
 func (a *Archive) List(q Query) ([]Run, int) {
+	return a.Tenant(DefaultTenant).List(q)
+}
+
+func (a *Archive) list(tenant string, q Query) ([]Run, int) {
 	a.mu.Lock()
-	matched := make([]Run, 0, len(a.runs))
-	for _, r := range a.runs {
+	matched := make([]Run, 0, len(a.runs[tenant]))
+	for _, r := range a.runs[tenant] {
 		if q.Benchmark != "" && r.Benchmark != q.Benchmark {
 			continue
 		}
@@ -546,18 +631,25 @@ func containsSig(sorted []uint64, sig uint64) bool {
 	return i < len(sorted) && sorted[i] == sig
 }
 
-// Delete drops a run from the manifest. The segment stays on disk as an
-// orphan (the store is append-only) until Compact reclaims it.
+// Delete drops a default-tenant run from the manifest. The segment
+// stays on disk as an orphan (the store is append-only) until Compact
+// reclaims it.
 func (a *Archive) Delete(id string) error {
+	return a.Tenant(DefaultTenant).Delete(id)
+}
+
+func (a *Archive) deleteRun(tenant, id string) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	r, ok := a.runs[id]
+	r, ok := a.runs[tenant][id]
 	if !ok {
 		return fmt.Errorf("store: run %q not found", id)
 	}
-	delete(a.runs, id)
+	delete(a.runs[tenant], id)
+	a.used[tenant] -= r.RawBytes
 	if err := a.writeManifest(); err != nil {
-		a.runs[id] = r
+		a.runs[tenant][id] = r
+		a.used[tenant] += r.RawBytes
 		return err
 	}
 	a.mDeletes.Inc()
@@ -565,53 +657,43 @@ func (a *Archive) Delete(id string) error {
 }
 
 // Compact removes segment files no manifest run references (crashed
-// ingests, deleted runs) and clears the tmp staging area. It returns
-// the number of files removed.
+// ingests, deleted runs) across every tenant and clears the tmp staging
+// area. It returns the number of files removed.
 func (a *Archive) Compact() (int, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	removed := 0
-
-	segRoot := filepath.Join(a.dir, "segments")
 	var firstErr error
-	entries, err := os.ReadDir(segRoot)
-	if err != nil {
-		return 0, fmt.Errorf("store: compact: %w", err)
-	}
-	for _, sub := range entries {
-		if !sub.IsDir() {
-			continue
-		}
-		subPath := filepath.Join(segRoot, sub.Name())
-		segs, err := os.ReadDir(subPath)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		for _, s := range segs {
-			id := strings.TrimSuffix(s.Name(), ".seg")
-			if _, live := a.runs[id]; live {
-				continue
-			}
-			if err := os.Remove(filepath.Join(subPath, s.Name())); err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			removed++
-		}
-		// Drop now-empty fan-out directories; best-effort.
-		os.Remove(subPath)
-	}
 
-	// Edge sidecars of deleted runs are orphans too.
-	if n, err := a.compactEdgesLocked(); true {
-		removed += n
+	note := func(err error) {
 		if err != nil && firstErr == nil {
 			firstErr = err
+		}
+	}
+
+	// Every tenant payload tree: the legacy default-tenant layout plus
+	// tenants/<name>/ for everyone else — including directories of
+	// tenants the manifest no longer mentions at all.
+	roots := map[string]string{DefaultTenant: a.dir}
+	if entries, err := os.ReadDir(filepath.Join(a.dir, "tenants")); err == nil {
+		for _, e := range entries {
+			if e.IsDir() {
+				roots[e.Name()] = filepath.Join(a.dir, "tenants", e.Name())
+			}
+		}
+	}
+	for tenant, root := range roots {
+		n, err := a.compactTreeLocked(tenant, filepath.Join(root, "segments"), ".seg")
+		removed += n
+		note(err)
+		n, err = a.compactTreeLocked(tenant, filepath.Join(root, "edges"), ".jsonl")
+		removed += n
+		note(err)
+		if tenant != DefaultTenant {
+			// Drop a fully emptied tenant directory; best-effort.
+			os.Remove(filepath.Join(root, "segments"))
+			os.Remove(filepath.Join(root, "edges"))
+			os.Remove(root)
 		}
 	}
 
@@ -636,9 +718,54 @@ func (a *Archive) Compact() (int, error) {
 	return removed, nil
 }
 
-// Len returns the number of archived runs.
+// compactTreeLocked removes files under a fan-out tree (segments or
+// edges) whose trimmed name is not a live run of the tenant. Callers
+// hold a.mu.
+func (a *Archive) compactTreeLocked(tenant, root, ext string) (removed int, firstErr error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, sub := range entries {
+		if !sub.IsDir() {
+			continue
+		}
+		subPath := filepath.Join(root, sub.Name())
+		files, err := os.ReadDir(subPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, f := range files {
+			id := strings.TrimSuffix(f.Name(), ext)
+			if _, live := a.runs[tenant][id]; live {
+				continue
+			}
+			if err := os.Remove(filepath.Join(subPath, f.Name())); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			removed++
+		}
+		os.Remove(subPath) // drop now-empty fan-out directories; best-effort
+	}
+	return removed, firstErr
+}
+
+// Len returns the number of archived runs across all tenants.
 func (a *Archive) Len() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.runs)
+	n := 0
+	for _, t := range a.runs {
+		n += len(t)
+	}
+	return n
 }

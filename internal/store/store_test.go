@@ -176,7 +176,7 @@ func TestGetRoundTripAndIntegrity(t *testing.T) {
 	}
 
 	// Corrupt the segment on disk; the content-address check must catch it.
-	seg := a.segmentPath(id)
+	seg := a.segmentPath(DefaultTenant, id)
 	b, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +202,7 @@ func TestGzipSegments(t *testing.T) {
 	}
 
 	// The on-disk segment is a gzip frame.
-	raw, err := os.ReadFile(a.segmentPath(run.ID))
+	raw, err := os.ReadFile(a.segmentPath(DefaultTenant, run.ID))
 	if err != nil {
 		t.Fatal(err)
 	}

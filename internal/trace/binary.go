@@ -9,12 +9,19 @@ package trace
 // of its full 64-bit stack signature:
 //
 //	magic "CHAMTRC2"
-//	varint P, flags byte (clustered, filter), strings benchmark/tracer
+//	varint P, flags byte (clustered, filter, has-retired), strings
+//	benchmark/tracer
 //	site table: varint count, then per site:
 //	  uvarint signature, strings func/file, varint line
 //	varint node count, then nodes depth-first:
 //	  0x01 leaf:  op, site-index, comm, tag, bytes, dest, src, ranklist, hist
 //	  0x02 loop:  iters, optional iters-hist, body count, body nodes
+//	if flags has-retired: varint count, then the sorted retired ranks
+//
+// The retired section is written only when non-empty and announced by
+// its flag bit, so a trace with no crashed ranks encodes byte-identical
+// to files written before the section existed — content addresses of
+// archived runs are stable across the addition.
 //
 // Version 1 ("CHAMTRC1") had no site table and stored the raw stack
 // signature on each leaf; ReadBinary still reads it.
@@ -29,6 +36,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 
 	"chameleon/internal/mpi"
 	"chameleon/internal/ranklist"
@@ -139,12 +147,16 @@ func (f *File) WriteBinary(w io.Writer) error {
 		return err
 	}
 	bw.uvarint(uint64(f.P))
+	retired := canonicalRetired(f.Retired)
 	var flags byte
 	if f.Clustered {
 		flags |= 1
 	}
 	if f.Filter {
 		flags |= 2
+	}
+	if len(retired) > 0 {
+		flags |= 4
 	}
 	bw.byte(flags)
 	bw.str(f.Benchmark)
@@ -159,10 +171,35 @@ func (f *File) WriteBinary(w io.Writer) error {
 		bw.varint(int64(s.Line))
 	}
 	writeSeq(bw, f.Nodes, index)
+	if len(retired) > 0 {
+		bw.uvarint(uint64(len(retired)))
+		for _, rk := range retired {
+			bw.varint(int64(rk))
+		}
+	}
 	if bw.err != nil {
 		return bw.err
 	}
 	return bw.w.Flush()
+}
+
+// canonicalRetired returns the retired list sorted and deduplicated —
+// the encoding must be a function of the set, not of crash order, or
+// identical runs would hash to different content addresses.
+func canonicalRetired(retired []int) []int {
+	if len(retired) == 0 {
+		return nil
+	}
+	out := append([]int(nil), retired...)
+	sort.Ints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // collectSites walks the sequence and assigns every distinct call-site
@@ -298,6 +335,9 @@ func ReadBinary(r io.Reader) (*File, error) {
 		sites = readSiteTable(br, f)
 	}
 	f.Nodes = readSeq(br, 0, sites)
+	if flags&4 != 0 {
+		f.Retired = readRetired(br, f.P)
+	}
 	if br.err != nil {
 		return nil, fmt.Errorf("trace: decode binary: %w", br.err)
 	}
@@ -415,6 +455,35 @@ func readNode(br *binReader, depth int, sites *decodeSites) *Node {
 		}
 		return &Node{Delta: stats.NewHistogram()}
 	}
+}
+
+// readRetired decodes the optional trailing retired-ranks section. The
+// count is bounded by the file's rank count (a retired rank must be a
+// world rank), so a corrupt count cannot force a huge allocation.
+func readRetired(br *binReader, p int) []int {
+	n := br.uvarint()
+	if br.err != nil {
+		return nil
+	}
+	if p < 0 || n > uint64(p) {
+		br.err = fmt.Errorf("trace: retired count %d out of range", n)
+		return nil
+	}
+	// Cap the preallocation: P is attacker-controlled in a corrupt file.
+	pre := n
+	if pre > 4096 {
+		pre = 4096
+	}
+	out := make([]int, 0, pre)
+	for i := uint64(0); i < n && br.err == nil; i++ {
+		rk := br.varint()
+		if rk < 0 || rk >= int64(p) {
+			br.err = fmt.Errorf("trace: retired rank %d out of range", rk)
+			return nil
+		}
+		out = append(out, int(rk))
+	}
+	return out
 }
 
 func readEndpoint(br *binReader) Endpoint {

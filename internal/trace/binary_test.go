@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"slices"
 	"strings"
 	"testing"
 
@@ -60,6 +61,81 @@ func TestBinaryRoundTrip(t *testing.T) {
 	loop := back.Nodes[1].Body[1]
 	if loop.ItersHist == nil || loop.MeanIters() != 6 {
 		t.Fatalf("iters hist lost: %+v", loop)
+	}
+}
+
+// TestBinaryRetiredRoundTrip pins the retired-ranks section: the set
+// survives a binary round trip canonically (sorted, deduplicated), a
+// retired-free file encodes byte-identical with the field nil or empty
+// (content-address stability), and corrupt sections are rejected.
+func TestBinaryRetiredRoundTrip(t *testing.T) {
+	f := sampleFile()
+	f.Retired = []int{5, 1, 5, 3}
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 3, 5}; !slices.Equal(back.Retired, want) {
+		t.Fatalf("retired = %v, want %v", back.Retired, want)
+	}
+	// Same set, different crash order: identical bytes (the content
+	// address must be a function of the set).
+	f.Retired = []int{3, 5, 1}
+	var buf2 bytes.Buffer
+	if err := f.WriteBinary(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("retired order changed the encoding")
+	}
+	// No retired ranks: byte-identical whether the field is nil or
+	// empty, and identical to the pre-section format.
+	f.Retired = nil
+	var bare bytes.Buffer
+	if err := f.WriteBinary(&bare); err != nil {
+		t.Fatal(err)
+	}
+	f.Retired = []int{}
+	var empty bytes.Buffer
+	if err := f.WriteBinary(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bare.Bytes(), empty.Bytes()) {
+		t.Fatal("empty retired slice changed the encoding")
+	}
+	if bytes.Equal(bare.Bytes(), buf.Bytes()) {
+		t.Fatal("retired section missing from the encoding")
+	}
+	if got, err := ReadBinary(bytes.NewReader(bare.Bytes())); err != nil || got.Retired != nil {
+		t.Fatalf("bare decode: retired=%v err=%v", got.Retired, err)
+	}
+	// Corrupt sections: count past P, rank past P.
+	f.Retired = []int{1}
+	var one bytes.Buffer
+	if err := f.WriteBinary(&one); err != nil {
+		t.Fatal(err)
+	}
+	good := one.Bytes()
+	for name, mutate := range map[string]func([]byte) []byte{
+		"count past P": func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[len(b)-2] = 200 // count varint (P is 8)
+			return b
+		},
+		"rank past P": func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[len(b)-1] = 100 // zigzag varint 50 (P is 8)
+			return b
+		},
+		"truncated": func(b []byte) []byte { return b[:len(b)-1] },
+	} {
+		if _, err := ReadBinary(bytes.NewReader(mutate(good))); err == nil {
+			t.Errorf("%s: corrupt retired section accepted", name)
+		}
 	}
 }
 
