@@ -41,7 +41,11 @@
 // tenant (X-Cham-Tenant header; tools take -tenant), with optional
 // per-tenant storage quotas (-tenant-quota-mb) and token-bucket rate
 // limits (-rate-limit/-rate-burst); either breach answers 429 +
-// Retry-After at the edge. Continuous queries (PUT /cq) gate every ingest of a benchmark
+// Retry-After at the edge. A -mesh-secret (or $CHAMD_MESH_SECRET),
+// shared by every peer, authenticates intra-mesh traffic — without
+// one, the X-Cham-Mesh loop-guard header is honored cooperatively and
+// tenancy/rate limiting are not a security boundary. Continuous
+// queries (PUT /cq) gate every ingest of a benchmark
 // against a golden run via the chamstat diff engine and append
 // regression/ok events to a long-pollable per-tenant feed.
 //
@@ -101,6 +105,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer URLs forming a federated mesh (must include -self)")
 	self := flag.String("self", "", "this peer's own URL as listed in -peers")
 	replicas := flag.Int("replicas", 2, "mesh replication factor R (clamped to the peer count)")
+	meshSecret := flag.String("mesh-secret", os.Getenv("CHAMD_MESH_SECRET"),
+		"shared key authenticating intra-mesh requests (default $CHAMD_MESH_SECRET; empty = cooperative trust, see docs/STORE.md)")
 	antiEntropyEvery := flag.Duration("anti-entropy-every", 0, "extra anti-entropy sweep period (0 = sweep only with background compaction)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-tenant request rate limit in req/s (0 = unlimited; breaches get 429 + Retry-After)")
 	rateBurst := flag.Int("rate-burst", 0, "per-tenant rate-limit burst (default: the rate)")
@@ -130,6 +136,7 @@ func main() {
 			Self:     *self,
 			Peers:    strings.Split(*peers, ","),
 			Replicas: *replicas,
+			Secret:   *meshSecret,
 			Reg:      reg,
 		})
 		if err != nil {

@@ -244,9 +244,21 @@ func TestFedPeerDeathAndAntiEntropyRecovery(t *testing.T) {
 		}
 	}
 
-	// Writes keep landing while B is down.
+	// Writes keep landing while B is down — including edge sidecars,
+	// which fan out to whichever of the run's holders are alive even
+	// when the PUT arrives via a peer that does not hold the run.
 	for i := int64(6); i < 9; i++ {
 		ids = append(ids, push(urls[0], variantOf(t, baseCanon, i)))
+	}
+	sidecar := []byte(`{"from":0,"to":1,"seq":1,"send_ns":100,"arrive_ns":200,"recv_ns":250}` + "\n")
+	if err := store.PushEdges(urls[0], ids[0], sidecar, false); err != nil {
+		t.Fatalf("push edges with B dead: %v", err)
+	}
+	for _, u := range []string{urls[0], urls[2]} {
+		edges, err := store.FetchEdges(u, ids[0])
+		if err != nil || len(edges) != 1 {
+			t.Fatalf("edges via %s with B dead: %v (%d edges)", u, err, len(edges))
+		}
 	}
 
 	// Restart B on the same port and directory; one sweep per peer
@@ -274,6 +286,14 @@ func TestFedPeerDeathAndAntiEntropyRecovery(t *testing.T) {
 			if !bytes.Equal(body, canons[id]) {
 				t.Fatalf("owner %s run %s: bytes diverged after repair", owner, id[:12])
 			}
+		}
+	}
+	// The sidecar converged with its run: every owner serves it locally,
+	// whether it took the original fan-out or pulled it in the sweep.
+	for _, owner := range ring.Owners(ids[0], 2) {
+		code, body := fedHTTP(t, http.MethodGet, owner+"/runs/"+ids[0]+"/edges", nil, true)
+		if code != http.StatusOK || !bytes.Equal(body, sidecar) {
+			t.Fatalf("owner %s lacks the edge sidecar after recovery: %d", owner, code)
 		}
 	}
 

@@ -65,6 +65,12 @@ type Spec struct {
 	// UpdatedUnixMs stamps the registration; anti-entropy merges keep
 	// the newest.
 	UpdatedUnixMs int64 `json:"updated_unix_ms,omitempty"`
+	// Deleted marks a tombstone: the query was unregistered at
+	// UpdatedUnixMs. Tombstones never match ingests or appear in
+	// listings, but they do ride the anti-entropy sync so a peer that
+	// missed the delete broadcast retires its copy instead of
+	// resurrecting the spec mesh-wide.
+	Deleted bool `json:"deleted,omitempty"`
 }
 
 // Validate checks the registration fields that do not need the archive.
@@ -79,6 +85,10 @@ func (s Spec) Validate() error {
 		default:
 			return fmt.Errorf("cq: name contains %q (allowed: [A-Za-z0-9._-])", c)
 		}
+	}
+	if s.Deleted {
+		// A tombstone carries only identity and stamp.
+		return nil
 	}
 	if s.Golden == "" {
 		return fmt.Errorf("cq: golden run reference is required")
@@ -214,7 +224,11 @@ func (e *Engine) putLocked(s *Spec) {
 func (e *Engine) countLocked() int {
 	n := 0
 	for _, t := range e.specs {
-		n += len(t)
+		for _, s := range t {
+			if !s.Deleted {
+				n++
+			}
+		}
 	}
 	return n
 }
@@ -262,6 +276,12 @@ func (e *Engine) Register(s Spec) (Spec, error) {
 	defer e.mu.Unlock()
 	if s.UpdatedUnixMs == 0 {
 		s.UpdatedUnixMs = e.opts.Now().UnixMilli()
+		// A re-registration must out-rank whatever it replaces — live
+		// spec or tombstone — under the newest-wins merge, even across
+		// peer clock skew.
+		if cur := e.specs[s.Tenant][s.Name]; cur != nil && s.UpdatedUnixMs <= cur.UpdatedUnixMs {
+			s.UpdatedUnixMs = cur.UpdatedUnixMs + 1
+		}
 	}
 	e.putLocked(&s)
 	e.gSpecs.Set(int64(e.countLocked()))
@@ -271,36 +291,46 @@ func (e *Engine) Register(s Spec) (Spec, error) {
 	return s, nil
 }
 
-// Delete removes a registration.
+// Delete retires a registration. It leaves a tombstone rather than
+// removing the entry: the delete broadcast is best-effort, so a peer
+// that was down must learn of the deletion from the anti-entropy sync —
+// a bare absence would merge as "peer has something I lack" and
+// resurrect the spec mesh-wide. The tombstone's stamp is forced past
+// the live spec's so newest-wins always retires it, clock skew or not.
 func (e *Engine) Delete(tenant, name string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	t := e.specs[tenant]
-	if t == nil || t[name] == nil {
+	cur := e.specs[tenant][name]
+	if cur == nil || cur.Deleted {
 		return fmt.Errorf("cq: query %q not found", name)
 	}
-	delete(t, name)
-	if len(t) == 0 {
-		delete(e.specs, tenant)
+	stamp := e.opts.Now().UnixMilli()
+	if stamp <= cur.UpdatedUnixMs {
+		stamp = cur.UpdatedUnixMs + 1
 	}
+	e.putLocked(&Spec{Tenant: tenant, Name: name, Deleted: true, UpdatedUnixMs: stamp})
 	e.gSpecs.Set(int64(e.countLocked()))
 	return e.persistLocked()
 }
 
-// List returns one tenant's registrations, sorted by name.
+// List returns one tenant's live registrations (tombstones excluded),
+// sorted by name.
 func (e *Engine) List(tenant string) []Spec {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make([]Spec, 0, len(e.specs[tenant]))
 	for _, s := range e.specs[tenant] {
+		if s.Deleted {
+			continue
+		}
 		out = append(out, *s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// All returns every registration across tenants (the anti-entropy sync
-// payload), sorted by tenant then name.
+// All returns every registration across tenants, tombstones included
+// (the anti-entropy sync payload), sorted by tenant then name.
 func (e *Engine) All() []Spec {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -326,9 +356,10 @@ func (e *Engine) allLocked() []Spec {
 	return out
 }
 
-// Merge folds peer registrations in, newest update stamp winning.
-// Invalid specs are skipped. It returns how many local registrations
-// changed.
+// Merge folds peer registrations in, newest update stamp winning —
+// including tombstones, so deletions propagate through anti-entropy
+// instead of being undone by it. Invalid specs are skipped. It returns
+// how many local registrations changed.
 func (e *Engine) Merge(specs []Spec) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -359,6 +390,9 @@ func (e *Engine) Evaluate(tenant, runID string, f *trace.File) []Event {
 	e.mu.Lock()
 	var matched []Spec
 	for _, s := range e.specs[tenant] {
+		if s.Deleted {
+			continue
+		}
 		if s.Benchmark != "" && s.Benchmark != f.Benchmark {
 			continue
 		}

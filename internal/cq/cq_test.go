@@ -186,6 +186,70 @@ func TestMergeNewestWins(t *testing.T) {
 	}
 }
 
+func TestDeleteTombstonePropagates(t *testing.T) {
+	a := newEngine(t, Options{})
+	b := newEngine(t, Options{})
+	if _, err := a.Register(Spec{Tenant: "acme", Name: "gate", Golden: "g"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Merge(a.All()); n != 1 {
+		t.Fatalf("initial sync merged %d, want 1", n)
+	}
+	if err := a.Delete("acme", "gate"); err != nil {
+		t.Fatal(err)
+	}
+
+	// b missed the delete broadcast and still lists the live spec...
+	if got := b.List("acme"); len(got) != 1 {
+		t.Fatalf("b's view before sync: %+v", got)
+	}
+	// ...but syncing b's live spec into a must not resurrect the gate:
+	// a's tombstone out-ranks it, clock skew or not.
+	if n := a.Merge(b.All()); n != 0 {
+		t.Fatalf("stale live spec resurrected over the tombstone (%d merged)", n)
+	}
+	if got := a.List("acme"); len(got) != 0 {
+		t.Fatalf("deleted gate came back on a: %+v", got)
+	}
+	// The reverse sync carries the tombstone and retires b's copy.
+	if n := b.Merge(a.All()); n != 1 {
+		t.Fatalf("tombstone not merged into b (%d)", n)
+	}
+	if got := b.List("acme"); len(got) != 0 {
+		t.Fatalf("tombstone did not retire b's spec: %+v", got)
+	}
+	// Tombstones are invisible to Evaluate and List but ride All().
+	tombs := 0
+	for _, s := range b.All() {
+		if s.Deleted {
+			tombs++
+		}
+	}
+	if tombs != 1 {
+		t.Fatalf("b carries %d tombstones, want 1", tombs)
+	}
+	// A second delete of the same gate is an error, same as a miss.
+	if err := b.Delete("acme", "gate"); err == nil {
+		t.Fatal("deleting a tombstoned gate succeeded")
+	}
+
+	// Re-registration must out-rank the tombstone (the fixed clock makes
+	// now == the original stamp, so the bump past the tombstone is what
+	// revives it) and propagate over it.
+	if _, err := a.Register(Spec{Tenant: "acme", Name: "gate", Golden: "g2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.List("acme"); len(got) != 1 || got[0].Golden != "g2" {
+		t.Fatalf("re-registration lost to the tombstone: %+v", got)
+	}
+	if n := b.Merge(a.All()); n != 1 {
+		t.Fatalf("revived spec not merged into b (%d)", n)
+	}
+	if got := b.List("acme"); len(got) != 1 || got[0].Golden != "g2" {
+		t.Fatalf("b did not adopt the revived spec: %+v", got)
+	}
+}
+
 func TestEvaluateMatchesBenchmarkAndP(t *testing.T) {
 	goldens := map[string]*trace.File{"gold": mkTrace(4, "lulesh", 40, 7)}
 	e := newEngine(t, Options{Lookup: stubLookup(goldens)})

@@ -6,6 +6,7 @@ package mesh
 // scatter-gather on list); the anti-entropy Sweep drives itself.
 
 import (
+	"crypto/subtle"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,6 +24,11 @@ const (
 	// served strictly locally (no re-fan-out, no re-proxy), which is
 	// both the loop guard and the "ask this exact peer" primitive.
 	HeaderForward = "X-Cham-Mesh"
+	// HeaderKey carries the shared mesh secret. When a mesh is started
+	// with one, HeaderForward is only honored alongside a matching key,
+	// so external clients cannot claim intra-mesh trust by setting a
+	// header.
+	HeaderKey = "X-Cham-Mesh-Key"
 	// ForwardFanout is a peer-to-peer replica write or scatter read.
 	ForwardFanout = "fanout"
 	// ForwardRepair is an anti-entropy pull; receivers skip continuous-
@@ -37,14 +43,16 @@ func Forwarded(r *http.Request) bool { return r.Header.Get(HeaderForward) != "" 
 func Repair(r *http.Request) bool { return r.Header.Get(HeaderForward) == ForwardRepair }
 
 // Entry is one (tenant, run) pair in a peer's manifest, the unit the
-// anti-entropy sweep reasons about.
+// anti-entropy sweep reasons about. Edges marks a run carrying a causal
+// edge sidecar, so sidecars converge onto owners exactly like runs.
 type Entry struct {
 	Tenant string `json:"tenant"`
 	ID     string `json:"id"`
+	Edges  bool   `json:"edges,omitempty"`
 }
 
 // Target is the local archive surface the sweep converges: what runs
-// it has, and how to store a replica pulled from a peer.
+// and sidecars it has, and how to store copies pulled from a peer.
 type Target interface {
 	// Entries lists every (tenant, run) the local archive holds.
 	Entries() []Entry
@@ -52,6 +60,11 @@ type Target interface {
 	Have(tenant, id string) bool
 	// Pull ingests a canonical payload fetched from a peer.
 	Pull(tenant string, payload []byte) error
+	// HaveEdges reports whether the run's edge sidecar is stored
+	// locally.
+	HaveEdges(tenant, id string) bool
+	// PullEdges attaches a sidecar (JSONL bytes) fetched from a peer.
+	PullEdges(tenant, id string, jsonl []byte) error
 }
 
 // Options configures a Node.
@@ -67,6 +80,17 @@ type Options struct {
 	Vnodes int
 	// Client overrides the intra-mesh HTTP client.
 	Client *http.Client
+	// Secret, when non-empty, is the shared mesh key: every intra-mesh
+	// request carries it (HeaderKey) and peers reject the forward
+	// header without it. Empty means cooperative trust — the forward
+	// header alone is honored, which is fine on a private network but
+	// is not a security boundary (docs/STORE.md).
+	Secret string
+	// BroadcastTimeout bounds each best-effort fan-out call (CQ
+	// registrations, deletions, event broadcasts) so one partitioned
+	// peer cannot stall the ingest path for the full mesh client
+	// timeout. Default 3s.
+	BroadcastTimeout time.Duration
 	// Reg receives mesh_* counters.
 	Reg *obs.Registry
 }
@@ -78,7 +102,9 @@ type Node struct {
 	self     string
 	others   []string
 	replicas int
+	secret   string
 	hc       *http.Client
+	bc       *http.Client // short-timeout client for best-effort broadcasts
 
 	mSweeps, mPulled, mSweepErrs *obs.Counter
 }
@@ -113,12 +139,17 @@ func NewNode(opts Options) (*Node, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 30 * time.Second}
 	}
+	if opts.BroadcastTimeout <= 0 {
+		opts.BroadcastTimeout = 3 * time.Second
+	}
 	return &Node{
 		ring:       ring,
 		self:       self,
 		others:     others,
 		replicas:   opts.Replicas,
+		secret:     opts.Secret,
 		hc:         hc,
+		bc:         &http.Client{Timeout: opts.BroadcastTimeout},
 		mSweeps:    opts.Reg.Counter("mesh_sweeps"),
 		mPulled:    opts.Reg.Counter("mesh_sweep_pulled"),
 		mSweepErrs: opts.Reg.Counter("mesh_sweep_errors"),
@@ -157,24 +188,63 @@ func (n *Node) IsPrimary(id string) bool {
 	return len(owners) > 0 && owners[0] == n.self
 }
 
-// Do sends an intra-mesh request: the forward header (loop guard) and
-// tenant are set, and the response is returned as-is.
-func (n *Node) Do(method, peer, path, tenant, kind string, contentType string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequest(method, peer+path, body)
-	if err != nil {
-		return nil, err
+// Secured reports whether the mesh authenticates intra-mesh traffic
+// with a shared key.
+func (n *Node) Secured() bool { return n.secret != "" }
+
+// Authorized reports whether a request is trusted intra-mesh traffic:
+// the forward header plus, when the mesh has a shared secret, the
+// matching key. Without a secret the header alone is honored —
+// cooperative trust, not a security boundary (docs/STORE.md).
+func (n *Node) Authorized(r *http.Request) bool {
+	if !Forwarded(r) {
+		return false
 	}
+	if n.secret == "" {
+		return true
+	}
+	return subtle.ConstantTimeCompare([]byte(r.Header.Get(HeaderKey)), []byte(n.secret)) == 1
+}
+
+// Decorate marks a caller-built request as intra-mesh: forward kind,
+// tenant, and the shared mesh key when one is configured.
+func (n *Node) Decorate(req *http.Request, tenant, kind string) {
 	if kind == "" {
 		kind = ForwardFanout
 	}
 	req.Header.Set(HeaderForward, kind)
+	if n.secret != "" {
+		req.Header.Set(HeaderKey, n.secret)
+	}
 	if tenant != "" {
 		req.Header.Set(HeaderTenant, tenant)
 	}
+}
+
+// Do sends an intra-mesh request: the forward header (loop guard),
+// mesh key, and tenant are set, and the response is returned as-is.
+func (n *Node) Do(method, peer, path, tenant, kind string, contentType string, body io.Reader) (*http.Response, error) {
+	return n.do(n.hc, method, peer, path, tenant, kind, contentType, body)
+}
+
+// Broadcast is Do on the short-timeout best-effort client: CQ
+// registration/delete fan-outs and event broadcasts ride it, so a
+// partitioned (non-refusing) peer delays the caller by at most
+// BroadcastTimeout instead of the full mesh client timeout.
+func (n *Node) Broadcast(method, peer, path, tenant, kind string, contentType string, body io.Reader) (*http.Response, error) {
+	return n.do(n.bc, method, peer, path, tenant, kind, contentType, body)
+}
+
+func (n *Node) do(hc *http.Client, method, peer, path, tenant, kind string, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, peer+path, body)
+	if err != nil {
+		return nil, err
+	}
+	n.Decorate(req, tenant, kind)
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
-	return n.hc.Do(req)
+	return hc.Do(req)
 }
 
 // Send issues a caller-built request on the intra-mesh client. The

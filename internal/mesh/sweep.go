@@ -20,6 +20,7 @@ type SweepReport struct {
 	PeersAsked  int `json:"peers_asked"`
 	PeersFailed int `json:"peers_failed"`
 	Pulled      int `json:"pulled"`
+	EdgesPulled int `json:"edges_pulled"`
 	CQMerged    int `json:"cq_merged"`
 }
 
@@ -54,18 +55,33 @@ func (n *Node) sweepPeer(peer string, target Target, engine *cq.Engine, rep *Swe
 		return fmt.Errorf("mesh: %s manifest: %w", peer, err)
 	}
 	for _, e := range entries {
-		if !n.IsOwner(e.ID) || target.Have(e.Tenant, e.ID) {
+		if !n.IsOwner(e.ID) {
 			continue
 		}
-		payload, err := n.getBody(peer, "/runs/"+e.ID, e.Tenant, ForwardRepair)
-		if err != nil {
-			return err
+		if !target.Have(e.Tenant, e.ID) {
+			payload, err := n.getBody(peer, "/runs/"+e.ID, e.Tenant, ForwardRepair)
+			if err != nil {
+				return err
+			}
+			if err := target.Pull(e.Tenant, payload); err != nil {
+				return fmt.Errorf("mesh: pull %s/%s from %s: %w", e.Tenant, e.ID[:12], peer, err)
+			}
+			rep.Pulled++
+			n.mPulled.Inc()
 		}
-		if err := target.Pull(e.Tenant, payload); err != nil {
-			return fmt.Errorf("mesh: pull %s/%s from %s: %w", e.Tenant, e.ID[:12], peer, err)
+		// Sidecars converge like runs: an owner that lacks one a peer
+		// advertises pulls it, so a replaced or newly attached sidecar
+		// survives an owner's death just like the trace itself.
+		if e.Edges && !target.HaveEdges(e.Tenant, e.ID) {
+			jsonl, err := n.getBody(peer, "/runs/"+e.ID+"/edges", e.Tenant, ForwardRepair)
+			if err != nil {
+				return err
+			}
+			if err := target.PullEdges(e.Tenant, e.ID, jsonl); err != nil {
+				return fmt.Errorf("mesh: pull edges %s/%s from %s: %w", e.Tenant, e.ID[:12], peer, err)
+			}
+			rep.EdgesPulled++
 		}
-		rep.Pulled++
-		n.mPulled.Inc()
 	}
 	if engine != nil {
 		raw, err := n.getBody(peer, "/cq?all=1", "", ForwardRepair)

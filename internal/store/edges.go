@@ -29,6 +29,12 @@ func (a *Archive) edgesPath(tenant, id string) string {
 	return filepath.Join(a.tenantRoot(tenant), "edges", id[:2], id+".jsonl")
 }
 
+// hasEdges reports whether a sidecar exists for the (full) run ID.
+func (a *Archive) hasEdges(tenant, id string) bool {
+	_, err := os.Stat(a.edgesPath(tenant, id))
+	return err == nil
+}
+
 // PutEdges attaches a causal edge stream (JSONL bytes) to an archived
 // default-tenant run, replacing any previous sidecar. The payload must
 // parse; the number of edges is returned. The run may be named by

@@ -39,7 +39,7 @@ func (t archiveTarget) Entries() []mesh.Entry {
 	out := make([]mesh.Entry, 0, 64)
 	for tenant, runs := range t.a.runs {
 		for id := range runs {
-			out = append(out, mesh.Entry{Tenant: tenant, ID: id})
+			out = append(out, mesh.Entry{Tenant: tenant, ID: id, Edges: t.a.hasEdges(tenant, id)})
 		}
 	}
 	return out
@@ -61,10 +61,24 @@ func (t archiveTarget) Pull(tenant string, payload []byte) error {
 	return err
 }
 
+func (t archiveTarget) HaveEdges(tenant, id string) bool {
+	return t.a.hasEdges(tenant, id)
+}
+
+func (t archiveTarget) PullEdges(tenant, id string, jsonl []byte) error {
+	tenant, err := NormalizeTenant(tenant)
+	if err != nil {
+		return err
+	}
+	_, _, err = t.a.Tenant(tenant).PutEdges(id, jsonl)
+	return err
+}
+
 // FedLookup builds the cq.Lookup a federated engine uses to resolve
-// golden runs: the local archive first, then the run's owner peers
-// (node nil means local-only). A golden fetched from a peer is decoded
-// but not ingested — resolution must not mutate placement.
+// golden runs — and the diff endpoint uses to resolve either side: the
+// local archive first, then the run's owner peers (node nil means
+// local-only). A run fetched from a peer is decoded but not ingested —
+// resolution must not mutate placement.
 func FedLookup(a *Archive, node *mesh.Node) cq.Lookup {
 	return func(tenant, id string) (*trace.File, string, error) {
 		f, run, err := a.Tenant(tenant).Get(id)
@@ -88,7 +102,7 @@ func FedLookup(a *Archive, node *mesh.Node) cq.Lookup {
 			}
 			f, err := trace.ReadAny(bytes.NewReader(body))
 			if err != nil {
-				return nil, "", fmt.Errorf("store: golden %s from %s: %w", id, peer, err)
+				return nil, "", fmt.Errorf("store: run %s from %s: %w", id, peer, err)
 			}
 			_, cid, err := Encode(f)
 			if err != nil {
@@ -97,9 +111,9 @@ func FedLookup(a *Archive, node *mesh.Node) cq.Lookup {
 			return f, cid, nil
 		}
 		if lastErr != nil {
-			return nil, "", fmt.Errorf("store: golden %s not found on any peer: %w", id, lastErr)
+			return nil, "", fmt.Errorf("store: run %s not found on any peer: %w", id, lastErr)
 		}
-		return nil, "", fmt.Errorf("store: golden run %q not found", id)
+		return nil, "", fmt.Errorf("store: run %q not found", id)
 	}
 }
 
@@ -141,7 +155,10 @@ func readOK(resp *http.Response) ([]byte, error) {
 // locally-emitted event to every other peer (POST /cq/events, fanout
 // header), so a watcher long-polling any peer's feed sees gates fired
 // anywhere in the mesh. Delivery is best-effort: the feed is
-// observability, not a ledger, and receivers dedup by event ID.
+// observability, not a ledger, and receivers dedup by event ID. Peers
+// are contacted concurrently on the short-timeout broadcast client, so
+// a partitioned peer delays the ingest that fired the gate by at most
+// the broadcast timeout, never the full request budget.
 func BroadcastCQEvents(node *mesh.Node) func(cq.Event) {
 	if node == nil {
 		return nil
@@ -151,14 +168,28 @@ func BroadcastCQEvents(node *mesh.Node) func(cq.Event) {
 		if err != nil {
 			return
 		}
-		for _, peer := range node.Others() {
-			resp, err := node.Do(http.MethodPost, peer, "/cq/events", ev.Tenant, mesh.ForwardFanout,
+		broadcast(node, func(peer string) (*http.Response, error) {
+			return node.Broadcast(http.MethodPost, peer, "/cq/events", ev.Tenant, mesh.ForwardFanout,
 				"application/json", bytes.NewReader(body))
-			if err == nil {
+		})
+	}
+}
+
+// broadcast runs one best-effort call against every other peer
+// concurrently and waits for all of them (each bounded by the node's
+// broadcast timeout). Failures are dropped — anti-entropy re-syncs.
+func broadcast(node *mesh.Node, call func(peer string) (*http.Response, error)) {
+	var wg sync.WaitGroup
+	for _, peer := range node.Others() {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			if resp, err := call(peer); err == nil {
 				resp.Body.Close()
 			}
-		}
+		}(peer)
 	}
+	wg.Wait()
 }
 
 // rateLimiter is a per-tenant token bucket. The zero rate disables

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -30,6 +31,7 @@ type fedPeer struct {
 // meshConfig tunes startMesh per test.
 type meshConfig struct {
 	replicas int
+	secret   string
 	archive  func(i int) Options
 	server   func(i int) ServerOptions
 }
@@ -62,7 +64,7 @@ func startMesh(t *testing.T, n int, cfg meshConfig) []*fedPeer {
 		if err != nil {
 			t.Fatal(err)
 		}
-		node, err := mesh.NewNode(mesh.Options{Self: urls[i], Peers: urls, Replicas: cfg.replicas})
+		node, err := mesh.NewNode(mesh.Options{Self: urls[i], Peers: urls, Replicas: cfg.replicas, Secret: cfg.secret})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -565,6 +567,12 @@ func TestFedAntiEntropySweep(t *testing.T) {
 	if _, _, err := stray.a.Tenant("acme").Ingest(f); err != nil {
 		t.Fatal(err)
 	}
+	// An edge sidecar attached to the stray replica must converge too —
+	// owners pull sidecars alongside the runs they repair.
+	sidecar := []byte(`{"from":0,"to":1,"seq":1,"send_ns":100,"arrive_ns":200,"recv_ns":250}` + "\n")
+	if _, _, err := stray.a.Tenant("acme").PutEdges(id, sidecar); err != nil {
+		t.Fatal(err)
+	}
 	// A CQ registered only on the stray peer rides the same sweep.
 	if _, err := stray.eng.Register(cq.Spec{Tenant: "acme", Name: "synced", Golden: id}); err != nil {
 		t.Fatal(err)
@@ -581,6 +589,9 @@ func TestFedAntiEntropySweep(t *testing.T) {
 	if rep.Pulled < 1 {
 		t.Fatalf("sweep pulled %d runs, want >=1: %+v", rep.Pulled, rep)
 	}
+	if rep.EdgesPulled < 1 {
+		t.Fatalf("sweep pulled %d sidecars, want >=1: %+v", rep.EdgesPulled, rep)
+	}
 	if rep.CQMerged < 1 {
 		t.Fatalf("sweep merged %d CQ specs, want >=1: %+v", rep.CQMerged, rep)
 	}
@@ -593,6 +604,9 @@ func TestFedAntiEntropySweep(t *testing.T) {
 	if !bytes.Equal(body, canon) {
 		t.Fatal("pulled replica not byte-identical")
 	}
+	if code, got := localGet(t, owner, "acme", "/runs/"+id+"/edges"); code != http.StatusOK || !bytes.Equal(got, sidecar) {
+		t.Fatalf("owner lacks the sidecar after the sweep: %d", code)
+	}
 	if specs := owner.eng.List("acme"); len(specs) != 1 || specs[0].Name != "synced" {
 		t.Fatalf("CQ spec did not sync: %+v", specs)
 	}
@@ -602,8 +616,8 @@ func TestFedAntiEntropySweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Pulled != 0 {
-		t.Fatalf("second sweep re-pulled %d runs", rep.Pulled)
+	if rep.Pulled != 0 || rep.EdgesPulled != 0 {
+		t.Fatalf("second sweep re-pulled %d runs, %d sidecars", rep.Pulled, rep.EdgesPulled)
 	}
 }
 
@@ -654,6 +668,345 @@ func TestFedWriteSurvivesDeadOwners(t *testing.T) {
 	}
 	if lr.Total != 1 {
 		t.Fatalf("degraded scatter list total %d, want 1", lr.Total)
+	}
+}
+
+func TestFedEdgesFanout(t *testing.T) {
+	peers := startMesh(t, 3, meshConfig{replicas: 2})
+	run := pushVia(t, peers[0], "", mkTrace(4, "edges", 5))
+
+	owners := map[string]bool{}
+	for _, o := range peers[0].node.Owners(run.ID) {
+		owners[o] = true
+	}
+	var nonOwner *fedPeer
+	for _, p := range peers {
+		if !owners[p.url] {
+			nonOwner = p
+		}
+	}
+
+	// An edge PUT through a peer that does not hold the run fans out to
+	// its owners instead of failing with a strictly-local 404.
+	sidecar := []byte(`{"from":0,"to":1,"seq":1,"send_ns":100,"arrive_ns":200,"recv_ns":250}` + "\n")
+	code, body, _ := tenantDo(t, http.MethodPut, nonOwner.url+"/runs/"+run.ID+"/edges", "", sidecar, nil)
+	if code != http.StatusOK {
+		t.Fatalf("edge PUT via non-owner: %d: %s", code, body)
+	}
+	var res struct {
+		ID    string `json:"id"`
+		Edges int    `json:"edges"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != run.ID || res.Edges != 1 {
+		t.Fatalf("edge PUT result: %s", body)
+	}
+
+	// The sidecar physically lands on the run's owners, not the ingress
+	// peer, and every peer serves it publicly via the proxy.
+	for _, p := range peers {
+		code, got := localGet(t, p, "", "/runs/"+run.ID+"/edges")
+		switch {
+		case owners[p.url] && (code != http.StatusOK || !bytes.Equal(got, sidecar)):
+			t.Fatalf("owner %s lacks the sidecar: %d", p.url, code)
+		case !owners[p.url] && code != http.StatusNotFound:
+			t.Fatalf("non-owner %s holds the sidecar: %d", p.url, code)
+		}
+	}
+	for _, p := range peers {
+		code, got, _ := tenantDo(t, http.MethodGet, p.url+"/runs/"+run.ID+"/edges", "", nil, nil)
+		if code != http.StatusOK || !bytes.Equal(got, sidecar) {
+			t.Fatalf("public edge GET via %s: %d", p.url, code)
+		}
+	}
+
+	// Prefix references resolve across the fan-out too, and a re-push
+	// replaces the sidecar everywhere it lives.
+	sidecar2 := append(append([]byte{}, sidecar...),
+		[]byte(`{"from":1,"to":2,"seq":2,"send_ns":300,"arrive_ns":400,"recv_ns":450}`+"\n")...)
+	code, body, _ = tenantDo(t, http.MethodPut, nonOwner.url+"/runs/"+run.ID[:16]+"/edges", "", sidecar2, nil)
+	if code != http.StatusOK {
+		t.Fatalf("edge PUT by prefix via non-owner: %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != run.ID || res.Edges != 2 {
+		t.Fatalf("prefix edge PUT result: %s", body)
+	}
+	for _, p := range peers {
+		if code, got, _ := tenantDo(t, http.MethodGet, p.url+"/runs/"+run.ID+"/edges", "", nil, nil); code != http.StatusOK || !bytes.Equal(got, sidecar2) {
+			t.Fatalf("replaced sidecar via %s: %d", p.url, code)
+		}
+	}
+
+	// Malformed payloads and unknown runs fail at the ingress edge.
+	if code, _, _ := tenantDo(t, http.MethodPut, nonOwner.url+"/runs/"+run.ID+"/edges", "", []byte("not an edge\n"), nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed edges: %d, want 400", code)
+	}
+	if code, _, _ := tenantDo(t, http.MethodPut, nonOwner.url+"/runs/ffffffffffffffff/edges", "", sidecar, nil); code != http.StatusNotFound {
+		t.Fatalf("edges for unknown run: %d, want 404", code)
+	}
+}
+
+func TestFedDiffProxies(t *testing.T) {
+	peers := startMesh(t, 3, meshConfig{replicas: 2})
+
+	// Hunt for two distinct runs placed on the same owner pair: the
+	// third peer then holds neither side, so a strictly-local diff
+	// there cannot work.
+	ownerKey := func(id string) string {
+		o := append([]string{}, peers[0].node.Owners(id)...)
+		sort.Strings(o)
+		return strings.Join(o, "|")
+	}
+	type cand struct {
+		f  *trace.File
+		id string
+	}
+	first := map[string]cand{}
+	var a, b cand
+	for seed := uint64(0); ; seed++ {
+		f := mkTrace(4, "diff", seed)
+		_, id, err := Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := ownerKey(id)
+		if prev, ok := first[k]; ok && prev.id != id {
+			a, b = prev, cand{f, id}
+			break
+		}
+		first[k] = cand{f, id}
+	}
+	pushVia(t, peers[0], "", a.f)
+	pushVia(t, peers[1], "", b.f)
+
+	var outside *fedPeer
+	owned := map[string]bool{}
+	for _, o := range peers[0].node.Owners(a.id) {
+		owned[o] = true
+	}
+	for _, p := range peers {
+		if !owned[p.url] {
+			outside = p
+		}
+	}
+	if code, _ := localGet(t, outside, "", "/runs/"+a.id); code != http.StatusNotFound {
+		t.Fatalf("outside peer unexpectedly holds run A: %d", code)
+	}
+	if code, _ := localGet(t, outside, "", "/runs/"+b.id); code != http.StatusNotFound {
+		t.Fatalf("outside peer unexpectedly holds run B: %d", code)
+	}
+
+	// The diff endpoint resolves each side from its owners, so the
+	// outside peer answers even though it holds neither run.
+	code, body, _ := tenantDo(t, http.MethodGet, outside.url+"/runs/"+a.id+"/diff/"+b.id, "", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("federated diff via outside peer: %d: %s", code, body)
+	}
+	var d DiffResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.A != a.id || d.B != b.id {
+		t.Fatalf("diff resolved (%s, %s), want (%s, %s)", d.A, d.B, a.id, b.id)
+	}
+	// Self-diff through the proxy is trivially equivalent.
+	code, body, _ = tenantDo(t, http.MethodGet, outside.url+"/runs/"+a.id+"/diff/"+a.id, "", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("federated self-diff: %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equivalent {
+		t.Fatalf("self-diff not equivalent: %s", body)
+	}
+	// Unknown runs still 404 rather than 502.
+	if code, _, _ := tenantDo(t, http.MethodGet, outside.url+"/runs/"+a.id+"/diff/ffffffffffffffff", "", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("diff against unknown run: %d, want 404", code)
+	}
+}
+
+func TestFedMeshSecret(t *testing.T) {
+	const key = "swordfish"
+	peers := startMesh(t, 3, meshConfig{replicas: 2, secret: key})
+	withKey := func(h map[string]string) map[string]string {
+		out := map[string]string{mesh.HeaderKey: key}
+		for k, v := range h {
+			out[k] = v
+		}
+		return out
+	}
+	spoof := map[string]string{mesh.HeaderForward: mesh.ForwardFanout}
+
+	// The mesh still functions end-to-end with the key in play: PUT
+	// fan-out places R=2 replicas, public reads proxy.
+	run := pushVia(t, peers[0], "acme", mkTrace(4, "secured", 3))
+	copies := 0
+	for _, p := range peers {
+		code, _, _ := tenantDo(t, http.MethodGet, p.url+"/runs/"+run.ID, "acme", nil, withKey(spoof))
+		if code == http.StatusOK {
+			copies++
+		}
+	}
+	if copies != 2 {
+		t.Fatalf("secured mesh placed %d copies, want 2", copies)
+	}
+	for _, p := range peers {
+		if code, _, _ := tenantDo(t, http.MethodGet, p.url+"/runs/"+run.ID, "acme", nil, nil); code != http.StatusOK {
+			t.Fatalf("public GET via %s: %d", p.url, code)
+		}
+	}
+
+	// A spoofed forward header without the key carries no privilege:
+	// feed events cannot be forged...
+	ev := []byte(`{"id":"evil#1","tenant":"acme","verdict":"regression"}`)
+	if code, _, _ := tenantDo(t, http.MethodPost, peers[0].url+"/cq/events", "acme", ev, spoof); code != http.StatusForbidden {
+		t.Fatal("spoofed forward header forged a feed event")
+	}
+	if code, _, _ := tenantDo(t, http.MethodPost, peers[0].url+"/cq/events", "acme", ev, withKey(spoof)); code != http.StatusNoContent {
+		t.Fatal("key-carrying event broadcast rejected")
+	}
+
+	// ...?all=1 listings stay scoped to the caller's tenant...
+	specJSON := []byte(`{"name":"gate","golden":"` + run.ID + `"}`)
+	if code, body, _ := tenantDo(t, http.MethodPut, peers[0].url+"/cq", "acme", specJSON, nil); code != http.StatusCreated {
+		t.Fatalf("register CQ under acme: %d: %s", code, body)
+	}
+	code, body, _ := tenantDo(t, http.MethodGet, peers[0].url+"/cq?all=1", "other", nil, spoof)
+	var specs []cq.Spec
+	if code != http.StatusOK || json.Unmarshal(body, &specs) != nil {
+		t.Fatalf("spoofed ?all=1: %d: %s", code, body)
+	}
+	if len(specs) != 0 {
+		t.Fatalf("spoofed ?all=1 leaked other tenants' specs: %+v", specs)
+	}
+	code, body, _ = tenantDo(t, http.MethodGet, peers[0].url+"/cq?all=1", "other", nil, withKey(spoof))
+	if code != http.StatusOK || json.Unmarshal(body, &specs) != nil || len(specs) != 1 {
+		t.Fatalf("keyed ?all=1: %d: %s", code, body)
+	}
+
+	// ...and the manifest reveals only the caller's own holdings.
+	code, body, _ = tenantDo(t, http.MethodGet, peers[0].url+"/mesh/manifest", "other", nil, nil)
+	var entries []mesh.Entry
+	if code != http.StatusOK || json.Unmarshal(body, &entries) != nil {
+		t.Fatalf("manifest: %d: %s", code, body)
+	}
+	for _, e := range entries {
+		if e.Tenant != "other" {
+			t.Fatalf("unkeyed manifest leaked tenant %q's run %s", e.Tenant, e.ID[:12])
+		}
+	}
+	code, body, _ = tenantDo(t, http.MethodGet, peers[0].url+"/mesh/manifest", "other", nil, withKey(spoof))
+	if code != http.StatusOK || json.Unmarshal(body, &entries) != nil {
+		t.Fatalf("keyed manifest: %d: %s", code, body)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Tenant == "acme" && e.ID == run.ID {
+			found = true
+		}
+	}
+	if !found && len(peers[0].node.Owners(run.ID)) > 0 {
+		// peers[0] only advertises what it physically holds; ask an owner.
+		owner := peers[0].node.Owners(run.ID)[0]
+		code, body, _ = tenantDo(t, http.MethodGet, owner+"/mesh/manifest", "other", nil, withKey(spoof))
+		if code != http.StatusOK || json.Unmarshal(body, &entries) != nil {
+			t.Fatalf("keyed owner manifest: %d: %s", code, body)
+		}
+		for _, e := range entries {
+			if e.Tenant == "acme" && e.ID == run.ID {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("keyed manifest hides the acme run from the mesh")
+	}
+
+	// Anti-entropy keeps working under the secret (sweeps carry the key).
+	if rep, err := TriggerSweep(peers[0].url); err != nil || rep.PeersFailed != 0 {
+		t.Fatalf("sweep on secured mesh: %+v, %v", rep, err)
+	}
+}
+
+func TestFedMeshSecretRateLimit(t *testing.T) {
+	// On a secured mesh a spoofed forward header must not bypass the
+	// per-tenant rate limit; the real mesh key stays exempt.
+	peers := startMesh(t, 2, meshConfig{
+		replicas: 1,
+		secret:   "swordfish",
+		server:   func(int) ServerOptions { return ServerOptions{RateLimit: 1, RateBurst: 2} },
+	})
+	spoof := map[string]string{mesh.HeaderForward: mesh.ForwardFanout}
+	var last int
+	var hdr http.Header
+	for i := 0; i < 3; i++ {
+		last, _, hdr = tenantDo(t, http.MethodGet, peers[0].url+"/runs", "probe", nil, spoof)
+	}
+	if last != http.StatusTooManyRequests {
+		t.Fatalf("spoofed forward header bypassed the rate limit: %d", last)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("throttled response missing Retry-After")
+	}
+	keyed := map[string]string{mesh.HeaderForward: mesh.ForwardFanout, mesh.HeaderKey: "swordfish"}
+	for i := 0; i < 3; i++ {
+		if code, _, _ := tenantDo(t, http.MethodGet, peers[0].url+"/runs", "probe", nil, keyed); code != http.StatusOK {
+			t.Fatalf("key-carrying mesh request throttled: %d", code)
+		}
+	}
+}
+
+func TestFedCQDeleteTombstone(t *testing.T) {
+	peers := startMesh(t, 3, meshConfig{replicas: 2})
+	golden := pushVia(t, peers[0], "", mkTrace(4, "lulesh", 7))
+	if _, err := RegisterCQ(peers[0].url, cq.Spec{Name: "gate", Benchmark: "lulesh", Golden: golden.ID}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a delete whose fan-out one peer missed: retire the spec
+	// on peer 0's engine only. Peers 1 and 2 still list it.
+	if err := peers[0].eng.Delete(DefaultTenant, "gate"); err != nil {
+		t.Fatal(err)
+	}
+	if specs := peers[1].eng.List(DefaultTenant); len(specs) != 1 {
+		t.Fatalf("peer 1 lost the spec without a delete: %+v", specs)
+	}
+
+	// Anti-entropy must not resurrect the deleted gate: peer 0 sweeps
+	// against two peers that still advertise the live spec.
+	if _, err := TriggerSweep(peers[0].url); err != nil {
+		t.Fatal(err)
+	}
+	if specs, err := FetchCQs(peers[0].url); err != nil || len(specs) != 0 {
+		t.Fatalf("deleted CQ resurrected by the sweep: %+v (%v)", specs, err)
+	}
+	// And the tombstone retires the spec on the peers that missed the
+	// delete once they sweep.
+	for _, p := range peers[1:] {
+		if _, err := TriggerSweep(p.url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range peers {
+		if specs, err := FetchCQs(p.url); err != nil || len(specs) != 0 {
+			t.Fatalf("deleted CQ survives on %s: %+v (%v)", p.url, specs, err)
+		}
+	}
+
+	// Re-registration out-ranks the tombstone mesh-wide.
+	if _, err := RegisterCQ(peers[2].url, cq.Spec{Name: "gate", Benchmark: "lulesh", Golden: golden.ID}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers {
+		if specs, err := FetchCQs(p.url); err != nil || len(specs) != 1 {
+			t.Fatalf("re-registered CQ missing on %s: %+v (%v)", p.url, specs, err)
+		}
 	}
 }
 

@@ -32,7 +32,10 @@ package store
 // owners, a GET miss transparently proxies to a peer that has the run,
 // and GET /runs scatter-gathers the whole fleet. Intra-mesh traffic
 // carries the X-Cham-Mesh header and is always served strictly locally
-// — that header is the loop guard.
+// — that header is the loop guard. On a mesh started with a shared
+// secret the header is only honored alongside the matching
+// X-Cham-Mesh-Key, so external clients cannot claim intra-mesh trust;
+// without a secret the header is cooperative (docs/STORE.md).
 //
 // Requests and responses speak optional gzip (Content-Encoding /
 // Accept-Encoding); when the archive itself stores gzip segments a
@@ -210,11 +213,29 @@ func NewServer(a *Archive, opts ServerOptions) http.Handler {
 	return http.TimeoutHandler(instrumented, opts.RequestTimeout, "chamd: request timed out\n")
 }
 
+// forwarded reports whether a request is trusted intra-mesh traffic.
+// Under a mesh started with a shared secret (-mesh-secret), a bare
+// X-Cham-Mesh header is not enough — the matching key must ride along,
+// so external clients cannot claim intra-mesh trust. Without a secret
+// (or without a mesh at all) the header is honored cooperatively; see
+// docs/STORE.md, "Trust model".
+func (s *server) forwarded(r *http.Request) bool {
+	if s.node != nil {
+		return s.node.Authorized(r)
+	}
+	return mesh.Forwarded(r)
+}
+
+// repair reports whether a request is a trusted anti-entropy pull.
+func (s *server) repair(r *http.Request) bool {
+	return s.forwarded(r) && mesh.Repair(r)
+}
+
 // admit applies the per-tenant rate limit. Intra-mesh traffic and
 // probes are exempt; an invalid tenant header is handled later by the
 // route handler (tenantOf), not here.
 func (s *server) admit(r *http.Request) (code int, retry time.Duration) {
-	if s.limiter == nil || mesh.Forwarded(r) {
+	if s.limiter == nil || s.forwarded(r) {
 		return 0, 0
 	}
 	switch r.URL.Path {
@@ -333,12 +354,12 @@ func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if s.node != nil && !mesh.Forwarded(r) {
+	if s.node != nil && !s.forwarded(r) {
 		s.fanoutPut(w, r, tenant, f, canon, id, start)
 		return
 	}
 
-	run, created, err := s.ingestLocal(tenant, f, canon, id, !mesh.Repair(r))
+	run, created, err := s.ingestLocal(tenant, f, canon, id, !s.repair(r))
 	if err != nil {
 		if errors.Is(err, ErrQuotaExceeded) {
 			w.Header().Set("Retry-After", "60")
@@ -392,7 +413,7 @@ func (s *server) fanoutPut(w http.ResponseWriter, r *http.Request, tenant string
 
 	for _, owner := range owners {
 		if owner == s.node.Self() {
-			rr, c, err := s.ingestLocal(tenant, f, canon, id, !mesh.Repair(r))
+			rr, c, err := s.ingestLocal(tenant, f, canon, id, !s.repair(r))
 			if err != nil {
 				if errors.Is(err, ErrQuotaExceeded) {
 					quotaHits++
@@ -440,7 +461,7 @@ func (s *server) fanoutPut(w http.ResponseWriter, r *http.Request, tenant string
 			return
 		}
 		// Every owner is unreachable or full: last resort is this peer.
-		rr, c, err := s.ingestLocal(tenant, f, canon, id, !mesh.Repair(r))
+		rr, c, err := s.ingestLocal(tenant, f, canon, id, !s.repair(r))
 		if err != nil {
 			if errors.Is(err, ErrQuotaExceeded) {
 				w.Header().Set("Retry-After", "60")
@@ -471,7 +492,7 @@ var proxyRespHeaders = []string{"Content-Type", "Content-Encoding", "ETag", "Con
 // (then the rest of the fleet) and relays the first definitive
 // response. It reports whether the request was handled.
 func (s *server) proxyRead(w http.ResponseWriter, r *http.Request, tenant, id, path string) bool {
-	if s.node == nil || mesh.Forwarded(r) {
+	if s.node == nil || s.forwarded(r) {
 		return false
 	}
 	target := path
@@ -483,8 +504,7 @@ func (s *server) proxyRead(w http.ResponseWriter, r *http.Request, tenant, id, p
 		if err != nil {
 			return false
 		}
-		req.Header.Set(mesh.HeaderForward, mesh.ForwardFanout)
-		req.Header.Set(mesh.HeaderTenant, tenant)
+		s.node.Decorate(req, tenant, mesh.ForwardFanout)
 		for _, h := range proxyReqHeaders {
 			if v := r.Header.Get(h); v != "" {
 				req.Header.Set(h, v)
@@ -625,7 +645,7 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	fwd := mesh.Forwarded(r)
+	fwd := s.forwarded(r)
 	if !fwd {
 		// Server-side page bounds: an unspecified limit gets the
 		// documented default, an oversized one is clamped.
@@ -810,16 +830,94 @@ func (s *server) handleEdgesPut(w http.ResponseWriter, r *http.Request) {
 	if payload == nil {
 		return
 	}
-	n, run, err := s.a.Tenant(tenant).PutEdges(r.PathValue("id"), payload)
+	id := r.PathValue("id")
+	if s.node != nil && !s.forwarded(r) {
+		s.fanoutEdges(w, tenant, id, payload)
+		return
+	}
+	n, run, err := s.a.Tenant(tenant).PutEdges(id, payload)
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return
 	}
+	s.writeEdgesResult(w, run.ID, n)
+}
+
+func (s *server) writeEdgesResult(w http.ResponseWriter, id string, edges int) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct { //nolint:errcheck
 		ID    string `json:"id"`
 		Edges int    `json:"edges"`
-	}{ID: run.ID, Edges: n})
+	}{ID: id, Edges: edges})
+}
+
+// fanoutEdges replicates an edge-sidecar PUT across the mesh, mirroring
+// fanoutPut: the sidecar lands on every peer that holds the run (its
+// owners, plus any off-ring fallback replica), so a push through a
+// non-owner peer succeeds and the sidecar survives an owner's death at
+// R>=2. Peers that own the run but currently lack it converge via the
+// anti-entropy sweep, which replicates sidecars alongside runs.
+func (s *server) fanoutEdges(w http.ResponseWriter, tenant, id string, payload []byte) {
+	s.mFanouts.Inc()
+	// Validate once at the edge so a malformed sidecar fails 400
+	// regardless of where the run lives.
+	if _, err := obs.ReadEdges(bytes.NewReader(payload)); err != nil {
+		s.fail(w, http.StatusBadRequest, "store: edges: %v", err)
+		return
+	}
+
+	resultID, resultEdges := "", 0
+	stored := 0
+	var lastErr error
+
+	// Local first: a hit resolves a prefix reference to the full
+	// content address, so the ring walk below targets the true owners.
+	if n, run, err := s.a.Tenant(tenant).PutEdges(id, payload); err == nil {
+		resultID, resultEdges = run.ID, n
+		stored++
+		id = run.ID
+	} else if !strings.Contains(err.Error(), "not found") {
+		s.fail(w, failCode(err), "%v", err)
+		return
+	}
+
+	for _, peer := range ownersThenRest(s.node, id) {
+		resp, err := s.node.Do(http.MethodPut, peer, "/runs/"+id+"/edges", tenant, mesh.ForwardFanout,
+			"application/x-ndjson", bytes.NewReader(payload))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			stored++
+			if resultID == "" {
+				var out struct {
+					ID    string `json:"id"`
+					Edges int    `json:"edges"`
+				}
+				if json.Unmarshal(body, &out) == nil && out.ID != "" {
+					resultID, resultEdges = out.ID, out.Edges
+				}
+			}
+		case http.StatusNotFound:
+			// That peer simply doesn't hold the run.
+		default:
+			lastErr = fmt.Errorf("%s: %s: %s", peer, resp.Status, strings.TrimSpace(string(body)))
+		}
+	}
+
+	if stored == 0 {
+		if lastErr != nil {
+			s.fail(w, http.StatusBadGateway, "edges %s: no peer stored the sidecar: %v", id, lastErr)
+			return
+		}
+		s.fail(w, http.StatusNotFound, "store: run %q not found", id)
+		return
+	}
+	s.writeEdgesResult(w, resultID, resultEdges)
 }
 
 func (s *server) handleEdgesGet(w http.ResponseWriter, r *http.Request) {
@@ -915,13 +1013,21 @@ func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	tv := s.a.Tenant(tenant)
-	fa, runA, err := tv.Get(r.PathValue("a"))
+	// Resolve each side wherever it lives: locally first, then its
+	// owner peers. Two federated runs need not be co-located on any
+	// single peer, so a strictly-local lookup would 404 runs the mesh
+	// holds. Forwarded requests stay local (loop guard).
+	node := s.node
+	if s.forwarded(r) {
+		node = nil
+	}
+	lookup := FedLookup(s.a, node)
+	fa, idA, err := lookup(tenant, r.PathValue("a"))
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return
 	}
-	fb, runB, err := tv.Get(r.PathValue("b"))
+	fb, idB, err := lookup(tenant, r.PathValue("b"))
 	if err != nil {
 		s.fail(w, failCode(err), "%v", err)
 		return
@@ -957,8 +1063,8 @@ func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
 
 	d := analysis.CompareWith(fa, fb, analysis.CompareOpts{TolerateRanks: tol})
 	resp := DiffResponse{
-		A:             runA.ID,
-		B:             runB.ID,
+		A:             idA,
+		B:             idB,
 		Equivalent:    d.Equivalent(),
 		TolerateRanks: tol,
 		MissingInA:    len(d.MissingInA),
@@ -1129,16 +1235,15 @@ func (s *server) handleCQPut(w http.ResponseWriter, r *http.Request) {
 	}
 	// Registrations fan out to the whole fleet (every peer can be the
 	// primary owner of a future ingest); anti-entropy re-syncs any peer
-	// that was down. Best-effort by design.
-	if s.node != nil && !mesh.Forwarded(r) {
+	// that was down. Best-effort by design: concurrent, on the
+	// short-timeout broadcast client, so a partitioned peer cannot
+	// stall the registration for the full request budget.
+	if s.node != nil && !s.forwarded(r) {
 		body, _ := json.Marshal(stored)
-		for _, peer := range s.node.Others() {
-			resp, err := s.node.Do(http.MethodPut, peer, "/cq", tenant, mesh.ForwardFanout,
+		broadcast(s.node, func(peer string) (*http.Response, error) {
+			return s.node.Broadcast(http.MethodPut, peer, "/cq", tenant, mesh.ForwardFanout,
 				"application/json", bytes.NewReader(body))
-			if err == nil {
-				resp.Body.Close()
-			}
-		}
+		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
@@ -1152,7 +1257,7 @@ func (s *server) handleCQList(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var specs []cq.Spec
-	if r.URL.Query().Get("all") == "1" && mesh.Forwarded(r) {
+	if r.URL.Query().Get("all") == "1" && s.forwarded(r) {
 		// Anti-entropy sync path: a sweeping peer needs every tenant's
 		// registrations; external clients only ever see their own.
 		specs = s.cq.All()
@@ -1177,13 +1282,13 @@ func (s *server) handleCQDelete(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, failCode(err), "%v", err)
 		return
 	}
-	if s.node != nil && !mesh.Forwarded(r) {
-		for _, peer := range s.node.Others() {
-			resp, err := s.node.Do(http.MethodDelete, peer, "/cq/"+name, tenant, mesh.ForwardFanout, "", nil)
-			if err == nil {
-				resp.Body.Close()
-			}
-		}
+	if s.node != nil && !s.forwarded(r) {
+		// Peers that miss the broadcast converge anyway: Delete leaves a
+		// tombstone whose stamp out-ranks the live spec, and the
+		// anti-entropy merge propagates it instead of resurrecting.
+		broadcast(s.node, func(peer string) (*http.Response, error) {
+			return s.node.Broadcast(http.MethodDelete, peer, "/cq/"+name, tenant, mesh.ForwardFanout, "", nil)
+		})
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -1213,10 +1318,12 @@ func (s *server) handleCQEvents(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(view) //nolint:errcheck
 }
 
-// handleCQEventPost receives a peer's event broadcast. Forwarded-only:
-// external clients cannot forge feed entries.
+// handleCQEventPost receives a peer's event broadcast. Forwarded-only
+// (key-checked under -mesh-secret): external clients cannot forge feed
+// entries on a secured mesh; without a secret the gate is cooperative
+// (docs/STORE.md, "Trust model").
 func (s *server) handleCQEventPost(w http.ResponseWriter, r *http.Request) {
-	if !mesh.Forwarded(r) {
+	if !s.forwarded(r) {
 		s.fail(w, http.StatusForbidden, "cq event broadcast is mesh-internal")
 		return
 	}
@@ -1237,6 +1344,22 @@ func (s *server) handleCQEventPost(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleMeshManifest(w http.ResponseWriter, r *http.Request) {
 	entries := s.a.MeshTarget().Entries()
+	if s.node != nil && s.node.Secured() && !s.forwarded(r) {
+		// On a secured mesh the full cross-tenant manifest is reserved
+		// for key-carrying peers; anyone else sees only their own
+		// tenant's holdings.
+		tenant, ok := s.tenantOf(w, r)
+		if !ok {
+			return
+		}
+		scoped := entries[:0]
+		for _, e := range entries {
+			if e.Tenant == tenant {
+				scoped = append(scoped, e)
+			}
+		}
+		entries = scoped
+	}
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Tenant != entries[j].Tenant {
 			return entries[i].Tenant < entries[j].Tenant
